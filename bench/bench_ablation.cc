@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablation of the engine builder's optimization steps (the paper's
+ * Figure 2 pipeline): starting from framework FP32 execution, each
+ * row adds or removes one ingredient and reports its contribution
+ * to latency, plan size and kernel count. This quantifies *which*
+ * of TensorRT's optimizations buys the 23-27x of Table VII, a
+ * question the paper raises but cannot answer for the proprietary
+ * engine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "runtime/measure.hh"
+
+namespace {
+
+using namespace edgert;
+
+struct Variant
+{
+    const char *name;
+    nn::Precision precision;
+    core::OptimizerOptions opts;
+};
+
+void
+ablate(const std::string &model)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    nn::Network net = nn::buildZooModel(model);
+
+    core::OptimizerOptions all_on;
+    core::OptimizerOptions no_fusion = all_on;
+    no_fusion.vertical_fusion = false;
+    core::OptimizerOptions no_merge = all_on;
+    no_merge.horizontal_merge = false;
+    core::OptimizerOptions no_dead = all_on;
+    no_dead.dead_layer_removal = false;
+    no_dead.noop_elision = false;
+
+    const Variant variants[] = {
+        {"full FP16 (TensorRT default)", nn::Precision::kFp16,
+         all_on},
+        {"  - vertical fusion", nn::Precision::kFp16, no_fusion},
+        {"  - horizontal merge", nn::Precision::kFp16, no_merge},
+        {"  - dead-layer removal", nn::Precision::kFp16, no_dead},
+        {"FP32 (mapping only, no quant)", nn::Precision::kFp32,
+         all_on},
+        {"INT8 (entropy-calibrated)", nn::Precision::kInt8, all_on},
+    };
+
+    std::printf("\n--- %s on %s ---\n", model.c_str(),
+                nx.name.c_str());
+    TextTable table({"variant", "nodes", "kernels", "plan MiB",
+                     "latency ms", "steady FPS"});
+
+    // Framework baseline row.
+    core::BuilderConfig base_cfg;
+    base_cfg.build_id = 1;
+    core::Engine raw =
+        core::Builder(nx, base_cfg).buildUnoptimized(net);
+    runtime::LatencyOptions lopt;
+    lopt.with_profiler = false;
+    runtime::ThroughputOptions topt;
+    topt.frames_per_thread = 8;
+    {
+        auto lat = runtime::measureLatency(raw, nx, lopt);
+        auto fps = runtime::measureThroughput(raw, nx, topt);
+        table.addRow({"framework FP32 (un-optimized)",
+                      std::to_string(raw.steps().size()),
+                      std::to_string(raw.kernelCount()),
+                      formatDouble(static_cast<double>(
+                                       raw.planSizeBytes()) /
+                                       (1024.0 * 1024.0),
+                                   2),
+                      formatDouble(lat.mean_ms, 2),
+                      formatDouble(fps.aggregate_fps, 1)});
+    }
+
+    for (const auto &v : variants) {
+        core::BuilderConfig cfg;
+        cfg.build_id = 1;
+        cfg.precision = v.precision;
+        cfg.optimizer = v.opts;
+        core::Engine e = core::Builder(nx, cfg).build(net);
+        auto lat = runtime::measureLatency(e, nx, lopt);
+        auto fps = runtime::measureThroughput(e, nx, topt);
+        table.addRow({v.name, std::to_string(e.steps().size()),
+                      std::to_string(e.kernelCount()),
+                      formatDouble(static_cast<double>(
+                                       e.planSizeBytes()) /
+                                       (1024.0 * 1024.0),
+                                   2),
+                      formatDouble(lat.mean_ms, 2),
+                      formatDouble(fps.aggregate_fps, 1)});
+    }
+    table.render(std::cout);
+}
+
+void
+printAblation()
+{
+    std::printf("\n=== Ablation: contribution of each optimization "
+                "step (DESIGN.md §4; extends the paper's Figure 2 / "
+                "Table VII) ===\n");
+    ablate("googlenet");
+    ablate("resnet-18");
+}
+
+void
+BM_AblationBuild(benchmark::State &state)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    nn::Network net = nn::buildZooModel("googlenet");
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    cfg.precision = state.range(0) == 0 ? nn::Precision::kFp16
+                                        : nn::Precision::kInt8;
+    for (auto _ : state) {
+        core::Engine e = core::Builder(nx, cfg).build(net);
+        benchmark::DoNotOptimize(e.fingerprint());
+    }
+    state.SetLabel(state.range(0) == 0 ? "fp16" : "int8");
+}
+
+} // namespace
+
+BENCHMARK(BM_AblationBuild)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    printAblation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces Table III: top-1 error (%) of the image-classification
+ * networks on the benign dataset (100 classes x 50 images = 5000),
+ * for TensorRT-style engines built on AGX and NX and for the
+ * un-optimized FP32 models.
+ *
+ * Expected shape: the optimized engines match or slightly beat the
+ * un-optimized models (quantization regularizes the over-fit FP32
+ * weights — paper Finding 1), and the NX/AGX engines agree to
+ * within a fraction of a percent.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "data/datasets.hh"
+#include "data/surrogate.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+
+namespace {
+
+using namespace edgert;
+
+double
+topOneErrorPct(const data::SurrogateClassifier &clf,
+               const data::BenignDataset &ds)
+{
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < ds.size(); i++) {
+        data::ImageRef img = ds.at(i);
+        if (clf.predict(img) != img.class_id)
+            wrong++;
+    }
+    return 100.0 * static_cast<double>(wrong) /
+           static_cast<double>(ds.size());
+}
+
+void
+printTable3()
+{
+    data::BenignDataset ds(/*classes=*/100, /*per_class=*/50);
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+
+    TextTable table({"NN Model", "AGX Error(%) TensorRT",
+                     "NX Error(%) TensorRT", "Error(%) Unoptimized",
+                     "Paper (AGX/NX/unopt)"});
+
+    struct PaperRow { const char *m; const char *ref; };
+    const PaperRow paper[] = {
+        {"alexnet", "45.16 / 45.10 / 47.72"},
+        {"resnet-18", "35.90 / 35.76 / 55.18"},
+        {"vgg-16", "33.76 / 33.78 / 38.46"},
+    };
+
+    for (const auto &row : paper) {
+        nn::Network net = nn::buildZooModel(row.m);
+        core::BuilderConfig cfg;
+        cfg.build_id = 1;
+        core::Engine e_nx = core::Builder(nx, cfg).build(net);
+        core::Engine e_agx = core::Builder(agx, cfg).build(net);
+
+        auto clf_nx = data::SurrogateClassifier::forEngine(
+            row.m, e_nx.fingerprint());
+        auto clf_agx = data::SurrogateClassifier::forEngine(
+            row.m, e_agx.fingerprint());
+        auto clf_raw = data::SurrogateClassifier::unoptimized(row.m);
+
+        table.addRow({row.m,
+                      formatDouble(topOneErrorPct(clf_agx, ds), 2),
+                      formatDouble(topOneErrorPct(clf_nx, ds), 2),
+                      formatDouble(topOneErrorPct(clf_raw, ds), 2),
+                      row.ref});
+    }
+    std::printf("\n=== Table III: top-1 error (%%) on the benign "
+                "dataset (5000 images) ===\n");
+    table.render(std::cout);
+}
+
+void
+BM_BenignEval(benchmark::State &state)
+{
+    data::BenignDataset ds(100, 50);
+    auto clf = data::SurrogateClassifier::forEngine("resnet-18",
+                                                    0x1234abcd);
+    for (auto _ : state) {
+        double err = topOneErrorPct(clf, ds);
+        benchmark::DoNotOptimize(err);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BenignEval)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    printTable3();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

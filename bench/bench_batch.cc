@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Extension study (beyond the paper's evaluation): batch-size
+ * scaling of TensorRT-style engines on the edge platforms.
+ *
+ * The paper measures batch-1 inference only — the latency-critical
+ * edge case — but its §VI discussion (many cameras feeding one
+ * device) raises the obvious alternative: batch frames instead of
+ * running concurrent streams. This bench quantifies that trade:
+ * larger batches amortize weight traffic and fill tail waves
+ * (higher FPS), at the price of per-frame latency — and shows where
+ * stream concurrency (Figures 3/4) remains the better strategy.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "runtime/measure.hh"
+
+namespace {
+
+using namespace edgert;
+
+void
+sweepBatches(const std::string &model)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    std::printf("\n--- %s on %s (max clock) ---\n", model.c_str(),
+                nx.name.c_str());
+    TextTable table({"batch", "latency/batch (ms)",
+                     "latency/frame (ms)", "frames/s",
+                     "engine MiB"});
+
+    double fps1 = 0.0, fps_last = 0.0;
+    for (std::int64_t batch : {1, 2, 4, 8, 16}) {
+        nn::Network net = nn::buildZooModel(model, batch);
+        core::BuilderConfig cfg;
+        cfg.build_id = 1;
+        core::Engine e = core::Builder(nx, cfg).build(net);
+
+        runtime::LatencyOptions lopt;
+        lopt.with_profiler = false;
+        lopt.upload_weights_per_run = false; // steady state
+        auto lat = runtime::measureLatency(e, nx.atMaxClock(), lopt);
+        double per_frame = lat.mean_ms / static_cast<double>(batch);
+        double fps = 1000.0 / per_frame;
+        if (batch == 1)
+            fps1 = fps;
+        fps_last = fps;
+        table.addRow({std::to_string(batch),
+                      formatDouble(lat.mean_ms, 2),
+                      formatDouble(per_frame, 2),
+                      formatDouble(fps, 1),
+                      formatDouble(static_cast<double>(
+                                       e.planSizeBytes()) /
+                                       (1024.0 * 1024.0),
+                                   2)});
+    }
+    table.render(std::cout);
+    std::printf("batch-16 throughput gain over batch-1: %.2fx\n",
+                fps1 > 0.0 ? fps_last / fps1 : 0.0);
+}
+
+void
+printStudy()
+{
+    std::printf("\n=== Extension: batch-size scaling (not in the "
+                "paper; complements Figures 3/4) ===\n");
+    sweepBatches("resnet-18");
+    sweepBatches("tiny-yolov3");
+}
+
+void
+BM_BatchLatency(benchmark::State &state)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    nn::Network net =
+        nn::buildZooModel("resnet-18", state.range(0));
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Engine e = core::Builder(nx, cfg).build(net);
+    runtime::LatencyOptions lopt;
+    lopt.runs = 3;
+    lopt.with_profiler = false;
+    state.counters["sim_ms_per_batch"] =
+        runtime::measureLatency(e, nx, lopt).mean_ms;
+    for (auto _ : state) {
+        double ms = runtime::measureLatency(e, nx, lopt).mean_ms;
+        benchmark::DoNotOptimize(ms);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BatchLatency)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    printStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

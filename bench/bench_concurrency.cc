@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces Figures 3 and 4: aggregate FPS and tegrastats-style
+ * GPU utilization as the number of concurrent inference threads
+ * grows, for a light CNN (Tiny-YOLOv3) and a heavy CNN (GoogLeNet),
+ * on both platforms at maximum GPU clocks.
+ *
+ * Thread sweeps extend to the saturation counts the paper observed
+ * (NX: 28 / 16 threads, AGX: 36 / 24 threads for the light / heavy
+ * model). Expected shape: FPS climbs modestly and flattens once the
+ * GPU saturates; utilization climbs from ~60-70% at one thread to
+ * the low-to-mid 80s at the saturation point; AGX sustains more
+ * threads and higher FPS than NX; the heavier model saturates at
+ * fewer threads.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "runtime/measure.hh"
+
+namespace {
+
+using namespace edgert;
+
+void
+sweep(const std::string &model, const gpusim::DeviceSpec &dev,
+      int max_threads)
+{
+    nn::Network net = nn::buildZooModel(model);
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Engine engine = core::Builder(dev, cfg).build(net);
+
+    std::printf("\n--- %s on %s (max clock %.2f GHz, paper "
+                "saturation: %d threads; Eq.1 bound: N = %d) ---\n",
+                model.c_str(), dev.name.c_str(), dev.max_clock_ghz,
+                max_threads,
+                runtime::estimateMaxThreads(engine, dev));
+    TextTable table({"Threads", "Aggregate FPS", "FPS/thread",
+                     "GPU util (%)", "Copy engine busy (%)"});
+    for (int t = 1; t <= max_threads;
+         t = t < 4 ? t + 3 : t + 4) {
+        runtime::ThroughputOptions topt;
+        topt.threads = t;
+        topt.frames_per_thread = 24;
+        auto r = runtime::measureThroughput(engine, dev, topt);
+        table.addRow({std::to_string(t),
+                      formatDouble(r.aggregate_fps, 1),
+                      formatDouble(r.per_thread_fps, 2),
+                      formatDouble(r.gpu_util_pct, 1),
+                      formatDouble(r.copy_busy_pct, 1)});
+    }
+    table.render(std::cout);
+}
+
+void
+printFigures()
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+
+    std::printf("\n=== Figure 3: Tiny-YOLOv3 concurrency (paper: NX "
+                "saturates at 28 threads/82%% util, AGX at 36 "
+                "threads/86%% util) ===\n");
+    sweep("tiny-yolov3", nx, 28);
+    sweep("tiny-yolov3", agx, 36);
+
+    // The paper's Figure 4 "Googlenet" is the object-detection
+    // deployment of the GoogLeNet backbone (its §IV-B discusses
+    // detection workloads); we therefore run the DetectNet FCN
+    // (GoogLeNet backbone at 512x512), which matches the heavier
+    // per-frame cost the figure shows.
+    std::printf("\n=== Figure 4: GoogLeNet(-backbone detection) "
+                "concurrency (paper: NX 16 threads/82%% util, AGX "
+                "24 threads/86%% util) ===\n");
+    sweep("detectnet-coco-dog", nx, 16);
+    sweep("detectnet-coco-dog", agx, 24);
+}
+
+void
+BM_Concurrency(benchmark::State &state)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    nn::Network net = nn::buildZooModel("tiny-yolov3");
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Engine e = core::Builder(nx, cfg).build(net);
+    runtime::ThroughputOptions topt;
+    topt.threads = static_cast<int>(state.range(0));
+    topt.frames_per_thread = 8;
+    state.counters["sim_fps"] =
+        runtime::measureThroughput(e, nx, topt).aggregate_fps;
+    for (auto _ : state) {
+        double fps =
+            runtime::measureThroughput(e, nx, topt).aggregate_fps;
+        benchmark::DoNotOptimize(fps);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_Concurrency)->Arg(1)->Arg(8)->Arg(28)
+    ->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    printFigures();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

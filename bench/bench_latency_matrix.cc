@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Reproduces Table VIII (inference latency of every model for the
+ * four compile/run combinations, nvprof attached) and Table IX (the
+ * same protocol without the profiler, representative models).
+ *
+ * Anomaly cases, as in the paper:
+ *   case 1: cAGX_rAGX slower than cNX_rNX  (platform-native engines)
+ *   case 2: cNX_rAGX slower than cNX_rNX   (same NX-built engine)
+ *   case 3: cAGX_rAGX slower than cAGX_rNX (same AGX-built engine)
+ *
+ * Expected shape: several networks run *slower* on the bigger AGX —
+ * driven by slower engine H2D copies (per-transfer driver overhead)
+ * and by kernels whose concurrent tile footprint thrashes the
+ * shared 512 KB L2 harder with 8 SMs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "runtime/measure.hh"
+
+namespace {
+
+using namespace edgert;
+
+struct Cells
+{
+    runtime::LatencyStats cnx_rnx, cnx_ragx, cagx_ragx, cagx_rnx;
+};
+
+Cells
+measureModel(const std::string &model, bool with_profiler)
+{
+    nn::Network net = nn::buildZooModel(model);
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Engine e_nx = core::Builder(nx, cfg).build(net);
+    core::Engine e_agx = core::Builder(agx, cfg).build(net);
+
+    runtime::LatencyOptions opts;
+    opts.with_profiler = with_profiler;
+
+    Cells c;
+    c.cnx_rnx = runtime::measureLatency(e_nx, nx, opts);
+    c.cnx_ragx = runtime::measureLatency(e_nx, agx, opts);
+    c.cagx_ragx = runtime::measureLatency(e_agx, agx, opts);
+    c.cagx_rnx = runtime::measureLatency(e_agx, nx, opts);
+    return c;
+}
+
+std::string
+anomalies(const Cells &c)
+{
+    std::string out;
+    if (c.cagx_ragx.mean_ms > c.cnx_rnx.mean_ms)
+        out += "case1 ";
+    if (c.cnx_ragx.mean_ms > c.cnx_rnx.mean_ms)
+        out += "case2 ";
+    if (c.cagx_ragx.mean_ms > c.cagx_rnx.mean_ms)
+        out += "case3 ";
+    return out.empty() ? "none" : out;
+}
+
+void
+printTable8()
+{
+    TextTable table({"NN Model", "cNX_rNX", "cNX_rAGX", "cAGX_rAGX",
+                     "cAGX_rNX", "Detected Anomalies"});
+    int case1 = 0, case2 = 0, case3 = 0;
+    for (const auto &model : nn::zooModelNames()) {
+        Cells c = measureModel(model, /*with_profiler=*/true);
+        std::string a = anomalies(c);
+        if (a.find("case1") != std::string::npos)
+            case1++;
+        if (a.find("case2") != std::string::npos)
+            case2++;
+        if (a.find("case3") != std::string::npos)
+            case3++;
+        table.addRow({model,
+                      meanStdCell(c.cnx_rnx.mean_ms,
+                                  c.cnx_rnx.std_ms),
+                      meanStdCell(c.cnx_ragx.mean_ms,
+                                  c.cnx_ragx.std_ms),
+                      meanStdCell(c.cagx_ragx.mean_ms,
+                                  c.cagx_ragx.std_ms),
+                      meanStdCell(c.cagx_rnx.mean_ms,
+                                  c.cagx_rnx.std_ms),
+                      a});
+    }
+    std::printf("\n=== Table VIII: inference latency (ms) with "
+                "nvprof attached; GPU clocks 599 MHz (NX) / 624 MHz "
+                "(AGX) ===\n");
+    table.render(std::cout);
+    std::printf("anomaly counts: case1=%d case2=%d case3=%d (paper: "
+                "7, 7, 4 of 13)\n",
+                case1, case2, case3);
+}
+
+void
+printTable9()
+{
+    TextTable table({"NN Model", "cNX_rNX", "cNX_rAGX", "cAGX_rAGX",
+                     "cAGX_rNX"});
+    for (const std::string model : {"inception-v4", "pednet"}) {
+        Cells c = measureModel(model, /*with_profiler=*/false);
+        table.addRow({model,
+                      meanStdCell(c.cnx_rnx.mean_ms,
+                                  c.cnx_rnx.std_ms),
+                      meanStdCell(c.cnx_ragx.mean_ms,
+                                  c.cnx_ragx.std_ms),
+                      meanStdCell(c.cagx_ragx.mean_ms,
+                                  c.cagx_ragx.std_ms),
+                      meanStdCell(c.cagx_rnx.mean_ms,
+                                  c.cagx_rnx.std_ms)});
+    }
+    std::printf("\n=== Table IX: inference latency (ms) without "
+                "nvprof ===\n");
+    table.render(std::cout);
+}
+
+void
+BM_Latency(benchmark::State &state)
+{
+    const auto &name =
+        nn::zooModelNames()[static_cast<std::size_t>(state.range(0))];
+    nn::Network net = nn::buildZooModel(name);
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Engine e = core::Builder(nx, cfg).build(net);
+    runtime::LatencyOptions opts;
+    opts.runs = 3;
+    state.SetLabel(name);
+    state.counters["sim_latency_ms"] =
+        runtime::measureLatency(e, nx, opts).mean_ms;
+    for (auto _ : state) {
+        auto lat = runtime::measureLatency(e, nx, opts);
+        benchmark::DoNotOptimize(lat.mean_ms);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_Latency)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    printTable8();
+    printTable9();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces Table X: average run time with the CUDA memcpy time
+ * included vs excluded, for the NX-built engines run on both
+ * platforms. This dissects the cross-platform latency anomaly into
+ * its memcpy component (paper Finding 5: the engine H2D copy can be
+ * slower on AGX despite the bigger memory system, because of
+ * per-transfer driver overheads).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "gpusim/timing.hh"
+#include "nn/model_zoo.hh"
+#include "runtime/measure.hh"
+
+namespace {
+
+using namespace edgert;
+
+void
+printTable10()
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+
+    TextTable table({"NN Model", "cNX_rNX incl", "cNX_rNX excl",
+                     "cNX_rAGX incl", "cNX_rAGX excl",
+                     "Paper incl (NX/AGX)"});
+
+    struct Row { const char *m; const char *ref; };
+    const Row rows[] = {
+        {"resnet-18", "12.65 / 12.15"},
+        {"inception-v4", "59.89 / 63.02"},
+        {"pednet", "33.43 / 38.15"},
+        {"facenet", "18.29 / 22.92"},
+        {"mobilenetv1", "11.97 / 13.99"},
+    };
+
+    for (const auto &row : rows) {
+        nn::Network net = nn::buildZooModel(row.m);
+        core::BuilderConfig cfg;
+        cfg.build_id = 1;
+        core::Engine e = core::Builder(nx, cfg).build(net);
+
+        runtime::LatencyOptions opts; // profiler attached, as in VIII
+        auto on_nx = runtime::measureLatency(e, nx, opts);
+        auto on_agx = runtime::measureLatency(e, agx, opts);
+
+        table.addRow(
+            {row.m,
+             meanStdCell(on_nx.mean_ms, on_nx.std_ms, 3),
+             meanStdCell(on_nx.mean_ms - on_nx.memcpy_mean_ms,
+                         on_nx.std_ms, 3),
+             meanStdCell(on_agx.mean_ms, on_agx.std_ms, 3),
+             meanStdCell(on_agx.mean_ms - on_agx.memcpy_mean_ms,
+                         on_agx.std_ms, 3),
+             row.ref});
+    }
+    std::printf("\n=== Table X: run time (ms) with CUDA memcpy "
+                "included / excluded (engines built on NX) ===\n");
+    table.render(std::cout);
+}
+
+void
+BM_EngineUpload(benchmark::State &state)
+{
+    gpusim::DeviceSpec dev = state.range(0) == 0
+                                 ? gpusim::DeviceSpec::xavierNX()
+                                 : gpusim::DeviceSpec::xavierAGX();
+    nn::Network net = nn::buildZooModel("inception-v4");
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Engine e =
+        core::Builder(gpusim::DeviceSpec::xavierNX(), cfg).build(net);
+    state.SetLabel(dev.name);
+    state.counters["sim_upload_ms"] =
+        gpusim::memcpySeconds(
+            dev, static_cast<std::uint64_t>(e.weightBytes()),
+            e.weightTransfers()) *
+        1e3;
+    for (auto _ : state) {
+        double ms = gpusim::memcpySeconds(
+                        dev,
+                        static_cast<std::uint64_t>(e.weightBytes()),
+                        e.weightTransfers()) *
+                    1e3;
+        benchmark::DoNotOptimize(ms);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_EngineUpload)->Arg(0)->Arg(1);
+
+int
+main(int argc, char **argv)
+{
+    printTable10();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Reproduces Table II: the 13 evaluated NN models with their
+ * un-optimized (FP32) model sizes and the TensorRT-style engine plan
+ * sizes built on Xavier NX and Xavier AGX.
+ *
+ * Expected shape (paper): engines are roughly half the FP32 model
+ * (FP16 weights); a handful of models (ResNet-18, GoogLeNet,
+ * fcn-resnet18, MTCNN) produce substantially *larger* engines on
+ * AGX because the 8-SM tactic set includes Winograd kernels whose
+ * plans store transformed filters plus a fallback copy.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+
+namespace {
+
+using namespace edgert;
+
+double
+mib(std::int64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+void
+BM_BuildEngine(benchmark::State &state)
+{
+    const auto &name =
+        nn::zooModelNames()[static_cast<std::size_t>(state.range(0))];
+    nn::Network net = nn::buildZooModel(name);
+    gpusim::DeviceSpec dev = state.range(1) == 0
+                                 ? gpusim::DeviceSpec::xavierNX()
+                                 : gpusim::DeviceSpec::xavierAGX();
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Builder builder(dev, cfg);
+    state.SetLabel(name + " on " + dev.name);
+    state.counters["plan_MiB"] =
+        mib(builder.build(net).planSizeBytes());
+    for (auto _ : state) {
+        core::Engine e = builder.build(net);
+        benchmark::DoNotOptimize(e.planSizeBytes());
+    }
+}
+
+void
+printTable2()
+{
+    TextTable table({"NN Model", "Task", "Framework", "Layers",
+                     "Un-optimized (MiB)", "Paper (MB)",
+                     "Engine NX (MiB)", "Paper NX",
+                     "Engine AGX (MiB)", "Paper AGX"});
+
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+
+    // Paper Table II engine sizes for reference columns.
+    struct PaperRow { double nx, agx; };
+    auto paperEngine = [](const std::string &m) -> PaperRow {
+        if (m == "alexnet") return {120.11, 120.11};
+        if (m == "resnet-18") return {22.5, 52.49};
+        if (m == "vgg-16") return {264.7, 264.7};
+        if (m == "inception-v4") return {82.68, 82.68};
+        if (m == "googlenet") return {13.62, 21.08};
+        if (m == "ssd-inception-v2") return {48.9, 48.9};
+        if (m == "detectnet-coco-dog") return {12.45, 12.45};
+        if (m == "pednet") return {12.72, 12.73};
+        if (m == "tiny-yolov3") return {17.83, 17.83};
+        if (m == "facenet") return {12.03, 12.05};
+        if (m == "mobilenetv1") return {13.50, 13.53};
+        if (m == "mtcnn") return {3.8, 4.78};
+        return {24.7, 48.78}; // fcn-resnet18-cityscapes
+    };
+
+    for (const auto &name : nn::zooModelNames()) {
+        const auto &info = nn::zooModelInfo(name);
+        nn::Network net = nn::buildZooModel(name);
+
+        core::BuilderConfig cfg;
+        cfg.build_id = 1;
+        core::Engine e_nx = core::Builder(nx, cfg).build(net);
+        core::Engine e_agx = core::Builder(agx, cfg).build(net);
+
+        char layers[48];
+        std::snprintf(layers, sizeof(layers), "%lld conv, %lld mp",
+                      static_cast<long long>(net.convCount()),
+                      static_cast<long long>(net.maxPoolCount()));
+        PaperRow p = paperEngine(name);
+        char b1[16], b2[16], b3[16], b4[16], b5[16], b6[16];
+        std::snprintf(b1, sizeof(b1), "%.2f",
+                      mib(net.modelSizeBytes()));
+        std::snprintf(b2, sizeof(b2), "%.2f", info.paper_size_mb);
+        std::snprintf(b3, sizeof(b3), "%.2f",
+                      mib(e_nx.planSizeBytes()));
+        std::snprintf(b4, sizeof(b4), "%.2f", p.nx);
+        std::snprintf(b5, sizeof(b5), "%.2f",
+                      mib(e_agx.planSizeBytes()));
+        std::snprintf(b6, sizeof(b6), "%.2f", p.agx);
+        table.addRow({name, visionTaskName(info.task),
+                      info.framework, layers, b1, b2, b3, b4, b5,
+                      b6});
+    }
+    std::printf("\n=== Table II: NN models, un-optimized sizes and "
+                "TensorRT engine sizes ===\n");
+    table.render(std::cout);
+}
+
+} // namespace
+
+BENCHMARK(BM_BuildEngine)
+    ->ArgsProduct({{0, 1, 2, 4}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Reproduces Tables V and VI: the number of differing predictions
+ * (out of 60,000 adversarial-dataset inferences) between pairs of
+ * TensorRT-style engines built from the *same frozen model*.
+ *
+ *  - Table V: cross-platform pairs — 3 engines built on NX vs 3 on
+ *    AGX (9 pairs per model).
+ *  - Table VI: same-platform pairs (engines 1-2, 2-3, 1-3).
+ *
+ * Expected shape: pairwise mismatches of roughly 0.1-0.8% of the
+ * 60k predictions (paper: 100-500), with occasional zero rows when
+ * two builds happen to choose identical tactics (bit-identical
+ * engines), as the paper's NX ResNet-18 engines 1-3 did.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/builder.hh"
+#include "data/datasets.hh"
+#include "data/surrogate.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+
+namespace {
+
+using namespace edgert;
+
+const char *kModels[] = {"resnet-18", "vgg-16", "inception-v4",
+                         "alexnet"};
+
+std::size_t
+mismatches(const data::SurrogateClassifier &a,
+           const data::SurrogateClassifier &b,
+           const data::AdversarialDataset &ds)
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < ds.size(); i++) {
+        data::CorruptImageRef img = ds.at(i);
+        if (a.predict(img) != b.predict(img))
+            n++;
+    }
+    return n;
+}
+
+std::vector<data::SurrogateClassifier>
+buildEngines(const std::string &model, const gpusim::DeviceSpec &dev,
+             int count, std::uint64_t base_id)
+{
+    nn::Network net = nn::buildZooModel(model);
+    std::vector<data::SurrogateClassifier> out;
+    for (int i = 0; i < count; i++) {
+        core::BuilderConfig cfg;
+        cfg.build_id = base_id + static_cast<std::uint64_t>(i);
+        core::Engine e = core::Builder(dev, cfg).build(net);
+        out.push_back(data::SurrogateClassifier::forEngine(
+            model, e.fingerprint()));
+    }
+    return out;
+}
+
+void
+printTables()
+{
+    data::AdversarialDataset ds(/*classes=*/100, /*per_class=*/20,
+                                {1, 5}); // 60,000 images
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+
+    // --- Table V: cross-platform engine pairs ---
+    TextTable t5({"NN Model", "NX1-AGX1", "NX1-AGX2", "NX1-AGX3",
+                  "NX2-AGX1", "NX2-AGX2", "NX2-AGX3", "NX3-AGX1",
+                  "NX3-AGX2", "NX3-AGX3"});
+    // --- Table VI: same-platform engine pairs ---
+    TextTable t6({"Platform", "NN Model", "Engines 1-2",
+                  "Engines 2-3", "Engines 1-3"});
+
+    for (const char *model : kModels) {
+        auto nx_clfs = buildEngines(model, nx, 3, /*base_id=*/100);
+        auto agx_clfs = buildEngines(model, agx, 3, /*base_id=*/200);
+
+        std::vector<std::string> row{model};
+        for (int i = 0; i < 3; i++)
+            for (int j = 0; j < 3; j++)
+                row.push_back(std::to_string(mismatches(
+                    nx_clfs[static_cast<std::size_t>(i)],
+                    agx_clfs[static_cast<std::size_t>(j)], ds)));
+        t5.addRow(std::move(row));
+
+        for (const auto &[platform, clfs] :
+             {std::pair<const char *,
+                        std::vector<data::SurrogateClassifier> *>{
+                  "NX", &nx_clfs},
+              {"AGX", &agx_clfs}}) {
+            t6.addRow({platform, model,
+                       std::to_string(
+                           mismatches((*clfs)[0], (*clfs)[1], ds)),
+                       std::to_string(
+                           mismatches((*clfs)[1], (*clfs)[2], ds)),
+                       std::to_string(
+                           mismatches((*clfs)[0], (*clfs)[2], ds))});
+        }
+    }
+
+    std::printf("\n=== Table V: differing predictions across "
+                "cross-platform engine pairs (out of 60,000; paper "
+                "range 288-497) ===\n");
+    t5.render(std::cout);
+    std::printf("\n=== Table VI: differing predictions across "
+                "same-platform engine pairs (paper: 0-497, with "
+                "exact-zero rows for bit-identical builds) ===\n");
+    t6.render(std::cout);
+}
+
+void
+BM_MismatchCount(benchmark::State &state)
+{
+    data::AdversarialDataset ds(100, 20, {1, 5});
+    auto a = data::SurrogateClassifier::forEngine("resnet-18", 111);
+    auto b = data::SurrogateClassifier::forEngine("resnet-18", 222);
+    for (auto _ : state) {
+        auto n = mismatches(a, b, ds);
+        benchmark::DoNotOptimize(n);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_MismatchCount)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    printTables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multi-model ADAS stack on one edge GPU.
+ *
+ * Production vehicles run several networks side by side: pedestrian
+ * detection (safety-critical), lane segmentation, and an
+ * infotainment-grade scene classifier. This example runs all three
+ * concurrently on a simulated Xavier AGX and shows how CUDA stream
+ * *priorities* protect the safety-critical model's latency when the
+ * GPU is oversubscribed — and what happens without them.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "runtime/context.hh"
+
+using namespace edgert;
+
+namespace {
+
+struct ModelSlot
+{
+    const char *label;
+    const char *zoo_name;
+    double priority;
+    int frames;
+};
+
+/** Per-model p99-ish latency when all models run concurrently. */
+std::vector<double>
+runStack(const gpusim::DeviceSpec &dev,
+         const std::vector<core::Engine> &engines,
+         const std::vector<ModelSlot> &slots, bool use_priorities)
+{
+    gpusim::GpuSim sim(dev.atMaxClock());
+    std::vector<runtime::ExecutionContext> ctxs;
+    std::vector<std::vector<runtime::InferenceHandle>> handles(
+        slots.size());
+
+    for (std::size_t i = 0; i < slots.size(); i++) {
+        double w = use_priorities ? slots[i].priority : 1.0;
+        int stream = i == 0 && !use_priorities
+                         ? 0
+                         : sim.createStream(w);
+        ctxs.emplace_back(engines[i], sim, stream);
+        ctxs.back().enqueueWeightUpload();
+    }
+    for (std::size_t i = 0; i < slots.size(); i++) {
+        for (int f = 0; f < slots[i].frames; f++) {
+            handles[i].push_back(
+                ctxs[i].enqueuePipelinedInference());
+            ctxs[i].enqueueHostGap(0.0003);
+        }
+    }
+    sim.run();
+
+    std::vector<double> worst(slots.size(), 0.0);
+    for (std::size_t i = 0; i < slots.size(); i++) {
+        for (std::size_t f = 2; f < handles[i].size(); f++) {
+            double ms = (sim.eventSeconds(handles[i][f].end) -
+                         sim.eventSeconds(handles[i][f].begin)) *
+                        1e3;
+            worst[i] = std::max(worst[i], ms);
+        }
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+main()
+{
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+    const std::vector<ModelSlot> slots = {
+        {"pedestrian detection (safety)", "pednet", 8.0, 30},
+        {"lane segmentation", "fcn-resnet18-cityscapes", 2.0, 30},
+        {"scene classifier (infotainment)", "googlenet", 1.0, 30},
+    };
+
+    std::printf("=== Three-model ADAS stack on %s ===\n\n",
+                agx.name.c_str());
+
+    std::vector<core::Engine> engines;
+    for (const auto &s : slots) {
+        nn::Network net = nn::buildZooModel(s.zoo_name);
+        core::BuilderConfig cfg;
+        cfg.build_id = 42;
+        engines.push_back(core::Builder(agx, cfg).build(net));
+        std::printf("built %-34s (%s, %.1f MiB plan)\n", s.label,
+                    s.zoo_name,
+                    static_cast<double>(
+                        engines.back().planSizeBytes()) /
+                        (1024.0 * 1024.0));
+    }
+
+    auto flat = runStack(agx, engines, slots, false);
+    auto prio = runStack(agx, engines, slots, true);
+
+    std::printf("\nworst-case frame latency (ms), GPU "
+                "oversubscribed:\n");
+    std::printf("%-36s %-18s %s\n", "model", "equal priority",
+                "weighted streams");
+    for (std::size_t i = 0; i < slots.size(); i++)
+        std::printf("%-36s %-18.2f %.2f\n", slots[i].label, flat[i],
+                    prio[i]);
+
+    bool protected_ok = prio[0] < flat[0];
+    std::printf("\n%s\n",
+                protected_ok
+                    ? "Weighted streams cut the safety-critical "
+                      "model's worst-case latency while the "
+                      "best-effort models absorb the slack — the "
+                      "mitigation §VI-A's WCET discussion calls "
+                      "for."
+                    : "Priorities did not help here; increase the "
+                      "weight ratio or isolate the critical model.");
+    return 0;
+}

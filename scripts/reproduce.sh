@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduce every table and figure of the paper plus the extension
+# studies, writing the combined report next to this script's repo.
+#
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== running test suites =="
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 \
+    | tee "$ROOT/test_output.txt"
+
+echo "== regenerating paper tables and figures =="
+{
+    for b in "$BUILD"/bench/*; do
+        [ -x "$b" ] || continue
+        echo
+        echo "########## $(basename "$b") ##########"
+        "$b" --benchmark_min_time=0.01s
+    done
+} 2>&1 | tee "$ROOT/bench_output.txt"
+
+echo
+echo "Reports written to test_output.txt and bench_output.txt."
+echo "Per-experiment commentary: EXPERIMENTS.md"

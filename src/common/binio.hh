@@ -1,0 +1,112 @@
+#ifndef EDGERT_COMMON_BINIO_HH
+#define EDGERT_COMMON_BINIO_HH
+
+/**
+ * @file
+ * Little binary (de)serialization helpers used by the network and
+ * engine plan formats. Streams are byte vectors; integers are
+ * little-endian fixed width; strings are length-prefixed.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace edgert {
+
+/** Append-only binary stream writer. */
+class BinWriter
+{
+  public:
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+    void
+    raw(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    template <typename T>
+    void
+    scalar(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        raw(&v, sizeof(v));
+    }
+
+    void u8(std::uint8_t v) { scalar(v); }
+    void u32(std::uint32_t v) { scalar(v); }
+    void u64(std::uint64_t v) { scalar(v); }
+    void i64(std::int64_t v) { scalar(v); }
+    void f32(float v) { scalar(v); }
+    void f64(double v) { scalar(v); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Sequential binary stream reader with bounds checking. */
+class BinReader
+{
+  public:
+    explicit BinReader(const std::vector<std::uint8_t> &buf)
+        : buf_(&buf)
+    {}
+
+    bool atEnd() const { return pos_ == buf_->size(); }
+
+    void
+    raw(void *p, std::size_t n)
+    {
+        if (pos_ + n > buf_->size())
+            fatal("BinReader: truncated stream (need ", n, " at ",
+                  pos_, " of ", buf_->size(), ")");
+        std::memcpy(p, buf_->data() + pos_, n);
+        pos_ += n;
+    }
+
+    template <typename T>
+    T
+    scalar()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint8_t u8() { return scalar<std::uint8_t>(); }
+    std::uint32_t u32() { return scalar<std::uint32_t>(); }
+    std::uint64_t u64() { return scalar<std::uint64_t>(); }
+    std::int64_t i64() { return scalar<std::int64_t>(); }
+    float f32() { return scalar<float>(); }
+    double f64() { return scalar<double>(); }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        std::string s(n, '\0');
+        raw(s.data(), n);
+        return s;
+    }
+
+  private:
+    const std::vector<std::uint8_t> *buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_BINIO_HH

@@ -1,0 +1,107 @@
+#include "common/half.hh"
+
+#include <cstring>
+
+namespace edgert {
+
+namespace {
+
+std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsFloat(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+std::uint16_t
+floatToHalfBits(float f)
+{
+    std::uint32_t x = floatBits(f);
+    std::uint32_t sign = (x >> 16) & 0x8000u;
+    std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xff) - 127;
+    std::uint32_t mant = x & 0x7fffffu;
+
+    if (exp == 128) {
+        // Inf / NaN: keep a nonzero mantissa bit for NaN.
+        return static_cast<std::uint16_t>(
+            sign | 0x7c00u | (mant ? 0x200u | (mant >> 13) : 0));
+    }
+    if (exp > 15) {
+        // Overflow to infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    if (exp >= -14) {
+        // Normal range: round mantissa from 23 to 10 bits (RNE).
+        std::uint32_t half_exp =
+            static_cast<std::uint32_t>(exp + 15) << 10;
+        std::uint32_t half_mant = mant >> 13;
+        std::uint32_t rem = mant & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1))) {
+            half_mant++;
+            if (half_mant == 0x400u) {
+                // Mantissa overflowed into the exponent.
+                half_mant = 0;
+                half_exp += 1u << 10;
+                if (half_exp >= (31u << 10))
+                    return static_cast<std::uint16_t>(sign | 0x7c00u);
+            }
+        }
+        return static_cast<std::uint16_t>(sign | half_exp | half_mant);
+    }
+    if (exp >= -25) {
+        // Subnormal half: shift in the implicit leading one.
+        std::uint32_t full = mant | 0x800000u;
+        int shift = -exp - 14 + 13;
+        std::uint32_t half_mant = full >> shift;
+        std::uint32_t rem_mask = (1u << shift) - 1;
+        std::uint32_t rem = full & rem_mask;
+        std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1)))
+            half_mant++;
+        return static_cast<std::uint16_t>(sign | half_mant);
+    }
+    // Underflow to signed zero.
+    return static_cast<std::uint16_t>(sign);
+}
+
+float
+halfBitsToFloat(std::uint16_t h)
+{
+    std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    std::uint32_t exp = (h >> 10) & 0x1f;
+    std::uint32_t mant = h & 0x3ffu;
+
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsFloat(sign);
+        // Subnormal: normalize.
+        int shift = 0;
+        while (!(mant & 0x400u)) {
+            mant <<= 1;
+            shift++;
+        }
+        mant &= 0x3ffu;
+        // value = (1 + mant/1024) * 2^(-14 - shift)
+        std::uint32_t fexp =
+            static_cast<std::uint32_t>(127 - 14 - shift);
+        return bitsFloat(sign | (fexp << 23) | (mant << 13));
+    }
+    if (exp == 31) {
+        return bitsFloat(sign | 0x7f800000u | (mant << 13));
+    }
+    std::uint32_t fexp = exp - 15 + 127;
+    return bitsFloat(sign | (fexp << 23) | (mant << 13));
+}
+
+} // namespace edgert

@@ -1,0 +1,42 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace edgert {
+
+namespace {
+std::atomic<bool> g_verbose{true};
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+namespace log_detail {
+
+void
+emit(const char *level, const std::string &msg)
+{
+    std::fprintf(stderr, "[edgert:%s] %s\n", level, msg.c_str());
+}
+
+void
+abortWith(const std::string &msg)
+{
+    std::fprintf(stderr, "[edgert:panic] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace log_detail
+
+} // namespace edgert

@@ -1,0 +1,89 @@
+#ifndef EDGERT_COMMON_LOGGING_HH
+#define EDGERT_COMMON_LOGGING_HH
+
+/**
+ * @file
+ * Lightweight logging and error-reporting utilities, gem5-flavoured.
+ *
+ * fatal()  — unrecoverable user-level error (bad config / arguments);
+ *            throws FatalError so tests can assert on it.
+ * panic()  — internal invariant violation (a bug in EdgeRT itself);
+ *            aborts the process after printing.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — normal status output.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edgert {
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace log_detail {
+
+/** Stream one or more arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+void emit(const char *level, const std::string &msg);
+[[noreturn]] void abortWith(const std::string &msg);
+
+} // namespace log_detail
+
+/** Global verbosity switch; when false, inform() output is suppressed. */
+void setVerbose(bool verbose);
+bool verbose();
+
+/** Print an informational message (suppressed when not verbose). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (verbose())
+        log_detail::emit("info", log_detail::concat(args...));
+}
+
+/** Print a warning; always shown. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    log_detail::emit("warn", log_detail::concat(args...));
+}
+
+/** Report a user-level error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = log_detail::concat(args...);
+    log_detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report an internal bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    log_detail::abortWith(log_detail::concat(args...));
+}
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_LOGGING_HH

@@ -1,0 +1,82 @@
+#ifndef EDGERT_COMMON_RNG_HH
+#define EDGERT_COMMON_RNG_HH
+
+/**
+ * @file
+ * Deterministic random number generation for the whole simulator.
+ *
+ * Everything stochastic in EdgeRT (autotuner timing noise, dataset
+ * synthesis, surrogate-model margins) flows through Rng so that a
+ * run is fully reproducible from its seeds. The generator is
+ * SplitMix64: tiny state, excellent statistical quality for
+ * simulation purposes, and trivially splittable via hashing.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace edgert {
+
+/** Mix a 64-bit value through the SplitMix64 finalizer. */
+std::uint64_t mix64(std::uint64_t x);
+
+/** Stable FNV-1a hash of a string, for deriving stream seeds. */
+std::uint64_t hashString(std::string_view s);
+
+/** Combine two seeds into a new independent seed. */
+std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Deterministic pseudo-random generator (SplitMix64).
+ *
+ * Instances are cheap to copy; fork() derives an independent child
+ * stream keyed by a label so that adding draws to one consumer never
+ * perturbs another.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(mix64(seed ^ kGamma)) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal deviate (Box-Muller, no cached spare). */
+    double gaussian();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * Derive an independent child generator keyed by a label.
+     * @param label Stream name, e.g. "autotuner" or "dataset".
+     */
+    Rng fork(std::string_view label) const;
+
+    /** Derive an independent child generator keyed by an index. */
+    Rng fork(std::uint64_t index) const;
+
+  private:
+    static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+
+    std::uint64_t state_;
+};
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_RNG_HH

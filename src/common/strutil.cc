@@ -1,0 +1,75 @@
+#include "common/strutil.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace edgert {
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 3) {
+        v /= 1024.0;
+        u++;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+    return buf;
+}
+
+std::string
+formatNanos(std::uint64_t ns)
+{
+    char buf[32];
+    if (ns < 1000)
+        std::snprintf(buf, sizeof(buf), "%llu ns",
+                      static_cast<unsigned long long>(ns));
+    else if (ns < 1000'000)
+        std::snprintf(buf, sizeof(buf), "%.2f us",
+                      static_cast<double>(ns) / 1e3);
+    else if (ns < 1000'000'000)
+        std::snprintf(buf, sizeof(buf), "%.2f ms",
+                      static_cast<double>(ns) / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s",
+                      static_cast<double>(ns) / 1e9);
+    return buf;
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+meanStdCell(double mean, double stddev, int decimals)
+{
+    return formatDouble(mean, decimals) + "(" +
+           formatDouble(stddev, decimals) + ")";
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, delim))
+        out.push_back(item);
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace edgert

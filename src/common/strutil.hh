@@ -1,0 +1,35 @@
+#ifndef EDGERT_COMMON_STRUTIL_HH
+#define EDGERT_COMMON_STRUTIL_HH
+
+/**
+ * @file
+ * String formatting helpers for reports and bench output.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgert {
+
+/** Format a byte count as a human-readable string ("12.45 MB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a duration in nanoseconds ("3.42 ms", "118 us"). */
+std::string formatNanos(std::uint64_t ns);
+
+/** Format a double with fixed decimals. */
+std::string formatDouble(double v, int decimals);
+
+/** "mean(std)" cell used throughout the paper's tables. */
+std::string meanStdCell(double mean, double stddev, int decimals = 2);
+
+/** Split a string on a delimiter character. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** True when `s` starts with `prefix`. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_STRUTIL_HH

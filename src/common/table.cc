@@ -1,0 +1,62 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace edgert {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("TextTable row arity ", cells.size(), " != header arity ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); c++) {
+            os << " " << row[c]
+               << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    render(oss);
+    return oss.str();
+}
+
+} // namespace edgert

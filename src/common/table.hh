@@ -1,0 +1,45 @@
+#ifndef EDGERT_COMMON_TABLE_HH
+#define EDGERT_COMMON_TABLE_HH
+
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print
+ * paper-style tables (Table II, Table VIII, ...).
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edgert {
+
+/**
+ * Simple column-aligned text table. Rows may be added cell-by-cell or
+ * as whole vectors; render() pads every column to its widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a full row. Must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render to a stream with a header separator line. */
+    void render(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_TABLE_HH

@@ -1,0 +1,187 @@
+#include "core/builder.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/calibrator.hh"
+#include "gpusim/timing.hh"
+
+namespace edgert::core {
+
+Builder::Builder(const gpusim::DeviceSpec &device,
+                 const BuilderConfig &config)
+    : device_(device), config_(config)
+{
+    if (config_.avg_timing_iterations < 1)
+        fatal("Builder: avg_timing_iterations must be >= 1");
+}
+
+double
+Builder::measureTactic(const Tactic &tactic,
+                       const std::string &node_name,
+                       std::uint64_t trial) const
+{
+    // Noiseless analytic duration of the candidate on this device.
+    double t = 0.0;
+    for (const auto &k : tactic.kernels)
+        t += gpusim::soloKernelSeconds(device_, k) +
+             device_.kernel_launch_us * 1e-6;
+
+    // The autotuner observes this through noisy wall-clock timing:
+    // the measurement RNG is keyed by build id, node and tactic, so
+    // a different build id yields a different (but internally
+    // deterministic) set of measurements — the mechanical source of
+    // non-deterministic engine generation (Finding 6).
+    Rng rng(hashCombine(
+        hashCombine(config_.build_id, hashString(node_name)),
+        hashCombine(hashString(tactic.name), trial)));
+    double sum = 0.0;
+    for (int i = 0; i < config_.avg_timing_iterations; i++) {
+        double noise = rng.gaussian(0.0, config_.timing_noise);
+        sum += t * std::max(0.2, 1.0 + noise);
+    }
+    return sum / static_cast<double>(config_.avg_timing_iterations);
+}
+
+Engine
+Builder::build(const nn::Network &net, BuildReport *report) const
+{
+    OptimizedGraph graph =
+        optimize(net, config_.precision, config_.optimizer);
+    if (report)
+        report->optimizer = graph.stats();
+
+    // INT8 builds calibrate activation ranges first; the resulting
+    // table is part of the engine's identity.
+    std::uint64_t calib_fp = 0;
+    if (config_.precision == nn::Precision::kInt8) {
+        Int8Calibrator calibrator(net, config_.calibration_seed);
+        calib_fp = calibrator.tableFingerprint();
+    }
+
+    std::vector<ExecutionStep> steps;
+    steps.reserve(graph.nodes().size());
+
+    for (const auto &node : graph.nodes()) {
+        auto candidates = tacticCandidates(graph, node, device_);
+        if (candidates.empty())
+            panic("no tactic candidates for node ", node.name);
+
+        double best = std::numeric_limits<double>::infinity();
+        double runner_up = best;
+        std::size_t best_idx = 0;
+        for (std::size_t i = 0; i < candidates.size(); i++) {
+            double t = measureTactic(candidates[i], node.name, i);
+            if (t < best) {
+                runner_up = best;
+                best = t;
+                best_idx = i;
+            } else if (t < runner_up) {
+                runner_up = t;
+            }
+        }
+        Tactic &chosen = candidates[best_idx];
+
+        if (report) {
+            TuningRecord rec;
+            rec.node_name = node.name;
+            rec.chosen_tactic = chosen.name;
+            rec.candidates = static_cast<int>(candidates.size());
+            rec.best_ms = best * 1e3;
+            rec.runner_up_ms =
+                std::isfinite(runner_up) ? runner_up * 1e3 : 0.0;
+            report->tuning.push_back(std::move(rec));
+        }
+
+        NodeCost cost = analyzeNode(graph, node);
+        ExecutionStep step;
+        step.node_name = node.name;
+        step.kind = node.kind;
+        step.tactic_name = chosen.name;
+        step.kernels = std::move(chosen.kernels);
+        step.precision = node.precision;
+        step.weight_plan_bytes = static_cast<std::int64_t>(
+            static_cast<double>(cost.weight_params) * 4.0 *
+            chosen.weight_layout_factor);
+        step.weight_transfers = chosen.weight_transfers;
+        steps.push_back(std::move(step));
+    }
+
+    std::vector<IoDesc> inputs;
+    for (const auto &in : net.inputs()) {
+        const auto &t = net.tensor(in);
+        inputs.push_back({in, t.dims, t.dims.volume() * 4});
+    }
+    std::vector<IoDesc> outputs;
+    for (const auto &out : net.outputs()) {
+        const auto &t = net.tensor(out);
+        outputs.push_back({out, t.dims, t.dims.volume() * 4});
+    }
+
+    return Engine(net.name(), device_.name, config_.precision,
+                  config_.build_id, std::move(steps),
+                  std::move(inputs), std::move(outputs), calib_fp);
+}
+
+Engine
+Builder::buildUnoptimized(const nn::Network &net) const
+{
+    net.validate();
+    std::vector<ExecutionStep> steps;
+    for (const auto &l : net.layers()) {
+        if (l.kind == nn::LayerKind::kInput)
+            continue;
+        Tactic t = unoptimizedTactic(net, l);
+        ExecutionStep step;
+        step.node_name = l.name;
+        // Reuse the closest fused-op kind for reporting purposes.
+        switch (l.kind) {
+          case nn::LayerKind::kConvolution:
+            step.kind = FusedOpKind::kConv;
+            break;
+          case nn::LayerKind::kDeconvolution:
+            step.kind = FusedOpKind::kDeconv;
+            break;
+          case nn::LayerKind::kFullyConnected:
+            step.kind = FusedOpKind::kFullyConnected;
+            break;
+          case nn::LayerKind::kPooling:
+            step.kind = FusedOpKind::kPooling;
+            break;
+          case nn::LayerKind::kSoftmax:
+            step.kind = FusedOpKind::kSoftmax;
+            break;
+          case nn::LayerKind::kConcat:
+            step.kind = FusedOpKind::kConcat;
+            break;
+          default:
+            step.kind = FusedOpKind::kEltwise;
+            break;
+        }
+        step.tactic_name = t.name;
+        step.kernels = std::move(t.kernels);
+        step.precision = nn::Precision::kFp32;
+        step.weight_plan_bytes = net.layerParamCount(l) * 4;
+        step.weight_transfers = t.weight_transfers;
+        steps.push_back(std::move(step));
+    }
+
+    std::vector<IoDesc> inputs;
+    for (const auto &in : net.inputs()) {
+        const auto &t = net.tensor(in);
+        inputs.push_back({in, t.dims, t.dims.volume() * 4});
+    }
+    std::vector<IoDesc> outputs;
+    for (const auto &out : net.outputs()) {
+        const auto &t = net.tensor(out);
+        outputs.push_back({out, t.dims, t.dims.volume() * 4});
+    }
+    return Engine(net.name(), device_.name, nn::Precision::kFp32,
+                  config_.build_id, std::move(steps),
+                  std::move(inputs), std::move(outputs));
+}
+
+} // namespace edgert::core

@@ -1,0 +1,122 @@
+#ifndef EDGERT_CORE_BUILDER_HH
+#define EDGERT_CORE_BUILDER_HH
+
+/**
+ * @file
+ * The EdgeRT engine builder (TensorRT IBuilder analogue).
+ *
+ * Building runs the compression passes (optimizer.hh) and then the
+ * hardware-mapping stage: for every fused node the autotuner times
+ * each candidate tactic *on the target device* and keeps the fastest
+ * measurement. Timing measurements carry realistic jitter, so near-
+ * tied candidates flip between builds — engine generation is
+ * intentionally non-deterministic unless a build id is pinned,
+ * reproducing the paper's Finding 6. Two builds with the same
+ * build_id are bit-identical.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/optimizer.hh"
+#include "core/tactics.hh"
+#include "gpusim/device.hh"
+#include "nn/network.hh"
+
+namespace edgert::core {
+
+/** Builder configuration (IBuilderConfig analogue). */
+struct BuilderConfig
+{
+    /** Target execution precision (TensorRT edge default: FP16). */
+    nn::Precision precision = nn::Precision::kFp16;
+
+    /**
+     * Identity of this build. Successive builds of the same model
+     * naturally get different ids (TensorRT's timing-based tactic
+     * selection is not seeded); pin it for reproducible engines.
+     */
+    std::uint64_t build_id = 0;
+
+    /**
+     * Timing repetitions per candidate (averaged); TensorRT's
+     * avgTimingIterations. More iterations → less tactic flapping.
+     */
+    int avg_timing_iterations = 2;
+
+    /** Relative std-dev of one kernel timing measurement. */
+    double timing_noise = 0.05;
+
+    /** Compression-pass switches (ablation studies). */
+    OptimizerOptions optimizer;
+
+    /**
+     * Calibration-batch identity for INT8 builds (ignored
+     * otherwise). Different calibration data yields different
+     * activation ranges and hence different engines.
+     */
+    std::uint64_t calibration_seed = 0;
+};
+
+/** Per-node autotuning outcome, for build logs and tests. */
+struct TuningRecord
+{
+    std::string node_name;
+    std::string chosen_tactic;
+    int candidates = 0;
+    double best_ms = 0.0;
+    double runner_up_ms = 0.0;
+};
+
+/** Full build report. */
+struct BuildReport
+{
+    OptimizerStats optimizer;
+    std::vector<TuningRecord> tuning;
+};
+
+/**
+ * Engine builder bound to one target device.
+ */
+class Builder
+{
+  public:
+    /**
+     * @param device Device the engine is compiled *on* (and for).
+     * @param config Build options.
+     */
+    Builder(const gpusim::DeviceSpec &device,
+            const BuilderConfig &config);
+
+    const gpusim::DeviceSpec &device() const { return device_; }
+    const BuilderConfig &config() const { return config_; }
+
+    /**
+     * Build an optimized engine from a frozen network.
+     * @param net    Source model (must validate()).
+     * @param report Optional out-param receiving the build log.
+     */
+    Engine build(const nn::Network &net,
+                 BuildReport *report = nullptr) const;
+
+    /**
+     * Map the network for *un-optimized* execution: one FP32 kernel
+     * per live layer, no fusion, no quantization. This is the
+     * baseline the paper's Tables III/VII compare against.
+     */
+    Engine buildUnoptimized(const nn::Network &net) const;
+
+  private:
+    double measureTactic(const Tactic &tactic,
+                         const std::string &node_name,
+                         std::uint64_t trial) const;
+
+    gpusim::DeviceSpec device_;
+    BuilderConfig config_;
+};
+
+} // namespace edgert::core
+
+#endif // EDGERT_CORE_BUILDER_HH

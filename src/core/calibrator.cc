@@ -1,0 +1,145 @@
+#include "core/calibrator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgert::core {
+
+using nn::Layer;
+using nn::LayerKind;
+
+Int8Calibrator::Int8Calibrator(const nn::Network &net,
+                               std::uint64_t calibration_seed,
+                               int batches)
+{
+    net.validate();
+    if (batches < 1)
+        fatal("Int8Calibrator: need at least one batch");
+
+    // Structural range propagation: track an estimated activation
+    // standard deviation per tensor. He-initialized conv/fc + relu
+    // stacks are variance-preserving; other layers adjust it.
+    std::unordered_map<std::string, double> sigma;
+    for (const auto &in : net.inputs())
+        sigma[in] = 1.0; // normalized input images
+
+    Rng master(hashCombine(calibration_seed,
+                           hashString(net.name())));
+    // More calibration batches tighten the entropy clip toward its
+    // asymptote.
+    double clip_jitter = 0.08 / std::sqrt(static_cast<double>(
+                                    batches));
+
+    for (const auto &l : net.layers()) {
+        if (l.kind == LayerKind::kInput)
+            continue;
+        double in_sigma = 1.0;
+        if (!l.inputs.empty()) {
+            auto it = sigma.find(l.inputs[0]);
+            if (it != sigma.end())
+                in_sigma = it->second;
+        }
+        double out_sigma = in_sigma;
+        switch (l.kind) {
+          case LayerKind::kConvolution:
+          case LayerKind::kDeconvolution:
+          case LayerKind::kFullyConnected:
+            // He init: variance preserved pre-activation, halved by
+            // a following relu (handled there); pre-act spread is
+            // sqrt(2) wider.
+            out_sigma = in_sigma * std::sqrt(2.0);
+            break;
+          case LayerKind::kActivation: {
+            const auto &p = l.as<nn::ActivationParams>();
+            if (p.mode == nn::ActivationParams::Mode::kRelu ||
+                p.mode == nn::ActivationParams::Mode::kLeakyRelu ||
+                p.mode == nn::ActivationParams::Mode::kPRelu)
+                out_sigma = in_sigma / std::sqrt(2.0);
+            else
+                out_sigma = 0.5; // squashing nonlinearities
+            break;
+          }
+          case LayerKind::kBatchNorm:
+            out_sigma = 1.0;
+            break;
+          case LayerKind::kSoftmax:
+            out_sigma = 0.25;
+            break;
+          case LayerKind::kPooling: {
+            const auto &p = l.as<nn::PoolParams>();
+            // Max pooling selects tail values; avg pooling shrinks.
+            out_sigma = p.mode == nn::PoolParams::Mode::kMax
+                            ? in_sigma * 1.2
+                            : in_sigma * 0.8;
+            break;
+          }
+          case LayerKind::kEltwise:
+            out_sigma = in_sigma * std::sqrt(
+                                       static_cast<double>(
+                                           l.inputs.size()));
+            break;
+          case LayerKind::kConcat: {
+            double mx = 0.0;
+            for (const auto &in : l.inputs) {
+                auto it = sigma.find(in);
+                mx = std::max(mx,
+                              it == sigma.end() ? 1.0 : it->second);
+            }
+            out_sigma = mx;
+            break;
+          }
+          default:
+            break; // pass-through
+        }
+        sigma[l.output] = out_sigma;
+
+        // Entropy clipping: the KL-optimal range sits below the raw
+        // 4-sigma max; the exact clip depends on the calibration
+        // batch (seeded jitter).
+        Rng rng = master.fork(l.output);
+        double clip = 0.82 + rng.gaussian(0.0, clip_jitter);
+        clip = std::clamp(clip, 0.6, 1.0);
+        TensorRange r;
+        r.abs_max = static_cast<float>(4.0 * out_sigma * clip);
+        r.scale = r.abs_max / 127.0f;
+        ranges_[l.output] = r;
+    }
+    // Inputs are calibrated too.
+    for (const auto &in : net.inputs()) {
+        TensorRange r;
+        r.abs_max = 4.0f;
+        r.scale = r.abs_max / 127.0f;
+        ranges_[in] = r;
+    }
+}
+
+const TensorRange &
+Int8Calibrator::range(const std::string &tensor) const
+{
+    auto it = ranges_.find(tensor);
+    if (it == ranges_.end())
+        fatal("Int8Calibrator: no range for tensor '", tensor, "'");
+    return it->second;
+}
+
+std::uint64_t
+Int8Calibrator::tableFingerprint() const
+{
+    std::uint64_t h = 0x1234567890abcdefull;
+    // Order-independent combination over the table.
+    for (const auto &[name, r] : ranges_) {
+        std::uint64_t bits;
+        static_assert(sizeof(float) == 4);
+        std::uint32_t b;
+        std::memcpy(&b, &r.abs_max, 4);
+        bits = hashCombine(hashString(name), b);
+        h ^= mix64(bits);
+    }
+    return h;
+}
+
+} // namespace edgert::core

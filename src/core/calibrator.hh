@@ -1,0 +1,76 @@
+#ifndef EDGERT_CORE_CALIBRATOR_HH
+#define EDGERT_CORE_CALIBRATOR_HH
+
+/**
+ * @file
+ * INT8 calibration (TensorRT IInt8EntropyCalibrator analogue).
+ *
+ * Quantizing activations to 8 bits needs a per-tensor dynamic
+ * range. TensorRT derives these by running a calibration dataset
+ * through the FP32 network and minimizing the KL divergence between
+ * the FP32 activation histogram and its quantized counterpart.
+ *
+ * EdgeRT's networks carry He-initialized synthetic weights, for
+ * which activation statistics are analytically predictable: He
+ * initialization is variance-preserving through conv+relu stacks,
+ * so ranges are propagated structurally (fan-in, activation kind,
+ * pooling/concat effects) and then refined with a seeded
+ * entropy-clipping factor standing in for the histogram search.
+ * The result is a deterministic per-tensor scale table with the
+ * same API shape real calibration would produce.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "nn/network.hh"
+
+namespace edgert::core {
+
+/** Per-tensor quantization parameters. */
+struct TensorRange
+{
+    float abs_max = 0.0f; //!< calibrated dynamic range
+    float scale = 0.0f;   //!< abs_max / 127
+};
+
+/**
+ * Entropy-style INT8 calibrator over a network.
+ */
+class Int8Calibrator
+{
+  public:
+    /**
+     * @param net             Network to calibrate (must validate()).
+     * @param calibration_seed Identity of the calibration batch; two
+     *        calibrations with different seeds produce slightly
+     *        different clipping (another nondeterminism source in
+     *        real deployments).
+     * @param batches         Calibration batches "run"; more batches
+     *        tighten the clipping factor.
+     */
+    Int8Calibrator(const nn::Network &net,
+                   std::uint64_t calibration_seed = 0,
+                   int batches = 10);
+
+    /** Range of one tensor; fatal for unknown tensors. */
+    const TensorRange &range(const std::string &tensor) const;
+
+    /** All calibrated ranges. */
+    const std::unordered_map<std::string, TensorRange> &
+    ranges() const
+    {
+        return ranges_;
+    }
+
+    /** Hash of the calibration table (engine fingerprint input). */
+    std::uint64_t tableFingerprint() const;
+
+  private:
+    std::unordered_map<std::string, TensorRange> ranges_;
+};
+
+} // namespace edgert::core
+
+#endif // EDGERT_CORE_CALIBRATOR_HH

@@ -1,0 +1,283 @@
+#include "core/folding.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgert::core {
+
+using nn::Layer;
+using nn::LayerKind;
+using nn::Network;
+
+namespace {
+
+/** One un-merged fusion chain: a main layer plus absorbed layers. */
+struct Chain
+{
+    std::int32_t main_id = -1;
+    std::vector<std::int32_t> absorbed;
+    std::string output; //!< original tensor name this chain yields
+};
+
+/** Split a (possibly horizontally merged) node into its chains. */
+std::vector<Chain>
+splitChains(const OptNode &node)
+{
+    std::vector<Chain> chains;
+    std::size_t out_idx = 0;
+    for (auto id : node.layer_ids) {
+        bool is_main =
+            chains.empty() ||
+            std::find(node.merged_main_ids.begin(),
+                      node.merged_main_ids.end(),
+                      id) != node.merged_main_ids.end();
+        if (is_main) {
+            Chain c;
+            c.main_id = id;
+            if (out_idx < node.outputs.size())
+                c.output = node.outputs[out_idx++];
+            chains.push_back(std::move(c));
+        } else {
+            chains.back().absorbed.push_back(id);
+        }
+    }
+    return chains;
+}
+
+/**
+ * Fold a chain's normalization layers into (weights, bias); returns
+ * the id of the fused activation layer, or -1.
+ */
+std::int32_t
+foldChain(const Network &src, const nn::WeightsStore &src_weights,
+          const Chain &chain, std::vector<float> &w,
+          std::vector<float> &b)
+{
+    const Layer &main = src.layer(chain.main_id);
+    std::int64_t oc = src.tensor(main.output).dims.c;
+    auto blob = src_weights.materialize(main);
+
+    bool has_bias = true;
+    std::int64_t per_oc = 0;
+    if (main.kind == LayerKind::kFullyConnected) {
+        has_bias = main.as<nn::FcParams>().has_bias;
+        per_oc = (static_cast<std::int64_t>(blob.size()) -
+                  (has_bias ? oc : 0)) /
+                 oc;
+    } else {
+        has_bias = main.as<nn::ConvParams>().has_bias;
+        per_oc = (static_cast<std::int64_t>(blob.size()) -
+                  (has_bias ? oc : 0)) /
+                 oc;
+    }
+
+    w.assign(blob.begin(), blob.begin() + per_oc * oc);
+    if (has_bias)
+        b.assign(blob.begin() + per_oc * oc, blob.end());
+    else
+        b.assign(static_cast<std::size_t>(oc), 0.0f);
+
+    std::int32_t act_id = -1;
+    for (auto id : chain.absorbed) {
+        const Layer &l = src.layer(id);
+        auto aux = src_weights.materialize(l);
+        switch (l.kind) {
+          case LayerKind::kBatchNorm: {
+            float eps = l.as<nn::BatchNormParams>().epsilon;
+            const float *mu = aux.data();
+            const float *var = aux.data() + oc;
+            for (std::int64_t c = 0; c < oc; c++) {
+                float inv = 1.0f / std::sqrt(var[c] + eps);
+                for (std::int64_t k = 0; k < per_oc; k++)
+                    w[static_cast<std::size_t>(c * per_oc + k)] *=
+                        inv;
+                b[static_cast<std::size_t>(c)] =
+                    (b[static_cast<std::size_t>(c)] - mu[c]) * inv;
+            }
+            break;
+          }
+          case LayerKind::kScale: {
+            bool sb = l.as<nn::ScaleParams>().has_bias;
+            const float *gamma = aux.data();
+            const float *beta = sb ? aux.data() + oc : nullptr;
+            for (std::int64_t c = 0; c < oc; c++) {
+                for (std::int64_t k = 0; k < per_oc; k++)
+                    w[static_cast<std::size_t>(c * per_oc + k)] *=
+                        gamma[c];
+                b[static_cast<std::size_t>(c)] =
+                    b[static_cast<std::size_t>(c)] * gamma[c] +
+                    (beta ? beta[c] : 0.0f);
+            }
+            break;
+          }
+          case LayerKind::kActivation:
+            act_id = id;
+            break;
+          default:
+            panic("unexpected absorbed layer kind ",
+                  layerKindName(l.kind));
+        }
+    }
+    return act_id;
+}
+
+} // namespace
+
+FoldedModel
+foldOptimizedGraph(const OptimizedGraph &graph,
+                   const nn::WeightsStore &src_weights)
+{
+    const Network &src = graph.network();
+    FoldedModel out;
+    out.network = std::make_unique<Network>(src.name() + "-folded");
+    Network &dst = *out.network;
+
+    // Pending weight overrides, installed after the store exists.
+    std::vector<std::pair<std::string, std::vector<float>>> pending;
+
+    for (const auto &in : src.inputs())
+        dst.addInput(in, src.tensor(in).dims);
+
+    auto copyBlob = [&](const std::string &dst_layer,
+                        const Layer &src_layer) {
+        if (src.layerParamCount(src_layer) > 0)
+            pending.emplace_back(dst_layer,
+                                 src_weights.materialize(src_layer));
+    };
+
+    for (const auto &node : graph.nodes()) {
+        switch (node.kind) {
+          case FusedOpKind::kConv:
+          case FusedOpKind::kDeconv:
+          case FusedOpKind::kFullyConnected: {
+            for (const Chain &chain : splitChains(node)) {
+                const Layer &main = src.layer(chain.main_id);
+                std::vector<float> w, b;
+                std::int32_t act_id =
+                    foldChain(src, src_weights, chain, w, b);
+
+                std::string conv_name =
+                    act_id >= 0 ? chain.output + "::folded"
+                                : chain.output;
+                std::string in0 = node.inputs.at(0);
+                if (node.kind == FusedOpKind::kFullyConnected) {
+                    nn::FcParams p = main.as<nn::FcParams>();
+                    p.has_bias = true;
+                    dst.addFullyConnected(conv_name, in0, p);
+                } else {
+                    nn::ConvParams p = main.as<nn::ConvParams>();
+                    p.has_bias = true;
+                    if (node.kind == FusedOpKind::kDeconv)
+                        dst.addDeconvolution(conv_name, in0, p);
+                    else
+                        dst.addConvolution(conv_name, in0, p);
+                }
+                std::vector<float> blob = std::move(w);
+                blob.insert(blob.end(), b.begin(), b.end());
+                pending.emplace_back(conv_name, std::move(blob));
+
+                if (act_id >= 0) {
+                    const Layer &act = src.layer(act_id);
+                    dst.addActivation(
+                        chain.output, conv_name,
+                        act.as<nn::ActivationParams>());
+                    copyBlob(chain.output, act); // PRelu slopes
+                }
+            }
+            break;
+          }
+          default: {
+            // Non-folding nodes: recreate the original layers,
+            // rewiring the first layer to the node's (post-elision)
+            // inputs and naming the last one after the node output.
+            const std::string &out_name = node.outputs.at(0);
+            for (std::size_t i = 0; i < node.layer_ids.size(); i++) {
+                const Layer &l = src.layer(node.layer_ids[i]);
+                bool last = i + 1 == node.layer_ids.size();
+                std::string name =
+                    last ? out_name
+                         : out_name + "::f" + std::to_string(i);
+                std::vector<std::string> ins;
+                if (i == 0) {
+                    ins = node.inputs;
+                } else {
+                    ins = {out_name + "::f" + std::to_string(i - 1)};
+                }
+                switch (l.kind) {
+                  case LayerKind::kPooling:
+                    dst.addPooling(name, ins.at(0),
+                                   l.as<nn::PoolParams>());
+                    break;
+                  case LayerKind::kLRN:
+                    dst.addLrn(name, ins.at(0),
+                               l.as<nn::LrnParams>());
+                    break;
+                  case LayerKind::kConcat:
+                    dst.addConcat(name, ins);
+                    break;
+                  case LayerKind::kEltwise:
+                    dst.addEltwise(name, ins,
+                                   l.as<nn::EltwiseParams>());
+                    break;
+                  case LayerKind::kSoftmax:
+                    dst.addSoftmax(name, ins.at(0));
+                    break;
+                  case LayerKind::kUpsample:
+                    dst.addUpsample(name, ins.at(0),
+                                    l.as<nn::UpsampleParams>());
+                    break;
+                  case LayerKind::kRegion:
+                    dst.addRegion(name, ins.at(0),
+                                  l.as<nn::RegionParams>());
+                    break;
+                  case LayerKind::kDetectionOutput:
+                    dst.addDetectionOutput(
+                        name, ins,
+                        l.as<nn::DetectionOutputParams>());
+                    break;
+                  case LayerKind::kActivation:
+                    dst.addActivation(
+                        name, ins.at(0),
+                        l.as<nn::ActivationParams>());
+                    copyBlob(name, l);
+                    break;
+                  case LayerKind::kBatchNorm:
+                    dst.addBatchNorm(name, ins.at(0),
+                                     l.as<nn::BatchNormParams>());
+                    copyBlob(name, l);
+                    break;
+                  case LayerKind::kScale:
+                    dst.addScale(name, ins.at(0),
+                                 l.as<nn::ScaleParams>());
+                    copyBlob(name, l);
+                    break;
+                  case LayerKind::kDropout:
+                  case LayerKind::kFlatten:
+                  case LayerKind::kIdentity:
+                    dst.addIdentity(name, ins.at(0));
+                    break;
+                  default:
+                    panic("foldOptimizedGraph: unexpected layer ",
+                          layerKindName(l.kind));
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    // Outputs that survive the fused graph keep their names.
+    for (const auto &o : src.outputs())
+        dst.markOutput(o);
+    dst.validate();
+
+    out.weights = std::make_unique<nn::WeightsStore>(
+        dst, src_weights.seed() ^ 0xf01dedull);
+    for (auto &[name, blob] : pending)
+        out.weights->setOverride(name, std::move(blob));
+    return out;
+}
+
+} // namespace edgert::core

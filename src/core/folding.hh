@@ -1,0 +1,58 @@
+#ifndef EDGERT_CORE_FOLDING_HH
+#define EDGERT_CORE_FOLDING_HH
+
+/**
+ * @file
+ * Weight folding: the numerical half of vertical fusion.
+ *
+ * When the optimizer fuses conv -> batch-norm -> scale -> relu into
+ * one node, the runtime kernel applies the whole chain in a single
+ * pass. TensorRT achieves this by *folding* the normalization
+ * parameters into the convolution's weights and bias:
+ *
+ *   sigma_c = sqrt(var_c + eps)
+ *   w'_c    = w_c * gamma_c / sigma_c
+ *   b'_c    = (b_c - mu_c) * gamma_c / sigma_c + beta_c
+ *
+ * foldOptimizedGraph() materializes this transformation: it derives
+ * a new Network containing one (de)convolution/FC layer per fused
+ * node with the folded parameters installed as weight overrides,
+ * plus the surviving non-fusable layers. Running the folded network
+ * through the reference executor must produce the same outputs as
+ * the original (up to float rounding) — the semantic-preservation
+ * property the tests assert for every fused model.
+ */
+
+#include <memory>
+
+#include "core/optimizer.hh"
+#include "nn/weights.hh"
+
+namespace edgert::core {
+
+/** A folded network together with its (override-carrying) weights. */
+struct FoldedModel
+{
+    // unique_ptr: WeightsStore holds a pointer to the network, so
+    // the pair must move as a unit without invalidating it.
+    std::unique_ptr<nn::Network> network;
+    std::unique_ptr<nn::WeightsStore> weights;
+};
+
+/**
+ * Materialize the fused graph as an executable network with folded
+ * parameters.
+ *
+ * @param graph    Output of optimize() over `weights.network()`.
+ * @param weights  Weight store of the *original* network.
+ *
+ * Horizontally merged nodes are un-merged (executed as separate
+ * convolutions — numerically identical); tensor names are preserved
+ * so outputs are directly comparable with the original network's.
+ */
+FoldedModel foldOptimizedGraph(const OptimizedGraph &graph,
+                               const nn::WeightsStore &weights);
+
+} // namespace edgert::core
+
+#endif // EDGERT_CORE_FOLDING_HH

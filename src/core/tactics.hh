@@ -1,0 +1,81 @@
+#ifndef EDGERT_CORE_TACTICS_HH
+#define EDGERT_CORE_TACTICS_HH
+
+/**
+ * @file
+ * The tactic library — hardware mapping (step 5 of the paper's
+ * Figure 2).
+ *
+ * A tactic is one concrete way to execute a fused node: a list of
+ * simulated CUDA kernels (cudnn-style names matching the ones the
+ * paper's nvprof traces show) plus a weight-layout factor that
+ * determines how many bytes the engine plan stores per parameter
+ * (e.g. Winograd tactics keep pre-transformed filters and an FP16
+ * fallback copy, which is why some engines are *larger* on AGX —
+ * Table II).
+ *
+ * Tile geometry determines grid sizes; together with the build
+ * device's SM count this drives wave quantization, which is what
+ * makes the autotuner prefer different tactics on NX and AGX and
+ * what makes a foreign engine run anomalously (Findings 4-6).
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hh"
+#include "gpusim/device.hh"
+#include "gpusim/kernel.hh"
+
+namespace edgert::core {
+
+/** One executable mapping of a fused node. */
+struct Tactic
+{
+    std::string name;
+    std::vector<gpusim::KernelDesc> kernels;
+
+    /**
+     * Plan bytes stored per FP32 parameter, relative to 4 bytes:
+     * 0.5 = packed FP16, 1.0 = FP32, 1.39 = Winograd-transformed
+     * FP16 + fallback copy, 0.3125 = INT8 + scales.
+     */
+    double weight_layout_factor = 0.5;
+
+    /** Number of discrete weight uploads this tactic performs. */
+    int weight_transfers = 0;
+};
+
+/** Static cost summary of a fused node. */
+struct NodeCost
+{
+    std::int64_t flops = 0;
+    std::int64_t in_elems = 0;
+    std::int64_t out_elems = 0;
+    std::int64_t weight_params = 0;
+    std::int64_t elem_size = 2; //!< bytes per activation element
+    nn::Dims in_dims;
+    nn::Dims out_dims;
+};
+
+/** Analyze a fused node's aggregate work. */
+NodeCost analyzeNode(const OptimizedGraph &graph, const OptNode &node);
+
+/**
+ * Enumerate candidate tactics for a node on a device.
+ * Always returns at least one candidate.
+ */
+std::vector<Tactic> tacticCandidates(const OptimizedGraph &graph,
+                                     const OptNode &node,
+                                     const gpusim::DeviceSpec &device);
+
+/**
+ * The single generic FP32 mapping used for *un-optimized* execution
+ * (framework runtime without TensorRT): one kernel per original
+ * layer, no fusion, no tensor cores, full-precision traffic.
+ */
+Tactic unoptimizedTactic(const nn::Network &net, const nn::Layer &layer);
+
+} // namespace edgert::core
+
+#endif // EDGERT_CORE_TACTICS_HH

@@ -1,0 +1,112 @@
+#include "data/datasets.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgert::data {
+
+std::uint64_t
+ImageRef::seed() const
+{
+    return hashCombine(mix64(static_cast<std::uint64_t>(class_id)),
+                       mix64(static_cast<std::uint64_t>(index) +
+                             0x517cc1b727220a95ull));
+}
+
+const char *
+noiseTypeName(NoiseType t)
+{
+    switch (t) {
+      case NoiseType::kGaussian: return "gaussian_noise";
+      case NoiseType::kShot: return "shot_noise";
+      case NoiseType::kImpulse: return "impulse_noise";
+      case NoiseType::kDefocus: return "defocus_blur";
+      case NoiseType::kGlass: return "glass_blur";
+      case NoiseType::kMotion: return "motion_blur";
+      case NoiseType::kZoom: return "zoom_blur";
+      case NoiseType::kSnow: return "snow";
+      case NoiseType::kFrost: return "frost";
+      case NoiseType::kFog: return "fog";
+      case NoiseType::kBrightness: return "brightness";
+      case NoiseType::kContrast: return "contrast";
+      case NoiseType::kElastic: return "elastic_transform";
+      case NoiseType::kPixelate: return "pixelate";
+      case NoiseType::kJpeg: return "jpeg_compression";
+    }
+    panic("unknown NoiseType");
+}
+
+BenignDataset::BenignDataset(int classes, int per_class)
+    : classes_(classes), per_class_(per_class)
+{
+    if (classes <= 0 || per_class <= 0)
+        fatal("BenignDataset: classes and per_class must be positive");
+}
+
+std::size_t
+BenignDataset::size() const
+{
+    return static_cast<std::size_t>(classes_) *
+           static_cast<std::size_t>(per_class_);
+}
+
+ImageRef
+BenignDataset::at(std::size_t i) const
+{
+    if (i >= size())
+        fatal("BenignDataset: index ", i, " out of range");
+    ImageRef r;
+    r.class_id = static_cast<std::int32_t>(
+        i / static_cast<std::size_t>(per_class_));
+    r.index = static_cast<std::int32_t>(
+        i % static_cast<std::size_t>(per_class_));
+    return r;
+}
+
+AdversarialDataset::AdversarialDataset(int classes, int per_class,
+                                       std::vector<int> severities)
+    : classes_(classes), per_class_(per_class),
+      severities_(std::move(severities))
+{
+    if (classes <= 0 || per_class <= 0 || severities_.empty())
+        fatal("AdversarialDataset: invalid shape");
+    for (int s : severities_)
+        if (s < 1 || s > 5)
+            fatal("AdversarialDataset: severity ", s,
+                  " out of range 1..5");
+}
+
+std::size_t
+AdversarialDataset::size() const
+{
+    return static_cast<std::size_t>(kNumNoiseTypes) *
+           severities_.size() * static_cast<std::size_t>(classes_) *
+           static_cast<std::size_t>(per_class_);
+}
+
+CorruptImageRef
+AdversarialDataset::at(std::size_t i) const
+{
+    if (i >= size())
+        fatal("AdversarialDataset: index ", i, " out of range");
+    std::size_t per_noise = severities_.size() *
+                            static_cast<std::size_t>(classes_) *
+                            static_cast<std::size_t>(per_class_);
+    std::size_t noise_idx = i / per_noise;
+    std::size_t rem = i % per_noise;
+    std::size_t per_sev = static_cast<std::size_t>(classes_) *
+                          static_cast<std::size_t>(per_class_);
+    std::size_t sev_idx = rem / per_sev;
+    std::size_t img_idx = rem % per_sev;
+
+    CorruptImageRef c;
+    c.noise = static_cast<NoiseType>(noise_idx);
+    c.severity = severities_[sev_idx];
+    c.base.class_id = static_cast<std::int32_t>(
+        img_idx / static_cast<std::size_t>(per_class_));
+    c.base.index = static_cast<std::int32_t>(
+        img_idx % static_cast<std::size_t>(per_class_));
+    return c;
+}
+
+} // namespace edgert::data

@@ -1,0 +1,108 @@
+#ifndef EDGERT_DATA_DATASETS_HH
+#define EDGERT_DATA_DATASETS_HH
+
+/**
+ * @file
+ * Synthetic evaluation datasets.
+ *
+ * The paper evaluates on an ImageNet subset ("benign": 100 classes x
+ * 50 images) and on the common-corruptions variant ("adversarial":
+ * 15 noise types x severity levels 1..5). We have neither dataset
+ * nor the compute to push 65k images through VGG-16 on one CPU core,
+ * so images are procedural *descriptors*: a (class, index) pair with
+ * a deterministic seed. The surrogate accuracy model (surrogate.hh)
+ * maps descriptors to predictions with margin distributions
+ * calibrated to the paper's Tables III/IV; the real numeric
+ * precision mechanics are exercised by nn::Executor on small models
+ * instead (see tests/nn_executor_test.cc).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgert::data {
+
+/** A benign (clean) image descriptor. */
+struct ImageRef
+{
+    std::int32_t class_id = 0; //!< ground-truth label
+    std::int32_t index = 0;    //!< index within the class
+
+    /** Deterministic identity seed of this image. */
+    std::uint64_t seed() const;
+};
+
+/** The 15 corruption families of the adversarial dataset. */
+enum class NoiseType
+{
+    kGaussian,
+    kShot,
+    kImpulse,
+    kDefocus,
+    kGlass,
+    kMotion,
+    kZoom,
+    kSnow,
+    kFrost,
+    kFog,
+    kBrightness,
+    kContrast,
+    kElastic,
+    kPixelate,
+    kJpeg,
+};
+
+constexpr int kNumNoiseTypes = 15;
+
+/** Printable noise name. */
+const char *noiseTypeName(NoiseType t);
+
+/** A corrupted image: a benign image plus a noise and severity. */
+struct CorruptImageRef
+{
+    ImageRef base;
+    NoiseType noise = NoiseType::kGaussian;
+    int severity = 1; //!< 1 (mild) .. 5 (severe)
+};
+
+/**
+ * Benign dataset: `classes` x `per_class` clean images.
+ */
+class BenignDataset
+{
+  public:
+    BenignDataset(int classes, int per_class);
+
+    std::size_t size() const;
+    ImageRef at(std::size_t i) const;
+    int classes() const { return classes_; }
+
+  private:
+    int classes_;
+    int per_class_;
+};
+
+/**
+ * Adversarial dataset: every benign image of a class subset, under
+ * each requested noise type and severity (paper: 15 noises x
+ * severities {1,5} x 100 classes x 20 images = 60,000).
+ */
+class AdversarialDataset
+{
+  public:
+    AdversarialDataset(int classes, int per_class,
+                       std::vector<int> severities);
+
+    std::size_t size() const;
+    CorruptImageRef at(std::size_t i) const;
+
+  private:
+    int classes_;
+    int per_class_;
+    std::vector<int> severities_;
+};
+
+} // namespace edgert::data
+
+#endif // EDGERT_DATA_DATASETS_HH

@@ -1,0 +1,161 @@
+#ifndef EDGERT_DATA_DETECTION_HH
+#define EDGERT_DATA_DETECTION_HH
+
+/**
+ * @file
+ * Object-detection data and metrics: bounding boxes, IOU, the
+ * synthetic developing-region traffic dataset (stand-in for the
+ * paper's labeled intersection dataset [49]: 3896 train / 1670 test
+ * images), a surrogate vehicle detector, and precision/recall
+ * evaluation at a configurable IOU threshold (the paper reports
+ * IOU 0.75).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgert::data {
+
+/** Vehicle classes of the traffic dataset. */
+enum class VehicleClass { kCar, kBus, kTruck, kMotorbike, kAutoRickshaw };
+
+constexpr int kNumVehicleClasses = 5;
+
+/** Printable vehicle class name. */
+const char *vehicleClassName(VehicleClass c);
+
+/** Axis-aligned box in normalized [0,1] image coordinates. */
+struct Box
+{
+    double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+
+    double
+    area() const
+    {
+        return (x2 > x1 && y2 > y1) ? (x2 - x1) * (y2 - y1) : 0.0;
+    }
+};
+
+/** Intersection-over-union of two boxes. */
+double iou(const Box &a, const Box &b);
+
+/** One ground-truth or predicted object. */
+struct Detection
+{
+    Box box;
+    VehicleClass cls = VehicleClass::kCar;
+    double score = 1.0;     //!< confidence (predictions only)
+    std::string plate;      //!< licence plate (ground truth only)
+};
+
+/** One traffic-scene image with ground truth. */
+struct TrafficScene
+{
+    std::int32_t id = 0;
+    std::vector<Detection> ground_truth;
+
+    /** Deterministic identity seed. */
+    std::uint64_t seed() const;
+};
+
+/**
+ * Synthetic traffic-intersection dataset: seeded scenes with 1-8
+ * vehicles each, plus licence plates for the rule-enforcement
+ * example.
+ */
+class TrafficDataset
+{
+  public:
+    explicit TrafficDataset(int scenes, std::uint64_t seed = 42);
+
+    std::size_t size() const { return scenes_.size(); }
+    const TrafficScene &at(std::size_t i) const;
+
+  private:
+    std::vector<TrafficScene> scenes_;
+};
+
+/**
+ * Surrogate vehicle detector for a built engine: detects each
+ * ground-truth vehicle with a calibrated probability, localizes
+ * with IOU-distributed jitter, and emits occasional false
+ * positives. Engine fingerprints perturb borderline detections
+ * (Finding 2 applied to detection).
+ */
+class SurrogateDetector
+{
+  public:
+    /**
+     * @param model        Detection model name ("tiny-yolov3"...).
+     * @param fingerprint  Engine fingerprint (0 = un-optimized).
+     * @param optimized    TensorRT-style engine vs framework FP32.
+     */
+    SurrogateDetector(std::string model, std::uint64_t fingerprint,
+                      bool optimized);
+
+    /** Run detection on one scene. */
+    std::vector<Detection> detect(const TrafficScene &scene) const;
+
+  private:
+    std::string model_;
+    std::uint64_t fingerprint_;
+    bool optimized_;
+};
+
+/**
+ * Licence-plate OCR surrogate: reads a plate string from a scene.
+ * A small fraction of characters are borderline (blur, glare,
+ * perspective); how they resolve depends on the reading engine's
+ * FP16 rounding, so two different engine builds can read the same
+ * plate differently — the §VI-A enforcement hazard.
+ */
+class SurrogatePlateReader
+{
+  public:
+    /**
+     * @param engine_fingerprint Identity of the classification
+     *        engine; bit-identical engines read identically.
+     * @param borderline_rate    Fraction of characters near the
+     *        decision boundary (default 1.5 %).
+     */
+    explicit SurrogatePlateReader(std::uint64_t engine_fingerprint,
+                                  double borderline_rate = 0.015);
+
+    /**
+     * Read a plate.
+     * @param truth      Ground-truth plate string.
+     * @param scene_seed Identity of the observation (scene +
+     *                   vehicle), controlling which characters are
+     *                   borderline.
+     */
+    std::string read(const std::string &truth,
+                     std::uint64_t scene_seed) const;
+
+  private:
+    std::uint64_t fingerprint_;
+    double borderline_rate_;
+};
+
+/** Precision/recall of predictions against ground truth. */
+struct PrMetrics
+{
+    double precision = 0.0;
+    double recall = 0.0;
+    int true_positives = 0;
+    int false_positives = 0;
+    int false_negatives = 0;
+};
+
+/**
+ * Greedy matching of predictions (by descending score) to ground
+ * truth at the given IOU threshold; class must also match.
+ */
+PrMetrics evaluateDetections(
+    const std::vector<TrafficScene> &scenes,
+    const std::vector<std::vector<Detection>> &predictions,
+    double iou_threshold = 0.75);
+
+} // namespace edgert::data
+
+#endif // EDGERT_DATA_DETECTION_HH

@@ -1,0 +1,149 @@
+#include "data/surrogate.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace edgert::data {
+
+const AccuracyProfile &
+accuracyProfile(const std::string &model)
+{
+    // Benign rows from Table III, adversarial rows from Table IV.
+    // Models the paper does not report use plausible defaults from
+    // their published ImageNet accuracies.
+    static const std::unordered_map<std::string, AccuracyProfile>
+        profiles = {
+            {"alexnet", {45.13, 47.72, 64.35, 74.90, 90.28, 94.12}},
+            {"resnet-18", {35.83, 55.18, 46.70, 75.31, 87.12, 97.90}},
+            {"vgg-16", {33.77, 38.46, 40.66, 51.36, 86.01, 90.82}},
+            {"inception-v4",
+             {29.50, 36.20, 42.80, 63.50, 84.50, 93.00}},
+            {"googlenet", {37.50, 44.80, 52.30, 68.40, 88.20, 95.10}},
+        };
+    static const AccuracyProfile generic = {38.0, 47.0, 52.0, 68.0,
+                                            88.0, 95.0};
+    auto it = profiles.find(model);
+    return it == profiles.end() ? generic : it->second;
+}
+
+SurrogateClassifier::SurrogateClassifier(std::string model,
+                                         bool optimized,
+                                         std::uint64_t fingerprint,
+                                         int num_classes)
+    : model_(std::move(model)), optimized_(optimized),
+      fingerprint_(fingerprint), num_classes_(num_classes)
+{
+    if (num_classes_ < 2)
+        fatal("SurrogateClassifier: need at least 2 classes");
+    if (optimized_) {
+        // FP16 engines perturb borderline margins; the noise scale
+        // is an intrinsic property of the chosen kernel set.
+        Rng rng(hashCombine(fingerprint_, hashString("noise-scale")));
+        noise_sigma_ = 0.006 + 0.014 * rng.uniform();
+    } else {
+        // The FP32 framework binary is one fixed executable: its
+        // outputs are deterministic, so no engine noise.
+        noise_sigma_ = 0.0;
+    }
+}
+
+SurrogateClassifier
+SurrogateClassifier::forEngine(const std::string &model,
+                               std::uint64_t fingerprint,
+                               int num_classes)
+{
+    return SurrogateClassifier(model, true, fingerprint, num_classes);
+}
+
+SurrogateClassifier
+SurrogateClassifier::unoptimized(const std::string &model,
+                                 int num_classes)
+{
+    return SurrogateClassifier(model, false, 0, num_classes);
+}
+
+double
+SurrogateClassifier::difficulty(const ImageRef &img) const
+{
+    // Per-(model, image) standard-normal difficulty: shared between
+    // the optimized and un-optimized variants of the same model
+    // (they share weights), independent across models.
+    Rng rng(hashCombine(img.seed(), hashString(model_)));
+    return rng.gaussian();
+}
+
+double
+SurrogateClassifier::engineNoise(std::uint64_t image_seed) const
+{
+    if (noise_sigma_ <= 0.0)
+        return 0.0;
+    Rng rng(hashCombine(fingerprint_, image_seed));
+    return rng.gaussian(0.0, noise_sigma_);
+}
+
+int
+SurrogateClassifier::decide(double margin, const ImageRef &img) const
+{
+    if (margin > 0.0)
+        return img.class_id;
+    // Wrong prediction: a deterministic confusion class per image
+    // (engines that both misclassify agree on the confusion).
+    Rng rng(hashCombine(img.seed(), hashString("confusion")));
+    int wrong = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(num_classes_ - 1)));
+    if (wrong >= img.class_id)
+        wrong++;
+    return wrong;
+}
+
+int
+SurrogateClassifier::predict(const ImageRef &img) const
+{
+    const AccuracyProfile &p = accuracyProfile(model_);
+    double err =
+        (optimized_ ? p.benign_err_opt : p.benign_err_unopt) / 100.0;
+    double theta = normalQuantile(1.0 - err);
+    double margin = theta - difficulty(img) + engineNoise(img.seed());
+    return decide(margin, img);
+}
+
+int
+SurrogateClassifier::predict(const CorruptImageRef &img) const
+{
+    const AccuracyProfile &p = accuracyProfile(model_);
+    double err1 =
+        (optimized_ ? p.adv1_err_opt : p.adv1_err_unopt) / 100.0;
+    double err5 =
+        (optimized_ ? p.adv5_err_opt : p.adv5_err_unopt) / 100.0;
+    double t1 = normalQuantile(1.0 - err1);
+    double t5 = normalQuantile(1.0 - err5);
+    double frac = (img.severity - 1) / 4.0;
+    double theta = t1 + frac * (t5 - t1);
+
+    // Noise families differ in harshness (deterministic offset with
+    // zero mean across the 15 families).
+    Rng noise_rng(hashCombine(hashString(noiseTypeName(img.noise)),
+                              hashString(model_)));
+    theta += noise_rng.gaussian(0.0, 0.10);
+
+    // Corrupted difficulty correlates with the clean image's
+    // difficulty but adds a corruption-specific component.
+    Rng extra(hashCombine(
+        img.base.seed(),
+        hashCombine(static_cast<std::uint64_t>(img.noise),
+                    static_cast<std::uint64_t>(img.severity))));
+    double d = 0.6 * difficulty(img.base) +
+               0.8 * extra.gaussian();
+
+    std::uint64_t corrupt_seed = hashCombine(
+        img.base.seed(),
+        hashCombine(static_cast<std::uint64_t>(img.noise) * 31,
+                    static_cast<std::uint64_t>(img.severity)));
+    double margin = theta - d + engineNoise(corrupt_seed);
+    return decide(margin, img.base);
+}
+
+} // namespace edgert::data

@@ -1,0 +1,113 @@
+#include "gpusim/device.hh"
+
+#include <algorithm>
+
+namespace edgert::gpusim {
+
+double
+DeviceSpec::smFlopsPerCycle(bool tensor_core) const
+{
+    if (tensor_core) {
+        // Each Volta tensor core sustains a 4x4x4 half-precision
+        // MMA per cycle: 64 MACs = 128 FLOPs.
+        return static_cast<double>(tensor_cores_per_sm) * 128.0;
+    }
+    return static_cast<double>(cuda_cores_per_sm) * 2.0;
+}
+
+double
+DeviceSpec::peakFp32Flops() const
+{
+    return sm_count * smFlopsPerCycle(false) * gpu_clock_ghz * 1e9;
+}
+
+double
+DeviceSpec::peakFp16Flops() const
+{
+    return sm_count * smFlopsPerCycle(true) * gpu_clock_ghz * 1e9;
+}
+
+double
+DeviceSpec::effDramBps() const
+{
+    return profile_dram_gbps * 1e9 * dram_efficiency;
+}
+
+double
+DeviceSpec::gpuPowerMw(double load_fraction) const
+{
+    double load = std::min(1.0, std::max(0.0, load_fraction));
+    double clock_ratio =
+        max_clock_ghz > 0.0 ? gpu_clock_ghz / max_clock_ghz : 1.0;
+    double dynamic = (gpu_peak_mw - gpu_idle_mw) * load *
+                     clock_ratio * clock_ratio * clock_ratio;
+    return gpu_idle_mw + dynamic;
+}
+
+DeviceSpec
+DeviceSpec::withClock(double ghz) const
+{
+    DeviceSpec s = *this;
+    s.gpu_clock_ghz = ghz;
+    return s;
+}
+
+DeviceSpec
+DeviceSpec::atMaxClock() const
+{
+    DeviceSpec s = withClock(max_clock_ghz);
+    s.profile_dram_gbps = dram_gbps; // MAXN unlocks full EMC clock
+    return s;
+}
+
+DeviceSpec
+DeviceSpec::xavierNX()
+{
+    DeviceSpec s;
+    s.name = "xavier-nx";
+    s.sm_count = 6;
+    s.cuda_cores_per_sm = 64;
+    s.tensor_cores_per_sm = 8;
+    s.l1_kb_per_sm = 128;
+    s.l2_kb = 512;
+    s.ram_gb = 8.0;
+    s.dram_gbps = 51.2;
+    s.profile_dram_gbps = 44.0;   // EMC capped in the pinned profile
+    s.bus_bits = 128;
+    s.gpu_clock_ghz = 0.599;      // paper's pinned latency clock
+    s.min_clock_ghz = 0.114;
+    s.max_clock_ghz = 1.10925;    // paper's concurrency clock
+    s.h2d_gbps = 2.9;
+    s.h2d_transfer_overhead_us = 25.0;
+    s.kernel_launch_us = 6.0;
+    s.gpu_idle_mw = 310.0;
+    s.gpu_peak_mw = 7600.0; // 15 W module, GPU rail share
+    return s;
+}
+
+DeviceSpec
+DeviceSpec::xavierAGX()
+{
+    DeviceSpec s;
+    s.name = "xavier-agx";
+    s.sm_count = 8;
+    s.cuda_cores_per_sm = 64;
+    s.tensor_cores_per_sm = 8;
+    s.l1_kb_per_sm = 128;
+    s.l2_kb = 512;
+    s.ram_gb = 32.0;
+    s.dram_gbps = 137.0;
+    s.profile_dram_gbps = 49.0;   // EMC capped in the pinned profile
+    s.bus_bits = 256;
+    s.gpu_clock_ghz = 0.624;      // paper's pinned latency clock
+    s.min_clock_ghz = 0.114;
+    s.max_clock_ghz = 1.377;      // paper's concurrency clock
+    s.h2d_gbps = 5.3;
+    s.h2d_transfer_overhead_us = 175.0;
+    s.kernel_launch_us = 7.0;
+    s.gpu_idle_mw = 480.0;
+    s.gpu_peak_mw = 15300.0; // 30 W module, GPU rail share
+    return s;
+}
+
+} // namespace edgert::gpusim

@@ -1,0 +1,115 @@
+#ifndef EDGERT_GPUSIM_DEVICE_HH
+#define EDGERT_GPUSIM_DEVICE_HH
+
+/**
+ * @file
+ * Embedded GPU device models.
+ *
+ * The two presets mirror the paper's Table I: Jetson Xavier NX and
+ * Jetson Xavier AGX, both Volta-class (GV10B). The memcpy-path
+ * constants (effective host-to-device bandwidth and per-transfer
+ * driver overhead) are calibrated from the paper's Table X
+ * measurements; see DESIGN.md §4.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace edgert::gpusim {
+
+/**
+ * Static description of one embedded GPU platform.
+ */
+struct DeviceSpec
+{
+    std::string name;
+
+    // --- Compute resources (Table I) ---
+    int sm_count = 0;
+    int cuda_cores_per_sm = 64;
+    int tensor_cores_per_sm = 8;
+    int l1_kb_per_sm = 128;
+    int l2_kb = 512;
+
+    // --- Memory system ---
+    double ram_gb = 0.0;
+    double dram_gbps = 0.0;  //!< peak DRAM bandwidth (GB/s, Table I)
+    int bus_bits = 0;
+    double dram_efficiency = 0.80; //!< achievable fraction of peak
+
+    /**
+     * DRAM bandwidth available in the *current* power profile.
+     * The paper pins the GPU clock near 600 MHz for the latency
+     * experiments, which also caps the EMC (memory) clock: both
+     * boards then see comparable effective bandwidth. Only the MAXN
+     * concurrency experiments unlock the full Table I figure
+     * (atMaxClock() restores dram_gbps).
+     */
+    double profile_dram_gbps = 0.0;
+
+    /**
+     * L2-capacity sharing penalty: both GV10B variants carry the
+     * same 512 KB L2, so the AGX's extra SMs keep more concurrent
+     * tile working sets resident and spill more traffic to DRAM.
+     * Extra DRAM traffic = coeff * excess_footprint / L2.
+     */
+    double l2_spill_coeff = 0.5;
+
+    // --- Clocks ---
+    double gpu_clock_ghz = 0.0; //!< clock used for this experiment
+    double min_clock_ghz = 0.0;
+    double max_clock_ghz = 0.0;
+
+    // --- Host-to-device copy path (calibrated, see file comment) ---
+    double h2d_gbps = 0.0;              //!< effective pinned-copy bw
+    double h2d_transfer_overhead_us = 0.0; //!< driver cost per transfer
+
+    // --- Launch path ---
+    double kernel_launch_us = 6.0; //!< CPU->GPU launch latency
+
+    // --- GPU rail power model (tegrastats VDD_GPU analogue) ---
+    double gpu_idle_mw = 0.0;
+    double gpu_peak_mw = 0.0; //!< fully loaded at max clock
+
+    /**
+     * Estimated GPU rail power at the given load fraction (0..1)
+     * and the current clock. Dynamic power scales ~cubically with
+     * clock (voltage tracks frequency on these rails).
+     */
+    double gpuPowerMw(double load_fraction) const;
+
+    /** Peak FP32 throughput at the current clock, in FLOP/s. */
+    double peakFp32Flops() const;
+
+    /** Peak FP16 tensor-core throughput at the current clock. */
+    double peakFp16Flops() const;
+
+    /** FP32/FP16 flops per SM per cycle. */
+    double smFlopsPerCycle(bool tensor_core) const;
+
+    /** Achievable DRAM bandwidth in bytes/s (current profile). */
+    double effDramBps() const;
+
+    /** Copy of this spec with a different GPU clock. */
+    DeviceSpec withClock(double ghz) const;
+
+    /** Copy of this spec at the platform's maximum GPU clock. */
+    DeviceSpec atMaxClock() const;
+
+    /**
+     * Jetson Xavier NX: 384 CUDA cores (6 SMs), 48 tensor cores,
+     * 8 GB LPDDR4x @ 51.2 GB/s. Default clock is the 599 MHz the
+     * paper pins for the latency experiments.
+     */
+    static DeviceSpec xavierNX();
+
+    /**
+     * Jetson Xavier AGX: 512 CUDA cores (8 SMs), 64 tensor cores,
+     * 32 GB LPDDR4x @ 137 GB/s. Default clock 624 MHz.
+     */
+    static DeviceSpec xavierAGX();
+};
+
+} // namespace edgert::gpusim
+
+#endif // EDGERT_GPUSIM_DEVICE_HH

@@ -1,0 +1,500 @@
+#include "gpusim/sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "gpusim/timing.hh"
+
+namespace edgert::gpusim {
+
+namespace {
+
+constexpr double kTimeEps = 1e-12;  // seconds
+constexpr double kFracEps = 1e-9;   // progress fraction
+
+/**
+ * Weighted max-min fair allocation of `capacity` among consumers
+ * with per-consumer caps and priority weights. Returns grants
+ * summing to at most capacity, never exceeding caps; uncapped
+ * consumers receive capacity in proportion to their weights.
+ */
+std::vector<double>
+waterFill(const std::vector<double> &caps, double capacity,
+          const std::vector<double> &weights)
+{
+    std::vector<double> grant(caps.size(), 0.0);
+    std::vector<std::size_t> open;
+    for (std::size_t i = 0; i < caps.size(); i++)
+        if (caps[i] > 0.0)
+            open.push_back(i);
+
+    double remaining = capacity;
+    while (!open.empty() && remaining > 1e-15) {
+        double weight_sum = 0.0;
+        for (std::size_t i : open)
+            weight_sum += weights[i];
+        bool any_capped = false;
+        std::vector<std::size_t> next;
+        for (std::size_t i : open) {
+            double share = remaining * weights[i] / weight_sum;
+            if (caps[i] - grant[i] <= share) {
+                any_capped = true;
+            } else {
+                next.push_back(i);
+            }
+        }
+        if (!any_capped) {
+            for (std::size_t i : next) {
+                grant[i] += remaining * weights[i] / weight_sum;
+            }
+            remaining = 0.0;
+            break;
+        }
+        // Saturate capped consumers, then redistribute.
+        std::vector<std::size_t> still_open;
+        for (std::size_t i : open) {
+            double share = remaining * weights[i] / weight_sum;
+            if (caps[i] - grant[i] <= share) {
+                remaining -= caps[i] - grant[i];
+                grant[i] = caps[i];
+            } else {
+                still_open.push_back(i);
+            }
+        }
+        open = std::move(still_open);
+    }
+    return grant;
+}
+
+} // namespace
+
+double
+UtilStats::smUtilizationPct(int sm_count) const
+{
+    if (window_s <= 0.0 || sm_count <= 0)
+        return 0.0;
+    return 100.0 * sm_busy_integral /
+           (window_s * static_cast<double>(sm_count));
+}
+
+double
+UtilStats::busyPct() const
+{
+    return window_s > 0.0 ? 100.0 * gpu_busy_s / window_s : 0.0;
+}
+
+GpuSim::GpuSim(const DeviceSpec &spec) : spec_(spec)
+{
+    if (spec_.sm_count <= 0)
+        fatal("GpuSim: device '", spec_.name, "' has no SMs");
+    streams_.emplace_back(); // default stream 0
+}
+
+int
+GpuSim::createStream(double priority_weight)
+{
+    if (priority_weight <= 0.0)
+        fatal("createStream: priority weight must be positive");
+    streams_.emplace_back();
+    streams_.back().weight = priority_weight;
+    return static_cast<int>(streams_.size()) - 1;
+}
+
+void
+GpuSim::launchKernel(int stream, KernelDesc kernel)
+{
+    Op op;
+    op.kind = OpKind::kKernel;
+    op.kernel = std::move(kernel);
+    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
+        std::move(op));
+}
+
+void
+GpuSim::memcpyH2D(int stream, std::uint64_t bytes, int transfers,
+                  std::string tag, bool pinned)
+{
+    Op op;
+    op.kind = OpKind::kMemcpyH2D;
+    op.bytes = bytes;
+    op.transfers = transfers;
+    op.pinned = pinned;
+    op.tag = std::move(tag);
+    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
+        std::move(op));
+}
+
+void
+GpuSim::memcpyD2H(int stream, std::uint64_t bytes, int transfers,
+                  std::string tag, bool pinned)
+{
+    Op op;
+    op.kind = OpKind::kMemcpyD2H;
+    op.bytes = bytes;
+    op.transfers = transfers;
+    op.pinned = pinned;
+    op.tag = std::move(tag);
+    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
+        std::move(op));
+}
+
+void
+GpuSim::hostDelay(int stream, double seconds)
+{
+    Op op;
+    op.kind = OpKind::kDelay;
+    op.delay_s = seconds;
+    op.tag = "host_delay";
+    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
+        std::move(op));
+}
+
+EventId
+GpuSim::recordEvent(int stream)
+{
+    EventId id = static_cast<EventId>(event_times_.size());
+    event_times_.push_back(-1.0);
+    Op op;
+    op.kind = OpKind::kMarker;
+    op.event = id;
+    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
+        std::move(op));
+    return id;
+}
+
+double
+GpuSim::eventSeconds(EventId id) const
+{
+    double t = event_times_.at(static_cast<std::size_t>(id));
+    if (t < 0.0)
+        fatal("eventSeconds: event ", id, " has not completed");
+    return t;
+}
+
+void
+GpuSim::resetStats()
+{
+    win_start_ = now_;
+    sm_busy_integral_ = 0.0;
+    gpu_busy_s_ = 0.0;
+    copy_busy_s_ = 0.0;
+    dram_bytes_win_ = 0.0;
+}
+
+UtilStats
+GpuSim::stats() const
+{
+    UtilStats s;
+    s.window_s = now_ - win_start_;
+    s.sm_busy_integral = sm_busy_integral_;
+    s.gpu_busy_s = gpu_busy_s_;
+    s.copy_busy_s = copy_busy_s_;
+    s.dram_bytes = dram_bytes_win_;
+    return s;
+}
+
+void
+GpuSim::setTimingJitter(double rel_std, std::uint64_t seed)
+{
+    jitter_std_ = rel_std;
+    jitter_state_ = seed;
+}
+
+double
+GpuSim::jitterFactor()
+{
+    if (jitter_std_ <= 0.0)
+        return 1.0;
+    Rng rng(mix64(jitter_state_++));
+    return std::max(0.5, 1.0 + rng.gaussian(0.0, jitter_std_));
+}
+
+void
+GpuSim::startCopyIfIdle()
+{
+    if (copy_.valid || copy_queue_.empty())
+        return;
+    auto [op, stream] = copy_queue_.front();
+    copy_queue_.pop_front();
+    copy_.op = std::move(op);
+    copy_.stream = stream;
+    copy_.start_s = now_;
+    double dur = memcpySeconds(spec_, copy_.op.bytes,
+                               copy_.op.transfers);
+    if (copy_.op.pinned) {
+        // Pre-pinned ring buffers skip the pageable staging path.
+        double full_overhead = spec_.h2d_transfer_overhead_us * 1e-6 *
+                               std::max(1, copy_.op.transfers);
+        dur -= full_overhead * 0.9;
+    }
+    dur += profiling_us_ * 1e-6 *
+           static_cast<double>(std::max(1, copy_.op.transfers));
+    copy_.end_s = now_ + dur * jitterFactor();
+    copy_.valid = true;
+}
+
+void
+GpuSim::admitReady()
+{
+    for (std::size_t si = 0; si < streams_.size(); si++) {
+        Stream &st = streams_[si];
+        while (!st.busy && !st.queue.empty()) {
+            Op &head = st.queue.front();
+            if (head.kind == OpKind::kMarker) {
+                event_times_.at(
+                    static_cast<std::size_t>(head.event)) = now_;
+                st.queue.pop_front();
+                continue;
+            }
+            if (head.kind == OpKind::kKernel) {
+                ActiveKernel ak;
+                ak.op = std::move(head);
+                ak.stream = static_cast<int>(si);
+                ak.start_s = now_;
+                ak.launch_remaining_s =
+                    (spec_.kernel_launch_us + profiling_us_) * 1e-6;
+                ak.jitter = jitterFactor();
+                active_.push_back(std::move(ak));
+            } else if (head.kind == OpKind::kDelay) {
+                ActiveDelay ad;
+                ad.op = std::move(head);
+                ad.stream = static_cast<int>(si);
+                ad.start_s = now_;
+                ad.end_s = now_ + ad.op.delay_s;
+                delays_.push_back(std::move(ad));
+            } else {
+                copy_queue_.emplace_back(std::move(head),
+                                         static_cast<int>(si));
+            }
+            st.queue.pop_front();
+            st.busy = true;
+        }
+    }
+    startCopyIfIdle();
+}
+
+void
+GpuSim::recomputeShares()
+{
+    std::vector<std::size_t> exec;
+    for (std::size_t i = 0; i < active_.size(); i++)
+        if (active_[i].in_exec)
+            exec.push_back(i);
+    if (exec.empty())
+        return;
+
+    // SM allocation: weighted max-min fair, capped by each kernel's
+    // block count (a 3-block grid cannot occupy 6 SMs). Weights come
+    // from the owning stream's priority.
+    std::vector<double> sm_caps, prio;
+    sm_caps.reserve(exec.size());
+    prio.reserve(exec.size());
+    for (std::size_t i : exec) {
+        sm_caps.push_back(std::min(
+            static_cast<double>(spec_.sm_count),
+            static_cast<double>(active_[i].op.kernel.grid_blocks)));
+        prio.push_back(
+            streams_[static_cast<std::size_t>(active_[i].stream)]
+                .weight);
+    }
+    auto sm_grant = waterFill(
+        sm_caps, static_cast<double>(spec_.sm_count), prio);
+
+    // Bandwidth allocation: demands derive from the pace each kernel
+    // would sustain at its SM grant.
+    std::vector<double> t_comp(exec.size());
+    std::vector<double> bw_caps(exec.size(), 0.0);
+    for (std::size_t j = 0; j < exec.size(); j++) {
+        const ActiveKernel &ak = active_[exec[j]];
+        double alloc = std::max(sm_grant[j], 1e-6);
+        t_comp[j] = kernelComputeSeconds(spec_, ak.op.kernel, alloc);
+        if (ak.op.kernel.dram_bytes > 0) {
+            double unconstrained = std::max(
+                t_comp[j], kernelMemSeconds(spec_, ak.op.kernel));
+            bw_caps[j] = static_cast<double>(ak.op.kernel.dram_bytes) /
+                         std::max(unconstrained, 1e-12);
+        }
+    }
+    auto bw_grant = waterFill(bw_caps, spec_.effDramBps(), prio);
+
+    for (std::size_t j = 0; j < exec.size(); j++) {
+        ActiveKernel &ak = active_[exec[j]];
+        double t_mem = 0.0;
+        if (ak.op.kernel.dram_bytes > 0)
+            t_mem = static_cast<double>(ak.op.kernel.dram_bytes) /
+                    std::max(bw_grant[j], 1e-3);
+        double dur = std::max(t_comp[j], t_mem) * ak.jitter;
+        ak.exec_duration_s = std::max(dur, kTimeEps);
+        ak.alloc_sms = sm_grant[j];
+        // Tail waves leave some of the allocated SMs idle on
+        // average; this is what caps tegrastats-style utilization
+        // in the paper's Figures 3/4 at ~82-86%.
+        double usable = std::min(
+            std::max(sm_grant[j], 1e-6),
+            static_cast<double>(ak.op.kernel.grid_blocks));
+        double conc = usable *
+                      static_cast<double>(
+                          ak.op.kernel.max_blocks_per_sm);
+        ak.wave_util =
+            1.0 / waveFactor(ak.op.kernel.grid_blocks, conc);
+        // GR3D counts issue-active cycles: memory-stall time while
+        // resident discounts the reported load.
+        double raw_dur = std::max(t_comp[j], t_mem);
+        ak.issue_act =
+            raw_dur > 0.0 ? std::min(1.0, t_comp[j] / raw_dur) : 1.0;
+    }
+}
+
+double
+GpuSim::nextEventDt() const
+{
+    double dt = std::numeric_limits<double>::infinity();
+    for (const auto &ak : active_) {
+        if (ak.in_exec) {
+            double rem = (1.0 - ak.frac_done) * ak.exec_duration_s;
+            dt = std::min(dt, rem);
+        } else {
+            dt = std::min(dt, ak.launch_remaining_s);
+        }
+    }
+    if (copy_.valid)
+        dt = std::min(dt, copy_.end_s - now_);
+    for (const auto &ad : delays_)
+        dt = std::min(dt, ad.end_s - now_);
+    return std::max(dt, 0.0);
+}
+
+void
+GpuSim::advance(double dt)
+{
+    bool any_exec = false;
+    double sm_alloc = 0.0;
+    for (auto &ak : active_) {
+        if (ak.in_exec) {
+            double dfrac = dt / ak.exec_duration_s;
+            dfrac = std::min(dfrac, 1.0 - ak.frac_done);
+            ak.frac_done += dfrac;
+            sm_alloc += ak.alloc_sms * ak.wave_util *
+                        (0.25 + 0.75 * ak.issue_act);
+            dram_bytes_win_ +=
+                dfrac *
+                static_cast<double>(ak.op.kernel.dram_bytes);
+            any_exec = true;
+        } else {
+            ak.launch_remaining_s =
+                std::max(0.0, ak.launch_remaining_s - dt);
+        }
+    }
+    sm_busy_integral_ += sm_alloc * dt;
+    if (any_exec)
+        gpu_busy_s_ += dt;
+    if (copy_.valid)
+        copy_busy_s_ += dt;
+    now_ += dt;
+}
+
+void
+GpuSim::finishOp(const Op &op, int stream, double start_s)
+{
+    OpRecord rec;
+    rec.kind = op.kind;
+    rec.stream = stream;
+    rec.start_s = start_s;
+    rec.end_s = now_;
+    rec.bytes = op.bytes;
+    if (op.kind == OpKind::kKernel) {
+        rec.name = op.kernel.name;
+        rec.kernel = op.kernel;
+    } else {
+        rec.name = op.tag;
+    }
+    trace_.push_back(std::move(rec));
+    streams_.at(static_cast<std::size_t>(stream)).busy = false;
+}
+
+void
+GpuSim::completeFinished()
+{
+    // Phase transitions: launch done -> execution begins.
+    for (auto &ak : active_) {
+        if (!ak.in_exec && ak.launch_remaining_s <= kTimeEps)
+            ak.in_exec = true;
+    }
+    // Kernel completions.
+    for (std::size_t i = 0; i < active_.size();) {
+        ActiveKernel &ak = active_[i];
+        if (ak.in_exec && ak.frac_done >= 1.0 - kFracEps) {
+            finishOp(ak.op, ak.stream, ak.start_s);
+            active_.erase(active_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        } else {
+            i++;
+        }
+    }
+    // Copy completion.
+    if (copy_.valid && copy_.end_s <= now_ + kTimeEps) {
+        finishOp(copy_.op, copy_.stream, copy_.start_s);
+        copy_.valid = false;
+        startCopyIfIdle();
+    }
+    // Delay completions.
+    for (std::size_t i = 0; i < delays_.size();) {
+        if (delays_[i].end_s <= now_ + kTimeEps) {
+            finishOp(delays_[i].op, delays_[i].stream,
+                     delays_[i].start_s);
+            delays_.erase(delays_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        } else {
+            i++;
+        }
+    }
+}
+
+bool
+GpuSim::step()
+{
+    admitReady();
+    recomputeShares();
+    bool idle = active_.empty() && delays_.empty() && !copy_.valid &&
+                copy_queue_.empty();
+    if (idle) {
+        bool pending = false;
+        for (const auto &st : streams_)
+            if (!st.queue.empty() || st.busy)
+                pending = true;
+        if (!pending)
+            return false;
+        panic("GpuSim deadlock: streams pending but nothing active");
+    }
+    double dt = nextEventDt();
+    if (!std::isfinite(dt))
+        panic("GpuSim: no next event while ops active");
+    advance(dt);
+    completeFinished();
+    // Resolve markers that became ready at this timestamp, so
+    // runUntilEvent() stops at the event's own completion time.
+    admitReady();
+    return true;
+}
+
+void
+GpuSim::run()
+{
+    while (step()) {
+    }
+}
+
+void
+GpuSim::runUntilEvent(EventId id)
+{
+    while (event_times_.at(static_cast<std::size_t>(id)) < 0.0) {
+        if (!step())
+            fatal("runUntilEvent: simulation drained before event ",
+                  id, " completed");
+    }
+}
+
+} // namespace edgert::gpusim

@@ -1,0 +1,240 @@
+#ifndef EDGERT_GPUSIM_SIM_HH
+#define EDGERT_GPUSIM_SIM_HH
+
+/**
+ * @file
+ * Discrete-event simulator of one embedded GPU.
+ *
+ * Execution model:
+ *  - Any number of streams; ops within a stream are FIFO.
+ *  - Kernels from different streams execute concurrently, sharing
+ *    SMs by max-min fair water-filling (a kernel can never hold more
+ *    SMs than it has blocks) and sharing DRAM bandwidth the same
+ *    way. Rates are piecewise constant between events.
+ *  - One copy engine serves all memcpys FIFO (Jetson-style iGPU DMA).
+ *  - A kernel launch pays a serial CPU-side latency during which it
+ *    occupies no SMs; an attached profiler adds further per-op
+ *    overhead (this is how Table VIII (with nvprof) and Table IX
+ *    (without) differ).
+ *
+ * The simulator is deterministic and never reads wall-clock time.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hh"
+#include "gpusim/kernel.hh"
+
+namespace edgert::gpusim {
+
+/** Identifier of a recorded stream event (cudaEvent analogue). */
+using EventId = std::int64_t;
+
+/** Categories of simulated operations. */
+enum class OpKind { kKernel, kMemcpyH2D, kMemcpyD2H, kMarker, kDelay };
+
+/** Completed-operation trace entry (the profiler's raw material). */
+struct OpRecord
+{
+    OpKind kind = OpKind::kKernel;
+    std::string name;
+    int stream = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    std::uint64_t bytes = 0;  //!< memcpy payload
+    KernelDesc kernel;        //!< valid when kind == kKernel
+
+    double durationSeconds() const { return end_s - start_s; }
+};
+
+/** Aggregated resource-usage statistics since the last reset. */
+struct UtilStats
+{
+    double window_s = 0.0;        //!< simulated span of the window
+    double sm_busy_integral = 0.0; //!< SM-seconds of allocation
+    double gpu_busy_s = 0.0;      //!< time with >=1 kernel executing
+    double copy_busy_s = 0.0;     //!< copy-engine busy time
+    double dram_bytes = 0.0;      //!< kernel DRAM traffic in window
+
+    /** tegrastats-style GPU load: SM-weighted busy fraction (%). */
+    double smUtilizationPct(int sm_count) const;
+
+    /** Fraction of time any kernel was resident (%). */
+    double busyPct() const;
+};
+
+/**
+ * The GPU discrete-event simulator.
+ */
+class GpuSim
+{
+  public:
+    explicit GpuSim(const DeviceSpec &spec);
+
+    const DeviceSpec &spec() const { return spec_; }
+
+    /**
+     * Create a new stream; stream 0 exists by default.
+     * @param priority_weight Relative share weight for SM and
+     *        bandwidth arbitration (cudaStreamCreateWithPriority
+     *        analogue); 1.0 = default priority, larger = favored.
+     */
+    int createStream(double priority_weight = 1.0);
+
+    /** Enqueue a kernel launch on a stream. */
+    void launchKernel(int stream, KernelDesc kernel);
+
+    /**
+     * Enqueue a host-to-device copy.
+     * @param transfers Number of cudaMemcpy calls this represents.
+     * @param pinned    Copy from a pre-pinned ring buffer (camera
+     *                  pipelines); pays ~1/10 the per-transfer
+     *                  driver overhead of pageable weight uploads.
+     */
+    void memcpyH2D(int stream, std::uint64_t bytes, int transfers,
+                   std::string tag, bool pinned = false);
+
+    /** Enqueue a device-to-host copy. */
+    void memcpyD2H(int stream, std::uint64_t bytes, int transfers,
+                   std::string tag, bool pinned = false);
+
+    /** Record an event that completes when the stream drains to it. */
+    EventId recordEvent(int stream);
+
+    /**
+     * Insert a host-side think-time gap into a stream (models the
+     * CPU work between frames of an inference loop: sync, pre/post
+     * processing, next-frame enqueue). Occupies no GPU resources.
+     */
+    void hostDelay(int stream, double seconds);
+
+    /** Run the simulation until every queue is empty. */
+    void run();
+
+    /** Run until the given event has completed (fatal on deadlock). */
+    void runUntilEvent(EventId id);
+
+    /** Current simulated time in seconds. */
+    double nowSeconds() const { return now_; }
+
+    /** Completion time of a recorded event; fatal if still pending. */
+    double eventSeconds(EventId id) const;
+
+    /**
+     * Extra per-operation overhead while a profiler is attached
+     * (0 = profiler detached).
+     */
+    void setProfilingOverheadUs(double us) { profiling_us_ = us; }
+    double profilingOverheadUs() const { return profiling_us_; }
+
+    /**
+     * Enable system-noise jitter: every op's duration is scaled by
+     * a deterministic, seeded log-ish factor of the given relative
+     * stddev (models DVFS residue, OS scheduling and DRAM refresh —
+     * the source of the run-to-run stddev the paper reports).
+     */
+    void setTimingJitter(double rel_std, std::uint64_t seed);
+
+    /** Completed-op trace since the last clearTrace(). */
+    const std::vector<OpRecord> &trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+    /** Reset the utilization window to start at the current time. */
+    void resetStats();
+
+    /** Utilization statistics for the current window. */
+    UtilStats stats() const;
+
+  private:
+    struct Op
+    {
+        OpKind kind = OpKind::kKernel;
+        KernelDesc kernel;
+        std::uint64_t bytes = 0;
+        int transfers = 0;
+        bool pinned = false;
+        std::string tag;
+        EventId event = -1;
+        double delay_s = 0.0;
+    };
+
+    struct Stream
+    {
+        std::deque<Op> queue;
+        bool busy = false; //!< head op dispatched and in flight
+        double weight = 1.0; //!< arbitration priority weight
+    };
+
+    struct ActiveKernel
+    {
+        Op op;
+        int stream = 0;
+        double start_s = 0.0;
+        double launch_remaining_s = 0.0; //!< serial pre-exec phase
+        double frac_done = 0.0;          //!< progress of exec phase
+        double exec_duration_s = 0.0;    //!< full exec time @ alloc
+        double alloc_sms = 0.0;
+        double wave_util = 1.0;          //!< avg fraction of alloc
+                                         //!< SMs active (tail waves)
+        double issue_act = 1.0;          //!< compute-active fraction
+                                         //!< (memory stalls excluded)
+        double jitter = 1.0;             //!< system-noise multiplier
+        bool in_exec = false;
+    };
+
+    struct ActiveCopy
+    {
+        Op op;
+        int stream = 0;
+        double start_s = 0.0;
+        double end_s = 0.0;
+        bool valid = false;
+    };
+
+    struct ActiveDelay
+    {
+        Op op;
+        int stream = 0;
+        double start_s = 0.0;
+        double end_s = 0.0;
+    };
+
+    /** One simulation step; returns false when fully idle. */
+    bool step();
+
+    void admitReady();
+    void recomputeShares();
+    double jitterFactor();
+    double nextEventDt() const;
+    void advance(double dt);
+    void completeFinished();
+    void finishOp(const Op &op, int stream, double start_s);
+    void startCopyIfIdle();
+
+    DeviceSpec spec_;
+    double now_ = 0.0;
+    std::vector<Stream> streams_;
+    std::vector<ActiveKernel> active_;
+    std::vector<ActiveDelay> delays_;
+    ActiveCopy copy_;
+    std::deque<std::pair<Op, int>> copy_queue_; //!< (op, stream)
+    std::vector<OpRecord> trace_;
+    std::vector<double> event_times_;
+    double profiling_us_ = 0.0;
+    double jitter_std_ = 0.0;
+    std::uint64_t jitter_state_ = 0;
+
+    // Utilization window accumulators.
+    double win_start_ = 0.0;
+    double sm_busy_integral_ = 0.0;
+    double gpu_busy_s_ = 0.0;
+    double copy_busy_s_ = 0.0;
+    double dram_bytes_win_ = 0.0;
+};
+
+} // namespace edgert::gpusim
+
+#endif // EDGERT_GPUSIM_SIM_HH

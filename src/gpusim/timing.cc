@@ -1,0 +1,92 @@
+#include "gpusim/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgert::gpusim {
+
+double
+waveFactor(std::int64_t grid_blocks, double concurrent_blocks)
+{
+    if (grid_blocks <= 0 || concurrent_blocks <= 0.0)
+        return 1.0;
+    double g = static_cast<double>(grid_blocks);
+    if (g <= concurrent_blocks)
+        return 1.0;
+    double ideal = g / concurrent_blocks;
+    return std::ceil(ideal) / ideal;
+}
+
+double
+kernelComputeSeconds(const DeviceSpec &spec, const KernelDesc &k,
+                     double alloc_sms)
+{
+    if (k.flops <= 0)
+        return 0.0;
+    if (alloc_sms <= 0.0)
+        panic("kernelComputeSeconds with zero SM allocation");
+    // A kernel cannot spread fewer blocks over more SMs.
+    double usable = std::min(alloc_sms,
+                             static_cast<double>(k.grid_blocks));
+    double per_sm_flops = spec.smFlopsPerCycle(k.tensor_core) *
+                          spec.gpu_clock_ghz * 1e9 *
+                          std::max(1e-3, k.efficiency);
+    double conc = usable * static_cast<double>(k.max_blocks_per_sm);
+    double wave = waveFactor(k.grid_blocks, conc);
+    return static_cast<double>(k.flops) / (usable * per_sm_flops) *
+           wave;
+}
+
+double
+l2SpillFactor(const DeviceSpec &spec, const KernelDesc &k)
+{
+    double conc = std::min(
+        static_cast<double>(k.grid_blocks),
+        static_cast<double>(spec.sm_count) *
+            static_cast<double>(k.max_blocks_per_sm));
+    double footprint_kb = conc * k.tile_kb;
+    double l2 = static_cast<double>(spec.l2_kb);
+    if (footprint_kb <= l2)
+        return 1.0;
+    return 1.0 + spec.l2_spill_coeff * (footprint_kb - l2) / l2;
+}
+
+double
+kernelMemSeconds(const DeviceSpec &spec, const KernelDesc &k)
+{
+    if (k.dram_bytes <= 0)
+        return 0.0;
+    double bw = spec.effDramBps();
+    if (k.strided_access) {
+        // Strided accesses consume a whole bus burst for ~16 useful
+        // bytes; wider buses waste proportionally more.
+        double burst_bytes = static_cast<double>(spec.bus_bits) / 8.0;
+        double useful = std::min(1.0, 16.0 / burst_bytes);
+        bw *= useful;
+    }
+    return static_cast<double>(k.dram_bytes) *
+           l2SpillFactor(spec, k) / bw;
+}
+
+double
+soloKernelSeconds(const DeviceSpec &spec, const KernelDesc &k)
+{
+    return std::max(
+        kernelComputeSeconds(spec, k,
+                             static_cast<double>(spec.sm_count)),
+        kernelMemSeconds(spec, k));
+}
+
+double
+memcpySeconds(const DeviceSpec &spec, std::uint64_t bytes,
+              int transfers)
+{
+    double overhead = static_cast<double>(std::max(1, transfers)) *
+                      spec.h2d_transfer_overhead_us * 1e-6;
+    double wire = static_cast<double>(bytes) / (spec.h2d_gbps * 1e9);
+    return overhead + wire;
+}
+
+} // namespace edgert::gpusim

@@ -1,0 +1,60 @@
+#ifndef EDGERT_GPUSIM_TIMING_HH
+#define EDGERT_GPUSIM_TIMING_HH
+
+/**
+ * @file
+ * Analytic kernel and memcpy timing model.
+ *
+ * Kernel execution time follows a roofline with wave quantization:
+ *
+ *   t_exec = max(t_comp, t_mem)
+ *   t_comp = flops / (alloc_sms * per_sm_flops * efficiency) * wave
+ *   t_mem  = dram_bytes / granted_bandwidth
+ *   wave   = ceil(grid / concurrent_blocks) / (grid / concurrent_blocks)
+ *
+ * The wave factor is the mechanism behind the paper's Finding 5:
+ * a grid tiled for one SM count can leave tail waves idle on a
+ * platform with a different SM count, making individual kernels
+ * slower on the *bigger* device.
+ */
+
+#include "gpusim/device.hh"
+#include "gpusim/kernel.hh"
+
+namespace edgert::gpusim {
+
+/** Wave-quantization inefficiency factor (>= 1). */
+double waveFactor(std::int64_t grid_blocks, double concurrent_blocks);
+
+/**
+ * Compute-phase time of a kernel when granted `alloc_sms` SMs
+ * (fractional allocations model partial-wave sharing).
+ */
+double kernelComputeSeconds(const DeviceSpec &spec, const KernelDesc &k,
+                            double alloc_sms);
+
+/**
+ * Extra-traffic multiplier from L2 capacity sharing (>= 1); grows
+ * when the launch's concurrent tile footprint exceeds the 512 KB L2.
+ */
+double l2SpillFactor(const DeviceSpec &spec, const KernelDesc &k);
+
+/** Memory-phase time at full DRAM bandwidth (incl. L2 spill). */
+double kernelMemSeconds(const DeviceSpec &spec, const KernelDesc &k);
+
+/**
+ * Solo (whole-machine) kernel duration excluding launch overhead.
+ */
+double soloKernelSeconds(const DeviceSpec &spec, const KernelDesc &k);
+
+/**
+ * Host-to-device copy duration.
+ * @param transfers Number of discrete cudaMemcpy calls batched into
+ *        this operation; each pays the per-transfer driver overhead.
+ */
+double memcpySeconds(const DeviceSpec &spec, std::uint64_t bytes,
+                     int transfers);
+
+} // namespace edgert::gpusim
+
+#endif // EDGERT_GPUSIM_TIMING_HH

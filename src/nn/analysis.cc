@@ -1,0 +1,100 @@
+#include "nn/analysis.hh"
+
+namespace edgert::nn {
+
+std::int64_t
+layerFlops(const Network &net, const Layer &l)
+{
+    if (l.inputs.empty())
+        return 0;
+    Dims in = net.tensor(l.inputs[0]).dims;
+    Dims out = net.tensor(l.output).dims;
+
+    switch (l.kind) {
+      case LayerKind::kConvolution: {
+        const auto &p = l.as<ConvParams>();
+        std::int64_t macs_per_out = (in.c / p.groups) * p.kh() *
+                                    p.kw();
+        return 2 * out.volume() * macs_per_out;
+      }
+      case LayerKind::kDeconvolution: {
+        const auto &p = l.as<ConvParams>();
+        std::int64_t macs_per_in = (p.out_channels / p.groups) *
+                                   p.kh() * p.kw();
+        return 2 * in.volume() * macs_per_in;
+      }
+      case LayerKind::kFullyConnected: {
+        const auto &p = l.as<FcParams>();
+        return 2 * in.n * p.out_features * (in.c * in.h * in.w);
+      }
+      case LayerKind::kPooling: {
+        const auto &p = l.as<PoolParams>();
+        std::int64_t window = p.global ? in.h * in.w
+                                       : p.kernel * p.kernel;
+        return out.volume() * window;
+      }
+      case LayerKind::kActivation:
+        return out.volume();
+      case LayerKind::kBatchNorm:
+      case LayerKind::kScale:
+        return 2 * out.volume();
+      case LayerKind::kLRN: {
+        const auto &p = l.as<LrnParams>();
+        return out.volume() * (p.local_size + 4);
+      }
+      case LayerKind::kEltwise:
+        return out.volume() *
+               static_cast<std::int64_t>(l.inputs.size() - 1);
+      case LayerKind::kSoftmax:
+        return 5 * out.volume();
+      case LayerKind::kUpsample:
+      case LayerKind::kConcat:
+      case LayerKind::kFlatten:
+      case LayerKind::kIdentity:
+      case LayerKind::kDropout:
+        return 0;
+      case LayerKind::kRegion:
+        return 6 * out.volume();
+      case LayerKind::kDetectionOutput:
+        // Decode + NMS over input candidates; dominated by decode.
+        return 10 * in.volume();
+      case LayerKind::kInput:
+        return 0;
+    }
+    return 0;
+}
+
+std::int64_t
+layerInputBytes(const Network &net, const Layer &l,
+                std::int64_t elem_size)
+{
+    std::int64_t total = 0;
+    for (const auto &in : l.inputs)
+        total += net.tensor(in).dims.volume() * elem_size;
+    return total;
+}
+
+std::int64_t
+layerOutputBytes(const Network &net, const Layer &l,
+                 std::int64_t elem_size)
+{
+    return net.tensor(l.output).dims.volume() * elem_size;
+}
+
+std::int64_t
+layerWeightBytes(const Network &net, const Layer &l,
+                 std::int64_t elem_size)
+{
+    return net.layerParamCount(l) * elem_size;
+}
+
+std::int64_t
+networkFlops(const Network &net)
+{
+    std::int64_t total = 0;
+    for (const auto &l : net.layers())
+        total += layerFlops(net, l);
+    return total;
+}
+
+} // namespace edgert::nn

@@ -1,0 +1,36 @@
+#ifndef EDGERT_NN_ANALYSIS_HH
+#define EDGERT_NN_ANALYSIS_HH
+
+/**
+ * @file
+ * Static cost analysis of layers: FLOP counts and activation /
+ * weight traffic. These feed the GPU kernel cost models.
+ */
+
+#include <cstdint>
+
+#include "nn/network.hh"
+
+namespace edgert::nn {
+
+/** Multiply-accumulate-based FLOP count of one layer (2*MACs). */
+std::int64_t layerFlops(const Network &net, const Layer &l);
+
+/** Bytes of input activations read by a layer (element size given). */
+std::int64_t layerInputBytes(const Network &net, const Layer &l,
+                             std::int64_t elem_size);
+
+/** Bytes of output activations written by a layer. */
+std::int64_t layerOutputBytes(const Network &net, const Layer &l,
+                              std::int64_t elem_size);
+
+/** Bytes of weights read by a layer. */
+std::int64_t layerWeightBytes(const Network &net, const Layer &l,
+                              std::int64_t elem_size);
+
+/** Total network FLOPs for one forward pass. */
+std::int64_t networkFlops(const Network &net);
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_ANALYSIS_HH

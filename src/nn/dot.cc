@@ -1,0 +1,93 @@
+#include "nn/dot.hh"
+
+#include <sstream>
+
+namespace edgert::nn {
+
+namespace {
+
+/** Escape a string for a dot label. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+const char *
+kindColor(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::kInput: return "lightblue";
+      case LayerKind::kConvolution:
+      case LayerKind::kDeconvolution: return "lightsalmon";
+      case LayerKind::kFullyConnected: return "khaki";
+      case LayerKind::kPooling: return "lightgreen";
+      case LayerKind::kConcat:
+      case LayerKind::kEltwise: return "plum";
+      case LayerKind::kSoftmax:
+      case LayerKind::kRegion:
+      case LayerKind::kDetectionOutput: return "lightcyan";
+      default: return "white";
+    }
+}
+
+} // namespace
+
+void
+writeDot(std::ostream &os, const Network &net, const DotOptions &opts)
+{
+    os << "digraph \"" << escape(net.name()) << "\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box, style=filled];\n";
+
+    for (const auto &l : net.layers()) {
+        std::ostringstream label;
+        label << l.name << "\\n" << layerKindName(l.kind);
+        if (opts.show_params) {
+            std::int64_t params = net.layerParamCount(l);
+            if (params > 0)
+                label << "\\n" << params << " params";
+        }
+        os << "  \"" << escape(l.name) << "\" [label=\""
+           << escape(label.str()) << "\", fillcolor="
+           << kindColor(l.kind) << "];\n";
+    }
+
+    for (const auto &l : net.layers()) {
+        for (const auto &in : l.inputs) {
+            std::int32_t pid = net.producerOf(in);
+            if (pid < 0)
+                continue;
+            os << "  \"" << escape(net.layer(pid).name) << "\" -> \""
+               << escape(l.name) << "\"";
+            if (opts.show_shapes)
+                os << " [label=\""
+                   << net.tensor(in).dims.toString() << "\"]";
+            os << ";\n";
+        }
+    }
+
+    // Mark outputs.
+    for (const auto &o : net.outputs()) {
+        std::int32_t pid = net.producerOf(o);
+        if (pid >= 0)
+            os << "  \"" << escape(net.layer(pid).name)
+               << "\" [penwidth=3];\n";
+    }
+    os << "}\n";
+}
+
+std::string
+toDot(const Network &net, const DotOptions &opts)
+{
+    std::ostringstream oss;
+    writeDot(oss, net, opts);
+    return oss.str();
+}
+
+} // namespace edgert::nn

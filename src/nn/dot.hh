@@ -1,0 +1,34 @@
+#ifndef EDGERT_NN_DOT_HH
+#define EDGERT_NN_DOT_HH
+
+/**
+ * @file
+ * Graphviz (dot) export of network graphs — handy for inspecting
+ * the zoo models and for diffing a network against its optimized /
+ * folded form.
+ */
+
+#include <ostream>
+#include <string>
+
+#include "nn/network.hh"
+
+namespace edgert::nn {
+
+/** Options controlling the dot rendering. */
+struct DotOptions
+{
+    bool show_shapes = true; //!< annotate edges with tensor dims
+    bool show_params = true; //!< annotate layers with param counts
+};
+
+/** Write the network as a Graphviz digraph. */
+void writeDot(std::ostream &os, const Network &net,
+              const DotOptions &opts = {});
+
+/** Render to a string. */
+std::string toDot(const Network &net, const DotOptions &opts = {});
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_DOT_HH

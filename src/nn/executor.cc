@@ -1,0 +1,586 @@
+#include "nn/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/half.hh"
+#include "common/logging.hh"
+
+namespace edgert::nn {
+
+const char *
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::kFp32: return "fp32";
+      case Precision::kFp16: return "fp16";
+      case Precision::kInt8: return "int8";
+    }
+    panic("unknown Precision");
+}
+
+namespace {
+
+/**
+ * Multiply-accumulate helper implementing the precision semantics
+ * described in the header. One instance accumulates one output
+ * element's reduction.
+ */
+class Accum
+{
+  public:
+    Accum(Precision prec, std::int64_t tile)
+        : prec_(prec), tile_(tile)
+    {}
+
+    void
+    add(float a, float b)
+    {
+        if (prec_ == Precision::kFp16) {
+            float p = roundToHalf(a) * roundToHalf(b);
+            tile_sum_ += p;
+            if (tile_ > 0 && ++in_tile_ == tile_)
+                flushTile();
+        } else {
+            tile_sum_ += a * b;
+        }
+    }
+
+    float
+    finish(float bias)
+    {
+        if (prec_ == Precision::kFp16) {
+            flushTile();
+            total_ = roundToHalf(total_ + roundToHalf(bias));
+            return total_;
+        }
+        return static_cast<float>(tile_sum_) + bias;
+    }
+
+  private:
+    void
+    flushTile()
+    {
+        if (in_tile_ == 0 && tile_ > 0)
+            return;
+        // Tile partial rounded to fp16 and combined in fp16.
+        total_ = roundToHalf(total_ + roundToHalf(tile_sum_));
+        tile_sum_ = 0.0f;
+        in_tile_ = 0;
+    }
+
+    Precision prec_;
+    std::int64_t tile_;
+    std::int64_t in_tile_ = 0;
+    float tile_sum_ = 0.0f;
+    float total_ = 0.0f;
+};
+
+/** Symmetric per-tensor int8 quantization scale (max-abs / 127). */
+float
+int8Scale(const float *data, std::int64_t n)
+{
+    float max_abs = 0.0f;
+    for (std::int64_t i = 0; i < n; i++)
+        max_abs = std::max(max_abs, std::fabs(data[i]));
+    return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+std::vector<std::int8_t>
+quantize(const float *data, std::int64_t n, float scale)
+{
+    std::vector<std::int8_t> q(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; i++) {
+        float v = std::round(data[i] / scale);
+        v = std::clamp(v, -127.0f, 127.0f);
+        q[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(v);
+    }
+    return q;
+}
+
+} // namespace
+
+Executor::Executor(const Network &net, const WeightsStore &weights,
+                   const ExecOptions &opts)
+    : net_(&net), weights_(&weights), opts_(opts)
+{
+    net.validate();
+}
+
+float
+Executor::castElem(float v) const
+{
+    return opts_.precision == Precision::kFp16 ? roundToHalf(v) : v;
+}
+
+std::unordered_map<std::string, Tensor>
+Executor::run(const std::unordered_map<std::string, Tensor> &inputs) const
+{
+    std::unordered_map<std::string, Tensor> values;
+    for (const auto &l : net_->layers()) {
+        if (l.kind == LayerKind::kInput) {
+            auto it = inputs.find(l.name);
+            if (it == inputs.end())
+                fatal("executor: missing input tensor '", l.name, "'");
+            if (!(it->second.dims() == net_->tensor(l.name).dims))
+                fatal("executor: input '", l.name, "' dims ",
+                      it->second.dims().toString(), " != declared ",
+                      net_->tensor(l.name).dims.toString());
+            values[l.name] = it->second;
+            continue;
+        }
+        std::vector<const Tensor *> ins;
+        ins.reserve(l.inputs.size());
+        for (const auto &in : l.inputs)
+            ins.push_back(&values.at(in));
+        values[l.output] = execLayer(l, ins);
+    }
+
+    std::unordered_map<std::string, Tensor> outs;
+    for (const auto &o : net_->outputs())
+        outs[o] = values.at(o);
+    return outs;
+}
+
+Tensor
+Executor::runSimple(const Tensor &input) const
+{
+    if (net_->inputs().size() != 1 || net_->outputs().size() != 1)
+        fatal("runSimple requires single-input single-output network");
+    std::unordered_map<std::string, Tensor> ins;
+    ins[net_->inputs()[0]] = input;
+    auto outs = run(ins);
+    return outs.at(net_->outputs()[0]);
+}
+
+Tensor
+Executor::execLayer(const Layer &l,
+                    const std::vector<const Tensor *> &ins) const
+{
+    Dims out_dims = net_->tensor(l.output).dims;
+    Tensor out(out_dims);
+    const Tensor &x = *ins[0];
+
+    switch (l.kind) {
+      case LayerKind::kConvolution: {
+        const auto &p = l.as<ConvParams>();
+        auto blob = weights_->materialize(l);
+        Dims in = x.dims();
+        std::int64_t icg = in.c / p.groups; // input channels per group
+        std::int64_t ocg = p.out_channels / p.groups;
+        std::int64_t kh = p.kh(), kw = p.kw();
+        std::int64_t ksz = icg * kh * kw;
+        const float *bias =
+            p.has_bias ? blob.data() + p.out_channels * ksz : nullptr;
+
+        if (opts_.precision == Precision::kInt8) {
+            float xs = int8Scale(x.data(), x.volume());
+            float ws = int8Scale(blob.data(), p.out_channels * ksz);
+            auto xq = quantize(x.data(), x.volume(), xs);
+            auto wq = quantize(blob.data(), p.out_channels * ksz, ws);
+            for (std::int64_t n = 0; n < out_dims.n; n++)
+            for (std::int64_t oc = 0; oc < out_dims.c; oc++) {
+                std::int64_t g = oc / ocg;
+                for (std::int64_t oh = 0; oh < out_dims.h; oh++)
+                for (std::int64_t ow = 0; ow < out_dims.w; ow++) {
+                    std::int64_t acc = 0;
+                    for (std::int64_t ic = 0; ic < icg; ic++)
+                    for (std::int64_t fh = 0; fh < kh; fh++)
+                    for (std::int64_t fw = 0; fw < kw; fw++) {
+                        std::int64_t ih = oh * p.stride - p.ph() +
+                                          fh * p.dilation;
+                        std::int64_t iw = ow * p.stride - p.pw() +
+                                          fw * p.dilation;
+                        if (ih < 0 || ih >= in.h || iw < 0 ||
+                            iw >= in.w)
+                            continue;
+                        std::int64_t xi =
+                            ((n * in.c + g * icg + ic) * in.h + ih) *
+                                in.w + iw;
+                        std::int64_t wi =
+                            (oc * icg + ic) * kh * kw + fh * kw + fw;
+                        acc += static_cast<std::int64_t>(xq[xi]) *
+                               wq[wi];
+                    }
+                    float v = static_cast<float>(acc) * xs * ws +
+                              (bias ? bias[oc] : 0.0f);
+                    out.at(n, oc, oh, ow) = v;
+                }
+            }
+        } else {
+            for (std::int64_t n = 0; n < out_dims.n; n++)
+            for (std::int64_t oc = 0; oc < out_dims.c; oc++) {
+                std::int64_t g = oc / ocg;
+                for (std::int64_t oh = 0; oh < out_dims.h; oh++)
+                for (std::int64_t ow = 0; ow < out_dims.w; ow++) {
+                    Accum acc(opts_.precision, opts_.accum_tile);
+                    for (std::int64_t ic = 0; ic < icg; ic++)
+                    for (std::int64_t fh = 0; fh < kh; fh++)
+                    for (std::int64_t fw = 0; fw < kw; fw++) {
+                        std::int64_t ih = oh * p.stride - p.ph() +
+                                          fh * p.dilation;
+                        std::int64_t iw = ow * p.stride - p.pw() +
+                                          fw * p.dilation;
+                        if (ih < 0 || ih >= in.h || iw < 0 ||
+                            iw >= in.w)
+                            continue;
+                        float xv = x.at(n, g * icg + ic, ih, iw);
+                        float wv = blob[static_cast<std::size_t>(
+                            (oc * icg + ic) * kh * kw + fh * kw +
+                            fw)];
+                        acc.add(xv, wv);
+                    }
+                    out.at(n, oc, oh, ow) =
+                        acc.finish(bias ? bias[oc] : 0.0f);
+                }
+            }
+        }
+        break;
+      }
+
+      case LayerKind::kDeconvolution: {
+        const auto &p = l.as<ConvParams>();
+        auto blob = weights_->materialize(l);
+        Dims in = x.dims();
+        std::int64_t kh = p.kh(), kw = p.kw();
+        std::int64_t ksz = in.c * kh * kw;
+        const float *bias =
+            p.has_bias ? blob.data() + p.out_channels * ksz : nullptr;
+        // Scatter formulation; fp32 accumulation (deconv appears only
+        // in the FCN head where precision subtleties do not matter).
+        for (std::int64_t n = 0; n < in.n; n++)
+        for (std::int64_t ic = 0; ic < in.c; ic++)
+        for (std::int64_t ih = 0; ih < in.h; ih++)
+        for (std::int64_t iw = 0; iw < in.w; iw++) {
+            float xv = x.at(n, ic, ih, iw);
+            for (std::int64_t oc = 0; oc < p.out_channels; oc++)
+            for (std::int64_t fh = 0; fh < kh; fh++)
+            for (std::int64_t fw = 0; fw < kw; fw++) {
+                std::int64_t oh = ih * p.stride - p.ph() + fh;
+                std::int64_t ow = iw * p.stride - p.pw() + fw;
+                if (oh < 0 || oh >= out_dims.h || ow < 0 ||
+                    ow >= out_dims.w)
+                    continue;
+                float wv = blob[static_cast<std::size_t>(
+                    (oc * in.c + ic) * kh * kw + fh * kw + fw)];
+                out.at(n, oc, oh, ow) += xv * wv;
+            }
+        }
+        if (bias) {
+            for (std::int64_t n = 0; n < out_dims.n; n++)
+            for (std::int64_t oc = 0; oc < out_dims.c; oc++)
+            for (std::int64_t oh = 0; oh < out_dims.h; oh++)
+            for (std::int64_t ow = 0; ow < out_dims.w; ow++)
+                out.at(n, oc, oh, ow) =
+                    castElem(out.at(n, oc, oh, ow) + bias[oc]);
+        }
+        break;
+      }
+
+      case LayerKind::kPooling: {
+        const auto &p = l.as<PoolParams>();
+        Dims in = x.dims();
+        std::int64_t k = p.global ? std::max(in.h, in.w) : p.kernel;
+        std::int64_t s = p.global ? 1 : p.stride;
+        std::int64_t pad = p.global ? 0 : p.pad;
+        for (std::int64_t n = 0; n < out_dims.n; n++)
+        for (std::int64_t c = 0; c < out_dims.c; c++)
+        for (std::int64_t oh = 0; oh < out_dims.h; oh++)
+        for (std::int64_t ow = 0; ow < out_dims.w; ow++) {
+            std::int64_t h0 = p.global ? 0 : oh * s - pad;
+            std::int64_t w0 = p.global ? 0 : ow * s - pad;
+            std::int64_t h1 = p.global ? in.h : h0 + k;
+            std::int64_t w1 = p.global ? in.w : w0 + k;
+            float acc = p.mode == PoolParams::Mode::kMax
+                            ? -std::numeric_limits<float>::infinity()
+                            : 0.0f;
+            std::int64_t cnt = 0;
+            for (std::int64_t ih = std::max<std::int64_t>(0, h0);
+                 ih < std::min(in.h, h1); ih++)
+            for (std::int64_t iw = std::max<std::int64_t>(0, w0);
+                 iw < std::min(in.w, w1); iw++) {
+                float v = x.at(n, c, ih, iw);
+                if (p.mode == PoolParams::Mode::kMax)
+                    acc = std::max(acc, v);
+                else
+                    acc += v;
+                cnt++;
+            }
+            if (p.mode == PoolParams::Mode::kAvg && cnt > 0)
+                acc /= static_cast<float>(cnt);
+            out.at(n, c, oh, ow) = castElem(acc);
+        }
+        break;
+      }
+
+      case LayerKind::kFullyConnected: {
+        const auto &p = l.as<FcParams>();
+        auto blob = weights_->materialize(l);
+        Dims in = x.dims();
+        std::int64_t feats = in.c * in.h * in.w;
+        const float *bias =
+            p.has_bias ? blob.data() + p.out_features * feats : nullptr;
+        if (opts_.precision == Precision::kInt8) {
+            float xs = int8Scale(x.data(), x.volume());
+            float ws = int8Scale(blob.data(), p.out_features * feats);
+            auto xq = quantize(x.data(), x.volume(), xs);
+            auto wq = quantize(blob.data(), p.out_features * feats, ws);
+            for (std::int64_t n = 0; n < in.n; n++)
+            for (std::int64_t o = 0; o < p.out_features; o++) {
+                std::int64_t acc = 0;
+                for (std::int64_t f = 0; f < feats; f++)
+                    acc += static_cast<std::int64_t>(
+                               xq[n * feats + f]) *
+                           wq[o * feats + f];
+                out.at(n, o, 0, 0) = static_cast<float>(acc) * xs * ws +
+                                     (bias ? bias[o] : 0.0f);
+            }
+        } else {
+            for (std::int64_t n = 0; n < in.n; n++)
+            for (std::int64_t o = 0; o < p.out_features; o++) {
+                Accum acc(opts_.precision, opts_.accum_tile);
+                for (std::int64_t f = 0; f < feats; f++)
+                    acc.add(x[n * feats + f], blob[static_cast<
+                            std::size_t>(o * feats + f)]);
+                out.at(n, o, 0, 0) = acc.finish(bias ? bias[o] : 0.0f);
+            }
+        }
+        break;
+      }
+
+      case LayerKind::kActivation: {
+        const auto &p = l.as<ActivationParams>();
+        std::vector<float> prelu;
+        if (p.mode == ActivationParams::Mode::kPRelu)
+            prelu = weights_->materialize(l);
+        Dims in = x.dims();
+        std::int64_t plane = in.h * in.w;
+        for (std::int64_t i = 0; i < x.volume(); i++) {
+            float v = x[i];
+            switch (p.mode) {
+              case ActivationParams::Mode::kRelu:
+                v = std::max(0.0f, v);
+                break;
+              case ActivationParams::Mode::kLeakyRelu:
+                v = v > 0.0f ? v : p.alpha * v;
+                break;
+              case ActivationParams::Mode::kSigmoid:
+                v = 1.0f / (1.0f + std::exp(-v));
+                break;
+              case ActivationParams::Mode::kTanh:
+                v = std::tanh(v);
+                break;
+              case ActivationParams::Mode::kPRelu: {
+                std::int64_t c = (i / plane) % in.c;
+                float a = prelu[static_cast<std::size_t>(c)];
+                v = v > 0.0f ? v : a * v;
+                break;
+              }
+            }
+            out[i] = castElem(v);
+        }
+        break;
+      }
+
+      case LayerKind::kBatchNorm: {
+        const auto &p = l.as<BatchNormParams>();
+        auto blob = weights_->materialize(l);
+        Dims in = x.dims();
+        std::int64_t c_count = in.c;
+        const float *mean = blob.data();
+        const float *var = blob.data() + c_count;
+        for (std::int64_t n = 0; n < in.n; n++)
+        for (std::int64_t c = 0; c < in.c; c++) {
+            float inv = 1.0f / std::sqrt(var[c] + p.epsilon);
+            for (std::int64_t h = 0; h < in.h; h++)
+            for (std::int64_t w = 0; w < in.w; w++)
+                out.at(n, c, h, w) =
+                    castElem((x.at(n, c, h, w) - mean[c]) * inv);
+        }
+        break;
+      }
+
+      case LayerKind::kScale: {
+        const auto &p = l.as<ScaleParams>();
+        auto blob = weights_->materialize(l);
+        Dims in = x.dims();
+        const float *gamma = blob.data();
+        const float *beta = p.has_bias ? blob.data() + in.c : nullptr;
+        for (std::int64_t n = 0; n < in.n; n++)
+        for (std::int64_t c = 0; c < in.c; c++)
+        for (std::int64_t h = 0; h < in.h; h++)
+        for (std::int64_t w = 0; w < in.w; w++)
+            out.at(n, c, h, w) = castElem(
+                x.at(n, c, h, w) * gamma[c] + (beta ? beta[c] : 0.0f));
+        break;
+      }
+
+      case LayerKind::kLRN: {
+        const auto &p = l.as<LrnParams>();
+        Dims in = x.dims();
+        std::int64_t half = p.local_size / 2;
+        for (std::int64_t n = 0; n < in.n; n++)
+        for (std::int64_t c = 0; c < in.c; c++)
+        for (std::int64_t h = 0; h < in.h; h++)
+        for (std::int64_t w = 0; w < in.w; w++) {
+            float sum = 0.0f;
+            for (std::int64_t j = std::max<std::int64_t>(0, c - half);
+                 j <= std::min(in.c - 1, c + half); j++) {
+                float v = x.at(n, j, h, w);
+                sum += v * v;
+            }
+            float denom = std::pow(
+                p.k + p.alpha * sum /
+                          static_cast<float>(p.local_size),
+                p.beta);
+            out.at(n, c, h, w) = castElem(x.at(n, c, h, w) / denom);
+        }
+        break;
+      }
+
+      case LayerKind::kConcat: {
+        std::int64_t c_off = 0;
+        for (const Tensor *t : ins) {
+            Dims d = t->dims();
+            for (std::int64_t n = 0; n < d.n; n++)
+            for (std::int64_t c = 0; c < d.c; c++)
+            for (std::int64_t h = 0; h < d.h; h++)
+            for (std::int64_t w = 0; w < d.w; w++)
+                out.at(n, c_off + c, h, w) = t->at(n, c, h, w);
+            c_off += d.c;
+        }
+        break;
+      }
+
+      case LayerKind::kEltwise: {
+        const auto &p = l.as<EltwiseParams>();
+        for (std::int64_t i = 0; i < out.volume(); i++) {
+            float acc = (*ins[0])[i];
+            for (std::size_t k = 1; k < ins.size(); k++) {
+                float v = (*ins[k])[i];
+                switch (p.mode) {
+                  case EltwiseParams::Mode::kSum: acc += v; break;
+                  case EltwiseParams::Mode::kProd: acc *= v; break;
+                  case EltwiseParams::Mode::kMax:
+                    acc = std::max(acc, v);
+                    break;
+                }
+            }
+            out[i] = castElem(acc);
+        }
+        break;
+      }
+
+      case LayerKind::kSoftmax: {
+        Dims in = x.dims();
+        for (std::int64_t n = 0; n < in.n; n++)
+        for (std::int64_t h = 0; h < in.h; h++)
+        for (std::int64_t w = 0; w < in.w; w++) {
+            float mx = -std::numeric_limits<float>::infinity();
+            for (std::int64_t c = 0; c < in.c; c++)
+                mx = std::max(mx, x.at(n, c, h, w));
+            float sum = 0.0f;
+            for (std::int64_t c = 0; c < in.c; c++)
+                sum += std::exp(x.at(n, c, h, w) - mx);
+            for (std::int64_t c = 0; c < in.c; c++)
+                out.at(n, c, h, w) = castElem(
+                    std::exp(x.at(n, c, h, w) - mx) / sum);
+        }
+        break;
+      }
+
+      case LayerKind::kUpsample: {
+        const auto &p = l.as<UpsampleParams>();
+        Dims in = x.dims();
+        for (std::int64_t n = 0; n < out_dims.n; n++)
+        for (std::int64_t c = 0; c < out_dims.c; c++)
+        for (std::int64_t h = 0; h < out_dims.h; h++)
+        for (std::int64_t w = 0; w < out_dims.w; w++)
+            out.at(n, c, h, w) =
+                x.at(n, c, h / p.factor, w / p.factor);
+        (void)in;
+        break;
+      }
+
+      case LayerKind::kFlatten:
+      case LayerKind::kDropout:
+      case LayerKind::kIdentity: {
+        std::copy(x.storage().begin(), x.storage().end(),
+                  out.storage().begin());
+        break;
+      }
+
+      case LayerKind::kRegion: {
+        const auto &p = l.as<RegionParams>();
+        Dims in = x.dims();
+        std::int64_t stride = 5 + p.num_classes;
+        for (std::int64_t n = 0; n < in.n; n++)
+        for (std::int64_t c = 0; c < in.c; c++) {
+            std::int64_t within = c % stride;
+            // tx, ty, obj and class scores pass through a logistic;
+            // tw, th (indices 2, 3) pass through exp.
+            bool is_exp = within == 2 || within == 3;
+            for (std::int64_t h = 0; h < in.h; h++)
+            for (std::int64_t w = 0; w < in.w; w++) {
+                float v = x.at(n, c, h, w);
+                v = is_exp ? std::exp(std::min(v, 8.0f))
+                           : 1.0f / (1.0f + std::exp(-v));
+                out.at(n, c, h, w) = castElem(v);
+            }
+        }
+        break;
+      }
+
+      case LayerKind::kDetectionOutput: {
+        const auto &p = l.as<DetectionOutputParams>();
+        // Interpret the first input as a confidence volume; emit the
+        // keep_top_k highest-scoring cells as [img, cls, score,
+        // x1, y1, x2, y2] rows with boxes centred on the cell.
+        Dims in = x.dims();
+        struct Cand { float score; std::int64_t c, h, w; };
+        for (std::int64_t n = 0; n < in.n; n++) {
+            std::vector<Cand> cands;
+            for (std::int64_t c = 0; c < in.c; c++)
+            for (std::int64_t h = 0; h < in.h; h++)
+            for (std::int64_t w = 0; w < in.w; w++) {
+                float s = x.at(n, c, h, w);
+                if (s > p.confidence_threshold)
+                    cands.push_back({s, c, h, w});
+            }
+            std::sort(cands.begin(), cands.end(),
+                      [](const Cand &a, const Cand &b) {
+                          if (a.score != b.score)
+                              return a.score > b.score;
+                          return std::tie(a.c, a.h, a.w) <
+                                 std::tie(b.c, b.h, b.w);
+                      });
+            std::int64_t k = std::min<std::int64_t>(
+                p.keep_top_k, static_cast<std::int64_t>(cands.size()));
+            for (std::int64_t i = 0; i < k; i++) {
+                const Cand &cd = cands[static_cast<std::size_t>(i)];
+                float cx = (static_cast<float>(cd.w) + 0.5f) /
+                           static_cast<float>(in.w);
+                float cy = (static_cast<float>(cd.h) + 0.5f) /
+                           static_cast<float>(in.h);
+                out.at(n, i, 0, 0) = static_cast<float>(n);
+                out.at(n, i, 1, 0) = static_cast<float>(
+                    cd.c % p.num_classes);
+                out.at(n, i, 2, 0) = cd.score;
+                out.at(n, i, 3, 0) = cx - 0.05f;
+                out.at(n, i, 4, 0) = cy - 0.05f;
+                out.at(n, i, 5, 0) = cx + 0.05f;
+                out.at(n, i, 6, 0) = cy + 0.05f;
+            }
+        }
+        break;
+      }
+
+      case LayerKind::kInput:
+        panic("input layer reached execLayer");
+    }
+
+    return out;
+}
+
+} // namespace edgert::nn

@@ -1,0 +1,92 @@
+#ifndef EDGERT_NN_EXECUTOR_HH
+#define EDGERT_NN_EXECUTOR_HH
+
+/**
+ * @file
+ * Reference (functional) executor for network graphs.
+ *
+ * Runs a Network on dense host tensors. Three precision modes:
+ *
+ *  - kFp32: plain float math; the semantic gold standard.
+ *  - kFp16: inputs/weights rounded to binary16, products accumulated
+ *    in fp32 within a reduction tile, tile partials rounded to fp16
+ *    and combined in fp16. The tile size is configurable: different
+ *    tile sizes model the different accumulation orders of different
+ *    CUDA kernel tactics, which is the mechanical source of the
+ *    paper's Finding 2 (engines disagreeing on borderline images).
+ *  - kInt8: symmetric per-tensor dynamic quantization with int32
+ *    accumulation; exactly associative, hence tactic-independent.
+ *
+ * The executor is deliberately simple and single-threaded; it exists
+ * for semantic validation (fusion passes must preserve its output)
+ * and for small-model experiments, not for speed.
+ */
+
+#include <unordered_map>
+
+#include "nn/network.hh"
+#include "nn/weights.hh"
+
+namespace edgert::nn {
+
+/** Numeric precision of the reference executor. */
+enum class Precision { kFp32, kFp16, kInt8 };
+
+/** Printable precision name. */
+const char *precisionName(Precision p);
+
+/** Execution options. */
+struct ExecOptions
+{
+    Precision precision = Precision::kFp32;
+
+    /**
+     * Reduction tile for fp16 accumulation; 0 means one tile
+     * (sequential fp32 accumulation, rounded once at the end).
+     * Different kernel tactics use different tiles.
+     */
+    std::int64_t accum_tile = 0;
+};
+
+/**
+ * Functional interpreter over a network graph.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param net     Graph to execute (must validate()).
+     * @param weights Weight store bound to the same network.
+     * @param opts    Precision / accumulation options.
+     */
+    Executor(const Network &net, const WeightsStore &weights,
+             const ExecOptions &opts = {});
+
+    /**
+     * Run one forward pass.
+     * @param inputs Map from input tensor name to value.
+     * @return Map holding every tensor marked as a network output.
+     */
+    std::unordered_map<std::string, Tensor>
+    run(const std::unordered_map<std::string, Tensor> &inputs) const;
+
+    /** Convenience for single-input, single-output networks. */
+    Tensor runSimple(const Tensor &input) const;
+
+    const ExecOptions &options() const { return opts_; }
+
+  private:
+    Tensor execLayer(const Layer &l,
+                     const std::vector<const Tensor *> &ins) const;
+
+    /** Round a value according to the precision mode. */
+    float castElem(float v) const;
+
+    const Network *net_;
+    const WeightsStore *weights_;
+    ExecOptions opts_;
+};
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_EXECUTOR_HH

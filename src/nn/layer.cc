@@ -1,0 +1,67 @@
+#include "nn/layer.hh"
+
+#include "common/logging.hh"
+
+namespace edgert::nn {
+
+const char *
+layerKindName(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::kInput: return "input";
+      case LayerKind::kConvolution: return "conv";
+      case LayerKind::kDeconvolution: return "deconv";
+      case LayerKind::kPooling: return "pool";
+      case LayerKind::kFullyConnected: return "fc";
+      case LayerKind::kActivation: return "act";
+      case LayerKind::kBatchNorm: return "bn";
+      case LayerKind::kScale: return "scale";
+      case LayerKind::kLRN: return "lrn";
+      case LayerKind::kConcat: return "concat";
+      case LayerKind::kEltwise: return "eltwise";
+      case LayerKind::kSoftmax: return "softmax";
+      case LayerKind::kUpsample: return "upsample";
+      case LayerKind::kFlatten: return "flatten";
+      case LayerKind::kDropout: return "dropout";
+      case LayerKind::kRegion: return "region";
+      case LayerKind::kDetectionOutput: return "detection";
+      case LayerKind::kIdentity: return "identity";
+    }
+    panic("unknown LayerKind");
+}
+
+std::int64_t
+Layer::paramCount(std::int64_t in_channels) const
+{
+    switch (kind) {
+      case LayerKind::kConvolution:
+      case LayerKind::kDeconvolution: {
+        const auto &p = as<ConvParams>();
+        std::int64_t w = p.out_channels * (in_channels / p.groups) *
+                         p.kh() * p.kw();
+        return w + (p.has_bias ? p.out_channels : 0);
+      }
+      case LayerKind::kFullyConnected: {
+        // in_channels here is the flattened input feature count.
+        const auto &p = as<FcParams>();
+        return p.out_features * in_channels +
+               (p.has_bias ? p.out_features : 0);
+      }
+      case LayerKind::kBatchNorm:
+        // Running mean + variance, folded gamma/beta live in kScale.
+        return 2 * in_channels;
+      case LayerKind::kScale: {
+        const auto &p = as<ScaleParams>();
+        return in_channels + (p.has_bias ? in_channels : 0);
+      }
+      case LayerKind::kActivation: {
+        const auto &p = as<ActivationParams>();
+        return p.mode == ActivationParams::Mode::kPRelu ? in_channels
+                                                        : 0;
+      }
+      default:
+        return 0;
+    }
+}
+
+} // namespace edgert::nn

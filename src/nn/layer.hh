@@ -1,0 +1,211 @@
+#ifndef EDGERT_NN_LAYER_HH
+#define EDGERT_NN_LAYER_HH
+
+/**
+ * @file
+ * Layer taxonomy of the EdgeRT graph IR.
+ *
+ * Each layer is a node in the network DAG with typed parameters held
+ * in a std::variant. The set covers everything the paper's 13 models
+ * need (Table II): convolutions, pooling, fully-connected, the usual
+ * activations, batch-norm/scale, LRN (AlexNet/GoogLeNet), concat and
+ * eltwise (inception/resnet), softmax, upsampling (FCN/YOLO), the
+ * YOLO region head and the SSD detection-output head.
+ */
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace edgert::nn {
+
+/** Node kinds of the graph IR. */
+enum class LayerKind
+{
+    kInput,
+    kConvolution,
+    kDeconvolution,
+    kPooling,
+    kFullyConnected,
+    kActivation,
+    kBatchNorm,
+    kScale,
+    kLRN,
+    kConcat,
+    kEltwise,
+    kSoftmax,
+    kUpsample,
+    kFlatten,
+    kDropout,
+    kRegion,
+    kDetectionOutput,
+    kIdentity,
+};
+
+/** Printable layer-kind name. */
+const char *layerKindName(LayerKind k);
+
+/**
+ * Convolution / deconvolution parameters. Kernels default to
+ * square; rectangular kernels (inception's factorized 1x7 / 7x1
+ * towers) set kernel_w (and pad_w) explicitly.
+ */
+struct ConvParams
+{
+    std::int64_t out_channels = 0;
+    std::int64_t kernel = 1;   //!< height (and width when square)
+    std::int64_t kernel_w = 0; //!< 0 = square (use `kernel`)
+    std::int64_t stride = 1;
+    std::int64_t pad = 0;      //!< height pad (and width if pad_w<0)
+    std::int64_t pad_w = -1;   //!< -1 = same as pad
+    std::int64_t dilation = 1;
+    std::int64_t groups = 1; //!< == in_channels for depthwise conv
+    bool has_bias = true;
+
+    std::int64_t kh() const { return kernel; }
+    std::int64_t kw() const { return kernel_w > 0 ? kernel_w : kernel; }
+    std::int64_t ph() const { return pad; }
+    std::int64_t pw() const { return pad_w >= 0 ? pad_w : pad; }
+};
+
+/** Pooling type and geometry. */
+struct PoolParams
+{
+    enum class Mode { kMax, kAvg };
+
+    Mode mode = Mode::kMax;
+    std::int64_t kernel = 2;
+    std::int64_t stride = 2;
+    std::int64_t pad = 0;
+    bool global = false; //!< global pooling ignores kernel/stride
+};
+
+/** Fully-connected (inner-product) parameters. */
+struct FcParams
+{
+    std::int64_t out_features = 0;
+    bool has_bias = true;
+};
+
+/** Pointwise activation function. */
+struct ActivationParams
+{
+    enum class Mode { kRelu, kLeakyRelu, kSigmoid, kTanh, kPRelu };
+
+    Mode mode = Mode::kRelu;
+    float alpha = 0.1f; //!< slope for leaky relu
+};
+
+/** Batch normalization (inference form: y = gamma*(x-mu)/sigma + beta). */
+struct BatchNormParams
+{
+    float epsilon = 1e-5f;
+};
+
+/** Channel-wise scale + shift. */
+struct ScaleParams
+{
+    bool has_bias = true;
+};
+
+/** Local response normalization (across channels). */
+struct LrnParams
+{
+    std::int64_t local_size = 5;
+    float alpha = 1e-4f;
+    float beta = 0.75f;
+    float k = 2.0f;
+};
+
+/** Channel concatenation (inputs share N, H, W). */
+struct ConcatParams
+{};
+
+/** Elementwise combination of same-shape inputs. */
+struct EltwiseParams
+{
+    enum class Mode { kSum, kProd, kMax };
+
+    Mode mode = Mode::kSum;
+};
+
+/** Softmax over the channel dimension. */
+struct SoftmaxParams
+{};
+
+/** Nearest-neighbour upsampling by an integer factor. */
+struct UpsampleParams
+{
+    std::int64_t factor = 2;
+};
+
+/** Flatten C*H*W into C (keeps N). */
+struct FlattenParams
+{};
+
+/** Dropout is an inference no-op; kept so dead-layer removal has prey. */
+struct DropoutParams
+{
+    float ratio = 0.5f;
+};
+
+/** YOLO region head: decodes anchors into box candidates. */
+struct RegionParams
+{
+    std::int64_t num_anchors = 3;
+    std::int64_t num_classes = 80;
+};
+
+/** SSD detection output: priorbox decode + NMS. */
+struct DetectionOutputParams
+{
+    std::int64_t num_classes = 91;
+    float nms_threshold = 0.45f;
+    float confidence_threshold = 0.3f;
+    std::int64_t keep_top_k = 100;
+};
+
+/** No parameters (input / identity). */
+struct NoParams
+{};
+
+using LayerParams = std::variant<
+    NoParams, ConvParams, PoolParams, FcParams, ActivationParams,
+    BatchNormParams, ScaleParams, LrnParams, ConcatParams, EltwiseParams,
+    SoftmaxParams, UpsampleParams, FlattenParams, DropoutParams,
+    RegionParams, DetectionOutputParams>;
+
+/**
+ * One node of the network DAG.
+ *
+ * Layers consume named tensors and produce exactly one named output
+ * tensor (multi-output heads are modeled as separate layers reading
+ * the same input).
+ */
+struct Layer
+{
+    std::int32_t id = -1;
+    std::string name;
+    LayerKind kind = LayerKind::kIdentity;
+    LayerParams params;
+    std::vector<std::string> inputs;
+    std::string output;
+
+    /** Typed parameter accessor; panics on kind mismatch. */
+    template <typename T>
+    const T &
+    as() const
+    {
+        return std::get<T>(params);
+    }
+
+    /** Number of trainable parameters (weights + bias), shape-aware. */
+    std::int64_t paramCount(std::int64_t in_channels) const;
+};
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_LAYER_HH

@@ -1,0 +1,802 @@
+#include "nn/model_zoo.hh"
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace edgert::nn {
+
+const char *
+visionTaskName(VisionTask t)
+{
+    switch (t) {
+      case VisionTask::kClassification: return "classification";
+      case VisionTask::kDetection: return "detection";
+      case VisionTask::kSegmentation: return "segmentation";
+    }
+    panic("unknown VisionTask");
+}
+
+namespace {
+
+/**
+ * Thin builder wrapper with automatic unique layer naming and the
+ * composite blocks (conv+relu, conv+bn+scale+relu, inception
+ * modules) the zoo models are assembled from.
+ */
+class NetBuilder
+{
+  public:
+    explicit NetBuilder(const std::string &name) : net(name) {}
+
+    Network net;
+
+    std::string
+    uniq(const std::string &base)
+    {
+        return base + "_" + std::to_string(ctr_++);
+    }
+
+    std::string
+    conv(const std::string &in, std::int64_t oc, std::int64_t k,
+         std::int64_t s = 1, std::int64_t pad = 0,
+         std::int64_t groups = 1)
+    {
+        ConvParams p;
+        p.out_channels = oc;
+        p.kernel = k;
+        p.stride = s;
+        p.pad = pad;
+        p.groups = groups;
+        return net.addConvolution(uniq("conv"), in, p);
+    }
+
+    std::string
+    relu(const std::string &in)
+    {
+        return net.addActivation(uniq("relu"), in, {});
+    }
+
+    std::string
+    convRelu(const std::string &in, std::int64_t oc, std::int64_t k,
+             std::int64_t s = 1, std::int64_t pad = 0,
+             std::int64_t groups = 1)
+    {
+        return relu(conv(in, oc, k, s, pad, groups));
+    }
+
+    /** Rectangular (factorized) stride-1 convolution + relu. */
+    std::string
+    convRectRelu(const std::string &in, std::int64_t oc,
+                 std::int64_t kh, std::int64_t kw)
+    {
+        ConvParams p;
+        p.out_channels = oc;
+        p.kernel = kh;
+        p.kernel_w = kw;
+        p.pad = kh / 2;
+        p.pad_w = kw / 2;
+        return relu(net.addConvolution(uniq("conv"), in, p));
+    }
+
+    std::string
+    convBnRelu(const std::string &in, std::int64_t oc, std::int64_t k,
+               std::int64_t s = 1, std::int64_t pad = 0,
+               std::int64_t groups = 1)
+    {
+        auto c = conv(in, oc, k, s, pad, groups);
+        auto b = net.addBatchNorm(uniq("bn"), c);
+        auto sc = net.addScale(uniq("scale"), b);
+        return relu(sc);
+    }
+
+    std::string
+    maxPool(const std::string &in, std::int64_t k, std::int64_t s,
+            std::int64_t pad = 0)
+    {
+        PoolParams p;
+        p.mode = PoolParams::Mode::kMax;
+        p.kernel = k;
+        p.stride = s;
+        p.pad = pad;
+        return net.addPooling(uniq("maxpool"), in, p);
+    }
+
+    std::string
+    avgPool(const std::string &in, std::int64_t k, std::int64_t s,
+            std::int64_t pad = 0)
+    {
+        PoolParams p;
+        p.mode = PoolParams::Mode::kAvg;
+        p.kernel = k;
+        p.stride = s;
+        p.pad = pad;
+        return net.addPooling(uniq("avgpool"), in, p);
+    }
+
+    std::string
+    globalPool(const std::string &in, PoolParams::Mode mode)
+    {
+        PoolParams p;
+        p.mode = mode;
+        p.global = true;
+        return net.addPooling(uniq("gpool"), in, p);
+    }
+
+    std::string
+    fcRelu(const std::string &in, std::int64_t n)
+    {
+        FcParams p;
+        p.out_features = n;
+        return relu(net.addFullyConnected(uniq("fc"), in, p));
+    }
+
+    std::string
+    fc(const std::string &in, std::int64_t n)
+    {
+        FcParams p;
+        p.out_features = n;
+        return net.addFullyConnected(uniq("fc"), in, p);
+    }
+
+    std::string
+    lrn(const std::string &in)
+    {
+        LrnParams p;
+        return net.addLrn(uniq("lrn"), in, p);
+    }
+
+    std::string
+    dropout(const std::string &in)
+    {
+        return net.addDropout(uniq("drop"), in);
+    }
+
+    std::string
+    softmax(const std::string &in)
+    {
+        return net.addSoftmax(uniq("prob"), in);
+    }
+
+    /**
+     * Classic GoogLeNet inception module: 6 convs, 1 internal max
+     * pool. Channel tuple follows the paper's naming.
+     */
+    std::string
+    inceptionV1(const std::string &in, std::int64_t c1, std::int64_t c3r,
+                std::int64_t c3, std::int64_t c5r, std::int64_t c5,
+                std::int64_t cp)
+    {
+        auto b1 = convRelu(in, c1, 1);
+        auto b2 = convRelu(convRelu(in, c3r, 1), c3, 3, 1, 1);
+        auto b3 = convRelu(convRelu(in, c5r, 1), c5, 5, 1, 2);
+        auto b4 = convRelu(maxPool(in, 3, 1, 1), cp, 1);
+        return net.addConcat(uniq("incept"), {b1, b2, b3, b4});
+    }
+
+    /**
+     * Inception-v2 style module (double-3x3 tower): 7 convs, 1 max
+     * pool.
+     */
+    std::string
+    inceptionV2(const std::string &in, std::int64_t c1, std::int64_t c3r,
+                std::int64_t c3, std::int64_t d3r, std::int64_t d3,
+                std::int64_t cp)
+    {
+        auto b1 = convRelu(in, c1, 1);
+        auto b2 = convRelu(convRelu(in, c3r, 1), c3, 3, 1, 1);
+        auto t = convRelu(in, d3r, 1);
+        t = convRelu(t, d3, 3, 1, 1);
+        auto b3 = convRelu(t, d3, 3, 1, 1);
+        auto b4 = convRelu(maxPool(in, 3, 1, 1), cp, 1);
+        return net.addConcat(uniq("incept"), {b1, b2, b3, b4});
+    }
+
+  private:
+    int ctr_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Classification models
+// ---------------------------------------------------------------------
+
+Network
+buildAlexnet(std::int64_t batch)
+{
+    NetBuilder b("alexnet");
+    auto x = b.net.addInput("data", Dims(batch, 3, 227, 227));
+    x = b.convRelu(x, 96, 11, 4, 0);
+    x = b.lrn(x);
+    x = b.maxPool(x, 3, 2);
+    x = b.convRelu(x, 256, 5, 1, 2, 2);
+    x = b.lrn(x);
+    x = b.maxPool(x, 3, 2);
+    x = b.convRelu(x, 384, 3, 1, 1);
+    x = b.convRelu(x, 384, 3, 1, 1, 2);
+    x = b.convRelu(x, 256, 3, 1, 1, 2);
+    x = b.maxPool(x, 3, 2);
+    x = b.dropout(b.fcRelu(x, 4096));
+    x = b.dropout(b.fcRelu(x, 4096));
+    x = b.fc(x, 1000);
+    x = b.softmax(x);
+    b.net.markOutput(x);
+    return std::move(b.net);
+}
+
+Network
+buildVgg16(std::int64_t batch)
+{
+    NetBuilder b("vgg-16");
+    auto x = b.net.addInput("data", Dims(batch, 3, 224, 224));
+    const std::int64_t cfg[5][3] = {
+        {64, 64, 0}, {128, 128, 0}, {256, 256, 256},
+        {512, 512, 512}, {512, 512, 512}};
+    for (const auto &stage : cfg) {
+        for (int i = 0; i < 3; i++)
+            if (stage[i])
+                x = b.convRelu(x, stage[i], 3, 1, 1);
+        x = b.maxPool(x, 2, 2);
+    }
+    x = b.dropout(b.fcRelu(x, 4096));
+    x = b.dropout(b.fcRelu(x, 4096));
+    x = b.fc(x, 1000);
+    x = b.softmax(x);
+    b.net.markOutput(x);
+    return std::move(b.net);
+}
+
+Network
+buildResnet18(std::int64_t batch)
+{
+    NetBuilder b("resnet-18");
+    auto x = b.net.addInput("data", Dims(batch, 3, 224, 224));
+    x = b.convBnRelu(x, 64, 7, 2, 3);
+    x = b.maxPool(x, 3, 2, 1);
+
+    auto block = [&](const std::string &in, std::int64_t ch,
+                     std::int64_t stride, bool project) {
+        auto y = b.convBnRelu(in, ch, 3, stride, 1);
+        y = b.conv(y, ch, 3, 1, 1);
+        y = b.net.addBatchNorm(b.uniq("bn"), y);
+        y = b.net.addScale(b.uniq("scale"), y);
+        std::string shortcut = in;
+        if (project)
+            shortcut = b.conv(in, ch, 1, stride, 0);
+        auto sum = b.net.addEltwise(b.uniq("res"), {y, shortcut}, {});
+        return b.relu(sum);
+    };
+
+    // The deployed Caffe variant projects in the first block of every
+    // stage (21 convs total, matching Table II).
+    x = block(x, 64, 1, true);
+    x = block(x, 64, 1, false);
+    x = block(x, 128, 2, true);
+    x = block(x, 128, 1, false);
+    x = block(x, 256, 2, true);
+    x = block(x, 256, 1, false);
+    x = block(x, 512, 2, true);
+    x = block(x, 512, 1, false);
+
+    x = b.globalPool(x, PoolParams::Mode::kMax);
+    x = b.fc(x, 1000);
+    x = b.softmax(x);
+    b.net.markOutput(x);
+    return std::move(b.net);
+}
+
+Network
+buildGooglenet(std::int64_t batch)
+{
+    NetBuilder b("googlenet");
+    auto x = b.net.addInput("data", Dims(batch, 3, 224, 224));
+    x = b.convRelu(x, 64, 7, 2, 3);
+    x = b.maxPool(x, 3, 2, 1);
+    x = b.lrn(x);
+    x = b.convRelu(x, 64, 1);
+    x = b.convRelu(x, 192, 3, 1, 1);
+    x = b.lrn(x);
+    x = b.maxPool(x, 3, 2, 1);
+
+    x = b.inceptionV1(x, 64, 96, 128, 16, 32, 32);   // 3a
+    x = b.inceptionV1(x, 128, 128, 192, 32, 96, 64); // 3b
+    x = b.maxPool(x, 3, 2, 1);
+    x = b.inceptionV1(x, 192, 96, 208, 16, 48, 64);  // 4a
+
+    // Auxiliary classifier head 1 (training-only: never marked as an
+    // output, so the engine builder's dead-layer pass removes it).
+    auto aux1 = b.globalPool(x, PoolParams::Mode::kAvg);
+    aux1 = b.dropout(b.fcRelu(aux1, 2048));
+    aux1 = b.softmax(b.fc(aux1, 1000));
+
+    x = b.inceptionV1(x, 160, 112, 224, 24, 64, 64);  // 4b
+    x = b.inceptionV1(x, 128, 128, 256, 24, 64, 64);  // 4c
+    x = b.inceptionV1(x, 112, 144, 288, 32, 64, 64);  // 4d
+
+    auto aux2 = b.globalPool(x, PoolParams::Mode::kAvg);
+    aux2 = b.dropout(b.fcRelu(aux2, 2048));
+    aux2 = b.softmax(b.fc(aux2, 1000));
+
+    x = b.inceptionV1(x, 256, 160, 320, 32, 128, 128); // 4e
+    x = b.maxPool(x, 3, 2, 1);
+    x = b.inceptionV1(x, 256, 160, 320, 32, 128, 128); // 5a
+    x = b.inceptionV1(x, 384, 192, 384, 48, 128, 128); // 5b
+
+    x = b.globalPool(x, PoolParams::Mode::kMax);
+    x = b.dropout(x);
+    x = b.fc(x, 1000);
+    x = b.softmax(x);
+    b.net.markOutput(x);
+    return std::move(b.net);
+}
+
+Network
+buildInceptionV4(std::int64_t batch)
+{
+    NetBuilder b("inception-v4");
+    auto x = b.net.addInput("data", Dims(batch, 3, 299, 299));
+
+    // Stem: 10 convs, 2 max pools.
+    x = b.convRelu(x, 32, 3, 2);
+    x = b.convRelu(x, 32, 3);
+    x = b.convRelu(x, 64, 3, 1, 1);
+    {
+        auto p = b.maxPool(x, 3, 2);
+        auto c = b.convRelu(x, 96, 3, 2);
+        x = b.net.addConcat(b.uniq("stem_mix1"), {p, c});
+    }
+    {
+        auto a = b.convRelu(b.convRelu(x, 64, 1), 96, 3);
+        auto t = b.convRelu(x, 64, 1);
+        t = b.convRelu(t, 64, 3, 1, 1);
+        auto c = b.convRelu(t, 96, 3);
+        x = b.net.addConcat(b.uniq("stem_mix2"), {a, c});
+    }
+    {
+        auto c = b.convRelu(x, 192, 3, 2);
+        auto p = b.maxPool(x, 3, 2);
+        x = b.net.addConcat(b.uniq("stem_mix3"), {c, p});
+    }
+
+    // 4x Inception-A: 7 convs, 1 max pool each.
+    for (int i = 0; i < 4; i++) {
+        auto b1 = b.convRelu(x, 96, 1);
+        auto b2 = b.convRelu(b.convRelu(x, 64, 1), 96, 3, 1, 1);
+        auto t = b.convRelu(x, 64, 1);
+        t = b.convRelu(t, 96, 3, 1, 1);
+        auto b3 = b.convRelu(t, 96, 3, 1, 1);
+        auto b4 = b.convRelu(b.maxPool(x, 3, 1, 1), 96, 1);
+        x = b.net.addConcat(b.uniq("inceptA"), {b1, b2, b3, b4});
+    }
+
+    // Reduction-A: 4 convs, 1 max pool.
+    {
+        auto b1 = b.convRelu(x, 384, 3, 2);
+        auto t = b.convRelu(x, 192, 1);
+        t = b.convRelu(t, 224, 3, 1, 1);
+        auto b2 = b.convRelu(t, 256, 3, 2);
+        auto b3 = b.maxPool(x, 3, 2);
+        x = b.net.addConcat(b.uniq("reductA"), {b1, b2, b3});
+    }
+
+    // 7x Inception-B: 10 convs, 1 max pool each, with the published
+    // factorized 1x7 / 7x1 towers.
+    for (int i = 0; i < 7; i++) {
+        auto b1 = b.convRelu(x, 384, 1);
+        auto t2 = b.convRelu(x, 192, 1);
+        t2 = b.convRectRelu(t2, 224, 1, 7);
+        auto b2 = b.convRectRelu(t2, 256, 7, 1);
+        auto t3 = b.convRelu(x, 192, 1);
+        t3 = b.convRectRelu(t3, 192, 1, 7);
+        t3 = b.convRectRelu(t3, 224, 7, 1);
+        t3 = b.convRectRelu(t3, 224, 1, 7);
+        auto b3 = b.convRectRelu(t3, 256, 7, 1);
+        auto b4 = b.convRelu(b.maxPool(x, 3, 1, 1), 128, 1);
+        x = b.net.addConcat(b.uniq("inceptB"), {b1, b2, b3, b4});
+    }
+
+    // Reduction-B: 6 convs, 1 max pool.
+    {
+        auto t1 = b.convRelu(x, 192, 1);
+        auto b1 = b.convRelu(t1, 192, 3, 2);
+        auto t2 = b.convRelu(x, 256, 1);
+        t2 = b.convRectRelu(t2, 256, 1, 7);
+        t2 = b.convRectRelu(t2, 320, 7, 1);
+        auto b2 = b.convRelu(t2, 320, 3, 2);
+        auto b3 = b.maxPool(x, 3, 2);
+        x = b.net.addConcat(b.uniq("reductB"), {b1, b2, b3});
+    }
+
+    // 3x Inception-C: 10 convs, 1 max pool each, with the published
+    // 1x3 / 3x1 splits.
+    for (int i = 0; i < 3; i++) {
+        auto b1 = b.convRelu(x, 256, 1);
+        auto t2 = b.convRelu(x, 384, 1);
+        auto b2a = b.convRectRelu(t2, 256, 1, 3);
+        auto b2b = b.convRectRelu(t2, 256, 3, 1);
+        auto t3 = b.convRelu(x, 384, 1);
+        t3 = b.convRectRelu(t3, 448, 1, 3);
+        t3 = b.convRectRelu(t3, 512, 3, 1);
+        auto b3a = b.convRectRelu(t3, 256, 1, 3);
+        auto b3b = b.convRectRelu(t3, 256, 3, 1);
+        auto b4 = b.convRelu(b.maxPool(x, 3, 1, 1), 256, 1);
+        x = b.net.addConcat(b.uniq("inceptC"),
+                            {b1, b2a, b2b, b3a, b3b, b4});
+    }
+
+    // Tail: 1 conv + global max pool (149 convs / 19 max pools total).
+    x = b.convRelu(x, 1536, 1);
+    x = b.globalPool(x, PoolParams::Mode::kMax);
+    x = b.dropout(x);
+    x = b.fc(x, 1000);
+    x = b.softmax(x);
+    b.net.markOutput(x);
+    return std::move(b.net);
+}
+
+// ---------------------------------------------------------------------
+// Detection models
+// ---------------------------------------------------------------------
+
+/** DetectNet-style GoogLeNet FCN: 59 convs, 12 max pools. */
+Network
+buildDetectnetFamily(const std::string &name, std::int64_t input_hw,
+                     std::int64_t num_classes, std::int64_t batch)
+{
+    NetBuilder b(name);
+    auto x = b.net.addInput("data", Dims(batch, 3, input_hw, input_hw));
+    x = b.convRelu(x, 64, 7, 2, 3);
+    x = b.maxPool(x, 3, 2, 1);
+    x = b.convRelu(x, 64, 1);
+    x = b.convRelu(x, 192, 3, 1, 1);
+    x = b.maxPool(x, 3, 2, 1);
+
+    x = b.inceptionV1(x, 64, 96, 128, 16, 32, 32);
+    x = b.inceptionV1(x, 128, 128, 192, 32, 96, 64);
+    x = b.maxPool(x, 3, 2, 1);
+    x = b.inceptionV1(x, 192, 96, 208, 16, 48, 64);
+    x = b.inceptionV1(x, 160, 112, 224, 24, 64, 64);
+    x = b.inceptionV1(x, 128, 128, 256, 24, 64, 64);
+    x = b.inceptionV1(x, 112, 144, 288, 32, 64, 64);
+    x = b.inceptionV1(x, 256, 160, 320, 32, 128, 128);
+    // DetectNet keeps stride 16 here (no pool4) for dense coverage.
+    x = b.inceptionV1(x, 256, 160, 320, 32, 128, 128);
+    x = b.inceptionV1(x, 384, 192, 384, 48, 128, 128);
+
+    // FCN heads: per-cell coverage and bounding-box regression.
+    auto coverage = b.conv(x, num_classes, 1);
+    coverage = b.net.addActivation(b.uniq("cov_sig"), coverage,
+                                   {ActivationParams::Mode::kSigmoid});
+    auto bbox = b.conv(x, 4 * num_classes, 1);
+    b.net.markOutput(coverage);
+    b.net.markOutput(bbox);
+    return std::move(b.net);
+}
+
+Network
+buildTinyYolov3(std::int64_t batch)
+{
+    NetBuilder b("tiny-yolov3");
+    auto x = b.net.addInput("data", Dims(batch, 3, 416, 416));
+
+    auto lrelu = [&](const std::string &in) {
+        ActivationParams p;
+        p.mode = ActivationParams::Mode::kLeakyRelu;
+        p.alpha = 0.1f;
+        return b.net.addActivation(b.uniq("lrelu"), in, p);
+    };
+    auto convL = [&](const std::string &in, std::int64_t oc,
+                     std::int64_t k, std::int64_t s = 1,
+                     std::int64_t pad = 0) {
+        return lrelu(b.conv(in, oc, k, s, pad));
+    };
+
+    x = convL(x, 16, 3, 1, 1);
+    x = b.maxPool(x, 2, 2);
+    x = convL(x, 32, 3, 1, 1);
+    x = b.maxPool(x, 2, 2);
+    x = convL(x, 64, 3, 1, 1);
+    x = b.maxPool(x, 2, 2);
+    x = convL(x, 128, 3, 1, 1);
+    x = b.maxPool(x, 2, 2);
+    auto route = convL(x, 256, 3, 1, 1);
+    x = b.maxPool(route, 2, 2);
+    x = convL(x, 512, 3, 1, 1);
+    x = b.maxPool(x, 3, 1, 1);
+    x = convL(x, 1024, 3, 1, 1);
+    auto neck = convL(x, 256, 1);
+    auto h1 = convL(neck, 512, 3, 1, 1);
+    auto det1 = b.conv(h1, 255, 1);
+    RegionParams reg;
+    reg.num_anchors = 3;
+    reg.num_classes = 80;
+    auto y1 = b.net.addRegion("yolo_13", det1, reg);
+
+    auto up = convL(neck, 128, 1);
+    up = b.net.addUpsample(b.uniq("upsample"), up, {2});
+    auto cat = b.net.addConcat(b.uniq("route"), {up, route});
+    auto h2 = convL(cat, 256, 3, 1, 1);
+    auto det2 = b.conv(h2, 255, 1);
+    auto y2 = b.net.addRegion("yolo_26", det2, reg);
+
+    b.net.markOutput(y1);
+    b.net.markOutput(y2);
+    return std::move(b.net);
+}
+
+Network
+buildMobilenetV1(std::int64_t batch)
+{
+    NetBuilder b("mobilenetv1");
+    auto x = b.net.addInput("data", Dims(batch, 3, 300, 300));
+    x = b.convBnRelu(x, 32, 3, 2, 1);
+
+    auto dwSep = [&](const std::string &in, std::int64_t in_ch,
+                     std::int64_t out_ch, std::int64_t stride) {
+        auto d = b.convBnRelu(in, in_ch, 3, stride, 1, in_ch);
+        return b.convBnRelu(d, out_ch, 1);
+    };
+
+    x = dwSep(x, 32, 64, 1);
+    x = dwSep(x, 64, 128, 2);
+    x = dwSep(x, 128, 128, 1);
+    x = dwSep(x, 128, 256, 2);
+    x = dwSep(x, 256, 256, 1);
+    x = dwSep(x, 256, 512, 2);
+    for (int i = 0; i < 5; i++)
+        x = dwSep(x, 512, 512, 1);
+    x = dwSep(x, 512, 1024, 2);
+    x = dwSep(x, 1024, 1024, 1);
+
+    x = b.globalPool(x, PoolParams::Mode::kMax);
+    // The TF graph's box-predictor stack folds into a dense layer
+    // plus a 1x1 class/box conv (keeps Table II's 28-conv count and
+    // the 26 MB parameter budget of ssd_mobilenet_v1).
+    x = b.fcRelu(x, 1600);
+    x = b.conv(x, 1001, 1);
+    x = b.softmax(x);
+    b.net.markOutput(x);
+    return std::move(b.net);
+}
+
+Network
+buildMtcnn(std::int64_t batch)
+{
+    NetBuilder b("mtcnn");
+
+    auto prelu = [&](const std::string &in) {
+        ActivationParams p;
+        p.mode = ActivationParams::Mode::kPRelu;
+        return b.net.addActivation(b.uniq("prelu"), in, p);
+    };
+
+    // P-Net: 5 convs, 1 max pool.
+    auto p = b.net.addInput("pnet_data", Dims(batch, 3, 12, 12));
+    p = prelu(b.conv(p, 10, 3));
+    p = b.maxPool(p, 2, 2);
+    p = prelu(b.conv(p, 16, 3));
+    p = prelu(b.conv(p, 32, 3));
+    auto p_cls = b.softmax(b.conv(p, 2, 1));
+    auto p_reg = b.conv(p, 4, 1);
+    b.net.markOutput(p_cls);
+    b.net.markOutput(p_reg);
+
+    // R-Net: 3 convs, 2 max pools.
+    auto r = b.net.addInput("rnet_data", Dims(batch, 3, 24, 24));
+    r = prelu(b.conv(r, 28, 3));
+    r = b.maxPool(r, 3, 2);
+    r = prelu(b.conv(r, 48, 3));
+    r = b.maxPool(r, 3, 2);
+    r = prelu(b.conv(r, 64, 2));
+    r = b.fcRelu(r, 128);
+    auto r_cls = b.softmax(b.fc(r, 2));
+    auto r_reg = b.fc(r, 4);
+    b.net.markOutput(r_cls);
+    b.net.markOutput(r_reg);
+
+    // O-Net: 4 convs, 3 max pools.
+    auto o = b.net.addInput("onet_data", Dims(batch, 3, 48, 48));
+    o = prelu(b.conv(o, 32, 3));
+    o = b.maxPool(o, 3, 2);
+    o = prelu(b.conv(o, 64, 3));
+    o = b.maxPool(o, 3, 2);
+    o = prelu(b.conv(o, 64, 3));
+    o = b.maxPool(o, 2, 2);
+    o = prelu(b.conv(o, 128, 2));
+    o = b.fcRelu(o, 256);
+    auto o_cls = b.softmax(b.fc(o, 2));
+    auto o_reg = b.fc(o, 4);
+    auto o_lmk = b.fc(o, 10);
+    b.net.markOutput(o_cls);
+    b.net.markOutput(o_reg);
+    b.net.markOutput(o_lmk);
+    return std::move(b.net);
+}
+
+Network
+buildSsdInceptionV2(std::int64_t batch)
+{
+    NetBuilder b("ssd-inception-v2");
+    auto x = b.net.addInput("data", Dims(batch, 3, 300, 300));
+    x = b.convRelu(x, 64, 7, 2, 3);
+    x = b.maxPool(x, 3, 2, 1);
+    x = b.convRelu(x, 64, 1);
+    x = b.convRelu(x, 192, 3, 1, 1);
+    x = b.maxPool(x, 3, 2, 1);
+
+    // 10 inception-v2 modules (7 convs, 1 max pool each).
+    x = b.inceptionV2(x, 64, 64, 64, 64, 96, 32);
+    x = b.inceptionV2(x, 64, 64, 96, 64, 96, 64);
+    auto feat1 = b.inceptionV2(x, 128, 96, 160, 96, 112, 64);
+    x = b.inceptionV2(feat1, 224, 64, 96, 96, 128, 128);
+    x = b.inceptionV2(x, 192, 96, 128, 96, 128, 128);
+    x = b.inceptionV2(x, 160, 128, 160, 128, 160, 96);
+    x = b.inceptionV2(x, 96, 128, 192, 160, 192, 96);
+    auto feat2 = b.inceptionV2(x, 352, 192, 320, 160, 224, 128);
+    x = b.inceptionV2(feat2, 256, 192, 320, 192, 224, 128);
+    auto feat3 = b.inceptionV2(x, 352, 192, 320, 192, 224, 128);
+
+    // Extra SSD feature stages: 3 x (1x1 reduce + 3x3 stride-2).
+    auto feat4 = b.convRelu(b.convRelu(feat3, 256, 1), 512, 3, 2, 1);
+    auto feat5 = b.convRelu(b.convRelu(feat4, 128, 1), 256, 3, 2, 1);
+    auto feat6 = b.convRelu(b.convRelu(feat5, 128, 1), 256, 3, 2, 1);
+
+    // First feature map gets an extra normalization conv.
+    feat1 = b.conv(feat1, 512, 1);
+
+    // Heads: loc + conf on 5 scales (4 anchors each).
+    constexpr std::int64_t kAnchors = 4;
+    constexpr std::int64_t kClasses = 91;
+    std::vector<std::string> confs;
+    for (const auto &f : {feat1, feat2, feat4, feat5, feat6}) {
+        auto loc = b.conv(f, kAnchors * 4, 3, 1, 1);
+        auto conf = b.conv(f, kAnchors * kClasses, 3, 1, 1);
+        b.net.markOutput(loc);
+        confs.push_back(conf);
+    }
+
+    DetectionOutputParams dp;
+    dp.num_classes = kClasses;
+    auto det = b.net.addDetectionOutput("detection_out", confs, dp);
+    b.net.markOutput(det);
+    return std::move(b.net);
+}
+
+// ---------------------------------------------------------------------
+// Segmentation
+// ---------------------------------------------------------------------
+
+Network
+buildFcnResnet18(std::int64_t batch)
+{
+    NetBuilder b("fcn-resnet18-cityscapes");
+    auto x = b.net.addInput("data", Dims(batch, 3, 256, 512));
+    x = b.convBnRelu(x, 64, 7, 2, 3);
+    x = b.maxPool(x, 3, 2, 1);
+
+    auto block = [&](const std::string &in, std::int64_t ch,
+                     std::int64_t stride, bool project) {
+        auto y = b.convBnRelu(in, ch, 3, stride, 1);
+        y = b.conv(y, ch, 3, 1, 1);
+        y = b.net.addBatchNorm(b.uniq("bn"), y);
+        y = b.net.addScale(b.uniq("scale"), y);
+        std::string shortcut = in;
+        if (project)
+            shortcut = b.conv(in, ch, 1, stride, 0);
+        auto sum = b.net.addEltwise(b.uniq("res"), {y, shortcut}, {});
+        return b.relu(sum);
+    };
+
+    x = block(x, 64, 1, false);
+    x = block(x, 64, 1, false);
+    x = block(x, 128, 2, true);
+    x = block(x, 128, 1, false);
+    x = block(x, 256, 2, true);
+    x = block(x, 256, 1, false);
+    x = block(x, 512, 2, true);
+    x = block(x, 512, 1, false);
+
+    // FCN head: 1x1 score conv (21 cityscapes classes) + 2x deconv.
+    auto score = b.conv(x, 21, 1);
+    ConvParams up;
+    up.out_channels = 21;
+    up.kernel = 4;
+    up.stride = 2;
+    up.pad = 1;
+    auto out = b.net.addDeconvolution("upscore", score, up);
+    b.net.markOutput(out);
+    return std::move(b.net);
+}
+
+struct ZooEntry
+{
+    ZooModelInfo info;
+    std::function<Network(std::int64_t)> build;
+};
+
+const std::vector<ZooEntry> &
+zooTable()
+{
+    static const std::vector<ZooEntry> table = {
+        {{"alexnet", VisionTask::kClassification, "caffe", 5, 3,
+          232.56},
+         buildAlexnet},
+        {{"resnet-18", VisionTask::kClassification, "caffe", 21, 2,
+          44.65},
+         buildResnet18},
+        {{"vgg-16", VisionTask::kClassification, "caffe", 13, 5, 527.8},
+         buildVgg16},
+        {{"inception-v4", VisionTask::kClassification, "caffe", 149, 19,
+          163.12},
+         buildInceptionV4},
+        {{"googlenet", VisionTask::kClassification, "caffe", 57, 14,
+          51.05},
+         buildGooglenet},
+        {{"ssd-inception-v2", VisionTask::kDetection, "tensorflow", 90,
+          12, 95.58},
+         buildSsdInceptionV2},
+        {{"detectnet-coco-dog", VisionTask::kDetection, "caffe", 59, 12,
+          22.82},
+         [](std::int64_t n) {
+             return buildDetectnetFamily("detectnet-coco-dog", 512, 1,
+                                         n);
+         }},
+        {{"pednet", VisionTask::kDetection, "caffe", 59, 12, 22.82},
+         [](std::int64_t n) {
+             return buildDetectnetFamily("pednet", 512, 1, n);
+         }},
+        {{"tiny-yolov3", VisionTask::kDetection, "darknet", 13, 6,
+          33.1},
+         buildTinyYolov3},
+        {{"facenet", VisionTask::kDetection, "caffe", 59, 12, 22.82},
+         [](std::int64_t n) {
+             return buildDetectnetFamily("facenet", 448, 1, n);
+         }},
+        {{"mobilenetv1", VisionTask::kDetection, "tensorflow", 28, 1,
+          26.07},
+         buildMobilenetV1},
+        {{"mtcnn", VisionTask::kDetection, "caffe", 12, 6, 1.9},
+         buildMtcnn},
+        {{"fcn-resnet18-cityscapes", VisionTask::kSegmentation,
+          "pytorch", 22, 1, 44.95},
+         buildFcnResnet18},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+zooModelNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &e : zooTable())
+            out.push_back(e.info.name);
+        return out;
+    }();
+    return names;
+}
+
+const ZooModelInfo &
+zooModelInfo(const std::string &name)
+{
+    for (const auto &e : zooTable())
+        if (e.info.name == name)
+            return e.info;
+    fatal("unknown zoo model '", name, "'");
+}
+
+Network
+buildZooModel(const std::string &name, std::int64_t batch)
+{
+    for (const auto &e : zooTable())
+        if (e.info.name == name) {
+            Network net = e.build(batch);
+            net.validate();
+            return net;
+        }
+    fatal("unknown zoo model '", name, "'");
+}
+
+} // namespace edgert::nn

@@ -1,0 +1,56 @@
+#ifndef EDGERT_NN_MODEL_ZOO_HH
+#define EDGERT_NN_MODEL_ZOO_HH
+
+/**
+ * @file
+ * The model zoo: constructs the 13 networks the paper evaluates
+ * (Table II), with (de)convolution and max-pool layer counts matching
+ * the paper exactly and parameter footprints close to the published
+ * un-optimized model sizes.
+ *
+ * Architectures follow the published designs, including
+ * inception-v4's factorized rectangular (1x7 / 7x1, 1x3 / 3x1)
+ * towers.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace edgert::nn {
+
+/** Computer-vision task category of a zoo model. */
+enum class VisionTask { kClassification, kDetection, kSegmentation };
+
+/** Printable task name. */
+const char *visionTaskName(VisionTask t);
+
+/** Static metadata for one zoo model (Table II row). */
+struct ZooModelInfo
+{
+    std::string name;
+    VisionTask task;
+    std::string framework;       //!< training framework in the paper
+    std::int64_t paper_convs;    //!< conv layer count per Table II
+    std::int64_t paper_maxpools; //!< max-pool count per Table II
+    double paper_size_mb;        //!< un-optimized model size (MB)
+};
+
+/** Names of all 13 zoo models, in Table II order. */
+const std::vector<std::string> &zooModelNames();
+
+/** Metadata lookup; fatal on unknown name. */
+const ZooModelInfo &zooModelInfo(const std::string &name);
+
+/**
+ * Build a zoo model by name.
+ * @param name  One of zooModelNames().
+ * @param batch Batch size (N dimension of the input).
+ */
+Network buildZooModel(const std::string &name, std::int64_t batch = 1);
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_MODEL_ZOO_HH

@@ -1,0 +1,393 @@
+#include "nn/network.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edgert::nn {
+
+namespace {
+
+/** Conv output extent (floor convention). */
+std::int64_t
+convOut(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+        std::int64_t pad, std::int64_t dilation)
+{
+    std::int64_t eff_k = dilation * (kernel - 1) + 1;
+    std::int64_t out = (in + 2 * pad - eff_k) / stride + 1;
+    return out;
+}
+
+/** Pool output extent (Caffe's ceil convention). */
+std::int64_t
+poolOut(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+        std::int64_t pad)
+{
+    std::int64_t num = in + 2 * pad - kernel;
+    std::int64_t out = (num + stride - 1) / stride + 1;
+    // Caffe clips the last window so it starts inside the padded image.
+    if (pad > 0 && (out - 1) * stride >= in + pad)
+        out--;
+    return out;
+}
+
+} // namespace
+
+Network::Network(std::string name) : name_(std::move(name)) {}
+
+Dims
+Network::inputDims(const std::string &tensor_name) const
+{
+    return tensor(tensor_name).dims;
+}
+
+std::string
+Network::appendLayer(LayerKind kind, const std::string &name,
+                     LayerParams params,
+                     std::vector<std::string> inputs,
+                     const Dims &out_dims)
+{
+    if (tensors_.count(name))
+        fatal("network '", name_, "': duplicate tensor/layer name '",
+              name, "'");
+    if (!out_dims.valid())
+        fatal("network '", name_, "': layer '", name,
+              "' inferred invalid output dims ", out_dims.toString());
+    for (const auto &in : inputs) {
+        if (!tensors_.count(in))
+            fatal("network '", name_, "': layer '", name,
+                  "' consumes unknown tensor '", in, "'");
+    }
+
+    Layer l;
+    l.id = static_cast<std::int32_t>(layers_.size());
+    l.name = name;
+    l.kind = kind;
+    l.params = std::move(params);
+    l.inputs = std::move(inputs);
+    l.output = name;
+    layers_.push_back(std::move(l));
+
+    tensors_[name] = TensorDesc{name, out_dims, DataType::kFloat32};
+    producer_[name] = layers_.back().id;
+    return name;
+}
+
+std::string
+Network::addInput(const std::string &name, const Dims &dims)
+{
+    auto out = appendLayer(LayerKind::kInput, name, NoParams{}, {}, dims);
+    inputs_.push_back(out);
+    return out;
+}
+
+std::string
+Network::addConvolution(const std::string &name,
+                        const std::string &input, const ConvParams &p)
+{
+    Dims in = inputDims(input);
+    if (p.out_channels <= 0)
+        fatal("conv '", name, "': out_channels must be positive");
+    if (p.groups <= 0 || in.c % p.groups != 0 ||
+        p.out_channels % p.groups != 0)
+        fatal("conv '", name, "': groups ", p.groups,
+              " incompatible with channels ", in.c, "->",
+              p.out_channels);
+    Dims out(in.n, p.out_channels,
+             convOut(in.h, p.kh(), p.stride, p.ph(), p.dilation),
+             convOut(in.w, p.kw(), p.stride, p.pw(), p.dilation));
+    return appendLayer(LayerKind::kConvolution, name, p, {input}, out);
+}
+
+std::string
+Network::addDeconvolution(const std::string &name,
+                          const std::string &input, const ConvParams &p)
+{
+    Dims in = inputDims(input);
+    Dims out(in.n, p.out_channels,
+             (in.h - 1) * p.stride - 2 * p.ph() + p.kh(),
+             (in.w - 1) * p.stride - 2 * p.pw() + p.kw());
+    return appendLayer(LayerKind::kDeconvolution, name, p, {input}, out);
+}
+
+std::string
+Network::addPooling(const std::string &name, const std::string &input,
+                    const PoolParams &p)
+{
+    Dims in = inputDims(input);
+    Dims out = in;
+    if (p.global) {
+        out.h = out.w = 1;
+    } else {
+        out.h = poolOut(in.h, p.kernel, p.stride, p.pad);
+        out.w = poolOut(in.w, p.kernel, p.stride, p.pad);
+    }
+    return appendLayer(LayerKind::kPooling, name, p, {input}, out);
+}
+
+std::string
+Network::addFullyConnected(const std::string &name,
+                           const std::string &input, const FcParams &p)
+{
+    Dims in = inputDims(input);
+    if (p.out_features <= 0)
+        fatal("fc '", name, "': out_features must be positive");
+    Dims out(in.n, p.out_features, 1, 1);
+    return appendLayer(LayerKind::kFullyConnected, name, p, {input},
+                       out);
+}
+
+std::string
+Network::addActivation(const std::string &name, const std::string &input,
+                       const ActivationParams &p)
+{
+    return appendLayer(LayerKind::kActivation, name, p, {input},
+                       inputDims(input));
+}
+
+std::string
+Network::addBatchNorm(const std::string &name, const std::string &input,
+                      const BatchNormParams &p)
+{
+    return appendLayer(LayerKind::kBatchNorm, name, p, {input},
+                       inputDims(input));
+}
+
+std::string
+Network::addScale(const std::string &name, const std::string &input,
+                  const ScaleParams &p)
+{
+    return appendLayer(LayerKind::kScale, name, p, {input},
+                       inputDims(input));
+}
+
+std::string
+Network::addLrn(const std::string &name, const std::string &input,
+                const LrnParams &p)
+{
+    return appendLayer(LayerKind::kLRN, name, p, {input},
+                       inputDims(input));
+}
+
+std::string
+Network::addConcat(const std::string &name,
+                   const std::vector<std::string> &inputs)
+{
+    if (inputs.empty())
+        fatal("concat '", name, "': needs at least one input");
+    Dims out = inputDims(inputs[0]);
+    for (std::size_t i = 1; i < inputs.size(); i++) {
+        Dims d = inputDims(inputs[i]);
+        if (d.n != out.n || d.h != out.h || d.w != out.w)
+            fatal("concat '", name, "': input ", inputs[i],
+                  " dims ", d.toString(), " mismatch ",
+                  out.toString());
+        out.c += d.c;
+    }
+    return appendLayer(LayerKind::kConcat, name, ConcatParams{}, inputs,
+                       out);
+}
+
+std::string
+Network::addEltwise(const std::string &name,
+                    const std::vector<std::string> &inputs,
+                    const EltwiseParams &p)
+{
+    if (inputs.size() < 2)
+        fatal("eltwise '", name, "': needs at least two inputs");
+    Dims out = inputDims(inputs[0]);
+    for (const auto &in : inputs) {
+        if (!(inputDims(in) == out))
+            fatal("eltwise '", name, "': shape mismatch on ", in);
+    }
+    return appendLayer(LayerKind::kEltwise, name, p, inputs, out);
+}
+
+std::string
+Network::addSoftmax(const std::string &name, const std::string &input)
+{
+    return appendLayer(LayerKind::kSoftmax, name, SoftmaxParams{},
+                       {input}, inputDims(input));
+}
+
+std::string
+Network::addUpsample(const std::string &name, const std::string &input,
+                     const UpsampleParams &p)
+{
+    Dims in = inputDims(input);
+    if (p.factor <= 0)
+        fatal("upsample '", name, "': factor must be positive");
+    Dims out(in.n, in.c, in.h * p.factor, in.w * p.factor);
+    return appendLayer(LayerKind::kUpsample, name, p, {input}, out);
+}
+
+std::string
+Network::addFlatten(const std::string &name, const std::string &input)
+{
+    Dims in = inputDims(input);
+    Dims out(in.n, in.c * in.h * in.w, 1, 1);
+    return appendLayer(LayerKind::kFlatten, name, FlattenParams{},
+                       {input}, out);
+}
+
+std::string
+Network::addDropout(const std::string &name, const std::string &input,
+                    const DropoutParams &p)
+{
+    return appendLayer(LayerKind::kDropout, name, p, {input},
+                       inputDims(input));
+}
+
+std::string
+Network::addRegion(const std::string &name, const std::string &input,
+                   const RegionParams &p)
+{
+    return appendLayer(LayerKind::kRegion, name, p, {input},
+                       inputDims(input));
+}
+
+std::string
+Network::addDetectionOutput(const std::string &name,
+                            const std::vector<std::string> &inputs,
+                            const DetectionOutputParams &p)
+{
+    if (inputs.empty())
+        fatal("detection '", name, "': needs inputs");
+    Dims in = inputDims(inputs[0]);
+    Dims out(in.n, p.keep_top_k, 7, 1);
+    return appendLayer(LayerKind::kDetectionOutput, name, p, inputs,
+                       out);
+}
+
+std::string
+Network::addIdentity(const std::string &name, const std::string &input)
+{
+    return appendLayer(LayerKind::kIdentity, name, NoParams{}, {input},
+                       inputDims(input));
+}
+
+void
+Network::markOutput(const std::string &tensor_name)
+{
+    if (!tensors_.count(tensor_name))
+        fatal("markOutput: unknown tensor '", tensor_name, "'");
+    if (std::find(outputs_.begin(), outputs_.end(), tensor_name) ==
+        outputs_.end())
+        outputs_.push_back(tensor_name);
+}
+
+const Layer &
+Network::layer(std::int32_t id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= layers_.size())
+        panic("layer id out of range: ", id);
+    return layers_[id];
+}
+
+bool
+Network::hasTensor(const std::string &name) const
+{
+    return tensors_.count(name) > 0;
+}
+
+const TensorDesc &
+Network::tensor(const std::string &name) const
+{
+    auto it = tensors_.find(name);
+    if (it == tensors_.end())
+        fatal("network '", name_, "': unknown tensor '", name, "'");
+    return it->second;
+}
+
+std::int32_t
+Network::producerOf(const std::string &tensor_name) const
+{
+    auto it = producer_.find(tensor_name);
+    return it == producer_.end() ? -1 : it->second;
+}
+
+std::vector<std::int32_t>
+Network::consumersOf(const std::string &tensor_name) const
+{
+    std::vector<std::int32_t> out;
+    for (const auto &l : layers_)
+        for (const auto &in : l.inputs)
+            if (in == tensor_name) {
+                out.push_back(l.id);
+                break;
+            }
+    return out;
+}
+
+std::int64_t
+Network::layerParamCount(const Layer &l) const
+{
+    if (l.inputs.empty())
+        return 0;
+    Dims in = tensor(l.inputs[0]).dims;
+    std::int64_t in_feats = l.kind == LayerKind::kFullyConnected
+                                ? in.c * in.h * in.w
+                                : in.c;
+    return l.paramCount(in_feats);
+}
+
+std::int64_t
+Network::paramCount() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : layers_)
+        total += layerParamCount(l);
+    return total;
+}
+
+std::int64_t
+Network::convCount() const
+{
+    std::int64_t n = 0;
+    for (const auto &l : layers_)
+        if (l.kind == LayerKind::kConvolution ||
+            l.kind == LayerKind::kDeconvolution)
+            n++;
+    return n;
+}
+
+std::int64_t
+Network::maxPoolCount() const
+{
+    std::int64_t n = 0;
+    for (const auto &l : layers_)
+        if (l.kind == LayerKind::kPooling &&
+            l.as<PoolParams>().mode == PoolParams::Mode::kMax)
+            n++;
+    return n;
+}
+
+std::int64_t
+Network::modelSizeBytes() const
+{
+    // FP32 weights + ~160 bytes of prototxt-ish metadata per layer.
+    constexpr std::int64_t kPerLayerMeta = 160;
+    return paramCount() * 4 +
+           static_cast<std::int64_t>(layers_.size()) * kPerLayerMeta;
+}
+
+void
+Network::validate() const
+{
+    if (inputs_.empty())
+        fatal("network '", name_, "': no inputs declared");
+    if (outputs_.empty())
+        fatal("network '", name_, "': no outputs marked");
+    // Construction order must be topological: every layer's inputs
+    // must be produced by an earlier layer.
+    for (const auto &l : layers_) {
+        for (const auto &in : l.inputs) {
+            std::int32_t p = producerOf(in);
+            if (p < 0 || p >= l.id)
+                fatal("network '", name_, "': layer '", l.name,
+                      "' input '", in, "' not produced earlier");
+        }
+    }
+}
+
+} // namespace edgert::nn

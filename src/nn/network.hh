@@ -1,0 +1,162 @@
+#ifndef EDGERT_NN_NETWORK_HH
+#define EDGERT_NN_NETWORK_HH
+
+/**
+ * @file
+ * The network definition API: a DAG of layers over named tensors.
+ *
+ * Networks are built front-to-back; every add*() call performs shape
+ * inference immediately and registers the produced tensor, so an
+ * invalid graph fails fast at construction time. This mirrors the
+ * TensorRT INetworkDefinition surface the paper's workflows drive.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/tensor.hh"
+
+namespace edgert::nn {
+
+/**
+ * A directed acyclic graph of layers, stored in topological order
+ * (construction order is required to be topological).
+ */
+class Network
+{
+  public:
+    /** Create an empty network. @param name Model name ("resnet18"). */
+    explicit Network(std::string name);
+
+    const std::string &name() const { return name_; }
+
+    /** @name Builder API
+     *  Each method appends a layer, infers its output shape, and
+     *  returns the produced tensor's name (defaults to layer name).
+     *  @{
+     */
+    std::string addInput(const std::string &name, const Dims &dims);
+    std::string addConvolution(const std::string &name,
+                               const std::string &input,
+                               const ConvParams &p);
+    std::string addDeconvolution(const std::string &name,
+                                 const std::string &input,
+                                 const ConvParams &p);
+    std::string addPooling(const std::string &name,
+                           const std::string &input,
+                           const PoolParams &p);
+    std::string addFullyConnected(const std::string &name,
+                                  const std::string &input,
+                                  const FcParams &p);
+    std::string addActivation(const std::string &name,
+                              const std::string &input,
+                              const ActivationParams &p);
+    std::string addBatchNorm(const std::string &name,
+                             const std::string &input,
+                             const BatchNormParams &p = {});
+    std::string addScale(const std::string &name,
+                         const std::string &input,
+                         const ScaleParams &p = {});
+    std::string addLrn(const std::string &name, const std::string &input,
+                       const LrnParams &p);
+    std::string addConcat(const std::string &name,
+                          const std::vector<std::string> &inputs);
+    std::string addEltwise(const std::string &name,
+                           const std::vector<std::string> &inputs,
+                           const EltwiseParams &p);
+    std::string addSoftmax(const std::string &name,
+                           const std::string &input);
+    std::string addUpsample(const std::string &name,
+                            const std::string &input,
+                            const UpsampleParams &p);
+    std::string addFlatten(const std::string &name,
+                           const std::string &input);
+    std::string addDropout(const std::string &name,
+                           const std::string &input,
+                           const DropoutParams &p = {});
+    std::string addRegion(const std::string &name,
+                          const std::string &input,
+                          const RegionParams &p);
+    std::string addDetectionOutput(const std::string &name,
+                                   const std::vector<std::string> &inputs,
+                                   const DetectionOutputParams &p);
+    std::string addIdentity(const std::string &name,
+                            const std::string &input);
+    /** @} */
+
+    /** Mark a tensor as a network output. */
+    void markOutput(const std::string &tensor);
+
+    /** All layers in topological order (including kInput nodes). */
+    const std::vector<Layer> &layers() const { return layers_; }
+
+    /** Layer lookup by id; panics when out of range. */
+    const Layer &layer(std::int32_t id) const;
+
+    /** True when a tensor of this name exists. */
+    bool hasTensor(const std::string &name) const;
+
+    /** Tensor metadata lookup; fatal when unknown. */
+    const TensorDesc &tensor(const std::string &name) const;
+
+    /** Id of the layer producing a tensor, or -1 for none. */
+    std::int32_t producerOf(const std::string &tensor) const;
+
+    /** Ids of layers consuming a tensor. */
+    std::vector<std::int32_t>
+    consumersOf(const std::string &tensor) const;
+
+    const std::vector<std::string> &inputs() const { return inputs_; }
+    const std::vector<std::string> &outputs() const { return outputs_; }
+
+    /** @name Model statistics
+     *  @{
+     */
+    /** Trainable parameters of one layer (shape-aware). */
+    std::int64_t layerParamCount(const Layer &l) const;
+
+    /** Total trainable parameters. */
+    std::int64_t paramCount() const;
+
+    /** Number of (de)convolution layers. */
+    std::int64_t convCount() const;
+
+    /** Number of max-pooling layers. */
+    std::int64_t maxPoolCount() const;
+
+    /**
+     * Serialized FP32 model size in bytes (weights + per-layer
+     * metadata), matching the "un-optimized model size" column of
+     * the paper's Table II.
+     */
+    std::int64_t modelSizeBytes() const;
+    /** @} */
+
+    /**
+     * Validate graph invariants (outputs marked, every tensor
+     * produced before use, no dangling inputs). Fatal on violation.
+     */
+    void validate() const;
+
+  private:
+    std::string appendLayer(LayerKind kind, const std::string &name,
+                            LayerParams params,
+                            std::vector<std::string> inputs,
+                            const Dims &out_dims);
+
+    Dims inputDims(const std::string &tensor) const;
+
+    std::string name_;
+    std::vector<Layer> layers_;
+    std::unordered_map<std::string, TensorDesc> tensors_;
+    std::unordered_map<std::string, std::int32_t> producer_;
+    std::vector<std::string> inputs_;
+    std::vector<std::string> outputs_;
+};
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_NETWORK_HH

@@ -1,0 +1,302 @@
+#include "nn/serialize.hh"
+
+#include <fstream>
+
+#include "common/binio.hh"
+#include "common/logging.hh"
+
+namespace edgert::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e545245; // "ERTN"
+constexpr std::uint32_t kVersion = 2; // v2: rectangular kernels
+
+void
+writeParams(BinWriter &w, const Layer &l)
+{
+    switch (l.kind) {
+      case LayerKind::kConvolution:
+      case LayerKind::kDeconvolution: {
+        const auto &p = l.as<ConvParams>();
+        w.i64(p.out_channels);
+        w.i64(p.kernel);
+        w.i64(p.kernel_w);
+        w.i64(p.stride);
+        w.i64(p.pad);
+        w.i64(p.pad_w);
+        w.i64(p.dilation);
+        w.i64(p.groups);
+        w.u8(p.has_bias);
+        break;
+      }
+      case LayerKind::kPooling: {
+        const auto &p = l.as<PoolParams>();
+        w.u8(static_cast<std::uint8_t>(p.mode));
+        w.i64(p.kernel);
+        w.i64(p.stride);
+        w.i64(p.pad);
+        w.u8(p.global);
+        break;
+      }
+      case LayerKind::kFullyConnected: {
+        const auto &p = l.as<FcParams>();
+        w.i64(p.out_features);
+        w.u8(p.has_bias);
+        break;
+      }
+      case LayerKind::kActivation: {
+        const auto &p = l.as<ActivationParams>();
+        w.u8(static_cast<std::uint8_t>(p.mode));
+        w.f32(p.alpha);
+        break;
+      }
+      case LayerKind::kBatchNorm:
+        w.f32(l.as<BatchNormParams>().epsilon);
+        break;
+      case LayerKind::kScale:
+        w.u8(l.as<ScaleParams>().has_bias);
+        break;
+      case LayerKind::kLRN: {
+        const auto &p = l.as<LrnParams>();
+        w.i64(p.local_size);
+        w.f32(p.alpha);
+        w.f32(p.beta);
+        w.f32(p.k);
+        break;
+      }
+      case LayerKind::kEltwise:
+        w.u8(static_cast<std::uint8_t>(l.as<EltwiseParams>().mode));
+        break;
+      case LayerKind::kUpsample:
+        w.i64(l.as<UpsampleParams>().factor);
+        break;
+      case LayerKind::kDropout:
+        w.f32(l.as<DropoutParams>().ratio);
+        break;
+      case LayerKind::kRegion: {
+        const auto &p = l.as<RegionParams>();
+        w.i64(p.num_anchors);
+        w.i64(p.num_classes);
+        break;
+      }
+      case LayerKind::kDetectionOutput: {
+        const auto &p = l.as<DetectionOutputParams>();
+        w.i64(p.num_classes);
+        w.f32(p.nms_threshold);
+        w.f32(p.confidence_threshold);
+        w.i64(p.keep_top_k);
+        break;
+      }
+      default:
+        break; // no parameters
+    }
+}
+
+void
+readLayer(BinReader &r, Network &net)
+{
+    auto kind = static_cast<LayerKind>(r.u8());
+    std::string name = r.str();
+    std::uint32_t nin = r.u32();
+    std::vector<std::string> inputs;
+    for (std::uint32_t i = 0; i < nin; i++)
+        inputs.push_back(r.str());
+
+    switch (kind) {
+      case LayerKind::kInput: {
+        Dims d;
+        d.n = r.i64();
+        d.c = r.i64();
+        d.h = r.i64();
+        d.w = r.i64();
+        net.addInput(name, d);
+        break;
+      }
+      case LayerKind::kConvolution:
+      case LayerKind::kDeconvolution: {
+        ConvParams p;
+        p.out_channels = r.i64();
+        p.kernel = r.i64();
+        p.kernel_w = r.i64();
+        p.stride = r.i64();
+        p.pad = r.i64();
+        p.pad_w = r.i64();
+        p.dilation = r.i64();
+        p.groups = r.i64();
+        p.has_bias = r.u8();
+        if (kind == LayerKind::kConvolution)
+            net.addConvolution(name, inputs.at(0), p);
+        else
+            net.addDeconvolution(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kPooling: {
+        PoolParams p;
+        p.mode = static_cast<PoolParams::Mode>(r.u8());
+        p.kernel = r.i64();
+        p.stride = r.i64();
+        p.pad = r.i64();
+        p.global = r.u8();
+        net.addPooling(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kFullyConnected: {
+        FcParams p;
+        p.out_features = r.i64();
+        p.has_bias = r.u8();
+        net.addFullyConnected(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kActivation: {
+        ActivationParams p;
+        p.mode = static_cast<ActivationParams::Mode>(r.u8());
+        p.alpha = r.f32();
+        net.addActivation(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kBatchNorm: {
+        BatchNormParams p;
+        p.epsilon = r.f32();
+        net.addBatchNorm(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kScale: {
+        ScaleParams p;
+        p.has_bias = r.u8();
+        net.addScale(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kLRN: {
+        LrnParams p;
+        p.local_size = r.i64();
+        p.alpha = r.f32();
+        p.beta = r.f32();
+        p.k = r.f32();
+        net.addLrn(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kConcat:
+        net.addConcat(name, inputs);
+        break;
+      case LayerKind::kEltwise: {
+        EltwiseParams p;
+        p.mode = static_cast<EltwiseParams::Mode>(r.u8());
+        net.addEltwise(name, inputs, p);
+        break;
+      }
+      case LayerKind::kSoftmax:
+        net.addSoftmax(name, inputs.at(0));
+        break;
+      case LayerKind::kUpsample: {
+        UpsampleParams p;
+        p.factor = r.i64();
+        net.addUpsample(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kFlatten:
+        net.addFlatten(name, inputs.at(0));
+        break;
+      case LayerKind::kDropout: {
+        DropoutParams p;
+        p.ratio = r.f32();
+        net.addDropout(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kRegion: {
+        RegionParams p;
+        p.num_anchors = r.i64();
+        p.num_classes = r.i64();
+        net.addRegion(name, inputs.at(0), p);
+        break;
+      }
+      case LayerKind::kDetectionOutput: {
+        DetectionOutputParams p;
+        p.num_classes = r.i64();
+        p.nms_threshold = r.f32();
+        p.confidence_threshold = r.f32();
+        p.keep_top_k = r.i64();
+        net.addDetectionOutput(name, inputs, p);
+        break;
+      }
+      case LayerKind::kIdentity:
+        net.addIdentity(name, inputs.at(0));
+        break;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeNetwork(const Network &net)
+{
+    BinWriter w;
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.str(net.name());
+    w.u32(static_cast<std::uint32_t>(net.layers().size()));
+    for (const auto &l : net.layers()) {
+        w.u8(static_cast<std::uint8_t>(l.kind));
+        w.str(l.name);
+        w.u32(static_cast<std::uint32_t>(l.inputs.size()));
+        for (const auto &in : l.inputs)
+            w.str(in);
+        if (l.kind == LayerKind::kInput) {
+            const Dims &d = net.tensor(l.name).dims;
+            w.i64(d.n);
+            w.i64(d.c);
+            w.i64(d.h);
+            w.i64(d.w);
+        } else {
+            writeParams(w, l);
+        }
+    }
+    w.u32(static_cast<std::uint32_t>(net.outputs().size()));
+    for (const auto &o : net.outputs())
+        w.str(o);
+    return w.bytes();
+}
+
+Network
+deserializeNetwork(const std::vector<std::uint8_t> &bytes)
+{
+    BinReader r(bytes);
+    if (r.u32() != kMagic)
+        fatal("deserializeNetwork: bad magic");
+    if (r.u32() != kVersion)
+        fatal("deserializeNetwork: unsupported version");
+    Network net(r.str());
+    std::uint32_t n_layers = r.u32();
+    for (std::uint32_t i = 0; i < n_layers; i++)
+        readLayer(r, net);
+    std::uint32_t n_out = r.u32();
+    for (std::uint32_t i = 0; i < n_out; i++)
+        net.markOutput(r.str());
+    net.validate();
+    return net;
+}
+
+void
+saveNetwork(const Network &net, const std::string &path)
+{
+    auto bytes = serializeNetwork(net);
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("saveNetwork: cannot open '", path, "'");
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+Network
+loadNetwork(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        fatal("loadNetwork: cannot open '", path, "'");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(f)),
+        std::istreambuf_iterator<char>());
+    return deserializeNetwork(bytes);
+}
+
+} // namespace edgert::nn

@@ -1,0 +1,35 @@
+#ifndef EDGERT_NN_SERIALIZE_HH
+#define EDGERT_NN_SERIALIZE_HH
+
+/**
+ * @file
+ * Binary (de)serialization of Network graphs — the "frozen model
+ * file" a deployment ships to the edge device before the engine is
+ * built there. Weights are synthetic (seed-derived) so the format
+ * stores graph structure only; the on-disk size of a real FP32 model
+ * is reported by Network::modelSizeBytes().
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace edgert::nn {
+
+/** Serialize a network to a byte buffer. */
+std::vector<std::uint8_t> serializeNetwork(const Network &net);
+
+/** Reconstruct a network from serializeNetwork() output. */
+Network deserializeNetwork(const std::vector<std::uint8_t> &bytes);
+
+/** Write a serialized network to a file. Fatal on I/O error. */
+void saveNetwork(const Network &net, const std::string &path);
+
+/** Load a network from a file. Fatal on I/O error. */
+Network loadNetwork(const std::string &path);
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_SERIALIZE_HH

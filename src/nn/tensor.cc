@@ -1,0 +1,56 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edgert::nn {
+
+std::size_t
+dataTypeSize(DataType t)
+{
+    switch (t) {
+      case DataType::kFloat32:
+      case DataType::kInt32:
+        return 4;
+      case DataType::kFloat16:
+        return 2;
+      case DataType::kInt8:
+        return 1;
+    }
+    panic("unknown DataType");
+}
+
+const char *
+dataTypeName(DataType t)
+{
+    switch (t) {
+      case DataType::kFloat32: return "fp32";
+      case DataType::kFloat16: return "fp16";
+      case DataType::kInt8: return "int8";
+      case DataType::kInt32: return "int32";
+    }
+    panic("unknown DataType");
+}
+
+std::string
+Dims::toString() const
+{
+    return std::to_string(n) + "x" + std::to_string(c) + "x" +
+           std::to_string(h) + "x" + std::to_string(w);
+}
+
+Tensor::Tensor(const Dims &dims) : dims_(dims)
+{
+    if (!dims.valid())
+        fatal("Tensor constructed with invalid dims ", dims.toString());
+    data_.assign(static_cast<std::size_t>(dims.volume()), 0.0f);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+} // namespace edgert::nn

@@ -1,0 +1,131 @@
+#ifndef EDGERT_NN_TENSOR_HH
+#define EDGERT_NN_TENSOR_HH
+
+/**
+ * @file
+ * Tensor shapes, element types and a dense host tensor buffer.
+ *
+ * Shapes are NCHW. The simulator mostly manipulates TensorDesc
+ * (shape + dtype metadata); dense Tensor buffers are only
+ * materialized by the functional executor and the tests.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgert::nn {
+
+/** Element types supported by the stack. */
+enum class DataType { kFloat32, kFloat16, kInt8, kInt32 };
+
+/** Size of one element of the given type, in bytes. */
+std::size_t dataTypeSize(DataType t);
+
+/** Human-readable dtype name ("fp32", "fp16", "int8", "int32"). */
+const char *dataTypeName(DataType t);
+
+/**
+ * Tensor dimensions in NCHW order. n==0 marks an invalid/unset shape.
+ */
+struct Dims
+{
+    std::int64_t n = 0;
+    std::int64_t c = 0;
+    std::int64_t h = 0;
+    std::int64_t w = 0;
+
+    Dims() = default;
+    Dims(std::int64_t n_, std::int64_t c_, std::int64_t h_,
+         std::int64_t w_)
+        : n(n_), c(c_), h(h_), w(w_)
+    {}
+
+    /** Total number of elements. */
+    std::int64_t volume() const { return n * c * h * w; }
+
+    /** True when every extent is positive. */
+    bool valid() const { return n > 0 && c > 0 && h > 0 && w > 0; }
+
+    bool operator==(const Dims &o) const = default;
+
+    /** "1x3x224x224" */
+    std::string toString() const;
+};
+
+/**
+ * Metadata describing one named tensor flowing through a network.
+ */
+struct TensorDesc
+{
+    std::string name;
+    Dims dims;
+    DataType dtype = DataType::kFloat32;
+
+    /** Size of the dense tensor in bytes. */
+    std::size_t
+    bytes() const
+    {
+        return static_cast<std::size_t>(dims.volume()) *
+               dataTypeSize(dtype);
+    }
+};
+
+/**
+ * Dense host tensor with float storage, used by the reference
+ * executor. Layout is contiguous NCHW.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-filled tensor of the given shape. */
+    explicit Tensor(const Dims &dims);
+
+    const Dims &dims() const { return dims_; }
+    std::int64_t volume() const { return dims_.volume(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    std::vector<float> &storage() { return data_; }
+    const std::vector<float> &storage() const { return data_; }
+
+    /** Element accessor (NCHW). No bounds checking in release. */
+    float &
+    at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+    {
+        return data_[offset(n, c, h, w)];
+    }
+
+    float
+    at(std::int64_t n, std::int64_t c, std::int64_t h,
+       std::int64_t w) const
+    {
+        return data_[offset(n, c, h, w)];
+    }
+
+    /** Flat accessor. */
+    float &operator[](std::int64_t i) { return data_[i]; }
+    float operator[](std::int64_t i) const { return data_[i]; }
+
+    /** Fill with a constant. */
+    void fill(float v);
+
+  private:
+    std::int64_t
+    offset(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const
+    {
+        return ((n * dims_.c + c) * dims_.h + h) * dims_.w + w;
+    }
+
+    Dims dims_;
+    std::vector<float> data_;
+};
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_TENSOR_HH

@@ -1,0 +1,91 @@
+#include "nn/weights.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgert::nn {
+
+WeightsStore::WeightsStore(const Network &net, std::uint64_t seed)
+    : net_(&net), seed_(seed)
+{}
+
+std::uint64_t
+WeightsStore::layerSeed(const Layer &l) const
+{
+    return hashCombine(seed_, hashString(l.name));
+}
+
+void
+WeightsStore::setOverride(const std::string &layer_name,
+                          std::vector<float> blob)
+{
+    overrides_[layer_name] = std::move(blob);
+}
+
+bool
+WeightsStore::hasOverride(const std::string &layer_name) const
+{
+    return overrides_.count(layer_name) > 0;
+}
+
+std::vector<float>
+WeightsStore::materialize(const Layer &l) const
+{
+    std::int64_t count = net_->layerParamCount(l);
+    auto ov = overrides_.find(l.name);
+    if (ov != overrides_.end()) {
+        if (static_cast<std::int64_t>(ov->second.size()) != count)
+            fatal("weights override for '", l.name, "' has ",
+                  ov->second.size(), " values, expected ", count);
+        return ov->second;
+    }
+    std::vector<float> blob(static_cast<std::size_t>(count));
+    if (count == 0)
+        return blob;
+
+    Rng rng(layerSeed(l));
+
+    // Fan-in for He initialization.
+    double fan_in = 1.0;
+    std::int64_t main_weights = count;
+    if (l.kind == LayerKind::kConvolution ||
+        l.kind == LayerKind::kDeconvolution) {
+        const auto &p = l.as<ConvParams>();
+        Dims in = net_->tensor(l.inputs[0]).dims;
+        fan_in = static_cast<double>((in.c / p.groups) * p.kh() *
+                                     p.kw());
+        main_weights = count - (p.has_bias ? p.out_channels : 0);
+    } else if (l.kind == LayerKind::kFullyConnected) {
+        const auto &p = l.as<FcParams>();
+        Dims in = net_->tensor(l.inputs[0]).dims;
+        fan_in = static_cast<double>(in.c * in.h * in.w);
+        main_weights = count - (p.has_bias ? p.out_features : 0);
+    }
+
+    double scale = std::sqrt(2.0 / fan_in);
+    for (std::int64_t i = 0; i < main_weights; i++)
+        blob[static_cast<std::size_t>(i)] =
+            static_cast<float>(rng.gaussian(0.0, scale));
+
+    // Bias / auxiliary blobs: small offsets so activations are not
+    // symmetric around zero (keeps relu paths alive).
+    for (std::int64_t i = main_weights; i < count; i++)
+        blob[static_cast<std::size_t>(i)] =
+            static_cast<float>(rng.gaussian(0.0, 0.05));
+
+    if (l.kind == LayerKind::kBatchNorm) {
+        // Blob layout: mean[c], var[c]; variances must be positive.
+        std::int64_t c = count / 2;
+        for (std::int64_t i = 0; i < c; i++)
+            blob[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.gaussian(0.0, 0.2));
+        for (std::int64_t i = c; i < count; i++)
+            blob[static_cast<std::size_t>(i)] =
+                static_cast<float>(0.5 + rng.uniform() * 0.8);
+    }
+    return blob;
+}
+
+} // namespace edgert::nn

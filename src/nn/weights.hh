@@ -1,0 +1,78 @@
+#ifndef EDGERT_NN_WEIGHTS_HH
+#define EDGERT_NN_WEIGHTS_HH
+
+/**
+ * @file
+ * Synthetic, lazily-materialized weight store.
+ *
+ * The paper's models come from a model zoo with up to 132 M trained
+ * parameters; holding all of them resident for 13 models would cost
+ * gigabytes and their exact values do not matter to any measured
+ * quantity except through the surrogate accuracy model. The store
+ * therefore keeps only (seed, count) metadata per layer and
+ * materializes He-initialized weights on demand — the functional
+ * executor does this for the small networks used in tests and
+ * examples. Materialization is deterministic: same network + seed
+ * always yields bit-identical weights.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace edgert::nn {
+
+/**
+ * Deterministic synthetic weights for one network.
+ */
+class WeightsStore
+{
+  public:
+    /**
+     * Bind a store to a network.
+     * @param net  Network whose layers are parameterized.
+     * @param seed Master seed; forked per layer by name.
+     */
+    WeightsStore(const Network &net, std::uint64_t seed);
+
+    /** Seed of one layer's weight stream. */
+    std::uint64_t layerSeed(const Layer &l) const;
+
+    /**
+     * Materialize a layer's parameter blob.
+     *
+     * Layout: main weights first, then bias (when present), then any
+     * auxiliary blobs (batch-norm mean/var). Total length equals
+     * Network::layerParamCount(l).
+     */
+    std::vector<float> materialize(const Layer &l) const;
+
+    /** Total parameter count (delegates to the network). */
+    std::int64_t paramCount() const { return net_->paramCount(); }
+
+    const Network &network() const { return *net_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Install explicit values for one layer, overriding the
+     * seed-derived blob (used by the weight-folding transform to
+     * carry folded parameters into a derived network). The blob
+     * length must equal the layer's parameter count.
+     */
+    void setOverride(const std::string &layer_name,
+                     std::vector<float> blob);
+
+    /** True when the layer's weights were explicitly installed. */
+    bool hasOverride(const std::string &layer_name) const;
+
+  private:
+    const Network *net_;
+    std::uint64_t seed_;
+    std::unordered_map<std::string, std::vector<float>> overrides_;
+};
+
+} // namespace edgert::nn
+
+#endif // EDGERT_NN_WEIGHTS_HH

@@ -1,0 +1,97 @@
+#include "perfmodel/bsp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgert::perfmodel {
+
+MicroArchParams
+MicroArchParams::measure(const gpusim::DeviceSpec &device)
+{
+    // Pointer-chase / ILP microbenchmarks would run here on real
+    // hardware; GV10B constants are identical on NX and AGX.
+    (void)device;
+    return MicroArchParams{};
+}
+
+double
+bspRawMs(const gpusim::KernelDesc &k, const gpusim::DeviceSpec &dev,
+         const MicroArchParams &p)
+{
+    double comp = static_cast<double>(k.instructions) * p.instr_cycles;
+    double comm_sm =
+        static_cast<double>(k.lds + k.sts) * p.lds_cycles;
+    double gm_accesses = static_cast<double>(k.ldg + k.stg) -
+                         static_cast<double>(k.l1_hits + k.l2_hits);
+    if (gm_accesses < 0.0)
+        gm_accesses = 0.0;
+    double comm_gm = gm_accesses * p.gm_cycles +
+                     static_cast<double>(k.l1_hits) * p.l1_cycles +
+                     static_cast<double>(k.l2_hits) * p.l2_cycles;
+
+    double clock_hz = dev.gpu_clock_ghz * 1e9;
+    double cores = static_cast<double>(dev.sm_count) *
+                   static_cast<double>(dev.cuda_cores_per_sm);
+    double cycles = comp + comm_sm + comm_gm;
+    return cycles / (clock_hz * cores) * 1e3;
+}
+
+BspModel::BspModel(const gpusim::DeviceSpec &calib_device)
+    : calib_device_(calib_device),
+      params_(MicroArchParams::measure(calib_device))
+{}
+
+void
+BspModel::calibrate(const std::vector<gpusim::OpRecord> &trace)
+{
+    std::map<std::string, std::pair<double, double>> sums; // raw, meas
+    std::map<std::string, int> counts;
+    for (const auto &rec : trace) {
+        if (rec.kind != gpusim::OpKind::kKernel)
+            continue;
+        double raw = bspRawMs(rec.kernel, calib_device_, params_);
+        auto &s = sums[rec.name];
+        s.first += raw;
+        s.second += rec.durationSeconds() * 1e3;
+        counts[rec.name]++;
+    }
+    for (const auto &[name, s] : sums) {
+        if (s.second <= 0.0)
+            continue;
+        LambdaEntry e;
+        // lambda absorbs everything the analytic expression misses
+        // (divergence, conflicts, coalescing): lambda = raw / meas.
+        e.lambda = s.first / s.second;
+        e.samples = counts[name];
+        lambdas_[name] = e;
+    }
+}
+
+Prediction
+BspModel::predict(const std::vector<gpusim::OpRecord> &trace,
+                  const gpusim::DeviceSpec &target) const
+{
+    Prediction out;
+    for (const auto &rec : trace) {
+        if (rec.kind != gpusim::OpKind::kKernel)
+            continue;
+        out.kernels_total++;
+        double raw = bspRawMs(rec.kernel, target, params_);
+        double lambda = 1.0;
+        auto it = lambdas_.find(rec.name);
+        if (it == lambdas_.end())
+            out.kernels_without_lambda++;
+        else
+            lambda = it->second.lambda;
+        out.predicted_ms += raw / std::max(lambda, 1e-9);
+        out.measured_ms += rec.durationSeconds() * 1e3;
+    }
+    if (out.measured_ms > 0.0)
+        out.error_pct = 100.0 *
+                        std::fabs(out.predicted_ms - out.measured_ms) /
+                        out.measured_ms;
+    return out;
+}
+
+} // namespace edgert::perfmodel

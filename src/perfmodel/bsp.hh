@@ -1,0 +1,110 @@
+#ifndef EDGERT_PERFMODEL_BSP_HH
+#define EDGERT_PERFMODEL_BSP_HH
+
+/**
+ * @file
+ * BSP-inspired GPU performance predictor (paper §VI-B).
+ *
+ * Implements the model of Eq. 2: a kernel's execution time is the
+ * sum of its computation cost and its shared/global-memory
+ * communication costs, divided by (clock x cores x lambda), where
+ * lambda is a per-kernel calibration constant obtained on one
+ * platform and reused to predict another platform of the same
+ * microarchitecture.
+ *
+ * The paper's point — which this module reproduces — is that the
+ * approach breaks down under TensorRT's non-deterministic engine
+ * generation: rebuilt engines change the kernel mix, invocation
+ * counts and per-invocation times, so lambdas calibrated on one
+ * engine mispredict another engine of the *same model* by a
+ * varying margin (their Tables XVII/XVIII show 2-13% swings).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hh"
+#include "gpusim/sim.hh"
+
+namespace edgert::perfmodel {
+
+/** Microarchitectural latency constants (cycles). */
+struct MicroArchParams
+{
+    double instr_cycles = 4.0;
+    double lds_cycles = 19.0;  //!< shared-memory access
+    double l1_cycles = 28.0;
+    double l2_cycles = 193.0;
+    double gm_cycles = 400.0;  //!< DRAM access
+
+    /**
+     * "Run the microbenchmarks" on a device. Both Xavier variants
+     * are GV10B, so the measured constants match — the paper's
+     * premise for cross-platform prediction.
+     */
+    static MicroArchParams measure(const gpusim::DeviceSpec &device);
+};
+
+/**
+ * Raw (lambda = 1) BSP time of one kernel launch on a device, in
+ * milliseconds. Counters are aggregate over all threads.
+ */
+double bspRawMs(const gpusim::KernelDesc &kernel,
+                const gpusim::DeviceSpec &device,
+                const MicroArchParams &params);
+
+/** Per-kernel-name calibration outcome. */
+struct LambdaEntry
+{
+    double lambda = 1.0;
+    int samples = 0;
+};
+
+/** Whole-application prediction outcome. */
+struct Prediction
+{
+    double predicted_ms = 0.0;
+    double measured_ms = 0.0;
+    double error_pct = 0.0; //!< |pred - meas| / meas * 100
+    int kernels_total = 0;
+    int kernels_without_lambda = 0; //!< fell back to lambda = 1
+};
+
+/**
+ * The calibrate-then-predict workflow of [56] as adopted by the
+ * paper.
+ */
+class BspModel
+{
+  public:
+    explicit BspModel(const gpusim::DeviceSpec &calib_device);
+
+    /**
+     * Calibrate per-kernel lambdas from a profiled trace measured
+     * on the calibration device.
+     */
+    void calibrate(const std::vector<gpusim::OpRecord> &trace);
+
+    /**
+     * Predict the kernel-time total of a target trace on a target
+     * device using the stored lambdas, and compare against the
+     * trace's own (measured) durations.
+     */
+    Prediction predict(const std::vector<gpusim::OpRecord> &trace,
+                       const gpusim::DeviceSpec &target) const;
+
+    const std::map<std::string, LambdaEntry> &lambdas() const
+    {
+        return lambdas_;
+    }
+
+  private:
+    gpusim::DeviceSpec calib_device_;
+    MicroArchParams params_;
+    std::map<std::string, LambdaEntry> lambdas_;
+};
+
+} // namespace edgert::perfmodel
+
+#endif // EDGERT_PERFMODEL_BSP_HH

@@ -1,0 +1,119 @@
+#include "profile/nvprof.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace edgert::profile {
+
+std::vector<SummaryRow>
+summarize(const std::vector<gpusim::OpRecord> &trace)
+{
+    struct Acc
+    {
+        gpusim::OpKind kind;
+        int calls = 0;
+        double total = 0.0;
+        double mn = 1e300;
+        double mx = 0.0;
+    };
+    std::map<std::string, Acc> acc;
+    double grand_total = 0.0;
+    for (const auto &rec : trace) {
+        if (rec.kind == gpusim::OpKind::kMarker ||
+            rec.kind == gpusim::OpKind::kDelay)
+            continue;
+        std::string key = rec.kind == gpusim::OpKind::kKernel
+                              ? rec.name
+                              : (rec.kind == gpusim::OpKind::kMemcpyH2D
+                                     ? "[CUDA memcpy HtoD]"
+                                     : "[CUDA memcpy DtoH]");
+        Acc &a = acc.try_emplace(key, Acc{rec.kind}).first->second;
+        double ms = rec.durationSeconds() * 1e3;
+        a.calls++;
+        a.total += ms;
+        a.mn = std::min(a.mn, ms);
+        a.mx = std::max(a.mx, ms);
+        grand_total += ms;
+    }
+
+    std::vector<SummaryRow> rows;
+    for (const auto &[name, a] : acc) {
+        SummaryRow r;
+        r.name = name;
+        r.kind = a.kind;
+        r.calls = a.calls;
+        r.total_ms = a.total;
+        r.avg_ms = a.total / a.calls;
+        r.min_ms = a.mn;
+        r.max_ms = a.mx;
+        r.pct_of_total =
+            grand_total > 0.0 ? 100.0 * a.total / grand_total : 0.0;
+        rows.push_back(std::move(r));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const SummaryRow &a, const SummaryRow &b) {
+                  return a.total_ms > b.total_ms;
+              });
+    return rows;
+}
+
+void
+printSummary(std::ostream &os,
+             const std::vector<gpusim::OpRecord> &trace)
+{
+    auto rows = summarize(trace);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%7s %9s %6s %9s %9s %9s  %s\n",
+                  "Time(%)", "Time(ms)", "Calls", "Avg(ms)",
+                  "Min(ms)", "Max(ms)", "Name");
+    os << "==PROF== Profiling result (summary mode):\n" << buf;
+    for (const auto &r : rows) {
+        std::snprintf(buf, sizeof(buf),
+                      "%6.2f%% %9.3f %6d %9.4f %9.4f %9.4f  %s\n",
+                      r.pct_of_total, r.total_ms, r.calls, r.avg_ms,
+                      r.min_ms, r.max_ms, r.name.c_str());
+        os << buf;
+    }
+}
+
+void
+printGpuTrace(std::ostream &os,
+              const std::vector<gpusim::OpRecord> &trace,
+              std::size_t max_rows)
+{
+    os << "==PROF== Profiling result (GPU trace mode):\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%12s %10s %7s  %s\n",
+                  "Start(ms)", "Dur(ms)", "Stream", "Name");
+    os << buf;
+    std::size_t shown = 0;
+    for (const auto &rec : trace) {
+        if (rec.kind == gpusim::OpKind::kMarker ||
+            rec.kind == gpusim::OpKind::kDelay)
+            continue;
+        if (shown++ >= max_rows) {
+            os << "  ... (" << trace.size() << " ops total)\n";
+            break;
+        }
+        std::snprintf(buf, sizeof(buf), "%12.4f %10.4f %7d  %s\n",
+                      rec.start_s * 1e3,
+                      rec.durationSeconds() * 1e3, rec.stream,
+                      rec.name.c_str());
+        os << buf;
+    }
+}
+
+std::vector<double>
+invocationTimesMs(const std::vector<gpusim::OpRecord> &trace,
+                  const std::string &kernel_name)
+{
+    std::vector<double> out;
+    for (const auto &rec : trace)
+        if (rec.kind == gpusim::OpKind::kKernel &&
+            rec.name == kernel_name)
+            out.push_back(rec.durationSeconds() * 1e3);
+    return out;
+}
+
+} // namespace edgert::profile

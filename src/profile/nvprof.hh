@@ -1,0 +1,60 @@
+#ifndef EDGERT_PROFILE_NVPROF_HH
+#define EDGERT_PROFILE_NVPROF_HH
+
+/**
+ * @file
+ * nvprof-analogue reporting over GpuSim traces.
+ *
+ * Two modes mirror the tool the paper uses:
+ *  - summary mode: per-kernel aggregation (calls, total, avg, min,
+ *    max) plus the CUDA memcpy rows;
+ *  - GPU-trace mode: the chronological list of every launch.
+ *
+ * Like the real nvprof, attaching the profiler perturbs the
+ * measurement: GpuSim adds a per-API-call overhead while profiling
+ * is enabled (GpuSim::setProfilingOverheadUs), which is how the
+ * Table VIII (profiled) vs Table IX (bare) difference reproduces.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gpusim/sim.hh"
+
+namespace edgert::profile {
+
+/** One row of the summary-mode report. */
+struct SummaryRow
+{
+    std::string name;
+    gpusim::OpKind kind = gpusim::OpKind::kKernel;
+    int calls = 0;
+    double total_ms = 0.0;
+    double avg_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    double pct_of_total = 0.0;
+};
+
+/** Aggregate a trace into summary rows, sorted by total time. */
+std::vector<SummaryRow>
+summarize(const std::vector<gpusim::OpRecord> &trace);
+
+/** Render summary mode ("nvprof --print-summary" style). */
+void printSummary(std::ostream &os,
+                  const std::vector<gpusim::OpRecord> &trace);
+
+/** Render GPU-trace mode (chronological launch list). */
+void printGpuTrace(std::ostream &os,
+                   const std::vector<gpusim::OpRecord> &trace,
+                   std::size_t max_rows = 64);
+
+/** Per-invocation durations (ms) of one kernel name, in order. */
+std::vector<double>
+invocationTimesMs(const std::vector<gpusim::OpRecord> &trace,
+                  const std::string &kernel_name);
+
+} // namespace edgert::profile
+
+#endif // EDGERT_PROFILE_NVPROF_HH

@@ -1,0 +1,49 @@
+#include "profile/tegrastats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace edgert::profile {
+
+Tegrastats::Tegrastats(gpusim::GpuSim &sim, double ram_used_mb)
+    : sim_(&sim), ram_used_mb_(ram_used_mb)
+{
+    sim_->resetStats();
+}
+
+const BoardSample &
+Tegrastats::sample()
+{
+    auto st = sim_->stats();
+    const auto &spec = sim_->spec();
+
+    BoardSample s;
+    s.t_s = sim_->nowSeconds();
+    s.gr3d_pct = st.smUtilizationPct(spec.sm_count);
+    double window = std::max(st.window_s, 1e-12);
+    s.emc_pct = std::min(
+        100.0, 100.0 * st.dram_bytes /
+                   (window * spec.effDramBps()));
+    s.ram_used_mb = ram_used_mb_;
+    s.ram_total_mb = spec.ram_gb * 1024.0;
+    s.vdd_gpu_mw = spec.gpuPowerMw(s.gr3d_pct / 100.0);
+    samples_.push_back(s);
+    sim_->resetStats();
+    return samples_.back();
+}
+
+void
+Tegrastats::print(std::ostream &os) const
+{
+    char buf[160];
+    for (const auto &s : samples_) {
+        std::snprintf(buf, sizeof(buf),
+                      "t=%.3fs RAM %.0f/%.0fMB GR3D_FREQ %.0f%% "
+                      "EMC_FREQ %.0f%% VDD_GPU %.0fmW\n",
+                      s.t_s, s.ram_used_mb, s.ram_total_mb,
+                      s.gr3d_pct, s.emc_pct, s.vdd_gpu_mw);
+        os << buf;
+    }
+}
+
+} // namespace edgert::profile

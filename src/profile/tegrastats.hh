@@ -1,0 +1,63 @@
+#ifndef EDGERT_PROFILE_TEGRASTATS_HH
+#define EDGERT_PROFILE_TEGRASTATS_HH
+
+/**
+ * @file
+ * tegrastats analogue: periodic board-level statistics over a
+ * GpuSim run — GR3D (GPU) load, EMC (memory) load, and RAM usage.
+ */
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gpusim/sim.hh"
+
+namespace edgert::profile {
+
+/** One tegrastats sample line. */
+struct BoardSample
+{
+    double t_s = 0.0;
+    double gr3d_pct = 0.0;   //!< GPU load over the last interval
+    double emc_pct = 0.0;    //!< DRAM bandwidth utilization
+    double ram_used_mb = 0.0;
+    double ram_total_mb = 0.0;
+    double vdd_gpu_mw = 0.0; //!< GPU rail power estimate
+};
+
+/**
+ * Windowed sampler: call sample() between GpuSim run segments; each
+ * call closes the current stats window and opens a new one.
+ */
+class Tegrastats
+{
+  public:
+    /**
+     * @param sim          Simulator to observe (not owned).
+     * @param ram_used_mb  Static resident-set model (engines +
+     *                     contexts + OS), reported in every sample.
+     */
+    Tegrastats(gpusim::GpuSim &sim, double ram_used_mb);
+
+    /** Close the current window and record a sample. */
+    const BoardSample &sample();
+
+    const std::vector<BoardSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /** Render samples in tegrastats' one-line-per-sample format. */
+    void print(std::ostream &os) const;
+
+  private:
+    gpusim::GpuSim *sim_;
+    double ram_used_mb_;
+    std::vector<BoardSample> samples_;
+};
+
+} // namespace edgert::profile
+
+#endif // EDGERT_PROFILE_TEGRASTATS_HH

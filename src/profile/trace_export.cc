@@ -1,0 +1,78 @@
+#include "profile/trace_export.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace edgert::profile {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+const char *
+category(gpusim::OpKind k)
+{
+    switch (k) {
+      case gpusim::OpKind::kKernel: return "kernel";
+      case gpusim::OpKind::kMemcpyH2D: return "memcpy_h2d";
+      case gpusim::OpKind::kMemcpyD2H: return "memcpy_d2h";
+      case gpusim::OpKind::kDelay: return "host";
+      case gpusim::OpKind::kMarker: return "marker";
+    }
+    return "other";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<gpusim::OpRecord> &trace,
+                 const std::string &process_name)
+{
+    os << "[\n";
+    bool first = true;
+    // Process-name metadata event.
+    os << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"" << jsonEscape(process_name)
+       << "\"}}";
+    first = false;
+
+    for (const auto &rec : trace) {
+        if (rec.kind == gpusim::OpKind::kMarker)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        double us = rec.start_s * 1e6;
+        double dur = rec.durationSeconds() * 1e6;
+        os << "  {\"name\":\"" << jsonEscape(rec.name)
+           << "\",\"cat\":\"" << category(rec.kind)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << rec.stream
+           << ",\"ts\":" << us << ",\"dur\":" << dur << "}";
+    }
+    os << "\n]\n";
+}
+
+void
+saveChromeTrace(const std::string &path,
+                const std::vector<gpusim::OpRecord> &trace,
+                const std::string &process_name)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("saveChromeTrace: cannot open '", path, "'");
+    writeChromeTrace(f, trace, process_name);
+}
+
+} // namespace edgert::profile

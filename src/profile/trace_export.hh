@@ -1,0 +1,37 @@
+#ifndef EDGERT_PROFILE_TRACE_EXPORT_HH
+#define EDGERT_PROFILE_TRACE_EXPORT_HH
+
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto) export of GpuSim op
+ * traces. Each stream renders as a track; kernels, memcpys and host
+ * delays become complete events — the visual equivalent of nvprof's
+ * timeline mode.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gpusim/sim.hh"
+
+namespace edgert::profile {
+
+/**
+ * Write the trace in Chrome's JSON array format.
+ * @param os     Output stream.
+ * @param trace  GpuSim::trace() records.
+ * @param process_name Label for the whole trace ("xavier-nx").
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<gpusim::OpRecord> &trace,
+                      const std::string &process_name);
+
+/** Write the trace to a file; fatal on I/O error. */
+void saveChromeTrace(const std::string &path,
+                     const std::vector<gpusim::OpRecord> &trace,
+                     const std::string &process_name);
+
+} // namespace edgert::profile
+
+#endif // EDGERT_PROFILE_TRACE_EXPORT_HH

@@ -1,0 +1,92 @@
+#include "runtime/context.hh"
+
+namespace edgert::runtime {
+
+ExecutionContext::ExecutionContext(const core::Engine &engine,
+                                   gpusim::GpuSim &sim, int stream)
+    : engine_(&engine), sim_(&sim), stream_(stream)
+{}
+
+void
+ExecutionContext::enqueueWeightUpload()
+{
+    std::int64_t bytes = engine_->weightBytes();
+    int transfers = engine_->weightTransfers();
+    if (bytes <= 0)
+        return;
+    sim_->memcpyH2D(stream_, static_cast<std::uint64_t>(bytes),
+                    std::max(1, transfers), "engine_weights_h2d");
+}
+
+InferenceHandle
+ExecutionContext::enqueueInference(bool copy_input, bool copy_output)
+{
+    InferenceHandle h;
+    h.begin = sim_->recordEvent(stream_);
+    if (copy_input) {
+        for (const auto &in : engine_->inputs())
+            sim_->memcpyH2D(stream_,
+                            static_cast<std::uint64_t>(in.bytes), 1,
+                            "input_h2d:" + in.name);
+    }
+    for (const auto &step : engine_->steps())
+        for (const auto &k : step.kernels)
+            sim_->launchKernel(stream_, k);
+    if (copy_output) {
+        for (const auto &out : engine_->outputs())
+            sim_->memcpyD2H(stream_,
+                            static_cast<std::uint64_t>(out.bytes), 1,
+                            "output_d2h:" + out.name);
+    }
+    h.end = sim_->recordEvent(stream_);
+    return h;
+}
+
+InferenceHandle
+ExecutionContext::enqueuePipelinedInference()
+{
+    if (copy_stream_ < 0)
+        copy_stream_ = sim_->createStream();
+    // Next frame's input upload and previous frame's output download
+    // overlap with this frame's kernels (double buffering through
+    // pre-pinned ring buffers).
+    for (const auto &in : engine_->inputs())
+        sim_->memcpyH2D(copy_stream_,
+                        static_cast<std::uint64_t>(in.bytes), 1,
+                        "input_h2d:" + in.name, /*pinned=*/true);
+    for (const auto &out : engine_->outputs())
+        sim_->memcpyD2H(copy_stream_,
+                        static_cast<std::uint64_t>(out.bytes), 1,
+                        "output_d2h:" + out.name, /*pinned=*/true);
+
+    InferenceHandle h;
+    h.begin = sim_->recordEvent(stream_);
+    for (const auto &step : engine_->steps())
+        for (const auto &k : step.kernels)
+            sim_->launchKernel(stream_, k);
+    h.end = sim_->recordEvent(stream_);
+    return h;
+}
+
+void
+ExecutionContext::enqueueHostGap(double seconds)
+{
+    if (seconds > 0.0)
+        sim_->hostDelay(stream_, seconds);
+}
+
+std::int64_t
+contextFootprintBytes(const core::Engine &engine)
+{
+    // Weights + an activation arena (TensorRT reserves the worst-case
+    // region pool, roughly 6x the largest I/O binding) + fixed
+    // per-context bookkeeping.
+    std::int64_t io = 0;
+    for (const auto &in : engine.inputs())
+        io += in.bytes;
+    for (const auto &out : engine.outputs())
+        io += out.bytes;
+    return engine.weightBytes() + 6 * io + (32 << 20);
+}
+
+} // namespace edgert::runtime

@@ -1,0 +1,83 @@
+#ifndef EDGERT_RUNTIME_CONTEXT_HH
+#define EDGERT_RUNTIME_CONTEXT_HH
+
+/**
+ * @file
+ * Execution context: binds a built engine to a device simulator and
+ * a stream (TensorRT IExecutionContext analogue). All enqueue calls
+ * are asynchronous; the caller drives GpuSim::run() and reads event
+ * timestamps.
+ */
+
+#include "core/engine.hh"
+#include "gpusim/sim.hh"
+
+namespace edgert::runtime {
+
+/** Event pair delimiting one enqueued inference. */
+struct InferenceHandle
+{
+    gpusim::EventId begin = -1;
+    gpusim::EventId end = -1;
+};
+
+/**
+ * One engine bound to one stream of one simulated device.
+ */
+class ExecutionContext
+{
+  public:
+    /**
+     * @param engine Built engine (outlives the context).
+     * @param sim    Device simulator (outlives the context).
+     * @param stream Stream this context enqueues on.
+     */
+    ExecutionContext(const core::Engine &engine, gpusim::GpuSim &sim,
+                     int stream);
+
+    const core::Engine &engine() const { return *engine_; }
+    int stream() const { return stream_; }
+
+    /**
+     * Enqueue the engine's weight upload (context initialisation).
+     * The paper's per-inference latency methodology re-uploads the
+     * engine each run, so measureLatency() calls this per run.
+     */
+    void enqueueWeightUpload();
+
+    /**
+     * Enqueue one complete inference.
+     * @param copy_input  Copy network inputs host-to-device first.
+     * @param copy_output Copy network outputs back afterwards.
+     */
+    InferenceHandle enqueueInference(bool copy_input = true,
+                                     bool copy_output = true);
+
+    /**
+     * Enqueue one pipelined (double-buffered) inference: I/O copies
+     * go to a dedicated copy stream and overlap with compute, as in
+     * a steady-state camera pipeline. The returned events bracket
+     * the compute stream only.
+     */
+    InferenceHandle enqueuePipelinedInference();
+
+    /** Enqueue host think-time before the next frame. */
+    void enqueueHostGap(double seconds);
+
+  private:
+    const core::Engine *engine_;
+    gpusim::GpuSim *sim_;
+    int stream_;
+    int copy_stream_ = -1; //!< lazily created for pipelined mode
+};
+
+/**
+ * Estimated per-context device memory footprint (engine weights +
+ * activation arena + stream bookkeeping), used by the concurrency
+ * harness to bound thread counts against platform RAM.
+ */
+std::int64_t contextFootprintBytes(const core::Engine &engine);
+
+} // namespace edgert::runtime
+
+#endif // EDGERT_RUNTIME_CONTEXT_HH

@@ -1,0 +1,120 @@
+#ifndef EDGERT_RUNTIME_MEASURE_HH
+#define EDGERT_RUNTIME_MEASURE_HH
+
+/**
+ * @file
+ * Measurement harnesses replicating the paper's methodology:
+ *
+ *  - measureLatency(): the Table VIII/IX/X protocol. Each run
+ *    uploads the engine to GPU memory (the CUDA-memcpy component
+ *    the paper dissects in Table X), copies the input, executes all
+ *    kernels, copies the output back; 10 runs, mean and stddev.
+ *    Optionally simulates an attached nvprof (per-op overhead).
+ *
+ *  - measureThroughput(): the Figure 3/4 protocol. N threads share
+ *    one engine, each bound to its own CUDA stream; frames run
+ *    back-to-back with a host think-time gap. Reports aggregate FPS
+ *    and tegrastats-style GPU utilization over a warm window, at
+ *    the platform's maximum clock.
+ */
+
+#include <vector>
+
+#include "core/engine.hh"
+#include "gpusim/device.hh"
+
+namespace edgert::runtime {
+
+/** Options for the latency protocol. */
+struct LatencyOptions
+{
+    int runs = 10;
+    bool with_profiler = true;     //!< nvprof attached (Table VIII)
+    double profiler_overhead_us = 50.0; //!< per CUDA API call
+    bool upload_weights_per_run = true; //!< paper's methodology
+    double system_noise = 0.02;    //!< relative run-to-run jitter
+    std::uint64_t noise_seed = 0;  //!< extra seed for the jitter
+};
+
+/** Latency measurement results (one engine on one device). */
+struct LatencyStats
+{
+    std::vector<double> samples_ms;
+    double mean_ms = 0.0;
+    double std_ms = 0.0;
+    double memcpy_mean_ms = 0.0; //!< CUDA memcpy portion per run
+    double kernel_mean_ms = 0.0; //!< kernel portion per run
+};
+
+/** Run the latency protocol for an engine on a device. */
+LatencyStats measureLatency(const core::Engine &engine,
+                            const gpusim::DeviceSpec &device,
+                            const LatencyOptions &opts = {});
+
+/** Per-kernel aggregate from a latency run (nvprof summary mode). */
+struct KernelProfile
+{
+    std::string name;
+    int calls = 0;
+    double total_ms = 0.0;
+    double mean_ms = 0.0;
+    double std_ms = 0.0;
+};
+
+/**
+ * Latency protocol variant that also returns nvprof-style per-kernel
+ * aggregates across the runs.
+ */
+LatencyStats profileLatency(const core::Engine &engine,
+                            const gpusim::DeviceSpec &device,
+                            std::vector<KernelProfile> &kernels,
+                            const LatencyOptions &opts = {});
+
+/** Options for the throughput/concurrency protocol. */
+struct ThroughputOptions
+{
+    int threads = 1;
+    int frames_per_thread = 40;
+    int warmup_frames = 5;
+    double host_gap_us = 250.0; //!< per-frame CPU think time
+    bool at_max_clock = true;   //!< paper uses MAXN for these runs
+
+    /**
+     * Pipelined (double-buffered) I/O: copies overlap compute, as a
+     * steady-state camera pipeline does. Disable to serialize
+     * copies into the compute stream.
+     */
+    bool pipelined = true;
+};
+
+/** Throughput measurement results. */
+struct ThroughputResult
+{
+    double aggregate_fps = 0.0;
+    double per_thread_fps = 0.0;
+    double gpu_util_pct = 0.0; //!< tegrastats GR3D analogue
+    double copy_busy_pct = 0.0;
+    double window_s = 0.0;
+};
+
+/** Run the concurrency protocol for an engine on a device. */
+ThroughputResult measureThroughput(const core::Engine &engine,
+                                   const gpusim::DeviceSpec &device,
+                                   const ThroughputOptions &opts = {});
+
+/**
+ * The paper's Equation 1 bound on the number of concurrently
+ * sustainable inference threads:
+ *
+ *   N = O(Fmem x Bwid / Bth)
+ *
+ * where Fmem x Bwid is the platform's memory bandwidth and Bth the
+ * bandwidth one thread demands. Bth is estimated from the engine's
+ * per-frame DRAM traffic at the single-thread frame rate.
+ */
+int estimateMaxThreads(const core::Engine &engine,
+                       const gpusim::DeviceSpec &device);
+
+} // namespace edgert::runtime
+
+#endif // EDGERT_RUNTIME_MEASURE_HH

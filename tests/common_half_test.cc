@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for software binary16 arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/half.hh"
+#include "common/rng.hh"
+
+namespace edgert {
+namespace {
+
+TEST(Half, ExactSmallIntegers)
+{
+    for (int i = -2048; i <= 2048; i++) {
+        float f = static_cast<float>(i);
+        EXPECT_EQ(roundToHalf(f), f) << "i=" << i;
+    }
+}
+
+TEST(Half, ExactPowersOfTwo)
+{
+    for (int e = -14; e <= 15; e++) {
+        float f = std::ldexp(1.0f, e);
+        EXPECT_EQ(roundToHalf(f), f) << "e=" << e;
+    }
+}
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000);
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3c00);
+    EXPECT_EQ(floatToHalfBits(-1.0f), 0xbc00);
+    EXPECT_EQ(floatToHalfBits(2.0f), 0x4000);
+    EXPECT_EQ(floatToHalfBits(0.5f), 0x3800);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7bff); // max finite half
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_EQ(floatToHalfBits(65536.0f), 0x7c00);
+    EXPECT_EQ(floatToHalfBits(-1e10f), 0xfc00);
+    EXPECT_TRUE(std::isinf(roundToHalf(1e8f)));
+}
+
+TEST(Half, UnderflowToZero)
+{
+    EXPECT_EQ(floatToHalfBits(1e-10f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-1e-10f), 0x8000);
+}
+
+TEST(Half, SubnormalsRepresentable)
+{
+    // Smallest positive subnormal half is 2^-24.
+    float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(roundToHalf(tiny), tiny);
+    float sub = std::ldexp(3.0f, -24);
+    EXPECT_EQ(roundToHalf(sub), sub);
+}
+
+TEST(Half, NanPropagates)
+{
+    float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(roundToHalf(nan)));
+}
+
+TEST(Half, InfinityPreserved)
+{
+    float inf = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(std::isinf(roundToHalf(inf)));
+    EXPECT_TRUE(std::isinf(roundToHalf(-inf)));
+    EXPECT_LT(roundToHalf(-inf), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 2049 is exactly between 2048 and 2050 in half precision;
+    // RNE picks the even mantissa (2048).
+    EXPECT_EQ(roundToHalf(2049.0f), 2048.0f);
+    // 2051 is between 2050 and 2052 -> 2052 (even).
+    EXPECT_EQ(roundToHalf(2051.0f), 2052.0f);
+}
+
+TEST(Half, RoundTripThroughBits)
+{
+    Rng rng(99);
+    for (int i = 0; i < 20000; i++) {
+        float f = static_cast<float>(rng.gaussian(0.0, 100.0));
+        float h = roundToHalf(f);
+        // Idempotent: rounding an already-half value is exact.
+        EXPECT_EQ(roundToHalf(h), h);
+        // Error bounded by half ULP (relative 2^-11 in normal range).
+        if (std::fabs(f) > 6.1e-5f && std::fabs(f) < 65504.0f) {
+            EXPECT_LE(std::fabs(h - f),
+                      std::fabs(f) * 0.000489f + 1e-7f);
+        }
+    }
+}
+
+TEST(Half, ArithmeticRoundsEachOp)
+{
+    // One ulp of 1.0 in half precision is 2^-10.
+    Half a(1.0f), b(0.0009765625f);
+    Half c = a + b;
+    EXPECT_FLOAT_EQ(c.toFloat(), 1.0009765625f);
+    // A half-ulp addend ties and rounds to even (back to 1.0).
+    Half half_ulp(0.00048828125f);
+    EXPECT_EQ((a + half_ulp).toFloat(), 1.0f);
+    // A value far below the ulp leaves the sum unchanged.
+    Half tiny(1e-5f);
+    EXPECT_EQ((a + tiny).toFloat(), 1.0f);
+}
+
+TEST(Half, ComparisonOperators)
+{
+    EXPECT_TRUE(Half(1.0f) < Half(2.0f));
+    EXPECT_TRUE(Half(1.0f) == Half(1.0f));
+    EXPECT_FALSE(Half(2.0f) < Half(1.0f));
+}
+
+} // namespace
+} // namespace edgert

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and hashing utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace edgert {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; i++)
+        seen.insert(r.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; i++) {
+        std::int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; i++) {
+        double g = r.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        sum += r.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    // Drawing from one fork must not change another fork's stream.
+    Rng base(21);
+    Rng b1 = base.fork("b");
+    std::uint64_t b_first = b1.next();
+
+    Rng a2 = base.fork("a");
+    for (int i = 0; i < 10; i++)
+        a2.next();
+    Rng b2 = base.fork("b");
+    EXPECT_EQ(b2.next(), b_first);
+}
+
+TEST(Rng, ForkByLabelAndIndexDiffer)
+{
+    Rng base(23);
+    EXPECT_NE(base.fork("x").next(), base.fork("y").next());
+    EXPECT_NE(base.fork(0).next(), base.fork(1).next());
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(29);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Hashing, StringHashStable)
+{
+    EXPECT_EQ(hashString("edgert"), hashString("edgert"));
+    EXPECT_NE(hashString("edgert"), hashString("edgerT"));
+    EXPECT_NE(hashString(""), hashString("a"));
+}
+
+TEST(Hashing, CombineOrderMatters)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Hashing, Mix64Bijective)
+{
+    // Distinct inputs map to distinct outputs (spot check).
+    std::set<std::uint64_t> out;
+    for (std::uint64_t i = 0; i < 10000; i++)
+        out.insert(mix64(i));
+    EXPECT_EQ(out.size(), 10000u);
+}
+
+} // namespace
+} // namespace edgert

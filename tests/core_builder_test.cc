@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the engine builder: tactic enumeration, autotuner
+ * determinism under a pinned build id, cross-build variation,
+ * device-dependent tactic sets (Winograd gating), engine
+ * serialization, and plan-size behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/builder.hh"
+#include "core/tactics.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+
+namespace edgert::core {
+namespace {
+
+using gpusim::DeviceSpec;
+using nn::Network;
+
+TEST(Tactics, ConvHasMultipleCandidates)
+{
+    Network net = nn::buildZooModel("resnet-18");
+    auto g = optimize(net, nn::Precision::kFp16);
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    bool found_conv = false;
+    for (const auto &n : g.nodes()) {
+        auto cands = tacticCandidates(g, n, nx);
+        EXPECT_FALSE(cands.empty()) << n.name;
+        for (const auto &t : cands) {
+            EXPECT_FALSE(t.kernels.empty());
+            for (const auto &k : t.kernels) {
+                EXPECT_GT(k.grid_blocks, 0);
+                EXPECT_GT(k.efficiency, 0.0);
+                EXPECT_GE(k.dram_bytes, 0);
+            }
+        }
+        if (n.kind == FusedOpKind::kConv) {
+            EXPECT_GE(cands.size(), 5u);
+            found_conv = true;
+        }
+    }
+    EXPECT_TRUE(found_conv);
+}
+
+TEST(Tactics, WinogradOnlyOnEightSmDevices)
+{
+    Network net = nn::buildZooModel("resnet-18");
+    auto g = optimize(net, nn::Precision::kFp16);
+    auto has_wino = [&](const DeviceSpec &dev) {
+        for (const auto &n : g.nodes())
+            for (const auto &t : tacticCandidates(g, n, dev))
+                if (t.name.find("winograd") != std::string::npos)
+                    return true;
+        return false;
+    };
+    EXPECT_FALSE(has_wino(DeviceSpec::xavierNX()));
+    EXPECT_TRUE(has_wino(DeviceSpec::xavierAGX()));
+}
+
+TEST(Tactics, DepthwiseUsesDepthwiseKernels)
+{
+    Network net = nn::buildZooModel("mobilenetv1");
+    auto g = optimize(net, nn::Precision::kFp16);
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    int depthwise_nodes = 0;
+    for (const auto &n : g.nodes()) {
+        if (n.kind != FusedOpKind::kConv)
+            continue;
+        auto cands = tacticCandidates(g, n, nx);
+        if (cands[0].name.find("cuDepthwise") != std::string::npos)
+            depthwise_nodes++;
+    }
+    EXPECT_EQ(depthwise_nodes, 13);
+}
+
+TEST(Builder, PinnedBuildIdIsReproducible)
+{
+    Network net = nn::buildZooModel("googlenet");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig cfg;
+    cfg.build_id = 42;
+    Engine a = Builder(nx, cfg).build(net);
+    Engine b = Builder(nx, cfg).build(net);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(Builder, RebuildsUsuallyDiffer)
+{
+    // Finding 6: engine generation is non-deterministic across
+    // builds. With 10 build ids on a large model, at least two
+    // distinct fingerprints must appear.
+    Network net = nn::buildZooModel("inception-v4");
+    const DeviceSpec agx = DeviceSpec::xavierAGX();
+    std::set<std::uint64_t> prints;
+    for (std::uint64_t id = 0; id < 10; id++) {
+        BuilderConfig cfg;
+        cfg.build_id = id;
+        prints.insert(Builder(agx, cfg).build(net).fingerprint());
+    }
+    EXPECT_GE(prints.size(), 2u);
+}
+
+TEST(Builder, ZeroNoiseIsBuildIdIndependent)
+{
+    // With no timing noise the autotuner is a pure argmin: every
+    // build picks identical tactics.
+    Network net = nn::buildZooModel("resnet-18");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig a, b;
+    a.timing_noise = b.timing_noise = 0.0;
+    a.build_id = 1;
+    b.build_id = 999;
+    EXPECT_EQ(Builder(nx, a).build(net).fingerprint(),
+              Builder(nx, b).build(net).fingerprint());
+}
+
+TEST(Builder, MoreTimingIterationsReduceVariance)
+{
+    Network net = nn::buildZooModel("googlenet");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    auto distinct = [&](int iters) {
+        std::set<std::uint64_t> prints;
+        for (std::uint64_t id = 0; id < 8; id++) {
+            BuilderConfig cfg;
+            cfg.build_id = id;
+            cfg.avg_timing_iterations = iters;
+            prints.insert(
+                Builder(nx, cfg).build(net).fingerprint());
+        }
+        return prints.size();
+    };
+    EXPECT_LE(distinct(16), distinct(1));
+}
+
+TEST(Builder, ReportDescribesEveryNode)
+{
+    Network net = nn::buildZooModel("tiny-yolov3");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig cfg;
+    cfg.build_id = 1;
+    BuildReport report;
+    Engine e = Builder(nx, cfg).build(net, &report);
+    EXPECT_EQ(report.tuning.size(), e.steps().size());
+    for (const auto &rec : report.tuning) {
+        EXPECT_GT(rec.candidates, 0);
+        EXPECT_GT(rec.best_ms, 0.0);
+        EXPECT_FALSE(rec.chosen_tactic.empty());
+    }
+}
+
+TEST(Builder, EngineMetadata)
+{
+    Network net = nn::buildZooModel("resnet-18");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig cfg;
+    cfg.build_id = 7;
+    Engine e = Builder(nx, cfg).build(net);
+    EXPECT_EQ(e.modelName(), "resnet-18");
+    EXPECT_EQ(e.deviceName(), "xavier-nx");
+    EXPECT_EQ(e.precision(), nn::Precision::kFp16);
+    EXPECT_EQ(e.buildId(), 7u);
+    EXPECT_GT(e.kernelCount(), 0);
+    EXPECT_GT(e.weightBytes(), 0);
+    EXPECT_GT(e.weightTransfers(), 0);
+    ASSERT_EQ(e.inputs().size(), 1u);
+    EXPECT_EQ(e.inputs()[0].dims, nn::Dims(1, 3, 224, 224));
+    ASSERT_EQ(e.outputs().size(), 1u);
+}
+
+TEST(Builder, Fp16EngineRoughlyHalvesWeights)
+{
+    Network net = nn::buildZooModel("vgg-16");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig cfg;
+    cfg.build_id = 1;
+    Engine e = Builder(nx, cfg).build(net);
+    double ratio = static_cast<double>(e.weightBytes()) /
+                   static_cast<double>(net.paramCount() * 4);
+    EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(Builder, EngineSerializationRoundTrip)
+{
+    Network net = nn::buildZooModel("tiny-yolov3");
+    const DeviceSpec agx = DeviceSpec::xavierAGX();
+    BuilderConfig cfg;
+    cfg.build_id = 3;
+    Engine e = Builder(agx, cfg).build(net);
+    Engine back = Engine::deserialize(e.serialize());
+    EXPECT_EQ(back.fingerprint(), e.fingerprint());
+    EXPECT_EQ(back.modelName(), e.modelName());
+    EXPECT_EQ(back.deviceName(), e.deviceName());
+    EXPECT_EQ(back.planSizeBytes(), e.planSizeBytes());
+    EXPECT_EQ(back.kernelCount(), e.kernelCount());
+    ASSERT_EQ(back.steps().size(), e.steps().size());
+    EXPECT_EQ(back.steps()[0].tactic_name, e.steps()[0].tactic_name);
+    EXPECT_EQ(back.serialize(), e.serialize());
+}
+
+TEST(Builder, UnoptimizedMapsEveryLiveLayer)
+{
+    Network net = nn::buildZooModel("alexnet");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig cfg;
+    Engine raw = Builder(nx, cfg).buildUnoptimized(net);
+    // One step per non-input layer: no fusion at all.
+    EXPECT_EQ(raw.steps().size(), net.layers().size() -
+                                      net.inputs().size());
+    EXPECT_EQ(raw.precision(), nn::Precision::kFp32);
+    // FP32 weights are twice the FP16 engine's.
+    Engine opt = Builder(nx, cfg).build(net);
+    EXPECT_GT(raw.weightBytes(), opt.weightBytes());
+}
+
+TEST(Builder, AgxEngineLargerForWinogradModels)
+{
+    // Table II shape: ResNet-18's AGX plan is much larger than its
+    // NX plan; AlexNet's is not.
+    BuilderConfig cfg;
+    cfg.build_id = 1;
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    const DeviceSpec agx = DeviceSpec::xavierAGX();
+
+    Network resnet = nn::buildZooModel("resnet-18");
+    double r_nx = static_cast<double>(
+        Builder(nx, cfg).build(resnet).planSizeBytes());
+    double r_agx = static_cast<double>(
+        Builder(agx, cfg).build(resnet).planSizeBytes());
+    EXPECT_GT(r_agx, 1.5 * r_nx);
+
+    Network alex = nn::buildZooModel("alexnet");
+    double a_nx = static_cast<double>(
+        Builder(nx, cfg).build(alex).planSizeBytes());
+    double a_agx = static_cast<double>(
+        Builder(agx, cfg).build(alex).planSizeBytes());
+    EXPECT_LT(a_agx, 1.1 * a_nx);
+}
+
+} // namespace
+} // namespace edgert::core

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the INT8 calibrator, the optimizer's ablation switches
+ * and the INT8 build path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/builder.hh"
+#include "core/calibrator.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+
+namespace edgert::core {
+namespace {
+
+TEST(Calibrator, RangesForEveryTensor)
+{
+    nn::Network net = nn::buildZooModel("resnet-18");
+    Int8Calibrator cal(net);
+    for (const auto &l : net.layers()) {
+        const auto &r = cal.range(l.output);
+        EXPECT_GT(r.abs_max, 0.0f) << l.name;
+        EXPECT_NEAR(r.scale, r.abs_max / 127.0f, 1e-7f);
+    }
+    EXPECT_THROW(cal.range("no-such-tensor"), FatalError);
+}
+
+TEST(Calibrator, DeterministicPerSeed)
+{
+    nn::Network net = nn::buildZooModel("googlenet");
+    Int8Calibrator a(net, 1), b(net, 1), c(net, 2);
+    EXPECT_EQ(a.tableFingerprint(), b.tableFingerprint());
+    EXPECT_NE(a.tableFingerprint(), c.tableFingerprint());
+}
+
+TEST(Calibrator, MoreBatchesTightenJitter)
+{
+    // With many calibration batches, two differently-seeded tables
+    // are closer than with one batch.
+    nn::Network net = nn::buildZooModel("tiny-yolov3");
+    auto spread = [&](int batches) {
+        Int8Calibrator a(net, 1, batches), b(net, 2, batches);
+        double total = 0.0;
+        int n = 0;
+        for (const auto &[name, ra] : a.ranges()) {
+            const auto &rb = b.range(name);
+            total += std::fabs(ra.abs_max - rb.abs_max) /
+                     std::max(1e-6f, ra.abs_max);
+            n++;
+        }
+        return total / n;
+    };
+    EXPECT_LT(spread(100), spread(1));
+}
+
+TEST(Calibrator, ReluShrinksRange)
+{
+    nn::Network net("cal");
+    net.addInput("in", nn::Dims(1, 8, 8, 8));
+    nn::ConvParams p;
+    p.out_channels = 8;
+    p.kernel = 3;
+    p.pad = 1;
+    net.addConvolution("conv", "in", p);
+    net.addActivation("relu", "conv", {});
+    net.markOutput("relu");
+    Int8Calibrator cal(net, 0, 1000); // negligible jitter
+    EXPECT_LT(cal.range("relu").abs_max,
+              cal.range("conv").abs_max);
+}
+
+TEST(OptimizerOptions, DisablingFusionKeepsLayersSeparate)
+{
+    nn::Network net = nn::buildZooModel("resnet-18");
+    OptimizerOptions off;
+    off.vertical_fusion = false;
+    auto g_off = optimize(net, nn::Precision::kFp16, off);
+    auto g_on = optimize(net, nn::Precision::kFp16);
+    EXPECT_GT(g_off.nodes().size(), g_on.nodes().size());
+    EXPECT_EQ(g_off.stats().layers_fused, 0);
+}
+
+TEST(OptimizerOptions, DisablingDeadRemovalKeepsAuxHeads)
+{
+    nn::Network net = nn::buildZooModel("googlenet");
+    OptimizerOptions off;
+    off.dead_layer_removal = false;
+    auto g_off = optimize(net, nn::Precision::kFp16, off);
+    auto g_on = optimize(net, nn::Precision::kFp16);
+    EXPECT_EQ(g_off.stats().dead_layers_removed, 0);
+    EXPECT_GT(g_off.liveParamCount(), g_on.liveParamCount());
+}
+
+TEST(OptimizerOptions, DisablingNoopElisionKeepsCopies)
+{
+    nn::Network net("noop");
+    net.addInput("in", nn::Dims(1, 4, 4, 4));
+    net.addDropout("drop", "in");
+    net.addSoftmax("sm", "drop");
+    net.markOutput("sm");
+    OptimizerOptions off;
+    off.noop_elision = false;
+    auto g = optimize(net, nn::Precision::kFp16, off);
+    EXPECT_EQ(g.nodes().size(), 2u);
+    EXPECT_EQ(g.stats().noops_elided, 0);
+}
+
+TEST(Int8Build, SmallerPlanAndFasterThanFp16)
+{
+    nn::Network net = nn::buildZooModel("resnet-18");
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    BuilderConfig f16, i8;
+    f16.build_id = i8.build_id = 1;
+    i8.precision = nn::Precision::kInt8;
+    Engine e16 = Builder(nx, f16).build(net);
+    Engine e8 = Builder(nx, i8).build(net);
+    EXPECT_LT(e8.planSizeBytes(), e16.planSizeBytes());
+    EXPECT_EQ(e8.precision(), nn::Precision::kInt8);
+    EXPECT_NE(e8.calibrationFingerprint(), 0u);
+    EXPECT_EQ(e16.calibrationFingerprint(), 0u);
+    // INT8 kernels carry the imma naming.
+    bool has_imma = false;
+    for (const auto &s : e8.steps())
+        if (s.tactic_name.find("i8816") != std::string::npos)
+            has_imma = true;
+    EXPECT_TRUE(has_imma);
+}
+
+TEST(Int8Build, CalibrationSeedChangesFingerprint)
+{
+    nn::Network net = nn::buildZooModel("googlenet");
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    BuilderConfig a, b;
+    a.precision = b.precision = nn::Precision::kInt8;
+    a.build_id = b.build_id = 5;
+    a.calibration_seed = 1;
+    b.calibration_seed = 2;
+    Engine ea = Builder(nx, a).build(net);
+    Engine eb = Builder(nx, b).build(net);
+    // Same tactics (same build id), different calibration table.
+    EXPECT_NE(ea.fingerprint(), eb.fingerprint());
+}
+
+TEST(Int8Build, SerializationPreservesCalibration)
+{
+    nn::Network net = nn::buildZooModel("mtcnn");
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    BuilderConfig cfg;
+    cfg.precision = nn::Precision::kInt8;
+    cfg.build_id = 3;
+    cfg.calibration_seed = 17;
+    Engine e = Builder(nx, cfg).build(net);
+    Engine back = Engine::deserialize(e.serialize());
+    EXPECT_EQ(back.calibrationFingerprint(),
+              e.calibrationFingerprint());
+    EXPECT_EQ(back.fingerprint(), e.fingerprint());
+}
+
+} // namespace
+} // namespace edgert::core

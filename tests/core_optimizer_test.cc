@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the model-compression passes: dead-layer removal,
+ * no-op elision, vertical fusion, horizontal merging and precision
+ * assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hh"
+#include "nn/model_zoo.hh"
+
+namespace edgert::core {
+namespace {
+
+using nn::ConvParams;
+using nn::Dims;
+using nn::Network;
+
+Network
+fusionChainNet()
+{
+    Network net("chain");
+    net.addInput("in", Dims(1, 8, 16, 16));
+    ConvParams p;
+    p.out_channels = 16;
+    p.kernel = 3;
+    p.pad = 1;
+    net.addConvolution("conv", "in", p);
+    net.addBatchNorm("bn", "conv");
+    net.addScale("scale", "bn");
+    net.addActivation("relu", "scale", {});
+    net.markOutput("relu");
+    return net;
+}
+
+TEST(Optimizer, VerticalFusionCollapsesConvBnScaleRelu)
+{
+    auto g = optimize(fusionChainNet(), nn::Precision::kFp16);
+    ASSERT_EQ(g.nodes().size(), 1u);
+    const OptNode &n = g.nodes()[0];
+    EXPECT_EQ(n.kind, FusedOpKind::kConv);
+    EXPECT_EQ(n.layer_ids.size(), 4u);
+    EXPECT_TRUE(n.has_activation);
+    EXPECT_EQ(n.outputs[0], "relu");
+    EXPECT_EQ(g.stats().layers_fused, 3);
+}
+
+TEST(Optimizer, FusionStopsAtSharedTensor)
+{
+    // bn output consumed twice: cannot be absorbed.
+    Network net("shared");
+    net.addInput("in", Dims(1, 4, 8, 8));
+    ConvParams p;
+    p.out_channels = 4;
+    net.addConvolution("conv", "in", p);
+    net.addBatchNorm("bn", "conv");
+    net.addActivation("relu", "bn", {});
+    net.addIdentity("tap", "bn"); // second consumer of bn
+    net.markOutput("relu");
+    net.markOutput("tap");
+    auto g = optimize(net, nn::Precision::kFp16);
+    // conv+bn fuse; relu cannot be absorbed (bn has two consumers).
+    const OptNode &conv = g.nodes()[0];
+    EXPECT_EQ(conv.layer_ids.size(), 2u);
+    EXPECT_FALSE(conv.has_activation);
+}
+
+TEST(Optimizer, DeadLayerRemovalDropsAuxHeads)
+{
+    Network net = nn::buildZooModel("googlenet");
+    auto g = optimize(net, nn::Precision::kFp16);
+    // Two aux heads: pool + fc + relu + dropout + fc + softmax each.
+    EXPECT_GE(g.stats().dead_layers_removed, 10);
+    // Dead parameters (aux FCs) do not survive into the live graph.
+    EXPECT_LT(g.liveParamCount(), net.paramCount());
+}
+
+TEST(Optimizer, NoOpsAreElided)
+{
+    Network net("noop");
+    net.addInput("in", Dims(1, 4, 4, 4));
+    net.addDropout("drop", "in");
+    net.addFlatten("flat", "drop");
+    nn::FcParams fp;
+    fp.out_features = 10;
+    net.addFullyConnected("fc", "flat", fp);
+    net.markOutput("fc");
+    auto g = optimize(net, nn::Precision::kFp16);
+    ASSERT_EQ(g.nodes().size(), 1u);
+    EXPECT_EQ(g.nodes()[0].kind, FusedOpKind::kFullyConnected);
+    EXPECT_EQ(g.nodes()[0].inputs[0], "in");
+    EXPECT_EQ(g.stats().noops_elided, 2);
+}
+
+TEST(Optimizer, HorizontalMergeOnInceptionBranches)
+{
+    // Three sibling 1x1 convs reading the same tensor merge.
+    Network net("incept");
+    net.addInput("in", Dims(1, 64, 16, 16));
+    ConvParams p1;
+    p1.out_channels = 16;
+    net.addConvolution("b1", "in", p1);
+    net.addActivation("r1", "b1", {});
+    ConvParams p2;
+    p2.out_channels = 32;
+    net.addConvolution("b2", "in", p2);
+    net.addActivation("r2", "b2", {});
+    ConvParams p3;
+    p3.out_channels = 8;
+    net.addConvolution("b3", "in", p3);
+    net.addActivation("r3", "b3", {});
+    net.addConcat("cat", {"r1", "r2", "r3"});
+    net.markOutput("cat");
+
+    auto g = optimize(net, nn::Precision::kFp16);
+    EXPECT_EQ(g.stats().horizontal_merges, 1);
+    // One merged conv node + concat.
+    ASSERT_EQ(g.nodes().size(), 2u);
+    const OptNode &merged = g.nodes()[0];
+    EXPECT_EQ(merged.outputs.size(), 3u);
+    EXPECT_EQ(merged.merged_main_ids.size(), 2u);
+}
+
+TEST(Optimizer, NoMergeAcrossDifferentGeometry)
+{
+    Network net("nomerge");
+    net.addInput("in", Dims(1, 16, 16, 16));
+    ConvParams p1;
+    p1.out_channels = 8;
+    p1.kernel = 1;
+    net.addConvolution("a", "in", p1);
+    ConvParams p2;
+    p2.out_channels = 8;
+    p2.kernel = 3;
+    p2.pad = 1;
+    net.addConvolution("b", "in", p2);
+    net.addConcat("cat", {"a", "b"});
+    net.markOutput("cat");
+    auto g = optimize(net, nn::Precision::kFp16);
+    EXPECT_EQ(g.stats().horizontal_merges, 0);
+}
+
+TEST(Optimizer, PrecisionAssignment)
+{
+    Network net("prec");
+    net.addInput("in", Dims(1, 8, 8, 8));
+    ConvParams p;
+    p.out_channels = 8;
+    net.addConvolution("conv", "in", p);
+    net.addSoftmax("prob", "conv");
+    net.markOutput("prob");
+
+    auto g16 = optimize(net, nn::Precision::kFp16);
+    ASSERT_EQ(g16.nodes().size(), 2u);
+    EXPECT_EQ(g16.nodes()[0].precision, nn::Precision::kFp16);
+    EXPECT_EQ(g16.nodes()[1].precision, nn::Precision::kFp32);
+
+    auto g8 = optimize(net, nn::Precision::kInt8);
+    EXPECT_EQ(g8.nodes()[0].precision, nn::Precision::kInt8);
+    EXPECT_EQ(g8.nodes()[1].precision, nn::Precision::kFp32);
+
+    auto g32 = optimize(net, nn::Precision::kFp32);
+    EXPECT_EQ(g32.nodes()[0].precision, nn::Precision::kFp32);
+}
+
+TEST(Optimizer, ResNetEltwiseFusesRelu)
+{
+    Network net = nn::buildZooModel("resnet-18");
+    auto g = optimize(net, nn::Precision::kFp16);
+    int eltwise_with_act = 0;
+    for (const auto &n : g.nodes())
+        if (n.kind == FusedOpKind::kEltwise && n.has_activation)
+            eltwise_with_act++;
+    EXPECT_EQ(eltwise_with_act, 8); // one per residual block
+}
+
+class ZooOptimizeTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ZooOptimizeTest, GraphShrinksAndCoversLiveLayers)
+{
+    Network net = nn::buildZooModel(GetParam());
+    auto g = optimize(net, nn::Precision::kFp16);
+    EXPECT_GT(g.nodes().size(), 0u);
+    EXPECT_LT(g.nodes().size(), net.layers().size());
+    // Every node's tensors exist in the source network.
+    for (const auto &n : g.nodes()) {
+        for (const auto &in : n.inputs)
+            EXPECT_TRUE(net.hasTensor(in));
+        for (const auto &out : n.outputs)
+            EXPECT_TRUE(net.hasTensor(out));
+        EXPECT_FALSE(n.layer_ids.empty());
+    }
+    // Live params never exceed total params.
+    EXPECT_LE(g.liveParamCount(), net.paramCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooOptimizeTest,
+    ::testing::ValuesIn(nn::zooModelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace edgert::core

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for datasets, the surrogate classifier calibration, the
+ * engine-consistency behaviour (Finding 2 mechanics) and the
+ * detection stack (IOU, matching, traffic data, surrogate
+ * detector).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "data/datasets.hh"
+#include "data/detection.hh"
+#include "data/surrogate.hh"
+
+namespace edgert::data {
+namespace {
+
+TEST(Datasets, BenignShape)
+{
+    BenignDataset ds(100, 50);
+    EXPECT_EQ(ds.size(), 5000u);
+    EXPECT_EQ(ds.at(0).class_id, 0);
+    EXPECT_EQ(ds.at(0).index, 0);
+    EXPECT_EQ(ds.at(4999).class_id, 99);
+    EXPECT_EQ(ds.at(4999).index, 49);
+    EXPECT_THROW(ds.at(5000), FatalError);
+}
+
+TEST(Datasets, AdversarialShapeMatchesPaper)
+{
+    AdversarialDataset ds(100, 20, {1, 5});
+    EXPECT_EQ(ds.size(), 60000u); // 15 x 2 x 100 x 20
+    auto first = ds.at(0);
+    EXPECT_EQ(first.noise, NoiseType::kGaussian);
+    EXPECT_EQ(first.severity, 1);
+    auto last = ds.at(59999);
+    EXPECT_EQ(last.noise, NoiseType::kJpeg);
+    EXPECT_EQ(last.severity, 5);
+    EXPECT_EQ(last.base.class_id, 99);
+}
+
+TEST(Datasets, SeedsAreUniquePerImage)
+{
+    BenignDataset ds(10, 10);
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < ds.size(); i++)
+        seeds.insert(ds.at(i).seed());
+    EXPECT_EQ(seeds.size(), ds.size());
+}
+
+TEST(Datasets, InvalidConfigFatal)
+{
+    EXPECT_THROW(BenignDataset(0, 10), FatalError);
+    EXPECT_THROW(AdversarialDataset(10, 10, {}), FatalError);
+    EXPECT_THROW(AdversarialDataset(10, 10, {6}), FatalError);
+}
+
+double
+benignError(const SurrogateClassifier &clf, int classes = 100,
+            int per_class = 50)
+{
+    BenignDataset ds(classes, per_class);
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < ds.size(); i++)
+        if (clf.predict(ds.at(i)) != ds.at(i).class_id)
+            wrong++;
+    return 100.0 * static_cast<double>(wrong) /
+           static_cast<double>(ds.size());
+}
+
+TEST(Surrogate, CalibratedToProfile)
+{
+    for (const char *model : {"alexnet", "resnet-18", "vgg-16"}) {
+        const auto &p = accuracyProfile(model);
+        auto opt = SurrogateClassifier::forEngine(model, 123);
+        auto raw = SurrogateClassifier::unoptimized(model);
+        EXPECT_NEAR(benignError(opt), p.benign_err_opt, 2.5) << model;
+        EXPECT_NEAR(benignError(raw), p.benign_err_unopt, 2.5)
+            << model;
+    }
+}
+
+TEST(Surrogate, OptimizedBeatsUnoptimized)
+{
+    auto opt = SurrogateClassifier::forEngine("resnet-18", 55);
+    auto raw = SurrogateClassifier::unoptimized("resnet-18");
+    EXPECT_LT(benignError(opt), benignError(raw));
+}
+
+TEST(Surrogate, SeverityFiveWorseThanOne)
+{
+    auto clf = SurrogateClassifier::forEngine("vgg-16", 9);
+    AdversarialDataset s1(50, 20, {1});
+    AdversarialDataset s5(50, 20, {5});
+    auto err = [&](const AdversarialDataset &ds) {
+        std::size_t wrong = 0;
+        for (std::size_t i = 0; i < ds.size(); i++)
+            if (clf.predict(ds.at(i)) != ds.at(i).base.class_id)
+                wrong++;
+        return static_cast<double>(wrong) /
+               static_cast<double>(ds.size());
+    };
+    EXPECT_GT(err(s5), err(s1) + 0.2);
+}
+
+TEST(Surrogate, IdenticalFingerprintsAgreeEverywhere)
+{
+    auto a = SurrogateClassifier::forEngine("resnet-18", 777);
+    auto b = SurrogateClassifier::forEngine("resnet-18", 777);
+    AdversarialDataset ds(20, 10, {1, 5});
+    for (std::size_t i = 0; i < ds.size(); i++)
+        EXPECT_EQ(a.predict(ds.at(i)), b.predict(ds.at(i)));
+}
+
+TEST(Surrogate, DifferentFingerprintsDisagreeRarely)
+{
+    auto a = SurrogateClassifier::forEngine("resnet-18", 1);
+    auto b = SurrogateClassifier::forEngine("resnet-18", 2);
+    AdversarialDataset ds(100, 20, {1, 5});
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < ds.size(); i++)
+        if (a.predict(ds.at(i)) != b.predict(ds.at(i)))
+            diff++;
+    // Paper Table V/VI band: ~0.1-0.8% of 60k predictions.
+    EXPECT_GT(diff, 30u);
+    EXPECT_LT(diff, 600u);
+}
+
+TEST(Surrogate, UnoptimizedIsDeterministicBinary)
+{
+    auto a = SurrogateClassifier::unoptimized("vgg-16");
+    auto b = SurrogateClassifier::unoptimized("vgg-16");
+    BenignDataset ds(50, 20);
+    for (std::size_t i = 0; i < ds.size(); i++)
+        EXPECT_EQ(a.predict(ds.at(i)), b.predict(ds.at(i)));
+}
+
+TEST(Surrogate, WrongPredictionsShareConfusionClass)
+{
+    // Two engines that both misclassify an image emit the same
+    // wrong label (the confusion is a property of the image).
+    auto a = SurrogateClassifier::forEngine("alexnet", 10);
+    auto b = SurrogateClassifier::forEngine("alexnet", 20);
+    BenignDataset ds(100, 50);
+    for (std::size_t i = 0; i < ds.size(); i++) {
+        ImageRef img = ds.at(i);
+        int pa = a.predict(img);
+        int pb = b.predict(img);
+        if (pa != img.class_id && pb != img.class_id) {
+            EXPECT_EQ(pa, pb);
+        }
+    }
+}
+
+TEST(Detection, IouMath)
+{
+    Box a{0.0, 0.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+    Box b{0.5, 0.0, 1.5, 1.0};
+    EXPECT_NEAR(iou(a, b), 0.5 / 1.5, 1e-12);
+    Box c{2.0, 2.0, 3.0, 3.0};
+    EXPECT_DOUBLE_EQ(iou(a, c), 0.0);
+}
+
+TEST(Detection, EvaluateHandCase)
+{
+    TrafficScene scene;
+    scene.id = 0;
+    Detection gt;
+    gt.box = {0.1, 0.1, 0.3, 0.3};
+    gt.cls = VehicleClass::kCar;
+    scene.ground_truth.push_back(gt);
+
+    Detection hit = gt;
+    hit.score = 0.9;
+    Detection miss;
+    miss.box = {0.6, 0.6, 0.8, 0.8};
+    miss.cls = VehicleClass::kBus;
+    miss.score = 0.8;
+
+    auto m = evaluateDetections({scene}, {{hit, miss}}, 0.75);
+    EXPECT_EQ(m.true_positives, 1);
+    EXPECT_EQ(m.false_positives, 1);
+    EXPECT_EQ(m.false_negatives, 0);
+    EXPECT_DOUBLE_EQ(m.precision, 0.5);
+    EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(Detection, ClassMustMatch)
+{
+    TrafficScene scene;
+    scene.id = 1;
+    Detection gt;
+    gt.box = {0.1, 0.1, 0.3, 0.3};
+    gt.cls = VehicleClass::kCar;
+    scene.ground_truth.push_back(gt);
+    Detection wrong_cls = gt;
+    wrong_cls.cls = VehicleClass::kTruck;
+    auto m = evaluateDetections({scene}, {{wrong_cls}}, 0.75);
+    EXPECT_EQ(m.true_positives, 0);
+    EXPECT_EQ(m.false_positives, 1);
+    EXPECT_EQ(m.false_negatives, 1);
+}
+
+TEST(Detection, TrafficDatasetDeterministic)
+{
+    TrafficDataset a(100), b(100);
+    ASSERT_EQ(a.size(), 100u);
+    for (std::size_t i = 0; i < a.size(); i++) {
+        ASSERT_EQ(a.at(i).ground_truth.size(),
+                  b.at(i).ground_truth.size());
+        EXPECT_EQ(a.at(i).ground_truth[0].plate,
+                  b.at(i).ground_truth[0].plate);
+    }
+}
+
+TEST(Detection, SceneContentsPlausible)
+{
+    TrafficDataset ds(200);
+    for (std::size_t i = 0; i < ds.size(); i++) {
+        const auto &scene = ds.at(i);
+        EXPECT_GE(scene.ground_truth.size(), 1u);
+        EXPECT_LE(scene.ground_truth.size(), 8u);
+        for (const auto &d : scene.ground_truth) {
+            EXPECT_GE(d.box.x1, 0.0);
+            EXPECT_LE(d.box.x2, 1.0);
+            EXPECT_GT(d.box.area(), 0.0);
+            EXPECT_EQ(d.plate.size(), 6u);
+        }
+    }
+}
+
+TEST(Detection, SurrogateDetectorAtPaperOperatingPoint)
+{
+    TrafficDataset ds(1670); // paper's test split size
+    SurrogateDetector det("pednet", 42, true);
+    std::vector<TrafficScene> scenes;
+    std::vector<std::vector<Detection>> preds;
+    for (std::size_t i = 0; i < ds.size(); i++) {
+        scenes.push_back(ds.at(i));
+        preds.push_back(det.detect(ds.at(i)));
+    }
+    auto m = evaluateDetections(scenes, preds, 0.75);
+    EXPECT_GT(m.precision, 0.55);
+    EXPECT_GT(m.recall, 0.55);
+    EXPECT_LT(m.precision, 0.95);
+}
+
+TEST(Detection, EngineChangesBorderlineDetections)
+{
+    TrafficDataset ds(400);
+    SurrogateDetector a("pednet", 1, true);
+    SurrogateDetector b("pednet", 2, true);
+    int scenes_differ = 0;
+    for (std::size_t i = 0; i < ds.size(); i++) {
+        if (a.detect(ds.at(i)).size() != b.detect(ds.at(i)).size())
+            scenes_differ++;
+    }
+    EXPECT_GT(scenes_differ, 0);
+    EXPECT_LT(scenes_differ, 120);
+}
+
+TEST(PlateReader, IdenticalEnginesReadIdentically)
+{
+    SurrogatePlateReader a(42), b(42);
+    for (std::uint64_t s = 0; s < 500; s++)
+        EXPECT_EQ(a.read("KA1234", s), b.read("KA1234", s));
+}
+
+TEST(PlateReader, DifferentEnginesDisagreeRarely)
+{
+    SurrogatePlateReader a(1), b(2);
+    int diff = 0;
+    const int n = 2000;
+    for (std::uint64_t s = 0; s < n; s++)
+        if (a.read("MH0786", s) != b.read("MH0786", s))
+            diff++;
+    EXPECT_GT(diff, 0);
+    // Only borderline characters can flip: a few percent of plates.
+    EXPECT_LT(diff, n / 10);
+}
+
+TEST(PlateReader, MisreadsAreConfusablePairs)
+{
+    SurrogatePlateReader r(7, /*borderline_rate=*/1.0);
+    // With every character borderline and flips forced by seed
+    // search, misreads stay within the confusable alphabet.
+    for (std::uint64_t s = 0; s < 200; s++) {
+        std::string got = r.read("B80O17", s);
+        ASSERT_EQ(got.size(), 6u);
+        EXPECT_TRUE(got[0] == 'B' || got[0] == '8');
+        EXPECT_TRUE(got[1] == '8' || got[1] == 'B');
+        EXPECT_TRUE(got[2] == '0' || got[2] == 'O');
+        EXPECT_TRUE(got[3] == 'O' || got[3] == '0');
+        EXPECT_TRUE(got[4] == '1' || got[4] == '2');
+    }
+}
+
+TEST(Detection, NoiseNames)
+{
+    EXPECT_STREQ(noiseTypeName(NoiseType::kGaussian),
+                 "gaussian_noise");
+    EXPECT_STREQ(noiseTypeName(NoiseType::kJpeg),
+                 "jpeg_compression");
+    EXPECT_STREQ(vehicleClassName(VehicleClass::kAutoRickshaw),
+                 "auto-rickshaw");
+}
+
+} // namespace
+} // namespace edgert::data

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit and property tests for the analytic kernel/memcpy timing
+ * model: wave quantization, L2 spill, strided-access penalties, and
+ * the key monotonicity property that an *identical* kernel can only
+ * get slower on a bigger device through the modeled memory-system
+ * mechanisms — never through the compute path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hh"
+#include "gpusim/kernel.hh"
+#include "gpusim/timing.hh"
+
+namespace edgert::gpusim {
+namespace {
+
+KernelDesc
+computeKernel(std::int64_t grid, std::int64_t flops)
+{
+    KernelDesc k;
+    k.name = "k";
+    k.grid_blocks = grid;
+    k.max_blocks_per_sm = 1;
+    k.flops = flops;
+    k.dram_bytes = 0;
+    k.tensor_core = true;
+    k.efficiency = 0.5;
+    return k;
+}
+
+TEST(WaveFactor, OneWhenGridFits)
+{
+    EXPECT_DOUBLE_EQ(waveFactor(4, 6.0), 1.0);
+    EXPECT_DOUBLE_EQ(waveFactor(6, 6.0), 1.0);
+}
+
+TEST(WaveFactor, PenalizesTailWaves)
+{
+    // 7 blocks on 6 concurrent: 2 waves for 7/6 ideal.
+    EXPECT_NEAR(waveFactor(7, 6.0), 2.0 / (7.0 / 6.0), 1e-12);
+    EXPECT_GT(waveFactor(7, 6.0), 1.0);
+}
+
+TEST(WaveFactor, BoundedByTwo)
+{
+    for (std::int64_t g = 1; g <= 200; g++) {
+        double w = waveFactor(g, 6.0);
+        EXPECT_GE(w, 1.0);
+        EXPECT_LT(w, 2.0 + 1e-12);
+    }
+}
+
+TEST(WaveFactor, ExactMultiplesAreIdeal)
+{
+    EXPECT_DOUBLE_EQ(waveFactor(12, 6.0), 1.0);
+    EXPECT_DOUBLE_EQ(waveFactor(24, 8.0), 1.0);
+}
+
+TEST(Timing, ComputeScalesWithClock)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    KernelDesc k = computeKernel(600, 1'000'000'000);
+    double slow = soloKernelSeconds(nx, k);
+    double fast = soloKernelSeconds(nx.withClock(1.198), k);
+    EXPECT_NEAR(slow / fast, 2.0, 1e-9);
+}
+
+TEST(Timing, ComputeKernelNeverSlowerWithMoreSms)
+{
+    // Property: for pure-compute kernels at equal clock, 8 SMs are
+    // never slower than 6 (anomalies must come from the memory
+    // system, not the compute model).
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    DeviceSpec agx8 = DeviceSpec::xavierAGX().withClock(
+        nx.gpu_clock_ghz);
+    for (std::int64_t grid = 1; grid <= 64; grid++) {
+        KernelDesc k = computeKernel(grid, 500'000'000);
+        double t6 = soloKernelSeconds(nx, k);
+        double t8 = soloKernelSeconds(agx8, k);
+        EXPECT_LE(t8, t6 * (1.0 + 1e-9)) << "grid=" << grid;
+    }
+}
+
+TEST(Timing, SmallGridCannotUseAllSms)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    KernelDesc k2 = computeKernel(2, 100'000'000);
+    KernelDesc k6 = computeKernel(6, 300'000'000);
+    // 3x the work on 3x the blocks takes the same time.
+    EXPECT_NEAR(soloKernelSeconds(nx, k2),
+                soloKernelSeconds(nx, k6), 1e-12);
+}
+
+TEST(Timing, MemoryBoundUsesBandwidth)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    KernelDesc k;
+    k.grid_blocks = 600;
+    k.flops = 1000; // negligible
+    k.dram_bytes = 44'000'000;
+    k.tile_kb = 1.0; // no spill
+    double t = soloKernelSeconds(nx, k);
+    EXPECT_NEAR(t, 44e6 / nx.effDramBps(), 1e-9);
+}
+
+TEST(Timing, L2SpillGrowsWithConcurrentFootprint)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    DeviceSpec agx = DeviceSpec::xavierAGX();
+    KernelDesc k;
+    k.grid_blocks = 64;
+    k.max_blocks_per_sm = 2;
+    k.tile_kb = 80.0;
+    // NX: 12 blocks x 80KB = 960KB; AGX: 16 x 80 = 1280KB.
+    double s_nx = l2SpillFactor(nx, k);
+    double s_agx = l2SpillFactor(agx, k);
+    EXPECT_GT(s_nx, 1.0);
+    EXPECT_GT(s_agx, s_nx);
+}
+
+TEST(Timing, NoSpillWhenFootprintFits)
+{
+    DeviceSpec agx = DeviceSpec::xavierAGX();
+    KernelDesc k;
+    k.grid_blocks = 4;
+    k.max_blocks_per_sm = 1;
+    k.tile_kb = 64.0; // 256KB < 512KB L2
+    EXPECT_DOUBLE_EQ(l2SpillFactor(agx, k), 1.0);
+}
+
+TEST(Timing, StridedAccessWastesWiderBus)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();   // 128-bit = 16B burst
+    DeviceSpec agx = DeviceSpec::xavierAGX(); // 256-bit = 32B burst
+    KernelDesc k;
+    k.grid_blocks = 600;
+    k.flops = 0;
+    k.dram_bytes = 10'000'000;
+    k.tile_kb = 1.0;
+    k.strided_access = true;
+    double t_nx = kernelMemSeconds(nx, k);
+    double t_agx = kernelMemSeconds(agx, k);
+    // NX's 16B bursts are fully used; AGX's 32B bursts are half
+    // wasted by 16B strided accesses.
+    EXPECT_NEAR(t_nx, 10e6 / nx.effDramBps(), 1e-9);
+    EXPECT_NEAR(t_agx, 10e6 / (agx.effDramBps() * 0.5), 1e-9);
+}
+
+TEST(Timing, MemcpyHasPerTransferOverhead)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    double one = memcpySeconds(nx, 1'000'000, 1);
+    double many = memcpySeconds(nx, 1'000'000, 10);
+    EXPECT_NEAR(many - one,
+                9 * nx.h2d_transfer_overhead_us * 1e-6, 1e-12);
+}
+
+TEST(Timing, MemcpyMonotonicInBytes)
+{
+    DeviceSpec agx = DeviceSpec::xavierAGX();
+    double prev = 0.0;
+    for (std::uint64_t b = 0; b < 10; b++) {
+        double t = memcpySeconds(agx, b * 1'000'000, 1);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Timing, AgxUploadSlowerForManyTransfers)
+{
+    // The Table X mechanism: AGX has higher copy bandwidth but a
+    // larger per-transfer driver overhead, so engines with many
+    // weight buffers upload slower on AGX.
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    DeviceSpec agx = DeviceSpec::xavierAGX();
+    // inception-v4-like: 83 MB over ~150 transfers.
+    EXPECT_GT(memcpySeconds(agx, 83'000'000, 150),
+              memcpySeconds(nx, 83'000'000, 150));
+    // alexnet-like: 118 MB over ~8 transfers -> AGX faster.
+    EXPECT_LT(memcpySeconds(agx, 118'000'000, 8),
+              memcpySeconds(nx, 118'000'000, 8));
+}
+
+TEST(Device, PresetsMatchTable1)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    DeviceSpec agx = DeviceSpec::xavierAGX();
+    EXPECT_EQ(nx.sm_count * nx.cuda_cores_per_sm, 384);
+    EXPECT_EQ(agx.sm_count * agx.cuda_cores_per_sm, 512);
+    EXPECT_EQ(nx.sm_count * nx.tensor_cores_per_sm, 48);
+    EXPECT_EQ(agx.sm_count * agx.tensor_cores_per_sm, 64);
+    EXPECT_EQ(nx.l2_kb, 512);
+    EXPECT_EQ(agx.l2_kb, 512);
+    EXPECT_DOUBLE_EQ(nx.dram_gbps, 51.2);
+    EXPECT_DOUBLE_EQ(agx.dram_gbps, 137.0);
+    EXPECT_DOUBLE_EQ(nx.ram_gb, 8.0);
+    EXPECT_DOUBLE_EQ(agx.ram_gb, 32.0);
+}
+
+TEST(Device, MaxClockUnlocksFullBandwidth)
+{
+    DeviceSpec agx = DeviceSpec::xavierAGX();
+    EXPECT_LT(agx.profile_dram_gbps, agx.dram_gbps);
+    DeviceSpec maxn = agx.atMaxClock();
+    EXPECT_DOUBLE_EQ(maxn.gpu_clock_ghz, agx.max_clock_ghz);
+    EXPECT_DOUBLE_EQ(maxn.profile_dram_gbps, agx.dram_gbps);
+}
+
+TEST(Device, PeakFlopsFormula)
+{
+    DeviceSpec nx = DeviceSpec::xavierNX();
+    // 6 SMs x 8 TCs x 128 flops x clock.
+    EXPECT_NEAR(nx.peakFp16Flops(),
+                6.0 * 8 * 128 * 0.599e9, 1e3);
+    EXPECT_NEAR(nx.peakFp32Flops(), 6.0 * 64 * 2 * 0.599e9, 1e3);
+}
+
+} // namespace
+} // namespace edgert::gpusim

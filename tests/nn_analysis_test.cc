@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the static cost analysis (FLOP counts and activation /
+ * weight traffic) that feeds the GPU kernel cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/analysis.hh"
+#include "nn/model_zoo.hh"
+
+namespace edgert::nn {
+namespace {
+
+TEST(Analysis, ConvFlopsFormula)
+{
+    Network net("f");
+    net.addInput("in", Dims(1, 16, 8, 8));
+    ConvParams p;
+    p.out_channels = 32;
+    p.kernel = 3;
+    p.pad = 1;
+    net.addConvolution("c", "in", p);
+    const Layer &l = net.layer(1);
+    // 2 * out_volume * (in_c * k * k)
+    EXPECT_EQ(layerFlops(net, l), 2LL * 32 * 8 * 8 * 16 * 9);
+}
+
+TEST(Analysis, GroupedConvScalesDown)
+{
+    Network net("g");
+    net.addInput("in", Dims(1, 16, 8, 8));
+    ConvParams p;
+    p.out_channels = 16;
+    p.kernel = 3;
+    p.pad = 1;
+    net.addConvolution("full", "in", p);
+    ConvParams dw = p;
+    dw.groups = 16;
+    net.addConvolution("dw", "in", dw);
+    EXPECT_EQ(layerFlops(net, net.layer(1)),
+              16 * layerFlops(net, net.layer(2)));
+}
+
+TEST(Analysis, FcFlops)
+{
+    Network net("fc");
+    net.addInput("in", Dims(1, 64, 2, 2));
+    FcParams p;
+    p.out_features = 100;
+    net.addFullyConnected("fc", "in", p);
+    EXPECT_EQ(layerFlops(net, net.layer(1)), 2LL * 100 * 256);
+}
+
+TEST(Analysis, PoolingWindowFlops)
+{
+    Network net("p");
+    net.addInput("in", Dims(1, 4, 8, 8));
+    PoolParams p;
+    p.kernel = 2;
+    p.stride = 2;
+    net.addPooling("pool", "in", p);
+    // out 4x4x4, window 4.
+    EXPECT_EQ(layerFlops(net, net.layer(1)), 4LL * 4 * 4 * 4);
+}
+
+TEST(Analysis, BatchScalesFlopsLinearly)
+{
+    Network n1 = buildZooModel("resnet-18", 1);
+    Network n4 = buildZooModel("resnet-18", 4);
+    EXPECT_EQ(networkFlops(n4), 4 * networkFlops(n1));
+}
+
+TEST(Analysis, TrafficBytesUseElementSize)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 4, 4, 4));
+    net.addIdentity("id", "in");
+    const Layer &l = net.layer(1);
+    EXPECT_EQ(layerInputBytes(net, l, 4), 4LL * 64);
+    EXPECT_EQ(layerInputBytes(net, l, 2), 2LL * 64);
+    EXPECT_EQ(layerOutputBytes(net, l, 2), 2LL * 64);
+    EXPECT_EQ(layerWeightBytes(net, l, 2), 0);
+}
+
+TEST(Analysis, ZooFlopsOrdering)
+{
+    // Sanity ordering of per-frame compute across familiar models.
+    auto flops = [](const char *m) {
+        Network n = buildZooModel(m);
+        return networkFlops(n);
+    };
+    EXPECT_GT(flops("vgg-16"), flops("resnet-18"));
+    EXPECT_GT(flops("resnet-18"), flops("mtcnn"));
+    EXPECT_GT(flops("detectnet-coco-dog"), flops("googlenet"));
+}
+
+TEST(Analysis, EltwiseAndConcat)
+{
+    Network net("e");
+    net.addInput("a", Dims(1, 4, 2, 2));
+    net.addInput("b", Dims(1, 4, 2, 2));
+    net.addEltwise("sum", {"a", "b"}, {});
+    net.addConcat("cat", {"a", "b"});
+    EXPECT_EQ(layerFlops(net, net.layer(2)), 16); // (n-1) * volume
+    EXPECT_EQ(layerFlops(net, net.layer(3)), 0);  // pure copy
+    EXPECT_EQ(layerInputBytes(net, net.layer(3), 2), 2LL * 32);
+}
+
+} // namespace
+} // namespace edgert::nn

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests that the model zoo reproduces Table II's layer counts
+ * exactly and its model sizes approximately, for all 13 models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "nn/analysis.hh"
+#include "nn/model_zoo.hh"
+
+namespace edgert::nn {
+namespace {
+
+class ZooModelTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ZooModelTest, LayerCountsMatchTable2)
+{
+    const auto &info = zooModelInfo(GetParam());
+    Network net = buildZooModel(GetParam());
+    EXPECT_EQ(net.convCount(), info.paper_convs);
+    EXPECT_EQ(net.maxPoolCount(), info.paper_maxpools);
+}
+
+TEST_P(ZooModelTest, ModelSizeNearPaper)
+{
+    const auto &info = zooModelInfo(GetParam());
+    Network net = buildZooModel(GetParam());
+    double mib = static_cast<double>(net.modelSizeBytes()) /
+                 (1024.0 * 1024.0);
+    // Within 25% of the published model file size (the zoo uses
+    // square-kernel stand-ins for factorized towers).
+    EXPECT_GT(mib, info.paper_size_mb * 0.75) << mib;
+    EXPECT_LT(mib, info.paper_size_mb * 1.25) << mib;
+}
+
+TEST_P(ZooModelTest, ValidatesAndHasPositiveFlops)
+{
+    Network net = buildZooModel(GetParam());
+    EXPECT_NO_THROW(net.validate());
+    EXPECT_GT(networkFlops(net), 0);
+    EXPECT_FALSE(net.outputs().empty());
+}
+
+TEST_P(ZooModelTest, BatchParameterScalesInput)
+{
+    Network net = buildZooModel(GetParam(), 4);
+    for (const auto &in : net.inputs())
+        EXPECT_EQ(net.tensor(in).dims.n, 4);
+}
+
+TEST_P(ZooModelTest, DeterministicConstruction)
+{
+    Network a = buildZooModel(GetParam());
+    Network b = buildZooModel(GetParam());
+    ASSERT_EQ(a.layers().size(), b.layers().size());
+    EXPECT_EQ(a.paramCount(), b.paramCount());
+    for (std::size_t i = 0; i < a.layers().size(); i++) {
+        EXPECT_EQ(a.layers()[i].name, b.layers()[i].name);
+        EXPECT_EQ(a.layers()[i].kind, b.layers()[i].kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooModelTest,
+    ::testing::ValuesIn(zooModelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(ModelZoo, ThirteenModels)
+{
+    EXPECT_EQ(zooModelNames().size(), 13u);
+}
+
+TEST(ModelZoo, UnknownModelFatal)
+{
+    EXPECT_THROW(buildZooModel("not-a-model"), FatalError);
+    EXPECT_THROW(zooModelInfo("not-a-model"), FatalError);
+}
+
+TEST(ModelZoo, GooglenetHasDeadAuxHeads)
+{
+    // The aux classifier FCs exist but are not marked as outputs.
+    Network net = buildZooModel("googlenet");
+    int fc_layers = 0;
+    for (const auto &l : net.layers())
+        if (l.kind == LayerKind::kFullyConnected)
+            fc_layers++;
+    EXPECT_EQ(fc_layers, 5); // 2 aux heads x 2 + main classifier
+    EXPECT_EQ(net.outputs().size(), 1u);
+}
+
+TEST(ModelZoo, MtcnnIsMultiInput)
+{
+    Network net = buildZooModel("mtcnn");
+    EXPECT_EQ(net.inputs().size(), 3u);
+    EXPECT_EQ(net.outputs().size(), 7u);
+}
+
+TEST(ModelZoo, TinyYoloHasTwoRegionHeads)
+{
+    Network net = buildZooModel("tiny-yolov3");
+    int regions = 0;
+    for (const auto &l : net.layers())
+        if (l.kind == LayerKind::kRegion)
+            regions++;
+    EXPECT_EQ(regions, 2);
+    EXPECT_EQ(net.outputs().size(), 2u);
+}
+
+TEST(ModelZoo, VisionTaskNames)
+{
+    EXPECT_STREQ(visionTaskName(VisionTask::kClassification),
+                 "classification");
+    EXPECT_EQ(zooModelInfo("tiny-yolov3").task,
+              VisionTask::kDetection);
+    EXPECT_EQ(zooModelInfo("fcn-resnet18-cityscapes").task,
+              VisionTask::kSegmentation);
+}
+
+} // namespace
+} // namespace edgert::nn

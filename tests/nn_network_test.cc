@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the graph IR: shape inference of every layer kind,
+ * graph validation, producer/consumer queries and parameter counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "nn/network.hh"
+
+namespace edgert::nn {
+namespace {
+
+TEST(Network, ConvShapeInference)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 3, 224, 224));
+    ConvParams p;
+    p.out_channels = 64;
+    p.kernel = 7;
+    p.stride = 2;
+    p.pad = 3;
+    net.addConvolution("c1", "in", p);
+    EXPECT_EQ(net.tensor("c1").dims, Dims(1, 64, 112, 112));
+}
+
+TEST(Network, ConvDilationShape)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 8, 32, 32));
+    ConvParams p;
+    p.out_channels = 8;
+    p.kernel = 3;
+    p.dilation = 2;
+    p.pad = 2;
+    net.addConvolution("c", "in", p);
+    EXPECT_EQ(net.tensor("c").dims, Dims(1, 8, 32, 32));
+}
+
+TEST(Network, DepthwiseConvGroups)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 32, 16, 16));
+    ConvParams p;
+    p.out_channels = 32;
+    p.kernel = 3;
+    p.pad = 1;
+    p.groups = 32;
+    net.addConvolution("dw", "in", p);
+    EXPECT_EQ(net.tensor("dw").dims, Dims(1, 32, 16, 16));
+    // weights: 32 * 1 * 9 + 32 bias
+    EXPECT_EQ(net.layerParamCount(net.layer(1)), 32 * 9 + 32);
+}
+
+TEST(Network, InvalidGroupsFatal)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 30, 8, 8));
+    ConvParams p;
+    p.out_channels = 8;
+    p.groups = 4; // 30 % 4 != 0
+    EXPECT_THROW(net.addConvolution("c", "in", p), FatalError);
+}
+
+TEST(Network, RectangularConvShapeAndParams)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 16, 17, 17));
+    ConvParams p;
+    p.out_channels = 32;
+    p.kernel = 1;
+    p.kernel_w = 7;
+    p.pad = 0;
+    p.pad_w = 3;
+    net.addConvolution("c1x7", "in", p);
+    EXPECT_EQ(net.tensor("c1x7").dims, Dims(1, 32, 17, 17));
+    EXPECT_EQ(net.layerParamCount(net.layer(1)),
+              32LL * 16 * 1 * 7 + 32);
+
+    ConvParams q;
+    q.out_channels = 8;
+    q.kernel = 7;
+    q.kernel_w = 1;
+    q.pad = 3;
+    q.pad_w = 0;
+    net.addConvolution("c7x1", "c1x7", q);
+    EXPECT_EQ(net.tensor("c7x1").dims, Dims(1, 8, 17, 17));
+    EXPECT_EQ(net.layerParamCount(net.layer(2)),
+              8LL * 32 * 7 * 1 + 8);
+}
+
+TEST(Network, DeconvShape)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 16, 8, 8));
+    ConvParams p;
+    p.out_channels = 8;
+    p.kernel = 4;
+    p.stride = 2;
+    p.pad = 1;
+    net.addDeconvolution("up", "in", p);
+    EXPECT_EQ(net.tensor("up").dims, Dims(1, 8, 16, 16));
+}
+
+TEST(Network, PoolCeilModeShape)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 64, 112, 112));
+    PoolParams p;
+    p.kernel = 3;
+    p.stride = 2;
+    net.addPooling("p", "in", p);
+    // Caffe ceil mode: ceil((112-3)/2)+1 = 56.
+    EXPECT_EQ(net.tensor("p").dims, Dims(1, 64, 56, 56));
+}
+
+TEST(Network, GlobalPoolShape)
+{
+    Network net("t");
+    net.addInput("in", Dims(2, 512, 7, 9));
+    PoolParams p;
+    p.global = true;
+    p.mode = PoolParams::Mode::kAvg;
+    net.addPooling("g", "in", p);
+    EXPECT_EQ(net.tensor("g").dims, Dims(2, 512, 1, 1));
+}
+
+TEST(Network, FullyConnectedShapeAndParams)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 256, 6, 6));
+    FcParams p;
+    p.out_features = 4096;
+    net.addFullyConnected("fc", "in", p);
+    EXPECT_EQ(net.tensor("fc").dims, Dims(1, 4096, 1, 1));
+    EXPECT_EQ(net.layerParamCount(net.layer(1)),
+              4096LL * 256 * 36 + 4096);
+}
+
+TEST(Network, ConcatSumsChannels)
+{
+    Network net("t");
+    net.addInput("a", Dims(1, 16, 8, 8));
+    ConvParams p;
+    p.out_channels = 8;
+    net.addConvolution("b", "a", p);
+    ConvParams q;
+    q.out_channels = 24;
+    net.addConvolution("c", "a", q);
+    net.addConcat("cat", {"b", "c"});
+    EXPECT_EQ(net.tensor("cat").dims, Dims(1, 32, 8, 8));
+}
+
+TEST(Network, ConcatRejectsSpatialMismatch)
+{
+    Network net("t");
+    net.addInput("a", Dims(1, 4, 8, 8));
+    net.addInput("b", Dims(1, 4, 4, 4));
+    EXPECT_THROW(net.addConcat("cat", {"a", "b"}), FatalError);
+}
+
+TEST(Network, EltwiseRejectsShapeMismatch)
+{
+    Network net("t");
+    net.addInput("a", Dims(1, 4, 8, 8));
+    net.addInput("b", Dims(1, 8, 8, 8));
+    EXPECT_THROW(net.addEltwise("e", {"a", "b"}, {}), FatalError);
+}
+
+TEST(Network, UpsampleAndFlatten)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 4, 5, 6));
+    net.addUpsample("up", "in", {3});
+    EXPECT_EQ(net.tensor("up").dims, Dims(1, 4, 15, 18));
+    net.addFlatten("flat", "up");
+    EXPECT_EQ(net.tensor("flat").dims, Dims(1, 4 * 15 * 18, 1, 1));
+}
+
+TEST(Network, DuplicateNameFatal)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 1, 4, 4));
+    EXPECT_THROW(net.addIdentity("in", "in"), FatalError);
+}
+
+TEST(Network, UnknownInputFatal)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 1, 4, 4));
+    EXPECT_THROW(net.addIdentity("x", "nope"), FatalError);
+}
+
+TEST(Network, ProducerConsumerQueries)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 4, 4, 4));
+    net.addIdentity("a", "in");
+    net.addIdentity("b", "in");
+    net.addConcat("c", {"a", "b"});
+    EXPECT_EQ(net.producerOf("a"), 1);
+    EXPECT_EQ(net.producerOf("nothing"), -1);
+    auto consumers = net.consumersOf("in");
+    ASSERT_EQ(consumers.size(), 2u);
+    EXPECT_EQ(consumers[0], 1);
+    EXPECT_EQ(consumers[1], 2);
+}
+
+TEST(Network, ValidateRequiresOutputs)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 1, 2, 2));
+    net.addIdentity("a", "in");
+    EXPECT_THROW(net.validate(), FatalError);
+    net.markOutput("a");
+    EXPECT_NO_THROW(net.validate());
+}
+
+TEST(Network, BatchNormScaleParamCounts)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 10, 2, 2));
+    net.addBatchNorm("bn", "in");
+    net.addScale("sc", "bn");
+    EXPECT_EQ(net.layerParamCount(net.layer(1)), 20); // mean+var
+    EXPECT_EQ(net.layerParamCount(net.layer(2)), 20); // gamma+beta
+}
+
+TEST(Network, ModelSizeTracksParams)
+{
+    Network net("t");
+    net.addInput("in", Dims(1, 3, 8, 8));
+    ConvParams p;
+    p.out_channels = 4;
+    p.kernel = 3;
+    p.pad = 1;
+    net.addConvolution("c", "in", p);
+    net.markOutput("c");
+    std::int64_t params = 4 * 3 * 9 + 4;
+    EXPECT_EQ(net.paramCount(), params);
+    EXPECT_GT(net.modelSizeBytes(), params * 4);
+}
+
+} // namespace
+} // namespace edgert::nn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Round-trip tests for the frozen-model serialization format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "nn/model_zoo.hh"
+#include "nn/serialize.hh"
+
+namespace edgert::nn {
+namespace {
+
+void
+expectStructurallyEqual(const Network &a, const Network &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.layers().size(), b.layers().size());
+    for (std::size_t i = 0; i < a.layers().size(); i++) {
+        const Layer &la = a.layers()[i];
+        const Layer &lb = b.layers()[i];
+        EXPECT_EQ(la.name, lb.name);
+        EXPECT_EQ(la.kind, lb.kind);
+        EXPECT_EQ(la.inputs, lb.inputs);
+        EXPECT_EQ(a.tensor(la.output).dims, b.tensor(lb.output).dims);
+    }
+    EXPECT_EQ(a.inputs(), b.inputs());
+    EXPECT_EQ(a.outputs(), b.outputs());
+    EXPECT_EQ(a.paramCount(), b.paramCount());
+    EXPECT_EQ(a.convCount(), b.convCount());
+    EXPECT_EQ(a.maxPoolCount(), b.maxPoolCount());
+    EXPECT_EQ(a.modelSizeBytes(), b.modelSizeBytes());
+}
+
+class SerializeZooTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SerializeZooTest, RoundTrip)
+{
+    Network net = buildZooModel(GetParam());
+    auto bytes = serializeNetwork(net);
+    Network back = deserializeNetwork(bytes);
+    expectStructurallyEqual(net, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, SerializeZooTest,
+    ::testing::Values("alexnet", "resnet-18", "tiny-yolov3", "mtcnn",
+                      "googlenet", "fcn-resnet18-cityscapes"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(Serialize, RejectsGarbage)
+{
+    std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_THROW(deserializeNetwork(junk), FatalError);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    Network net = buildZooModel("mtcnn");
+    std::string path = ::testing::TempDir() + "/mtcnn.ertn";
+    saveNetwork(net, path);
+    Network back = loadNetwork(path);
+    expectStructurallyEqual(net, back);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFatal)
+{
+    EXPECT_THROW(loadNetwork("/nonexistent/path/model.ertn"),
+                 FatalError);
+}
+
+TEST(Serialize, SerializationIsDeterministic)
+{
+    Network a = buildZooModel("resnet-18");
+    Network b = buildZooModel("resnet-18");
+    EXPECT_EQ(serializeNetwork(a), serializeNetwork(b));
+}
+
+} // namespace
+} // namespace edgert::nn

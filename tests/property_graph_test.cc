@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Property-based tests over randomly generated network graphs:
+ * the builder pipeline must be total (never crash, always produce a
+ * runnable engine) and semantic invariants must hold for any valid
+ * DAG, not just the zoo architectures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/executor.hh"
+#include "nn/serialize.hh"
+#include "runtime/measure.hh"
+
+namespace edgert {
+namespace {
+
+using nn::Dims;
+using nn::Network;
+
+/**
+ * Generate a random but valid single-input network: a chain with
+ * occasional branches (concat / eltwise joins), random layer kinds
+ * and shapes kept small enough for the functional executor.
+ */
+Network
+randomNetwork(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("random-" + std::to_string(seed));
+    std::int64_t channels = 1 + rng.range(2, 8);
+    std::string cur =
+        net.addInput("in", Dims(1, channels, 16, 16));
+
+    int layers = static_cast<int>(rng.range(3, 10));
+    int name_ctr = 0;
+    auto name = [&](const char *base) {
+        return std::string(base) + std::to_string(name_ctr++);
+    };
+
+    for (int i = 0; i < layers; i++) {
+        switch (rng.below(7)) {
+          case 0: {
+            nn::ConvParams p;
+            p.out_channels = rng.range(4, 16);
+            p.kernel = 3;
+            p.pad = 1;
+            cur = net.addConvolution(name("conv"), cur, p);
+            channels = p.out_channels;
+            break;
+          }
+          case 1: {
+            nn::ConvParams p;
+            p.out_channels = rng.range(4, 16);
+            p.kernel = 1;
+            cur = net.addConvolution(name("pw"), cur, p);
+            channels = p.out_channels;
+            break;
+          }
+          case 2:
+            cur = net.addActivation(name("relu"), cur, {});
+            break;
+          case 3:
+            cur = net.addBatchNorm(name("bn"), cur);
+            break;
+          case 4: {
+            // Branch: two 1x1 convs re-joined by concat.
+            nn::ConvParams p;
+            p.out_channels = rng.range(2, 8);
+            auto a = net.addConvolution(name("bra"), cur, p);
+            auto b = net.addConvolution(name("brb"), cur, p);
+            cur = net.addConcat(name("cat"), {a, b});
+            channels = 2 * p.out_channels;
+            break;
+          }
+          case 5: {
+            // Residual: identity + pointwise, joined by eltwise.
+            nn::ConvParams p;
+            p.out_channels = channels;
+            p.kernel = 1;
+            auto a = net.addConvolution(name("res"), cur, p);
+            cur = net.addEltwise(name("sum"), {a, cur}, {});
+            break;
+          }
+          case 6:
+            cur = net.addDropout(name("drop"), cur);
+            break;
+        }
+    }
+    cur = net.addSoftmax(name("prob"), cur);
+    net.markOutput(cur);
+    net.validate();
+    return net;
+}
+
+class RandomGraphTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomGraphTest, SerializationRoundTrips)
+{
+    Network net = randomNetwork(GetParam());
+    Network back = nn::deserializeNetwork(nn::serializeNetwork(net));
+    EXPECT_EQ(back.layers().size(), net.layers().size());
+    EXPECT_EQ(back.paramCount(), net.paramCount());
+}
+
+TEST_P(RandomGraphTest, OptimizerCoversAllLiveWork)
+{
+    Network net = randomNetwork(GetParam());
+    auto g = core::optimize(net, nn::Precision::kFp16);
+    EXPECT_GT(g.nodes().size(), 0u);
+    // Conservation: fused layer ids are unique and live.
+    std::set<std::int32_t> seen;
+    for (const auto &n : g.nodes())
+        for (auto id : n.layer_ids) {
+            EXPECT_TRUE(seen.insert(id).second)
+                << "layer " << id << " appears twice";
+        }
+    EXPECT_EQ(g.liveParamCount(), net.paramCount());
+}
+
+TEST_P(RandomGraphTest, BuildsAndRunsOnBothPlatforms)
+{
+    Network net = randomNetwork(GetParam());
+    core::BuilderConfig cfg;
+    cfg.build_id = GetParam();
+    for (const auto &dev : {gpusim::DeviceSpec::xavierNX(),
+                            gpusim::DeviceSpec::xavierAGX()}) {
+        core::Engine e = core::Builder(dev, cfg).build(net);
+        EXPECT_GT(e.kernelCount(), 0);
+        auto lat = runtime::measureLatency(e, dev,
+                                           {.runs = 2});
+        EXPECT_GT(lat.mean_ms, 0.0);
+        EXPECT_TRUE(std::isfinite(lat.mean_ms));
+    }
+}
+
+TEST_P(RandomGraphTest, Fp16TracksFp32Numerically)
+{
+    Network net = randomNetwork(GetParam());
+    nn::WeightsStore ws(net, GetParam());
+    nn::Executor fp32(net, ws, {nn::Precision::kFp32, 0});
+    nn::Executor fp16(net, ws, {nn::Precision::kFp16, 16});
+
+    nn::Tensor x(net.tensor(net.inputs()[0]).dims);
+    Rng rng(GetParam() ^ 0xabcdef);
+    for (std::int64_t i = 0; i < x.volume(); i++)
+        x[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    std::unordered_map<std::string, nn::Tensor> ins;
+    ins[net.inputs()[0]] = x;
+    auto o32 = fp32.run(ins);
+    auto o16 = fp16.run(ins);
+    for (const auto &[name, t32] : o32) {
+        const auto &t16 = o16.at(name);
+        for (std::int64_t i = 0; i < t32.volume(); i++) {
+            // Softmax outputs live in [0,1]; absolute tolerance.
+            EXPECT_NEAR(t16[i], t32[i], 0.05)
+                << name << "[" << i << "]";
+        }
+    }
+}
+
+TEST_P(RandomGraphTest, PinnedBuildsAreReproducible)
+{
+    Network net = randomNetwork(GetParam());
+    core::BuilderConfig cfg;
+    cfg.build_id = 77;
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine a = core::Builder(nx, cfg).build(net);
+    core::Engine b = core::Builder(nx, cfg).build(net);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+} // namespace
+} // namespace edgert

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the execution context and measurement harnesses:
+ * latency protocol decomposition, profiler perturbation, throughput
+ * scaling and utilization bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "runtime/context.hh"
+#include "runtime/measure.hh"
+
+namespace edgert::runtime {
+namespace {
+
+core::Engine
+buildEngine(const std::string &model, const gpusim::DeviceSpec &dev,
+            std::uint64_t id = 1)
+{
+    nn::Network net = nn::buildZooModel(model);
+    core::BuilderConfig cfg;
+    cfg.build_id = id;
+    return core::Builder(dev, cfg).build(net);
+}
+
+TEST(Latency, DecompositionSumsWithinTotal)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("resnet-18", nx);
+    auto lat = measureLatency(e, nx);
+    EXPECT_EQ(lat.samples_ms.size(), 10u);
+    EXPECT_GT(lat.mean_ms, 0.0);
+    EXPECT_GT(lat.memcpy_mean_ms, 0.0);
+    EXPECT_GT(lat.kernel_mean_ms, 0.0);
+    // Kernel + memcpy time (plus launch gaps) make up the total.
+    EXPECT_LE(lat.memcpy_mean_ms + lat.kernel_mean_ms,
+              lat.mean_ms * 1.001);
+    EXPECT_GT(lat.memcpy_mean_ms + lat.kernel_mean_ms,
+              lat.mean_ms * 0.5);
+}
+
+TEST(Latency, ReproducibleWithSameSeeds)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("googlenet", nx);
+    auto a = measureLatency(e, nx);
+    auto b = measureLatency(e, nx);
+    EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+    EXPECT_DOUBLE_EQ(a.std_ms, b.std_ms);
+}
+
+TEST(Latency, ProfilerAddsOverhead)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("inception-v4", nx);
+    LatencyOptions with, without;
+    without.with_profiler = false;
+    auto t_with = measureLatency(e, nx, with);
+    auto t_without = measureLatency(e, nx, without);
+    // Table VIII vs IX: nvprof inflates latency, substantially for
+    // kernel-rich models.
+    EXPECT_GT(t_with.mean_ms, t_without.mean_ms * 1.1);
+}
+
+TEST(Latency, SkippingWeightUploadDropsMemcpy)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("resnet-18", nx);
+    LatencyOptions cold, warm;
+    warm.upload_weights_per_run = false;
+    auto t_cold = measureLatency(e, nx, cold);
+    auto t_warm = measureLatency(e, nx, warm);
+    EXPECT_LT(t_warm.mean_ms, t_cold.mean_ms * 0.6);
+}
+
+TEST(Latency, NonzeroStdFromSystemNoise)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("resnet-18", nx);
+    auto lat = measureLatency(e, nx);
+    EXPECT_GT(lat.std_ms, 0.0);
+    LatencyOptions quiet;
+    quiet.system_noise = 0.0;
+    auto exact = measureLatency(e, nx, quiet);
+    EXPECT_LT(exact.std_ms, 1e-9);
+}
+
+TEST(Profile, KernelAggregatesCoverEngine)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("tiny-yolov3", nx);
+    std::vector<KernelProfile> prof;
+    auto lat = profileLatency(e, nx, prof);
+    EXPECT_FALSE(prof.empty());
+    double total = 0.0;
+    std::int64_t calls = 0;
+    for (const auto &k : prof) {
+        EXPECT_GT(k.calls, 0);
+        EXPECT_GT(k.mean_ms, 0.0);
+        total += k.total_ms;
+        calls += k.calls;
+    }
+    EXPECT_EQ(calls, e.kernelCount());
+    EXPECT_NEAR(total, lat.kernel_mean_ms, lat.kernel_mean_ms * 0.2);
+}
+
+TEST(Throughput, PositiveAndBounded)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("googlenet", nx);
+    ThroughputOptions topt;
+    topt.threads = 2;
+    topt.frames_per_thread = 10;
+    auto r = measureThroughput(e, nx, topt);
+    EXPECT_GT(r.aggregate_fps, 0.0);
+    EXPECT_NEAR(r.per_thread_fps * 2, r.aggregate_fps, 1e-9);
+    EXPECT_GT(r.gpu_util_pct, 0.0);
+    EXPECT_LE(r.gpu_util_pct, 100.0);
+    EXPECT_LE(r.copy_busy_pct, 100.0);
+}
+
+TEST(Throughput, MoreThreadsNeverHurtMuch)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("tiny-yolov3", nx);
+    double prev = 0.0;
+    for (int t : {1, 2, 4, 8}) {
+        ThroughputOptions topt;
+        topt.threads = t;
+        topt.frames_per_thread = 12;
+        auto r = measureThroughput(e, nx, topt);
+        EXPECT_GT(r.aggregate_fps, prev * 0.95) << t;
+        prev = r.aggregate_fps;
+    }
+}
+
+TEST(Throughput, SaturatesAtHighThreadCounts)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("tiny-yolov3", nx);
+    auto fps = [&](int t) {
+        ThroughputOptions topt;
+        topt.threads = t;
+        topt.frames_per_thread = 12;
+        return measureThroughput(e, nx, topt).aggregate_fps;
+    };
+    double f8 = fps(8), f16 = fps(16);
+    // Marginal gain well below linear scaling.
+    EXPECT_LT(f16, f8 * 1.3);
+}
+
+TEST(Throughput, OptimizedBeatsUnoptimizedBy20x)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    nn::Network net = nn::buildZooModel("resnet-18");
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Engine opt = core::Builder(nx, cfg).build(net);
+    core::Engine raw = core::Builder(nx, cfg).buildUnoptimized(net);
+    ThroughputOptions topt;
+    topt.frames_per_thread = 6;
+    double f_opt = measureThroughput(opt, nx, topt).aggregate_fps;
+    double f_raw = measureThroughput(raw, nx, topt).aggregate_fps;
+    EXPECT_GT(f_opt / f_raw, 20.0);
+    EXPECT_LT(f_opt / f_raw, 100.0);
+}
+
+TEST(Throughput, AgxFasterAtMaxClock)
+{
+    core::Engine e =
+        buildEngine("tiny-yolov3", gpusim::DeviceSpec::xavierNX());
+    ThroughputOptions topt;
+    topt.threads = 8;
+    topt.frames_per_thread = 10;
+    double nx = measureThroughput(
+                    e, gpusim::DeviceSpec::xavierNX(), topt)
+                    .aggregate_fps;
+    double agx = measureThroughput(
+                     e, gpusim::DeviceSpec::xavierAGX(), topt)
+                     .aggregate_fps;
+    EXPECT_GT(agx, nx * 1.2);
+}
+
+TEST(Throughput, Equation1BoundIsPlausible)
+{
+    // Paper Eq. 1: the thread bound scales with memory bandwidth.
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+    core::Engine e_nx = buildEngine("tiny-yolov3", nx);
+    core::Engine e_agx = buildEngine("tiny-yolov3", agx);
+    int n_nx = estimateMaxThreads(e_nx, nx);
+    int n_agx = estimateMaxThreads(e_agx, agx);
+    EXPECT_GT(n_nx, 4);
+    EXPECT_LT(n_nx, 100);
+    // The AGX bound exceeds the NX bound (paper: 28 vs 36).
+    EXPECT_GT(n_agx, n_nx);
+}
+
+TEST(Context, FootprintIncludesWeightsAndArena)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("tiny-yolov3", nx);
+    std::int64_t fp = contextFootprintBytes(e);
+    EXPECT_GT(fp, e.weightBytes());
+    EXPECT_LT(fp, 2LL << 30);
+}
+
+TEST(Context, PipelinedInferenceOverlapsCopies)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("tiny-yolov3", nx);
+    ThroughputOptions serial, piped;
+    serial.pipelined = false;
+    serial.threads = piped.threads = 1;
+    serial.frames_per_thread = piped.frames_per_thread = 10;
+    double f_serial = measureThroughput(e, nx, serial).aggregate_fps;
+    double f_piped = measureThroughput(e, nx, piped).aggregate_fps;
+    EXPECT_GT(f_piped, f_serial);
+}
+
+} // namespace
+} // namespace edgert::runtime

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * edgertexec — a trtexec-style command-line driver for EdgeRT.
+ *
+ * Build an engine for any zoo model (or a saved .ertn network) on a
+ * simulated device, measure it, and optionally dump profiles or the
+ * serialized plan.
+ *
+ * Examples:
+ *   edgertexec --model resnet-18 --device nx
+ *   edgertexec --model googlenet --device agx --int8 --runs 20
+ *   edgertexec --model tiny-yolov3 --device nx --threads 8 --profile
+ *   edgertexec --model resnet-18 --device nx --save-engine plan.erte
+ *   edgertexec --load-engine plan.erte --device agx
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/builder.hh"
+#include "gpusim/device.hh"
+#include "nn/dot.hh"
+#include "nn/model_zoo.hh"
+#include "nn/serialize.hh"
+#include "profile/nvprof.hh"
+#include "profile/trace_export.hh"
+#include "runtime/context.hh"
+#include "runtime/measure.hh"
+
+using namespace edgert;
+
+namespace {
+
+struct Args
+{
+    std::string model;
+    std::string load_network;    //!< .ertn path
+    std::string load_engine;     //!< .erte path
+    std::string save_engine;
+    std::string device = "nx";
+    nn::Precision precision = nn::Precision::kFp16;
+    std::uint64_t build_id = 1;
+    int runs = 10;
+    int threads = 0;      //!< >0 enables the throughput protocol
+    bool profile = false; //!< print the nvprof-style summary
+    bool max_clock = false;
+    bool no_nvprof_overhead = false;
+    bool verbose_build = false;
+    std::string dump_dot;   //!< write the model graph as .dot
+    std::string dump_trace; //!< write a chrome://tracing timeline
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: edgertexec [options]\n"
+        "  --model <name>        zoo model (see --list)\n"
+        "  --load-network <f>    load a serialized .ertn model\n"
+        "  --load-engine <f>     load a serialized .erte plan\n"
+        "  --save-engine <f>     write the built plan\n"
+        "  --device nx|agx       target platform (default nx)\n"
+        "  --fp32|--fp16|--int8  precision (default fp16)\n"
+        "  --build-id <n>        pin the build (default 1)\n"
+        "  --runs <n>            latency runs (default 10)\n"
+        "  --threads <n>         throughput mode with n streams\n"
+        "  --max-clock           MAXN clocks instead of pinned\n"
+        "  --no-profiler         drop the nvprof overhead model\n"
+        "  --profile             print per-kernel summary\n"
+        "  --verbose-build       print the autotuner's choices\n"
+        "  --dump-dot <f>        write the model graph (Graphviz)\n"
+        "  --dump-trace <f>      write a chrome://tracing timeline\n"
+        "  --list                list zoo models\n");
+}
+
+std::optional<Args>
+parse(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            a.model = next();
+        else if (arg == "--load-network")
+            a.load_network = next();
+        else if (arg == "--load-engine")
+            a.load_engine = next();
+        else if (arg == "--save-engine")
+            a.save_engine = next();
+        else if (arg == "--device")
+            a.device = next();
+        else if (arg == "--fp32")
+            a.precision = nn::Precision::kFp32;
+        else if (arg == "--fp16")
+            a.precision = nn::Precision::kFp16;
+        else if (arg == "--int8")
+            a.precision = nn::Precision::kInt8;
+        else if (arg == "--build-id")
+            a.build_id = std::stoull(next());
+        else if (arg == "--runs")
+            a.runs = std::stoi(next());
+        else if (arg == "--threads")
+            a.threads = std::stoi(next());
+        else if (arg == "--max-clock")
+            a.max_clock = true;
+        else if (arg == "--no-profiler")
+            a.no_nvprof_overhead = true;
+        else if (arg == "--profile")
+            a.profile = true;
+        else if (arg == "--verbose-build")
+            a.verbose_build = true;
+        else if (arg == "--dump-dot")
+            a.dump_dot = next();
+        else if (arg == "--dump-trace")
+            a.dump_trace = next();
+        else if (arg == "--list") {
+            for (const auto &m : nn::zooModelNames())
+                std::printf("%s\n", m.c_str());
+            return std::nullopt;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return std::nullopt;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n",
+                         arg.c_str());
+            usage();
+            return std::nullopt;
+        }
+    }
+    return a;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto parsed = parse(argc, argv);
+    if (!parsed)
+        return 0;
+    Args args = *parsed;
+
+    gpusim::DeviceSpec dev = args.device == "agx"
+                                 ? gpusim::DeviceSpec::xavierAGX()
+                                 : gpusim::DeviceSpec::xavierNX();
+    if (args.device != "agx" && args.device != "nx")
+        fatal("unknown device '", args.device, "' (nx|agx)");
+    if (args.max_clock)
+        dev = dev.atMaxClock();
+
+    // --- Obtain the engine ---
+    core::Engine engine;
+    if (!args.load_engine.empty()) {
+        std::ifstream f(args.load_engine, std::ios::binary);
+        if (!f)
+            fatal("cannot open engine '", args.load_engine, "'");
+        std::vector<std::uint8_t> bytes(
+            (std::istreambuf_iterator<char>(f)),
+            std::istreambuf_iterator<char>());
+        engine = core::Engine::deserialize(bytes);
+        std::printf("[edgertexec] loaded engine %s (built on %s, "
+                    "fingerprint %016llx)\n",
+                    engine.modelName().c_str(),
+                    engine.deviceName().c_str(),
+                    static_cast<unsigned long long>(
+                        engine.fingerprint()));
+    } else {
+        nn::Network net =
+            !args.load_network.empty()
+                ? nn::loadNetwork(args.load_network)
+                : nn::buildZooModel(
+                      args.model.empty() ? "resnet-18" : args.model);
+        std::printf("[edgertexec] model %s: %lld convs, %lld "
+                    "max-pools, %.2f MiB fp32\n",
+                    net.name().c_str(),
+                    static_cast<long long>(net.convCount()),
+                    static_cast<long long>(net.maxPoolCount()),
+                    static_cast<double>(net.modelSizeBytes()) /
+                        (1024.0 * 1024.0));
+
+        if (!args.dump_dot.empty()) {
+            std::ofstream f(args.dump_dot);
+            if (!f)
+                fatal("cannot write '", args.dump_dot, "'");
+            nn::writeDot(f, net);
+            std::printf("[edgertexec] graph written to %s\n",
+                        args.dump_dot.c_str());
+        }
+
+        core::BuilderConfig cfg;
+        cfg.precision = args.precision;
+        cfg.build_id = args.build_id;
+        core::BuildReport report;
+        engine = core::Builder(dev, cfg).build(net, &report);
+        std::printf("[edgertexec] built engine on %s: %zu steps, "
+                    "%lld kernels, %.2f MiB plan, fingerprint "
+                    "%016llx\n",
+                    dev.name.c_str(), engine.steps().size(),
+                    static_cast<long long>(engine.kernelCount()),
+                    static_cast<double>(engine.planSizeBytes()) /
+                        (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(
+                        engine.fingerprint()));
+        std::printf("[edgertexec] optimizer: %d dead removed, %d "
+                    "no-ops elided, %d fused, %d merges\n",
+                    report.optimizer.dead_layers_removed,
+                    report.optimizer.noops_elided,
+                    report.optimizer.layers_fused,
+                    report.optimizer.horizontal_merges);
+        if (args.verbose_build)
+            for (const auto &t : report.tuning)
+                std::printf("  %-18s -> %s (%.3f ms, runner-up "
+                            "%.3f)\n",
+                            t.node_name.c_str(),
+                            t.chosen_tactic.c_str(), t.best_ms,
+                            t.runner_up_ms);
+    }
+
+    if (!args.save_engine.empty()) {
+        auto bytes = engine.serialize();
+        std::ofstream f(args.save_engine, std::ios::binary);
+        if (!f)
+            fatal("cannot write '", args.save_engine, "'");
+        f.write(reinterpret_cast<const char *>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+        std::printf("[edgertexec] plan written to %s (%zu bytes)\n",
+                    args.save_engine.c_str(), bytes.size());
+    }
+
+    // --- Optional timeline dump (one traced inference) ---
+    if (!args.dump_trace.empty()) {
+        gpusim::GpuSim sim(dev);
+        runtime::ExecutionContext ctx(engine, sim, 0);
+        ctx.enqueueWeightUpload();
+        ctx.enqueueInference(true, true);
+        sim.run();
+        profile::saveChromeTrace(args.dump_trace, sim.trace(),
+                                 dev.name);
+        std::printf("[edgertexec] timeline written to %s (open in "
+                    "chrome://tracing)\n",
+                    args.dump_trace.c_str());
+    }
+
+    // --- Measure ---
+    if (args.threads > 0) {
+        runtime::ThroughputOptions topt;
+        topt.threads = args.threads;
+        topt.at_max_clock = true;
+        auto r = runtime::measureThroughput(engine, dev, topt);
+        std::printf("[edgertexec] throughput: %.1f FPS aggregate "
+                    "(%.2f per stream), GPU util %.1f%%, copy "
+                    "engine %.1f%%\n",
+                    r.aggregate_fps, r.per_thread_fps,
+                    r.gpu_util_pct, r.copy_busy_pct);
+    } else {
+        runtime::LatencyOptions lopt;
+        lopt.runs = args.runs;
+        lopt.with_profiler = !args.no_nvprof_overhead;
+        if (args.profile) {
+            std::vector<runtime::KernelProfile> kernels;
+            auto lat =
+                runtime::profileLatency(engine, dev, kernels, lopt);
+            std::printf("[edgertexec] latency: %.3f ms (std %.3f), "
+                        "memcpy %.3f ms, kernels %.3f ms\n",
+                        lat.mean_ms, lat.std_ms, lat.memcpy_mean_ms,
+                        lat.kernel_mean_ms);
+            std::printf("%-62s %6s %10s %10s\n", "kernel", "calls",
+                        "mean ms", "total ms");
+            for (const auto &k : kernels)
+                std::printf("%-62s %6d %10.4f %10.4f\n",
+                            k.name.c_str(), k.calls, k.mean_ms,
+                            k.total_ms);
+        } else {
+            auto lat = runtime::measureLatency(engine, dev, lopt);
+            std::printf("[edgertexec] latency on %s @ %.0f MHz: "
+                        "%.3f ms (std %.3f) | memcpy %.3f | kernels "
+                        "%.3f\n",
+                        dev.name.c_str(), dev.gpu_clock_ghz * 1e3,
+                        lat.mean_ms, lat.std_ms, lat.memcpy_mean_ms,
+                        lat.kernel_mean_ms);
+        }
+    }
+    return 0;
+}
