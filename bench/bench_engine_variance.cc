@@ -8,16 +8,23 @@
  * inception-v4, Mobilenetv1, fcn-resnet18) because each build's
  * noisy autotuning selects a different kernel mix; others land on
  * the same tactics and match.
+ *
+ * A second table shows the mitigation: rebuilding through a shared
+ * TimingCache freezes the tactic choices, so the three engines
+ * become bit-identical and the remaining spread is pure run-to-run
+ * measurement noise.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <iostream>
+#include <set>
 
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "core/builder.hh"
+#include "core/timing_cache.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
 #include "runtime/measure.hh"
@@ -61,6 +68,51 @@ printTable12()
 }
 
 void
+printTable12Mitigated()
+{
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+
+    TextTable table({"NN Model", "distinct engines (uncached)",
+                     "distinct engines (cached)",
+                     "cached spread (%)"});
+    int frozen = 0, total = 0;
+    for (const auto &model : nn::zooModelNames()) {
+        nn::Network net = nn::buildZooModel(model);
+        core::TimingCache cache;
+        std::set<std::uint64_t> plain_fps, cached_fps;
+        double means[3];
+        for (int i = 0; i < 3; i++) {
+            core::BuilderConfig cfg;
+            cfg.build_id = 300 + static_cast<std::uint64_t>(i);
+            plain_fps.insert(
+                core::Builder(agx, cfg).build(net).fingerprint());
+            cfg.timing_cache = &cache;
+            core::Engine e = core::Builder(agx, cfg).build(net);
+            cached_fps.insert(e.fingerprint());
+            runtime::LatencyOptions opts;
+            opts.noise_seed = static_cast<std::uint64_t>(i);
+            means[i] = runtime::measureLatency(e, agx, opts).mean_ms;
+        }
+        double mn = std::min({means[0], means[1], means[2]});
+        double mx = std::max({means[0], means[1], means[2]});
+        table.addRow({model, std::to_string(plain_fps.size()),
+                      std::to_string(cached_fps.size()),
+                      formatDouble(100.0 * (mx - mn) / mn, 1)});
+        total++;
+        if (cached_fps.size() == 1)
+            frozen++;
+    }
+    std::printf("\n=== Finding 6 mitigation: the same three builds "
+                "through one shared TimingCache (first build warms "
+                "it, the rest hit) ===\n");
+    table.render(std::cout);
+    std::printf("tactics frozen for %d/%d models — any remaining "
+                "cached spread is run-to-run measurement noise, not "
+                "engine variance\n",
+                frozen, total);
+}
+
+void
 BM_RebuildVariance(benchmark::State &state)
 {
     gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
@@ -74,14 +126,32 @@ BM_RebuildVariance(benchmark::State &state)
     }
 }
 
+void
+BM_RebuildVarianceCached(benchmark::State &state)
+{
+    gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+    nn::Network net = nn::buildZooModel("inception-v4");
+    core::TimingCache cache;
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        core::BuilderConfig cfg;
+        cfg.build_id = id++;
+        cfg.timing_cache = &cache;
+        core::Engine e = core::Builder(agx, cfg).build(net);
+        benchmark::DoNotOptimize(e.fingerprint());
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_RebuildVariance)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RebuildVarianceCached)->Unit(benchmark::kMillisecond);
 
 int
 main(int argc, char **argv)
 {
     printTable12();
+    printTable12Mitigated();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

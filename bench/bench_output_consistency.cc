@@ -12,16 +12,24 @@
  * 60k predictions (paper: 100-500), with occasional zero rows when
  * two builds happen to choose identical tactics (bit-identical
  * engines), as the paper's NX ResNet-18 engines 1-3 did.
+ *
+ * A final table shows the mitigation: rebuilding through a shared
+ * per-platform TimingCache makes same-platform engines
+ * bit-identical, collapsing their mismatch counts to exactly zero.
+ * Cross-platform pairs stay inconsistent — the cache is keyed by
+ * device, so it cannot (and must not) align NX and AGX tactics.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "common/table.hh"
 #include "core/builder.hh"
+#include "core/timing_cache.hh"
 #include "data/datasets.hh"
 #include "data/surrogate.hh"
 #include "gpusim/device.hh"
@@ -50,13 +58,15 @@ mismatches(const data::SurrogateClassifier &a,
 
 std::vector<data::SurrogateClassifier>
 buildEngines(const std::string &model, const gpusim::DeviceSpec &dev,
-             int count, std::uint64_t base_id)
+             int count, std::uint64_t base_id,
+             core::TimingCache *cache = nullptr)
 {
     nn::Network net = nn::buildZooModel(model);
     std::vector<data::SurrogateClassifier> out;
     for (int i = 0; i < count; i++) {
         core::BuilderConfig cfg;
         cfg.build_id = base_id + static_cast<std::uint64_t>(i);
+        cfg.timing_cache = cache;
         core::Engine e = core::Builder(dev, cfg).build(net);
         out.push_back(data::SurrogateClassifier::forEngine(
             model, e.fingerprint()));
@@ -115,6 +125,37 @@ printTables()
                 "same-platform engine pairs (paper: 0-497, with "
                 "exact-zero rows for bit-identical builds) ===\n");
     t6.render(std::cout);
+
+    // --- Mitigation: same builds through shared per-platform
+    // timing caches. Same-platform pairs must collapse to zero;
+    // the cross-platform pair stays nonzero.
+    TextTable tm({"NN Model", "NX pairs max", "AGX pairs max",
+                  "NX1-AGX1"});
+    for (const char *model : kModels) {
+        core::TimingCache nx_cache, agx_cache;
+        auto nx_clfs = buildEngines(model, nx, 3, 100, &nx_cache);
+        auto agx_clfs = buildEngines(model, agx, 3, 200, &agx_cache);
+        std::size_t nx_max = 0, agx_max = 0;
+        for (int i = 0; i < 3; i++)
+            for (int j = i + 1; j < 3; j++) {
+                auto si = static_cast<std::size_t>(i);
+                auto sj = static_cast<std::size_t>(j);
+                nx_max = std::max(
+                    nx_max, mismatches(nx_clfs[si], nx_clfs[sj], ds));
+                agx_max = std::max(
+                    agx_max,
+                    mismatches(agx_clfs[si], agx_clfs[sj], ds));
+            }
+        tm.addRow({model, std::to_string(nx_max),
+                   std::to_string(agx_max),
+                   std::to_string(
+                       mismatches(nx_clfs[0], agx_clfs[0], ds))});
+    }
+    std::printf("\n=== Mitigation: the same engine pairs rebuilt "
+                "through a shared per-platform TimingCache "
+                "(same-platform mismatches collapse to 0; "
+                "cross-platform inconsistency remains) ===\n");
+    tm.render(std::cout);
 }
 
 void

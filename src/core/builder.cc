@@ -2,14 +2,103 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/threadpool.hh"
 #include "core/calibrator.hh"
+#include "core/timing_cache.hh"
 #include "gpusim/timing.hh"
 
 namespace edgert::core {
+
+namespace {
+
+/**
+ * Hash of everything the timing model can observe about a node:
+ * fused-op kind, precision, dims, and the full candidate kernel
+ * geometry. Equal signatures imply identical measurement inputs, so
+ * a timing-cache hit is exact (see timing_cache.hh).
+ */
+std::uint64_t
+nodeSignature(const OptNode &node, const NodeCost &cost,
+              const std::vector<Tactic> &candidates)
+{
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(node.kind));
+    h = hashCombine(h, static_cast<std::uint64_t>(node.precision));
+    auto mixDims = [&](const nn::Dims &d) {
+        h = hashCombine(h, static_cast<std::uint64_t>(d.n));
+        h = hashCombine(h, static_cast<std::uint64_t>(d.c));
+        h = hashCombine(h, static_cast<std::uint64_t>(d.h));
+        h = hashCombine(h, static_cast<std::uint64_t>(d.w));
+    };
+    mixDims(cost.in_dims);
+    mixDims(cost.out_dims);
+    for (const auto &t : candidates) {
+        h = hashCombine(h, hashString(t.name));
+        for (const auto &k : t.kernels) {
+            h = hashCombine(h, hashString(k.name));
+            h = hashCombine(
+                h, static_cast<std::uint64_t>(k.grid_blocks));
+            h = hashCombine(
+                h, static_cast<std::uint64_t>(k.block_threads));
+            h = hashCombine(h, static_cast<std::uint64_t>(k.flops));
+            h = hashCombine(
+                h, static_cast<std::uint64_t>(k.dram_bytes));
+            h = hashCombine(
+                h, static_cast<std::uint64_t>(
+                       k.max_blocks_per_sm * 4 + k.tensor_core * 2 +
+                       k.strided_access));
+            std::uint64_t eff;
+            static_assert(sizeof(eff) == sizeof(k.efficiency));
+            std::memcpy(&eff, &k.efficiency, sizeof(eff));
+            h = hashCombine(h, eff);
+            std::uint64_t tile;
+            std::memcpy(&tile, &k.tile_kb, sizeof(tile));
+            h = hashCombine(h, tile);
+        }
+    }
+    return h;
+}
+
+/** Autotuning state for one fused node. */
+struct NodeSweep
+{
+    std::vector<Tactic> candidates;
+    NodeCost cost;
+    std::uint64_t signature = 0;
+    std::vector<double> seconds; //!< per candidate (cache mode: shared)
+};
+
+} // namespace
+
+double
+TimingWorkload::serialSeconds() const
+{
+    double total = 0.0;
+    for (double t : task_device_seconds)
+        total += t;
+    return total;
+}
+
+double
+TimingWorkload::makespanSeconds(int workers) const
+{
+    if (workers < 1)
+        workers = 1;
+    // Greedy in dispatch order — exactly what the pool's atomic
+    // task counter does: a finishing worker grabs the next task.
+    std::vector<double> clock(static_cast<std::size_t>(workers),
+                              0.0);
+    for (double t : task_device_seconds)
+        *std::min_element(clock.begin(), clock.end()) += t;
+    return *std::max_element(clock.begin(), clock.end());
+}
 
 Builder::Builder(const gpusim::DeviceSpec &device,
                  const BuilderConfig &config)
@@ -17,29 +106,30 @@ Builder::Builder(const gpusim::DeviceSpec &device,
 {
     if (config_.avg_timing_iterations < 1)
         fatal("Builder: avg_timing_iterations must be >= 1");
+    if (config_.jobs < 0)
+        fatal("Builder: jobs must be >= 0");
 }
 
 double
 Builder::measureTactic(const Tactic &tactic,
-                       const std::string &node_name,
-                       std::uint64_t trial) const
+                       std::uint64_t noise_key) const
 {
-    // Noiseless analytic duration of the candidate on this device.
-    double t = 0.0;
-    for (const auto &k : tactic.kernels)
-        t += gpusim::soloKernelSeconds(device_, k) +
-             device_.kernel_launch_us * 1e-6;
-
-    // The autotuner observes this through noisy wall-clock timing:
-    // the measurement RNG is keyed by build id, node and tactic, so
-    // a different build id yields a different (but internally
-    // deterministic) set of measurements — the mechanical source of
-    // non-deterministic engine generation (Finding 6).
-    Rng rng(hashCombine(
-        hashCombine(config_.build_id, hashString(node_name)),
-        hashCombine(hashString(tactic.name), trial)));
+    // The autotuner observes the candidate through noisy wall-clock
+    // timing: each iteration re-runs the tactic's kernels on the
+    // simulated device and perturbs the analytic duration with
+    // measurement jitter. The jitter RNG is keyed by build id, node
+    // identity and tactic — never wall-clock or thread schedule —
+    // so a different build id yields a different (but internally
+    // deterministic) set of measurements: the mechanical source of
+    // non-deterministic engine generation (Finding 6), and what
+    // keeps parallel builds bit-identical to serial ones.
+    Rng rng(noise_key);
     double sum = 0.0;
     for (int i = 0; i < config_.avg_timing_iterations; i++) {
+        double t = 0.0;
+        for (const auto &k : tactic.kernels)
+            t += gpusim::soloKernelSeconds(device_, k) +
+                 device_.kernel_launch_us * 1e-6;
         double noise = rng.gaussian(0.0, config_.timing_noise);
         sum += t * std::max(0.2, 1.0 + noise);
     }
@@ -49,6 +139,7 @@ Builder::measureTactic(const Tactic &tactic,
 Engine
 Builder::build(const nn::Network &net, BuildReport *report) const
 {
+    net.validate();
     OptimizedGraph graph =
         optimize(net, config_.precision, config_.optimizer);
     if (report)
@@ -62,41 +153,178 @@ Builder::build(const nn::Network &net, BuildReport *report) const
         calib_fp = calibrator.tableFingerprint();
     }
 
-    std::vector<ExecutionStep> steps;
-    steps.reserve(graph.nodes().size());
+    const auto &nodes = graph.nodes();
+    std::vector<NodeSweep> sweeps(nodes.size());
+    TimingCache *cache = config_.timing_cache;
 
-    for (const auto &node : graph.nodes()) {
-        auto candidates = tacticCandidates(graph, node, device_);
-        if (candidates.empty())
-            panic("no tactic candidates for node ", node.name);
+    int jobs = config_.jobs == 0 ? ThreadPool::defaultThreads()
+                                 : config_.jobs;
+    std::unique_ptr<ThreadPool> pool;
+    if (jobs > 1 && nodes.size() > 1)
+        pool = std::make_unique<ThreadPool>(jobs);
+    auto forEach = [&](std::size_t n,
+                       const std::function<void(std::size_t)> &body) {
+        if (pool) {
+            pool->parallelFor(n, body);
+        } else {
+            for (std::size_t i = 0; i < n; i++)
+                body(i);
+        }
+    };
+
+    // Phase 1 — per-node prep (parallel): enumerate candidates,
+    // analyze cost and, without a cache, run the timing sweep with
+    // the classic per-node noise keying. Work items write disjoint
+    // slots, so scheduling cannot affect the result.
+    forEach(nodes.size(), [&](std::size_t i) {
+        NodeSweep &s = sweeps[i];
+        s.candidates = tacticCandidates(graph, nodes[i], device_);
+        if (s.candidates.empty())
+            return; // reported serially below
+        s.cost = analyzeNode(graph, nodes[i]);
+        if (cache) {
+            s.signature = nodeSignature(nodes[i], s.cost,
+                                        s.candidates);
+        } else {
+            s.seconds.resize(s.candidates.size());
+            for (std::size_t j = 0; j < s.candidates.size(); j++)
+                s.seconds[j] = measureTactic(
+                    s.candidates[j],
+                    hashCombine(
+                        hashCombine(config_.build_id,
+                                    hashString(nodes[i].name)),
+                        hashCombine(
+                            hashString(s.candidates[j].name), j)));
+        }
+    });
+    for (std::size_t i = 0; i < nodes.size(); i++)
+        if (sweeps[i].candidates.empty())
+            panic("no tactic candidates for node ", nodes[i].name);
+
+    // Phase 2 — cache-backed timing resolution. Measurements are
+    // shared per node *signature*: the first node (in topological
+    // order) with a given signature owns the sweep, and its noise
+    // RNG is keyed by (build_id, signature, tactic, trial). Lookups
+    // only see the pre-build cache — fresh measurements are
+    // committed afterwards in owner order — so neither thread
+    // schedule nor intra-build insert races can perturb the result.
+    if (cache) {
+        std::vector<std::size_t> owners;
+        std::unordered_map<std::uint64_t, std::size_t> owner_of;
+        for (std::size_t i = 0; i < nodes.size(); i++)
+            if (owner_of.emplace(sweeps[i].signature, i).second)
+                owners.push_back(i);
+
+        std::vector<std::vector<char>> fresh(owners.size());
+        forEach(owners.size(), [&](std::size_t oi) {
+            NodeSweep &s = sweeps[owners[oi]];
+            s.seconds.resize(s.candidates.size());
+            fresh[oi].assign(s.candidates.size(), 0);
+            for (std::size_t j = 0; j < s.candidates.size(); j++) {
+                std::string key = TimingCache::key(
+                    device_.name, s.signature, s.candidates[j].name);
+                if (auto hit = cache->lookup(key)) {
+                    s.seconds[j] = *hit;
+                } else {
+                    s.seconds[j] = measureTactic(
+                        s.candidates[j],
+                        hashCombine(
+                            hashCombine(config_.build_id,
+                                        s.signature),
+                            hashCombine(
+                                hashString(s.candidates[j].name),
+                                j)));
+                    fresh[oi][j] = 1;
+                }
+            }
+        });
+        for (std::size_t oi = 0; oi < owners.size(); oi++) {
+            const NodeSweep &s = sweeps[owners[oi]];
+            for (std::size_t j = 0; j < s.candidates.size(); j++)
+                if (fresh[oi][j])
+                    cache->insert(
+                        TimingCache::key(device_.name, s.signature,
+                                         s.candidates[j].name),
+                        s.seconds[j]);
+        }
+        for (auto &s : sweeps)
+            if (s.seconds.empty())
+                s.seconds = sweeps[owner_of.at(s.signature)].seconds;
+
+        if (report) {
+            TimingWorkload &w = report->workload;
+            w.jobs = jobs;
+            double iters = config_.avg_timing_iterations;
+            w.task_device_seconds.reserve(owners.size());
+            for (std::size_t oi = 0; oi < owners.size(); oi++) {
+                const NodeSweep &s = sweeps[owners[oi]];
+                double dev = 0.0;
+                for (std::size_t j = 0; j < s.candidates.size();
+                     j++) {
+                    if (fresh[oi][j]) {
+                        w.measurements++;
+                        dev += s.seconds[j] * iters;
+                    } else {
+                        w.cache_hits++;
+                    }
+                }
+                w.task_device_seconds.push_back(dev);
+            }
+            for (std::size_t i = 0; i < nodes.size(); i++)
+                if (owner_of.at(sweeps[i].signature) != i)
+                    w.shared += static_cast<std::int64_t>(
+                        sweeps[i].candidates.size());
+        }
+    } else if (report) {
+        TimingWorkload &w = report->workload;
+        w.jobs = jobs;
+        double iters = config_.avg_timing_iterations;
+        w.task_device_seconds.reserve(sweeps.size());
+        for (const NodeSweep &s : sweeps) {
+            double dev = 0.0;
+            for (double sec : s.seconds)
+                dev += sec * iters;
+            w.measurements +=
+                static_cast<std::int64_t>(s.seconds.size());
+            w.task_device_seconds.push_back(dev);
+        }
+    }
+
+    // Phase 3 — serial selection pass: argmin per node, build log,
+    // step assembly. Cheap, and keeps report/step order exactly the
+    // topological order regardless of jobs.
+    std::vector<ExecutionStep> steps;
+    steps.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); i++) {
+        const auto &node = nodes[i];
+        NodeSweep &s = sweeps[i];
 
         double best = std::numeric_limits<double>::infinity();
         double runner_up = best;
         std::size_t best_idx = 0;
-        for (std::size_t i = 0; i < candidates.size(); i++) {
-            double t = measureTactic(candidates[i], node.name, i);
+        for (std::size_t j = 0; j < s.candidates.size(); j++) {
+            double t = s.seconds[j];
             if (t < best) {
                 runner_up = best;
                 best = t;
-                best_idx = i;
+                best_idx = j;
             } else if (t < runner_up) {
                 runner_up = t;
             }
         }
-        Tactic &chosen = candidates[best_idx];
+        Tactic &chosen = s.candidates[best_idx];
 
         if (report) {
             TuningRecord rec;
             rec.node_name = node.name;
             rec.chosen_tactic = chosen.name;
-            rec.candidates = static_cast<int>(candidates.size());
+            rec.candidates = static_cast<int>(s.candidates.size());
             rec.best_ms = best * 1e3;
             rec.runner_up_ms =
                 std::isfinite(runner_up) ? runner_up * 1e3 : 0.0;
             report->tuning.push_back(std::move(rec));
         }
 
-        NodeCost cost = analyzeNode(graph, node);
         ExecutionStep step;
         step.node_name = node.name;
         step.kind = node.kind;
@@ -104,7 +332,7 @@ Builder::build(const nn::Network &net, BuildReport *report) const
         step.kernels = std::move(chosen.kernels);
         step.precision = node.precision;
         step.weight_plan_bytes = static_cast<std::int64_t>(
-            static_cast<double>(cost.weight_params) * 4.0 *
+            static_cast<double>(s.cost.weight_params) * 4.0 *
             chosen.weight_layout_factor);
         step.weight_transfers = chosen.weight_transfers;
         steps.push_back(std::move(step));

@@ -13,6 +13,24 @@
  * intentionally non-deterministic unless a build id is pinned,
  * reproducing the paper's Finding 6. Two builds with the same
  * build_id are bit-identical.
+ *
+ * Parallelism. The per-node tactic sweeps are independent, so
+ * BuilderConfig::jobs fans them out across a common::ThreadPool.
+ * Every measurement draws its jitter from an Rng keyed by
+ * (build_id, node identity, tactic, trial) — never from wall-clock
+ * or thread schedule — so a parallel build is *bit-identical* to
+ * the serial build for a pinned build_id. Tests assert this.
+ *
+ * Timing cache. Attaching a core::TimingCache switches the
+ * autotuner to signature-keyed measurements (see timing_cache.hh):
+ * nodes with identical shape share one measurement, cache hits skip
+ * measureTactic entirely, and a warm cache freezes tactic choices
+ * across rebuilds with different build ids (the Finding 6
+ * mitigation). New measurements are committed to the cache in
+ * deterministic node order at the end of the build, so lookups only
+ * ever see the cache state from before the build — serial and
+ * parallel builds observe the same cache, another leg of the
+ * bit-identity contract.
  */
 
 #include <cstdint>
@@ -26,6 +44,8 @@
 #include "nn/network.hh"
 
 namespace edgert::core {
+
+class TimingCache;
 
 /** Builder configuration (IBuilderConfig analogue). */
 struct BuilderConfig
@@ -58,6 +78,22 @@ struct BuilderConfig
      * activation ranges and hence different engines.
      */
     std::uint64_t calibration_seed = 0;
+
+    /**
+     * Worker threads for the tactic autotuning sweep. 1 = serial,
+     * 0 = one per hardware thread. Any value produces bit-identical
+     * engines for a pinned build_id (measurement noise is RNG-keyed,
+     * never schedule-dependent).
+     */
+    int jobs = 1;
+
+    /**
+     * Optional tactic-timing cache, consulted before measureTactic
+     * and extended with this build's fresh measurements (not
+     * owned; must outlive the build). See timing_cache.hh for the
+     * determinism contract.
+     */
+    TimingCache *timing_cache = nullptr;
 };
 
 /** Per-node autotuning outcome, for build logs and tests. */
@@ -70,11 +106,45 @@ struct TuningRecord
     double runner_up_ms = 0.0;
 };
 
+/**
+ * Device-occupancy summary of the autotuning sweep.
+ *
+ * Timing a tactic occupies the build device for the tactic's
+ * duration × avg_timing_iterations — on real hardware this is what
+ * makes engine building take minutes, and it is the cost the
+ * timing cache and the parallel sweep attack. The simulator runs
+ * the measurements analytically (host-side they cost microseconds),
+ * so the builder reports the modeled occupancy instead: one entry
+ * per parallel sweep task, from which serial device time and the
+ * makespan across N workers follow deterministically.
+ */
+struct TimingWorkload
+{
+    int jobs = 1;                  //!< resolved worker count
+    std::int64_t measurements = 0; //!< fresh tactic timings run
+    std::int64_t cache_hits = 0;   //!< timings served by the cache
+    std::int64_t shared = 0;       //!< reused across same-signature nodes
+
+    /** Device-seconds of fresh measurement per sweep task. */
+    std::vector<double> task_device_seconds;
+
+    /** Total device time of a serial sweep (jobs = 1). */
+    double serialSeconds() const;
+
+    /**
+     * Sweep makespan with @p workers workers, modeling the pool's
+     * dynamic dispatch: tasks start in order, each on the earliest
+     * free worker.
+     */
+    double makespanSeconds(int workers) const;
+};
+
 /** Full build report. */
 struct BuildReport
 {
     OptimizerStats optimizer;
     std::vector<TuningRecord> tuning;
+    TimingWorkload workload;
 };
 
 /**
@@ -94,8 +164,9 @@ class Builder
     const BuilderConfig &config() const { return config_; }
 
     /**
-     * Build an optimized engine from a frozen network.
-     * @param net    Source model (must validate()).
+     * Build an optimized engine from a frozen network. The network
+     * is validate()d first; malformed graphs throw FatalError.
+     * @param net    Source model.
      * @param report Optional out-param receiving the build log.
      */
     Engine build(const nn::Network &net,
@@ -110,8 +181,7 @@ class Builder
 
   private:
     double measureTactic(const Tactic &tactic,
-                         const std::string &node_name,
-                         std::uint64_t trial) const;
+                         std::uint64_t noise_key) const;
 
     gpusim::DeviceSpec device_;
     BuilderConfig config_;

@@ -1,0 +1,162 @@
+#include "core/timing_cache.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/binio.hh"
+#include "common/logging.hh"
+
+namespace edgert::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43545245; // "ERTC"
+constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+TimingCache::TimingCache(TimingCache &&other) noexcept
+{
+    std::lock_guard<std::mutex> lock(other.mu_);
+    entries_ = std::move(other.entries_);
+    stats_ = other.stats_;
+    other.entries_.clear();
+    other.stats_ = {};
+}
+
+TimingCache &
+TimingCache::operator=(TimingCache &&other) noexcept
+{
+    if (this != &other) {
+        std::scoped_lock lock(mu_, other.mu_);
+        entries_ = std::move(other.entries_);
+        stats_ = other.stats_;
+        other.entries_.clear();
+        other.stats_ = {};
+    }
+    return *this;
+}
+
+std::string
+TimingCache::key(std::string_view device_name,
+                 std::uint64_t node_signature,
+                 std::string_view tactic_name)
+{
+    std::string k;
+    k.reserve(device_name.size() + tactic_name.size() + 18);
+    k += device_name;
+    k += '|';
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(node_signature));
+    k += hex;
+    k += '|';
+    k += tactic_name;
+    return k;
+}
+
+std::optional<double>
+TimingCache::lookup(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+    stats_.hits++;
+    return it->second;
+}
+
+void
+TimingCache::insert(const std::string &key, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.emplace(key, seconds).second)
+        stats_.inserts++;
+}
+
+std::size_t
+TimingCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+TimingCacheStats
+TimingCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+TimingCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+}
+
+std::vector<std::uint8_t>
+TimingCache::serialize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    BinWriter w;
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.u64(entries_.size());
+    // std::map iterates in key order: canonical bytes.
+    for (const auto &[k, seconds] : entries_) {
+        w.str(k);
+        w.f64(seconds);
+    }
+    return w.bytes();
+}
+
+TimingCache
+TimingCache::deserialize(const std::vector<std::uint8_t> &bytes)
+{
+    BinReader r(bytes);
+    if (r.u32() != kMagic)
+        fatal("TimingCache: bad magic (not a timing cache)");
+    std::uint32_t version = r.u32();
+    if (version != kVersion)
+        fatal("TimingCache: unsupported version ", version);
+    std::uint64_t n = r.u64();
+    TimingCache cache;
+    for (std::uint64_t i = 0; i < n; i++) {
+        std::string k = r.str();
+        double seconds = r.f64();
+        cache.entries_.emplace(std::move(k), seconds);
+    }
+    if (!r.atEnd())
+        fatal("TimingCache: trailing bytes after ", n, " entries");
+    return cache;
+}
+
+void
+TimingCache::save(const std::string &path) const
+{
+    auto bytes = serialize();
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("TimingCache: cannot write '", path, "'");
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f)
+        fatal("TimingCache: short write to '", path, "'");
+}
+
+TimingCache
+TimingCache::load(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return TimingCache{}; // cold start
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(f)),
+        std::istreambuf_iterator<char>());
+    return deserialize(bytes);
+}
+
+} // namespace edgert::core

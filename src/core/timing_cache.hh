@@ -1,0 +1,122 @@
+#ifndef EDGERT_CORE_TIMING_CACHE_HH
+#define EDGERT_CORE_TIMING_CACHE_HH
+
+/**
+ * @file
+ * Persistent tactic-timing cache (TensorRT ITimingCache analogue).
+ *
+ * The autotuner's dominant cost is timing every candidate tactic of
+ * every fused node, and those measurements are heavily redundant:
+ * repeated blocks inside one model, shared backbones across the
+ * zoo, and every rebuild of the same model re-time identical
+ * (device, node shape, tactic) tuples. The cache memoizes one
+ * measured duration per such tuple.
+ *
+ * Keying. An entry is addressed by
+ *   device name × node signature × tactic name,
+ * where the node signature hashes everything the timing model can
+ * observe: fused-op kind, execution precision, input/output dims,
+ * and the full candidate kernel geometry (names, grids, flops,
+ * DRAM traffic, occupancy...). Equal signatures therefore imply
+ * equal measurement inputs, and a cache hit is exact — not an
+ * approximation. The device name is part of the key, so a cache
+ * warmed on Xavier NX contributes nothing to an AGX build (and
+ * vice versa); timings never leak across device presets.
+ *
+ * Determinism (Finding 6 mitigation). Cache-backed builds draw
+ * their measurement noise per signature rather than per node, so a
+ * given cache state freezes the tactic choice: two builds with
+ * *different* build ids that share a warm cache select identical
+ * tactics and produce engines with equal fingerprints. This is the
+ * paper's own mitigation angle for non-deterministic engine
+ * generation.
+ *
+ * The cache is thread-safe (the parallel builder consults it from
+ * worker threads) and serializes to a canonical byte stream —
+ * entries are kept sorted, so equal contents always produce equal
+ * bytes regardless of insertion order.
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgert::core {
+
+/** Lookup/insert counters since construction (or resetStats()). */
+struct TimingCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+};
+
+/**
+ * Thread-safe (device, node signature, tactic) → seconds memo with
+ * binary (de)serialization.
+ */
+class TimingCache
+{
+  public:
+    TimingCache() = default;
+
+    TimingCache(const TimingCache &) = delete;
+    TimingCache &operator=(const TimingCache &) = delete;
+    TimingCache(TimingCache &&other) noexcept;
+    TimingCache &operator=(TimingCache &&other) noexcept;
+
+    /** Compose the canonical entry key. */
+    static std::string key(std::string_view device_name,
+                           std::uint64_t node_signature,
+                           std::string_view tactic_name);
+
+    /**
+     * Look up a measured duration. Counts a hit or a miss.
+     * @return Seconds, or nullopt on miss.
+     */
+    std::optional<double> lookup(const std::string &key) const;
+
+    /**
+     * Record a measured duration. First writer wins — an existing
+     * entry is never overwritten, so a cache only ever *freezes*
+     * timings, it never retimes them. Counts an insert only when
+     * the entry was actually added.
+     */
+    void insert(const std::string &key, double seconds);
+
+    /** Number of stored entries. */
+    std::size_t size() const;
+
+    TimingCacheStats stats() const;
+    void resetStats();
+
+    /** Canonical byte serialization (entries only, sorted by key). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Rebuild from serialize() output; fatal() on malformed data. */
+    static TimingCache deserialize(
+        const std::vector<std::uint8_t> &bytes);
+
+    /** Write serialize() bytes to a file; fatal() on I/O error. */
+    void save(const std::string &path) const;
+
+    /**
+     * Load a cache file written by save(). A missing file yields an
+     * empty cache (first run of a warm-cache workflow); a present
+     * but malformed file is fatal().
+     */
+    static TimingCache load(const std::string &path);
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, double> entries_;
+    mutable TimingCacheStats stats_;
+};
+
+} // namespace edgert::core
+
+#endif // EDGERT_CORE_TIMING_CACHE_HH

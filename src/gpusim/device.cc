@@ -66,6 +66,7 @@ DeviceSpec::xavierNX()
     DeviceSpec s;
     s.name = "xavier-nx";
     s.sm_count = 6;
+    s.cpu_cores = 6;
     s.cuda_cores_per_sm = 64;
     s.tensor_cores_per_sm = 8;
     s.l1_kb_per_sm = 128;
@@ -91,6 +92,7 @@ DeviceSpec::xavierAGX()
     DeviceSpec s;
     s.name = "xavier-agx";
     s.sm_count = 8;
+    s.cpu_cores = 8;
     s.cuda_cores_per_sm = 64;
     s.tensor_cores_per_sm = 8;
     s.l1_kb_per_sm = 128;

@@ -31,6 +31,13 @@ struct DeviceSpec
     int l1_kb_per_sm = 128;
     int l2_kb = 512;
 
+    /**
+     * Carmel ARM v8.2 CPU cores (Table I). Host-side work — engine
+     * building above all — runs on these, so they bound the
+     * builder's tactic-sweep parallelism on the platform itself.
+     */
+    int cpu_cores = 0;
+
     // --- Memory system ---
     double ram_gb = 0.0;
     double dram_gbps = 0.0;  //!< peak DRAM bandwidth (GB/s, Table I)

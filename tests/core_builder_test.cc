@@ -10,6 +10,7 @@
 
 #include <set>
 
+#include "common/logging.hh"
 #include "core/builder.hh"
 #include "core/tactics.hh"
 #include "gpusim/device.hh"
@@ -75,6 +76,39 @@ TEST(Tactics, DepthwiseUsesDepthwiseKernels)
             depthwise_nodes++;
     }
     EXPECT_EQ(depthwise_nodes, 13);
+}
+
+TEST(Builder, BuildValidatesNetwork)
+{
+    // build() must reject malformed networks at the API boundary,
+    // exactly as buildUnoptimized() always did.
+    Network net("no-outputs");
+    net.addInput("in", nn::Dims(1, 3, 8, 8));
+    net.addIdentity("a", "in"); // no output marked → invalid
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig cfg;
+    EXPECT_THROW(Builder(nx, cfg).build(net), FatalError);
+    EXPECT_THROW(Builder(nx, cfg).buildUnoptimized(net), FatalError);
+}
+
+TEST(Builder, ParallelBuildBitIdenticalToSerial)
+{
+    // BuilderConfig::jobs must never change the built engine: the
+    // measurement noise is RNG-keyed, not schedule-dependent.
+    Network net = nn::buildZooModel("googlenet");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    BuilderConfig serial;
+    serial.build_id = 42;
+    serial.jobs = 1;
+    BuilderConfig parallel = serial;
+    parallel.jobs = 8;
+    BuilderConfig automatic = serial;
+    automatic.jobs = 0; // one per hardware thread
+    Engine a = Builder(nx, serial).build(net);
+    Engine b = Builder(nx, parallel).build(net);
+    Engine c = Builder(nx, automatic).build(net);
+    EXPECT_EQ(a.serialize(), b.serialize());
+    EXPECT_EQ(a.serialize(), c.serialize());
 }
 
 TEST(Builder, PinnedBuildIdIsReproducible)

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the tactic-timing cache: hit/miss/insert accounting,
+ * canonical (de)serialization, file round trips, and the builder
+ * integration that mitigates Finding 6 — a shared warm cache
+ * freezes tactic choices across build ids, while caches never leak
+ * across device presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+#include "core/builder.hh"
+#include "core/timing_cache.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+
+namespace edgert::core {
+namespace {
+
+using gpusim::DeviceSpec;
+using nn::Network;
+
+TEST(TimingCache, KeySeparatesDeviceSignatureTactic)
+{
+    std::string a = TimingCache::key("xavier-nx", 1, "t");
+    EXPECT_NE(a, TimingCache::key("xavier-agx", 1, "t"));
+    EXPECT_NE(a, TimingCache::key("xavier-nx", 2, "t"));
+    EXPECT_NE(a, TimingCache::key("xavier-nx", 1, "u"));
+    EXPECT_EQ(a, TimingCache::key("xavier-nx", 1, "t"));
+}
+
+TEST(TimingCache, HitMissInsertAccounting)
+{
+    TimingCache cache;
+    std::string k1 = TimingCache::key("nx", 1, "a");
+    std::string k2 = TimingCache::key("nx", 2, "b");
+
+    EXPECT_FALSE(cache.lookup(k1).has_value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    cache.insert(k1, 1.5e-3);
+    EXPECT_EQ(cache.stats().inserts, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    auto hit = cache.lookup(k1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(*hit, 1.5e-3);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // First writer wins; re-insert is not counted and does not
+    // retime the entry.
+    cache.insert(k1, 9.0);
+    EXPECT_EQ(cache.stats().inserts, 1u);
+    EXPECT_DOUBLE_EQ(*cache.lookup(k1), 1.5e-3);
+
+    cache.insert(k2, 2.0e-3);
+    EXPECT_EQ(cache.stats().inserts, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_EQ(cache.stats().inserts, 0u);
+    EXPECT_EQ(cache.size(), 2u); // entries survive a stats reset
+}
+
+TEST(TimingCache, SerializeRoundTripIsCanonical)
+{
+    TimingCache a, b;
+    // Same contents, different insertion order.
+    a.insert(TimingCache::key("nx", 7, "x"), 1e-3);
+    a.insert(TimingCache::key("agx", 9, "y"), 2e-3);
+    b.insert(TimingCache::key("agx", 9, "y"), 2e-3);
+    b.insert(TimingCache::key("nx", 7, "x"), 1e-3);
+    EXPECT_EQ(a.serialize(), b.serialize());
+
+    TimingCache back = TimingCache::deserialize(a.serialize());
+    EXPECT_EQ(back.size(), 2u);
+    EXPECT_DOUBLE_EQ(*back.lookup(TimingCache::key("nx", 7, "x")),
+                     1e-3);
+    EXPECT_EQ(back.serialize(), a.serialize());
+    // Stats are not part of the serialized state (the lookups above
+    // started from zero plus one hit).
+    EXPECT_EQ(back.stats().hits, 1u);
+}
+
+TEST(TimingCache, DeserializeRejectsGarbage)
+{
+    std::vector<std::uint8_t> junk = {'n', 'o', 'p', 'e', 1, 2, 3};
+    EXPECT_THROW(TimingCache::deserialize(junk), FatalError);
+    std::vector<std::uint8_t> empty;
+    EXPECT_THROW(TimingCache::deserialize(empty), FatalError);
+}
+
+TEST(TimingCache, FileRoundTripAndColdStart)
+{
+    std::string path = ::testing::TempDir() + "edgert_timing.cache";
+    std::remove(path.c_str());
+
+    // Missing file: cold start with an empty cache.
+    TimingCache cold = TimingCache::load(path);
+    EXPECT_EQ(cold.size(), 0u);
+
+    cold.insert(TimingCache::key("nx", 3, "t"), 4e-3);
+    cold.save(path);
+    TimingCache warm = TimingCache::load(path);
+    EXPECT_EQ(warm.serialize(), cold.serialize());
+    std::remove(path.c_str());
+}
+
+TEST(TimingCache, SharedCacheFreezesTacticsAcrossBuildIds)
+{
+    // Finding 6 mitigation: without a cache, rebuilds of a large
+    // model under different build ids pick different tactics; with
+    // a shared cache, every rebuild reuses the frozen timings and
+    // the tactic mapping (hence the fingerprint, which hashes the
+    // tactic selection but not the build id) is identical.
+    Network net = nn::buildZooModel("inception-v4");
+    const DeviceSpec agx = DeviceSpec::xavierAGX();
+
+    std::set<std::uint64_t> uncached, cached;
+    TimingCache cache;
+    for (std::uint64_t id = 0; id < 6; id++) {
+        BuilderConfig plain;
+        plain.build_id = id;
+        uncached.insert(
+            Builder(agx, plain).build(net).fingerprint());
+
+        BuilderConfig shared = plain;
+        shared.timing_cache = &cache;
+        cached.insert(
+            Builder(agx, shared).build(net).fingerprint());
+    }
+    EXPECT_GE(uncached.size(), 2u) << "rebuilds should vary";
+    EXPECT_EQ(cached.size(), 1u) << "shared cache must freeze them";
+}
+
+TEST(TimingCache, WarmRebuildHitsEverythingAndMeasuresNothing)
+{
+    Network net = nn::buildZooModel("resnet-18");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    TimingCache cache;
+
+    BuilderConfig cfg;
+    cfg.build_id = 1;
+    cfg.timing_cache = &cache;
+    Builder(nx, cfg).build(net);
+    auto s1 = cache.stats();
+    EXPECT_GT(s1.inserts, 0u);
+    EXPECT_EQ(s1.hits, 0u) << "cold build starts from empty";
+    EXPECT_EQ(s1.misses, s1.inserts);
+
+    cache.resetStats();
+    cfg.build_id = 2; // different id: measurements would differ...
+    Builder(nx, cfg).build(net);
+    auto s2 = cache.stats();
+    EXPECT_EQ(s2.misses, 0u) << "...but the warm cache hits all";
+    EXPECT_EQ(s2.inserts, 0u);
+    EXPECT_EQ(s2.hits, s1.misses);
+}
+
+TEST(TimingCache, NotSharedAcrossDevicePresets)
+{
+    // The inverse of the mitigation: a cache warmed on NX must not
+    // leak timings into an AGX build. The AGX build through the
+    // NX-warm cache is bit-identical to an AGX build with no cache
+    // history at all, and it hits nothing.
+    Network net = nn::buildZooModel("resnet-18");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+    const DeviceSpec agx = DeviceSpec::xavierAGX();
+
+    TimingCache shared;
+    BuilderConfig cfg;
+    cfg.build_id = 5;
+    cfg.timing_cache = &shared;
+    Builder(nx, cfg).build(net);
+    shared.resetStats();
+
+    Engine via_nx_cache = Builder(agx, cfg).build(net);
+    EXPECT_EQ(shared.stats().hits, 0u);
+    EXPECT_GT(shared.stats().inserts, 0u);
+
+    TimingCache fresh;
+    BuilderConfig fresh_cfg = cfg;
+    fresh_cfg.timing_cache = &fresh;
+    Engine via_fresh = Builder(agx, fresh_cfg).build(net);
+    EXPECT_EQ(via_nx_cache.serialize(), via_fresh.serialize());
+}
+
+TEST(TimingCache, ParallelAndSerialBuildsProduceIdenticalCaches)
+{
+    Network net = nn::buildZooModel("googlenet");
+    const DeviceSpec nx = DeviceSpec::xavierNX();
+
+    TimingCache serial_cache, parallel_cache;
+    BuilderConfig serial;
+    serial.build_id = 11;
+    serial.jobs = 1;
+    serial.timing_cache = &serial_cache;
+    BuilderConfig parallel = serial;
+    parallel.jobs = 4;
+    parallel.timing_cache = &parallel_cache;
+
+    Engine a = Builder(nx, serial).build(net);
+    Engine b = Builder(nx, parallel).build(net);
+    EXPECT_EQ(a.serialize(), b.serialize());
+    EXPECT_EQ(serial_cache.serialize(), parallel_cache.serialize());
+}
+
+} // namespace
+} // namespace edgert::core

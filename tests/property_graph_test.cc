@@ -12,6 +12,7 @@
 
 #include "common/rng.hh"
 #include "core/builder.hh"
+#include "core/timing_cache.hh"
 #include "gpusim/device.hh"
 #include "nn/executor.hh"
 #include "nn/serialize.hh"
@@ -165,6 +166,32 @@ TEST_P(RandomGraphTest, Fp16TracksFp32Numerically)
                 << name << "[" << i << "]";
         }
     }
+}
+
+TEST_P(RandomGraphTest, ParallelBuildBitIdenticalToSerial)
+{
+    // The determinism contract of the parallel autotuner, for
+    // arbitrary valid DAGs: with a pinned build_id, jobs > 1 yields
+    // the same serialized bytes as a serial build — with and
+    // without a timing cache — and cache-backed builds also leave
+    // identical caches behind.
+    Network net = randomNetwork(GetParam());
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+
+    core::BuilderConfig serial;
+    serial.build_id = GetParam();
+    serial.jobs = 1;
+    core::BuilderConfig parallel = serial;
+    parallel.jobs = 4;
+    EXPECT_EQ(core::Builder(nx, serial).build(net).serialize(),
+              core::Builder(nx, parallel).build(net).serialize());
+
+    core::TimingCache serial_cache, parallel_cache;
+    serial.timing_cache = &serial_cache;
+    parallel.timing_cache = &parallel_cache;
+    EXPECT_EQ(core::Builder(nx, serial).build(net).serialize(),
+              core::Builder(nx, parallel).build(net).serialize());
+    EXPECT_EQ(serial_cache.serialize(), parallel_cache.serialize());
 }
 
 TEST_P(RandomGraphTest, PinnedBuildsAreReproducible)

@@ -23,6 +23,7 @@
 
 #include "common/logging.hh"
 #include "core/builder.hh"
+#include "core/timing_cache.hh"
 #include "gpusim/device.hh"
 #include "nn/dot.hh"
 #include "nn/model_zoo.hh"
@@ -45,6 +46,8 @@ struct Args
     std::string device = "nx";
     nn::Precision precision = nn::Precision::kFp16;
     std::uint64_t build_id = 1;
+    int jobs = 1;             //!< builder autotuning threads; 0=auto
+    std::string timing_cache; //!< persistent tactic-timing cache
     int runs = 10;
     int threads = 0;      //!< >0 enables the throughput protocol
     bool profile = false; //!< print the nvprof-style summary
@@ -67,6 +70,23 @@ usage()
         "  --device nx|agx       target platform (default nx)\n"
         "  --fp32|--fp16|--int8  precision (default fp16)\n"
         "  --build-id <n>        pin the build (default 1)\n"
+        "  --jobs <n>            parallel autotuning threads "
+        "(default 1 = serial,\n"
+        "                        0 = one per hardware thread; any "
+        "value builds a\n"
+        "                        bit-identical engine for a pinned "
+        "--build-id)\n"
+        "  --timing-cache <f>    persistent tactic-timing cache: "
+        "loaded if the\n"
+        "                        file exists, updated with this "
+        "build's fresh\n"
+        "                        measurements, written back. A warm "
+        "cache freezes\n"
+        "                        tactic choices across rebuilds "
+        "(Finding 6\n"
+        "                        mitigation) and skips re-timing "
+        "known tactics.\n"
+        "                        Caches are per device preset.\n"
         "  --runs <n>            latency runs (default 10)\n"
         "  --threads <n>         throughput mode with n streams\n"
         "  --max-clock           MAXN clocks instead of pinned\n"
@@ -107,6 +127,10 @@ parse(int argc, char **argv)
             a.precision = nn::Precision::kInt8;
         else if (arg == "--build-id")
             a.build_id = std::stoull(next());
+        else if (arg == "--jobs")
+            a.jobs = std::stoi(next());
+        else if (arg == "--timing-cache")
+            a.timing_cache = next();
         else if (arg == "--runs")
             a.runs = std::stoi(next());
         else if (arg == "--threads")
@@ -200,8 +224,40 @@ main(int argc, char **argv)
         core::BuilderConfig cfg;
         cfg.precision = args.precision;
         cfg.build_id = args.build_id;
+        cfg.jobs = args.jobs;
+
+        core::TimingCache cache;
+        if (!args.timing_cache.empty()) {
+            cache = core::TimingCache::load(args.timing_cache);
+            cfg.timing_cache = &cache;
+            std::printf("[edgertexec] timing cache %s: %zu entries "
+                        "loaded\n",
+                        args.timing_cache.c_str(), cache.size());
+        }
+
         core::BuildReport report;
         engine = core::Builder(dev, cfg).build(net, &report);
+
+        if (cfg.timing_cache) {
+            auto cs = cache.stats();
+            cache.save(args.timing_cache);
+            std::printf("[edgertexec] timing cache: %llu hits, "
+                        "%llu misses, %llu new entries (%zu total) "
+                        "written to %s\n",
+                        static_cast<unsigned long long>(cs.hits),
+                        static_cast<unsigned long long>(cs.misses),
+                        static_cast<unsigned long long>(cs.inserts),
+                        cache.size(), args.timing_cache.c_str());
+        }
+        const auto &w = report.workload;
+        std::printf("[edgertexec] tactic sweep: %lld timings "
+                    "(%lld cache hits, %lld shared), %.3f s modeled "
+                    "device time (%.3f s across %d jobs)\n",
+                    static_cast<long long>(w.measurements),
+                    static_cast<long long>(w.cache_hits),
+                    static_cast<long long>(w.shared),
+                    w.serialSeconds(), w.makespanSeconds(w.jobs),
+                    w.jobs);
         std::printf("[edgertexec] built engine on %s: %zu steps, "
                     "%lld kernels, %.2f MiB plan, fingerprint "
                     "%016llx\n",
