@@ -50,6 +50,7 @@
 #include "core/timing_cache.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
 
 namespace {
 
@@ -111,6 +112,9 @@ runBuildTimeStudy()
     // The engine is built *on* the Jetson, so the sweep parallelism
     // available to the modeled build is the NX's own CPU.
     int hw_jobs = nx.cpu_cores;
+
+    // The snapshot embedded below should cover this study only.
+    obs::MetricRegistry::global().reset();
 
     std::vector<nn::Network> nets;
     for (const auto &m : nn::zooModelNames())
@@ -252,8 +256,35 @@ runBuildTimeStudy()
          << ", \"cold_inserts\": " << cold_stats.inserts
          << ", \"cold_hits\": " << cold_stats.hits
          << ", \"warm_hits\": " << warm_stats.hits
-         << ", \"warm_misses\": " << warm_stats.misses << "}\n"
-         << "}\n";
+         << ", \"warm_misses\": " << warm_stats.misses << "},\n";
+
+    // Builder metrics from the observability registry: all three
+    // passes instrumented themselves while building.
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    const obs::Labels dev_label = {{"device", nx.name}};
+    double measured = static_cast<double>(
+        reg.counter("builder.tactic.measured", dev_label).value());
+    double served = static_cast<double>(
+        reg.counter("builder.tactic.cache_served", dev_label)
+            .value());
+    double hit_rate_pct =
+        measured + served > 0.0
+            ? 100.0 * served / (measured + served)
+            : 0.0;
+    double par_dev_total = 0.0, par_serial_total = 0.0;
+    for (const auto &r : rows) {
+        par_serial_total += r.par_workload.serialSeconds();
+        par_dev_total += r.par_workload.makespanSeconds(hw_jobs);
+    }
+    double sweep_parallelism =
+        par_dev_total > 0.0 ? par_serial_total / par_dev_total
+                            : 1.0;
+    json << "  \"builder_metrics\": {\"cache_hit_rate_pct\": "
+         << hit_rate_pct
+         << ", \"sweep_parallelism\": " << sweep_parallelism
+         << ", \"tactics_measured\": " << measured
+         << ", \"tactics_cache_served\": " << served << "},\n"
+         << "  \"metrics\": " << reg.toJson() << "}\n";
     std::printf("machine-readable results written to "
                 "BENCH_build.json\n");
 }

@@ -17,21 +17,37 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "core/builder.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
 #include "runtime/measure.hh"
 
 namespace {
 
 using namespace edgert;
 
-void
+/** One measured point of a concurrency sweep. */
+struct SweepRow
+{
+    std::string model;
+    std::string device;
+    int threads = 0;
+    double aggregate_fps = 0.0;
+    double per_thread_fps = 0.0;
+    double gpu_util_pct = 0.0;
+    double copy_busy_pct = 0.0;
+};
+
+std::vector<SweepRow>
 sweep(const std::string &model, const gpusim::DeviceSpec &dev,
       int max_threads)
 {
@@ -47,6 +63,7 @@ sweep(const std::string &model, const gpusim::DeviceSpec &dev,
                 runtime::estimateMaxThreads(engine, dev));
     TextTable table({"Threads", "Aggregate FPS", "FPS/thread",
                      "GPU util (%)", "Copy engine busy (%)"});
+    std::vector<SweepRow> rows;
     for (int t = 1; t <= max_threads;
          t = t < 4 ? t + 3 : t + 4) {
         runtime::ThroughputOptions topt;
@@ -58,8 +75,45 @@ sweep(const std::string &model, const gpusim::DeviceSpec &dev,
                       formatDouble(r.per_thread_fps, 2),
                       formatDouble(r.gpu_util_pct, 1),
                       formatDouble(r.copy_busy_pct, 1)});
+        SweepRow row;
+        row.model = model;
+        row.device = dev.name;
+        row.threads = t;
+        row.aggregate_fps = r.aggregate_fps;
+        row.per_thread_fps = r.per_thread_fps;
+        row.gpu_util_pct = r.gpu_util_pct;
+        row.copy_busy_pct = r.copy_busy_pct;
+        rows.push_back(std::move(row));
     }
     table.render(std::cout);
+    return rows;
+}
+
+void
+writeJsonReport(const std::vector<SweepRow> &rows)
+{
+    std::ofstream json("BENCH_concurrency.json");
+    if (!json)
+        return;
+    json << "{\n  \"benchmark\": \"concurrency\",\n"
+         << "  \"sweeps\": [\n";
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const SweepRow &r = rows[i];
+        json << "    {\"model\": \"" << jsonEscape(r.model)
+             << "\", \"device\": \"" << jsonEscape(r.device)
+             << "\", \"threads\": " << r.threads
+             << ", \"aggregate_fps\": " << r.aggregate_fps
+             << ", \"per_thread_fps\": " << r.per_thread_fps
+             << ", \"gpu_util_pct\": " << r.gpu_util_pct
+             << ", \"copy_busy_pct\": " << r.copy_busy_pct << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"metrics\": "
+         << obs::MetricRegistry::global().toJson() << "}\n";
+    std::printf("\nWrote BENCH_concurrency.json (%zu sweep points "
+                "+ runtime metric snapshot)\n",
+                rows.size());
 }
 
 void
@@ -68,11 +122,22 @@ printFigures()
     gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
     gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
 
+    // The snapshot embedded in the JSON report should cover the
+    // figure sweeps only, not whatever ran before us.
+    obs::MetricRegistry::global().reset();
+
+    std::vector<SweepRow> all;
+    auto append = [&all](std::vector<SweepRow> rows) {
+        all.insert(all.end(),
+                   std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+    };
+
     std::printf("\n=== Figure 3: Tiny-YOLOv3 concurrency (paper: NX "
                 "saturates at 28 threads/82%% util, AGX at 36 "
                 "threads/86%% util) ===\n");
-    sweep("tiny-yolov3", nx, 28);
-    sweep("tiny-yolov3", agx, 36);
+    append(sweep("tiny-yolov3", nx, 28));
+    append(sweep("tiny-yolov3", agx, 36));
 
     // The paper's Figure 4 "Googlenet" is the object-detection
     // deployment of the GoogLeNet backbone (its §IV-B discusses
@@ -82,8 +147,10 @@ printFigures()
     std::printf("\n=== Figure 4: GoogLeNet(-backbone detection) "
                 "concurrency (paper: NX 16 threads/82%% util, AGX "
                 "24 threads/86%% util) ===\n");
-    sweep("detectnet-coco-dog", nx, 16);
-    sweep("detectnet-coco-dog", agx, 24);
+    append(sweep("detectnet-coco-dog", nx, 16));
+    append(sweep("detectnet-coco-dog", agx, 24));
+
+    writeJsonReport(all);
 }
 
 void

@@ -1,0 +1,44 @@
+#ifndef EDGERT_COMMON_JSON_HH
+#define EDGERT_COMMON_JSON_HH
+
+/**
+ * @file
+ * Minimal JSON helpers shared by the observability layer and the
+ * exporters: canonical string escaping, shortest-round-trip number
+ * formatting, and a validating parser. The repo emits JSON in
+ * several places (metric snapshots, chrome traces, bench reports);
+ * these helpers keep the emitted bytes deterministic and give tests
+ * an in-repo way to assert the output actually parses.
+ */
+
+#include <string>
+
+namespace edgert {
+
+/**
+ * Escape a string for embedding inside a JSON string literal.
+ * Handles quotes, backslashes, and all control characters (so
+ * hostile kernel/span names cannot break the emitted document).
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format a finite double with the shortest representation that
+ * round-trips; NaN/Inf (not representable in JSON) become 0. The
+ * output is deterministic for equal inputs, which is what makes
+ * metric snapshots byte-reproducible.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Validate that @p text is one complete JSON value (RFC 8259
+ * subset: objects, arrays, strings, numbers, true/false/null).
+ * @param error If non-null, receives a description of the first
+ *              syntax error (byte offset included).
+ * @return true when the document parses.
+ */
+bool jsonValid(const std::string &text, std::string *error = nullptr);
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_JSON_HH

@@ -11,8 +11,16 @@
  *            aborts the process after printing.
  * warn()   — something is suspicious but the run can continue.
  * inform() — normal status output.
+ * debug()  — chatty diagnostics (tactic choices, cache probes);
+ *            suppressed unless the level is lowered to kDebug.
+ *
+ * Output is filtered by a global LogLevel and routed through a
+ * pluggable LogSink. The default sink writes
+ * `[edgert:<level>] <msg>\n` to stderr under a mutex so concurrent
+ * worker threads never interleave partial lines.
  */
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -28,6 +36,33 @@ class FatalError : public std::runtime_error
     {}
 };
 
+/** Severity levels, least to most severe. */
+enum class LogLevel
+{
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+};
+
+/** Short lower-case name ("debug", "info", "warn", "error"). */
+const char *logLevelName(LogLevel level);
+
+/** Messages below `level` are dropped. Default: kInfo. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/**
+ * Receives every message that passes the level filter. Called with
+ * the emit mutex held, so sinks need no locking of their own but
+ * must not log reentrantly.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Replace the sink; an empty function restores the stderr default.
+ *  Returns nothing — callers wanting to restore use setLogSink({}). */
+void setLogSink(LogSink sink);
+
 namespace log_detail {
 
 /** Stream one or more arguments into a string. */
@@ -40,30 +75,48 @@ concat(Args &&...args)
     return oss.str();
 }
 
-void emit(const char *level, const std::string &msg);
+void emit(LogLevel level, const std::string &msg);
 [[noreturn]] void abortWith(const std::string &msg);
 
 } // namespace log_detail
 
-/** Global verbosity switch; when false, inform() output is suppressed. */
+/**
+ * Legacy verbosity switch, kept for existing callers:
+ * setVerbose(true) == setLogLevel(kInfo), setVerbose(false) ==
+ * setLogLevel(kWarn). verbose() reports whether inform() output is
+ * currently shown.
+ */
 void setVerbose(bool verbose);
 bool verbose();
+
+/** Print a diagnostic message (shown only at kDebug). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() <= LogLevel::kDebug)
+        log_detail::emit(LogLevel::kDebug,
+                         log_detail::concat(args...));
+}
 
 /** Print an informational message (suppressed when not verbose). */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
-    if (verbose())
-        log_detail::emit("info", log_detail::concat(args...));
+    if (logLevel() <= LogLevel::kInfo)
+        log_detail::emit(LogLevel::kInfo,
+                         log_detail::concat(args...));
 }
 
-/** Print a warning; always shown. */
+/** Print a warning (suppressed only above kWarn). */
 template <typename... Args>
 void
 warn(Args &&...args)
 {
-    log_detail::emit("warn", log_detail::concat(args...));
+    if (logLevel() <= LogLevel::kWarn)
+        log_detail::emit(LogLevel::kWarn,
+                         log_detail::concat(args...));
 }
 
 /** Report a user-level error and throw FatalError. */
@@ -72,7 +125,7 @@ template <typename... Args>
 fatal(Args &&...args)
 {
     std::string msg = log_detail::concat(args...);
-    log_detail::emit("fatal", msg);
+    log_detail::emit(LogLevel::kError, msg);
     throw FatalError(msg);
 }
 

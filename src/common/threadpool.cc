@@ -1,9 +1,24 @@
 #include "common/threadpool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 
 namespace edgert {
+
+double
+PoolStats::utilizationPct() const
+{
+    if (tasks_run == 0 || per_worker_tasks.empty())
+        return 0.0;
+    std::uint64_t busiest = *std::max_element(
+        per_worker_tasks.begin(), per_worker_tasks.end());
+    if (busiest == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(tasks_run) /
+           (static_cast<double>(per_worker_tasks.size()) *
+            static_cast<double>(busiest));
+}
 
 int
 ThreadPool::defaultThreads()
@@ -17,8 +32,10 @@ ThreadPool::ThreadPool(int threads)
     if (threads <= 0)
         threads = defaultThreads();
     workers_.reserve(static_cast<std::size_t>(threads));
+    per_worker_tasks_.assign(static_cast<std::size_t>(threads), 0);
     for (int i = 0; i < threads; i++)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back(
+            [this, i] { workerLoop(static_cast<std::size_t>(i)); });
 }
 
 ThreadPool::~ThreadPool()
@@ -39,6 +56,8 @@ ThreadPool::submit(std::function<void()> task)
         std::unique_lock<std::mutex> lock(mu_);
         queue_.push_back(std::move(task));
         in_flight_++;
+        max_queue_depth_ = std::max(max_queue_depth_,
+                                    queue_.size());
     }
     work_cv_.notify_one();
 }
@@ -75,8 +94,19 @@ ThreadPool::parallelFor(std::size_t n,
     wait();
 }
 
+PoolStats
+ThreadPool::stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    PoolStats s;
+    s.tasks_run = tasks_run_;
+    s.max_queue_depth = max_queue_depth_;
+    s.per_worker_tasks = per_worker_tasks_;
+    return s;
+}
+
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t worker)
 {
     for (;;) {
         std::function<void()> task;
@@ -99,6 +129,8 @@ ThreadPool::workerLoop()
         {
             std::unique_lock<std::mutex> lock(mu_);
             in_flight_--;
+            tasks_run_++;
+            per_worker_tasks_[worker]++;
         }
         idle_cv_.notify_all();
     }

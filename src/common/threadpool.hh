@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -26,6 +27,27 @@
 #include <vector>
 
 namespace edgert {
+
+/**
+ * Utilization snapshot of a ThreadPool. The pool lives in the
+ * dependency-free common layer, so rather than publishing metrics
+ * itself it exposes this struct; instrumented users (the builder)
+ * copy it into their MetricRegistry.
+ */
+struct PoolStats
+{
+    std::uint64_t tasks_run = 0;      //!< tasks completed so far
+    std::size_t max_queue_depth = 0;  //!< high-water queued tasks
+    std::vector<std::uint64_t> per_worker_tasks; //!< by worker index
+
+    /**
+     * Fraction of work done off the busiest worker's share, in
+     * percent: 100 * tasks_run / (workers * max(per_worker_tasks)).
+     * 100 means perfectly even; low values mean one worker did
+     * nearly everything.
+     */
+    double utilizationPct() const;
+};
 
 /**
  * Fixed-size thread pool. Threads start in the constructor and join
@@ -68,15 +90,21 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    /** Cumulative utilization counters since construction. */
+    PoolStats stats() const;
+
   private:
-    void workerLoop();
+    void workerLoop(std::size_t worker);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable work_cv_; //!< queue became non-empty
     std::condition_variable idle_cv_; //!< a task finished
     std::size_t in_flight_ = 0;       //!< queued + running tasks
+    std::size_t max_queue_depth_ = 0;
+    std::uint64_t tasks_run_ = 0;
+    std::vector<std::uint64_t> per_worker_tasks_;
     std::exception_ptr first_error_;
     bool stop_ = false;
 };

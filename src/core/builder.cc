@@ -14,6 +14,8 @@
 #include "core/calibrator.hh"
 #include "core/timing_cache.hh"
 #include "gpusim/timing.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace edgert::core {
 
@@ -139,11 +141,19 @@ Builder::measureTactic(const Tactic &tactic,
 Engine
 Builder::build(const nn::Network &net, BuildReport *report) const
 {
+    // The report doubles as the source of the builder metrics, so
+    // always collect one even when the caller passed none.
+    BuildReport local_report;
+    if (!report)
+        report = &local_report;
+
+    EDGERT_SPAN("build",
+                {{"model", net.name()}, {"device", device_.name}});
+
     net.validate();
     OptimizedGraph graph =
         optimize(net, config_.precision, config_.optimizer);
-    if (report)
-        report->optimizer = graph.stats();
+    report->optimizer = graph.stats();
 
     // INT8 builds calibrate activation ranges first; the resulting
     // table is part of the engine's identity.
@@ -177,6 +187,7 @@ Builder::build(const nn::Network &net, BuildReport *report) const
     // the classic per-node noise keying. Work items write disjoint
     // slots, so scheduling cannot affect the result.
     forEach(nodes.size(), [&](std::size_t i) {
+        EDGERT_SPAN("tactic_sweep", {{"node", nodes[i].name}});
         NodeSweep &s = sweeps[i];
         s.candidates = tacticCandidates(graph, nodes[i], device_);
         if (s.candidates.empty())
@@ -218,9 +229,13 @@ Builder::build(const nn::Network &net, BuildReport *report) const
         std::vector<std::vector<char>> fresh(owners.size());
         forEach(owners.size(), [&](std::size_t oi) {
             NodeSweep &s = sweeps[owners[oi]];
+            EDGERT_SPAN("tactic_sweep",
+                        {{"node", nodes[owners[oi]].name}});
             s.seconds.resize(s.candidates.size());
             fresh[oi].assign(s.candidates.size(), 0);
             for (std::size_t j = 0; j < s.candidates.size(); j++) {
+                EDGERT_SPAN("cache_lookup",
+                            {{"tactic", s.candidates[j].name}});
                 std::string key = TimingCache::key(
                     device_.name, s.signature, s.candidates[j].name);
                 if (auto hit = cache->lookup(key)) {
@@ -251,7 +266,7 @@ Builder::build(const nn::Network &net, BuildReport *report) const
             if (s.seconds.empty())
                 s.seconds = sweeps[owner_of.at(s.signature)].seconds;
 
-        if (report) {
+        {
             TimingWorkload &w = report->workload;
             w.jobs = jobs;
             double iters = config_.avg_timing_iterations;
@@ -275,7 +290,7 @@ Builder::build(const nn::Network &net, BuildReport *report) const
                     w.shared += static_cast<std::int64_t>(
                         sweeps[i].candidates.size());
         }
-    } else if (report) {
+    } else {
         TimingWorkload &w = report->workload;
         w.jobs = jobs;
         double iters = config_.avg_timing_iterations;
@@ -314,16 +329,18 @@ Builder::build(const nn::Network &net, BuildReport *report) const
         }
         Tactic &chosen = s.candidates[best_idx];
 
-        if (report) {
-            TuningRecord rec;
-            rec.node_name = node.name;
-            rec.chosen_tactic = chosen.name;
-            rec.candidates = static_cast<int>(s.candidates.size());
-            rec.best_ms = best * 1e3;
-            rec.runner_up_ms =
-                std::isfinite(runner_up) ? runner_up * 1e3 : 0.0;
-            report->tuning.push_back(std::move(rec));
-        }
+        debug("tactic: ", node.name, " -> ", chosen.name, " (",
+              s.candidates.size(), " candidates, best ", best * 1e3,
+              " ms)");
+
+        TuningRecord rec;
+        rec.node_name = node.name;
+        rec.chosen_tactic = chosen.name;
+        rec.candidates = static_cast<int>(s.candidates.size());
+        rec.best_ms = best * 1e3;
+        rec.runner_up_ms =
+            std::isfinite(runner_up) ? runner_up * 1e3 : 0.0;
+        report->tuning.push_back(std::move(rec));
 
         ExecutionStep step;
         step.node_name = node.name;
@@ -349,9 +366,66 @@ Builder::build(const nn::Network &net, BuildReport *report) const
         outputs.push_back({out, t.dims, t.dims.volume() * 4});
     }
 
+    publishMetrics(*report, cache, pool.get());
+
     return Engine(net.name(), device_.name, config_.precision,
                   config_.build_id, std::move(steps),
                   std::move(inputs), std::move(outputs), calib_fp);
+}
+
+void
+Builder::publishMetrics(const BuildReport &report,
+                        const TimingCache *cache,
+                        const ThreadPool *pool) const
+{
+    using obs::MetricRegistry;
+    MetricRegistry &reg = MetricRegistry::global();
+    const obs::Labels device_label = {{"device", device_.name}};
+    const TimingWorkload &w = report.workload;
+
+    reg.counter("builder.builds", device_label).add();
+    reg.counter("builder.tactic.measured", device_label)
+        .add(w.measurements);
+    reg.counter("builder.tactic.cache_served", device_label)
+        .add(w.cache_hits);
+    reg.counter("builder.tactic.shared", device_label)
+        .add(w.shared);
+
+    // One histogram sample per sweep task, in topological owner
+    // order — parallel builds record the same sequence.
+    obs::Histogram task_us = reg.histogram(
+        "builder.sweep.task_device_us", device_label);
+    for (double sec : w.task_device_seconds)
+        task_us.record(sec * 1e6);
+
+    reg.gauge("builder.sweep.jobs", device_label)
+        .set(static_cast<double>(w.jobs));
+    reg.gauge("builder.sweep.serial_device_ms", device_label)
+        .set(w.serialSeconds() * 1e3);
+    reg.gauge("builder.sweep.makespan_device_ms", device_label)
+        .set(w.makespanSeconds(w.jobs) * 1e3);
+
+    if (cache) {
+        TimingCacheStats cs = cache->stats();
+        reg.gauge("builder.timing_cache.hits", device_label)
+            .set(static_cast<double>(cs.hits));
+        reg.gauge("builder.timing_cache.misses", device_label)
+            .set(static_cast<double>(cs.misses));
+        reg.gauge("builder.timing_cache.inserts", device_label)
+            .set(static_cast<double>(cs.inserts));
+    }
+
+    if (pool) {
+        PoolStats ps = pool->stats();
+        reg.gauge("builder.pool.workers", device_label)
+            .set(static_cast<double>(pool->size()));
+        reg.gauge("builder.pool.tasks", device_label)
+            .set(static_cast<double>(ps.tasks_run));
+        reg.gauge("builder.pool.max_queue_depth", device_label)
+            .set(static_cast<double>(ps.max_queue_depth));
+        reg.gauge("builder.pool.utilization_pct", device_label)
+            .set(ps.utilizationPct());
+    }
 }
 
 Engine

@@ -43,6 +43,12 @@
 #include "gpusim/device.hh"
 #include "nn/network.hh"
 
+namespace edgert {
+
+class ThreadPool;
+
+} // namespace edgert
+
 namespace edgert::core {
 
 class TimingCache;
@@ -182,6 +188,16 @@ class Builder
   private:
     double measureTactic(const Tactic &tactic,
                          std::uint64_t noise_key) const;
+
+    /**
+     * Record this build's outcome into the global MetricRegistry:
+     * sweep workload counters and histograms, timing-cache hit/miss
+     * gauges, and thread-pool utilization. Runs serially at the end
+     * of build(), in deterministic (topological) order.
+     */
+    void publishMetrics(const BuildReport &report,
+                        const TimingCache *cache,
+                        const ThreadPool *pool) const;
 
     gpusim::DeviceSpec device_;
     BuilderConfig config_;

@@ -7,6 +7,9 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace edgert::core {
 
@@ -100,6 +103,28 @@ optimize(const Network &net, nn::Precision precision,
     net.validate();
     OptimizerStats stats;
 
+    // Per-pass observability: one histogram sample and (when the
+    // tracer is on) one `pass:<name>` span per compression pass.
+    // The pass structure is fixed, so the clock-read count per
+    // optimize() call is constant — what keeps FakeClock-driven
+    // metric snapshots byte-reproducible.
+    std::uint64_t pass_start = obs::clock().nowNanos();
+    auto passDone = [&](const char *pass) {
+        std::uint64_t now = obs::clock().nowNanos();
+        obs::MetricRegistry::global()
+            .histogram("builder.pass.duration_us",
+                       {{"pass", pass}})
+            .record(static_cast<double>(now - pass_start) * 1e-3);
+        if (obs::Tracer::global().enabled()) {
+            obs::SpanRecord rec;
+            rec.name = std::string("pass:") + pass;
+            rec.start_ns = pass_start;
+            rec.end_ns = now;
+            obs::Tracer::global().record(std::move(rec));
+        }
+        pass_start = now;
+    };
+
     // ------------------------------------------------------------------
     // Pass 1a: dead-layer removal. Walk producers backwards from the
     // marked outputs; anything unreached is dead (GoogLeNet aux heads).
@@ -125,6 +150,7 @@ optimize(const Network &net, nn::Precision precision,
     for (const auto &l : net.layers())
         if (!live.count(l.id) && l.kind != LayerKind::kInput)
             stats.dead_layers_removed++;
+    passDone("dead_layer_removal");
 
     // ------------------------------------------------------------------
     // Pass 1b: no-op elision. Dropout / flatten / identity layers are
@@ -245,6 +271,7 @@ optimize(const Network &net, nn::Precision precision,
         node.outputs = {resolve(tail)};
         nodes.push_back(std::move(node));
     }
+    passDone("fusion");
 
     // ------------------------------------------------------------------
     // Pass 3: horizontal merging of sibling convolutions with the
@@ -300,6 +327,7 @@ optimize(const Network &net, nn::Precision precision,
         nodes[i].id = static_cast<int>(merged.size());
         merged.push_back(std::move(nodes[i]));
     }
+    passDone("horizontal_merge");
 
     // ------------------------------------------------------------------
     // Pass 4: precision assignment. Numerically sensitive heads stay
@@ -326,7 +354,22 @@ optimize(const Network &net, nn::Precision precision,
         }
     }
 
+    passDone("precision_assignment");
+
     stats.nodes = static_cast<int>(merged.size());
+
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    reg.counter("builder.pass.dead_layers_removed")
+        .add(stats.dead_layers_removed);
+    reg.counter("builder.pass.noops_elided")
+        .add(stats.noops_elided);
+    reg.counter("builder.pass.layers_fused")
+        .add(stats.layers_fused);
+    reg.counter("builder.pass.horizontal_merges")
+        .add(stats.horizontal_merges);
+    reg.gauge("builder.graph.nodes")
+        .set(static_cast<double>(stats.nodes));
+
     return OptimizedGraph(net, std::move(merged), stats);
 }
 

@@ -91,6 +91,26 @@ GpuSim::GpuSim(const DeviceSpec &spec) : spec_(spec)
     if (spec_.sm_count <= 0)
         fatal("GpuSim: device '", spec_.name, "' has no SMs");
     streams_.emplace_back(); // default stream 0
+
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    const obs::Labels dev = {{"device", spec_.name}};
+    m_kernel_launches_ = reg.counter("gpusim.kernel.launches", dev);
+    m_memcpy_bytes_h2d_ = reg.counter(
+        "gpusim.memcpy.bytes",
+        {{"device", spec_.name}, {"dir", "h2d"}});
+    m_memcpy_bytes_d2h_ = reg.counter(
+        "gpusim.memcpy.bytes",
+        {{"device", spec_.name}, {"dir", "d2h"}});
+    m_memcpy_chunks_h2d_ = reg.counter(
+        "gpusim.memcpy.chunks",
+        {{"device", spec_.name}, {"dir", "h2d"}});
+    m_memcpy_chunks_d2h_ = reg.counter(
+        "gpusim.memcpy.chunks",
+        {{"device", spec_.name}, {"dir", "d2h"}});
+    m_kernel_stall_us_ =
+        reg.histogram("gpusim.kernel.stall_us", dev);
+    m_wave_waste_pct_ =
+        reg.histogram("gpusim.kernel.wave_waste_pct", dev);
 }
 
 int
@@ -111,6 +131,7 @@ GpuSim::launchKernel(int stream, KernelDesc kernel)
     op.kernel = std::move(kernel);
     streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
         std::move(op));
+    m_kernel_launches_.add();
 }
 
 void
@@ -411,6 +432,15 @@ GpuSim::finishOp(const Op &op, int stream, double start_s)
     } else {
         rec.name = op.tag;
     }
+    if (op.kind == OpKind::kMemcpyH2D) {
+        m_memcpy_bytes_h2d_.add(
+            static_cast<std::int64_t>(op.bytes));
+        m_memcpy_chunks_h2d_.add(op.transfers);
+    } else if (op.kind == OpKind::kMemcpyD2H) {
+        m_memcpy_bytes_d2h_.add(
+            static_cast<std::int64_t>(op.bytes));
+        m_memcpy_chunks_d2h_.add(op.transfers);
+    }
     trace_.push_back(std::move(rec));
     streams_.at(static_cast<std::size_t>(stream)).busy = false;
 }
@@ -427,6 +457,12 @@ GpuSim::completeFinished()
     for (std::size_t i = 0; i < active_.size();) {
         ActiveKernel &ak = active_[i];
         if (ak.in_exec && ak.frac_done >= 1.0 - kFracEps) {
+            // Stall time = exec time spent memory-blocked rather
+            // than issuing; waste = idle fraction of allocated SMs
+            // in the tail wave.
+            m_kernel_stall_us_.record((1.0 - ak.issue_act) *
+                                      ak.exec_duration_s * 1e6);
+            m_wave_waste_pct_.record((1.0 - ak.wave_util) * 100.0);
             finishOp(ak.op, ak.stream, ak.start_s);
             active_.erase(active_.begin() +
                           static_cast<std::ptrdiff_t>(i));

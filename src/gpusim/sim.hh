@@ -27,6 +27,7 @@
 
 #include "gpusim/device.hh"
 #include "gpusim/kernel.hh"
+#include "obs/metrics.hh"
 
 namespace edgert::gpusim {
 
@@ -233,6 +234,17 @@ class GpuSim
     double gpu_busy_s_ = 0.0;
     double copy_busy_s_ = 0.0;
     double dram_bytes_win_ = 0.0;
+
+    // Device metrics, labeled {device=<name>} and recorded in
+    // simulation order (deterministic). Handles are created once in
+    // the constructor; recording is lock-cheap.
+    obs::Counter m_kernel_launches_;
+    obs::Counter m_memcpy_bytes_h2d_;
+    obs::Counter m_memcpy_bytes_d2h_;
+    obs::Counter m_memcpy_chunks_h2d_;
+    obs::Counter m_memcpy_chunks_d2h_;
+    obs::Histogram m_kernel_stall_us_;    //!< DRAM-contention stalls
+    obs::Histogram m_wave_waste_pct_;     //!< wave-quantization waste
 };
 
 } // namespace edgert::gpusim

@@ -1,0 +1,59 @@
+#include "obs/clock.hh"
+
+#include <chrono>
+
+namespace edgert::obs {
+
+namespace {
+
+SteadyClock g_default_clock;
+std::atomic<Clock *> g_clock{nullptr};
+
+} // namespace
+
+std::uint64_t
+SteadyClock::nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+FakeClock::FakeClock(std::uint64_t start_ns,
+                     std::uint64_t auto_step_ns)
+    : now_(start_ns), step_(auto_step_ns)
+{}
+
+std::uint64_t
+FakeClock::nowNanos()
+{
+    return now_.fetch_add(step_, std::memory_order_relaxed);
+}
+
+void
+FakeClock::advance(std::uint64_t ns)
+{
+    now_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t
+FakeClock::peekNanos() const
+{
+    return now_.load(std::memory_order_relaxed);
+}
+
+Clock &
+clock()
+{
+    Clock *c = g_clock.load(std::memory_order_acquire);
+    return c ? *c : g_default_clock;
+}
+
+Clock *
+setClock(Clock *c)
+{
+    return g_clock.exchange(c, std::memory_order_acq_rel);
+}
+
+} // namespace edgert::obs

@@ -1,0 +1,305 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace edgert::obs {
+
+namespace metrics_detail {
+
+namespace {
+
+/** Precomputed bucket upper bounds (8 per decade from 1e-3). */
+const std::array<double, HistogramCell::kBuckets> &
+bucketBounds()
+{
+    static const auto bounds = [] {
+        std::array<double, HistogramCell::kBuckets> b{};
+        for (int i = 0; i < HistogramCell::kBuckets; i++)
+            b[static_cast<std::size_t>(i)] =
+                HistogramCell::kFirstUpper *
+                std::pow(10.0, i / 8.0);
+        return b;
+    }();
+    return bounds;
+}
+
+} // namespace
+
+double
+HistogramCell::upperBound(int bucket)
+{
+    return bucketBounds()[static_cast<std::size_t>(bucket)];
+}
+
+void
+HistogramCell::record(double v)
+{
+    if (!std::isfinite(v))
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (count == 0) {
+        min = v;
+        max = v;
+    } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+    }
+    count++;
+    sum += v;
+    const auto &bounds = bucketBounds();
+    auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+    buckets[static_cast<std::size_t>(it - bounds.begin())]++;
+}
+
+void
+HistogramCell::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    count = 0;
+    sum = 0.0;
+    min = 0.0;
+    max = 0.0;
+    buckets.fill(0);
+}
+
+double
+HistogramCell::percentileLocked(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cum = 0;
+    for (int i = 0; i <= kBuckets; i++) {
+        cum += buckets[static_cast<std::size_t>(i)];
+        if (cum >= rank) {
+            double rep;
+            if (i >= kBuckets) {
+                rep = max;
+            } else {
+                double ub = upperBound(i);
+                double lb = i == 0 ? ub * 0.1 : upperBound(i - 1);
+                rep = std::sqrt(lb * ub); // geometric midpoint
+            }
+            return std::clamp(rep, min, max);
+        }
+    }
+    return max;
+}
+
+} // namespace metrics_detail
+
+std::uint64_t
+Histogram::count() const
+{
+    if (!cell_)
+        return 0;
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return cell_->count;
+}
+
+double
+Histogram::sum() const
+{
+    if (!cell_)
+        return 0.0;
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return cell_->sum;
+}
+
+double
+Histogram::min() const
+{
+    if (!cell_)
+        return 0.0;
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return cell_->min;
+}
+
+double
+Histogram::max() const
+{
+    if (!cell_)
+        return 0.0;
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return cell_->max;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (!cell_)
+        return 0.0;
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return cell_->percentileLocked(p);
+}
+
+std::string
+MetricRegistry::key(const std::string &name, const Labels &labels)
+{
+    if (name.empty())
+        fatal("MetricRegistry: empty metric name");
+    if (labels.empty())
+        return name;
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string k = name + "{";
+    for (std::size_t i = 0; i < sorted.size(); i++) {
+        if (i)
+            k += ",";
+        k += sorted[i].first + "=" + sorted[i].second;
+    }
+    k += "}";
+    return k;
+}
+
+Counter
+MetricRegistry::counter(const std::string &name,
+                        const Labels &labels)
+{
+    std::string k = key(name, labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (gauges_.count(k) || histograms_.count(k))
+        fatal("metric '", k, "' already registered as another kind");
+    auto it = counters_.find(k);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::move(k),
+                          std::make_unique<
+                              metrics_detail::CounterCell>())
+                 .first;
+    return Counter(it->second.get());
+}
+
+Gauge
+MetricRegistry::gauge(const std::string &name, const Labels &labels)
+{
+    std::string k = key(name, labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (counters_.count(k) || histograms_.count(k))
+        fatal("metric '", k, "' already registered as another kind");
+    auto it = gauges_.find(k);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(std::move(k),
+                          std::make_unique<
+                              metrics_detail::GaugeCell>())
+                 .first;
+    return Gauge(it->second.get());
+}
+
+Histogram
+MetricRegistry::histogram(const std::string &name,
+                          const Labels &labels)
+{
+    std::string k = key(name, labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (counters_.count(k) || gauges_.count(k))
+        fatal("metric '", k, "' already registered as another kind");
+    auto it = histograms_.find(k);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(std::move(k),
+                          std::make_unique<
+                              metrics_detail::HistogramCell>())
+                 .first;
+    return Histogram(it->second.get());
+}
+
+void
+MetricRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[k, cell] : counters_)
+        cell->value.store(0, std::memory_order_relaxed);
+    for (auto &[k, cell] : gauges_)
+        cell->value.store(0.0, std::memory_order_relaxed);
+    for (auto &[k, cell] : histograms_)
+        cell->reset();
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void
+MetricRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[k, cell] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k)
+           << "\": "
+           << cell->value.load(std::memory_order_relaxed);
+        first = false;
+    }
+    os << (first ? "},\n" : "\n  },\n");
+
+    os << "  \"gauges\": {";
+    first = true;
+    for (const auto &[k, cell] : gauges_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k)
+           << "\": "
+           << jsonNumber(
+                  cell->value.load(std::memory_order_relaxed));
+        first = false;
+    }
+    os << (first ? "},\n" : "\n  },\n");
+
+    os << "  \"histograms\": {";
+    first = true;
+    for (const auto &[k, cell] : histograms_) {
+        std::lock_guard<std::mutex> hlock(cell->mu);
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k)
+           << "\": {\"count\": " << cell->count
+           << ", \"sum\": " << jsonNumber(cell->sum)
+           << ", \"min\": " << jsonNumber(cell->min)
+           << ", \"max\": " << jsonNumber(cell->max)
+           << ", \"p50\": "
+           << jsonNumber(cell->percentileLocked(0.50))
+           << ", \"p95\": "
+           << jsonNumber(cell->percentileLocked(0.95))
+           << ", \"p99\": "
+           << jsonNumber(cell->percentileLocked(0.99)) << "}";
+        first = false;
+    }
+    os << (first ? "}\n" : "\n  }\n") << "}\n";
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::ostringstream oss;
+    writeJson(oss);
+    return oss.str();
+}
+
+void
+MetricRegistry::save(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("MetricRegistry::save: cannot open '", path, "'");
+    writeJson(f);
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+} // namespace edgert::obs

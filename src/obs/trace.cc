@@ -1,0 +1,75 @@
+#include "obs/trace.hh"
+
+#include "obs/clock.hh"
+
+namespace edgert::obs {
+
+void
+Tracer::record(SpanRecord rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = thread_ordinals_.emplace(
+        std::this_thread::get_id(),
+        static_cast<int>(thread_ordinals_.size()));
+    rec.thread = it->second;
+    spans_.push_back(std::move(rec));
+}
+
+int
+Tracer::threadOrdinal()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = thread_ordinals_.emplace(
+        std::this_thread::get_id(),
+        static_cast<int>(thread_ordinals_.size()));
+    return it->second;
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::size_t
+Tracer::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    thread_ordinals_.clear();
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::vector<SpanArg> args)
+{
+    if (!Tracer::global().enabled())
+        return;
+    active_ = true;
+    rec_.name = std::move(name);
+    rec_.args = std::move(args);
+    rec_.start_ns = clock().nowNanos();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    rec_.end_ns = clock().nowNanos();
+    Tracer::global().record(std::move(rec_));
+}
+
+} // namespace edgert::obs

@@ -1,0 +1,139 @@
+#ifndef EDGERT_OBS_TRACE_HH
+#define EDGERT_OBS_TRACE_HH
+
+/**
+ * @file
+ * Host-side span tracing.
+ *
+ * RAII scoped spans record named host phases (build passes, tactic
+ * sweeps, cache lookups, context setup) on real threads:
+ *
+ *   EDGERT_SPAN("tactic_sweep", {{"node", node.name}});
+ *
+ * Spans flow into the global Tracer, which profile::
+ * writeMergedChromeTrace() merges with GpuSim device ops into one
+ * chrome://tracing file — host tracks above device stream tracks.
+ *
+ * Tracing is off by default; a disabled span is a single relaxed
+ * atomic load and never touches the Clock, which keeps the
+ * no-wall-clock-in-simulation rule intact for ordinary runs. Span
+ * conventions: lower_snake names, `pass:` prefix for optimizer
+ * passes, args for identities (node, model, key) — never for bulk
+ * data.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace edgert::obs {
+
+/** One key/value annotation on a span. */
+struct SpanArg
+{
+    std::string key;
+    std::string value;
+};
+
+/** A completed host span. */
+struct SpanRecord
+{
+    std::string name;
+    int thread = 0; //!< tracer-assigned host-thread ordinal
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::vector<SpanArg> args;
+
+    double durationUs() const
+    {
+        return static_cast<double>(end_ns - start_ns) * 1e-3;
+    }
+};
+
+/**
+ * Thread-safe collector of completed spans.
+ */
+class Tracer
+{
+  public:
+    Tracer() = default;
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Append a completed span (thread ordinal filled in here). */
+    void record(SpanRecord rec);
+
+    /**
+     * Ordinal of the calling thread (0 = first thread seen since
+     * the last clear(), usually the build's main thread).
+     */
+    int threadOrdinal();
+
+    /** Snapshot of all spans recorded so far. */
+    std::vector<SpanRecord> spans() const;
+
+    /** Number of recorded spans. */
+    std::size_t size() const;
+
+    /** Drop all spans and forget thread ordinals. */
+    void clear();
+
+    /** The process-wide tracer the EDGERT_SPAN macro records to. */
+    static Tracer &global();
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::vector<SpanRecord> spans_;
+    std::map<std::thread::id, int> thread_ordinals_;
+};
+
+/**
+ * RAII span: captures a start timestamp on construction and records
+ * the completed span on destruction. No-op while the global tracer
+ * is disabled.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string name,
+                        std::vector<SpanArg> args = {});
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    SpanRecord rec_;
+    bool active_ = false;
+};
+
+#define EDGERT_SPAN_CAT2(a, b) a##b
+#define EDGERT_SPAN_CAT(a, b) EDGERT_SPAN_CAT2(a, b)
+
+/** Open a scoped span for the rest of the enclosing block. */
+#define EDGERT_SPAN(...)                                            \
+    ::edgert::obs::ScopedSpan EDGERT_SPAN_CAT(edgert_span_,        \
+                                              __COUNTER__)(        \
+        __VA_ARGS__)
+
+} // namespace edgert::obs
+
+#endif // EDGERT_OBS_TRACE_HH

@@ -77,7 +77,7 @@ printSummary(std::ostream &os,
     }
 }
 
-void
+std::size_t
 printGpuTrace(std::ostream &os,
               const std::vector<gpusim::OpRecord> &trace,
               std::size_t max_rows)
@@ -88,20 +88,25 @@ printGpuTrace(std::ostream &os,
                   "Start(ms)", "Dur(ms)", "Stream", "Name");
     os << buf;
     std::size_t shown = 0;
+    std::size_t truncated = 0;
     for (const auto &rec : trace) {
         if (rec.kind == gpusim::OpKind::kMarker ||
             rec.kind == gpusim::OpKind::kDelay)
             continue;
-        if (shown++ >= max_rows) {
-            os << "  ... (" << trace.size() << " ops total)\n";
-            break;
+        if (shown >= max_rows) {
+            truncated++;
+            continue;
         }
+        shown++;
         std::snprintf(buf, sizeof(buf), "%12.4f %10.4f %7d  %s\n",
                       rec.start_s * 1e3,
                       rec.durationSeconds() * 1e3, rec.stream,
                       rec.name.c_str());
         os << buf;
     }
+    if (truncated > 0)
+        os << "  ... " << truncated << " more rows\n";
+    return truncated;
 }
 
 std::vector<double>

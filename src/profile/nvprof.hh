@@ -45,10 +45,15 @@ summarize(const std::vector<gpusim::OpRecord> &trace);
 void printSummary(std::ostream &os,
                   const std::vector<gpusim::OpRecord> &trace);
 
-/** Render GPU-trace mode (chronological launch list). */
-void printGpuTrace(std::ostream &os,
-                   const std::vector<gpusim::OpRecord> &trace,
-                   std::size_t max_rows = 64);
+/**
+ * Render GPU-trace mode (chronological launch list). Markers and
+ * host delays are skipped; after @p max_rows printable rows the
+ * output ends with an explicit "... N more rows" footer.
+ * @return the number of rows truncated (0 when everything fit).
+ */
+std::size_t printGpuTrace(std::ostream &os,
+                          const std::vector<gpusim::OpRecord> &trace,
+                          std::size_t max_rows = 64);
 
 /** Per-invocation durations (ms) of one kernel name, in order. */
 std::vector<double>

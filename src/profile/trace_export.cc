@@ -1,24 +1,19 @@
 #include "profile/trace_export.hh"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
+#include <set>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace edgert::profile {
 
 namespace {
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
+/** Device stream tracks sit below host tracks in the merged view. */
+constexpr int kDeviceTidBase = 1000;
 
 const char *
 category(gpusim::OpKind k)
@@ -33,6 +28,51 @@ category(gpusim::OpKind k)
     return "other";
 }
 
+void
+emitProcessName(std::ostream &os, const std::string &process_name)
+{
+    os << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"" << jsonEscape(process_name)
+       << "\"}}";
+}
+
+void
+emitThreadName(std::ostream &os, int tid, const std::string &label)
+{
+    os << ",\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"tid\":" << tid << ",\"args\":{\"name\":\""
+       << jsonEscape(label) << "\"}}";
+}
+
+/** thread_name metadata for every stream present in the trace. */
+void
+emitStreamNames(std::ostream &os,
+                const std::vector<gpusim::OpRecord> &trace,
+                const std::string &process_name, int tid_base)
+{
+    std::set<int> streams;
+    for (const auto &rec : trace)
+        if (rec.kind != gpusim::OpKind::kMarker)
+            streams.insert(rec.stream);
+    for (int s : streams)
+        emitThreadName(os, tid_base + s,
+                       "stream " + std::to_string(s) + " (" +
+                           process_name + ")");
+}
+
+void
+emitDeviceOp(std::ostream &os, const gpusim::OpRecord &rec,
+             int tid_base)
+{
+    os << ",\n  {\"name\":\"" << jsonEscape(rec.name)
+       << "\",\"cat\":\"" << category(rec.kind)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << (tid_base + rec.stream)
+       << ",\"ts\":" << jsonNumber(rec.start_s * 1e6)
+       << ",\"dur\":" << jsonNumber(rec.durationSeconds() * 1e6)
+       << "}";
+}
+
 } // namespace
 
 void
@@ -41,25 +81,13 @@ writeChromeTrace(std::ostream &os,
                  const std::string &process_name)
 {
     os << "[\n";
-    bool first = true;
-    // Process-name metadata event.
-    os << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-          "\"args\":{\"name\":\"" << jsonEscape(process_name)
-       << "\"}}";
-    first = false;
+    emitProcessName(os, process_name);
+    emitStreamNames(os, trace, process_name, /*tid_base=*/0);
 
     for (const auto &rec : trace) {
         if (rec.kind == gpusim::OpKind::kMarker)
             continue;
-        if (!first)
-            os << ",\n";
-        first = false;
-        double us = rec.start_s * 1e6;
-        double dur = rec.durationSeconds() * 1e6;
-        os << "  {\"name\":\"" << jsonEscape(rec.name)
-           << "\",\"cat\":\"" << category(rec.kind)
-           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << rec.stream
-           << ",\"ts\":" << us << ",\"dur\":" << dur << "}";
+        emitDeviceOp(os, rec, /*tid_base=*/0);
     }
     os << "\n]\n";
 }
@@ -73,6 +101,75 @@ saveChromeTrace(const std::string &path,
     if (!f)
         fatal("saveChromeTrace: cannot open '", path, "'");
     writeChromeTrace(f, trace, process_name);
+}
+
+void
+writeMergedChromeTrace(std::ostream &os,
+                       const std::vector<obs::SpanRecord> &spans,
+                       const std::vector<gpusim::OpRecord> &trace,
+                       const std::string &process_name)
+{
+    os << "[\n";
+    emitProcessName(os, process_name);
+
+    // Host tracks: tid = 1 + tracer thread ordinal.
+    int max_thread = -1;
+    for (const auto &s : spans)
+        max_thread = std::max(max_thread, s.thread);
+    for (int t = 0; t <= max_thread; t++)
+        emitThreadName(os, 1 + t,
+                       "host thread " + std::to_string(t));
+
+    emitStreamNames(os, trace, process_name, kDeviceTidBase);
+
+    // Rebase host timestamps so the earliest span starts at 0,
+    // like the device timeline.
+    std::uint64_t t0 =
+        std::numeric_limits<std::uint64_t>::max();
+    for (const auto &s : spans)
+        t0 = std::min(t0, s.start_ns);
+
+    for (const auto &s : spans) {
+        os << ",\n  {\"name\":\"" << jsonEscape(s.name)
+           << "\",\"cat\":\"host\",\"ph\":\"X\",\"pid\":1,"
+              "\"tid\":" << (1 + s.thread) << ",\"ts\":"
+           << jsonNumber(static_cast<double>(s.start_ns - t0) *
+                         1e-3)
+           << ",\"dur\":"
+           << jsonNumber(static_cast<double>(s.end_ns -
+                                             s.start_ns) *
+                         1e-3);
+        if (!s.args.empty()) {
+            os << ",\"args\":{";
+            for (std::size_t i = 0; i < s.args.size(); i++) {
+                if (i)
+                    os << ",";
+                os << "\"" << jsonEscape(s.args[i].key) << "\":\""
+                   << jsonEscape(s.args[i].value) << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+
+    for (const auto &rec : trace) {
+        if (rec.kind == gpusim::OpKind::kMarker)
+            continue;
+        emitDeviceOp(os, rec, kDeviceTidBase);
+    }
+    os << "\n]\n";
+}
+
+void
+saveMergedChromeTrace(const std::string &path,
+                      const std::vector<obs::SpanRecord> &spans,
+                      const std::vector<gpusim::OpRecord> &trace,
+                      const std::string &process_name)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("saveMergedChromeTrace: cannot open '", path, "'");
+    writeMergedChromeTrace(f, spans, trace, process_name);
 }
 
 } // namespace edgert::profile

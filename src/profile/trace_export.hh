@@ -6,7 +6,16 @@
  * Chrome-trace (chrome://tracing / Perfetto) export of GpuSim op
  * traces. Each stream renders as a track; kernels, memcpys and host
  * delays become complete events — the visual equivalent of nvprof's
- * timeline mode.
+ * timeline mode. Streams and host threads are labeled via
+ * `thread_name` metadata events so the viewer shows e.g.
+ * "stream 0 (xavier-nx)" instead of a bare tid.
+ *
+ * The merged variant interleaves host-side obs::Tracer spans (build
+ * phases, tactic sweeps) with the device ops in one file: host
+ * tracks (small tids) render above the device stream tracks (tids
+ * offset by 1000). Host span timestamps are rebased so the first
+ * span starts at ts 0 — host Clock time and simulated device time
+ * share an origin in the viewer but are not one clock.
  */
 
 #include <ostream>
@@ -14,6 +23,7 @@
 #include <vector>
 
 #include "gpusim/sim.hh"
+#include "obs/trace.hh"
 
 namespace edgert::profile {
 
@@ -31,6 +41,25 @@ void writeChromeTrace(std::ostream &os,
 void saveChromeTrace(const std::string &path,
                      const std::vector<gpusim::OpRecord> &trace,
                      const std::string &process_name);
+
+/**
+ * Write host spans and device ops as one chrome-trace document.
+ * @param os     Output stream.
+ * @param spans  obs::Tracer::global().spans() host records.
+ * @param trace  GpuSim::trace() device records.
+ * @param process_name Label for the whole trace.
+ */
+void writeMergedChromeTrace(
+    std::ostream &os, const std::vector<obs::SpanRecord> &spans,
+    const std::vector<gpusim::OpRecord> &trace,
+    const std::string &process_name);
+
+/** Write the merged trace to a file; fatal on I/O error. */
+void saveMergedChromeTrace(
+    const std::string &path,
+    const std::vector<obs::SpanRecord> &spans,
+    const std::vector<gpusim::OpRecord> &trace,
+    const std::string &process_name);
 
 } // namespace edgert::profile
 

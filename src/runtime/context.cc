@@ -1,11 +1,29 @@
 #include "runtime/context.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace edgert::runtime {
+
+namespace {
+
+obs::Counter
+runtimeCounter(const char *name, const core::Engine &engine)
+{
+    return obs::MetricRegistry::global().counter(
+        name, {{"model", engine.modelName()}});
+}
+
+} // namespace
 
 ExecutionContext::ExecutionContext(const core::Engine &engine,
                                    gpusim::GpuSim &sim, int stream)
     : engine_(&engine), sim_(&sim), stream_(stream)
-{}
+{
+    EDGERT_SPAN("context_setup",
+                {{"model", engine.modelName()},
+                 {"stream", std::to_string(stream)}});
+}
 
 void
 ExecutionContext::enqueueWeightUpload()
@@ -16,11 +34,14 @@ ExecutionContext::enqueueWeightUpload()
         return;
     sim_->memcpyH2D(stream_, static_cast<std::uint64_t>(bytes),
                     std::max(1, transfers), "engine_weights_h2d");
+    runtimeCounter("runtime.weight_upload.bytes", *engine_)
+        .add(bytes);
 }
 
 InferenceHandle
 ExecutionContext::enqueueInference(bool copy_input, bool copy_output)
 {
+    runtimeCounter("runtime.inference.enqueued", *engine_).add();
     InferenceHandle h;
     h.begin = sim_->recordEvent(stream_);
     if (copy_input) {
@@ -45,6 +66,7 @@ ExecutionContext::enqueueInference(bool copy_input, bool copy_output)
 InferenceHandle
 ExecutionContext::enqueuePipelinedInference()
 {
+    runtimeCounter("runtime.inference.enqueued", *engine_).add();
     if (copy_stream_ < 0)
         copy_stream_ = sim_->createStream();
     // Next frame's input upload and previous frame's output download

@@ -6,6 +6,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "gpusim/sim.hh"
+#include "obs/metrics.hh"
 #include "runtime/context.hh"
 
 namespace edgert::runtime {
@@ -78,6 +79,12 @@ runLatencyProtocol(const core::Engine &engine,
     out.std_ms = total.stddev();
     out.memcpy_mean_ms = memcpy_ms.mean();
     out.kernel_mean_ms = kernel_ms.mean();
+
+    // One sample per measured run, in run order.
+    obs::Histogram latency = obs::MetricRegistry::global().histogram(
+        "runtime.inference.latency_ms", {{"device", device.name}});
+    for (double ms : out.samples_ms)
+        latency.record(ms);
 
     if (kernel_profiles) {
         for (auto &[name, samples] : per_kernel) {
@@ -196,6 +203,16 @@ measureThroughput(const core::Engine &engine,
     res.gpu_util_pct = 100.0 * st.sm_busy_integral /
                        (span * dev.sm_count);
     res.copy_busy_pct = 100.0 * st.copy_busy_s / span;
+
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    const obs::Labels dev_label = {{"device", dev.name}};
+    reg.counter("runtime.throughput.frames", dev_label).add(frames);
+    reg.gauge("runtime.throughput.gpu_util_pct", dev_label)
+        .set(res.gpu_util_pct);
+    reg.gauge("runtime.throughput.copy_busy_pct", dev_label)
+        .set(res.copy_busy_pct);
+    reg.gauge("runtime.throughput.streams", dev_label)
+        .set(static_cast<double>(threads));
     return res;
 }
 

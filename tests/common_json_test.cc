@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/json.hh"
+
+using namespace edgert;
+
+TEST(JsonEscape, PassesPlainText)
+{
+    EXPECT_EQ(jsonEscape("conv1/relu"), "conv1/relu");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonEscape, HostileNameSurvivesAsDocument)
+{
+    std::string hostile = "conv\"},\n\\evil\x02{";
+    std::string doc = "{\"name\": \"" + jsonEscape(hostile) + "\"}";
+    std::string err;
+    EXPECT_TRUE(jsonValid(doc, &err)) << err;
+}
+
+TEST(JsonNumber, RoundTripsSimpleValues)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(2.0), "2");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(-3.25), "-3.25");
+}
+
+TEST(JsonNumber, NonFiniteBecomesZero)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "0");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "0");
+    EXPECT_EQ(jsonNumber(-HUGE_VAL), "0");
+}
+
+TEST(JsonNumber, Deterministic)
+{
+    double v = 1.0 / 3.0;
+    EXPECT_EQ(jsonNumber(v), jsonNumber(v));
+    std::string err;
+    EXPECT_TRUE(jsonValid(jsonNumber(v), &err)) << err;
+}
+
+TEST(JsonValid, AcceptsWellFormedDocuments)
+{
+    EXPECT_TRUE(jsonValid("{}"));
+    EXPECT_TRUE(jsonValid("[]"));
+    EXPECT_TRUE(jsonValid("true"));
+    EXPECT_TRUE(jsonValid("-1.5e3"));
+    EXPECT_TRUE(jsonValid("\"hi\\u0041\""));
+    EXPECT_TRUE(jsonValid(
+        "{\"a\": [1, 2.5, null], \"b\": {\"c\": false}}"));
+}
+
+TEST(JsonValid, RejectsMalformedDocuments)
+{
+    std::string err;
+    EXPECT_FALSE(jsonValid("", &err));
+    EXPECT_FALSE(jsonValid("{", &err));
+    EXPECT_FALSE(jsonValid("{\"a\": }", &err));
+    EXPECT_FALSE(jsonValid("[1,]", &err));
+    EXPECT_FALSE(jsonValid("{} extra", &err));
+    EXPECT_FALSE(jsonValid("\"unterminated", &err));
+    EXPECT_FALSE(jsonValid("\"bad\\x\"", &err));
+    EXPECT_FALSE(jsonValid("01", &err));
+    EXPECT_FALSE(jsonValid(std::string("\"raw\ncontrol\""), &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonValid, RejectsExcessiveNesting)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_FALSE(jsonValid(deep));
+}

@@ -10,11 +10,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "core/builder.hh"
 #include "gpusim/device.hh"
 #include "nn/dot.hh"
 #include "nn/model_zoo.hh"
+#include "obs/trace.hh"
 #include "profile/trace_export.hh"
 #include "runtime/context.hh"
 
@@ -81,6 +83,73 @@ TEST(ChromeTrace, ValidJsonShape)
         if (rec.kind != gpusim::OpKind::kMarker)
             expected++;
     EXPECT_EQ(events, expected);
+}
+
+TEST(ChromeTrace, NamesStreamTracksViaMetadata)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    gpusim::GpuSim sim(nx);
+    gpusim::KernelDesc k;
+    k.name = "probe";
+    k.grid_blocks = 6;
+    k.flops = 1'000'000;
+    k.efficiency = 0.5;
+    int s2 = sim.createStream();
+    sim.launchKernel(0, k);
+    sim.launchKernel(s2, k);
+    sim.run();
+
+    std::ostringstream oss;
+    profile::writeChromeTrace(oss, sim.trace(), "meta");
+    std::string json = oss.str();
+
+    std::string error;
+    EXPECT_TRUE(jsonValid(json, &error)) << error;
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("stream 0 (meta)"), std::string::npos);
+    EXPECT_NE(json.find("stream " + std::to_string(s2) + " (meta)"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, MergedTraceIsValidJsonWithBothClocks)
+{
+    gpusim::GpuSim sim(gpusim::DeviceSpec::xavierNX());
+    gpusim::KernelDesc k;
+    k.name = "dev_op";
+    k.grid_blocks = 6;
+    k.flops = 1'000'000;
+    k.efficiency = 0.5;
+    sim.launchKernel(0, k);
+    sim.run();
+
+    // Hand-built host spans: a hostile name must not break the
+    // document, and host timestamps get rebased to zero.
+    obs::SpanRecord s1;
+    s1.name = "outer \"quoted\"\nname";
+    s1.thread = 0;
+    s1.start_ns = 5'000'000;
+    s1.end_ns = 6'000'000;
+    s1.args.push_back({"key", "val\\ue"});
+    obs::SpanRecord s2;
+    s2.name = "inner";
+    s2.thread = 1;
+    s2.start_ns = 5'200'000;
+    s2.end_ns = 5'400'000;
+
+    std::ostringstream oss;
+    profile::writeMergedChromeTrace(oss, {s1, s2}, sim.trace(),
+                                    "merged");
+    std::string json = oss.str();
+
+    std::string error;
+    ASSERT_TRUE(jsonValid(json, &error)) << error;
+    EXPECT_NE(json.find("host thread 0"), std::string::npos);
+    EXPECT_NE(json.find("host thread 1"), std::string::npos);
+    EXPECT_NE(json.find("dev_op"), std::string::npos);
+    // Earliest host span is rebased to ts 0.
+    EXPECT_NE(json.find("\"ts\":0,"), std::string::npos);
 }
 
 TEST(ChromeTrace, SavesToFile)

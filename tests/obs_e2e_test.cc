@@ -1,0 +1,231 @@
+/**
+ * @file
+ * End-to-end observability tests: a real build instruments itself
+ * into the global MetricRegistry and Tracer, the resulting snapshot
+ * is byte-reproducible under a FakeClock, and the merged
+ * chrome-trace document (host spans above device tracks) is valid
+ * JSON. These are the acceptance tests for the obs subsystem: they
+ * exercise the registry through the builder/optimizer/gpusim/runtime
+ * instrumentation seams rather than through its own API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "core/builder.hh"
+#include "core/timing_cache.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "profile/trace_export.hh"
+#include "runtime/context.hh"
+
+namespace edgert {
+namespace {
+
+using obs::FakeClock;
+using obs::MetricRegistry;
+using obs::ScopedClock;
+using obs::Tracer;
+
+/**
+ * One cold + one warm build of the same model against a shared
+ * timing cache, jobs=1 so no schedule-dependent pool gauges exist
+ * and the FakeClock reading sequence is identical across runs.
+ */
+std::string
+coldWarmSnapshot()
+{
+    MetricRegistry::global().reset();
+    FakeClock fake(1'000'000, 500);
+    ScopedClock scoped(&fake);
+
+    nn::Network net = nn::buildZooModel("resnet-18");
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::TimingCache cache;
+    core::BuilderConfig cfg;
+    cfg.build_id = 3;
+    cfg.jobs = 1;
+    cfg.timing_cache = &cache;
+
+    core::Builder builder(nx, cfg);
+    core::Engine cold = builder.build(net);
+    core::Engine warm = builder.build(net);
+    EXPECT_EQ(cold.fingerprint(), warm.fingerprint());
+
+    return MetricRegistry::global().toJson();
+}
+
+TEST(ObsE2E, SnapshotIsValidJson)
+{
+    std::string snapshot = coldWarmSnapshot();
+    std::string error;
+    EXPECT_TRUE(jsonValid(snapshot, &error)) << error;
+}
+
+TEST(ObsE2E, BuildRecordsCacheTrafficAndPassHistograms)
+{
+    std::string snapshot = coldWarmSnapshot();
+
+    MetricRegistry &reg = MetricRegistry::global();
+    obs::Labels dev = {{"device", "xavier-nx"}};
+
+    // The cold build misses the empty cache; the warm rebuild of
+    // the same model hits it. Both directions must be nonzero.
+    EXPECT_GT(reg.gauge("builder.timing_cache.hits", dev).value(),
+              0.0);
+    EXPECT_GT(reg.gauge("builder.timing_cache.misses", dev).value(),
+              0.0);
+    EXPECT_GT(reg.counter("builder.tactic.measured", dev).value(),
+              0);
+    EXPECT_GT(
+        reg.counter("builder.tactic.cache_served", dev).value(), 0);
+
+    // Per-pass optimizer histograms made it into the snapshot with
+    // real samples (two builds -> two optimize() calls each).
+    for (const char *pass :
+         {"dead_layer_removal", "fusion", "horizontal_merge",
+          "precision_assignment"}) {
+        obs::Histogram h = reg.histogram("builder.pass.duration_us",
+                                         {{"pass", pass}});
+        EXPECT_EQ(h.count(), 2u) << pass;
+        EXPECT_GT(h.sum(), 0.0) << pass;
+        EXPECT_NE(snapshot.find(std::string("pass=") + pass),
+                  std::string::npos);
+    }
+}
+
+TEST(ObsE2E, SnapshotBytesReproducibleUnderFakeClock)
+{
+    // Two full cold+warm cycles, registry reset between them: same
+    // build_id + FakeClock => the serialized snapshots must be
+    // byte-identical, not merely equivalent.
+    std::string first = coldWarmSnapshot();
+    std::string second = coldWarmSnapshot();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(ObsE2E, MergedTraceHasHostSpansAndDeviceOps)
+{
+    MetricRegistry::global().reset();
+    Tracer::global().clear();
+    Tracer::global().setEnabled(true);
+    FakeClock fake(0, 1000);
+    ScopedClock scoped(&fake);
+
+    nn::Network net = nn::buildZooModel("alexnet");
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::BuilderConfig cfg;
+    cfg.build_id = 2;
+    core::Engine engine = core::Builder(nx, cfg).build(net);
+
+    gpusim::GpuSim sim(nx);
+    runtime::ExecutionContext ctx(engine, sim, 0);
+    ctx.enqueueWeightUpload();
+    ctx.enqueueInference(true, true);
+    sim.run();
+
+    std::ostringstream os;
+    profile::writeMergedChromeTrace(os, Tracer::global().spans(),
+                                    sim.trace(), "obs_e2e");
+    Tracer::global().setEnabled(false);
+    std::string doc = os.str();
+
+    std::string error;
+    ASSERT_TRUE(jsonValid(doc, &error)) << error;
+
+    // Host side: the build span and a tactic sweep, plus thread
+    // names so the viewer labels the tracks.
+    EXPECT_NE(doc.find("\"build\""), std::string::npos);
+    EXPECT_NE(doc.find("\"tactic_sweep\""), std::string::npos);
+    EXPECT_NE(doc.find("\"context_setup\""), std::string::npos);
+    EXPECT_NE(doc.find("thread_name"), std::string::npos);
+    EXPECT_NE(doc.find("host thread 0"), std::string::npos);
+
+    // Device side: real simulated ops on the stream track.
+    EXPECT_NE(doc.find("\"cat\":\"kernel\""), std::string::npos);
+    EXPECT_NE(doc.find("\"cat\":\"memcpy_h2d\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("stream 0 (obs_e2e)"), std::string::npos);
+}
+
+TEST(ObsE2E, MergedTraceBytesReproducibleUnderFakeClock)
+{
+    // Same build id + FakeClock + deterministic simulator => the
+    // merged trace document itself is byte-identical across runs.
+    auto traceOnce = []() {
+        Tracer::global().clear();
+        Tracer::global().setEnabled(true);
+        FakeClock fake(0, 1000);
+        ScopedClock scoped(&fake);
+
+        nn::Network net = nn::buildZooModel("alexnet");
+        gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+        core::BuilderConfig cfg;
+        cfg.build_id = 7;
+        cfg.jobs = 1;
+        core::Engine engine = core::Builder(nx, cfg).build(net);
+
+        gpusim::GpuSim sim(nx);
+        runtime::ExecutionContext ctx(engine, sim, 0);
+        ctx.enqueueWeightUpload();
+        ctx.enqueueInference(true, true);
+        sim.run();
+
+        std::ostringstream os;
+        profile::writeMergedChromeTrace(
+            os, Tracer::global().spans(), sim.trace(), "repro");
+        Tracer::global().setEnabled(false);
+        return os.str();
+    };
+
+    std::string first = traceOnce();
+    std::string second = traceOnce();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(ObsE2E, RuntimeCountsInferencesAndUploadBytes)
+{
+    MetricRegistry::global().reset();
+    nn::Network net = nn::buildZooModel("alexnet");
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::BuilderConfig cfg;
+    cfg.build_id = 2;
+    core::Engine engine = core::Builder(nx, cfg).build(net);
+
+    gpusim::GpuSim sim(nx);
+    runtime::ExecutionContext ctx(engine, sim, 0);
+    ctx.enqueueWeightUpload();
+    ctx.enqueueInference(true, true);
+    ctx.enqueueInference(true, true);
+    sim.run();
+
+    MetricRegistry &reg = MetricRegistry::global();
+    obs::Labels model = {{"model", "alexnet"}};
+    EXPECT_EQ(
+        reg.counter("runtime.inference.enqueued", model).value(),
+        2);
+    EXPECT_GT(
+        reg.counter("runtime.weight_upload.bytes", model).value(),
+        0);
+
+    // GpuSim's own instrumentation saw the launches and copies.
+    obs::Labels dev = {{"device", "xavier-nx"}};
+    EXPECT_GT(reg.counter("gpusim.kernel.launches", dev).value(),
+              0);
+    EXPECT_GT(reg.counter("gpusim.memcpy.bytes",
+                          {{"device", "xavier-nx"},
+                           {"dir", "h2d"}})
+                  .value(),
+              0);
+}
+
+} // namespace
+} // namespace edgert

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+using namespace edgert;
+using namespace edgert::obs;
+
+TEST(MetricKey, CanonicalizesLabels)
+{
+    EXPECT_EQ(MetricRegistry::key("builder.builds", {}),
+              "builder.builds");
+    EXPECT_EQ(MetricRegistry::key(
+                  "builder.pass.duration_us",
+                  {{"pass", "fusion"}, {"device", "NX"}}),
+              "builder.pass.duration_us{device=NX,pass=fusion}");
+}
+
+TEST(MetricRegistry, CounterAccumulates)
+{
+    MetricRegistry reg;
+    Counter c = reg.counter("x.count", {{"k", "v"}});
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5);
+    // Same (name, labels) resolves to the same cell.
+    EXPECT_EQ(reg.counter("x.count", {{"k", "v"}}).value(), 5);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, GaugeHoldsLastValue)
+{
+    MetricRegistry reg;
+    Gauge g = reg.gauge("x.level_pct");
+    g.set(12.5);
+    g.set(90.0);
+    EXPECT_DOUBLE_EQ(g.value(), 90.0);
+}
+
+TEST(MetricRegistry, KindClashIsFatal)
+{
+    MetricRegistry reg;
+    reg.counter("x.mixed");
+    EXPECT_THROW(reg.gauge("x.mixed"), FatalError);
+    EXPECT_THROW(reg.histogram("x.mixed"), FatalError);
+}
+
+TEST(MetricRegistry, NullHandlesAreInert)
+{
+    Counter c;
+    Gauge g;
+    Histogram h;
+    c.add();
+    g.set(1.0);
+    h.record(1.0);
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, TracksSummaryStats)
+{
+    MetricRegistry reg;
+    Histogram h = reg.histogram("x.duration_us");
+    for (double v : {1.0, 10.0, 100.0})
+        h.record(v);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 111.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, PercentilesAreBucketAccurate)
+{
+    MetricRegistry reg;
+    Histogram h = reg.histogram("x.duration_us");
+    // 99 samples 1..99: p50 ~ 50, p99 ~ 99. Log buckets are ~33%
+    // wide (10^(1/8)), so allow that relative error.
+    for (int i = 1; i <= 99; i++)
+        h.record(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0.50), 50.0, 50.0 * 0.35);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 99.0 * 0.35);
+    // Quantiles never leave the observed range.
+    EXPECT_GE(h.percentile(0.0), 1.0);
+    EXPECT_LE(h.percentile(1.0), 99.0);
+}
+
+TEST(Histogram, IgnoresNonFiniteSamples)
+{
+    MetricRegistry reg;
+    Histogram h = reg.histogram("x.duration_us");
+    h.record(std::nan(""));
+    h.record(HUGE_VAL);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsHandles)
+{
+    MetricRegistry reg;
+    Counter c = reg.counter("x.count");
+    Histogram h = reg.histogram("x.duration_us");
+    c.add(7);
+    h.record(3.0);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(reg.size(), 2u); // keys survive reset
+    c.add(); // handle still live
+    EXPECT_EQ(c.value(), 1);
+}
+
+TEST(MetricRegistry, SnapshotIsValidJson)
+{
+    MetricRegistry reg;
+    reg.counter("b.count", {{"device", "Xavier NX"}}).add(2);
+    reg.gauge("a.level_pct").set(37.5);
+    reg.histogram("c.duration_us", {{"pass", "fu\"sion\n"}})
+        .record(4.2);
+    std::string err;
+    EXPECT_TRUE(jsonValid(reg.toJson(), &err)) << err;
+}
+
+TEST(MetricRegistry, SnapshotIsByteIdenticalForEqualState)
+{
+    auto populate = [](MetricRegistry &reg) {
+        reg.counter("b.count", {{"device", "NX"}}).add(3);
+        reg.gauge("a.util_pct").set(66.625);
+        Histogram h = reg.histogram("c.duration_us");
+        for (double v : {0.5, 1.0 / 3.0, 12.0, 480.0})
+            h.record(v);
+    };
+    MetricRegistry r1, r2;
+    populate(r1);
+    populate(r2);
+    EXPECT_EQ(r1.toJson(), r2.toJson());
+
+    // Registration order must not leak into the snapshot.
+    MetricRegistry r3;
+    r3.gauge("a.util_pct").set(66.625);
+    Histogram h = r3.histogram("c.duration_us");
+    for (double v : {0.5, 1.0 / 3.0, 12.0, 480.0})
+        h.record(v);
+    r3.counter("b.count", {{"device", "NX"}}).add(3);
+    EXPECT_EQ(r1.toJson(), r3.toJson());
+}
+
+TEST(MetricRegistry, CountersAreThreadSafe)
+{
+    MetricRegistry reg;
+    Counter c = reg.counter("x.count");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 10000; i++)
+                c.add();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), 40000);
+}
+
+TEST(MetricRegistry, GlobalIsSingleton)
+{
+    EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
+}

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "obs/clock.hh"
+#include "obs/trace.hh"
+
+using namespace edgert::obs;
+
+namespace {
+
+/** Enable the global tracer for one test, restoring state after. */
+class TracerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::global().clear();
+        Tracer::global().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer::global().setEnabled(false);
+        Tracer::global().clear();
+    }
+};
+
+} // namespace
+
+TEST(FakeClock, AutoAdvancesPerReading)
+{
+    FakeClock fake(100, 10);
+    EXPECT_EQ(fake.nowNanos(), 100u);
+    EXPECT_EQ(fake.nowNanos(), 110u);
+    fake.advance(5);
+    EXPECT_EQ(fake.peekNanos(), 125u);
+    EXPECT_EQ(fake.nowNanos(), 125u);
+}
+
+TEST(FakeClock, ScopedOverrideRestores)
+{
+    FakeClock fake(0, 1);
+    {
+        ScopedClock guard(&fake);
+        EXPECT_EQ(&edgert::obs::clock(),
+                  static_cast<Clock *>(&fake));
+    }
+    EXPECT_NE(&edgert::obs::clock(), static_cast<Clock *>(&fake));
+}
+
+TEST_F(TracerFixture, ScopedSpanRecordsDeterministicTimes)
+{
+    FakeClock fake(1000, 250);
+    ScopedClock guard(&fake);
+    {
+        EDGERT_SPAN("tactic_sweep", {{"node", "conv1"}});
+    }
+    auto spans = Tracer::global().spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "tactic_sweep");
+    EXPECT_EQ(spans[0].start_ns, 1000u);
+    EXPECT_EQ(spans[0].end_ns, 1250u);
+    ASSERT_EQ(spans[0].args.size(), 1u);
+    EXPECT_EQ(spans[0].args[0].key, "node");
+    EXPECT_EQ(spans[0].args[0].value, "conv1");
+    EXPECT_DOUBLE_EQ(spans[0].durationUs(), 0.25);
+}
+
+TEST_F(TracerFixture, NestedSpansCloseInnerFirst)
+{
+    FakeClock fake(0, 100);
+    ScopedClock guard(&fake);
+    {
+        EDGERT_SPAN("outer");
+        {
+            EDGERT_SPAN("inner");
+        }
+    }
+    auto spans = Tracer::global().spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[1].name, "outer");
+    // outer opened before inner, closed after it.
+    EXPECT_LT(spans[1].start_ns, spans[0].start_ns);
+    EXPECT_GT(spans[1].end_ns, spans[0].end_ns);
+}
+
+TEST_F(TracerFixture, AssignsStableThreadOrdinals)
+{
+    FakeClock fake(0, 1);
+    ScopedClock guard(&fake);
+    {
+        EDGERT_SPAN("main_phase");
+    }
+    std::thread worker([] { EDGERT_SPAN("worker_phase"); });
+    worker.join();
+    {
+        EDGERT_SPAN("main_again");
+    }
+    auto spans = Tracer::global().spans();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].thread, 0);
+    EXPECT_EQ(spans[1].thread, 1);
+    EXPECT_EQ(spans[2].thread, 0); // same thread, same ordinal
+}
+
+TEST(Tracer, DisabledSpansCostNoClockReads)
+{
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+    FakeClock fake(0, 1);
+    ScopedClock guard(&fake);
+    {
+        EDGERT_SPAN("ignored", {{"k", "v"}});
+    }
+    EXPECT_EQ(Tracer::global().size(), 0u);
+    EXPECT_EQ(fake.peekNanos(), 0u); // clock never consulted
+}
+
+TEST(Tracer, ClearForgetsSpansAndOrdinals)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+    FakeClock fake(0, 1);
+    ScopedClock guard(&fake);
+    std::thread worker([] { EDGERT_SPAN("w"); });
+    worker.join();
+    {
+        EDGERT_SPAN("m");
+    }
+    ASSERT_EQ(tracer.size(), 2u);
+    tracer.clear();
+    EXPECT_EQ(tracer.size(), 0u);
+    {
+        EDGERT_SPAN("after_clear");
+    }
+    auto spans = tracer.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].thread, 0); // ordinals restart at zero
+    tracer.setEnabled(false);
+    tracer.clear();
+}

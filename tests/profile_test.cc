@@ -90,8 +90,13 @@ TEST(Nvprof, GpuTraceTruncates)
         sim.launchKernel(0, kernel("k", 1'000'000));
     sim.run();
     std::ostringstream oss;
-    printGpuTrace(oss, sim.trace(), 3);
-    EXPECT_NE(oss.str().find("..."), std::string::npos);
+    std::size_t truncated = printGpuTrace(oss, sim.trace(), 3);
+    EXPECT_EQ(truncated, 7u);
+    EXPECT_NE(oss.str().find("... 7 more rows"), std::string::npos);
+
+    std::ostringstream full;
+    EXPECT_EQ(printGpuTrace(full, sim.trace(), 64), 0u);
+    EXPECT_EQ(full.str().find("more rows"), std::string::npos);
 }
 
 TEST(Nvprof, InvocationTimesInOrder)

@@ -12,8 +12,10 @@
  *   edgertexec --model tiny-yolov3 --device nx --threads 8 --profile
  *   edgertexec --model resnet-18 --device nx --save-engine plan.erte
  *   edgertexec --load-engine plan.erte --device agx
+ *   edgertexec --model resnet-18 --trace-build --metrics-out=m.json
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +25,8 @@
 
 #include "common/logging.hh"
 #include "core/builder.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "core/timing_cache.hh"
 #include "gpusim/device.hh"
 #include "nn/dot.hh"
@@ -36,6 +40,18 @@
 using namespace edgert;
 
 namespace {
+
+/** Progress chatter ("[edgertexec] ..."); silenced by --quiet. */
+void
+say(const char *fmt, ...)
+{
+    if (logLevel() > LogLevel::kInfo)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vprintf(fmt, ap);
+    va_end(ap);
+}
 
 struct Args
 {
@@ -54,6 +70,10 @@ struct Args
     bool max_clock = false;
     bool no_nvprof_overhead = false;
     bool verbose_build = false;
+    bool quiet = false;        //!< log level kWarn
+    bool verbose = false;      //!< log level kDebug
+    bool trace_build = false;  //!< span-trace the build phases
+    std::string metrics_out;   //!< metric snapshot JSON path
     std::string dump_dot;   //!< write the model graph as .dot
     std::string dump_trace; //!< write a chrome://tracing timeline
 };
@@ -93,9 +113,21 @@ usage()
         "  --no-profiler         drop the nvprof overhead model\n"
         "  --profile             print per-kernel summary\n"
         "  --verbose-build       print the autotuner's choices\n"
+        "  --quiet               warnings and errors only\n"
+        "  --verbose             debug-level log output (tactic\n"
+        "                        choices, cache probes)\n"
+        "  --trace-build         record host-side build spans and\n"
+        "                        merge them with the device timeline\n"
+        "                        into --dump-trace (default\n"
+        "                        trace.json); open in\n"
+        "                        chrome://tracing\n"
+        "  --metrics-out <f>     write the metric-registry snapshot\n"
+        "                        (counters, gauges, histograms) as\n"
+        "                        JSON\n"
         "  --dump-dot <f>        write the model graph (Graphviz)\n"
         "  --dump-trace <f>      write a chrome://tracing timeline\n"
-        "  --list                list zoo models\n");
+        "  --list                list zoo models\n"
+        "Options also accept --opt=value syntax.\n");
 }
 
 std::optional<Args>
@@ -104,7 +136,18 @@ parse(int argc, char **argv)
     Args a;
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
+        // Split --opt=value into --opt plus an inline value.
+        std::optional<std::string> inline_value;
+        if (arg.rfind("--", 0) == 0) {
+            std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+            }
+        }
         auto next = [&]() -> std::string {
+            if (inline_value)
+                return *inline_value;
             if (i + 1 >= argc)
                 fatal("missing value for ", arg);
             return argv[++i];
@@ -143,6 +186,14 @@ parse(int argc, char **argv)
             a.profile = true;
         else if (arg == "--verbose-build")
             a.verbose_build = true;
+        else if (arg == "--quiet")
+            a.quiet = true;
+        else if (arg == "--verbose")
+            a.verbose = true;
+        else if (arg == "--trace-build")
+            a.trace_build = true;
+        else if (arg == "--metrics-out")
+            a.metrics_out = next();
         else if (arg == "--dump-dot")
             a.dump_dot = next();
         else if (arg == "--dump-trace")
@@ -174,6 +225,15 @@ main(int argc, char **argv)
         return 0;
     Args args = *parsed;
 
+    if (args.quiet && args.verbose)
+        fatal("--quiet and --verbose are mutually exclusive");
+    if (args.quiet)
+        setLogLevel(LogLevel::kWarn);
+    if (args.verbose)
+        setLogLevel(LogLevel::kDebug);
+    if (args.trace_build)
+        obs::Tracer::global().setEnabled(true);
+
     gpusim::DeviceSpec dev = args.device == "agx"
                                  ? gpusim::DeviceSpec::xavierAGX()
                                  : gpusim::DeviceSpec::xavierNX();
@@ -192,7 +252,7 @@ main(int argc, char **argv)
             (std::istreambuf_iterator<char>(f)),
             std::istreambuf_iterator<char>());
         engine = core::Engine::deserialize(bytes);
-        std::printf("[edgertexec] loaded engine %s (built on %s, "
+        say("[edgertexec] loaded engine %s (built on %s, "
                     "fingerprint %016llx)\n",
                     engine.modelName().c_str(),
                     engine.deviceName().c_str(),
@@ -204,7 +264,7 @@ main(int argc, char **argv)
                 ? nn::loadNetwork(args.load_network)
                 : nn::buildZooModel(
                       args.model.empty() ? "resnet-18" : args.model);
-        std::printf("[edgertexec] model %s: %lld convs, %lld "
+        say("[edgertexec] model %s: %lld convs, %lld "
                     "max-pools, %.2f MiB fp32\n",
                     net.name().c_str(),
                     static_cast<long long>(net.convCount()),
@@ -217,7 +277,7 @@ main(int argc, char **argv)
             if (!f)
                 fatal("cannot write '", args.dump_dot, "'");
             nn::writeDot(f, net);
-            std::printf("[edgertexec] graph written to %s\n",
+            say("[edgertexec] graph written to %s\n",
                         args.dump_dot.c_str());
         }
 
@@ -230,7 +290,7 @@ main(int argc, char **argv)
         if (!args.timing_cache.empty()) {
             cache = core::TimingCache::load(args.timing_cache);
             cfg.timing_cache = &cache;
-            std::printf("[edgertexec] timing cache %s: %zu entries "
+            say("[edgertexec] timing cache %s: %zu entries "
                         "loaded\n",
                         args.timing_cache.c_str(), cache.size());
         }
@@ -241,7 +301,7 @@ main(int argc, char **argv)
         if (cfg.timing_cache) {
             auto cs = cache.stats();
             cache.save(args.timing_cache);
-            std::printf("[edgertexec] timing cache: %llu hits, "
+            say("[edgertexec] timing cache: %llu hits, "
                         "%llu misses, %llu new entries (%zu total) "
                         "written to %s\n",
                         static_cast<unsigned long long>(cs.hits),
@@ -250,7 +310,7 @@ main(int argc, char **argv)
                         cache.size(), args.timing_cache.c_str());
         }
         const auto &w = report.workload;
-        std::printf("[edgertexec] tactic sweep: %lld timings "
+        say("[edgertexec] tactic sweep: %lld timings "
                     "(%lld cache hits, %lld shared), %.3f s modeled "
                     "device time (%.3f s across %d jobs)\n",
                     static_cast<long long>(w.measurements),
@@ -258,7 +318,7 @@ main(int argc, char **argv)
                     static_cast<long long>(w.shared),
                     w.serialSeconds(), w.makespanSeconds(w.jobs),
                     w.jobs);
-        std::printf("[edgertexec] built engine on %s: %zu steps, "
+        say("[edgertexec] built engine on %s: %zu steps, "
                     "%lld kernels, %.2f MiB plan, fingerprint "
                     "%016llx\n",
                     dev.name.c_str(), engine.steps().size(),
@@ -267,7 +327,7 @@ main(int argc, char **argv)
                         (1024.0 * 1024.0),
                     static_cast<unsigned long long>(
                         engine.fingerprint()));
-        std::printf("[edgertexec] optimizer: %d dead removed, %d "
+        say("[edgertexec] optimizer: %d dead removed, %d "
                     "no-ops elided, %d fused, %d merges\n",
                     report.optimizer.dead_layers_removed,
                     report.optimizer.noops_elided,
@@ -289,22 +349,31 @@ main(int argc, char **argv)
             fatal("cannot write '", args.save_engine, "'");
         f.write(reinterpret_cast<const char *>(bytes.data()),
                 static_cast<std::streamsize>(bytes.size()));
-        std::printf("[edgertexec] plan written to %s (%zu bytes)\n",
+        say("[edgertexec] plan written to %s (%zu bytes)\n",
                     args.save_engine.c_str(), bytes.size());
     }
 
     // --- Optional timeline dump (one traced inference) ---
-    if (!args.dump_trace.empty()) {
+    if (!args.dump_trace.empty() || args.trace_build) {
+        std::string trace_path = args.dump_trace.empty()
+                                     ? "trace.json"
+                                     : args.dump_trace;
         gpusim::GpuSim sim(dev);
         runtime::ExecutionContext ctx(engine, sim, 0);
         ctx.enqueueWeightUpload();
         ctx.enqueueInference(true, true);
         sim.run();
-        profile::saveChromeTrace(args.dump_trace, sim.trace(),
-                                 dev.name);
-        std::printf("[edgertexec] timeline written to %s (open in "
+        if (args.trace_build) {
+            profile::saveMergedChromeTrace(
+                trace_path, obs::Tracer::global().spans(),
+                sim.trace(), dev.name);
+        } else {
+            profile::saveChromeTrace(trace_path, sim.trace(),
+                                     dev.name);
+        }
+        say("[edgertexec] timeline written to %s (open in "
                     "chrome://tracing)\n",
-                    args.dump_trace.c_str());
+                    trace_path.c_str());
     }
 
     // --- Measure ---
@@ -313,7 +382,7 @@ main(int argc, char **argv)
         topt.threads = args.threads;
         topt.at_max_clock = true;
         auto r = runtime::measureThroughput(engine, dev, topt);
-        std::printf("[edgertexec] throughput: %.1f FPS aggregate "
+        say("[edgertexec] throughput: %.1f FPS aggregate "
                     "(%.2f per stream), GPU util %.1f%%, copy "
                     "engine %.1f%%\n",
                     r.aggregate_fps, r.per_thread_fps,
@@ -326,7 +395,7 @@ main(int argc, char **argv)
             std::vector<runtime::KernelProfile> kernels;
             auto lat =
                 runtime::profileLatency(engine, dev, kernels, lopt);
-            std::printf("[edgertexec] latency: %.3f ms (std %.3f), "
+            say("[edgertexec] latency: %.3f ms (std %.3f), "
                         "memcpy %.3f ms, kernels %.3f ms\n",
                         lat.mean_ms, lat.std_ms, lat.memcpy_mean_ms,
                         lat.kernel_mean_ms);
@@ -338,13 +407,19 @@ main(int argc, char **argv)
                             k.total_ms);
         } else {
             auto lat = runtime::measureLatency(engine, dev, lopt);
-            std::printf("[edgertexec] latency on %s @ %.0f MHz: "
+            say("[edgertexec] latency on %s @ %.0f MHz: "
                         "%.3f ms (std %.3f) | memcpy %.3f | kernels "
                         "%.3f\n",
                         dev.name.c_str(), dev.gpu_clock_ghz * 1e3,
                         lat.mean_ms, lat.std_ms, lat.memcpy_mean_ms,
                         lat.kernel_mean_ms);
         }
+    }
+
+    if (!args.metrics_out.empty()) {
+        obs::MetricRegistry::global().save(args.metrics_out);
+        say("[edgertexec] metrics written to %s\n",
+                    args.metrics_out.c_str());
     }
     return 0;
 }
