@@ -51,6 +51,7 @@
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
 #include "obs/metrics.hh"
+#include "report.hh"
 
 namespace {
 
@@ -218,46 +219,6 @@ runBuildTimeStudy()
     }
     std::printf("\n");
 
-    std::ofstream json("BENCH_build.json");
-    json << "{\n"
-         << "  \"bench\": \"bench_build_time\",\n"
-         << "  \"device\": \"" << nx.name << "\",\n"
-         << "  \"models\": " << rows.size() << ",\n"
-         << "  \"jobs\": " << hw_jobs << ",\n"
-         << "  \"avg_timing_iterations\": " << kTimingIterations
-         << ",\n"
-         << "  \"per_model\": [\n";
-    for (std::size_t i = 0; i < rows.size(); i++) {
-        const auto &r = rows[i];
-        json << "    {\"model\": \"" << r.model
-             << "\", \"cold_serial_ms\": " << r.coldMs()
-             << ", \"parallel_cached_ms\": " << r.parMs()
-             << ", \"warm_ms\": " << r.warmMs()
-             << ", \"cold_host_ms\": " << r.cold_host_ms
-             << ", \"warm_host_ms\": " << r.warm_host_ms << "}"
-             << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    json << "  ],\n"
-         << "  \"totals\": {\"cold_serial_ms\": " << cold_total
-         << ", \"parallel_cached_ms\": " << par_total
-         << ", \"warm_ms\": " << warm_total
-         << ", \"cold_host_ms\": " << cold_host
-         << ", \"parallel_cached_host_ms\": " << par_host
-         << ", \"warm_host_ms\": " << warm_host << "},\n"
-         << "  \"speedups\": {\"parallel_cached_vs_cold\": "
-         << par_speedup << ", \"warm_vs_cold\": " << warm_speedup
-         << "},\n"
-         << "  \"scaling_by_jobs\": {";
-    for (std::size_t i = 0; i < scaling.size(); i++)
-        json << (i ? ", " : "") << "\"" << kScalingJobs[i]
-             << "\": " << scaling[i];
-    json << "},\n"
-         << "  \"cache\": {\"entries\": " << cache.size()
-         << ", \"cold_inserts\": " << cold_stats.inserts
-         << ", \"cold_hits\": " << cold_stats.hits
-         << ", \"warm_hits\": " << warm_stats.hits
-         << ", \"warm_misses\": " << warm_stats.misses << "},\n";
-
     // Builder metrics from the observability registry: all three
     // passes instrumented themselves while building.
     obs::MetricRegistry &reg = obs::MetricRegistry::global();
@@ -279,14 +240,57 @@ runBuildTimeStudy()
     double sweep_parallelism =
         par_dev_total > 0.0 ? par_serial_total / par_dev_total
                             : 1.0;
-    json << "  \"builder_metrics\": {\"cache_hit_rate_pct\": "
-         << hit_rate_pct
-         << ", \"sweep_parallelism\": " << sweep_parallelism
-         << ", \"tactics_measured\": " << measured
-         << ", \"tactics_cache_served\": " << served << "},\n"
-         << "  \"metrics\": " << reg.toJson() << "}\n";
-    std::printf("machine-readable results written to "
-                "BENCH_build.json\n");
+
+    bench::saveBenchReport(
+        "BENCH_build.json", "bench_build_time",
+        [&](bench::JsonWriter &w) {
+            w.field("device", nx.name);
+            w.field("models", rows.size());
+            w.field("jobs", hw_jobs);
+            w.field("avg_timing_iterations", kTimingIterations);
+            w.key("per_model").beginArray();
+            for (const auto &r : rows) {
+                w.beginObject();
+                w.field("model", r.model);
+                w.field("cold_serial_ms", r.coldMs());
+                w.field("parallel_cached_ms", r.parMs());
+                w.field("warm_ms", r.warmMs());
+                w.field("cold_host_ms", r.cold_host_ms);
+                w.field("warm_host_ms", r.warm_host_ms);
+                w.endObject();
+            }
+            w.endArray();
+            w.key("totals").beginObject();
+            w.field("cold_serial_ms", cold_total);
+            w.field("parallel_cached_ms", par_total);
+            w.field("warm_ms", warm_total);
+            w.field("cold_host_ms", cold_host);
+            w.field("parallel_cached_host_ms", par_host);
+            w.field("warm_host_ms", warm_host);
+            w.endObject();
+            w.key("speedups").beginObject();
+            w.field("parallel_cached_vs_cold", par_speedup);
+            w.field("warm_vs_cold", warm_speedup);
+            w.endObject();
+            w.key("scaling_by_jobs").beginObject();
+            for (std::size_t i = 0; i < scaling.size(); i++)
+                w.field(std::to_string(kScalingJobs[i]),
+                        scaling[i]);
+            w.endObject();
+            w.key("cache").beginObject();
+            w.field("entries", cache.size());
+            w.field("cold_inserts", cold_stats.inserts);
+            w.field("cold_hits", cold_stats.hits);
+            w.field("warm_hits", warm_stats.hits);
+            w.field("warm_misses", warm_stats.misses);
+            w.endObject();
+            w.key("builder_metrics").beginObject();
+            w.field("cache_hit_rate_pct", hit_rate_pct);
+            w.field("sweep_parallelism", sweep_parallelism);
+            w.field("tactics_measured", measured);
+            w.field("tactics_cache_served", served);
+            w.endObject();
+        });
 }
 
 void

@@ -22,13 +22,13 @@
 #include <string>
 #include <vector>
 
-#include "common/json.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "core/builder.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
 #include "obs/metrics.hh"
+#include "report.hh"
 #include "runtime/measure.hh"
 
 namespace {
@@ -92,28 +92,23 @@ sweep(const std::string &model, const gpusim::DeviceSpec &dev,
 void
 writeJsonReport(const std::vector<SweepRow> &rows)
 {
-    std::ofstream json("BENCH_concurrency.json");
-    if (!json)
-        return;
-    json << "{\n  \"benchmark\": \"concurrency\",\n"
-         << "  \"sweeps\": [\n";
-    for (std::size_t i = 0; i < rows.size(); i++) {
-        const SweepRow &r = rows[i];
-        json << "    {\"model\": \"" << jsonEscape(r.model)
-             << "\", \"device\": \"" << jsonEscape(r.device)
-             << "\", \"threads\": " << r.threads
-             << ", \"aggregate_fps\": " << r.aggregate_fps
-             << ", \"per_thread_fps\": " << r.per_thread_fps
-             << ", \"gpu_util_pct\": " << r.gpu_util_pct
-             << ", \"copy_busy_pct\": " << r.copy_busy_pct << "}"
-             << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    json << "  ],\n"
-         << "  \"metrics\": "
-         << obs::MetricRegistry::global().toJson() << "}\n";
-    std::printf("\nWrote BENCH_concurrency.json (%zu sweep points "
-                "+ runtime metric snapshot)\n",
-                rows.size());
+    bench::saveBenchReport(
+        "BENCH_concurrency.json", "concurrency",
+        [&](bench::JsonWriter &w) {
+            w.key("sweeps").beginArray();
+            for (const SweepRow &r : rows) {
+                w.beginObject();
+                w.field("model", r.model);
+                w.field("device", r.device);
+                w.field("threads", r.threads);
+                w.field("aggregate_fps", r.aggregate_fps);
+                w.field("per_thread_fps", r.per_thread_fps);
+                w.field("gpu_util_pct", r.gpu_util_pct);
+                w.field("copy_busy_pct", r.copy_busy_pct);
+                w.endObject();
+            }
+            w.endArray();
+        });
 }
 
 void

@@ -173,6 +173,18 @@ GpuSim::hostDelay(int stream, double seconds)
         std::move(op));
 }
 
+void
+GpuSim::delayUntil(int stream, double seconds)
+{
+    Op op;
+    op.kind = OpKind::kDelay;
+    op.delay_s = seconds;
+    op.delay_until = true;
+    op.tag = "release_at";
+    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
+        std::move(op));
+}
+
 EventId
 GpuSim::recordEvent(int stream)
 {
@@ -284,7 +296,9 @@ GpuSim::admitReady()
                 ad.op = std::move(head);
                 ad.stream = static_cast<int>(si);
                 ad.start_s = now_;
-                ad.end_s = now_ + ad.op.delay_s;
+                ad.end_s = ad.op.delay_until
+                               ? std::max(now_, ad.op.delay_s)
+                               : now_ + ad.op.delay_s;
                 delays_.push_back(std::move(ad));
             } else {
                 copy_queue_.emplace_back(std::move(head),

@@ -112,6 +112,16 @@ class GpuSim
      */
     void hostDelay(int stream, double seconds);
 
+    /**
+     * Hold a stream until the given *absolute* simulated time
+     * (cudaStreamWaitEvent-on-a-timer analogue). The op completes at
+     * max(seconds, time the stream reaches it), so a serving
+     * schedule can pin "dispatch at t" release times: work enqueued
+     * behind it never starts early, and a stream still busy past t
+     * simply continues back-to-back. Occupies no GPU resources.
+     */
+    void delayUntil(int stream, double seconds);
+
     /** Run the simulation until every queue is empty. */
     void run();
 
@@ -160,6 +170,7 @@ class GpuSim
         std::string tag;
         EventId event = -1;
         double delay_s = 0.0;
+        bool delay_until = false; //!< delay_s is an absolute time
     };
 
     struct Stream

@@ -29,18 +29,21 @@ category(gpusim::OpKind k)
 }
 
 void
-emitProcessName(std::ostream &os, const std::string &process_name)
+emitProcessName(std::ostream &os, const std::string &process_name,
+                int pid = 1, bool first = true)
 {
-    os << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-          "\"args\":{\"name\":\"" << jsonEscape(process_name)
+    os << (first ? "  " : ",\n  ")
+       << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << jsonEscape(process_name)
        << "\"}}";
 }
 
 void
-emitThreadName(std::ostream &os, int tid, const std::string &label)
+emitThreadName(std::ostream &os, int tid, const std::string &label,
+               int pid = 1)
 {
-    os << ",\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-          "\"tid\":" << tid << ",\"args\":{\"name\":\""
+    os << ",\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+       << pid << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
        << jsonEscape(label) << "\"}}";
 }
 
@@ -48,7 +51,8 @@ emitThreadName(std::ostream &os, int tid, const std::string &label)
 void
 emitStreamNames(std::ostream &os,
                 const std::vector<gpusim::OpRecord> &trace,
-                const std::string &process_name, int tid_base)
+                const std::string &process_name, int tid_base,
+                int pid = 1)
 {
     std::set<int> streams;
     for (const auto &rec : trace)
@@ -57,20 +61,61 @@ emitStreamNames(std::ostream &os,
     for (int s : streams)
         emitThreadName(os, tid_base + s,
                        "stream " + std::to_string(s) + " (" +
-                           process_name + ")");
+                           process_name + ")",
+                       pid);
 }
 
 void
 emitDeviceOp(std::ostream &os, const gpusim::OpRecord &rec,
-             int tid_base)
+             int tid_base, int pid = 1)
 {
     os << ",\n  {\"name\":\"" << jsonEscape(rec.name)
        << "\",\"cat\":\"" << category(rec.kind)
-       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":"
        << (tid_base + rec.stream)
        << ",\"ts\":" << jsonNumber(rec.start_s * 1e6)
        << ",\"dur\":" << jsonNumber(rec.durationSeconds() * 1e6)
        << "}";
+}
+
+/** Host spans as pid `pid`, timestamps rebased to the first span. */
+void
+emitHostSpans(std::ostream &os,
+              const std::vector<obs::SpanRecord> &spans, int pid)
+{
+    int max_thread = -1;
+    for (const auto &s : spans)
+        max_thread = std::max(max_thread, s.thread);
+    for (int t = 0; t <= max_thread; t++)
+        emitThreadName(os, 1 + t,
+                       "host thread " + std::to_string(t), pid);
+
+    std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+    for (const auto &s : spans)
+        t0 = std::min(t0, s.start_ns);
+
+    for (const auto &s : spans) {
+        os << ",\n  {\"name\":\"" << jsonEscape(s.name)
+           << "\",\"cat\":\"host\",\"ph\":\"X\",\"pid\":" << pid
+           << ",\"tid\":" << (1 + s.thread) << ",\"ts\":"
+           << jsonNumber(static_cast<double>(s.start_ns - t0) *
+                         1e-3)
+           << ",\"dur\":"
+           << jsonNumber(static_cast<double>(s.end_ns -
+                                             s.start_ns) *
+                         1e-3);
+        if (!s.args.empty()) {
+            os << ",\"args\":{";
+            for (std::size_t i = 0; i < s.args.size(); i++) {
+                if (i)
+                    os << ",";
+                os << "\"" << jsonEscape(s.args[i].key) << "\":\""
+                   << jsonEscape(s.args[i].value) << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
 }
 
 } // namespace
@@ -111,47 +156,8 @@ writeMergedChromeTrace(std::ostream &os,
 {
     os << "[\n";
     emitProcessName(os, process_name);
-
-    // Host tracks: tid = 1 + tracer thread ordinal.
-    int max_thread = -1;
-    for (const auto &s : spans)
-        max_thread = std::max(max_thread, s.thread);
-    for (int t = 0; t <= max_thread; t++)
-        emitThreadName(os, 1 + t,
-                       "host thread " + std::to_string(t));
-
     emitStreamNames(os, trace, process_name, kDeviceTidBase);
-
-    // Rebase host timestamps so the earliest span starts at 0,
-    // like the device timeline.
-    std::uint64_t t0 =
-        std::numeric_limits<std::uint64_t>::max();
-    for (const auto &s : spans)
-        t0 = std::min(t0, s.start_ns);
-
-    for (const auto &s : spans) {
-        os << ",\n  {\"name\":\"" << jsonEscape(s.name)
-           << "\",\"cat\":\"host\",\"ph\":\"X\",\"pid\":1,"
-              "\"tid\":" << (1 + s.thread) << ",\"ts\":"
-           << jsonNumber(static_cast<double>(s.start_ns - t0) *
-                         1e-3)
-           << ",\"dur\":"
-           << jsonNumber(static_cast<double>(s.end_ns -
-                                             s.start_ns) *
-                         1e-3);
-        if (!s.args.empty()) {
-            os << ",\"args\":{";
-            for (std::size_t i = 0; i < s.args.size(); i++) {
-                if (i)
-                    os << ",";
-                os << "\"" << jsonEscape(s.args[i].key) << "\":\""
-                   << jsonEscape(s.args[i].value) << "\"";
-            }
-            os << "}";
-        }
-        os << "}";
-    }
-
+    emitHostSpans(os, spans, /*pid=*/1);
     for (const auto &rec : trace) {
         if (rec.kind == gpusim::OpKind::kMarker)
             continue;
@@ -170,6 +176,43 @@ saveMergedChromeTrace(const std::string &path,
     if (!f)
         fatal("saveMergedChromeTrace: cannot open '", path, "'");
     writeMergedChromeTrace(f, spans, trace, process_name);
+}
+
+void
+writeMergedChromeTrace(std::ostream &os,
+                       const std::vector<obs::SpanRecord> &spans,
+                       const std::vector<NamedTrace> &devices)
+{
+    os << "[\n";
+    emitProcessName(os, "host");
+    for (std::size_t d = 0; d < devices.size(); d++) {
+        int pid = 2 + static_cast<int>(d);
+        emitProcessName(os, devices[d].name, pid,
+                        /*first=*/false);
+        emitStreamNames(os, *devices[d].trace, devices[d].name,
+                        kDeviceTidBase, pid);
+    }
+    emitHostSpans(os, spans, /*pid=*/1);
+    for (std::size_t d = 0; d < devices.size(); d++) {
+        int pid = 2 + static_cast<int>(d);
+        for (const auto &rec : *devices[d].trace) {
+            if (rec.kind == gpusim::OpKind::kMarker)
+                continue;
+            emitDeviceOp(os, rec, kDeviceTidBase, pid);
+        }
+    }
+    os << "\n]\n";
+}
+
+void
+saveMergedChromeTrace(const std::string &path,
+                      const std::vector<obs::SpanRecord> &spans,
+                      const std::vector<NamedTrace> &devices)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("saveMergedChromeTrace: cannot open '", path, "'");
+    writeMergedChromeTrace(f, spans, devices);
 }
 
 } // namespace edgert::profile

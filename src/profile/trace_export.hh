@@ -61,6 +61,32 @@ void saveMergedChromeTrace(
     const std::vector<gpusim::OpRecord> &trace,
     const std::string &process_name);
 
+/**
+ * One device's timeline in a multi-device merged export. The trace
+ * is referenced, not owned; it must outlive the write call.
+ */
+struct NamedTrace
+{
+    std::string name; //!< process label, e.g. "xavier-nx[0]"
+    const std::vector<gpusim::OpRecord> *trace = nullptr;
+};
+
+/**
+ * Multi-device variant of the merged export (EdgeServe fleets):
+ * host spans render as pid 1, each device timeline as its own
+ * process with per-stream tracks. All device timelines share the
+ * simulated-time origin; host spans are rebased as above.
+ */
+void writeMergedChromeTrace(
+    std::ostream &os, const std::vector<obs::SpanRecord> &spans,
+    const std::vector<NamedTrace> &devices);
+
+/** Write the multi-device merged trace; fatal on I/O error. */
+void saveMergedChromeTrace(
+    const std::string &path,
+    const std::vector<obs::SpanRecord> &spans,
+    const std::vector<NamedTrace> &devices);
+
 } // namespace edgert::profile
 
 #endif // EDGERT_PROFILE_TRACE_EXPORT_HH

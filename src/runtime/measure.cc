@@ -218,7 +218,8 @@ measureThroughput(const core::Engine &engine,
 
 int
 estimateMaxThreads(const core::Engine &engine,
-                   const gpusim::DeviceSpec &device)
+                   const gpusim::DeviceSpec &device,
+                   const ThroughputOptions &probe)
 {
     gpusim::DeviceSpec dev = device.atMaxClock();
 
@@ -233,9 +234,8 @@ estimateMaxThreads(const core::Engine &engine,
         bytes_per_frame += static_cast<double>(out.bytes);
 
     // One thread's frame rate at max clock.
-    ThroughputOptions topt;
+    ThroughputOptions topt = probe;
     topt.threads = 1;
-    topt.frames_per_thread = 12;
     double fps1 = measureThroughput(engine, dev, topt).aggregate_fps;
 
     // Eq. 1: N = eta * (Fmem x Bwid) / Bth. eta captures achievable

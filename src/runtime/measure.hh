@@ -70,12 +70,17 @@ LatencyStats profileLatency(const core::Engine &engine,
                             std::vector<KernelProfile> &kernels,
                             const LatencyOptions &opts = {});
 
-/** Options for the throughput/concurrency protocol. */
+/**
+ * Options for the throughput/concurrency protocol. One knob set
+ * shared by the benches, the Eq. 1 capacity probe and the EdgeServe
+ * instance sizing — the host think-time gap and the warm-window
+ * length live here rather than being hard-coded at call sites.
+ */
 struct ThroughputOptions
 {
     int threads = 1;
-    int frames_per_thread = 40;
-    int warmup_frames = 5;
+    int frames_per_thread = 40; //!< measured (warm-window) frames
+    int warmup_frames = 5;      //!< frames before the stats window
     double host_gap_us = 250.0; //!< per-frame CPU think time
     bool at_max_clock = true;   //!< paper uses MAXN for these runs
 
@@ -85,6 +90,19 @@ struct ThroughputOptions
      * copies into the compute stream.
      */
     bool pipelined = true;
+
+    /**
+     * The short single-stream probe estimateMaxThreads() runs to
+     * find one thread's frame rate (and EdgeServe runs to size its
+     * instance pools): same protocol, fewer frames.
+     */
+    static ThroughputOptions probe()
+    {
+        ThroughputOptions o;
+        o.threads = 1;
+        o.frames_per_thread = 12;
+        return o;
+    }
 };
 
 /** Throughput measurement results. */
@@ -111,9 +129,15 @@ ThroughputResult measureThroughput(const core::Engine &engine,
  * where Fmem x Bwid is the platform's memory bandwidth and Bth the
  * bandwidth one thread demands. Bth is estimated from the engine's
  * per-frame DRAM traffic at the single-thread frame rate.
+ *
+ * @param probe Options for the single-stream frame-rate probe
+ *        (thread count is forced to 1); callers that tune the host
+ *        gap or warm window pass the same struct they measure with.
  */
 int estimateMaxThreads(const core::Engine &engine,
-                       const gpusim::DeviceSpec &device);
+                       const gpusim::DeviceSpec &device,
+                       const ThroughputOptions &probe =
+                           ThroughputOptions::probe());
 
 } // namespace edgert::runtime
 

@@ -1,0 +1,23 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+namespace edgert::serve {
+
+int
+DynamicBatcher::decide(std::size_t queued, double oldest_arrival_s,
+                       double now_s) const
+{
+    if (queued == 0)
+        return 0;
+    int max_batch = std::max(1, policy_.max_batch);
+    if (queued >= static_cast<std::size_t>(max_batch))
+        return max_batch;
+    // Partial batch: dispatch once the oldest request has waited out
+    // the batching timeout, else keep coalescing.
+    if (now_s + 1e-12 >= deadlineFor(oldest_arrival_s))
+        return static_cast<int>(queued);
+    return 0;
+}
+
+} // namespace edgert::serve

@@ -1,0 +1,52 @@
+#ifndef EDGERT_SERVE_BATCHER_HH
+#define EDGERT_SERVE_BATCHER_HH
+
+/**
+ * @file
+ * Dynamic batcher policy for EdgeServe (Triton's dynamic_batching
+ * analogue).
+ *
+ * The batcher coalesces queued requests into one dispatch of up to
+ * `max_batch`, waiting at most `batch_timeout_us` past the oldest
+ * request's arrival for the batch to fill — the bench_batch result
+ * in action: a fuller batch amortizes per-dispatch copy overhead
+ * and fills tail waves, at the price of batching delay. With
+ * max_batch = 1 it degenerates to no-batching FIFO dispatch.
+ */
+
+#include "serve/queue.hh"
+
+namespace edgert::serve {
+
+/** Pure decision logic: when to cut a batch and how big. */
+class DynamicBatcher
+{
+  public:
+    explicit DynamicBatcher(const BatchPolicy &policy)
+        : policy_(policy)
+    {}
+
+    const BatchPolicy &policy() const { return policy_; }
+
+    /**
+     * How many requests to cut into a dispatch right now; 0 means
+     * keep coalescing (only possible before the oldest request's
+     * timeout). Called only when an instance is free to take the
+     * batch.
+     */
+    int decide(std::size_t queued, double oldest_arrival_s,
+               double now_s) const;
+
+    /** Absolute time the oldest request's batch times out. */
+    double deadlineFor(double oldest_arrival_s) const
+    {
+        return oldest_arrival_s + policy_.timeout_us * 1e-6;
+    }
+
+  private:
+    BatchPolicy policy_;
+};
+
+} // namespace edgert::serve
+
+#endif // EDGERT_SERVE_BATCHER_HH

@@ -1,0 +1,57 @@
+#ifndef EDGERT_SERVE_PREDICTOR_HH
+#define EDGERT_SERVE_PREDICTOR_HH
+
+/**
+ * @file
+ * BSP-calibrated service-time predictor for EdgeServe.
+ *
+ * Admission control and batch scheduling need "how long will this
+ * dispatch take" *before* running it. The predictor reuses the
+ * perfmodel workflow (paper §VI-B): calibrate per-kernel lambdas
+ * from one solo profiled run per engine, then predict any engine's
+ * service time as lambda-corrected BSP kernel time plus analytic
+ * I/O-copy and launch-overhead terms. Predictions drive control
+ * decisions only — measured completion times always come from the
+ * GpuSim replay, and the gap between the two is exported as
+ * `serve.predictor.error_pct`.
+ */
+
+#include "core/engine.hh"
+#include "gpusim/device.hh"
+#include "perfmodel/bsp.hh"
+
+namespace edgert::serve {
+
+/** Per-device service-time predictor. */
+class LatencyPredictor
+{
+  public:
+    explicit LatencyPredictor(const gpusim::DeviceSpec &device);
+
+    /**
+     * Run one solo inference of `engine` in a private simulator
+     * (weights resident, no jitter) and fold its per-kernel
+     * durations into the lambda table.
+     */
+    void calibrate(const core::Engine &engine);
+
+    /**
+     * Predicted solo service time in seconds of one dispatch of
+     * `engine`: input copies + lambda-corrected kernel time + launch
+     * overhead + output copies. Kernels never seen in calibration
+     * fall back to lambda = 1.
+     */
+    double predictServiceSeconds(const core::Engine &engine) const;
+
+    const gpusim::DeviceSpec &device() const { return device_; }
+    const perfmodel::BspModel &model() const { return bsp_; }
+
+  private:
+    gpusim::DeviceSpec device_;
+    perfmodel::MicroArchParams params_;
+    perfmodel::BspModel bsp_;
+};
+
+} // namespace edgert::serve
+
+#endif // EDGERT_SERVE_PREDICTOR_HH

@@ -1,0 +1,120 @@
+#ifndef EDGERT_SERVE_SCHEDULER_HH
+#define EDGERT_SERVE_SCHEDULER_HH
+
+/**
+ * @file
+ * Engine-instance pool and placement for EdgeServe.
+ *
+ * Each model is prebuilt at power-of-two batch sizes up to its
+ * max_batch (TensorRT engines are static-shape: a batch of b runs
+ * on the smallest prebuilt engine >= b). An *instance* is one
+ * execution context bound to its own stream on one device — the
+ * pool places the requested instances per device, bounded by
+ * `runtime::contextFootprintBytes` of the largest engine against
+ * the device's RAM budget, and tracks the dispatch plan the control
+ * loop builds for the execution replay.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hh"
+#include "gpusim/device.hh"
+#include "gpusim/sim.hh"
+
+namespace edgert::serve {
+
+/** One model's prebuilt engines on one device, batch ascending. */
+struct EngineSet
+{
+    std::vector<core::Engine> engines;
+    std::vector<int> batches; //!< batch size of engines[i]
+
+    /** Index of the smallest engine fitting `batch` requests. */
+    int indexFor(int batch) const;
+
+    /** Footprint of the largest (most expensive) engine. */
+    std::int64_t maxFootprintBytes() const;
+};
+
+/** One batch dispatch decided by the control loop. */
+struct PlannedDispatch
+{
+    double t_s = 0.0;       //!< release (batch-cut) time
+    int engine_idx = 0;     //!< into the instance's EngineSet
+    int batch = 0;          //!< actual request count (<= engine batch)
+    std::vector<std::int64_t> request_ids;
+    double predicted_service_s = 0.0;
+
+    // Filled during the execution replay.
+    gpusim::EventId begin = -1;
+    gpusim::EventId end = -1;
+};
+
+/** One engine instance: a stream-bound context slot on a device. */
+struct Instance
+{
+    int model = 0;
+    int device = 0;
+    int stream = 0;               //!< on the device's simulator
+    double predicted_free_s = 0.0; //!< control-plane estimate
+    std::vector<PlannedDispatch> plan;
+};
+
+/** RAM-bounded instance placement across the device fleet. */
+class InstancePool
+{
+  public:
+    /**
+     * @param devices      The simulated fleet.
+     * @param ram_fraction Share of each device's RAM available for
+     *        execution contexts (the rest models the OS, CUDA and
+     *        the framework itself).
+     */
+    InstancePool(const std::vector<gpusim::DeviceSpec> &devices,
+                 double ram_fraction);
+
+    /**
+     * Place up to `want` instances of `model` on `device`, each
+     * costing `footprint_bytes`; stops at the RAM budget. Returns
+     * the number actually placed.
+     */
+    int place(int model, int device, std::int64_t footprint_bytes,
+              int want);
+
+    std::vector<Instance> &instances() { return instances_; }
+    const std::vector<Instance> &instances() const
+    {
+        return instances_;
+    }
+
+    /** Pool indices of the instances serving `model`. */
+    const std::vector<int> &instancesOf(int model) const;
+
+    /**
+     * Pool index of the predicted-free instance of `model` with the
+     * earliest predicted_free_s <= now_s (ties to the lowest
+     * index), or -1 when all are predicted busy.
+     */
+    int freeInstance(int model, double now_s) const;
+
+    /** Earliest predicted_free_s over `model`'s instances. */
+    double earliestFree(int model) const;
+
+    /** Bytes of context footprint placed on `device`. */
+    std::int64_t ramUsedBytes(int device) const;
+
+    /** Context RAM budget of `device`. */
+    std::int64_t ramBudgetBytes(int device) const;
+
+  private:
+    std::vector<gpusim::DeviceSpec> devices_;
+    double ram_fraction_;
+    std::vector<Instance> instances_;
+    std::vector<std::vector<int>> by_model_;
+    std::vector<std::int64_t> ram_used_;
+};
+
+} // namespace edgert::serve
+
+#endif // EDGERT_SERVE_SCHEDULER_HH

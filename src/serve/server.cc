@@ -1,0 +1,745 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "core/builder.hh"
+#include "core/timing_cache.hh"
+#include "gpusim/sim.hh"
+#include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "profile/trace_export.hh"
+#include "runtime/context.hh"
+#include "runtime/measure.hh"
+#include "serve/batcher.hh"
+#include "serve/predictor.hh"
+#include "serve/scheduler.hh"
+
+namespace edgert::serve {
+
+gpusim::DeviceSpec
+parseDevice(const std::string &name)
+{
+    if (name == "nx")
+        return gpusim::DeviceSpec::xavierNX();
+    if (name == "agx")
+        return gpusim::DeviceSpec::xavierAGX();
+    fatal("unknown device '", name, "' (expected nx|agx)");
+}
+
+namespace {
+
+/** Power-of-two engine-batch ladder covering [1, max_batch]. */
+std::vector<int>
+batchLadder(int max_batch)
+{
+    std::vector<int> out;
+    int b = 1;
+    while (b < max_batch) {
+        out.push_back(b);
+        b *= 2;
+    }
+    out.push_back(b); // smallest power of two >= max_batch
+    return out;
+}
+
+/** Control-plane discrete event. */
+struct Event
+{
+    enum Kind { kArrival, kTimeout, kPredFree };
+
+    double t = 0.0;
+    std::int64_t seq = 0; //!< push order: total, deterministic tie-break
+    Kind kind = kArrival;
+    int target = 0;       //!< model (arrival/timeout) or instance
+    std::int64_t req = -1;
+};
+
+struct EventAfter
+{
+    bool operator()(const Event &a, const Event &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+/** Per-model obs:: handles (created once, recorded in sim order). */
+struct ModelMetrics
+{
+    obs::Counter offered;
+    obs::Counter shed;
+    obs::Counter completed;
+    obs::Counter violations;
+    obs::Counter batches;
+    obs::Histogram queue_depth;
+    obs::Histogram batch_size;
+    obs::Histogram latency_ms;
+    obs::Histogram predictor_err;
+
+    explicit ModelMetrics(const std::string &model)
+        : offered(obs::MetricRegistry::global().counter(
+              "serve.request.offered", {{"model", model}})),
+          shed(obs::MetricRegistry::global().counter(
+              "serve.request.shed", {{"model", model}})),
+          completed(obs::MetricRegistry::global().counter(
+              "serve.request.completed", {{"model", model}})),
+          violations(obs::MetricRegistry::global().counter(
+              "serve.request.slo_violations", {{"model", model}})),
+          batches(obs::MetricRegistry::global().counter(
+              "serve.batch.dispatched", {{"model", model}})),
+          queue_depth(obs::MetricRegistry::global().histogram(
+              "serve.queue.depth", {{"model", model}})),
+          batch_size(obs::MetricRegistry::global().histogram(
+              "serve.batch.size", {{"model", model}})),
+          latency_ms(obs::MetricRegistry::global().histogram(
+              "serve.request.latency_ms", {{"model", model}})),
+          predictor_err(obs::MetricRegistry::global().histogram(
+              "serve.predictor.error_pct", {{"model", model}}))
+    {}
+};
+
+} // namespace
+
+ServeReport
+runServer(const ServeConfig &cfg)
+{
+    if (cfg.models.empty())
+        fatal("EdgeServe needs at least one --model");
+    if (cfg.devices.empty())
+        fatal("EdgeServe needs at least one device");
+    if (cfg.duration_s <= 0.0)
+        fatal("EdgeServe duration must be positive");
+    {
+        std::set<std::string> names;
+        for (const auto &m : cfg.models)
+            if (!names.insert(m.model).second)
+                fatal("duplicate model '", m.model,
+                      "' (metric labels would collide)");
+    }
+
+    const int n_models = static_cast<int>(cfg.models.size());
+    const int n_devices = static_cast<int>(cfg.devices.size());
+
+    // Effective per-model batch policies: the no-batching baseline
+    // forces FIFO single-request dispatch.
+    std::vector<BatchPolicy> policies;
+    for (const auto &mc : cfg.models) {
+        BatchPolicy p = mc.batching;
+        if (!cfg.dynamic_batching) {
+            p.max_batch = 1;
+            p.timeout_us = 0.0;
+        }
+        policies.push_back(p);
+    }
+
+    // ------------------------------------------------------------
+    // Build: per (model, device, ladder batch) engines, one shared
+    // timing cache (same-signature nodes measure once).
+    // ------------------------------------------------------------
+    core::TimingCache timing_cache;
+    std::vector<std::vector<EngineSet>> engine_sets(
+        static_cast<std::size_t>(n_models));
+    {
+        EDGERT_SPAN("serve_build",
+                    {{"models", std::to_string(n_models)},
+                     {"devices", std::to_string(n_devices)}});
+        for (int m = 0; m < n_models; m++) {
+            const auto &mc = cfg.models[static_cast<std::size_t>(m)];
+            auto ladder =
+                batchLadder(policies[static_cast<std::size_t>(m)]
+                                .max_batch);
+            for (int d = 0; d < n_devices; d++) {
+                core::BuilderConfig bcfg;
+                bcfg.build_id = cfg.build_id;
+                bcfg.jobs = cfg.build_jobs;
+                bcfg.timing_cache = &timing_cache;
+                core::Builder builder(
+                    cfg.devices[static_cast<std::size_t>(d)], bcfg);
+                EngineSet set;
+                for (int b : ladder) {
+                    set.engines.push_back(builder.build(
+                        nn::buildZooModel(mc.model, b)));
+                    set.batches.push_back(b);
+                }
+                engine_sets[static_cast<std::size_t>(m)].push_back(
+                    std::move(set));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Calibrate one predictor per (device, engine) and precompute
+    // the per-engine service predictions for the control plane.
+    // Lambdas are deliberately *not* shared across the batch
+    // ladder: a shared table leaves each engine with a small
+    // systematic bias, and at saturation that bias accumulates in
+    // the instances' predicted-free times until admission control
+    // is reasoning about a timeline minutes adrift of the replay.
+    // ------------------------------------------------------------
+    // svc[m][d][e] = predicted solo service seconds.
+    std::vector<std::vector<std::vector<double>>> svc(
+        static_cast<std::size_t>(n_models));
+    {
+        EDGERT_SPAN("serve_calibrate", {});
+        for (int m = 0; m < n_models; m++) {
+            svc[static_cast<std::size_t>(m)].resize(
+                static_cast<std::size_t>(n_devices));
+            for (int d = 0; d < n_devices; d++)
+                for (const auto &eng :
+                     engine_sets[static_cast<std::size_t>(m)]
+                                [static_cast<std::size_t>(d)]
+                                    .engines) {
+                    LatencyPredictor pred(
+                        cfg.devices[static_cast<std::size_t>(d)]);
+                    pred.calibrate(eng);
+                    svc[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(d)]
+                           .push_back(
+                               pred.predictServiceSeconds(eng));
+                }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Placement: RAM-bounded instances per device, additionally
+    // capped by the paper's Eq. 1 concurrency bound (estimated with
+    // the shared ThroughputOptions::probe() knob set).
+    // ------------------------------------------------------------
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    InstancePool pool(cfg.devices, cfg.ram_fraction);
+    for (int m = 0; m < n_models; m++) {
+        const auto &mc = cfg.models[static_cast<std::size_t>(m)];
+        int placed_total = 0;
+        for (int d = 0; d < n_devices; d++) {
+            const auto &spec =
+                cfg.devices[static_cast<std::size_t>(d)];
+            const auto &set =
+                engine_sets[static_cast<std::size_t>(m)]
+                           [static_cast<std::size_t>(d)];
+            int eq1 = runtime::estimateMaxThreads(
+                set.engines.front(), spec,
+                runtime::ThroughputOptions::probe());
+            reg.gauge("serve.device.eq1_threads",
+                      {{"device", spec.name},
+                       {"index", std::to_string(d)},
+                       {"model", mc.model}})
+                .set(static_cast<double>(eq1));
+            int want = std::min(mc.instances_per_device,
+                                std::max(1, eq1));
+            placed_total += pool.place(
+                m, d, set.maxFootprintBytes(), want);
+        }
+        if (placed_total == 0)
+            fatal("model '", mc.model,
+                  "' fits on no device (context footprint exceeds "
+                  "every RAM budget)");
+    }
+
+    // Per-device simulators and per-instance streams.
+    std::vector<std::unique_ptr<gpusim::GpuSim>> sims;
+    for (int d = 0; d < n_devices; d++)
+        sims.push_back(std::make_unique<gpusim::GpuSim>(
+            cfg.devices[static_cast<std::size_t>(d)]));
+    {
+        std::vector<int> streams_made(
+            static_cast<std::size_t>(n_devices), 0);
+        for (auto &inst : pool.instances()) {
+            auto &made =
+                streams_made[static_cast<std::size_t>(inst.device)];
+            inst.stream =
+                made == 0
+                    ? 0
+                    : sims[static_cast<std::size_t>(inst.device)]
+                          ->createStream();
+            made++;
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Workload: per-model arrival streams from forked Rng streams,
+    // merged into one id-ordered request table.
+    // ------------------------------------------------------------
+    std::vector<Request> requests;
+    {
+        Rng root(cfg.seed);
+        Rng workload_rng = root.fork("workload");
+        std::vector<std::pair<double, int>> merged;
+        for (int m = 0; m < n_models; m++) {
+            Rng rng = workload_rng.fork(
+                static_cast<std::uint64_t>(m));
+            for (double t : generateArrivals(
+                     cfg.models[static_cast<std::size_t>(m)]
+                         .arrivals,
+                     cfg.duration_s, rng))
+                merged.emplace_back(t, m);
+        }
+        std::sort(merged.begin(), merged.end());
+        requests.reserve(merged.size());
+        for (const auto &[t, m] : merged) {
+            Request r;
+            r.id = static_cast<std::int64_t>(requests.size());
+            r.model = m;
+            r.arrival_s = t;
+            r.slo_ms =
+                cfg.models[static_cast<std::size_t>(m)].slo_ms;
+            requests.push_back(r);
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Phase 1 — control loop over (arrival, timeout, predicted-
+    // free) events. Decisions use predicted service times only; the
+    // output is each instance's dispatch plan.
+    // ------------------------------------------------------------
+    std::vector<ModelMetrics> mm;
+    for (const auto &mc : cfg.models)
+        mm.emplace_back(mc.model);
+
+    std::vector<RequestQueue> queues(
+        static_cast<std::size_t>(n_models));
+    std::vector<DynamicBatcher> batchers;
+    for (int m = 0; m < n_models; m++)
+        batchers.emplace_back(
+            policies[static_cast<std::size_t>(m)]);
+    std::vector<std::int64_t> timeout_armed(
+        static_cast<std::size_t>(n_models), -1);
+
+    std::priority_queue<Event, std::vector<Event>, EventAfter> evq;
+    std::int64_t seq = 0;
+    for (const auto &r : requests) {
+        Event e;
+        e.t = r.arrival_s;
+        e.seq = seq++;
+        e.kind = Event::kArrival;
+        e.target = r.model;
+        e.req = r.id;
+        evq.push(e);
+    }
+
+    auto backendView = [&](int m) {
+        BackendView view;
+        // The ladder is identical across devices; take device 0's.
+        view.ladder =
+            engine_sets[static_cast<std::size_t>(m)][0].batches;
+        for (int idx : pool.instancesOf(m)) {
+            const Instance &inst =
+                pool.instances()[static_cast<std::size_t>(idx)];
+            BackendView::InstanceView iv;
+            iv.free_s = inst.predicted_free_s;
+            iv.service_s =
+                svc[static_cast<std::size_t>(m)]
+                   [static_cast<std::size_t>(inst.device)];
+            view.instances.push_back(std::move(iv));
+        }
+        return view;
+    };
+
+    auto tryDispatch = [&](int m, double t) {
+        auto &q = queues[static_cast<std::size_t>(m)];
+        const auto &batcher =
+            batchers[static_cast<std::size_t>(m)];
+        while (!q.empty()) {
+            int inst_idx = pool.freeInstance(m, t);
+            if (inst_idx < 0)
+                break;
+            int cut = batcher.decide(
+                q.size(), q.oldestArrivalSeconds(), t);
+            if (cut == 0)
+                break;
+            Instance &inst =
+                pool.instances()[static_cast<std::size_t>(
+                    inst_idx)];
+            int eidx = engine_sets[static_cast<std::size_t>(m)]
+                                  [static_cast<std::size_t>(
+                                       inst.device)]
+                                      .indexFor(cut);
+            double svc_s =
+                svc[static_cast<std::size_t>(m)]
+                   [static_cast<std::size_t>(inst.device)]
+                   [static_cast<std::size_t>(eidx)];
+            PlannedDispatch pd;
+            pd.t_s = t;
+            pd.engine_idx = eidx;
+            pd.batch = cut;
+            pd.request_ids = q.cut(cut);
+            pd.predicted_service_s = svc_s;
+            for (std::int64_t id : pd.request_ids) {
+                Request &r =
+                    requests[static_cast<std::size_t>(id)];
+                r.dispatch_s = t;
+                r.batch = cut;
+                r.device = inst.device;
+                r.instance = inst_idx;
+            }
+            inst.plan.push_back(std::move(pd));
+            inst.predicted_free_s = t + svc_s;
+            Event e;
+            e.t = inst.predicted_free_s;
+            e.seq = seq++;
+            e.kind = Event::kPredFree;
+            e.target = inst_idx;
+            evq.push(e);
+            mm[static_cast<std::size_t>(m)].batches.add();
+            mm[static_cast<std::size_t>(m)].batch_size.record(cut);
+        }
+        // Arm (or re-arm after a front change) the batch timeout.
+        if (!q.empty() &&
+            q.frontId() !=
+                timeout_armed[static_cast<std::size_t>(m)]) {
+            timeout_armed[static_cast<std::size_t>(m)] =
+                q.frontId();
+            Event e;
+            e.t = batcher.deadlineFor(q.oldestArrivalSeconds());
+            e.seq = seq++;
+            e.kind = Event::kTimeout;
+            e.target = m;
+            evq.push(e);
+        }
+    };
+
+    {
+        EDGERT_SPAN("serve_control",
+                    {{"requests",
+                      std::to_string(requests.size())}});
+        while (!evq.empty()) {
+            Event e = evq.top();
+            evq.pop();
+            switch (e.kind) {
+              case Event::kArrival: {
+                  Request &r =
+                      requests[static_cast<std::size_t>(e.req)];
+                  int m = r.model;
+                  auto &q = queues[static_cast<std::size_t>(m)];
+                  q.observeArrival(e.t);
+                  mm[static_cast<std::size_t>(m)].offered.add();
+                  if (cfg.admission_control) {
+                      double est_s = predictSojournSeconds(
+                          backendView(m),
+                          policies[static_cast<std::size_t>(m)],
+                          static_cast<int>(q.size()), e.t,
+                          q.rateHz());
+                      if (est_s * 1e3 > r.slo_ms) {
+                          r.outcome = Outcome::kShed;
+                          mm[static_cast<std::size_t>(m)]
+                              .shed.add();
+                          break;
+                      }
+                  }
+                  q.push(r.id, e.t);
+                  mm[static_cast<std::size_t>(m)]
+                      .queue_depth.record(
+                          static_cast<double>(q.size()));
+                  tryDispatch(m, e.t);
+                  break;
+              }
+              case Event::kTimeout:
+                  tryDispatch(e.target, e.t);
+                  break;
+              case Event::kPredFree:
+                  tryDispatch(
+                      pool.instances()[static_cast<std::size_t>(
+                                           e.target)]
+                          .model,
+                      e.t);
+                  break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Phase 2 — execution replay: every dispatch released at its
+    // planned time via delayUntil(), one run() per device. Measured
+    // completions, not predictions, feed all reported statistics.
+    // ------------------------------------------------------------
+    {
+        // Context cache: [instance][engine_idx].
+        std::vector<std::vector<
+            std::unique_ptr<runtime::ExecutionContext>>>
+            ctxs(pool.instances().size());
+        for (std::size_t i = 0; i < pool.instances().size(); i++)
+            ctxs[i].resize(
+                engine_sets[static_cast<std::size_t>(
+                    pool.instances()[i].model)][0]
+                    .engines.size());
+        for (std::size_t i = 0; i < pool.instances().size(); i++) {
+            Instance &inst = pool.instances()[i];
+            auto &sim =
+                *sims[static_cast<std::size_t>(inst.device)];
+            for (auto &pd : inst.plan) {
+                sim.delayUntil(inst.stream, pd.t_s);
+                auto &ctx = ctxs[i][static_cast<std::size_t>(
+                    pd.engine_idx)];
+                if (!ctx)
+                    ctx = std::make_unique<
+                        runtime::ExecutionContext>(
+                        engine_sets
+                            [static_cast<std::size_t>(inst.model)]
+                            [static_cast<std::size_t>(
+                                inst.device)]
+                                .engines[static_cast<std::size_t>(
+                                    pd.engine_idx)],
+                        sim, inst.stream);
+                auto h = ctx->enqueueInference(true, true);
+                pd.begin = h.begin;
+                pd.end = h.end;
+            }
+        }
+        for (int d = 0; d < n_devices; d++) {
+            EDGERT_SPAN(
+                "serve_replay",
+                {{"device",
+                  cfg.devices[static_cast<std::size_t>(d)].name},
+                 {"index", std::to_string(d)}});
+            sims[static_cast<std::size_t>(d)]->run();
+        }
+    }
+
+    // Fold measured completions back into the request table and the
+    // predictor-error metric (instance order, then plan order —
+    // deterministic).
+    for (const Instance &inst : pool.instances()) {
+        const auto &sim =
+            *sims[static_cast<std::size_t>(inst.device)];
+        for (const auto &pd : inst.plan) {
+            double start = sim.eventSeconds(pd.begin);
+            double end = sim.eventSeconds(pd.end);
+            double actual_s = std::max(end - start, 1e-12);
+            double err_pct =
+                std::fabs(pd.predicted_service_s - actual_s) /
+                actual_s * 100.0;
+            mm[static_cast<std::size_t>(inst.model)]
+                .predictor_err.record(err_pct);
+            for (std::int64_t id : pd.request_ids) {
+                Request &r =
+                    requests[static_cast<std::size_t>(id)];
+                r.outcome = Outcome::kCompleted;
+                r.done_s = end;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Report assembly (request-id order keeps every metric write
+    // deterministic).
+    // ------------------------------------------------------------
+    ServeReport report;
+    report.seed = cfg.seed;
+    report.duration_s = cfg.duration_s;
+    report.admission_control = cfg.admission_control;
+    report.dynamic_batching = cfg.dynamic_batching;
+
+    std::vector<std::vector<double>> lat(
+        static_cast<std::size_t>(n_models));
+    std::vector<std::int64_t> within_slo(
+        static_cast<std::size_t>(n_models), 0);
+    for (const Request &r : requests) {
+        if (r.outcome != Outcome::kCompleted)
+            continue;
+        auto m = static_cast<std::size_t>(r.model);
+        lat[m].push_back(r.latencyMs());
+        mm[m].latency_ms.record(r.latencyMs());
+        mm[m].completed.add();
+        if (r.sloMet())
+            within_slo[m]++;
+        else
+            mm[m].violations.add();
+    }
+
+    for (int m = 0; m < n_models; m++) {
+        auto mi = static_cast<std::size_t>(m);
+        const auto &mc = cfg.models[mi];
+        ModelStats s;
+        s.model = mc.model;
+        s.slo_ms = mc.slo_ms;
+        s.instances = static_cast<int>(pool.instancesOf(m).size());
+        std::int64_t dispatched = 0;
+        std::int64_t batches = 0;
+        for (int idx : pool.instancesOf(m)) {
+            for (const auto &pd :
+                 pool.instances()[static_cast<std::size_t>(idx)]
+                     .plan) {
+                dispatched += pd.batch;
+                batches++;
+            }
+        }
+        for (const Request &r : requests) {
+            if (r.model != m)
+                continue;
+            s.offered++;
+            if (r.outcome == Outcome::kShed)
+                s.shed++;
+        }
+        s.completed = static_cast<std::int64_t>(lat[mi].size());
+        s.slo_violations = s.completed - within_slo[mi];
+        s.batches = batches;
+        s.offered_qps =
+            static_cast<double>(s.offered) / cfg.duration_s;
+        s.goodput_qps = static_cast<double>(within_slo[mi]) /
+                        cfg.duration_s;
+        s.mean_batch =
+            batches > 0 ? static_cast<double>(dispatched) /
+                              static_cast<double>(batches)
+                        : 0.0;
+        if (!lat[mi].empty()) {
+            s.mean_ms = mean(lat[mi]);
+            s.p50_ms = percentile(lat[mi], 50.0);
+            s.p95_ms = percentile(lat[mi], 95.0);
+            s.p99_ms = percentile(lat[mi], 99.0);
+            s.max_ms =
+                *std::max_element(lat[mi].begin(), lat[mi].end());
+        }
+        // Mean absolute predictor error over this model's batches.
+        {
+            double sum = 0.0;
+            std::int64_t n = 0;
+            for (int idx : pool.instancesOf(m)) {
+                const Instance &inst =
+                    pool.instances()[static_cast<std::size_t>(
+                        idx)];
+                const auto &sim = *sims[static_cast<std::size_t>(
+                    inst.device)];
+                for (const auto &pd : inst.plan) {
+                    double actual =
+                        std::max(sim.eventSeconds(pd.end) -
+                                     sim.eventSeconds(pd.begin),
+                                 1e-12);
+                    sum += std::fabs(pd.predicted_service_s -
+                                     actual) /
+                           actual * 100.0;
+                    n++;
+                }
+            }
+            s.predictor_mae_pct =
+                n > 0 ? sum / static_cast<double>(n) : 0.0;
+        }
+        report.models.push_back(std::move(s));
+    }
+
+    for (int d = 0; d < n_devices; d++) {
+        auto di = static_cast<std::size_t>(d);
+        const auto &spec = cfg.devices[di];
+        DeviceStats s;
+        s.device = spec.name;
+        for (const auto &inst : pool.instances())
+            if (inst.device == d)
+                s.instances++;
+        auto st = sims[di]->stats();
+        s.sm_util_pct = st.smUtilizationPct(spec.sm_count);
+        s.copy_busy_pct =
+            st.window_s > 0.0
+                ? 100.0 * st.copy_busy_s / st.window_s
+                : 0.0;
+        s.makespan_s = sims[di]->nowSeconds();
+        s.ram_used_bytes = pool.ramUsedBytes(d);
+        s.ram_budget_bytes = pool.ramBudgetBytes(d);
+
+        const obs::Labels labels = {{"device", spec.name},
+                                    {"index", std::to_string(d)}};
+        reg.gauge("serve.device.sm_util_pct", labels)
+            .set(s.sm_util_pct);
+        reg.gauge("serve.device.copy_busy_pct", labels)
+            .set(s.copy_busy_pct);
+        reg.gauge("serve.device.instances", labels)
+            .set(static_cast<double>(s.instances));
+        reg.gauge("serve.device.ram_used_bytes", labels)
+            .set(static_cast<double>(s.ram_used_bytes));
+        report.devices.push_back(std::move(s));
+    }
+
+    if (!cfg.trace_out.empty()) {
+        std::vector<profile::NamedTrace> device_traces;
+        for (int d = 0; d < n_devices; d++)
+            device_traces.push_back(
+                {cfg.devices[static_cast<std::size_t>(d)].name +
+                     "[" + std::to_string(d) + "]",
+                 &sims[static_cast<std::size_t>(d)]->trace()});
+        profile::saveMergedChromeTrace(
+            cfg.trace_out, obs::Tracer::global().spans(),
+            device_traces);
+    }
+
+    return report;
+}
+
+std::string
+ServeReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"duration_s\": " << jsonNumber(duration_s) << ",\n";
+    os << "  \"admission_control\": "
+       << (admission_control ? "true" : "false") << ",\n";
+    os << "  \"dynamic_batching\": "
+       << (dynamic_batching ? "true" : "false") << ",\n";
+    os << "  \"models\": [\n";
+    for (std::size_t i = 0; i < models.size(); i++) {
+        const ModelStats &s = models[i];
+        os << "    {\n";
+        os << "      \"model\": \"" << jsonEscape(s.model)
+           << "\",\n";
+        os << "      \"slo_ms\": " << jsonNumber(s.slo_ms)
+           << ",\n";
+        os << "      \"instances\": " << s.instances << ",\n";
+        os << "      \"offered\": " << s.offered << ",\n";
+        os << "      \"offered_qps\": "
+           << jsonNumber(s.offered_qps) << ",\n";
+        os << "      \"shed\": " << s.shed << ",\n";
+        os << "      \"completed\": " << s.completed << ",\n";
+        os << "      \"slo_violations\": " << s.slo_violations
+           << ",\n";
+        os << "      \"batches\": " << s.batches << ",\n";
+        os << "      \"mean_batch\": " << jsonNumber(s.mean_batch)
+           << ",\n";
+        os << "      \"goodput_qps\": "
+           << jsonNumber(s.goodput_qps) << ",\n";
+        os << "      \"latency_ms\": {\n";
+        os << "        \"mean\": " << jsonNumber(s.mean_ms)
+           << ",\n";
+        os << "        \"p50\": " << jsonNumber(s.p50_ms) << ",\n";
+        os << "        \"p95\": " << jsonNumber(s.p95_ms) << ",\n";
+        os << "        \"p99\": " << jsonNumber(s.p99_ms) << ",\n";
+        os << "        \"max\": " << jsonNumber(s.max_ms) << "\n";
+        os << "      },\n";
+        os << "      \"predictor_mae_pct\": "
+           << jsonNumber(s.predictor_mae_pct) << "\n";
+        os << "    }" << (i + 1 < models.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"devices\": [\n";
+    for (std::size_t i = 0; i < devices.size(); i++) {
+        const DeviceStats &s = devices[i];
+        os << "    {\n";
+        os << "      \"device\": \"" << jsonEscape(s.device)
+           << "\",\n";
+        os << "      \"instances\": " << s.instances << ",\n";
+        os << "      \"sm_util_pct\": "
+           << jsonNumber(s.sm_util_pct) << ",\n";
+        os << "      \"copy_busy_pct\": "
+           << jsonNumber(s.copy_busy_pct) << ",\n";
+        os << "      \"makespan_s\": " << jsonNumber(s.makespan_s)
+           << ",\n";
+        os << "      \"ram_used_bytes\": " << s.ram_used_bytes
+           << ",\n";
+        os << "      \"ram_budget_bytes\": " << s.ram_budget_bytes
+           << "\n";
+        os << "    }" << (i + 1 < devices.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace edgert::serve

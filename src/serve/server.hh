@@ -1,0 +1,135 @@
+#ifndef EDGERT_SERVE_SERVER_HH
+#define EDGERT_SERVE_SERVER_HH
+
+/**
+ * @file
+ * EdgeServe: a Triton-style inference server over the simulated
+ * edge devices.
+ *
+ * A run is two deterministic phases over the same dispatch plan:
+ *
+ *  1. Control: a discrete-event loop over arrivals, batch timeouts
+ *     and predicted instance completions. Admission control and the
+ *     dynamic batcher act on BSP-*predicted* service times (a real
+ *     server also decides on estimates — it cannot observe a
+ *     dispatch's duration before issuing it), producing a dispatch
+ *     plan: (instance, release time, engine, request ids).
+ *  2. Replay: each device's plan executes in its GpuSim with
+ *     delayUntil() pinning every dispatch's release time, one run()
+ *     per device. Completion times — and therefore all reported
+ *     latencies, SLO verdicts and utilizations — come from the
+ *     simulator with full cross-stream contention, not from the
+ *     predictions.
+ *
+ * Everything is a pure function of (config, seed): arrivals flow
+ * from common::Rng, both phases run on simulated clocks, and no
+ * wall-clock is ever read.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hh"
+#include "serve/queue.hh"
+#include "serve/request.hh"
+#include "serve/workload.hh"
+
+namespace edgert::serve {
+
+/** One served model and its traffic contract. */
+struct ModelConfig
+{
+    std::string model;       //!< nn::buildZooModel name
+    double slo_ms = 50.0;    //!< end-to-end deadline
+    ArrivalConfig arrivals;  //!< offered-load process
+    BatchPolicy batching;    //!< dynamic-batcher knobs
+    int instances_per_device = 1;
+};
+
+/** Whole-server configuration. */
+struct ServeConfig
+{
+    std::vector<ModelConfig> models;
+    std::vector<gpusim::DeviceSpec> devices;
+    double duration_s = 10.0;
+    std::uint64_t seed = 1;
+    bool admission_control = true;
+
+    /** false forces max_batch = 1 (no-batching baseline policy). */
+    bool dynamic_batching = true;
+
+    /** Share of device RAM available for execution contexts. */
+    double ram_fraction = 0.5;
+
+    /** Engine-build knobs (jobs = 1 keeps runs byte-reproducible). */
+    std::uint64_t build_id = 1;
+    int build_jobs = 1;
+
+    /**
+     * When non-empty, write a merged chrome://tracing timeline
+     * (host serve spans + one process per device) here after the
+     * replay.
+     */
+    std::string trace_out;
+};
+
+/** Per-model serving outcome. */
+struct ModelStats
+{
+    std::string model;
+    double slo_ms = 0.0;
+    double offered_qps = 0.0; //!< measured offered rate
+
+    std::int64_t offered = 0;
+    std::int64_t shed = 0;
+    std::int64_t completed = 0;
+    std::int64_t slo_violations = 0;
+    std::int64_t batches = 0;
+
+    double goodput_qps = 0.0; //!< completions within SLO per second
+    double mean_batch = 0.0;
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    double predictor_mae_pct = 0.0; //!< mean |pred-meas|/meas x 100
+    int instances = 0;
+};
+
+/** Per-device serving outcome. */
+struct DeviceStats
+{
+    std::string device;
+    int instances = 0;
+    double sm_util_pct = 0.0;   //!< tegrastats GR3D analogue
+    double copy_busy_pct = 0.0;
+    double makespan_s = 0.0;    //!< drain time of the replay
+    std::int64_t ram_used_bytes = 0;
+    std::int64_t ram_budget_bytes = 0;
+};
+
+/** Full report of one EdgeServe run. */
+struct ServeReport
+{
+    std::uint64_t seed = 0;
+    double duration_s = 0.0;
+    bool admission_control = false;
+    bool dynamic_batching = false;
+    std::vector<ModelStats> models;
+    std::vector<DeviceStats> devices;
+
+    /** Canonical JSON (deterministic field order and numbers). */
+    std::string toJson() const;
+};
+
+/** Parse a device list entry: "nx" | "agx". */
+gpusim::DeviceSpec parseDevice(const std::string &name);
+
+/** Run the server; deterministic for a fixed config. */
+ServeReport runServer(const ServeConfig &cfg);
+
+} // namespace edgert::serve
+
+#endif // EDGERT_SERVE_SERVER_HH

@@ -1,0 +1,140 @@
+#include "serve/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgert::serve {
+
+ArrivalKind
+parseArrivalKind(const std::string &s)
+{
+    if (s == "poisson")
+        return ArrivalKind::kPoisson;
+    if (s == "bursty")
+        return ArrivalKind::kBursty;
+    if (s == "replay")
+        return ArrivalKind::kReplay;
+    fatal("unknown arrival process '", s,
+          "' (expected poisson|bursty|replay)");
+}
+
+std::string
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::kPoisson:
+        return "poisson";
+      case ArrivalKind::kBursty:
+        return "bursty";
+      case ArrivalKind::kReplay:
+        return "replay";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Exponential inter-arrival gap at the given rate. */
+double
+expGap(double rate_hz, Rng &rng)
+{
+    // uniform() is in [0, 1); 1-u is in (0, 1], so the log is finite.
+    return -std::log(1.0 - rng.uniform()) / rate_hz;
+}
+
+std::vector<double>
+poissonArrivals(double qps, double duration_s, Rng &rng)
+{
+    std::vector<double> out;
+    if (qps <= 0.0)
+        return out;
+    double t = expGap(qps, rng);
+    while (t < duration_s) {
+        out.push_back(t);
+        t += expGap(qps, rng);
+    }
+    return out;
+}
+
+std::vector<double>
+burstyArrivals(const ArrivalConfig &cfg, double duration_s, Rng &rng)
+{
+    std::vector<double> out;
+    if (cfg.qps <= 0.0 || cfg.period_s <= 0.0)
+        return out;
+    double duty = std::min(std::max(cfg.duty, 1e-6), 1.0);
+    double rate_on = cfg.qps * cfg.burst_factor;
+    // Off-window rate chosen so the long-run mean is exactly qps;
+    // clamped at zero when the burst alone carries more than the
+    // mean (then the off window is silent).
+    double rate_off =
+        duty >= 1.0
+            ? rate_on
+            : std::max(0.0, cfg.qps * (1.0 - cfg.burst_factor * duty) /
+                                (1.0 - duty));
+
+    // Walk segment boundaries; the exponential's memorylessness lets
+    // us redraw the gap at each rate change.
+    double t = 0.0;
+    while (t < duration_s) {
+        double phase = std::fmod(t, cfg.period_s);
+        bool on = phase < duty * cfg.period_s;
+        double seg_end =
+            t - phase + (on ? duty * cfg.period_s : cfg.period_s);
+        double rate = on ? rate_on : rate_off;
+        if (rate <= 0.0) {
+            t = seg_end;
+            continue;
+        }
+        double next = t + expGap(rate, rng);
+        if (next >= seg_end) {
+            t = seg_end;
+            continue;
+        }
+        if (next >= duration_s)
+            break;
+        out.push_back(next);
+        t = next;
+    }
+    return out;
+}
+
+std::vector<double>
+replayArrivals(const ArrivalConfig &cfg, double duration_s)
+{
+    std::vector<double> out;
+    if (cfg.replay_gaps_s.empty())
+        fatal("replay arrival process needs a non-empty gap trace");
+    double t = 0.0;
+    std::size_t i = 0;
+    while (true) {
+        double gap = cfg.replay_gaps_s[i % cfg.replay_gaps_s.size()];
+        if (gap <= 0.0)
+            fatal("replay gap trace must be strictly positive");
+        t += gap;
+        if (t >= duration_s)
+            break;
+        out.push_back(t);
+        i++;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<double>
+generateArrivals(const ArrivalConfig &cfg, double duration_s, Rng &rng)
+{
+    switch (cfg.kind) {
+      case ArrivalKind::kPoisson:
+        return poissonArrivals(cfg.qps, duration_s, rng);
+      case ArrivalKind::kBursty:
+        return burstyArrivals(cfg, duration_s, rng);
+      case ArrivalKind::kReplay:
+        return replayArrivals(cfg, duration_s);
+    }
+    return {};
+}
+
+} // namespace edgert::serve

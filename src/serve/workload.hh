@@ -1,0 +1,69 @@
+#ifndef EDGERT_SERVE_WORKLOAD_HH
+#define EDGERT_SERVE_WORKLOAD_HH
+
+/**
+ * @file
+ * Seeded open-loop load generator for EdgeServe.
+ *
+ * Arrival processes are generated up front from a `common::Rng`
+ * stream — the server replays them on its simulated clock, so a run
+ * is a pure function of (config, seed) and never reads wall-clock
+ * time. Three processes cover the paper's §VI-A serving sketches:
+ *
+ *  - poisson: memoryless arrivals at a fixed rate (steady camera
+ *    traffic).
+ *  - bursty:  an on/off modulated Poisson process (traffic-light
+ *    cycles — a burst window at `burst_factor` x the mean rate, the
+ *    remainder of each period at the complementary low rate).
+ *  - replay:  deterministic replay of a recorded inter-arrival-gap
+ *    trace, cycled for the whole duration.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace edgert::serve {
+
+/** Supported arrival processes. */
+enum class ArrivalKind { kPoisson, kBursty, kReplay };
+
+/** Parse "poisson" / "bursty" / "replay" (fatal on anything else). */
+ArrivalKind parseArrivalKind(const std::string &s);
+
+/** Printable name of an arrival kind. */
+std::string arrivalKindName(ArrivalKind kind);
+
+/** Configuration of one model's arrival process. */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::kPoisson;
+    double qps = 100.0; //!< mean offered rate (poisson / bursty)
+
+    // Bursty-only knobs: each `period_s` cycle spends `duty` of its
+    // length in a burst at `burst_factor * qps`; the off-window rate
+    // is chosen so the long-run mean stays `qps`.
+    double period_s = 1.0;
+    double duty = 0.25;
+    double burst_factor = 3.0;
+
+    // Replay-only: inter-arrival gaps in seconds, cycled. The mean
+    // rate is the trace's own; `qps` is ignored.
+    std::vector<double> replay_gaps_s;
+};
+
+/**
+ * Generate the arrival times (simulated seconds, strictly
+ * increasing, all < duration_s) of one model's request stream.
+ *
+ * @param rng Forked per model by the caller; consumed sequentially
+ *            so the stream is independent of other models' streams.
+ */
+std::vector<double> generateArrivals(const ArrivalConfig &cfg,
+                                     double duration_s, Rng &rng);
+
+} // namespace edgert::serve
+
+#endif // EDGERT_SERVE_WORKLOAD_HH

@@ -208,6 +208,73 @@ TEST(Context, FootprintIncludesWeightsAndArena)
     EXPECT_LT(fp, 2LL << 30);
 }
 
+TEST(Context, FootprintMonotoneInEngineSize)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    // Growing the batch grows the I/O bindings and activation
+    // arena; growing the network grows the weights. Either way the
+    // per-context footprint must grow with the engine.
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    core::Builder builder(nx, cfg);
+    std::int64_t prev = 0;
+    for (std::int64_t b : {1, 4, 16}) {
+        core::Engine e =
+            builder.build(nn::buildZooModel("alexnet", b));
+        std::int64_t fp = contextFootprintBytes(e);
+        EXPECT_GT(fp, prev);
+        prev = fp;
+    }
+    std::int64_t small =
+        contextFootprintBytes(buildEngine("resnet-18", nx));
+    std::int64_t big =
+        contextFootprintBytes(buildEngine("vgg-16", nx));
+    EXPECT_GT(big, small);
+}
+
+TEST(Context, FootprintBoundsConcurrencyHarnessWithinRam)
+{
+    // The Eq. 1 thread estimate is what the concurrency harness
+    // (and EdgeServe placement) runs with; that many contexts must
+    // fit in device RAM or the bound would be unusable.
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("tiny-yolov3", nx);
+    int n = estimateMaxThreads(e, nx);
+    ASSERT_GT(n, 0);
+    std::int64_t ram =
+        static_cast<std::int64_t>(nx.ram_gb * (1LL << 30));
+    EXPECT_LE(n * contextFootprintBytes(e), ram);
+}
+
+TEST(Context, PipelinedEnqueueOverlapsCopyAndComputeStreams)
+{
+    // At the DES level a pipelined enqueue must put its copies on a
+    // dedicated stream whose transfers run concurrently with the
+    // compute stream's kernels (double buffering), not serialize
+    // ahead of them.
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    core::Engine e = buildEngine("resnet-18", nx);
+    gpusim::GpuSim sim(nx);
+    ExecutionContext ctx(e, sim, 0);
+    ctx.enqueuePipelinedInference();
+    sim.run();
+
+    bool overlapped = false;
+    for (const auto &copy : sim.trace()) {
+        if (copy.kind != gpusim::OpKind::kMemcpyH2D &&
+            copy.kind != gpusim::OpKind::kMemcpyD2H)
+            continue;
+        for (const auto &k : sim.trace()) {
+            if (k.kind != gpusim::OpKind::kKernel ||
+                k.stream == copy.stream)
+                continue;
+            if (copy.start_s < k.end_s && k.start_s < copy.end_s)
+                overlapped = true;
+        }
+    }
+    EXPECT_TRUE(overlapped);
+}
+
 TEST(Context, PipelinedInferenceOverlapsCopies)
 {
     gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the EdgeServe load generator: every arrival process is a
+ * pure function of (config, seed), produces sorted in-window times,
+ * and hits its configured mean rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "serve/workload.hh"
+
+namespace edgert::serve {
+namespace {
+
+ArrivalConfig
+poissonAt(double qps)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::kPoisson;
+    cfg.qps = qps;
+    return cfg;
+}
+
+TEST(Workload, ParseArrivalKindRoundTrips)
+{
+    for (ArrivalKind k : {ArrivalKind::kPoisson, ArrivalKind::kBursty,
+                          ArrivalKind::kReplay})
+        EXPECT_EQ(parseArrivalKind(arrivalKindName(k)), k);
+}
+
+TEST(Workload, PoissonArrivalsSortedAndInWindow)
+{
+    Rng rng(7);
+    auto ts = generateArrivals(poissonAt(500), 4.0, rng);
+    ASSERT_FALSE(ts.empty());
+    EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+    EXPECT_GE(ts.front(), 0.0);
+    EXPECT_LT(ts.back(), 4.0);
+}
+
+TEST(Workload, PoissonMeanRateMatchesQps)
+{
+    // Count over a long window: lambda*T = 20000, sd = sqrt(20000)
+    // ~ 141; a 5-sigma band is ~ +/- 707.
+    Rng rng(11);
+    auto ts = generateArrivals(poissonAt(1000), 20.0, rng);
+    EXPECT_NEAR(static_cast<double>(ts.size()), 20000.0, 707.0);
+}
+
+TEST(Workload, PoissonSameSeedReproducible)
+{
+    Rng a(42), b(42), c(43);
+    auto ta = generateArrivals(poissonAt(300), 2.0, a);
+    auto tb = generateArrivals(poissonAt(300), 2.0, b);
+    auto tc = generateArrivals(poissonAt(300), 2.0, c);
+    EXPECT_EQ(ta, tb);
+    EXPECT_NE(ta, tc);
+}
+
+TEST(Workload, BurstyKeepsLongRunMeanAndBursts)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::kBursty;
+    cfg.qps = 400;
+    cfg.period_s = 1.0;
+    cfg.duty = 0.25;
+    cfg.burst_factor = 3.0;
+    Rng rng(5);
+    auto ts = generateArrivals(cfg, 20.0, rng);
+    EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+    // Long-run mean stays qps (5-sigma band around 8000).
+    EXPECT_NEAR(static_cast<double>(ts.size()), 8000.0, 450.0);
+    // The burst window [0, duty*period) of each cycle runs at
+    // burst_factor * qps; count arrivals landing there.
+    std::size_t in_burst = 0;
+    for (double t : ts)
+        if (std::fmod(t, cfg.period_s) < cfg.duty * cfg.period_s)
+            in_burst++;
+    double burst_frac = static_cast<double>(in_burst) /
+                        static_cast<double>(ts.size());
+    // Expected share: duty*burst_factor = 0.75 of all arrivals.
+    EXPECT_NEAR(burst_frac, 0.75, 0.05);
+}
+
+TEST(Workload, ReplayCyclesGapTrace)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::kReplay;
+    cfg.replay_gaps_s = {0.010, 0.020, 0.030};
+    Rng rng(1);
+    auto ts = generateArrivals(cfg, 0.125, rng);
+    // Cumulative gaps: .01 .03 .06 .07 .09 .12 | .13 > window.
+    std::vector<double> want = {0.01, 0.03, 0.06, 0.07, 0.09, 0.12};
+    ASSERT_EQ(ts.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); i++)
+        EXPECT_NEAR(ts[i], want[i], 1e-12);
+}
+
+} // namespace
+} // namespace edgert::serve

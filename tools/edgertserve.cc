@@ -1,0 +1,262 @@
+/**
+ * @file
+ * edgertserve — EdgeServe from the command line: run a Triton-style
+ * serving scenario on a simulated Jetson fleet and report per-model
+ * SLO attainment.
+ *
+ * Examples:
+ *   edgertserve --model=resnet-18:qps=800:slo_ms=15 --devices=nx
+ *   edgertserve --model=resnet-18:qps=400:slo_ms=15 \
+ *               --model=tiny-yolov3:qps=200:slo_ms=25:arrival=bursty \
+ *               --devices=nx,agx --duration-s=30 \
+ *               --report-out=serve.json --metrics-out=metrics.json
+ *   edgertserve --model=googlenet:qps=300:slo_ms=20:max_batch=16 \
+ *               --no-admission --dump-trace=serve_trace.json
+ */
+
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/server.hh"
+
+using namespace edgert;
+
+namespace {
+
+/** Progress chatter ("[edgertserve] ..."); silenced by --quiet. */
+void
+say(const char *fmt, ...)
+{
+    if (logLevel() > LogLevel::kInfo)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vprintf(fmt, ap);
+    va_end(ap);
+}
+
+/**
+ * Parse one --model spec:
+ *   <zoo-name>[:qps=..][:slo_ms=..][:arrival=poisson|bursty|replay]
+ *            [:max_batch=..][:timeout_us=..][:instances=..]
+ *            [:burst_factor=..][:period_s=..][:duty=..]
+ */
+serve::ModelConfig
+parseModelSpec(const std::string &spec)
+{
+    auto parts = split(spec, ':');
+    if (parts.empty() || parts[0].empty())
+        fatal("empty --model spec");
+    serve::ModelConfig mc;
+    mc.model = parts[0];
+    for (std::size_t i = 1; i < parts.size(); i++) {
+        auto eq = parts[i].find('=');
+        if (eq == std::string::npos)
+            fatal("bad --model option '", parts[i],
+                  "' (expected key=value)");
+        std::string k = parts[i].substr(0, eq);
+        std::string v = parts[i].substr(eq + 1);
+        if (k == "qps")
+            mc.arrivals.qps = std::stod(v);
+        else if (k == "slo_ms")
+            mc.slo_ms = std::stod(v);
+        else if (k == "arrival")
+            mc.arrivals.kind = serve::parseArrivalKind(v);
+        else if (k == "max_batch")
+            mc.batching.max_batch = std::stoi(v);
+        else if (k == "timeout_us")
+            mc.batching.timeout_us = std::stod(v);
+        else if (k == "instances")
+            mc.instances_per_device = std::stoi(v);
+        else if (k == "burst_factor")
+            mc.arrivals.burst_factor = std::stod(v);
+        else if (k == "period_s")
+            mc.arrivals.period_s = std::stod(v);
+        else if (k == "duty")
+            mc.arrivals.duty = std::stod(v);
+        else
+            fatal("unknown --model option '", k, "'");
+    }
+    return mc;
+}
+
+struct Args
+{
+    serve::ServeConfig cfg;
+    std::string metrics_out;
+    std::string report_out;
+    bool quiet = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: edgertserve [options]\n"
+        "  --model <spec>        serve a model; repeatable. Spec:\n"
+        "                        name[:qps=N][:slo_ms=N]\n"
+        "                        [:arrival=poisson|bursty|replay]\n"
+        "                        [:max_batch=N][:timeout_us=N]\n"
+        "                        [:instances=N][:burst_factor=N]\n"
+        "                        [:period_s=N][:duty=N]\n"
+        "  --devices nx,agx      simulated fleet (default nx)\n"
+        "  --duration-s <n>      simulated serving window "
+        "(default 10)\n"
+        "  --seed <n>            workload seed (default 1)\n"
+        "  --no-admission        disable SLO-aware admission "
+        "control\n"
+        "  --no-batching         disable the dynamic batcher "
+        "(FIFO,\n"
+        "                        batch 1)\n"
+        "  --ram-fraction <f>    device RAM share for contexts "
+        "(default 0.5)\n"
+        "  --report-out <f>      write the serve report JSON\n"
+        "  --metrics-out <f>     write the metric-registry "
+        "snapshot\n"
+        "  --dump-trace <f>      write a merged chrome://tracing\n"
+        "                        timeline (host spans + one "
+        "process\n"
+        "                        per device)\n"
+        "  --quiet               warnings and errors only\n"
+        "  --list                list zoo models\n"
+        "Options also accept --opt=value syntax.\n");
+}
+
+std::optional<Args>
+parse(int argc, char **argv)
+{
+    Args a;
+    std::string devices = "nx";
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        std::optional<std::string> inline_value;
+        if (arg.rfind("--", 0) == 0) {
+            std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+            }
+        }
+        auto next = [&]() -> std::string {
+            if (inline_value)
+                return *inline_value;
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            a.cfg.models.push_back(parseModelSpec(next()));
+        else if (arg == "--devices")
+            devices = next();
+        else if (arg == "--duration-s")
+            a.cfg.duration_s = std::stod(next());
+        else if (arg == "--seed")
+            a.cfg.seed = std::stoull(next());
+        else if (arg == "--no-admission")
+            a.cfg.admission_control = false;
+        else if (arg == "--no-batching")
+            a.cfg.dynamic_batching = false;
+        else if (arg == "--ram-fraction")
+            a.cfg.ram_fraction = std::stod(next());
+        else if (arg == "--report-out")
+            a.report_out = next();
+        else if (arg == "--metrics-out")
+            a.metrics_out = next();
+        else if (arg == "--dump-trace") {
+            a.cfg.trace_out = next();
+            obs::Tracer::global().setEnabled(true);
+        } else if (arg == "--quiet")
+            a.quiet = true;
+        else if (arg == "--list") {
+            for (const auto &m : nn::zooModelNames())
+                std::printf("%s\n", m.c_str());
+            return std::nullopt;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return std::nullopt;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n",
+                         arg.c_str());
+            usage();
+            return std::nullopt;
+        }
+    }
+    for (const auto &d : split(devices, ','))
+        a.cfg.devices.push_back(serve::parseDevice(d));
+    return a;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto parsed = parse(argc, argv);
+    if (!parsed)
+        return 0;
+    Args args = *parsed;
+    if (args.quiet)
+        setLogLevel(LogLevel::kWarn);
+    if (args.cfg.models.empty()) {
+        usage();
+        fatal("at least one --model is required");
+    }
+
+    say("[edgertserve] %zu model(s) on %zu device(s), %.1f s "
+        "window, seed %llu, admission %s, batching %s\n",
+        args.cfg.models.size(), args.cfg.devices.size(),
+        args.cfg.duration_s,
+        static_cast<unsigned long long>(args.cfg.seed),
+        args.cfg.admission_control ? "on" : "off",
+        args.cfg.dynamic_batching ? "on" : "off");
+
+    serve::ServeReport report = serve::runServer(args.cfg);
+
+    for (const auto &m : report.models)
+        say("[edgertserve] %-18s offered %.1f qps | goodput %.1f "
+            "qps | shed %lld | p50 %.2f ms | p99 %.2f ms | SLO "
+            "%.1f ms | violations %lld | mean batch %.2f\n",
+            m.model.c_str(), m.offered_qps, m.goodput_qps,
+            static_cast<long long>(m.shed), m.p50_ms, m.p99_ms,
+            m.slo_ms, static_cast<long long>(m.slo_violations),
+            m.mean_batch);
+    for (const auto &d : report.devices)
+        say("[edgertserve] device %-12s %d instance(s) | GPU util "
+            "%.1f%% | copy %.1f%% | drained at %.2f s | ctx RAM "
+            "%.1f / %.1f MiB\n",
+            d.device.c_str(), d.instances, d.sm_util_pct,
+            d.copy_busy_pct, d.makespan_s,
+            static_cast<double>(d.ram_used_bytes) /
+                (1024.0 * 1024.0),
+            static_cast<double>(d.ram_budget_bytes) /
+                (1024.0 * 1024.0));
+
+    if (!args.report_out.empty()) {
+        std::FILE *f = std::fopen(args.report_out.c_str(), "w");
+        if (!f)
+            fatal("cannot write '", args.report_out, "'");
+        std::string json = report.toJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        say("[edgertserve] report written to %s\n",
+            args.report_out.c_str());
+    }
+    if (!args.metrics_out.empty()) {
+        obs::MetricRegistry::global().save(args.metrics_out);
+        say("[edgertserve] metrics written to %s\n",
+            args.metrics_out.c_str());
+    }
+    if (!args.cfg.trace_out.empty())
+        say("[edgertserve] timeline written to %s (open in "
+            "chrome://tracing)\n",
+            args.cfg.trace_out.c_str());
+    return 0;
+}
