@@ -133,8 +133,8 @@ main()
     // Mitigation: build once, serialize, deploy the same binary.
     core::Engine master = core::Builder(nx, site_a).build(net);
     auto blob = master.serialize();
-    core::Engine unit1 = core::Engine::deserialize(blob);
-    core::Engine unit2 = core::Engine::deserialize(blob);
+    core::Engine unit1 = core::Engine::deserialize(blob).value();
+    core::Engine unit2 = core::Engine::deserialize(blob).value();
     data::SurrogateDetector det1("tiny-yolov3", unit1.fingerprint(),
                                  true);
     data::SurrogateDetector det2("tiny-yolov3", unit2.fingerprint(),

@@ -6,6 +6,16 @@
  * Little binary (de)serialization helpers used by the network and
  * engine plan formats. Streams are byte vectors; integers are
  * little-endian fixed width; strings are length-prefixed.
+ *
+ * BinReader has two error policies. The default (OnError::kFatal)
+ * throws via fatal() on the first malformed read — appropriate for
+ * streams EdgeRT itself just produced. Untrusted streams (anything
+ * loaded from a file or received over a wire) must use
+ * OnError::kStatus: the first error is recorded as a Status, every
+ * subsequent read becomes a zero-filling no-op, and the caller
+ * checks ok() once after parsing. Either way the reader never reads
+ * out of bounds and never allocates more than the bytes that are
+ * actually present.
  */
 
 #include <cstdint>
@@ -14,6 +24,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace edgert {
 
@@ -60,18 +71,39 @@ class BinWriter
 class BinReader
 {
   public:
-    explicit BinReader(const std::vector<std::uint8_t> &buf)
-        : buf_(&buf)
+    /** What a malformed read does: throw via fatal(), or record a
+     *  Status and turn the remaining reads into no-ops. */
+    enum class OnError
+    {
+        kFatal,
+        kStatus,
+    };
+
+    explicit BinReader(const std::vector<std::uint8_t> &buf,
+                       OnError on_error = OnError::kFatal)
+        : buf_(&buf), on_error_(on_error)
     {}
 
+    /** False once any read failed (OnError::kStatus only). */
+    bool ok() const { return status_.ok(); }
+
+    /** The first recorded error, or OK. */
+    const Status &status() const { return status_; }
+
     bool atEnd() const { return pos_ == buf_->size(); }
+    std::size_t remaining() const { return buf_->size() - pos_; }
 
     void
     raw(void *p, std::size_t n)
     {
-        if (pos_ + n > buf_->size())
-            fatal("BinReader: truncated stream (need ", n, " at ",
-                  pos_, " of ", buf_->size(), ")");
+        if (!status_.ok() || n > remaining()) {
+            std::memset(p, 0, n);
+            if (status_.ok())
+                fail("truncated stream (need ", n,
+                     " bytes at offset ", pos_, " of ",
+                     buf_->size(), ")");
+            return;
+        }
         std::memcpy(p, buf_->data() + pos_, n);
         pos_ += n;
     }
@@ -97,14 +129,60 @@ class BinReader
     str()
     {
         std::uint32_t n = u32();
+        if (!status_.ok())
+            return {};
+        // Validate the untrusted length against the bytes actually
+        // present BEFORE allocating: a corrupt length must not be
+        // able to demand a 4 GiB string.
+        if (n > remaining()) {
+            fail("string length ", n, " exceeds the ", remaining(),
+                 " remaining bytes at offset ", pos_);
+            return {};
+        }
         std::string s(n, '\0');
         raw(s.data(), n);
         return s;
     }
 
+    /**
+     * Read an element count whose elements occupy at least
+     * `min_elem_bytes` each, rejecting counts that could not
+     * possibly fit in the remaining stream. Use this before any
+     * count-sized preallocation (vector::resize and friends).
+     * Returns 0 after a failure, so dependent loops do not run.
+     */
+    std::uint32_t
+    count(std::size_t min_elem_bytes)
+    {
+        std::uint32_t n = u32();
+        if (!status_.ok())
+            return 0;
+        if (min_elem_bytes > 0 &&
+            static_cast<std::uint64_t>(n) >
+                remaining() / min_elem_bytes) {
+            fail("element count ", n, " (>= ", min_elem_bytes,
+                 " bytes each) exceeds the ", remaining(),
+                 " remaining bytes at offset ", pos_);
+            return 0;
+        }
+        return n;
+    }
+
   private:
+    template <typename... Args>
+    void
+    fail(Args &&...args)
+    {
+        if (on_error_ == OnError::kFatal)
+            fatal("BinReader: ", std::forward<Args>(args)...);
+        status_ = errorStatus(ErrorCode::kDataLoss, "BinReader: ",
+                              std::forward<Args>(args)...);
+    }
+
     const std::vector<std::uint8_t> *buf_;
     std::size_t pos_ = 0;
+    OnError on_error_;
+    Status status_;
 };
 
 } // namespace edgert

@@ -1,0 +1,33 @@
+#ifndef EDGERT_COMMON_CRC32_HH
+#define EDGERT_COMMON_CRC32_HH
+
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+ * integrity footer of the framed engine-plan and timing-cache file
+ * formats. Chosen over a cheap additive checksum because single-bit
+ * flips and short burst errors anywhere in the payload are always
+ * detected, which is exactly the corruption class a plan file picks
+ * up in transit between build and deploy hosts.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edgert {
+
+/** CRC-32 of `n` bytes; `seed` chains incremental updates. */
+std::uint32_t crc32(const void *data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+/** Convenience overload over a byte vector. */
+inline std::uint32_t
+crc32(const std::vector<std::uint8_t> &bytes, std::uint32_t seed = 0)
+{
+    return crc32(bytes.data(), bytes.size(), seed);
+}
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_CRC32_HH

@@ -1,0 +1,83 @@
+#include "common/framing.hh"
+
+#include "common/binio.hh"
+#include "common/crc32.hh"
+
+namespace edgert {
+
+std::vector<std::uint8_t>
+frameWrap(std::uint32_t magic, std::uint32_t version,
+          const std::vector<std::uint8_t> &payload)
+{
+    BinWriter w;
+    w.u32(magic);
+    w.u32(version);
+    w.u64(payload.size());
+    w.raw(payload.data(), payload.size());
+    w.u32(crc32(payload));
+    return w.bytes();
+}
+
+Result<FramedPayload>
+frameUnwrap(std::uint32_t magic, std::uint32_t framed_since,
+            std::uint32_t max_version,
+            const std::vector<std::uint8_t> &bytes, const char *what)
+{
+    BinReader r(bytes, BinReader::OnError::kStatus);
+    std::uint32_t got_magic = r.u32();
+    std::uint32_t version = r.u32();
+    if (!r.ok())
+        return errorStatus(ErrorCode::kDataLoss, what,
+                           ": stream too short for a header (",
+                           bytes.size(), " bytes)");
+    if (got_magic != magic)
+        return errorStatus(ErrorCode::kDataLoss, what,
+                           ": bad magic (not a ", what, " file)");
+    if (version == 0 || version > max_version)
+        return errorStatus(ErrorCode::kDataLoss, what,
+                           ": unsupported version ", version,
+                           " (this build reads <= ", max_version,
+                           ")");
+
+    FramedPayload out;
+    out.version = version;
+
+    if (version < framed_since) {
+        // Legacy layout: the body is the rest of the stream.
+        out.checksummed = false;
+        out.payload.assign(bytes.begin() + 8, bytes.end());
+        return out;
+    }
+
+    std::uint64_t len = r.u64();
+    if (!r.ok())
+        return errorStatus(ErrorCode::kDataLoss, what,
+                           ": truncated length header");
+    // Everything after the length word except the 4-byte CRC footer
+    // must be exactly the payload.
+    if (r.remaining() < sizeof(std::uint32_t) ||
+        len != r.remaining() - sizeof(std::uint32_t))
+        return errorStatus(ErrorCode::kDataLoss, what,
+                           ": payload length mismatch (header says ",
+                           len, ", stream carries ",
+                           r.remaining() >= sizeof(std::uint32_t)
+                               ? r.remaining() - sizeof(std::uint32_t)
+                               : 0,
+                           " — truncated or extended file)");
+    out.payload.resize(static_cast<std::size_t>(len));
+    r.raw(out.payload.data(), out.payload.size());
+    std::uint32_t want_crc = r.u32();
+    if (!r.ok() || !r.atEnd())
+        return errorStatus(ErrorCode::kDataLoss, what,
+                           ": malformed frame footer");
+    std::uint32_t got_crc = crc32(out.payload);
+    if (got_crc != want_crc)
+        return errorStatus(ErrorCode::kDataLoss, what,
+                           ": CRC32 mismatch (stored ", want_crc,
+                           ", computed ", got_crc,
+                           " — corrupt payload)");
+    out.checksummed = true;
+    return out;
+}
+
+} // namespace edgert

@@ -1,0 +1,60 @@
+#ifndef EDGERT_COMMON_FRAMING_HH
+#define EDGERT_COMMON_FRAMING_HH
+
+/**
+ * @file
+ * Integrity-framed container for binary file formats.
+ *
+ * A framed stream is
+ *
+ *     [magic u32][version u32][payload_len u64][payload][crc32 u32]
+ *
+ * where the CRC-32 covers the payload bytes only. The explicit
+ * length header detects truncation and extension without parsing
+ * the payload; the CRC detects any in-place corruption. Formats
+ * that predate framing (version < framed_since) are still
+ * readable: their payload is simply everything after the
+ * magic/version words, with no checksum — frameUnwrap() reports
+ * `checksummed = false` so callers can warn if they care.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace edgert {
+
+/** Result of frameUnwrap(): the format version that was found and
+ *  the payload bytes to hand to the body parser. */
+struct FramedPayload
+{
+    std::uint32_t version = 0;
+    bool checksummed = false; //!< false for legacy (pre-frame) files
+    std::vector<std::uint8_t> payload;
+};
+
+/** Wrap `payload` as a framed stream of format `version`. */
+std::vector<std::uint8_t>
+frameWrap(std::uint32_t magic, std::uint32_t version,
+          const std::vector<std::uint8_t> &payload);
+
+/**
+ * Validate and strip the frame of an untrusted stream.
+ *
+ * @param magic         Expected magic word.
+ * @param framed_since  First format version that uses the frame;
+ *                      older versions are parsed as legacy
+ *                      (payload = rest of stream, no CRC).
+ * @param max_version   Newest version this build understands.
+ * @param bytes         The untrusted stream.
+ * @param what          Format name for diagnostics ("engine plan").
+ */
+Result<FramedPayload>
+frameUnwrap(std::uint32_t magic, std::uint32_t framed_since,
+            std::uint32_t max_version,
+            const std::vector<std::uint8_t> &bytes, const char *what);
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_FRAMING_HH

@@ -1,0 +1,193 @@
+#ifndef EDGERT_COMMON_STATUS_HH
+#define EDGERT_COMMON_STATUS_HH
+
+/**
+ * @file
+ * Recoverable error handling for untrusted-input boundaries.
+ *
+ * EdgeRT distinguishes three failure classes:
+ *
+ *  - panic()  — an internal invariant is broken (a bug in EdgeRT);
+ *               aborts the process.
+ *  - fatal()  — an unrecoverable *user-level* error inside a command
+ *               that cannot continue (throws FatalError; the CLI
+ *               drivers catch it at top level and exit non-zero).
+ *  - Status / Result<T> — anything that crosses a file, CLI or
+ *               network boundary: serialized engine plans, timing
+ *               caches, network files, flag values, injected faults.
+ *               A bad input must never be able to take the process
+ *               down; the caller decides whether to retry, degrade,
+ *               or report.
+ *
+ * Status carries an ErrorCode plus a human-readable message and
+ * supports context chaining: `st.context("loading 'plan.erte'")`
+ * prepends a frame the way gem5's fault messages nest, so the final
+ * diagnostic reads outermost-to-innermost.
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace edgert {
+
+/** Coarse error classification carried by Status. */
+enum class ErrorCode
+{
+    kOk = 0,
+    kInvalidArgument, //!< malformed caller-supplied value (CLI flag)
+    kDataLoss,        //!< corrupt / truncated serialized data
+    kOutOfRange,      //!< value outside its documented domain
+    kNotFound,        //!< missing file or entry
+    kIoError,         //!< read/write failure
+    kUnavailable,     //!< resource temporarily unusable (faults)
+    kInternal,        //!< converted internal failure
+};
+
+/** Short lower-case code name ("data_loss", "not_found", ...). */
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk:
+        return "ok";
+      case ErrorCode::kInvalidArgument:
+        return "invalid_argument";
+      case ErrorCode::kDataLoss:
+        return "data_loss";
+      case ErrorCode::kOutOfRange:
+        return "out_of_range";
+      case ErrorCode::kNotFound:
+        return "not_found";
+      case ErrorCode::kIoError:
+        return "io_error";
+      case ErrorCode::kUnavailable:
+        return "unavailable";
+      case ErrorCode::kInternal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+/**
+ * Success-or-error value: ErrorCode plus message. Default-constructed
+ * Status is OK. Marked [[nodiscard]] — dropping one silently is how
+ * aborts-on-bad-input bugs start.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** OK status. */
+    Status() = default;
+
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    bool ok() const { return code_ == ErrorCode::kOk; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /**
+     * Return a copy with `what` prepended ("what: <message>").
+     * No-op on an OK status.
+     */
+    Status
+    context(const std::string &what) const
+    {
+        if (ok())
+            return *this;
+        return Status(code_, what + ": " + message_);
+    }
+
+    /** "[data_loss] message", or "OK". */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "OK";
+        return std::string("[") + errorCodeName(code_) + "] " +
+               message_;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::kOk;
+    std::string message_;
+};
+
+/** Build an error Status by streaming the arguments together. */
+template <typename... Args>
+Status
+errorStatus(ErrorCode code, Args &&...args)
+{
+    return Status(code,
+                  log_detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * A T or the Status explaining why there is none. Accessing the
+ * value of an error Result is an internal bug (panic), so callers
+ * must check ok() first — the compiler enforces acknowledgement via
+ * [[nodiscard]].
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+
+    Result(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            panic("Result<T> constructed from an OK status");
+    }
+
+    bool ok() const { return value_.has_value(); }
+
+    /** The error (an OK Status when a value is present). */
+    const Status &status() const { return status_; }
+
+    T &
+    value() &
+    {
+        require();
+        return *value_;
+    }
+
+    const T &
+    value() const &
+    {
+        require();
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        require();
+        return *std::move(value_);
+    }
+
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    void
+    require() const
+    {
+        if (!ok())
+            panic("Result::value() on error: ", status_.toString());
+    }
+
+    std::optional<T> value_;
+    Status status_;
+};
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_STATUS_HH

@@ -1,6 +1,8 @@
 #include "common/strutil.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace edgert {
@@ -70,6 +72,67 @@ startsWith(const std::string &s, const std::string &prefix)
 {
     return s.size() >= prefix.size() &&
            s.compare(0, prefix.size(), prefix) == 0;
+}
+
+namespace {
+
+/** Shared strto* wrapper: whole-string, errno-checked. */
+template <typename T, typename Fn>
+Result<T>
+parseWith(const std::string &s, Fn fn, const char *what)
+{
+    if (s.empty())
+        return errorStatus(ErrorCode::kInvalidArgument, "empty ",
+                           what);
+    errno = 0;
+    char *end = nullptr;
+    auto v = fn(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        return errorStatus(ErrorCode::kInvalidArgument, "'", s,
+                           "' is not a valid ", what);
+    if (errno == ERANGE)
+        return errorStatus(ErrorCode::kOutOfRange, "'", s,
+                           "' is out of range for a ", what);
+    return static_cast<T>(v);
+}
+
+} // namespace
+
+Result<std::int64_t>
+parseInt64(const std::string &s)
+{
+    return parseWith<std::int64_t>(
+        s,
+        [](const char *p, char **end) {
+            return std::strtoll(p, end, 10);
+        },
+        "integer");
+}
+
+Result<std::uint64_t>
+parseUint64(const std::string &s)
+{
+    // strtoull silently accepts "-1" (wrapping); reject signs here.
+    if (!s.empty() && (s[0] == '-' || s[0] == '+'))
+        return errorStatus(ErrorCode::kInvalidArgument, "'", s,
+                           "' is not a valid unsigned integer");
+    return parseWith<std::uint64_t>(
+        s,
+        [](const char *p, char **end) {
+            return std::strtoull(p, end, 10);
+        },
+        "unsigned integer");
+}
+
+Result<double>
+parseDouble(const std::string &s)
+{
+    return parseWith<double>(
+        s,
+        [](const char *p, char **end) {
+            return std::strtod(p, end);
+        },
+        "number");
 }
 
 } // namespace edgert

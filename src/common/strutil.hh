@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace edgert {
 
 /** Format a byte count as a human-readable string ("12.45 MB"). */
@@ -29,6 +31,17 @@ std::vector<std::string> split(const std::string &s, char delim);
 
 /** True when `s` starts with `prefix`. */
 bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Strict numeric parsers for untrusted text (CLI flag values).
+ * Unlike std::stoi and friends they never throw: the whole string
+ * must parse (no trailing junk, no empty input) and the value must
+ * fit the type, otherwise an ErrorCode::kInvalidArgument Status
+ * explains what was wrong with the input.
+ */
+Result<std::int64_t> parseInt64(const std::string &s);
+Result<std::uint64_t> parseUint64(const std::string &s);
+Result<double> parseDouble(const std::string &s);
 
 } // namespace edgert
 

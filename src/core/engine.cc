@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/binio.hh"
+#include "common/framing.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 
@@ -17,6 +18,18 @@ namespace {
 constexpr std::int64_t kPlanHeaderBytes = 256 * 1024;
 constexpr std::int64_t kCubinBytes = 100 * 1024;
 constexpr std::int64_t kStepMetaBytes = 2 * 1024;
+
+// Plan file format: "ERTE" magic. v1 was a bare body; v2 wraps the
+// same body in the common integrity frame (size header + CRC32).
+constexpr std::uint32_t kPlanMagic = 0x45545245; // "ERTE"
+constexpr std::uint32_t kPlanVersion = 2;
+constexpr std::uint32_t kPlanFramedSince = 2;
+
+// Minimum serialized footprint of each variable-count element, used
+// to validate untrusted counts before preallocating.
+constexpr std::size_t kMinIoBytes = 4 + 5 * 8;
+constexpr std::size_t kMinStepBytes = 4 + 1 + 4 + 1 + 8 + 4 + 4;
+constexpr std::size_t kMinKernelBytes = 4 + 13 * 8 + 1;
 
 } // namespace
 
@@ -105,10 +118,7 @@ Engine::fingerprint() const
 std::vector<std::uint8_t>
 Engine::serialize() const
 {
-    constexpr std::uint32_t kMagic = 0x45545245; // "ERTE"
     BinWriter w;
-    w.u32(kMagic);
-    w.u32(1); // version
     w.str(model_name_);
     w.str(device_name_);
     w.u8(static_cast<std::uint8_t>(precision_));
@@ -157,27 +167,36 @@ Engine::serialize() const
             w.i64(k.l2_hits);
         }
     }
-    return w.bytes();
+    return frameWrap(kPlanMagic, kPlanVersion, w.bytes());
 }
 
-Engine
+Result<Engine>
 Engine::deserialize(const std::vector<std::uint8_t> &bytes)
 {
-    constexpr std::uint32_t kMagic = 0x45545245;
-    BinReader r(bytes);
-    if (r.u32() != kMagic)
-        fatal("Engine::deserialize: bad magic");
-    if (r.u32() != 1)
-        fatal("Engine::deserialize: unsupported version");
+    auto framed = frameUnwrap(kPlanMagic, kPlanFramedSince,
+                              kPlanVersion, bytes, "engine plan");
+    if (!framed.ok())
+        return framed.status().context("Engine::deserialize");
+
+    // Plan files are untrusted: parse with a fallible reader, then
+    // check its status once after the last field.
+    BinReader r(framed->payload, BinReader::OnError::kStatus);
 
     std::string model = r.str();
     std::string device = r.str();
-    auto precision = static_cast<nn::Precision>(r.u8());
+    std::uint8_t precision_raw = r.u8();
     std::uint64_t build_id = r.u64();
     std::uint64_t calib = r.u64();
+    if (precision_raw >
+        static_cast<std::uint8_t>(nn::Precision::kInt8))
+        return errorStatus(ErrorCode::kDataLoss,
+                           "Engine::deserialize: invalid precision ",
+                           static_cast<int>(precision_raw));
+    auto precision = static_cast<nn::Precision>(precision_raw);
 
     auto readIo = [&]() {
-        std::vector<IoDesc> ios(r.u32());
+        // count() bounds the prealloc by the bytes actually present.
+        std::vector<IoDesc> ios(r.count(kMinIoBytes));
         for (auto &io : ios) {
             io.name = r.str();
             io.dims.n = r.i64();
@@ -191,15 +210,31 @@ Engine::deserialize(const std::vector<std::uint8_t> &bytes)
     auto inputs = readIo();
     auto outputs = readIo();
 
-    std::vector<ExecutionStep> steps(r.u32());
+    std::vector<ExecutionStep> steps(r.count(kMinStepBytes));
     for (auto &s : steps) {
         s.node_name = r.str();
-        s.kind = static_cast<FusedOpKind>(r.u8());
+        std::uint8_t kind_raw = r.u8();
+        if (kind_raw >
+            static_cast<std::uint8_t>(FusedOpKind::kDetection))
+            return errorStatus(
+                ErrorCode::kDataLoss,
+                "Engine::deserialize: invalid fused-op kind ",
+                static_cast<int>(kind_raw), " in step '",
+                s.node_name, "'");
+        s.kind = static_cast<FusedOpKind>(kind_raw);
         s.tactic_name = r.str();
-        s.precision = static_cast<nn::Precision>(r.u8());
+        std::uint8_t step_prec_raw = r.u8();
+        if (step_prec_raw >
+            static_cast<std::uint8_t>(nn::Precision::kInt8))
+            return errorStatus(
+                ErrorCode::kDataLoss,
+                "Engine::deserialize: invalid step precision ",
+                static_cast<int>(step_prec_raw), " in step '",
+                s.node_name, "'");
+        s.precision = static_cast<nn::Precision>(step_prec_raw);
         s.weight_plan_bytes = r.i64();
         s.weight_transfers = static_cast<int>(r.u32());
-        s.kernels.resize(r.u32());
+        s.kernels.resize(r.count(kMinKernelBytes));
         for (auto &k : s.kernels) {
             k.name = r.str();
             k.grid_blocks = r.i64();
@@ -219,6 +254,12 @@ Engine::deserialize(const std::vector<std::uint8_t> &bytes)
             k.l2_hits = r.i64();
         }
     }
+    if (!r.ok())
+        return r.status().context("Engine::deserialize");
+    if (!r.atEnd())
+        return errorStatus(ErrorCode::kDataLoss,
+                           "Engine::deserialize: ", r.remaining(),
+                           " trailing bytes after the last field");
     return Engine(std::move(model), std::move(device), precision,
                   build_id, std::move(steps), std::move(inputs),
                   std::move(outputs), calib);

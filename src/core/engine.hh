@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "core/optimizer.hh"
 #include "gpusim/kernel.hh"
 #include "nn/tensor.hh"
@@ -110,11 +111,22 @@ class Engine
      */
     std::uint64_t fingerprint() const;
 
-    /** Serialize the plan to bytes. */
+    /**
+     * Serialize the plan to bytes. The stream is an integrity
+     * frame (size header + CRC32 footer, see common/framing.hh)
+     * around the plan body, so any corruption or truncation in
+     * transit is detected on load.
+     */
     std::vector<std::uint8_t> serialize() const;
 
-    /** Reconstruct an engine from serialize() output. */
-    static Engine deserialize(const std::vector<std::uint8_t> &bytes);
+    /**
+     * Reconstruct an engine from serialize() output. Plan files are
+     * untrusted input: corrupt, truncated, extended or otherwise
+     * malformed bytes yield an error Status (never an abort).
+     * Version-1 plans (pre-CRC) remain readable.
+     */
+    static Result<Engine>
+    deserialize(const std::vector<std::uint8_t> &bytes);
 
   private:
     std::string model_name_;

@@ -4,14 +4,21 @@
 #include <fstream>
 
 #include "common/binio.hh"
+#include "common/framing.hh"
 #include "common/logging.hh"
 
 namespace edgert::core {
 
 namespace {
 
+// Cache file format: "ERTC" magic. v1 was a bare body; v2 wraps the
+// same body in the common integrity frame (size header + CRC32).
 constexpr std::uint32_t kMagic = 0x43545245; // "ERTC"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kFramedSince = 2;
+
+// Minimum serialized entry: key length word + f64 seconds.
+constexpr std::size_t kMinEntryBytes = 4 + 8;
 
 } // namespace
 
@@ -102,35 +109,43 @@ TimingCache::serialize() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     BinWriter w;
-    w.u32(kMagic);
-    w.u32(kVersion);
     w.u64(entries_.size());
     // std::map iterates in key order: canonical bytes.
     for (const auto &[k, seconds] : entries_) {
         w.str(k);
         w.f64(seconds);
     }
-    return w.bytes();
+    return frameWrap(kMagic, kVersion, w.bytes());
 }
 
-TimingCache
+Result<TimingCache>
 TimingCache::deserialize(const std::vector<std::uint8_t> &bytes)
 {
-    BinReader r(bytes);
-    if (r.u32() != kMagic)
-        fatal("TimingCache: bad magic (not a timing cache)");
-    std::uint32_t version = r.u32();
-    if (version != kVersion)
-        fatal("TimingCache: unsupported version ", version);
+    auto framed = frameUnwrap(kMagic, kFramedSince, kVersion, bytes,
+                              "timing cache");
+    if (!framed.ok())
+        return framed.status().context("TimingCache::deserialize");
+
+    BinReader r(framed->payload, BinReader::OnError::kStatus);
     std::uint64_t n = r.u64();
+    if (r.ok() && n > r.remaining() / kMinEntryBytes)
+        return errorStatus(ErrorCode::kDataLoss,
+                           "TimingCache::deserialize: entry count ",
+                           n, " exceeds the ", r.remaining(),
+                           " remaining bytes");
     TimingCache cache;
-    for (std::uint64_t i = 0; i < n; i++) {
+    for (std::uint64_t i = 0; i < n && r.ok(); i++) {
         std::string k = r.str();
         double seconds = r.f64();
         cache.entries_.emplace(std::move(k), seconds);
     }
+    if (!r.ok())
+        return r.status().context("TimingCache::deserialize");
     if (!r.atEnd())
-        fatal("TimingCache: trailing bytes after ", n, " entries");
+        return errorStatus(ErrorCode::kDataLoss,
+                           "TimingCache::deserialize: ",
+                           r.remaining(), " trailing bytes after ",
+                           n, " entries");
     return cache;
 }
 
@@ -156,7 +171,16 @@ TimingCache::load(const std::string &path)
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(f)),
         std::istreambuf_iterator<char>());
-    return deserialize(bytes);
+    auto cache = deserialize(bytes);
+    if (!cache.ok()) {
+        // The cache only accelerates builds; a damaged file costs a
+        // cold re-tune, never the process.
+        warn("TimingCache: ignoring corrupt cache file '", path,
+             "': ", cache.status().message(),
+             " (starting with an empty cache)");
+        return TimingCache{};
+    }
+    return std::move(cache).value();
 }
 
 } // namespace edgert::core

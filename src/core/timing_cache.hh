@@ -45,6 +45,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace edgert::core {
 
 /** Lookup/insert counters since construction (or resetStats()). */
@@ -94,20 +96,30 @@ class TimingCache
     TimingCacheStats stats() const;
     void resetStats();
 
-    /** Canonical byte serialization (entries only, sorted by key). */
+    /**
+     * Canonical byte serialization (entries only, sorted by key),
+     * wrapped in the common integrity frame (size header + CRC32
+     * footer) so on-disk corruption is detected at load time.
+     */
     std::vector<std::uint8_t> serialize() const;
 
-    /** Rebuild from serialize() output; fatal() on malformed data. */
-    static TimingCache deserialize(
-        const std::vector<std::uint8_t> &bytes);
+    /**
+     * Rebuild from serialize() output. Cache files are untrusted
+     * input: malformed bytes yield an error Status, never an abort.
+     * Version-1 caches (pre-CRC) remain readable.
+     */
+    static Result<TimingCache>
+    deserialize(const std::vector<std::uint8_t> &bytes);
 
     /** Write serialize() bytes to a file; fatal() on I/O error. */
     void save(const std::string &path) const;
 
     /**
      * Load a cache file written by save(). A missing file yields an
-     * empty cache (first run of a warm-cache workflow); a present
-     * but malformed file is fatal().
+     * empty cache (first run of a warm-cache workflow). A present
+     * but corrupt file also yields an empty cache, after a warn():
+     * the cache is a pure accelerator, so a damaged file must cost
+     * a cold rebuild, never the process.
      */
     static TimingCache load(const std::string &path);
 

@@ -93,15 +93,53 @@ writeParams(BinWriter &w, const Layer &l)
     }
 }
 
-void
+/** Reject an out-of-range serialized enum value. */
+template <typename Enum>
+Status
+checkEnum(std::uint8_t raw, Enum max, const char *what)
+{
+    if (raw > static_cast<std::uint8_t>(max))
+        return errorStatus(ErrorCode::kDataLoss,
+                           "deserializeNetwork: invalid ", what, " ",
+                           static_cast<int>(raw));
+    return Status();
+}
+
+// Untrusted geometry must be bounded before it reaches shape
+// arithmetic: an adversarial stride of 0 divides by zero in the
+// output-extent formulas, and extents near INT64_MAX overflow
+// Dims::volume(). These ceilings are far beyond any real model.
+constexpr std::int64_t kMaxExtent = std::int64_t{1} << 20;
+constexpr std::int64_t kMaxGeom = std::int64_t{1} << 14;
+
+/** Reject a serialized integer outside [lo, hi]. */
+Status
+checkRange(std::int64_t v, std::int64_t lo, std::int64_t hi,
+           const char *what)
+{
+    if (v < lo || v > hi)
+        return errorStatus(ErrorCode::kDataLoss,
+                           "deserializeNetwork: ", what, " ", v,
+                           " out of range [", lo, ", ", hi, "]");
+    return Status();
+}
+
+Status
 readLayer(BinReader &r, Network &net)
 {
-    auto kind = static_cast<LayerKind>(r.u8());
+    std::uint8_t kind_raw = r.u8();
+    if (Status st =
+            checkEnum(kind_raw, LayerKind::kIdentity, "layer kind");
+        !st.ok())
+        return st;
+    auto kind = static_cast<LayerKind>(kind_raw);
     std::string name = r.str();
-    std::uint32_t nin = r.u32();
+    std::uint32_t nin = r.count(4);
     std::vector<std::string> inputs;
     for (std::uint32_t i = 0; i < nin; i++)
         inputs.push_back(r.str());
+    if (!r.ok())
+        return r.status();
 
     switch (kind) {
       case LayerKind::kInput: {
@@ -110,6 +148,10 @@ readLayer(BinReader &r, Network &net)
         d.c = r.i64();
         d.h = r.i64();
         d.w = r.i64();
+        for (std::int64_t v : {d.n, d.c, d.h, d.w})
+            if (Status st = checkRange(v, 1, kMaxExtent, "input dim");
+                !st.ok())
+                return st;
         net.addInput(name, d);
         break;
       }
@@ -125,6 +167,24 @@ readLayer(BinReader &r, Network &net)
         p.dilation = r.i64();
         p.groups = r.i64();
         p.has_bias = r.u8();
+        struct
+        {
+            std::int64_t v, lo, hi;
+            const char *what;
+        } ranges[] = {
+            {p.out_channels, 1, kMaxExtent, "conv out_channels"},
+            {p.kernel, 1, kMaxGeom, "conv kernel"},
+            {p.kernel_w, 0, kMaxGeom, "conv kernel_w"},
+            {p.stride, 1, kMaxGeom, "conv stride"},
+            {p.pad, 0, kMaxGeom, "conv pad"},
+            {p.pad_w, -1, kMaxGeom, "conv pad_w"},
+            {p.dilation, 1, kMaxGeom, "conv dilation"},
+            {p.groups, 1, kMaxExtent, "conv groups"},
+        };
+        for (const auto &c : ranges)
+            if (Status st = checkRange(c.v, c.lo, c.hi, c.what);
+                !st.ok())
+                return st;
         if (kind == LayerKind::kConvolution)
             net.addConvolution(name, inputs.at(0), p);
         else
@@ -133,11 +193,29 @@ readLayer(BinReader &r, Network &net)
       }
       case LayerKind::kPooling: {
         PoolParams p;
-        p.mode = static_cast<PoolParams::Mode>(r.u8());
+        std::uint8_t mode_raw = r.u8();
+        if (Status st = checkEnum(mode_raw, PoolParams::Mode::kAvg,
+                                  "pooling mode");
+            !st.ok())
+            return st;
+        p.mode = static_cast<PoolParams::Mode>(mode_raw);
         p.kernel = r.i64();
         p.stride = r.i64();
         p.pad = r.i64();
         p.global = r.u8();
+        struct
+        {
+            std::int64_t v, lo, hi;
+            const char *what;
+        } ranges[] = {
+            {p.kernel, 1, kMaxGeom, "pooling kernel"},
+            {p.stride, 1, kMaxGeom, "pooling stride"},
+            {p.pad, 0, kMaxGeom, "pooling pad"},
+        };
+        for (const auto &c : ranges)
+            if (Status st = checkRange(c.v, c.lo, c.hi, c.what);
+                !st.ok())
+                return st;
         net.addPooling(name, inputs.at(0), p);
         break;
       }
@@ -145,12 +223,22 @@ readLayer(BinReader &r, Network &net)
         FcParams p;
         p.out_features = r.i64();
         p.has_bias = r.u8();
+        if (Status st = checkRange(p.out_features, 1, kMaxExtent,
+                                   "fc out_features");
+            !st.ok())
+            return st;
         net.addFullyConnected(name, inputs.at(0), p);
         break;
       }
       case LayerKind::kActivation: {
         ActivationParams p;
-        p.mode = static_cast<ActivationParams::Mode>(r.u8());
+        std::uint8_t mode_raw = r.u8();
+        if (Status st = checkEnum(mode_raw,
+                                  ActivationParams::Mode::kPRelu,
+                                  "activation mode");
+            !st.ok())
+            return st;
+        p.mode = static_cast<ActivationParams::Mode>(mode_raw);
         p.alpha = r.f32();
         net.addActivation(name, inputs.at(0), p);
         break;
@@ -173,6 +261,10 @@ readLayer(BinReader &r, Network &net)
         p.alpha = r.f32();
         p.beta = r.f32();
         p.k = r.f32();
+        if (Status st = checkRange(p.local_size, 1, kMaxGeom,
+                                   "lrn local_size");
+            !st.ok())
+            return st;
         net.addLrn(name, inputs.at(0), p);
         break;
       }
@@ -181,7 +273,13 @@ readLayer(BinReader &r, Network &net)
         break;
       case LayerKind::kEltwise: {
         EltwiseParams p;
-        p.mode = static_cast<EltwiseParams::Mode>(r.u8());
+        std::uint8_t mode_raw = r.u8();
+        if (Status st = checkEnum(mode_raw,
+                                  EltwiseParams::Mode::kMax,
+                                  "eltwise mode");
+            !st.ok())
+            return st;
+        p.mode = static_cast<EltwiseParams::Mode>(mode_raw);
         net.addEltwise(name, inputs, p);
         break;
       }
@@ -191,6 +289,10 @@ readLayer(BinReader &r, Network &net)
       case LayerKind::kUpsample: {
         UpsampleParams p;
         p.factor = r.i64();
+        if (Status st =
+                checkRange(p.factor, 1, kMaxGeom, "upsample factor");
+            !st.ok())
+            return st;
         net.addUpsample(name, inputs.at(0), p);
         break;
       }
@@ -207,6 +309,14 @@ readLayer(BinReader &r, Network &net)
         RegionParams p;
         p.num_anchors = r.i64();
         p.num_classes = r.i64();
+        if (Status st = checkRange(p.num_anchors, 1, kMaxGeom,
+                                   "region num_anchors");
+            !st.ok())
+            return st;
+        if (Status st = checkRange(p.num_classes, 1, kMaxExtent,
+                                   "region num_classes");
+            !st.ok())
+            return st;
         net.addRegion(name, inputs.at(0), p);
         break;
       }
@@ -216,6 +326,14 @@ readLayer(BinReader &r, Network &net)
         p.nms_threshold = r.f32();
         p.confidence_threshold = r.f32();
         p.keep_top_k = r.i64();
+        if (Status st = checkRange(p.num_classes, 1, kMaxExtent,
+                                   "detection num_classes");
+            !st.ok())
+            return st;
+        if (Status st = checkRange(p.keep_top_k, -1, kMaxExtent,
+                                   "detection keep_top_k");
+            !st.ok())
+            return st;
         net.addDetectionOutput(name, inputs, p);
         break;
       }
@@ -223,6 +341,7 @@ readLayer(BinReader &r, Network &net)
         net.addIdentity(name, inputs.at(0));
         break;
     }
+    return Status();
 }
 
 } // namespace
@@ -257,23 +376,58 @@ serializeNetwork(const Network &net)
     return w.bytes();
 }
 
-Network
+Result<Network>
 deserializeNetwork(const std::vector<std::uint8_t> &bytes)
 {
-    BinReader r(bytes);
-    if (r.u32() != kMagic)
-        fatal("deserializeNetwork: bad magic");
-    if (r.u32() != kVersion)
-        fatal("deserializeNetwork: unsupported version");
-    Network net(r.str());
-    std::uint32_t n_layers = r.u32();
-    for (std::uint32_t i = 0; i < n_layers; i++)
-        readLayer(r, net);
-    std::uint32_t n_out = r.u32();
-    for (std::uint32_t i = 0; i < n_out; i++)
-        net.markOutput(r.str());
-    net.validate();
-    return net;
+    // Model files are untrusted input. Parse with a fallible reader
+    // and convert the graph builder's own rejections (duplicate
+    // names, unknown inputs, failed validation — raised as
+    // FatalError) into a recoverable Status.
+    BinReader r(bytes, BinReader::OnError::kStatus);
+    std::uint32_t magic = r.u32();
+    std::uint32_t version = r.u32();
+    if (!r.ok())
+        return errorStatus(ErrorCode::kDataLoss,
+                           "deserializeNetwork: stream too short "
+                           "for a header (",
+                           bytes.size(), " bytes)");
+    if (magic != kMagic)
+        return errorStatus(ErrorCode::kDataLoss,
+                           "deserializeNetwork: bad magic (not a "
+                           "network file)");
+    if (version != kVersion)
+        return errorStatus(ErrorCode::kDataLoss,
+                           "deserializeNetwork: unsupported version ",
+                           version);
+    try {
+        // Each layer record is at least kind + name length + input
+        // count = 9 bytes.
+        Network net(r.str());
+        std::uint32_t n_layers = r.count(9);
+        for (std::uint32_t i = 0; i < n_layers && r.ok(); i++)
+            if (Status st = readLayer(r, net); !st.ok())
+                return st;
+        std::uint32_t n_out = r.count(4);
+        for (std::uint32_t i = 0; i < n_out && r.ok(); i++)
+            net.markOutput(r.str());
+        if (!r.ok())
+            return r.status().context("deserializeNetwork");
+        if (!r.atEnd())
+            return errorStatus(ErrorCode::kDataLoss,
+                               "deserializeNetwork: ", r.remaining(),
+                               " trailing bytes after the last "
+                               "field");
+        net.validate();
+        return net;
+    } catch (const FatalError &e) {
+        return errorStatus(ErrorCode::kDataLoss,
+                           "deserializeNetwork: invalid graph: ",
+                           e.what());
+    } catch (const std::exception &e) {
+        return errorStatus(ErrorCode::kDataLoss,
+                           "deserializeNetwork: malformed layer: ",
+                           e.what());
+    }
 }
 
 void
@@ -287,16 +441,20 @@ saveNetwork(const Network &net, const std::string &path)
             static_cast<std::streamsize>(bytes.size()));
 }
 
-Network
+Result<Network>
 loadNetwork(const std::string &path)
 {
     std::ifstream f(path, std::ios::binary);
     if (!f)
-        fatal("loadNetwork: cannot open '", path, "'");
+        return errorStatus(ErrorCode::kNotFound,
+                           "loadNetwork: cannot open '", path, "'");
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(f)),
         std::istreambuf_iterator<char>());
-    return deserializeNetwork(bytes);
+    auto net = deserializeNetwork(bytes);
+    if (!net.ok())
+        return net.status().context("loadNetwork: '" + path + "'");
+    return net;
 }
 
 } // namespace edgert::nn

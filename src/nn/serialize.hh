@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "nn/network.hh"
 
 namespace edgert::nn {
@@ -21,14 +22,21 @@ namespace edgert::nn {
 /** Serialize a network to a byte buffer. */
 std::vector<std::uint8_t> serializeNetwork(const Network &net);
 
-/** Reconstruct a network from serializeNetwork() output. */
-Network deserializeNetwork(const std::vector<std::uint8_t> &bytes);
+/**
+ * Reconstruct a network from serializeNetwork() output. Model files
+ * are untrusted input: malformed bytes — bad magic, truncation,
+ * out-of-range layer kinds, graphs that fail validation — yield an
+ * error Status, never an abort.
+ */
+Result<Network>
+deserializeNetwork(const std::vector<std::uint8_t> &bytes);
 
 /** Write a serialized network to a file. Fatal on I/O error. */
 void saveNetwork(const Network &net, const std::string &path);
 
-/** Load a network from a file. Fatal on I/O error. */
-Network loadNetwork(const std::string &path);
+/** Load a network from a file; missing files and malformed content
+ *  are reported as an error Status. */
+Result<Network> loadNetwork(const std::string &path);
 
 } // namespace edgert::nn
 

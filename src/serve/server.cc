@@ -10,6 +10,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "core/builder.hh"
 #include "core/timing_cache.hh"
 #include "gpusim/sim.hh"
@@ -81,6 +82,8 @@ struct ModelMetrics
     obs::Counter completed;
     obs::Counter violations;
     obs::Counter batches;
+    obs::Counter load_failures;
+    obs::Counter rebuilds;
     obs::Histogram queue_depth;
     obs::Histogram batch_size;
     obs::Histogram latency_ms;
@@ -97,6 +100,10 @@ struct ModelMetrics
               "serve.request.slo_violations", {{"model", model}})),
           batches(obs::MetricRegistry::global().counter(
               "serve.batch.dispatched", {{"model", model}})),
+          load_failures(obs::MetricRegistry::global().counter(
+              "serve.engine.load_failures", {{"model", model}})),
+          rebuilds(obs::MetricRegistry::global().counter(
+              "serve.engine.rebuilds", {{"model", model}})),
           queue_depth(obs::MetricRegistry::global().histogram(
               "serve.queue.depth", {{"model", model}})),
           batch_size(obs::MetricRegistry::global().histogram(
@@ -142,40 +149,109 @@ runServer(const ServeConfig &cfg)
         policies.push_back(p);
     }
 
+    // Per-model obs handles are created up front so the fault
+    // counters below exist (and snapshot deterministically) even
+    // for models that never complete a load.
+    std::vector<ModelMetrics> mm;
+    for (const auto &mc : cfg.models)
+        mm.emplace_back(mc.model);
+
     // ------------------------------------------------------------
     // Build: per (model, device, ladder batch) engines, one shared
-    // timing cache (same-signature nodes measure once).
+    // timing cache (same-signature nodes measure once). Engine
+    // loads are fallible — injected faults stand in for corrupt or
+    // missing plan files — and each failure is retried (a rebuild)
+    // up to faults.max_load_attempts. A (model, device) pair whose
+    // loads keep failing is left without engines; the placement
+    // below routes around it.
     // ------------------------------------------------------------
     core::TimingCache timing_cache;
     std::vector<std::vector<EngineSet>> engine_sets(
         static_cast<std::size_t>(n_models));
+    std::vector<std::int64_t> load_failures(
+        static_cast<std::size_t>(n_models), 0);
+    std::vector<std::int64_t> rebuilds(
+        static_cast<std::size_t>(n_models), 0);
     {
         EDGERT_SPAN("serve_build",
                     {{"models", std::to_string(n_models)},
                      {"devices", std::to_string(n_devices)}});
+        std::map<std::string, int> fault_budget =
+            cfg.faults.engine_load_failures;
+        const int attempts =
+            std::max(1, cfg.faults.max_load_attempts);
         for (int m = 0; m < n_models; m++) {
             const auto &mc = cfg.models[static_cast<std::size_t>(m)];
             auto ladder =
                 batchLadder(policies[static_cast<std::size_t>(m)]
                                 .max_batch);
             for (int d = 0; d < n_devices; d++) {
+                const auto &spec =
+                    cfg.devices[static_cast<std::size_t>(d)];
                 core::BuilderConfig bcfg;
                 bcfg.build_id = cfg.build_id;
                 bcfg.jobs = cfg.build_jobs;
                 bcfg.timing_cache = &timing_cache;
-                core::Builder builder(
-                    cfg.devices[static_cast<std::size_t>(d)], bcfg);
+                core::Builder builder(spec, bcfg);
+
+                auto loadSet = [&]() -> Result<EngineSet> {
+                    auto it = fault_budget.find(mc.model);
+                    if (it != fault_budget.end() && it->second > 0) {
+                        it->second--;
+                        return errorStatus(
+                            ErrorCode::kUnavailable,
+                            "injected engine-load fault for '",
+                            mc.model, "'");
+                    }
+                    EngineSet set;
+                    for (int b : ladder) {
+                        set.engines.push_back(builder.build(
+                            nn::buildZooModel(mc.model, b)));
+                        set.batches.push_back(b);
+                    }
+                    return set;
+                };
+
                 EngineSet set;
-                for (int b : ladder) {
-                    set.engines.push_back(builder.build(
-                        nn::buildZooModel(mc.model, b)));
-                    set.batches.push_back(b);
+                bool loaded = false;
+                for (int a = 0; a < attempts && !loaded; a++) {
+                    auto r = loadSet();
+                    if (r.ok()) {
+                        set = std::move(r).value();
+                        loaded = true;
+                        if (a > 0) {
+                            rebuilds[static_cast<std::size_t>(m)]++;
+                            mm[static_cast<std::size_t>(m)]
+                                .rebuilds.add();
+                        }
+                    } else {
+                        load_failures[static_cast<std::size_t>(
+                            m)]++;
+                        mm[static_cast<std::size_t>(m)]
+                            .load_failures.add();
+                        warn("EdgeServe: engine load for '",
+                             mc.model, "' on ", spec.name,
+                             "[", d, "] failed (attempt ", a + 1,
+                             "/", attempts,
+                             "): ", r.status().message());
+                    }
                 }
+                // An empty set marks (model, device) unavailable.
                 engine_sets[static_cast<std::size_t>(m)].push_back(
                     std::move(set));
             }
         }
     }
+
+    // A model with engines on no device is degraded: all of its
+    // traffic is shed while the other models keep serving.
+    auto setAvailable = [&](int m, int d) {
+        return !engine_sets[static_cast<std::size_t>(m)]
+                           [static_cast<std::size_t>(d)]
+                               .engines.empty();
+    };
+    std::vector<bool> degraded(static_cast<std::size_t>(n_models),
+                               false);
 
     // ------------------------------------------------------------
     // Calibrate one predictor per (device, engine) and precompute
@@ -221,6 +297,8 @@ runServer(const ServeConfig &cfg)
         const auto &mc = cfg.models[static_cast<std::size_t>(m)];
         int placed_total = 0;
         for (int d = 0; d < n_devices; d++) {
+            if (!setAvailable(m, d))
+                continue;
             const auto &spec =
                 cfg.devices[static_cast<std::size_t>(d)];
             const auto &set =
@@ -239,10 +317,18 @@ runServer(const ServeConfig &cfg)
             placed_total += pool.place(
                 m, d, set.maxFootprintBytes(), want);
         }
-        if (placed_total == 0)
-            fatal("model '", mc.model,
-                  "' fits on no device (context footprint exceeds "
-                  "every RAM budget)");
+        if (placed_total == 0) {
+            // No engines anywhere (persistent load faults) or no
+            // RAM budget fits the context: degrade this model —
+            // shed its traffic — instead of failing the fleet.
+            degraded[static_cast<std::size_t>(m)] = true;
+            reg.gauge("serve.model.degraded",
+                      {{"model", mc.model}})
+                .set(1.0);
+            warn("EdgeServe: model '", mc.model,
+                 "' has no usable instances (engine loads failed "
+                 "or no RAM budget fits); shedding its traffic");
+        }
     }
 
     // Per-device simulators and per-instance streams.
@@ -301,10 +387,6 @@ runServer(const ServeConfig &cfg)
     // free) events. Decisions use predicted service times only; the
     // output is each instance's dispatch plan.
     // ------------------------------------------------------------
-    std::vector<ModelMetrics> mm;
-    for (const auto &mc : cfg.models)
-        mm.emplace_back(mc.model);
-
     std::vector<RequestQueue> queues(
         static_cast<std::size_t>(n_models));
     std::vector<DynamicBatcher> batchers;
@@ -328,9 +410,16 @@ runServer(const ServeConfig &cfg)
 
     auto backendView = [&](int m) {
         BackendView view;
-        // The ladder is identical across devices; take device 0's.
-        view.ladder =
-            engine_sets[static_cast<std::size_t>(m)][0].batches;
+        // The ladder is identical across devices; take the first
+        // available device's (a degraded model never gets here).
+        for (int d = 0; d < n_devices; d++)
+            if (setAvailable(m, d)) {
+                view.ladder =
+                    engine_sets[static_cast<std::size_t>(m)]
+                               [static_cast<std::size_t>(d)]
+                                   .batches;
+                break;
+            }
         for (int idx : pool.instancesOf(m)) {
             const Instance &inst =
                 pool.instances()[static_cast<std::size_t>(idx)];
@@ -422,6 +511,13 @@ runServer(const ServeConfig &cfg)
                   auto &q = queues[static_cast<std::size_t>(m)];
                   q.observeArrival(e.t);
                   mm[static_cast<std::size_t>(m)].offered.add();
+                  if (degraded[static_cast<std::size_t>(m)]) {
+                      // No backend exists for this model; shed
+                      // instead of queueing forever.
+                      r.outcome = Outcome::kShed;
+                      mm[static_cast<std::size_t>(m)].shed.add();
+                      break;
+                  }
                   if (cfg.admission_control) {
                       double est_s = predictSojournSeconds(
                           backendView(m),
@@ -469,8 +565,10 @@ runServer(const ServeConfig &cfg)
         for (std::size_t i = 0; i < pool.instances().size(); i++)
             ctxs[i].resize(
                 engine_sets[static_cast<std::size_t>(
-                    pool.instances()[i].model)][0]
-                    .engines.size());
+                    pool.instances()[i].model)]
+                           [static_cast<std::size_t>(
+                               pool.instances()[i].device)]
+                               .engines.size());
         for (std::size_t i = 0; i < pool.instances().size(); i++) {
             Instance &inst = pool.instances()[i];
             auto &sim =
@@ -562,6 +660,9 @@ runServer(const ServeConfig &cfg)
         s.model = mc.model;
         s.slo_ms = mc.slo_ms;
         s.instances = static_cast<int>(pool.instancesOf(m).size());
+        s.load_failures = load_failures[mi];
+        s.rebuilds = rebuilds[mi];
+        s.degraded = degraded[mi];
         std::int64_t dispatched = 0;
         std::int64_t batches = 0;
         for (int idx : pool.instancesOf(m)) {
@@ -691,6 +792,11 @@ ServeReport::toJson() const
         os << "      \"slo_ms\": " << jsonNumber(s.slo_ms)
            << ",\n";
         os << "      \"instances\": " << s.instances << ",\n";
+        os << "      \"degraded\": "
+           << (s.degraded ? "true" : "false") << ",\n";
+        os << "      \"load_failures\": " << s.load_failures
+           << ",\n";
+        os << "      \"rebuilds\": " << s.rebuilds << ",\n";
         os << "      \"offered\": " << s.offered << ",\n";
         os << "      \"offered_qps\": "
            << jsonNumber(s.offered_qps) << ",\n";

@@ -27,6 +27,7 @@
  */
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,27 @@ struct ModelConfig
     ArrivalConfig arrivals;  //!< offered-load process
     BatchPolicy batching;    //!< dynamic-batcher knobs
     int instances_per_device = 1;
+};
+
+/**
+ * Injected engine-load faults for resilience testing. A server that
+ * loads opaque plan blobs must expect some of them to be corrupt or
+ * missing; these knobs simulate that without touching the disk. A
+ * failed load is retried (a "rebuild") up to max_load_attempts per
+ * (model, device); a model whose loads keep failing everywhere is
+ * degraded — its traffic is shed per-model while every other model
+ * keeps serving. Failures are counted in the metric registry as
+ * `serve.engine.load_failures{model=...}`.
+ */
+struct FaultInjection
+{
+    /** Model name → number of initial engine-load attempts that
+     *  fail before loads for that model succeed again. */
+    std::map<std::string, int> engine_load_failures;
+
+    /** Load attempts per (model, device) before the scheduler
+     *  gives up on that placement (first try + rebuilds). */
+    int max_load_attempts = 2;
 };
 
 /** Whole-server configuration. */
@@ -72,6 +94,9 @@ struct ServeConfig
      * replay.
      */
     std::string trace_out;
+
+    /** Injected engine-load faults (empty = none). */
+    FaultInjection faults;
 };
 
 /** Per-model serving outcome. */
@@ -96,6 +121,16 @@ struct ModelStats
     double max_ms = 0.0;
     double predictor_mae_pct = 0.0; //!< mean |pred-meas|/meas x 100
     int instances = 0;
+
+    /** Engine-load failures observed while placing this model. */
+    std::int64_t load_failures = 0;
+
+    /** Loads that succeeded only after at least one retry. */
+    std::int64_t rebuilds = 0;
+
+    /** True when the model loaded on no device: every request for
+     *  it was shed, but the rest of the fleet kept serving. */
+    bool degraded = false;
 };
 
 /** Per-device serving outcome. */

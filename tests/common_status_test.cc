@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the Status / Result<T> error model: code and message
+ * propagation, context chaining, and value semantics. This is the
+ * recoverable half of the error-handling contract — fatal() and
+ * panic() stay reserved for user errors and internal bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/status.hh"
+
+namespace edgert {
+namespace {
+
+TEST(Status, OkIsDefaultAndCarriesNoMessage)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kOk);
+    EXPECT_TRUE(s.message().empty());
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    Status s = errorStatus(ErrorCode::kDataLoss, "bad magic ",
+                           0xdead);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kDataLoss);
+    EXPECT_NE(s.message().find("bad magic"), std::string::npos);
+    EXPECT_NE(s.toString().find(errorCodeName(ErrorCode::kDataLoss)),
+              std::string::npos);
+}
+
+TEST(Status, ContextChainsOutermostFirst)
+{
+    Status s = errorStatus(ErrorCode::kIoError, "read failed")
+                   .context("parsing header")
+                   .context("Engine::deserialize");
+    EXPECT_EQ(s.code(), ErrorCode::kIoError);
+    std::string m = s.message();
+    auto outer = m.find("Engine::deserialize");
+    auto mid = m.find("parsing header");
+    auto inner = m.find("read failed");
+    ASSERT_NE(outer, std::string::npos);
+    ASSERT_NE(mid, std::string::npos);
+    ASSERT_NE(inner, std::string::npos);
+    EXPECT_LT(outer, mid);
+    EXPECT_LT(mid, inner);
+}
+
+TEST(Status, EveryCodeHasAName)
+{
+    for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); c++)
+        EXPECT_STRNE(errorCodeName(static_cast<ErrorCode>(c)), "");
+}
+
+TEST(Result, HoldsAValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+    EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsAnError)
+{
+    Result<int> r(errorStatus(ErrorCode::kNotFound, "no such file"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Result, MoveOnlyPayloadsMoveOut)
+{
+    Result<std::string> r(std::string("payload"));
+    std::string s = std::move(r).value();
+    EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ArrowReachesMembers)
+{
+    Result<std::string> r(std::string("abc"));
+    EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Result, ContextWrapsTheCarriedStatus)
+{
+    Result<int> r(errorStatus(ErrorCode::kDataLoss, "truncated"));
+    Status s = r.status().context("loadNetwork");
+    EXPECT_LT(s.message().find("loadNetwork"),
+              s.message().find("truncated"));
+}
+
+} // namespace
+} // namespace edgert

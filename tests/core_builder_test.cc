@@ -225,7 +225,7 @@ TEST(Builder, EngineSerializationRoundTrip)
     BuilderConfig cfg;
     cfg.build_id = 3;
     Engine e = Builder(agx, cfg).build(net);
-    Engine back = Engine::deserialize(e.serialize());
+    Engine back = Engine::deserialize(e.serialize()).value();
     EXPECT_EQ(back.fingerprint(), e.fingerprint());
     EXPECT_EQ(back.modelName(), e.modelName());
     EXPECT_EQ(back.deviceName(), e.deviceName());

@@ -154,7 +154,7 @@ TEST(Int8Build, SerializationPreservesCalibration)
     cfg.build_id = 3;
     cfg.calibration_seed = 17;
     Engine e = Builder(nx, cfg).build(net);
-    Engine back = Engine::deserialize(e.serialize());
+    Engine back = Engine::deserialize(e.serialize()).value();
     EXPECT_EQ(back.calibrationFingerprint(),
               e.calibrationFingerprint());
     EXPECT_EQ(back.fingerprint(), e.fingerprint());

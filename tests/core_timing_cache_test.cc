@@ -79,7 +79,8 @@ TEST(TimingCache, SerializeRoundTripIsCanonical)
     b.insert(TimingCache::key("nx", 7, "x"), 1e-3);
     EXPECT_EQ(a.serialize(), b.serialize());
 
-    TimingCache back = TimingCache::deserialize(a.serialize());
+    TimingCache back =
+        TimingCache::deserialize(a.serialize()).value();
     EXPECT_EQ(back.size(), 2u);
     EXPECT_DOUBLE_EQ(*back.lookup(TimingCache::key("nx", 7, "x")),
                      1e-3);
@@ -91,10 +92,34 @@ TEST(TimingCache, SerializeRoundTripIsCanonical)
 
 TEST(TimingCache, DeserializeRejectsGarbage)
 {
+    // Cache files are untrusted input: garbage yields an error
+    // Status, never an abort or a throw.
     std::vector<std::uint8_t> junk = {'n', 'o', 'p', 'e', 1, 2, 3};
-    EXPECT_THROW(TimingCache::deserialize(junk), FatalError);
+    auto r = TimingCache::deserialize(junk);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss);
+
     std::vector<std::uint8_t> empty;
-    EXPECT_THROW(TimingCache::deserialize(empty), FatalError);
+    EXPECT_FALSE(TimingCache::deserialize(empty).ok());
+}
+
+TEST(TimingCache, LoadIgnoresCorruptFileWithWarning)
+{
+    // A corrupt on-disk cache must never kill a build: load() warns
+    // and starts cold.
+    std::string path = ::testing::TempDir() + "edgert_corrupt.cache";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[] = "definitely not a timing cache";
+        std::fwrite(junk, 1, sizeof(junk), f);
+        std::fclose(f);
+    }
+    setLogSink([](LogLevel, const std::string &) {});
+    TimingCache cache = TimingCache::load(path);
+    setLogSink({});
+    EXPECT_EQ(cache.size(), 0u);
+    std::remove(path.c_str());
 }
 
 TEST(TimingCache, FileRoundTripAndColdStart)

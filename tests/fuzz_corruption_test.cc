@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Corruption fuzzing for the binary file formats. Engine plans,
+ * timing caches and frozen models are untrusted input: a stream
+ * with any byte flipped, any prefix truncated, or trailing bytes
+ * appended must come back as a clean error Status — never an
+ * abort, an uncaught exception, or a huge allocation. The framed
+ * formats (engine plan, timing cache) carry a CRC-32 over the
+ * payload, so *every* single-byte corruption is detected; the
+ * unframed network format must simply never escape the Status
+ * contract. Legacy (pre-frame, version 1) files must stay
+ * readable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/builder.hh"
+#include "core/engine.hh"
+#include "core/timing_cache.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+#include "nn/serialize.hh"
+
+namespace edgert {
+namespace {
+
+/** Swallow log output while fuzzing (rejections warn/error). */
+class QuietLogs
+{
+  public:
+    QuietLogs() { setLogSink([](LogLevel, const std::string &) {}); }
+    ~QuietLogs() { setLogSink({}); }
+};
+
+std::vector<std::uint8_t>
+flipByte(const std::vector<std::uint8_t> &bytes, std::size_t at)
+{
+    std::vector<std::uint8_t> out = bytes;
+    out[at] ^= 0xff;
+    return out;
+}
+
+/**
+ * Rewrap a framed v2 stream as its legacy (version 1) equivalent:
+ * [magic][1][payload] with no length header and no CRC. The body
+ * layout did not change when framing was introduced, so this is
+ * byte-exact what an old EdgeRT build would have written.
+ */
+std::vector<std::uint8_t>
+asLegacyV1(const std::vector<std::uint8_t> &framed)
+{
+    // Framed layout: [magic u32][version u32][len u64][payload][crc].
+    EXPECT_GE(framed.size(), 20u);
+    std::vector<std::uint8_t> out(framed.begin(), framed.begin() + 4);
+    out.push_back(1);
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    out.insert(out.end(), framed.begin() + 16, framed.end() - 4);
+    return out;
+}
+
+core::Engine
+smallEngine()
+{
+    nn::Network net = nn::buildZooModel("alexnet");
+    core::BuilderConfig cfg;
+    cfg.build_id = 1;
+    return core::Builder(gpusim::DeviceSpec::xavierNX(), cfg)
+        .build(net);
+}
+
+TEST(FuzzEngine, EveryByteFlipIsDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallEngine().serialize();
+    ASSERT_TRUE(core::Engine::deserialize(bytes).ok());
+    // The CRC covers the payload and the frame header is fully
+    // validated, so no single-byte flip anywhere may slip through.
+    for (std::size_t at = 0; at < bytes.size(); at++) {
+        auto r = core::Engine::deserialize(flipByte(bytes, at));
+        EXPECT_FALSE(r.ok()) << "flip at offset " << at
+                             << " was not detected";
+    }
+}
+
+TEST(FuzzEngine, EveryTruncationIsDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallEngine().serialize();
+    for (std::size_t len = 0; len < bytes.size(); len++) {
+        std::vector<std::uint8_t> prefix(bytes.begin(),
+                                         bytes.begin() + len);
+        EXPECT_FALSE(core::Engine::deserialize(prefix).ok())
+            << "truncation to " << len << " bytes was not detected";
+    }
+}
+
+TEST(FuzzEngine, TrailingBytesAreDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallEngine().serialize();
+    bytes.push_back(0);
+    EXPECT_FALSE(core::Engine::deserialize(bytes).ok());
+}
+
+TEST(FuzzEngine, LegacyVersion1PlansStayReadable)
+{
+    QuietLogs quiet;
+    core::Engine e = smallEngine();
+    auto legacy = asLegacyV1(e.serialize());
+    auto r = core::Engine::deserialize(legacy);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->fingerprint(), e.fingerprint());
+    EXPECT_EQ(r->modelName(), e.modelName());
+    EXPECT_EQ(r->steps().size(), e.steps().size());
+}
+
+std::vector<std::uint8_t>
+smallCacheBytes()
+{
+    core::TimingCache cache;
+    cache.insert(core::TimingCache::key("nx", 1, "gemm"), 1e-3);
+    cache.insert(core::TimingCache::key("agx", 2, "winograd"), 2e-3);
+    return cache.serialize();
+}
+
+TEST(FuzzTimingCache, EveryByteFlipIsDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallCacheBytes();
+    ASSERT_TRUE(core::TimingCache::deserialize(bytes).ok());
+    for (std::size_t at = 0; at < bytes.size(); at++) {
+        auto r = core::TimingCache::deserialize(flipByte(bytes, at));
+        EXPECT_FALSE(r.ok()) << "flip at offset " << at
+                             << " was not detected";
+    }
+}
+
+TEST(FuzzTimingCache, EveryTruncationIsDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallCacheBytes();
+    for (std::size_t len = 0; len < bytes.size(); len++) {
+        std::vector<std::uint8_t> prefix(bytes.begin(),
+                                         bytes.begin() + len);
+        EXPECT_FALSE(core::TimingCache::deserialize(prefix).ok())
+            << "truncation to " << len << " bytes was not detected";
+    }
+}
+
+TEST(FuzzTimingCache, LegacyVersion1CachesStayReadable)
+{
+    QuietLogs quiet;
+    auto v2 = smallCacheBytes();
+    auto r = core::TimingCache::deserialize(asLegacyV1(v2));
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->size(), 2u);
+    EXPECT_EQ(r->serialize(), v2) << "reserialization upgrades to v2";
+}
+
+TEST(FuzzNetwork, FlipsNeverEscapeTheStatusContract)
+{
+    // The network format is unframed, so a flip is not guaranteed
+    // to be *detected* (it may decode as a different valid graph) —
+    // but it must never abort, throw, or allocate unboundedly.
+    QuietLogs quiet;
+    auto bytes = nn::serializeNetwork(nn::buildZooModel("alexnet"));
+    for (std::size_t at = 0; at < bytes.size(); at++) {
+        EXPECT_NO_THROW(
+            (void)nn::deserializeNetwork(flipByte(bytes, at)))
+            << "flip at offset " << at << " escaped";
+    }
+}
+
+TEST(FuzzNetwork, EveryTruncationIsDetected)
+{
+    QuietLogs quiet;
+    auto bytes = nn::serializeNetwork(nn::buildZooModel("alexnet"));
+    ASSERT_TRUE(nn::deserializeNetwork(bytes).ok());
+    for (std::size_t len = 0; len < bytes.size(); len++) {
+        std::vector<std::uint8_t> prefix(bytes.begin(),
+                                         bytes.begin() + len);
+        EXPECT_FALSE(nn::deserializeNetwork(prefix).ok())
+            << "truncation to " << len << " bytes was not detected";
+    }
+}
+
+TEST(FuzzNetwork, TrailingBytesAreDetected)
+{
+    QuietLogs quiet;
+    auto bytes = nn::serializeNetwork(nn::buildZooModel("alexnet"));
+    bytes.push_back(0);
+    EXPECT_FALSE(nn::deserializeNetwork(bytes).ok());
+}
+
+} // namespace
+} // namespace edgert

@@ -27,14 +27,14 @@ TEST(Integration, FullPipelineModelToLatency)
     // reload plan -> run. Structure and results survive every hop.
     nn::Network net = nn::buildZooModel("resnet-18");
     auto model_bytes = nn::serializeNetwork(net);
-    nn::Network shipped = nn::deserializeNetwork(model_bytes);
+    nn::Network shipped = nn::deserializeNetwork(model_bytes).value();
 
     gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
     core::BuilderConfig cfg;
     cfg.build_id = 9;
     core::Engine engine = core::Builder(nx, cfg).build(shipped);
-    core::Engine loaded = core::Engine::deserialize(
-        engine.serialize());
+    core::Engine loaded =
+        core::Engine::deserialize(engine.serialize()).value();
 
     auto a = runtime::measureLatency(engine, nx);
     auto b = runtime::measureLatency(loaded, nx);
@@ -82,8 +82,10 @@ TEST(Integration, DeployOneBinaryRemovesOutputNondeterminism)
     gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
     core::Engine master = core::Builder(nx, cfg).build(net);
 
-    auto unit1 = core::Engine::deserialize(master.serialize());
-    auto unit2 = core::Engine::deserialize(master.serialize());
+    auto unit1 =
+        core::Engine::deserialize(master.serialize()).value();
+    auto unit2 =
+        core::Engine::deserialize(master.serialize()).value();
     auto clf1 = data::SurrogateClassifier::forEngine(
         "resnet-18", unit1.fingerprint());
     auto clf2 = data::SurrogateClassifier::forEngine(

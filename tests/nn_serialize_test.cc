@@ -42,7 +42,7 @@ TEST_P(SerializeZooTest, RoundTrip)
 {
     Network net = buildZooModel(GetParam());
     auto bytes = serializeNetwork(net);
-    Network back = deserializeNetwork(bytes);
+    Network back = deserializeNetwork(bytes).value();
     expectStructurallyEqual(net, back);
 }
 
@@ -60,8 +60,12 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Serialize, RejectsGarbage)
 {
+    // Model files are untrusted input: garbage is a recoverable
+    // Status, not a throw or an abort.
     std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
-    EXPECT_THROW(deserializeNetwork(junk), FatalError);
+    auto r = deserializeNetwork(junk);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss);
 }
 
 TEST(Serialize, FileRoundTrip)
@@ -69,15 +73,16 @@ TEST(Serialize, FileRoundTrip)
     Network net = buildZooModel("mtcnn");
     std::string path = ::testing::TempDir() + "/mtcnn.ertn";
     saveNetwork(net, path);
-    Network back = loadNetwork(path);
+    Network back = loadNetwork(path).value();
     expectStructurallyEqual(net, back);
     std::remove(path.c_str());
 }
 
-TEST(Serialize, MissingFileFatal)
+TEST(Serialize, MissingFileIsAnError)
 {
-    EXPECT_THROW(loadNetwork("/nonexistent/path/model.ertn"),
-                 FatalError);
+    auto r = loadNetwork("/nonexistent/path/model.ertn");
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
 }
 
 TEST(Serialize, SerializationIsDeterministic)

@@ -106,7 +106,8 @@ class RandomGraphTest
 TEST_P(RandomGraphTest, SerializationRoundTrips)
 {
     Network net = randomNetwork(GetParam());
-    Network back = nn::deserializeNetwork(nn::serializeNetwork(net));
+    Network back =
+        nn::deserializeNetwork(nn::serializeNetwork(net)).value();
     EXPECT_EQ(back.layers().size(), net.layers().size());
     EXPECT_EQ(back.paramCount(), net.paramCount());
 }

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fault-injection tests for EdgeServe: injected engine-load
+ * failures must be retried (rebuilds), counted in the metric
+ * registry, and — when a model's loads keep failing everywhere —
+ * degrade just that model (its traffic is shed) while the rest of
+ * the fleet keeps serving. A load fault must never crash the
+ * scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "serve/server.hh"
+
+namespace edgert::serve {
+namespace {
+
+using obs::MetricRegistry;
+
+ServeConfig
+twoModelConfig()
+{
+    ServeConfig cfg;
+    ModelConfig a;
+    a.model = "alexnet";
+    a.slo_ms = 30;
+    a.arrivals.qps = 150;
+    cfg.models.push_back(a);
+    ModelConfig b = a;
+    b.model = "resnet-18";
+    b.arrivals.qps = 100;
+    cfg.models.push_back(b);
+    cfg.devices.push_back(parseDevice("nx"));
+    cfg.duration_s = 0.5;
+    return cfg;
+}
+
+/** Find a model's stats in a report. */
+const ModelStats &
+statsOf(const ServeReport &rep, const std::string &model)
+{
+    for (const auto &m : rep.models)
+        if (m.model == model)
+            return m;
+    ADD_FAILURE() << "model " << model << " missing from report";
+    static ModelStats none;
+    return none;
+}
+
+TEST(ServeFaults, TransientLoadFailureIsRebuiltAndCounted)
+{
+    MetricRegistry::global().reset();
+    ServeConfig cfg = twoModelConfig();
+    cfg.faults.engine_load_failures["alexnet"] = 1;
+    cfg.faults.max_load_attempts = 2;
+
+    setLogSink([](LogLevel, const std::string &) {});
+    ServeReport rep = runServer(cfg);
+    setLogSink({});
+
+    const ModelStats &m = statsOf(rep, "alexnet");
+    EXPECT_FALSE(m.degraded);
+    EXPECT_EQ(m.load_failures, 1);
+    EXPECT_EQ(m.rebuilds, 1);
+    EXPECT_GT(m.completed, 0);
+    EXPECT_EQ(MetricRegistry::global()
+                  .counter("serve.engine.load_failures",
+                           {{"model", "alexnet"}})
+                  .value(),
+              1);
+    EXPECT_EQ(MetricRegistry::global()
+                  .counter("serve.engine.rebuilds",
+                           {{"model", "alexnet"}})
+                  .value(),
+              1);
+}
+
+TEST(ServeFaults, PersistentFailureDegradesOnlyThatModel)
+{
+    MetricRegistry::global().reset();
+    ServeConfig cfg = twoModelConfig();
+    // Far more faults than the scheduler will ever attempt: every
+    // load of alexnet fails, on every device.
+    cfg.faults.engine_load_failures["alexnet"] = 100;
+    cfg.faults.max_load_attempts = 2;
+
+    setLogSink([](LogLevel, const std::string &) {});
+    ServeReport rep = runServer(cfg);
+    setLogSink({});
+
+    const ModelStats &bad = statsOf(rep, "alexnet");
+    EXPECT_TRUE(bad.degraded);
+    EXPECT_EQ(bad.instances, 0);
+    EXPECT_GT(bad.offered, 0);
+    EXPECT_EQ(bad.shed, bad.offered) << "all traffic shed";
+    EXPECT_EQ(bad.completed, 0);
+    EXPECT_EQ(bad.load_failures, 2) << "one per attempt";
+
+    // The healthy model is untouched by its neighbour's faults.
+    const ModelStats &good = statsOf(rep, "resnet-18");
+    EXPECT_FALSE(good.degraded);
+    EXPECT_EQ(good.load_failures, 0);
+    EXPECT_GT(good.completed, 0);
+
+    std::string json = rep.toJson();
+    EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"degraded\": false"), std::string::npos);
+}
+
+TEST(ServeFaults, FaultyRunsStayDeterministic)
+{
+    auto run = []() {
+        MetricRegistry::global().reset();
+        ServeConfig cfg = twoModelConfig();
+        cfg.faults.engine_load_failures["alexnet"] = 100;
+        setLogSink([](LogLevel, const std::string &) {});
+        ServeReport rep = runServer(cfg);
+        setLogSink({});
+        return rep.toJson();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace edgert::serve

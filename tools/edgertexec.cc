@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "core/builder.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -152,6 +153,24 @@ parse(int argc, char **argv)
                 fatal("missing value for ", arg);
             return argv[++i];
         };
+        // Reject malformed numeric values with a diagnostic naming
+        // the flag instead of an uncaught std::sto* exception.
+        auto intValue = [&]() {
+            std::string v = next();
+            auto r = parseInt64(v);
+            if (!r.ok())
+                fatal("invalid value '", v, "' for ", arg, ": ",
+                      r.status().message());
+            return static_cast<int>(*r);
+        };
+        auto unsignedValue = [&]() {
+            std::string v = next();
+            auto r = parseUint64(v);
+            if (!r.ok())
+                fatal("invalid value '", v, "' for ", arg, ": ",
+                      r.status().message());
+            return *r;
+        };
         if (arg == "--model")
             a.model = next();
         else if (arg == "--load-network")
@@ -169,15 +188,15 @@ parse(int argc, char **argv)
         else if (arg == "--int8")
             a.precision = nn::Precision::kInt8;
         else if (arg == "--build-id")
-            a.build_id = std::stoull(next());
+            a.build_id = unsignedValue();
         else if (arg == "--jobs")
-            a.jobs = std::stoi(next());
+            a.jobs = intValue();
         else if (arg == "--timing-cache")
             a.timing_cache = next();
         else if (arg == "--runs")
-            a.runs = std::stoi(next());
+            a.runs = intValue();
         else if (arg == "--threads")
-            a.threads = std::stoi(next());
+            a.threads = intValue();
         else if (arg == "--max-clock")
             a.max_clock = true;
         else if (arg == "--no-profiler")
@@ -215,10 +234,8 @@ parse(int argc, char **argv)
     return a;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto parsed = parse(argc, argv);
     if (!parsed)
@@ -251,7 +268,11 @@ main(int argc, char **argv)
         std::vector<std::uint8_t> bytes(
             (std::istreambuf_iterator<char>(f)),
             std::istreambuf_iterator<char>());
-        engine = core::Engine::deserialize(bytes);
+        auto loaded = core::Engine::deserialize(bytes);
+        if (!loaded.ok())
+            fatal("cannot load engine '", args.load_engine,
+                  "': ", loaded.status().toString());
+        engine = std::move(loaded).value();
         say("[edgertexec] loaded engine %s (built on %s, "
                     "fingerprint %016llx)\n",
                     engine.modelName().c_str(),
@@ -259,11 +280,16 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         engine.fingerprint()));
     } else {
-        nn::Network net =
-            !args.load_network.empty()
-                ? nn::loadNetwork(args.load_network)
-                : nn::buildZooModel(
-                      args.model.empty() ? "resnet-18" : args.model);
+        nn::Network net = [&]() {
+            if (args.load_network.empty())
+                return nn::buildZooModel(
+                    args.model.empty() ? "resnet-18" : args.model);
+            auto loaded = nn::loadNetwork(args.load_network);
+            if (!loaded.ok())
+                fatal("cannot load network '", args.load_network,
+                      "': ", loaded.status().toString());
+            return std::move(loaded).value();
+        }();
         say("[edgertexec] model %s: %lld convs, %lld "
                     "max-pools, %.2f MiB fp32\n",
                     net.name().c_str(),
@@ -422,4 +448,19 @@ main(int argc, char **argv)
                     args.metrics_out.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // fatal() has already printed the diagnostic through the log
+    // sink; a corrupt plan file or bad flag must exit non-zero, not
+    // abort or escape as an uncaught exception.
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 1;
+    }
 }

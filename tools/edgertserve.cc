@@ -43,6 +43,28 @@ say(const char *fmt, ...)
     va_end(ap);
 }
 
+/** Parse a numeric --model option value or fatal() with the
+ *  offending key=value pair (never an uncaught std::sto* throw). */
+double
+modelNumber(const std::string &k, const std::string &v)
+{
+    auto r = parseDouble(v);
+    if (!r.ok())
+        fatal("bad --model option '", k, "=", v,
+              "': ", r.status().message());
+    return *r;
+}
+
+int
+modelInt(const std::string &k, const std::string &v)
+{
+    auto r = parseInt64(v);
+    if (!r.ok())
+        fatal("bad --model option '", k, "=", v,
+              "': ", r.status().message());
+    return static_cast<int>(*r);
+}
+
 /**
  * Parse one --model spec:
  *   <zoo-name>[:qps=..][:slo_ms=..][:arrival=poisson|bursty|replay]
@@ -65,27 +87,48 @@ parseModelSpec(const std::string &spec)
         std::string k = parts[i].substr(0, eq);
         std::string v = parts[i].substr(eq + 1);
         if (k == "qps")
-            mc.arrivals.qps = std::stod(v);
+            mc.arrivals.qps = modelNumber(k, v);
         else if (k == "slo_ms")
-            mc.slo_ms = std::stod(v);
+            mc.slo_ms = modelNumber(k, v);
         else if (k == "arrival")
             mc.arrivals.kind = serve::parseArrivalKind(v);
         else if (k == "max_batch")
-            mc.batching.max_batch = std::stoi(v);
+            mc.batching.max_batch = modelInt(k, v);
         else if (k == "timeout_us")
-            mc.batching.timeout_us = std::stod(v);
+            mc.batching.timeout_us = modelNumber(k, v);
         else if (k == "instances")
-            mc.instances_per_device = std::stoi(v);
+            mc.instances_per_device = modelInt(k, v);
         else if (k == "burst_factor")
-            mc.arrivals.burst_factor = std::stod(v);
+            mc.arrivals.burst_factor = modelNumber(k, v);
         else if (k == "period_s")
-            mc.arrivals.period_s = std::stod(v);
+            mc.arrivals.period_s = modelNumber(k, v);
         else if (k == "duty")
-            mc.arrivals.duty = std::stod(v);
+            mc.arrivals.duty = modelNumber(k, v);
         else
             fatal("unknown --model option '", k, "'");
     }
     return mc;
+}
+
+/** Parse one --fail-load spec: <model>[:count] (default count 1). */
+void
+parseFailLoad(const std::string &spec, serve::FaultInjection &out)
+{
+    auto parts = split(spec, ':');
+    if (parts.empty() || parts[0].empty())
+        fatal("empty --fail-load spec");
+    int count = 1;
+    if (parts.size() > 1) {
+        auto r = parseInt64(parts[1]);
+        if (!r.ok() || *r < 1)
+            fatal("bad --fail-load count '", parts[1],
+                  "' (expected a positive integer)");
+        count = static_cast<int>(*r);
+    }
+    if (parts.size() > 2)
+        fatal("bad --fail-load spec '", spec,
+              "' (expected model[:count])");
+    out.engine_load_failures[parts[0]] += count;
 }
 
 struct Args
@@ -118,6 +161,10 @@ usage()
         "                        batch 1)\n"
         "  --ram-fraction <f>    device RAM share for contexts "
         "(default 0.5)\n"
+        "  --fail-load <m[:n]>   inject n engine-load failures for\n"
+        "                        model m (default 1); repeatable\n"
+        "  --load-attempts <n>   load tries per (model, device)\n"
+        "                        before degrading (default 2)\n"
         "  --report-out <f>      write the serve report JSON\n"
         "  --metrics-out <f>     write the metric-registry "
         "snapshot\n"
@@ -152,21 +199,47 @@ parse(int argc, char **argv)
                 fatal("missing value for ", arg);
             return argv[++i];
         };
+        // Reject malformed numeric values with a diagnostic naming
+        // the flag instead of an uncaught std::sto* exception.
+        auto number = [&]() {
+            std::string v = next();
+            auto r = parseDouble(v);
+            if (!r.ok())
+                fatal("invalid value '", v, "' for ", arg, ": ",
+                      r.status().message());
+            return *r;
+        };
+        auto unsignedNumber = [&]() {
+            std::string v = next();
+            auto r = parseUint64(v);
+            if (!r.ok())
+                fatal("invalid value '", v, "' for ", arg, ": ",
+                      r.status().message());
+            return *r;
+        };
         if (arg == "--model")
             a.cfg.models.push_back(parseModelSpec(next()));
         else if (arg == "--devices")
             devices = next();
         else if (arg == "--duration-s")
-            a.cfg.duration_s = std::stod(next());
+            a.cfg.duration_s = number();
         else if (arg == "--seed")
-            a.cfg.seed = std::stoull(next());
+            a.cfg.seed = unsignedNumber();
         else if (arg == "--no-admission")
             a.cfg.admission_control = false;
         else if (arg == "--no-batching")
             a.cfg.dynamic_batching = false;
         else if (arg == "--ram-fraction")
-            a.cfg.ram_fraction = std::stod(next());
-        else if (arg == "--report-out")
+            a.cfg.ram_fraction = number();
+        else if (arg == "--fail-load")
+            parseFailLoad(next(), a.cfg.faults);
+        else if (arg == "--load-attempts") {
+            auto n = unsignedNumber();
+            if (n < 1)
+                fatal("invalid value '", n, "' for ", arg,
+                      ": must be at least 1");
+            a.cfg.faults.max_load_attempts = static_cast<int>(n);
+        } else if (arg == "--report-out")
             a.report_out = next();
         else if (arg == "--metrics-out")
             a.metrics_out = next();
@@ -194,10 +267,8 @@ parse(int argc, char **argv)
     return a;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto parsed = parse(argc, argv);
     if (!parsed)
@@ -220,14 +291,21 @@ main(int argc, char **argv)
 
     serve::ServeReport report = serve::runServer(args.cfg);
 
-    for (const auto &m : report.models)
+    for (const auto &m : report.models) {
         say("[edgertserve] %-18s offered %.1f qps | goodput %.1f "
             "qps | shed %lld | p50 %.2f ms | p99 %.2f ms | SLO "
-            "%.1f ms | violations %lld | mean batch %.2f\n",
+            "%.1f ms | violations %lld | mean batch %.2f%s\n",
             m.model.c_str(), m.offered_qps, m.goodput_qps,
             static_cast<long long>(m.shed), m.p50_ms, m.p99_ms,
             m.slo_ms, static_cast<long long>(m.slo_violations),
-            m.mean_batch);
+            m.mean_batch, m.degraded ? " | DEGRADED" : "");
+        if (m.load_failures > 0)
+            say("[edgertserve] %-18s engine-load failures %lld | "
+                "rebuilds %lld\n",
+                m.model.c_str(),
+                static_cast<long long>(m.load_failures),
+                static_cast<long long>(m.rebuilds));
+    }
     for (const auto &d : report.devices)
         say("[edgertserve] device %-12s %d instance(s) | GPU util "
             "%.1f%% | copy %.1f%% | drained at %.2f s | ctx RAM "
@@ -259,4 +337,18 @@ main(int argc, char **argv)
             "chrome://tracing)\n",
             args.cfg.trace_out.c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // fatal() has already printed the diagnostic through the log
+    // sink; a bad flag or config must exit non-zero, not abort.
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 1;
+    }
 }
