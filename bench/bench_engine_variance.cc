@@ -21,6 +21,7 @@
 #include <iostream>
 #include <set>
 
+#include "report.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "core/builder.hh"
@@ -33,17 +34,37 @@ namespace {
 
 using namespace edgert;
 
-void
+/** One model's three-rebuild latency outcome (Table XII row). */
+struct VarianceRow
+{
+    std::string model;
+    double mean_ms[3];
+    double std_ms[3];
+    double spread_pct = 0.0;
+};
+
+/** One model's timing-cache mitigation outcome. */
+struct MitigationRow
+{
+    std::string model;
+    std::size_t distinct_uncached = 0;
+    std::size_t distinct_cached = 0;
+    double cached_spread_pct = 0.0;
+};
+
+std::vector<VarianceRow>
 printTable12()
 {
     gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
 
     TextTable table({"NN Model", "Engine1", "Engine2", "Engine3",
                      "max spread (%)"});
+    std::vector<VarianceRow> rows;
 
     for (const auto &model : nn::zooModelNames()) {
         nn::Network net = nn::buildZooModel(model);
-        double means[3];
+        VarianceRow vr;
+        vr.model = model;
         std::vector<std::string> row{model};
         for (int i = 0; i < 3; i++) {
             core::BuilderConfig cfg;
@@ -52,22 +73,28 @@ printTable12()
             runtime::LatencyOptions opts;
             opts.noise_seed = static_cast<std::uint64_t>(i);
             auto lat = runtime::measureLatency(e, agx, opts);
-            means[i] = lat.mean_ms;
+            vr.mean_ms[i] = lat.mean_ms;
+            vr.std_ms[i] = lat.std_ms;
             row.push_back(meanStdCell(lat.mean_ms, lat.std_ms));
         }
-        double mn = std::min({means[0], means[1], means[2]});
-        double mx = std::max({means[0], means[1], means[2]});
-        row.push_back(formatDouble(100.0 * (mx - mn) / mn, 1));
+        double mn =
+            std::min({vr.mean_ms[0], vr.mean_ms[1], vr.mean_ms[2]});
+        double mx =
+            std::max({vr.mean_ms[0], vr.mean_ms[1], vr.mean_ms[2]});
+        vr.spread_pct = 100.0 * (mx - mn) / mn;
+        row.push_back(formatDouble(vr.spread_pct, 1));
         table.addRow(std::move(row));
+        rows.push_back(std::move(vr));
     }
     std::printf("\n=== Table XII: run time (ms) of three engines of "
                 "the same model, built and run on AGX (paper: "
                 "spreads up to ~50%% for ResNet-18, ~17%% for "
                 "inception-v4/vgg-16/mobilenet) ===\n");
     table.render(std::cout);
+    return rows;
 }
 
-void
+std::vector<MitigationRow>
 printTable12Mitigated()
 {
     gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
@@ -75,6 +102,7 @@ printTable12Mitigated()
     TextTable table({"NN Model", "distinct engines (uncached)",
                      "distinct engines (cached)",
                      "cached spread (%)"});
+    std::vector<MitigationRow> rows;
     int frozen = 0, total = 0;
     for (const auto &model : nn::zooModelNames()) {
         nn::Network net = nn::buildZooModel(model);
@@ -95,9 +123,15 @@ printTable12Mitigated()
         }
         double mn = std::min({means[0], means[1], means[2]});
         double mx = std::max({means[0], means[1], means[2]});
+        MitigationRow mr;
+        mr.model = model;
+        mr.distinct_uncached = plain_fps.size();
+        mr.distinct_cached = cached_fps.size();
+        mr.cached_spread_pct = 100.0 * (mx - mn) / mn;
         table.addRow({model, std::to_string(plain_fps.size()),
                       std::to_string(cached_fps.size()),
-                      formatDouble(100.0 * (mx - mn) / mn, 1)});
+                      formatDouble(mr.cached_spread_pct, 1)});
+        rows.push_back(std::move(mr));
         total++;
         if (cached_fps.size() == 1)
             frozen++;
@@ -110,6 +144,48 @@ printTable12Mitigated()
                 "cached spread is run-to-run measurement noise, not "
                 "engine variance\n",
                 frozen, total);
+    return rows;
+}
+
+void
+writeJsonReport(const std::vector<VarianceRow> &variance,
+                const std::vector<MitigationRow> &mitigation)
+{
+    bench::saveBenchReport(
+        "BENCH_engine_variance.json", "bench_engine_variance",
+        [&](bench::JsonWriter &w) {
+            w.field("device", "xavier-agx");
+            w.field("builds_per_model", 3);
+            w.key("variance").beginArray();
+            for (const VarianceRow &r : variance) {
+                w.beginObject();
+                w.field("model", r.model);
+                w.key("mean_ms").beginArray();
+                for (double v : r.mean_ms)
+                    w.value(v);
+                w.endArray();
+                w.key("std_ms").beginArray();
+                for (double v : r.std_ms)
+                    w.value(v);
+                w.endArray();
+                w.field("spread_pct", r.spread_pct);
+                w.endObject();
+            }
+            w.endArray();
+            w.key("timing_cache_mitigation").beginArray();
+            for (const MitigationRow &r : mitigation) {
+                w.beginObject();
+                w.field("model", r.model);
+                w.field("distinct_engines_uncached",
+                        r.distinct_uncached);
+                w.field("distinct_engines_cached",
+                        r.distinct_cached);
+                w.field("cached_spread_pct", r.cached_spread_pct);
+                w.endObject();
+            }
+            w.endArray();
+        },
+        /*with_metrics=*/false);
 }
 
 void
@@ -150,8 +226,9 @@ BENCHMARK(BM_RebuildVarianceCached)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTable12();
-    printTable12Mitigated();
+    auto variance = printTable12();
+    auto mitigation = printTable12Mitigated();
+    writeJsonReport(variance, mitigation);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

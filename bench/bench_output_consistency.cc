@@ -25,8 +25,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <tuple>
 #include <vector>
 
+#include "report.hh"
 #include "common/table.hh"
 #include "core/builder.hh"
 #include "core/timing_cache.hh"
@@ -74,7 +76,52 @@ buildEngines(const std::string &model, const gpusim::DeviceSpec &dev,
     return out;
 }
 
+/** One model's mismatch counts, for the JSON report. */
+struct ConsistencyRow
+{
+    std::string model;
+    std::vector<std::size_t> cross;     //!< NXi-AGXj, row-major
+    std::vector<std::size_t> nx_pairs;  //!< 1-2, 2-3, 1-3
+    std::vector<std::size_t> agx_pairs; //!< 1-2, 2-3, 1-3
+    std::size_t cached_nx_max = 0;
+    std::size_t cached_agx_max = 0;
+    std::size_t cached_cross = 0;
+};
+
 void
+writeJsonReport(const std::vector<ConsistencyRow> &rows,
+                std::size_t dataset_size)
+{
+    bench::saveBenchReport(
+        "BENCH_output_consistency.json", "bench_output_consistency",
+        [&](bench::JsonWriter &w) {
+            w.field("dataset_size", dataset_size);
+            w.field("engines_per_platform", 3);
+            w.key("models").beginArray();
+            for (const ConsistencyRow &r : rows) {
+                w.beginObject();
+                w.field("model", r.model);
+                auto list = [&](const char *k,
+                                const std::vector<std::size_t> &v) {
+                    w.key(k).beginArray();
+                    for (std::size_t n : v)
+                        w.value(n);
+                    w.endArray();
+                };
+                list("cross_platform_mismatches", r.cross);
+                list("nx_pair_mismatches", r.nx_pairs);
+                list("agx_pair_mismatches", r.agx_pairs);
+                w.field("cached_nx_pairs_max", r.cached_nx_max);
+                w.field("cached_agx_pairs_max", r.cached_agx_max);
+                w.field("cached_cross_mismatches", r.cached_cross);
+                w.endObject();
+            }
+            w.endArray();
+        },
+        /*with_metrics=*/false);
+}
+
+std::vector<ConsistencyRow>
 printTables()
 {
     data::AdversarialDataset ds(/*classes=*/100, /*per_class=*/20,
@@ -90,31 +137,39 @@ printTables()
     TextTable t6({"Platform", "NN Model", "Engines 1-2",
                   "Engines 2-3", "Engines 1-3"});
 
+    std::vector<ConsistencyRow> rows;
     for (const char *model : kModels) {
         auto nx_clfs = buildEngines(model, nx, 3, /*base_id=*/100);
         auto agx_clfs = buildEngines(model, agx, 3, /*base_id=*/200);
+        ConsistencyRow cr;
+        cr.model = model;
 
         std::vector<std::string> row{model};
         for (int i = 0; i < 3; i++)
-            for (int j = 0; j < 3; j++)
-                row.push_back(std::to_string(mismatches(
+            for (int j = 0; j < 3; j++) {
+                std::size_t n = mismatches(
                     nx_clfs[static_cast<std::size_t>(i)],
-                    agx_clfs[static_cast<std::size_t>(j)], ds)));
+                    agx_clfs[static_cast<std::size_t>(j)], ds);
+                cr.cross.push_back(n);
+                row.push_back(std::to_string(n));
+            }
         t5.addRow(std::move(row));
 
-        for (const auto &[platform, clfs] :
-             {std::pair<const char *,
-                        std::vector<data::SurrogateClassifier> *>{
-                  "NX", &nx_clfs},
-              {"AGX", &agx_clfs}}) {
+        for (const auto &[platform, clfs, pairs] :
+             {std::tuple<const char *,
+                         std::vector<data::SurrogateClassifier> *,
+                         std::vector<std::size_t> *>{
+                  "NX", &nx_clfs, &cr.nx_pairs},
+              {"AGX", &agx_clfs, &cr.agx_pairs}}) {
+            *pairs = {mismatches((*clfs)[0], (*clfs)[1], ds),
+                      mismatches((*clfs)[1], (*clfs)[2], ds),
+                      mismatches((*clfs)[0], (*clfs)[2], ds)};
             t6.addRow({platform, model,
-                       std::to_string(
-                           mismatches((*clfs)[0], (*clfs)[1], ds)),
-                       std::to_string(
-                           mismatches((*clfs)[1], (*clfs)[2], ds)),
-                       std::to_string(
-                           mismatches((*clfs)[0], (*clfs)[2], ds))});
+                       std::to_string((*pairs)[0]),
+                       std::to_string((*pairs)[1]),
+                       std::to_string((*pairs)[2])});
         }
+        rows.push_back(std::move(cr));
     }
 
     std::printf("\n=== Table V: differing predictions across "
@@ -131,7 +186,8 @@ printTables()
     // the cross-platform pair stays nonzero.
     TextTable tm({"NN Model", "NX pairs max", "AGX pairs max",
                   "NX1-AGX1"});
-    for (const char *model : kModels) {
+    for (std::size_t mi = 0; mi < rows.size(); mi++) {
+        const char *model = kModels[mi];
         core::TimingCache nx_cache, agx_cache;
         auto nx_clfs = buildEngines(model, nx, 3, 100, &nx_cache);
         auto agx_clfs = buildEngines(model, agx, 3, 200, &agx_cache);
@@ -146,16 +202,20 @@ printTables()
                     agx_max,
                     mismatches(agx_clfs[si], agx_clfs[sj], ds));
             }
+        rows[mi].cached_nx_max = nx_max;
+        rows[mi].cached_agx_max = agx_max;
+        rows[mi].cached_cross =
+            mismatches(nx_clfs[0], agx_clfs[0], ds);
         tm.addRow({model, std::to_string(nx_max),
                    std::to_string(agx_max),
-                   std::to_string(
-                       mismatches(nx_clfs[0], agx_clfs[0], ds))});
+                   std::to_string(rows[mi].cached_cross)});
     }
     std::printf("\n=== Mitigation: the same engine pairs rebuilt "
                 "through a shared per-platform TimingCache "
                 "(same-platform mismatches collapse to 0; "
                 "cross-platform inconsistency remains) ===\n");
     tm.render(std::cout);
+    return rows;
 }
 
 void
@@ -177,7 +237,8 @@ BENCHMARK(BM_MismatchCount)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTables();
+    auto rows = printTables();
+    writeJsonReport(rows, 60000);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

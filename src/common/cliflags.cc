@@ -1,0 +1,80 @@
+#include "common/cliflags.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace edgert {
+
+bool
+FlagParser::next()
+{
+    if (i_ + 1 >= argc_)
+        return false;
+    i_++;
+    arg_ = argv_[i_];
+    inline_value_.reset();
+    if (arg_.rfind("--", 0) == 0) {
+        std::size_t eq = arg_.find('=');
+        if (eq != std::string::npos) {
+            inline_value_ = arg_.substr(eq + 1);
+            arg_ = arg_.substr(0, eq);
+        }
+    }
+    return true;
+}
+
+bool
+FlagParser::isOption() const
+{
+    return arg_.rfind("--", 0) == 0;
+}
+
+std::string
+FlagParser::value()
+{
+    if (inline_value_) {
+        // One value per flag: consume it so a stray second call is
+        // a missing-value diagnostic, not a silent repeat.
+        std::string v = *inline_value_;
+        inline_value_.reset();
+        return v;
+    }
+    if (i_ + 1 >= argc_)
+        fatal("missing value for ", arg_);
+    return argv_[++i_];
+}
+
+double
+FlagParser::numberValue()
+{
+    std::string v = value();
+    auto r = parseDouble(v);
+    if (!r.ok())
+        fatal("invalid value '", v, "' for ", arg_, ": ",
+              r.status().message());
+    return *r;
+}
+
+std::int64_t
+FlagParser::intValue()
+{
+    std::string v = value();
+    auto r = parseInt64(v);
+    if (!r.ok())
+        fatal("invalid value '", v, "' for ", arg_, ": ",
+              r.status().message());
+    return *r;
+}
+
+std::uint64_t
+FlagParser::unsignedValue()
+{
+    std::string v = value();
+    auto r = parseUint64(v);
+    if (!r.ok())
+        fatal("invalid value '", v, "' for ", arg_, ": ",
+              r.status().message());
+    return *r;
+}
+
+} // namespace edgert

@@ -1,0 +1,83 @@
+#ifndef EDGERT_COMMON_CLIFLAGS_HH
+#define EDGERT_COMMON_CLIFLAGS_HH
+
+/**
+ * @file
+ * The one `--opt value` / `--opt=value` argument scanner shared by
+ * the EdgeRT command-line drivers (edgertexec, edgertserve,
+ * edgertdeploy). Each driver used to carry its own copy of the
+ * inline-value splitting and the strict numeric parsing; this class
+ * is that logic, extracted verbatim:
+ *
+ *     FlagParser flags(argc, argv);
+ *     while (flags.next()) {
+ *         if (flags.is("--model"))
+ *             model = flags.value();
+ *         else if (flags.is("--runs"))
+ *             runs = static_cast<int>(flags.intValue());
+ *         else
+ *             ... unknown option ...
+ *     }
+ *
+ * Values may be inline (`--runs=5`) or the next argv entry
+ * (`--runs 5`). Numeric accessors go through the strict
+ * common/strutil parsers and fatal() with a diagnostic naming the
+ * flag — a malformed value must exit non-zero with a message, never
+ * surface as an uncaught std::sto* exception. Tokens that do not
+ * start with `--` (subcommands, positional operands) come through
+ * arg() unsplit.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace edgert {
+
+/** Sequential argv scanner with --opt=value splitting. */
+class FlagParser
+{
+  public:
+    FlagParser(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    /** Advance to the next argument; false when argv is exhausted. */
+    bool next();
+
+    /** Current option name (inline `=value` stripped), or the raw
+     *  token for non-option arguments. */
+    const std::string &arg() const { return arg_; }
+
+    /** True when the current argument is exactly `name`. */
+    bool is(const char *name) const { return arg_ == name; }
+
+    /** True when the current token starts with "--". */
+    bool isOption() const;
+
+    /**
+     * The current option's value: the inline `=value` if present,
+     * otherwise the next argv entry (consumed). fatal()s when
+     * neither exists.
+     */
+    std::string value();
+
+    /** value() parsed as a strict double; fatal()s on a malformed
+     *  value, naming the flag. */
+    double numberValue();
+
+    /** value() parsed as a strict signed integer. */
+    std::int64_t intValue();
+
+    /** value() parsed as a strict unsigned integer. */
+    std::uint64_t unsignedValue();
+
+  private:
+    int argc_;
+    char **argv_;
+    int i_ = 0; //!< argv index of the current argument
+    std::string arg_;
+    std::optional<std::string> inline_value_;
+};
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_CLIFLAGS_HH

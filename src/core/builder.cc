@@ -368,9 +368,22 @@ Builder::build(const nn::Network &net, BuildReport *report) const
 
     publishMetrics(*report, cache, pool.get());
 
-    return Engine(net.name(), device_.name, config_.precision,
+    Engine engine(net.name(), device_.name, config_.precision,
                   config_.build_id, std::move(steps),
                   std::move(inputs), std::move(outputs), calib_fp);
+
+    BuildProvenance &prov = report->provenance;
+    prov.model = net.name();
+    prov.device = device_.name;
+    prov.precision = config_.precision;
+    prov.build_id = config_.build_id;
+    prov.tactic_fingerprint = engine.fingerprint();
+    prov.timing_measurements = report->workload.measurements;
+    prov.timing_cache_hits = report->workload.cache_hits;
+    prov.timing_shared = report->workload.shared;
+    prov.jobs = report->workload.jobs;
+
+    return engine;
 }
 
 void

@@ -145,12 +145,34 @@ struct TimingWorkload
     double makespanSeconds(int workers) const;
 };
 
+/**
+ * Identity summary of one finished build, exported for the deploy
+ * layer's repository manifests: everything a lifecycle system needs
+ * to answer "where did this plan come from, and would a rebuild
+ * reproduce it" without deserializing the plan itself. The tactic
+ * fingerprint is Engine::fingerprint() of the produced engine —
+ * equal fingerprints mean bit-identical binaries.
+ */
+struct BuildProvenance
+{
+    std::string model;
+    std::string device;
+    nn::Precision precision = nn::Precision::kFp16;
+    std::uint64_t build_id = 0;
+    std::uint64_t tactic_fingerprint = 0;
+    std::int64_t timing_measurements = 0; //!< fresh tactic timings
+    std::int64_t timing_cache_hits = 0;   //!< cache-served timings
+    std::int64_t timing_shared = 0;       //!< signature-shared timings
+    int jobs = 1;                         //!< resolved sweep workers
+};
+
 /** Full build report. */
 struct BuildReport
 {
     OptimizerStats optimizer;
     std::vector<TuningRecord> tuning;
     TimingWorkload workload;
+    BuildProvenance provenance;
 };
 
 /**

@@ -1,0 +1,192 @@
+#include "deploy/drift_gate.hh"
+
+#include <map>
+#include <sstream>
+
+#include "common/strutil.hh"
+#include "data/datasets.hh"
+#include "data/surrogate.hh"
+#include "obs/metrics.hh"
+
+namespace edgert::deploy {
+
+namespace {
+
+/** Invocations per kernel name over one inference of `engine`. */
+std::map<std::string, std::int64_t>
+kernelCalls(const core::Engine &engine)
+{
+    std::map<std::string, std::int64_t> calls;
+    for (const auto &step : engine.steps())
+        for (const auto &k : step.kernels)
+            calls[k.name]++;
+    return calls;
+}
+
+void
+jsonStr(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::string
+DriftVerdict::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"accepted\": " << (accepted ? "true" : "false")
+       << ", \"reason\": ";
+    jsonStr(os, reason);
+    os << ", \"detail\": ";
+    jsonStr(os, detail);
+    os << ", \"canary_ran\": " << (canary_ran ? "true" : "false")
+       << ", \"canary_size\": " << canary_size
+       << ", \"disagreements\": " << disagreements
+       << ", \"disagreement_pct\": "
+       << formatDouble(disagreement_pct, 4)
+       << ", \"kernel_remap_pct\": "
+       << formatDouble(kernel_remap_pct, 2)
+       << ", \"kernel_deltas\": [";
+    for (std::size_t i = 0; i < kernel_deltas.size(); i++) {
+        const KernelDelta &d = kernel_deltas[i];
+        if (i)
+            os << ", ";
+        os << "{\"kernel\": ";
+        jsonStr(os, d.kernel);
+        os << ", \"incumbent_calls\": " << d.incumbent_calls
+           << ", \"candidate_calls\": " << d.candidate_calls << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+DriftGate::DriftGate(DriftGateConfig cfg)
+    : cfg_(std::move(cfg))
+{}
+
+DriftVerdict
+DriftGate::evaluate(const core::Engine &incumbent,
+                    const core::Engine &candidate) const
+{
+    auto &reg = obs::MetricRegistry::global();
+    obs::Labels labels{{"model", incumbent.modelName()}};
+    reg.counter("deploy.gate.evaluations", labels).add();
+
+    DriftVerdict v;
+    if (incumbent.modelName() != candidate.modelName()) {
+        v.reason = "model_mismatch";
+        v.detail = "incumbent serves '" + incumbent.modelName() +
+                   "', candidate was built for '" +
+                   candidate.modelName() + "'";
+        reg.counter("deploy.gate.rejected",
+                    {{"model", incumbent.modelName()},
+                     {"reason", v.reason}})
+            .add();
+        return v;
+    }
+    if (incumbent.precision() != candidate.precision()) {
+        v.reason = "precision_mismatch";
+        v.detail = std::string("incumbent is ") +
+                   nn::precisionName(incumbent.precision()) +
+                   ", candidate is " +
+                   nn::precisionName(candidate.precision());
+        reg.counter("deploy.gate.rejected",
+                    {{"model", incumbent.modelName()},
+                     {"reason", v.reason}})
+            .add();
+        return v;
+    }
+
+    // Kernel mapping delta (Finding 6): which kernels the plans
+    // invoke, and how often, regardless of prediction agreement.
+    auto inc_calls = kernelCalls(incumbent);
+    auto cand_calls = kernelCalls(candidate);
+    std::map<std::string, std::int64_t> all = inc_calls;
+    for (const auto &[name, n] : cand_calls)
+        all.emplace(name, 0);
+    for (const auto &[name, unused] : all) {
+        std::int64_t a =
+            inc_calls.count(name) ? inc_calls.at(name) : 0;
+        std::int64_t b =
+            cand_calls.count(name) ? cand_calls.at(name) : 0;
+        if (a != b)
+            v.kernel_deltas.push_back({name, a, b});
+    }
+    if (!all.empty())
+        v.kernel_remap_pct = 100.0 *
+                             static_cast<double>(
+                                 v.kernel_deltas.size()) /
+                             static_cast<double>(all.size());
+
+    if (incumbent.fingerprint() == candidate.fingerprint()) {
+        // Bit-identical binaries compute bit-identical outputs;
+        // the canary cannot disagree, so skip it.
+        v.accepted = true;
+        reg.counter("deploy.gate.accepted", labels).add();
+        return v;
+    }
+
+    // Canary replay (Finding 2): top-1 disagreement between the two
+    // builds on a deterministic corrupted-image batch.
+    data::AdversarialDataset canary(cfg_.canary_classes,
+                                    cfg_.canary_per_class,
+                                    cfg_.canary_severities);
+    auto inc_clf = data::SurrogateClassifier::forEngine(
+        incumbent.modelName(), incumbent.fingerprint());
+    auto cand_clf = data::SurrogateClassifier::forEngine(
+        candidate.modelName(), candidate.fingerprint());
+    v.canary_ran = true;
+    v.canary_size = static_cast<std::int64_t>(canary.size());
+    for (std::size_t i = 0; i < canary.size(); i++) {
+        data::CorruptImageRef img = canary.at(i);
+        if (inc_clf.predict(img) != cand_clf.predict(img))
+            v.disagreements++;
+    }
+    if (v.canary_size > 0)
+        v.disagreement_pct = 100.0 *
+                             static_cast<double>(v.disagreements) /
+                             static_cast<double>(v.canary_size);
+    reg.histogram("deploy.gate.disagreement_pct", labels)
+        .record(v.disagreement_pct);
+
+    if (v.disagreement_pct > cfg_.max_disagreement_pct) {
+        v.reason = "drift_exceeds_threshold";
+        v.detail = "canary disagreement " +
+                   formatDouble(v.disagreement_pct, 3) +
+                   "% exceeds the " +
+                   formatDouble(cfg_.max_disagreement_pct, 3) +
+                   "% gate (" + std::to_string(v.disagreements) +
+                   " of " + std::to_string(v.canary_size) +
+                   " images)";
+    } else if (v.kernel_remap_pct > cfg_.max_kernel_remap_pct) {
+        v.reason = "kernel_remap_exceeds_threshold";
+        v.detail = "kernel remap " +
+                   formatDouble(v.kernel_remap_pct, 2) +
+                   "% exceeds the " +
+                   formatDouble(cfg_.max_kernel_remap_pct, 2) +
+                   "% gate (" +
+                   std::to_string(v.kernel_deltas.size()) +
+                   " kernels changed invocation counts)";
+    } else {
+        v.accepted = true;
+    }
+
+    if (v.accepted) {
+        reg.counter("deploy.gate.accepted", labels).add();
+    } else {
+        reg.counter("deploy.gate.rejected",
+                    {{"model", incumbent.modelName()},
+                     {"reason", v.reason}})
+            .add();
+    }
+    return v;
+}
+
+} // namespace edgert::deploy

@@ -1,0 +1,110 @@
+#ifndef EDGERT_DEPLOY_DRIFT_GATE_HH
+#define EDGERT_DEPLOY_DRIFT_GATE_HH
+
+/**
+ * @file
+ * DriftGate — the promotion decision of the EdgeDeploy lifecycle.
+ *
+ * The paper's Finding 2 shows that rebuilding the *same* network
+ * yields engines that disagree on 0.1–0.8% of top-1 predictions
+ * (tactic re-timing changes the kernel selection, FP16 accumulation
+ * order shifts, borderline argmax decisions flip), and Finding 6
+ * shows the kernel mapping itself changes between builds. Both are
+ * invisible to latency dashboards; a deployment pipeline that swaps
+ * engines blindly silently changes model behaviour in production.
+ *
+ * The gate replays a deterministic canary batch through the
+ * incumbent and the candidate (surrogate classifiers keyed by each
+ * engine's tactic fingerprint — equal fingerprints agree everywhere
+ * by construction) and compares the per-kernel invocation counts of
+ * the two plans. A candidate whose top-1 disagreement or kernel
+ * remap fraction exceeds the configured thresholds is rejected with
+ * a machine-readable reason so the repository can quarantine it.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+
+namespace edgert::deploy {
+
+/** Tunables of the drift gate. */
+struct DriftGateConfig
+{
+    /** Max tolerated top-1 disagreement on the canary batch (%).
+     *  The paper band is 0.1–0.8%, so the default rejects the
+     *  upper half of naturally occurring rebuild drift. */
+    double max_disagreement_pct = 0.4;
+
+    /** Canary batch shape: classes x per_class x |severities|
+     *  corrupted images (corrupted inputs sit closer to decision
+     *  boundaries, so drift surfaces with fewer images). */
+    int canary_classes = 20;
+    int canary_per_class = 10;
+    std::vector<int> canary_severities = {1, 5};
+
+    /** Max tolerated fraction of kernel names whose invocation
+     *  count changed between the plans (%). 100 disables the
+     *  check (the paper expects remaps; they are reported either
+     *  way). */
+    double max_kernel_remap_pct = 100.0;
+};
+
+/** One kernel whose invocation count differs between the plans. */
+struct KernelDelta
+{
+    std::string kernel;
+    std::int64_t incumbent_calls = 0;
+    std::int64_t candidate_calls = 0;
+};
+
+/** The gate's decision and its evidence. */
+struct DriftVerdict
+{
+    bool accepted = false;
+
+    /** Machine-readable rejection reason; empty when accepted.
+     *  One of: "drift_exceeds_threshold",
+     *  "kernel_remap_exceeds_threshold", "model_mismatch",
+     *  "precision_mismatch". */
+    std::string reason;
+
+    /** Human-readable elaboration of `reason`. */
+    std::string detail;
+
+    /** True when the canary replay ran (equal fingerprints and
+     *  identity-mismatch rejections skip it). */
+    bool canary_ran = false;
+    std::int64_t canary_size = 0;
+    std::int64_t disagreements = 0;
+    double disagreement_pct = 0.0;
+
+    /** Share of kernel names with changed invocation counts (%). */
+    double kernel_remap_pct = 0.0;
+    std::vector<KernelDelta> kernel_deltas;
+
+    /** Canonical JSON rendering (stable field order). */
+    std::string toJson() const;
+};
+
+/** Replays the canary and renders the promote/quarantine verdict. */
+class DriftGate
+{
+  public:
+    explicit DriftGate(DriftGateConfig cfg = {});
+
+    /** Compare `candidate` against the serving `incumbent`. */
+    DriftVerdict evaluate(const core::Engine &incumbent,
+                          const core::Engine &candidate) const;
+
+    const DriftGateConfig &config() const { return cfg_; }
+
+  private:
+    DriftGateConfig cfg_;
+};
+
+} // namespace edgert::deploy
+
+#endif // EDGERT_DEPLOY_DRIFT_GATE_HH

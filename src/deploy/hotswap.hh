@@ -1,0 +1,84 @@
+#ifndef EDGERT_DEPLOY_HOTSWAP_HH
+#define EDGERT_DEPLOY_HOTSWAP_HH
+
+/**
+ * @file
+ * HotSwapper — glue between the repository/gate lifecycle and the
+ * live EdgeServe run.
+ *
+ * The server owns the actual swap mechanics (serve::SwapSpec: pause
+ * the model while the candidate warms, drain in-flight incumbent
+ * batches on their old contexts, admit new batches on the new
+ * engine, roll back on canary latency regression — no request is
+ * ever dropped). The HotSwapper owns the *decision* and the
+ * *record*: it makes sure every served model has a promoted
+ * incumbent in the repository, rebuilds candidates through the
+ * DriftGate, schedules swaps only for candidates that passed, and
+ * reconciles the manifests afterwards (a swap the server rolled
+ * back rolls the repository lineage back too).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "deploy/rebuild_worker.hh"
+#include "deploy/repository.hh"
+#include "serve/server.hh"
+
+namespace edgert::deploy {
+
+/** Gated swap schedule for one serve run. */
+struct HotSwapPlan
+{
+    /** Swaps to splice into ServeConfig::swaps (accepted only). */
+    std::vector<serve::SwapSpec> swaps;
+
+    /** Per-model rebuild/gate outcome, ModelConfig order. */
+    std::vector<RebuildOutcome> outcomes;
+};
+
+/**
+ * Plans drift-gated hot-swaps and reconciles the repository with
+ * what the server actually did.
+ */
+class HotSwapper
+{
+  public:
+    /** @param repo Lifecycle store (not owned). */
+    explicit HotSwapper(EngineRepository &repo,
+                        DriftGateConfig gate_cfg = {});
+
+    /**
+     * Prepare a swap of every model in `cfg` to a rebuilt engine.
+     *
+     * Ensures each model has a promoted incumbent (bootstrapping
+     * one at cfg.build_id when its manifest does not exist yet),
+     * rebuilds a candidate at `rebuild_build_id` through the drift
+     * gate, and emits a SwapSpec at `t_s` for each candidate the
+     * gate promoted. A model whose manifest is corrupt is skipped —
+     * the incumbent keeps serving and the error is recorded in its
+     * outcome.
+     *
+     * @param workers Rebuild pool size; keep 1 for byte-identical
+     *        metric streams.
+     */
+    HotSwapPlan planSwaps(const serve::ServeConfig &cfg, double t_s,
+                          std::uint64_t rebuild_build_id,
+                          int workers = 1);
+
+    /**
+     * Run the server with the plan's swaps spliced in, then roll
+     * the repository lineage back for every model whose swap the
+     * server rolled back at runtime.
+     */
+    serve::ServeReport runWithSwaps(const serve::ServeConfig &cfg,
+                                    const HotSwapPlan &plan);
+
+  private:
+    EngineRepository &repo_;
+    DriftGateConfig gate_cfg_;
+};
+
+} // namespace edgert::deploy
+
+#endif // EDGERT_DEPLOY_HOTSWAP_HH

@@ -1,0 +1,532 @@
+#include "deploy/repository.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/binio.hh"
+#include "common/framing.hh"
+#include "common/logging.hh"
+#include "nn/executor.hh"
+#include "obs/metrics.hh"
+
+namespace fs = std::filesystem;
+
+namespace edgert::deploy {
+
+namespace {
+
+// "ERTM" little-endian, next to the engine plan's "ERTE".
+constexpr std::uint32_t kManifestMagic = 0x4D545245;
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::uint32_t kManifestFramedSince = 1;
+
+/** Replace anything a filesystem could object to. */
+std::string
+sanitize(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '.' && c != '_' && c != '-')
+            c = '_';
+    return out;
+}
+
+Result<std::vector<std::uint8_t>>
+readFile(const std::string &path)
+{
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return errorStatus(ErrorCode::kNotFound, "no such file '",
+                           path, "'");
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return errorStatus(ErrorCode::kIoError, "cannot open '",
+                           path, "'");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        return errorStatus(ErrorCode::kIoError, "cannot read '",
+                           path, "'");
+    return bytes;
+}
+
+/** Write-then-rename so readers never observe a partial file. */
+Status
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary |
+                                   std::ios::trunc);
+        if (!out)
+            return errorStatus(ErrorCode::kIoError,
+                               "cannot open '", tmp,
+                               "' for writing");
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return errorStatus(ErrorCode::kIoError,
+                               "cannot write '", tmp, "'");
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        return errorStatus(ErrorCode::kIoError, "cannot rename '",
+                           tmp, "' to '", path,
+                           "': ", ec.message());
+    return Status();
+}
+
+obs::MetricRegistry &
+reg()
+{
+    return obs::MetricRegistry::global();
+}
+
+} // namespace
+
+std::string
+ModelKey::displayName() const
+{
+    return sanitize(model) + "@" + sanitize(device) + "@" +
+           nn::precisionName(precision);
+}
+
+const char *
+versionStateName(VersionState s)
+{
+    switch (s) {
+      case VersionState::kCandidate:
+        return "candidate";
+      case VersionState::kPromoted:
+        return "promoted";
+      case VersionState::kQuarantined:
+        return "quarantined";
+      case VersionState::kRetired:
+        return "retired";
+      case VersionState::kRolledBack:
+        return "rolled_back";
+    }
+    return "unknown";
+}
+
+const ManifestEntry *
+Manifest::find(int version) const
+{
+    for (const auto &e : entries)
+        if (e.version == version)
+            return &e;
+    return nullptr;
+}
+
+ManifestEntry *
+Manifest::find(int version)
+{
+    for (auto &e : entries)
+        if (e.version == version)
+            return &e;
+    return nullptr;
+}
+
+std::vector<std::uint8_t>
+Manifest::serialize() const
+{
+    BinWriter w;
+    w.str(key.model);
+    w.str(key.device);
+    w.u8(static_cast<std::uint8_t>(key.precision));
+    w.i64(live_version);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto &e : entries) {
+        w.u32(static_cast<std::uint32_t>(e.version));
+        w.u8(static_cast<std::uint8_t>(e.state));
+        w.u64(e.build_id);
+        w.u64(e.fingerprint);
+        w.i64(e.plan_bytes);
+        w.i64(e.timing_measurements);
+        w.i64(e.timing_cache_hits);
+        w.i64(e.timing_shared);
+        w.str(e.created_by);
+        w.str(e.reason);
+        w.f64(e.drift_pct);
+        w.i64(e.parent_version);
+    }
+    return frameWrap(kManifestMagic, kManifestVersion, w.bytes());
+}
+
+Result<Manifest>
+Manifest::deserialize(const std::vector<std::uint8_t> &bytes)
+{
+    auto framed =
+        frameUnwrap(kManifestMagic, kManifestFramedSince,
+                    kManifestVersion, bytes, "engine manifest");
+    if (!framed.ok())
+        return framed.status();
+
+    BinReader r(framed->payload, BinReader::OnError::kStatus);
+    Manifest m;
+    m.key.model = r.str();
+    m.key.device = r.str();
+    std::uint8_t prec = r.u8();
+    if (r.ok() && prec > static_cast<std::uint8_t>(
+                             nn::Precision::kInt8))
+        return errorStatus(ErrorCode::kDataLoss,
+                           "engine manifest: precision ",
+                           static_cast<int>(prec),
+                           " outside its domain");
+    m.key.precision = static_cast<nn::Precision>(prec);
+    m.live_version = static_cast<int>(r.i64());
+    // Every entry is at least 4+1+8+8+8*4+4+4+8+8 bytes.
+    std::uint32_t n = r.count(69);
+    m.entries.reserve(n);
+    int prev_version = 0;
+    for (std::uint32_t i = 0; i < n && r.ok(); i++) {
+        ManifestEntry e;
+        e.version = static_cast<int>(r.u32());
+        std::uint8_t state = r.u8();
+        if (r.ok() && state > static_cast<std::uint8_t>(
+                                  VersionState::kRolledBack))
+            return errorStatus(ErrorCode::kDataLoss,
+                               "engine manifest: version state ",
+                               static_cast<int>(state),
+                               " outside its domain");
+        e.state = static_cast<VersionState>(state);
+        e.build_id = r.u64();
+        e.fingerprint = r.u64();
+        e.plan_bytes = r.i64();
+        e.timing_measurements = r.i64();
+        e.timing_cache_hits = r.i64();
+        e.timing_shared = r.i64();
+        e.created_by = r.str();
+        e.reason = r.str();
+        e.drift_pct = r.f64();
+        e.parent_version = static_cast<int>(r.i64());
+        if (r.ok() &&
+            (e.version <= prev_version ||
+             e.parent_version >= e.version ||
+             e.parent_version < -1))
+            return errorStatus(
+                ErrorCode::kDataLoss,
+                "engine manifest: version lineage is not "
+                "monotonic (version ",
+                e.version, " after ", prev_version, ", parent ",
+                e.parent_version, ")");
+        prev_version = e.version;
+        m.entries.push_back(std::move(e));
+    }
+    if (!r.ok())
+        return r.status().context("engine manifest");
+    if (!r.atEnd())
+        return errorStatus(ErrorCode::kDataLoss,
+                           "engine manifest: ", r.remaining(),
+                           " trailing bytes after the last entry");
+    if (m.live_version != -1 && !m.find(m.live_version))
+        return errorStatus(ErrorCode::kDataLoss,
+                           "engine manifest: live version ",
+                           m.live_version,
+                           " is not among the entries");
+    return m;
+}
+
+EngineRepository::EngineRepository(std::string root)
+    : root_(std::move(root))
+{}
+
+Status
+EngineRepository::ensureDirs() const
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(root_) / "blobs", ec);
+    if (ec)
+        return errorStatus(ErrorCode::kIoError,
+                           "cannot create '", root_,
+                           "/blobs': ", ec.message());
+    fs::create_directories(fs::path(root_) / "manifests", ec);
+    if (ec)
+        return errorStatus(ErrorCode::kIoError,
+                           "cannot create '", root_,
+                           "/manifests': ", ec.message());
+    return Status();
+}
+
+std::string
+EngineRepository::manifestPath(const ModelKey &key) const
+{
+    return (fs::path(root_) / "manifests" /
+            (key.displayName() + ".ertm"))
+        .string();
+}
+
+std::string
+EngineRepository::blobPath(std::uint64_t fingerprint) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.erte",
+                  static_cast<unsigned long long>(fingerprint));
+    return (fs::path(root_) / "blobs" / name).string();
+}
+
+Status
+EngineRepository::saveManifest(const Manifest &m) const
+{
+    return writeFileAtomic(manifestPath(m.key), m.serialize())
+        .context("saving manifest for " + m.key.displayName());
+}
+
+Result<Manifest>
+EngineRepository::manifest(const ModelKey &key) const
+{
+    auto bytes = readFile(manifestPath(key));
+    if (!bytes.ok())
+        return bytes.status().context("manifest for " +
+                                      key.displayName());
+    auto m = Manifest::deserialize(*bytes);
+    if (!m.ok())
+        return m.status().context("manifest for " +
+                                  key.displayName());
+    return m;
+}
+
+Result<int>
+EngineRepository::put(const core::Engine &engine,
+                      const BuildMeta &meta)
+{
+    Status dirs = ensureDirs();
+    if (!dirs.ok())
+        return dirs;
+
+    ModelKey key{engine.modelName(), engine.deviceName(),
+                 engine.precision()};
+    Manifest m;
+    auto existing = manifest(key);
+    if (existing.ok()) {
+        m = std::move(existing).value();
+    } else if (existing.status().code() != ErrorCode::kNotFound) {
+        // A corrupt manifest must not be silently overwritten —
+        // the lineage it held is the operator's to repair.
+        return existing.status();
+    } else {
+        m.key = key;
+    }
+
+    std::uint64_t fp = engine.fingerprint();
+    std::string blob = blobPath(fp);
+    auto plan = engine.serialize();
+    std::error_code ec;
+    if (!fs::exists(blob, ec)) {
+        // Content-addressed: bit-identical rebuilds share a blob.
+        Status st = writeFileAtomic(blob, plan);
+        if (!st.ok())
+            return st;
+        reg()
+            .counter("deploy.repo.blob_writes",
+                     {{"model", key.model}})
+            .add();
+    }
+
+    ManifestEntry e;
+    e.version = m.entries.empty() ? 1
+                                  : m.entries.back().version + 1;
+    e.state = VersionState::kCandidate;
+    e.build_id = meta.provenance.build_id;
+    e.fingerprint = fp;
+    e.plan_bytes = static_cast<std::int64_t>(plan.size());
+    e.timing_measurements = meta.provenance.timing_measurements;
+    e.timing_cache_hits = meta.provenance.timing_cache_hits;
+    e.timing_shared = meta.provenance.timing_shared;
+    e.created_by = meta.created_by;
+    e.parent_version = -1;
+    int version = e.version;
+    m.entries.push_back(std::move(e));
+
+    Status st = saveManifest(m);
+    if (!st.ok())
+        return st;
+    reg().counter("deploy.repo.puts", {{"model", key.model}}).add();
+    reg()
+        .gauge("deploy.repo.versions", {{"model", key.model}})
+        .set(static_cast<double>(m.entries.size()));
+    return version;
+}
+
+Result<core::Engine>
+EngineRepository::loadVersion(const ModelKey &key,
+                              int version) const
+{
+    auto m = manifest(key);
+    if (!m.ok())
+        return m.status();
+    const ManifestEntry *e = m->find(version);
+    if (!e)
+        return errorStatus(ErrorCode::kNotFound, "no version ",
+                           version, " of ", key.displayName());
+    auto bytes = readFile(blobPath(e->fingerprint));
+    if (!bytes.ok())
+        return bytes.status().context(
+            "blob of " + key.displayName() + " v" +
+            std::to_string(version));
+    auto engine = core::Engine::deserialize(*bytes);
+    if (!engine.ok())
+        return engine.status().context(
+            "blob of " + key.displayName() + " v" +
+            std::to_string(version));
+    if (engine->fingerprint() != e->fingerprint)
+        return errorStatus(
+            ErrorCode::kDataLoss, "blob of ", key.displayName(),
+            " v", version,
+            " does not match its manifest fingerprint");
+    return engine;
+}
+
+Result<core::Engine>
+EngineRepository::loadLive(const ModelKey &key) const
+{
+    auto m = manifest(key);
+    if (!m.ok())
+        return m.status();
+    if (m->live_version < 0)
+        return errorStatus(ErrorCode::kNotFound,
+                           "no live version of ",
+                           key.displayName());
+    return loadVersion(key, m->live_version);
+}
+
+Status
+EngineRepository::promote(const ModelKey &key, int version)
+{
+    auto mr = manifest(key);
+    if (!mr.ok())
+        return mr.status();
+    Manifest m = std::move(mr).value();
+    ManifestEntry *e = m.find(version);
+    if (!e)
+        return errorStatus(ErrorCode::kNotFound, "no version ",
+                           version, " of ", key.displayName());
+    if (m.live_version == version)
+        return Status();
+    if (ManifestEntry *old = m.find(m.live_version)) {
+        old->state = VersionState::kRetired;
+        e->parent_version = old->version;
+    }
+    e->state = VersionState::kPromoted;
+    e->reason.clear();
+    m.live_version = version;
+    Status st = saveManifest(m);
+    if (!st.ok())
+        return st;
+    reg()
+        .counter("deploy.repo.promotions", {{"model", key.model}})
+        .add();
+    reg()
+        .gauge("deploy.repo.live_version", {{"model", key.model}})
+        .set(static_cast<double>(version));
+    return Status();
+}
+
+Status
+EngineRepository::quarantine(const ModelKey &key, int version,
+                             const std::string &reason,
+                             double drift_pct)
+{
+    auto mr = manifest(key);
+    if (!mr.ok())
+        return mr.status();
+    Manifest m = std::move(mr).value();
+    ManifestEntry *e = m.find(version);
+    if (!e)
+        return errorStatus(ErrorCode::kNotFound, "no version ",
+                           version, " of ", key.displayName());
+    if (m.live_version == version)
+        return errorStatus(ErrorCode::kInvalidArgument,
+                           "cannot quarantine the live version ",
+                           version, " of ", key.displayName(),
+                           " (roll back first)");
+    e->state = VersionState::kQuarantined;
+    e->reason = reason;
+    e->drift_pct = drift_pct;
+    Status st = saveManifest(m);
+    if (!st.ok())
+        return st;
+    reg()
+        .counter("deploy.repo.quarantines", {{"model", key.model}})
+        .add();
+    return Status();
+}
+
+Status
+EngineRepository::rollback(const ModelKey &key)
+{
+    auto mr = manifest(key);
+    if (!mr.ok())
+        return mr.status();
+    Manifest m = std::move(mr).value();
+    ManifestEntry *live = m.find(m.live_version);
+    if (!live)
+        return errorStatus(ErrorCode::kNotFound,
+                           "no live version of ",
+                           key.displayName(), " to roll back");
+    ManifestEntry *parent = m.find(live->parent_version);
+    if (!parent)
+        return errorStatus(ErrorCode::kNotFound, "version ",
+                           live->version, " of ",
+                           key.displayName(),
+                           " has no parent to roll back to");
+    live->state = VersionState::kRolledBack;
+    live->reason = "rolled_back";
+    parent->state = VersionState::kPromoted;
+    m.live_version = parent->version;
+    Status st = saveManifest(m);
+    if (!st.ok())
+        return st;
+    reg()
+        .counter("deploy.repo.rollbacks", {{"model", key.model}})
+        .add();
+    reg()
+        .gauge("deploy.repo.live_version", {{"model", key.model}})
+        .set(static_cast<double>(m.live_version));
+    return Status();
+}
+
+std::vector<ModelKey>
+EngineRepository::list() const
+{
+    std::vector<std::pair<std::string, ModelKey>> found;
+    std::error_code ec;
+    fs::path dir = fs::path(root_) / "manifests";
+    if (!fs::exists(dir, ec))
+        return {};
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        if (entry.path().extension() != ".ertm")
+            continue;
+        auto bytes = readFile(entry.path().string());
+        if (!bytes.ok())
+            continue;
+        auto m = Manifest::deserialize(*bytes);
+        if (!m.ok()) {
+            warn("EngineRepository: skipping unreadable manifest '",
+                 entry.path().string(),
+                 "': ", m.status().message());
+            continue;
+        }
+        found.emplace_back(entry.path().filename().string(),
+                           m->key);
+    }
+    std::sort(found.begin(), found.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::vector<ModelKey> keys;
+    keys.reserve(found.size());
+    for (auto &f : found)
+        keys.push_back(std::move(f.second));
+    return keys;
+}
+
+} // namespace edgert::deploy

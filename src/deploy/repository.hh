@@ -1,0 +1,176 @@
+#ifndef EDGERT_DEPLOY_REPOSITORY_HH
+#define EDGERT_DEPLOY_REPOSITORY_HH
+
+/**
+ * @file
+ * EngineRepository — a versioned, content-addressed on-disk store
+ * of built engine plans, the persistence half of the EdgeDeploy
+ * lifecycle (drift_gate.hh decides, this file remembers).
+ *
+ * Layout under the repository root:
+ *
+ *     blobs/<fingerprint:016x>.erte      serialized engine plans
+ *     manifests/<model>@<device>@<precision>.ertm
+ *
+ * Blobs are Engine::serialize() output — already CRC-framed — and
+ * are addressed by the engine's tactic fingerprint, so bit-identical
+ * rebuilds share one blob. A manifest is the CRC-framed version
+ * history of one (model, device, precision) key: every version
+ * records its build metadata (builder seed, tactic fingerprint,
+ * timing-cache accounting from core::BuildProvenance), its
+ * lifecycle state, and the version it superseded — the lineage the
+ * rollback path walks. Manifest writes go through a temp-file +
+ * rename so a crashed writer can never leave a half-written
+ * manifest behind; manifest *reads* are untrusted input and return
+ * Status errors on any corruption, never a crash.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "core/builder.hh"
+#include "core/engine.hh"
+
+namespace edgert::deploy {
+
+/** Identity of one manifest: what is served, where, at what
+ *  precision. */
+struct ModelKey
+{
+    std::string model;
+    std::string device;
+    nn::Precision precision = nn::Precision::kFp16;
+
+    /** "model@device@precision" (filesystem-sanitized). */
+    std::string displayName() const;
+
+    bool operator==(const ModelKey &o) const
+    {
+        return model == o.model && device == o.device &&
+               precision == o.precision;
+    }
+};
+
+/** Lifecycle state of one stored engine version. */
+enum class VersionState : std::uint8_t
+{
+    kCandidate = 0,   //!< stored, not yet gated
+    kPromoted = 1,    //!< the live version
+    kQuarantined = 2, //!< rejected by the drift gate
+    kRetired = 3,     //!< superseded by a later promotion
+    kRolledBack = 4,  //!< promoted, then reverted post-swap
+};
+
+/** Printable state name. */
+const char *versionStateName(VersionState s);
+
+/** One version's record in a manifest. */
+struct ManifestEntry
+{
+    int version = 0;            //!< 1-based, monotonically increasing
+    VersionState state = VersionState::kCandidate;
+    std::uint64_t build_id = 0; //!< builder seed
+    std::uint64_t fingerprint = 0; //!< tactic fingerprint (blob address)
+    std::int64_t plan_bytes = 0;
+    std::int64_t timing_measurements = 0;
+    std::int64_t timing_cache_hits = 0;
+    std::int64_t timing_shared = 0;
+    std::string created_by;     //!< producer ("rebuild-worker", CLI)
+    std::string reason;         //!< quarantine/rollback reason ("" none)
+    double drift_pct = 0.0;     //!< gate-reported disagreement
+    int parent_version = -1;    //!< version this one superseded
+};
+
+/** The version history of one ModelKey. */
+struct Manifest
+{
+    ModelKey key;
+    int live_version = -1; //!< -1: nothing promoted yet
+    std::vector<ManifestEntry> entries;
+
+    const ManifestEntry *find(int version) const;
+    ManifestEntry *find(int version);
+    const ManifestEntry *live() const { return find(live_version); }
+
+    /** Serialize as a CRC-framed binary stream. */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Parse untrusted manifest bytes; corruption, truncation and
+     *  out-of-domain values yield Status errors, never aborts. */
+    static Result<Manifest>
+    deserialize(const std::vector<std::uint8_t> &bytes);
+};
+
+/** Metadata recorded alongside a stored engine. */
+struct BuildMeta
+{
+    core::BuildProvenance provenance;
+    std::string created_by;
+
+    static BuildMeta
+    from(const core::BuildReport &report, std::string who)
+    {
+        return {report.provenance, std::move(who)};
+    }
+};
+
+/**
+ * The on-disk store. All mutating operations rewrite the affected
+ * manifest atomically; blobs are immutable once written.
+ */
+class EngineRepository
+{
+  public:
+    explicit EngineRepository(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** Store an engine as the next version of its key (derived from
+     *  the engine itself). Returns the assigned version number. */
+    Result<int> put(const core::Engine &engine,
+                    const BuildMeta &meta);
+
+    /** The manifest of one key (kNotFound when absent). */
+    Result<Manifest> manifest(const ModelKey &key) const;
+
+    /** Load one stored version's engine plan. */
+    Result<core::Engine> loadVersion(const ModelKey &key,
+                                     int version) const;
+
+    /** Load the live (promoted) version's engine plan. */
+    Result<core::Engine> loadLive(const ModelKey &key) const;
+
+    /** Make `version` live; the previous live version is retired
+     *  and recorded as the new version's parent. */
+    Status promote(const ModelKey &key, int version);
+
+    /** Reject `version` with a machine-readable reason and the
+     *  gate-reported disagreement. */
+    Status quarantine(const ModelKey &key, int version,
+                      const std::string &reason, double drift_pct);
+
+    /** Revert the live version to its parent (post-swap rollback).
+     *  Fails when there is no live version or no parent lineage. */
+    Status rollback(const ModelKey &key);
+
+    /** Every key with a manifest, sorted by file name. */
+    std::vector<ModelKey> list() const;
+
+    /** Absolute path of a key's manifest file. */
+    std::string manifestPath(const ModelKey &key) const;
+
+    /** Absolute path of a fingerprint's blob file. */
+    std::string blobPath(std::uint64_t fingerprint) const;
+
+  private:
+    Status ensureDirs() const;
+    Status saveManifest(const Manifest &m) const;
+
+    std::string root_;
+};
+
+} // namespace edgert::deploy
+
+#endif // EDGERT_DEPLOY_REPOSITORY_HH

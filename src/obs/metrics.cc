@@ -233,13 +233,32 @@ MetricRegistry::size() const
     return counters_.size() + gauges_.size() + histograms_.size();
 }
 
+namespace {
+
+bool
+keptBy(const std::string &key,
+       const std::vector<std::string> &prefixes)
+{
+    if (prefixes.empty())
+        return true;
+    for (const std::string &p : prefixes)
+        if (key.compare(0, p.size(), p) == 0)
+            return true;
+    return false;
+}
+
+} // namespace
+
 void
-MetricRegistry::writeJson(std::ostream &os) const
+MetricRegistry::writeJson(
+    std::ostream &os, const std::vector<std::string> &prefixes) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     os << "{\n  \"counters\": {";
     bool first = true;
     for (const auto &[k, cell] : counters_) {
+        if (!keptBy(k, prefixes))
+            continue;
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k)
            << "\": "
            << cell->value.load(std::memory_order_relaxed);
@@ -250,6 +269,8 @@ MetricRegistry::writeJson(std::ostream &os) const
     os << "  \"gauges\": {";
     first = true;
     for (const auto &[k, cell] : gauges_) {
+        if (!keptBy(k, prefixes))
+            continue;
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k)
            << "\": "
            << jsonNumber(
@@ -261,6 +282,8 @@ MetricRegistry::writeJson(std::ostream &os) const
     os << "  \"histograms\": {";
     first = true;
     for (const auto &[k, cell] : histograms_) {
+        if (!keptBy(k, prefixes))
+            continue;
         std::lock_guard<std::mutex> hlock(cell->mu);
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k)
            << "\": {\"count\": " << cell->count
@@ -279,10 +302,11 @@ MetricRegistry::writeJson(std::ostream &os) const
 }
 
 std::string
-MetricRegistry::toJson() const
+MetricRegistry::toJson(
+    const std::vector<std::string> &prefixes) const
 {
     std::ostringstream oss;
-    writeJson(oss);
+    writeJson(oss, prefixes);
     return oss.str();
 }
 

@@ -199,9 +199,18 @@ class MetricRegistry
      * Canonical JSON snapshot:
      * `{"counters":{...},"gauges":{...},"histograms":{...}}` with
      * sorted keys; histograms render count/sum/min/max/p50/p95/p99.
+     *
+     * A non-empty `prefixes` list keeps only metrics whose key
+     * starts with one of the prefixes — benches use this to embed
+     * simulation-deterministic families (`deploy.`, `serve.`) while
+     * excluding wall-clock instrumentation such as
+     * `builder.pass.duration_us`.
      */
-    void writeJson(std::ostream &os) const;
-    std::string toJson() const;
+    void writeJson(std::ostream &os,
+                   const std::vector<std::string> &prefixes = {})
+        const;
+    std::string
+    toJson(const std::vector<std::string> &prefixes = {}) const;
 
     /** Write toJson() to a file; fatal() on I/O error. */
     void save(const std::string &path) const;

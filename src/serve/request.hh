@@ -35,6 +35,7 @@ struct Request
     int batch = 0;           //!< size of the batch it rode in
     int device = -1;         //!< device the batch ran on
     int instance = -1;       //!< engine instance the batch ran on
+    int version = 0;         //!< engine version the batch ran on
 
     /** End-to-end latency in milliseconds (kCompleted only). */
     double latencyMs() const { return (done_s - arrival_s) * 1e3; }

@@ -42,6 +42,7 @@ struct PlannedDispatch
 {
     double t_s = 0.0;       //!< release (batch-cut) time
     int engine_idx = 0;     //!< into the instance's EngineSet
+    int version = 0;        //!< engine version (hot-swap lineage)
     int batch = 0;          //!< actual request count (<= engine batch)
     std::vector<std::int64_t> request_ids;
     double predicted_service_s = 0.0;

@@ -55,12 +55,12 @@ batchLadder(int max_batch)
 /** Control-plane discrete event. */
 struct Event
 {
-    enum Kind { kArrival, kTimeout, kPredFree };
+    enum Kind { kArrival, kTimeout, kPredFree, kSwapBegin, kSwapReady };
 
     double t = 0.0;
     std::int64_t seq = 0; //!< push order: total, deterministic tie-break
     Kind kind = kArrival;
-    int target = 0;       //!< model (arrival/timeout) or instance
+    int target = 0;       //!< model (arrival/timeout), instance, or swap
     std::int64_t req = -1;
 };
 
@@ -157,62 +157,111 @@ runServer(const ServeConfig &cfg)
         mm.emplace_back(mc.model);
 
     // ------------------------------------------------------------
-    // Build: per (model, device, ladder batch) engines, one shared
-    // timing cache (same-signature nodes measure once). Engine
-    // loads are fallible — injected faults stand in for corrupt or
-    // missing plan files — and each failure is retried (a rebuild)
-    // up to faults.max_load_attempts. A (model, device) pair whose
-    // loads keep failing is left without engines; the placement
-    // below routes around it.
+    // Build: engines come in *versions* — the version the run
+    // starts with (index 0, built from cfg.build_id with one shared
+    // timing cache so same-signature nodes measure once) plus any
+    // candidate versions hot-swapped in mid-run. A version holds
+    // one EngineSet per device (the power-of-two batch ladder) and
+    // the calibrated per-engine service predictions the control
+    // plane dispatches with. Engine loads are fallible — injected
+    // faults stand in for corrupt or missing plan files — and each
+    // failure is retried (a rebuild) up to faults.max_load_attempts.
+    // A (model, device) pair whose loads keep failing is left
+    // without engines; the placement below routes around it.
     // ------------------------------------------------------------
+    struct ModelVersion
+    {
+        std::uint64_t build_id = 0;
+        std::vector<EngineSet> sets;          //!< per device
+        std::vector<std::vector<double>> svc; //!< [device][engine]
+
+        bool availableOn(int d) const
+        {
+            return !sets[static_cast<std::size_t>(d)]
+                        .engines.empty();
+        }
+        bool available() const
+        {
+            for (const auto &s : sets)
+                if (!s.engines.empty())
+                    return true;
+            return false;
+        }
+    };
     core::TimingCache timing_cache;
-    std::vector<std::vector<EngineSet>> engine_sets(
+    std::vector<std::vector<ModelVersion>> versions(
         static_cast<std::size_t>(n_models));
+    std::vector<int> active(static_cast<std::size_t>(n_models), 0);
     std::vector<std::int64_t> load_failures(
         static_cast<std::size_t>(n_models), 0);
     std::vector<std::int64_t> rebuilds(
         static_cast<std::size_t>(n_models), 0);
-    {
-        EDGERT_SPAN("serve_build",
-                    {{"models", std::to_string(n_models)},
-                     {"devices", std::to_string(n_devices)}});
-        std::map<std::string, int> fault_budget =
-            cfg.faults.engine_load_failures;
-        const int attempts =
-            std::max(1, cfg.faults.max_load_attempts);
-        for (int m = 0; m < n_models; m++) {
-            const auto &mc = cfg.models[static_cast<std::size_t>(m)];
-            auto ladder =
-                batchLadder(policies[static_cast<std::size_t>(m)]
-                                .max_batch);
-            for (int d = 0; d < n_devices; d++) {
+
+    std::map<std::string, int> fault_budget =
+        cfg.faults.engine_load_failures;
+    std::map<std::string, int> swap_fault_budget =
+        cfg.faults.swap_load_failures;
+    const int attempts = std::max(1, cfg.faults.max_load_attempts);
+
+    // Build one engine version of model m. use_cache shares the
+    // run's timing cache (the initial load); swap-time candidates
+    // re-time their tactics — a rebuild that may pick different
+    // kernels is exactly what the deploy layer's drift gate
+    // screens, and a tactic-frozen rebuild would make hot-swapping
+    // moot. device_mask (nullptr = every device) restricts which
+    // devices load; the calibration lambdas are deliberately not
+    // shared across the batch ladder (a shared table leaves each
+    // engine with a small systematic bias, and at saturation that
+    // bias accumulates in the instances' predicted-free times until
+    // admission control is reasoning about a timeline minutes
+    // adrift of the replay).
+    auto buildVersion = [&](int m, std::uint64_t build_id,
+                            std::map<std::string, int> &budget,
+                            bool use_cache,
+                            const std::vector<bool> *device_mask)
+        -> ModelVersion {
+        const auto &mc = cfg.models[static_cast<std::size_t>(m)];
+        EDGERT_SPAN("serve_load_version",
+                    {{"model", mc.model},
+                     {"build", std::to_string(build_id)}});
+        ModelVersion ver;
+        ver.build_id = build_id;
+        auto ladder = batchLadder(
+            policies[static_cast<std::size_t>(m)].max_batch);
+        for (int d = 0; d < n_devices; d++) {
+            EngineSet set;
+            std::vector<double> svc_d;
+            bool wanted =
+                !device_mask ||
+                (*device_mask)[static_cast<std::size_t>(d)];
+            if (wanted) {
                 const auto &spec =
                     cfg.devices[static_cast<std::size_t>(d)];
                 core::BuilderConfig bcfg;
-                bcfg.build_id = cfg.build_id;
+                bcfg.build_id = build_id;
                 bcfg.jobs = cfg.build_jobs;
-                bcfg.timing_cache = &timing_cache;
+                bcfg.timing_cache =
+                    use_cache ? &timing_cache : nullptr;
                 core::Builder builder(spec, bcfg);
 
                 auto loadSet = [&]() -> Result<EngineSet> {
-                    auto it = fault_budget.find(mc.model);
-                    if (it != fault_budget.end() && it->second > 0) {
+                    auto it = budget.find(mc.model);
+                    if (it != budget.end() && it->second > 0) {
                         it->second--;
                         return errorStatus(
                             ErrorCode::kUnavailable,
                             "injected engine-load fault for '",
                             mc.model, "'");
                     }
-                    EngineSet set;
+                    EngineSet out;
                     for (int b : ladder) {
-                        set.engines.push_back(builder.build(
+                        out.engines.push_back(builder.build(
                             nn::buildZooModel(mc.model, b)));
-                        set.batches.push_back(b);
+                        out.batches.push_back(b);
                     }
-                    return set;
+                    return out;
                 };
 
-                EngineSet set;
                 bool loaded = false;
                 for (int a = 0; a < attempts && !loaded; a++) {
                     auto r = loadSet();
@@ -236,55 +285,41 @@ runServer(const ServeConfig &cfg)
                              "): ", r.status().message());
                     }
                 }
-                // An empty set marks (model, device) unavailable.
-                engine_sets[static_cast<std::size_t>(m)].push_back(
-                    std::move(set));
+                for (const auto &eng : set.engines) {
+                    LatencyPredictor pred(
+                        cfg.devices[static_cast<std::size_t>(d)]);
+                    pred.calibrate(eng);
+                    svc_d.push_back(
+                        pred.predictServiceSeconds(eng));
+                }
             }
+            // An empty set marks (model, device) unavailable.
+            ver.sets.push_back(std::move(set));
+            ver.svc.push_back(std::move(svc_d));
         }
+        return ver;
+    };
+
+    {
+        EDGERT_SPAN("serve_build",
+                    {{"models", std::to_string(n_models)},
+                     {"devices", std::to_string(n_devices)}});
+        for (int m = 0; m < n_models; m++)
+            versions[static_cast<std::size_t>(m)].push_back(
+                buildVersion(m, cfg.build_id, fault_budget, true,
+                             nullptr));
     }
 
     // A model with engines on no device is degraded: all of its
     // traffic is shed while the other models keep serving.
     auto setAvailable = [&](int m, int d) {
-        return !engine_sets[static_cast<std::size_t>(m)]
-                           [static_cast<std::size_t>(d)]
-                               .engines.empty();
+        const auto &mv = versions[static_cast<std::size_t>(m)];
+        return mv[static_cast<std::size_t>(
+                      active[static_cast<std::size_t>(m)])]
+            .availableOn(d);
     };
     std::vector<bool> degraded(static_cast<std::size_t>(n_models),
                                false);
-
-    // ------------------------------------------------------------
-    // Calibrate one predictor per (device, engine) and precompute
-    // the per-engine service predictions for the control plane.
-    // Lambdas are deliberately *not* shared across the batch
-    // ladder: a shared table leaves each engine with a small
-    // systematic bias, and at saturation that bias accumulates in
-    // the instances' predicted-free times until admission control
-    // is reasoning about a timeline minutes adrift of the replay.
-    // ------------------------------------------------------------
-    // svc[m][d][e] = predicted solo service seconds.
-    std::vector<std::vector<std::vector<double>>> svc(
-        static_cast<std::size_t>(n_models));
-    {
-        EDGERT_SPAN("serve_calibrate", {});
-        for (int m = 0; m < n_models; m++) {
-            svc[static_cast<std::size_t>(m)].resize(
-                static_cast<std::size_t>(n_devices));
-            for (int d = 0; d < n_devices; d++)
-                for (const auto &eng :
-                     engine_sets[static_cast<std::size_t>(m)]
-                                [static_cast<std::size_t>(d)]
-                                    .engines) {
-                    LatencyPredictor pred(
-                        cfg.devices[static_cast<std::size_t>(d)]);
-                    pred.calibrate(eng);
-                    svc[static_cast<std::size_t>(m)]
-                       [static_cast<std::size_t>(d)]
-                           .push_back(
-                               pred.predictServiceSeconds(eng));
-                }
-        }
-    }
 
     // ------------------------------------------------------------
     // Placement: RAM-bounded instances per device, additionally
@@ -302,8 +337,9 @@ runServer(const ServeConfig &cfg)
             const auto &spec =
                 cfg.devices[static_cast<std::size_t>(d)];
             const auto &set =
-                engine_sets[static_cast<std::size_t>(m)]
-                           [static_cast<std::size_t>(d)];
+                versions[static_cast<std::size_t>(m)]
+                    .front()
+                    .sets[static_cast<std::size_t>(d)];
             int eq1 = runtime::estimateMaxThreads(
                 set.engines.front(), spec,
                 runtime::ThroughputOptions::probe());
@@ -408,16 +444,80 @@ runServer(const ServeConfig &cfg)
         evq.push(e);
     }
 
+    // ------------------------------------------------------------
+    // Hot-swap bookkeeping: one state per SwapSpec, spec order.
+    // The protocol is a small state machine per swap:
+    //   serving --kSwapBegin--> warming (dispatch paused; candidate
+    //   loads, canaries run) --kSwapReady--> committed | rolled
+    //   back --> serving. A candidate that fails to load rolls
+    //   back immediately without pausing.
+    // ------------------------------------------------------------
+    struct SwapState
+    {
+        int model = -1;
+        int to_version = -1; //!< into versions[model]; -1 until loaded
+        bool rolled_back = false;
+        std::string reason;  //!< machine-readable rollback reason
+        double begin_s = 0.0;
+        double ready_s = 0.0;
+        double incumbent_canary_ms = 0.0;
+        double candidate_canary_ms = 0.0;
+    };
+    std::vector<SwapState> swap_states;
+    std::vector<std::int64_t> model_swaps(
+        static_cast<std::size_t>(n_models), 0);
+    std::vector<std::int64_t> model_rollbacks(
+        static_cast<std::size_t>(n_models), 0);
+    std::vector<double> model_downtime_ms(
+        static_cast<std::size_t>(n_models), 0.0);
+    std::vector<std::string> rollback_reason(
+        static_cast<std::size_t>(n_models));
+    // Swap windows per model, for the p99-during-swap split.
+    std::vector<std::vector<std::pair<double, double>>> swap_windows(
+        static_cast<std::size_t>(n_models));
+    for (std::size_t s = 0; s < cfg.swaps.size(); s++) {
+        const SwapSpec &sp = cfg.swaps[s];
+        int m = -1;
+        for (int i = 0; i < n_models; i++)
+            if (cfg.models[static_cast<std::size_t>(i)].model ==
+                sp.model)
+                m = i;
+        if (m < 0)
+            fatal("hot-swap for unknown model '", sp.model, "'");
+        if (sp.t_s < 0.0)
+            fatal("hot-swap time must be non-negative (got ",
+                  sp.t_s, ")");
+        SwapState st;
+        st.model = m;
+        swap_states.push_back(st);
+        Event e;
+        e.t = sp.t_s;
+        e.seq = seq++;
+        e.kind = Event::kSwapBegin;
+        e.target = static_cast<int>(s);
+        evq.push(e);
+    }
+
+    // Dispatch pauses per model while a hot-swap candidate warms
+    // up: queued requests wait out the window, none are dropped.
+    std::vector<bool> swap_paused(static_cast<std::size_t>(n_models),
+                                  false);
+
+    auto activeVersion = [&](int m) -> const ModelVersion & {
+        return versions[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(
+                           active[static_cast<std::size_t>(m)])];
+    };
+
     auto backendView = [&](int m) {
         BackendView view;
+        const ModelVersion &ver = activeVersion(m);
         // The ladder is identical across devices; take the first
         // available device's (a degraded model never gets here).
         for (int d = 0; d < n_devices; d++)
-            if (setAvailable(m, d)) {
+            if (ver.availableOn(d)) {
                 view.ladder =
-                    engine_sets[static_cast<std::size_t>(m)]
-                               [static_cast<std::size_t>(d)]
-                                   .batches;
+                    ver.sets[static_cast<std::size_t>(d)].batches;
                 break;
             }
         for (int idx : pool.instancesOf(m)) {
@@ -426,14 +526,15 @@ runServer(const ServeConfig &cfg)
             BackendView::InstanceView iv;
             iv.free_s = inst.predicted_free_s;
             iv.service_s =
-                svc[static_cast<std::size_t>(m)]
-                   [static_cast<std::size_t>(inst.device)];
+                ver.svc[static_cast<std::size_t>(inst.device)];
             view.instances.push_back(std::move(iv));
         }
         return view;
     };
 
     auto tryDispatch = [&](int m, double t) {
+        if (swap_paused[static_cast<std::size_t>(m)])
+            return;
         auto &q = queues[static_cast<std::size_t>(m)];
         const auto &batcher =
             batchers[static_cast<std::size_t>(m)];
@@ -448,17 +549,17 @@ runServer(const ServeConfig &cfg)
             Instance &inst =
                 pool.instances()[static_cast<std::size_t>(
                     inst_idx)];
-            int eidx = engine_sets[static_cast<std::size_t>(m)]
-                                  [static_cast<std::size_t>(
-                                       inst.device)]
-                                      .indexFor(cut);
+            const ModelVersion &ver = activeVersion(m);
+            int eidx =
+                ver.sets[static_cast<std::size_t>(inst.device)]
+                    .indexFor(cut);
             double svc_s =
-                svc[static_cast<std::size_t>(m)]
-                   [static_cast<std::size_t>(inst.device)]
-                   [static_cast<std::size_t>(eidx)];
+                ver.svc[static_cast<std::size_t>(inst.device)]
+                       [static_cast<std::size_t>(eidx)];
             PlannedDispatch pd;
             pd.t_s = t;
             pd.engine_idx = eidx;
+            pd.version = active[static_cast<std::size_t>(m)];
             pd.batch = cut;
             pd.request_ids = q.cut(cut);
             pd.predicted_service_s = svc_s;
@@ -469,6 +570,7 @@ runServer(const ServeConfig &cfg)
                 r.batch = cut;
                 r.device = inst.device;
                 r.instance = inst_idx;
+                r.version = pd.version;
             }
             inst.plan.push_back(std::move(pd));
             inst.predicted_free_s = t + svc_s;
@@ -548,6 +650,167 @@ runServer(const ServeConfig &cfg)
                           .model,
                       e.t);
                   break;
+              case Event::kSwapBegin: {
+                  const SwapSpec &sp =
+                      cfg.swaps[static_cast<std::size_t>(e.target)];
+                  SwapState &st =
+                      swap_states[static_cast<std::size_t>(
+                          e.target)];
+                  const int m = st.model;
+                  const auto mi = static_cast<std::size_t>(m);
+                  const std::string &name = cfg.models[mi].model;
+                  EDGERT_SPAN(
+                      "deploy_swap",
+                      {{"model", name},
+                       {"build",
+                        std::to_string(sp.candidate_build_id)}});
+                  reg.counter("deploy.swap.attempted",
+                              {{"model", name}})
+                      .add();
+                  model_swaps[mi]++;
+                  auto rollBack = [&](const char *why) {
+                      st.rolled_back = true;
+                      st.reason = why;
+                      model_rollbacks[mi]++;
+                      rollback_reason[mi] = why;
+                      reg.counter("deploy.swap.rolled_back",
+                                  {{"model", name},
+                                   {"reason", why}})
+                          .add();
+                      warn("EdgeServe: hot-swap of '", name,
+                           "' to build ", sp.candidate_build_id,
+                           " rolled back (", why, ")");
+                  };
+                  if (degraded[mi]) {
+                      rollBack("model_degraded");
+                      break;
+                  }
+                  if (swap_paused[mi]) {
+                      rollBack("overlapping_swap");
+                      break;
+                  }
+
+                  // The candidate loads through the same fault
+                  // machinery as the initial placement (from the
+                  // swap budget), on exactly the devices the
+                  // incumbent serves. A candidate missing any of
+                  // those devices cannot take over: roll back
+                  // without ever pausing the incumbent.
+                  std::vector<bool> mask(
+                      static_cast<std::size_t>(n_devices));
+                  for (int d = 0; d < n_devices; d++)
+                      mask[static_cast<std::size_t>(d)] =
+                          activeVersion(m).availableOn(d);
+                  ModelVersion cand = buildVersion(
+                      m, sp.candidate_build_id, swap_fault_budget,
+                      false, &mask);
+                  bool usable = cand.available();
+                  for (int d = 0; d < n_devices; d++)
+                      if (mask[static_cast<std::size_t>(d)] &&
+                          !cand.availableOn(d))
+                          usable = false;
+                  if (!usable) {
+                      rollBack("load_failure");
+                      break;
+                  }
+
+                  // Canary: measured batch-1 latency of incumbent
+                  // vs candidate on the first serving device. The
+                  // model's dispatch pauses for the warmup window
+                  // (context creation, weight upload, canary runs
+                  // on both versions) — that window is the swap's
+                  // downtime; queued requests simply wait it out.
+                  int d0 = 0;
+                  for (int d = 0; d < n_devices; d++)
+                      if (mask[static_cast<std::size_t>(d)]) {
+                          d0 = d;
+                          break;
+                      }
+                  runtime::LatencyOptions lo;
+                  lo.runs = 3;
+                  lo.with_profiler = false;
+                  lo.noise_seed =
+                      cfg.seed +
+                      static_cast<std::uint64_t>(e.target);
+                  auto inc = runtime::measureLatency(
+                      activeVersion(m)
+                          .sets[static_cast<std::size_t>(d0)]
+                          .engines.front(),
+                      cfg.devices[static_cast<std::size_t>(d0)],
+                      lo);
+                  auto cnd = runtime::measureLatency(
+                      cand.sets[static_cast<std::size_t>(d0)]
+                          .engines.front(),
+                      cfg.devices[static_cast<std::size_t>(d0)],
+                      lo);
+                  st.incumbent_canary_ms = inc.mean_ms;
+                  st.candidate_canary_ms = cnd.mean_ms;
+                  double warmup_s = 0.0;
+                  for (double s_ms : inc.samples_ms)
+                      warmup_s += s_ms * 1e-3;
+                  for (double s_ms : cnd.samples_ms)
+                      warmup_s += s_ms * 1e-3;
+
+                  versions[mi].push_back(std::move(cand));
+                  st.to_version =
+                      static_cast<int>(versions[mi].size()) - 1;
+                  st.begin_s = e.t;
+                  st.ready_s = e.t + warmup_s;
+                  swap_paused[mi] = true;
+                  model_downtime_ms[mi] += warmup_s * 1e3;
+                  reg.histogram("deploy.swap.downtime_ms",
+                                {{"model", name}})
+                      .record(warmup_s * 1e3);
+                  swap_windows[mi].emplace_back(e.t,
+                                                st.ready_s + 0.25);
+                  Event r;
+                  r.t = st.ready_s;
+                  r.seq = seq++;
+                  r.kind = Event::kSwapReady;
+                  r.target = e.target;
+                  evq.push(r);
+                  break;
+              }
+              case Event::kSwapReady: {
+                  const SwapSpec &sp =
+                      cfg.swaps[static_cast<std::size_t>(e.target)];
+                  SwapState &st =
+                      swap_states[static_cast<std::size_t>(
+                          e.target)];
+                  const int m = st.model;
+                  const auto mi = static_cast<std::size_t>(m);
+                  const std::string &name = cfg.models[mi].model;
+                  double limit =
+                      st.incumbent_canary_ms *
+                      (1.0 + sp.rollback_regression_pct / 100.0);
+                  if (st.candidate_canary_ms > limit) {
+                      st.rolled_back = true;
+                      st.reason = "latency_regression";
+                      model_rollbacks[mi]++;
+                      rollback_reason[mi] = st.reason;
+                      reg.counter("deploy.swap.rolled_back",
+                                  {{"model", name},
+                                   {"reason", st.reason}})
+                          .add();
+                      warn("EdgeServe: hot-swap of '", name,
+                           "' to build ", sp.candidate_build_id,
+                           " rolled back (canary ",
+                           st.candidate_canary_ms, " ms vs incumbent ",
+                           st.incumbent_canary_ms, " ms)");
+                  } else {
+                      active[mi] = st.to_version;
+                      reg.counter("deploy.swap.committed",
+                                  {{"model", name}})
+                          .add();
+                  }
+                  reg.gauge("deploy.model.active_build",
+                            {{"model", name}})
+                      .set(static_cast<double>(
+                          activeVersion(m).build_id));
+                  swap_paused[mi] = false;
+                  tryDispatch(m, e.t);
+                  break;
+              }
             }
         }
     }
@@ -558,32 +821,30 @@ runServer(const ServeConfig &cfg)
     // completions, not predictions, feed all reported statistics.
     // ------------------------------------------------------------
     {
-        // Context cache: [instance][engine_idx].
-        std::vector<std::vector<
-            std::unique_ptr<runtime::ExecutionContext>>>
+        // Context cache: [instance][(version, engine_idx)]. An
+        // instance keeps its old version's contexts alive through
+        // a swap — batches planned on the incumbent drain on its
+        // contexts while new batches run on the candidate's.
+        std::vector<std::map<std::pair<int, int>,
+                             std::unique_ptr<
+                                 runtime::ExecutionContext>>>
             ctxs(pool.instances().size());
-        for (std::size_t i = 0; i < pool.instances().size(); i++)
-            ctxs[i].resize(
-                engine_sets[static_cast<std::size_t>(
-                    pool.instances()[i].model)]
-                           [static_cast<std::size_t>(
-                               pool.instances()[i].device)]
-                               .engines.size());
         for (std::size_t i = 0; i < pool.instances().size(); i++) {
             Instance &inst = pool.instances()[i];
             auto &sim =
                 *sims[static_cast<std::size_t>(inst.device)];
             for (auto &pd : inst.plan) {
                 sim.delayUntil(inst.stream, pd.t_s);
-                auto &ctx = ctxs[i][static_cast<std::size_t>(
-                    pd.engine_idx)];
+                auto &ctx =
+                    ctxs[i][{pd.version, pd.engine_idx}];
                 if (!ctx)
                     ctx = std::make_unique<
                         runtime::ExecutionContext>(
-                        engine_sets
+                        versions
                             [static_cast<std::size_t>(inst.model)]
-                            [static_cast<std::size_t>(
-                                inst.device)]
+                            [static_cast<std::size_t>(pd.version)]
+                                .sets[static_cast<std::size_t>(
+                                    inst.device)]
                                 .engines[static_cast<std::size_t>(
                                     pd.engine_idx)],
                         sim, inst.stream);
@@ -683,6 +944,13 @@ runServer(const ServeConfig &cfg)
         s.completed = static_cast<std::int64_t>(lat[mi].size());
         s.slo_violations = s.completed - within_slo[mi];
         s.batches = batches;
+        s.active_build_id =
+            versions[mi][static_cast<std::size_t>(active[mi])]
+                .build_id;
+        s.swaps = model_swaps[mi];
+        s.swaps_rolled_back = model_rollbacks[mi];
+        s.swap_downtime_ms = model_downtime_ms[mi];
+        s.swap_rollback_reason = rollback_reason[mi];
         s.offered_qps =
             static_cast<double>(s.offered) / cfg.duration_s;
         s.goodput_qps = static_cast<double>(within_slo[mi]) /
@@ -722,6 +990,66 @@ runServer(const ServeConfig &cfg)
             }
             s.predictor_mae_pct =
                 n > 0 ? sum / static_cast<double>(n) : 0.0;
+        }
+        // Per engine-version breakdown (hot-swap lineage).
+        {
+            const auto &mv = versions[mi];
+            std::vector<VersionStats> vs(mv.size());
+            std::vector<std::vector<double>> vlat(mv.size());
+            for (std::size_t v = 0; v < mv.size(); v++) {
+                vs[v].build_id = mv[v].build_id;
+                for (int d = 0; d < n_devices; d++)
+                    if (mv[v].availableOn(d)) {
+                        vs[v].fingerprint =
+                            mv[v].sets[static_cast<std::size_t>(d)]
+                                .engines.front()
+                                .fingerprint();
+                        break;
+                    }
+            }
+            for (int idx : pool.instancesOf(m))
+                for (const auto &pd :
+                     pool.instances()[static_cast<std::size_t>(
+                                          idx)]
+                         .plan)
+                    vs[static_cast<std::size_t>(pd.version)]
+                        .batches++;
+            for (const Request &r : requests) {
+                if (r.model != m ||
+                    r.outcome != Outcome::kCompleted)
+                    continue;
+                auto v = static_cast<std::size_t>(r.version);
+                vs[v].completed++;
+                vlat[v].push_back(r.latencyMs());
+            }
+            for (std::size_t v = 0; v < mv.size(); v++)
+                if (!vlat[v].empty()) {
+                    vs[v].mean_ms = mean(vlat[v]);
+                    vs[v].p99_ms = percentile(vlat[v], 99.0);
+                }
+            s.versions = std::move(vs);
+        }
+        // p99 of requests arriving inside vs outside swap windows.
+        if (!swap_windows[mi].empty()) {
+            std::vector<double> in_win, out_win;
+            for (const Request &r : requests) {
+                if (r.model != m ||
+                    r.outcome != Outcome::kCompleted)
+                    continue;
+                bool in = false;
+                for (const auto &[a, b] : swap_windows[mi])
+                    if (r.arrival_s >= a && r.arrival_s <= b) {
+                        in = true;
+                        break;
+                    }
+                (in ? in_win : out_win).push_back(r.latencyMs());
+            }
+            if (!in_win.empty())
+                s.p99_swap_ms = percentile(in_win, 99.0);
+            if (!out_win.empty())
+                s.p99_steady_ms = percentile(out_win, 99.0);
+        } else {
+            s.p99_steady_ms = s.p99_ms;
         }
         report.models.push_back(std::move(s));
     }
@@ -818,7 +1146,32 @@ ServeReport::toJson() const
         os << "        \"max\": " << jsonNumber(s.max_ms) << "\n";
         os << "      },\n";
         os << "      \"predictor_mae_pct\": "
-           << jsonNumber(s.predictor_mae_pct) << "\n";
+           << jsonNumber(s.predictor_mae_pct) << ",\n";
+        os << "      \"active_build_id\": " << s.active_build_id
+           << ",\n";
+        os << "      \"swaps\": " << s.swaps << ",\n";
+        os << "      \"swaps_rolled_back\": " << s.swaps_rolled_back
+           << ",\n";
+        os << "      \"swap_downtime_ms\": "
+           << jsonNumber(s.swap_downtime_ms) << ",\n";
+        os << "      \"swap_rollback_reason\": \""
+           << jsonEscape(s.swap_rollback_reason) << "\",\n";
+        os << "      \"p99_swap_ms\": " << jsonNumber(s.p99_swap_ms)
+           << ",\n";
+        os << "      \"p99_steady_ms\": "
+           << jsonNumber(s.p99_steady_ms) << ",\n";
+        os << "      \"versions\": [\n";
+        for (std::size_t v = 0; v < s.versions.size(); v++) {
+            const VersionStats &vs = s.versions[v];
+            os << "        {\"build_id\": " << vs.build_id
+               << ", \"fingerprint\": \"" << vs.fingerprint
+               << "\", \"batches\": " << vs.batches
+               << ", \"completed\": " << vs.completed
+               << ", \"mean_ms\": " << jsonNumber(vs.mean_ms)
+               << ", \"p99_ms\": " << jsonNumber(vs.p99_ms) << "}"
+               << (v + 1 < s.versions.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n";
         os << "    }" << (i + 1 < models.size() ? "," : "")
            << "\n";
     }

@@ -64,9 +64,39 @@ struct FaultInjection
      *  fail before loads for that model succeed again. */
     std::map<std::string, int> engine_load_failures;
 
+    /**
+     * Model name → number of *swap-time* candidate-load attempts
+     * that fail (a separate budget so a fault can target the swap
+     * path while the initial placement succeeds). A candidate whose
+     * load keeps failing rolls the swap back to the incumbent.
+     */
+    std::map<std::string, int> swap_load_failures;
+
     /** Load attempts per (model, device) before the scheduler
      *  gives up on that placement (first try + rebuilds). */
     int max_load_attempts = 2;
+};
+
+/**
+ * One scheduled mid-run engine hot-swap (the deploy layer's
+ * HotSwapper hands these to the server after the drift gate has
+ * accepted a candidate). At t_s the server loads the candidate
+ * build for the model, pauses that model's dispatch while the
+ * candidate warms up (context creation, weight upload, canary
+ * runs) — queued requests wait, none are dropped — and then either
+ * commits (new batches go to the candidate; in-flight incumbent
+ * batches drain) or rolls back to the incumbent when the
+ * candidate's canary latency regresses beyond the threshold.
+ */
+struct SwapSpec
+{
+    std::string model;                  //!< must match a ModelConfig
+    double t_s = 0.0;                   //!< trigger time (seconds)
+    std::uint64_t candidate_build_id = 0;
+
+    /** Roll back when the candidate's canary latency exceeds the
+     *  incumbent's by more than this percentage. */
+    double rollback_regression_pct = 10.0;
 };
 
 /** Whole-server configuration. */
@@ -97,6 +127,20 @@ struct ServeConfig
 
     /** Injected engine-load faults (empty = none). */
     FaultInjection faults;
+
+    /** Mid-run engine hot-swaps to execute (empty = none). */
+    std::vector<SwapSpec> swaps;
+};
+
+/** Per-engine-version serving outcome within one model. */
+struct VersionStats
+{
+    std::uint64_t build_id = 0;
+    std::uint64_t fingerprint = 0; //!< batch-1 engine fingerprint
+    std::int64_t batches = 0;
+    std::int64_t completed = 0;
+    double mean_ms = 0.0;
+    double p99_ms = 0.0;
 };
 
 /** Per-model serving outcome. */
@@ -131,6 +175,28 @@ struct ModelStats
     /** True when the model loaded on no device: every request for
      *  it was shed, but the rest of the fleet kept serving. */
     bool degraded = false;
+
+    // ---- engine-lifecycle (hot-swap) outcome ----
+
+    /** build_id serving this model's new batches at end of run. */
+    std::uint64_t active_build_id = 0;
+
+    std::int64_t swaps = 0;           //!< swap attempts executed
+    std::int64_t swaps_rolled_back = 0;
+    double swap_downtime_ms = 0.0;    //!< summed pause windows
+
+    /** Machine-readable reason of the last rollback ("" = none):
+     *  load_failure | latency_regression | model_degraded |
+     *  overlapping_swap. */
+    std::string swap_rollback_reason;
+
+    /** p99 of requests arriving inside a swap window vs outside. */
+    double p99_swap_ms = 0.0;
+    double p99_steady_ms = 0.0;
+
+    /** Per engine-version breakdown, load order (index 0 is the
+     *  engine the run started with). */
+    std::vector<VersionStats> versions;
 };
 
 /** Per-device serving outcome. */

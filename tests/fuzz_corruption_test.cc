@@ -22,6 +22,7 @@
 #include "core/builder.hh"
 #include "core/engine.hh"
 #include "core/timing_cache.hh"
+#include "deploy/repository.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
 #include "nn/serialize.hh"
@@ -162,6 +163,95 @@ TEST(FuzzTimingCache, LegacyVersion1CachesStayReadable)
     ASSERT_TRUE(r.ok()) << r.status().toString();
     EXPECT_EQ(r->size(), 2u);
     EXPECT_EQ(r->serialize(), v2) << "reserialization upgrades to v2";
+}
+
+std::vector<std::uint8_t>
+smallManifestBytes()
+{
+    deploy::Manifest m;
+    m.key = {"resnet-18", "xavier-nx", nn::Precision::kFp16};
+    m.live_version = 2;
+    deploy::ManifestEntry e1;
+    e1.version = 1;
+    e1.state = deploy::VersionState::kRetired;
+    e1.build_id = 3;
+    e1.fingerprint = 0x1122334455667788ULL;
+    e1.plan_bytes = 4096;
+    e1.created_by = "fuzz";
+    deploy::ManifestEntry e2 = e1;
+    e2.version = 2;
+    e2.state = deploy::VersionState::kPromoted;
+    e2.parent_version = 1;
+    e2.reason = "ok";
+    e2.drift_pct = 0.3;
+    m.entries = {e1, e2};
+    return m.serialize();
+}
+
+TEST(FuzzManifest, EveryByteFlipIsDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallManifestBytes();
+    ASSERT_TRUE(deploy::Manifest::deserialize(bytes).ok());
+    // Manifests are CRC-framed like engine plans: no single-byte
+    // flip anywhere in the stream may slip through.
+    for (std::size_t at = 0; at < bytes.size(); at++) {
+        auto r = deploy::Manifest::deserialize(flipByte(bytes, at));
+        EXPECT_FALSE(r.ok()) << "flip at offset " << at
+                             << " was not detected";
+    }
+}
+
+TEST(FuzzManifest, EveryTruncationIsDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallManifestBytes();
+    for (std::size_t len = 0; len < bytes.size(); len++) {
+        std::vector<std::uint8_t> prefix(bytes.begin(),
+                                         bytes.begin() + len);
+        EXPECT_FALSE(deploy::Manifest::deserialize(prefix).ok())
+            << "truncation to " << len << " bytes was not detected";
+    }
+}
+
+TEST(FuzzManifest, TrailingBytesAreDetected)
+{
+    QuietLogs quiet;
+    auto bytes = smallManifestBytes();
+    bytes.push_back(0);
+    EXPECT_FALSE(deploy::Manifest::deserialize(bytes).ok());
+}
+
+TEST(FuzzManifest, OutOfDomainValuesAreRejected)
+{
+    QuietLogs quiet;
+    // A structurally valid frame whose *payload* violates manifest
+    // invariants must still be rejected: non-monotonic versions,
+    // a live_version that matches no entry, a parent that is not
+    // an earlier version.
+    deploy::Manifest m;
+    m.key = {"resnet-18", "xavier-nx", nn::Precision::kFp16};
+    deploy::ManifestEntry e;
+    e.version = 1;
+    e.created_by = "fuzz";
+
+    m.live_version = 5; // no such entry
+    m.entries = {e};
+    EXPECT_FALSE(
+        deploy::Manifest::deserialize(m.serialize()).ok());
+
+    m.live_version = -1;
+    deploy::ManifestEntry dup = e;
+    m.entries = {e, dup}; // versions must strictly increase
+    EXPECT_FALSE(
+        deploy::Manifest::deserialize(m.serialize()).ok());
+
+    deploy::ManifestEntry bad_parent = e;
+    bad_parent.version = 2;
+    bad_parent.parent_version = 3; // parent from the future
+    m.entries = {e, bad_parent};
+    EXPECT_FALSE(
+        deploy::Manifest::deserialize(m.serialize()).ok());
 }
 
 TEST(FuzzNetwork, FlipsNeverEscapeTheStatusContract)

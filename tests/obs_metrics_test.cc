@@ -126,6 +126,27 @@ TEST(MetricRegistry, SnapshotIsValidJson)
     EXPECT_TRUE(jsonValid(reg.toJson(), &err)) << err;
 }
 
+TEST(MetricRegistry, SnapshotPrefixFilterKeepsMatchingFamilies)
+{
+    MetricRegistry reg;
+    reg.counter("deploy.repo.puts").add(1);
+    reg.gauge("serve.device.util_pct").set(50.0);
+    reg.histogram("builder.pass.duration_us").record(9.0);
+
+    std::string filtered = reg.toJson({"deploy.", "serve."});
+    EXPECT_NE(filtered.find("deploy.repo.puts"), std::string::npos);
+    EXPECT_NE(filtered.find("serve.device.util_pct"),
+              std::string::npos);
+    EXPECT_EQ(filtered.find("builder.pass.duration_us"),
+              std::string::npos);
+    std::string err;
+    EXPECT_TRUE(jsonValid(filtered, &err)) << err;
+
+    // An empty prefix list keeps everything.
+    EXPECT_NE(reg.toJson().find("builder.pass.duration_us"),
+              std::string::npos);
+}
+
 TEST(MetricRegistry, SnapshotIsByteIdenticalForEqualState)
 {
     auto populate = [](MetricRegistry &reg) {

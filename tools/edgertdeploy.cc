@@ -1,0 +1,271 @@
+/**
+ * @file
+ * edgertdeploy — drive the EdgeDeploy engine lifecycle from the
+ * command line: build engine versions into a repository, gate
+ * candidates against the live incumbent, promote, roll back and
+ * inspect the lineage.
+ *
+ * Examples:
+ *   edgertdeploy build --repo repo --model resnet-18 --seed 1
+ *   edgertdeploy build --repo repo --model resnet-18 --seed 2
+ *   edgertdeploy gate --repo repo --model resnet-18
+ *   edgertdeploy inspect --repo repo --model resnet-18
+ *   edgertdeploy promote --repo repo --model resnet-18 --version 2
+ *   edgertdeploy rollback --repo repo --model resnet-18
+ *   edgertdeploy list --repo repo
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/cliflags.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "core/builder.hh"
+#include "deploy/drift_gate.hh"
+#include "deploy/rebuild_worker.hh"
+#include "deploy/repository.hh"
+#include "nn/model_zoo.hh"
+#include "serve/server.hh"
+
+using namespace edgert;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: edgertdeploy <command> [options]\n"
+        "commands:\n"
+        "  build      build an engine version into the repository\n"
+        "             (auto-promoted when nothing is live yet)\n"
+        "  gate       drift-gate the newest candidate against the\n"
+        "             live version; promote or quarantine it\n"
+        "  promote    force-promote a stored version\n"
+        "  rollback   revert the live version to its parent\n"
+        "  inspect    print one key's manifest\n"
+        "  list       list every key in the repository\n"
+        "options:\n"
+        "  --repo <dir>          repository root (required)\n"
+        "  --model <name>        zoo model name\n"
+        "  --device <nx|agx>     build target (default nx)\n"
+        "  --seed <n>            builder seed for `build` "
+        "(default 1)\n"
+        "  --jobs <n>            autotuner sweep workers "
+        "(default 1)\n"
+        "  --version <n>         version for `promote`\n"
+        "  --drift-gate-pct <x>  max canary top-1 disagreement, "
+        "percent\n"
+        "                        (default 0.4)\n"
+        "  --quiet               warnings and errors only\n"
+        "Options also accept --opt=value syntax.\n");
+}
+
+struct Args
+{
+    std::string command;
+    std::string repo;
+    std::string model;
+    std::string device = "nx";
+    std::uint64_t seed = 1;
+    int jobs = 1;
+    int version = -1;
+    double drift_gate_pct = -1.0;
+};
+
+/** The manifest of `key`, as a printed lineage table. */
+void
+printManifest(const deploy::Manifest &m)
+{
+    std::printf("%s (live: %s)\n", m.key.displayName().c_str(),
+                m.live_version < 0
+                    ? "none"
+                    : std::to_string(m.live_version).c_str());
+    for (const auto &e : m.entries) {
+        std::printf(
+            "  v%-3d %-11s build %-4llu fingerprint %016llx "
+            "plan %lld B timings %lld/%lld hit",
+            e.version, deploy::versionStateName(e.state),
+            static_cast<unsigned long long>(e.build_id),
+            static_cast<unsigned long long>(e.fingerprint),
+            static_cast<long long>(e.plan_bytes),
+            static_cast<long long>(e.timing_cache_hits),
+            static_cast<long long>(e.timing_measurements +
+                                   e.timing_cache_hits));
+        if (e.parent_version >= 0)
+            std::printf(" parent v%d", e.parent_version);
+        if (!e.created_by.empty())
+            std::printf(" by %s", e.created_by.c_str());
+        if (!e.reason.empty())
+            std::printf(" [%s, drift %.3f%%]", e.reason.c_str(),
+                        e.drift_pct);
+        std::printf("\n");
+    }
+}
+
+/** fatal()s unless `st` is OK. */
+void
+must(const Status &st)
+{
+    if (!st.ok())
+        fatal(st.message());
+}
+
+int
+run(int argc, char **argv)
+{
+    Args a;
+    FlagParser flags(argc, argv);
+    while (flags.next()) {
+        if (!flags.isOption()) {
+            if (!a.command.empty())
+                fatal("unexpected argument '", flags.arg(),
+                      "' after command '", a.command, "'");
+            a.command = flags.arg();
+        } else if (flags.is("--repo"))
+            a.repo = flags.value();
+        else if (flags.is("--model"))
+            a.model = flags.value();
+        else if (flags.is("--device"))
+            a.device = flags.value();
+        else if (flags.is("--seed"))
+            a.seed = flags.unsignedValue();
+        else if (flags.is("--jobs"))
+            a.jobs = static_cast<int>(flags.intValue());
+        else if (flags.is("--version"))
+            a.version = static_cast<int>(flags.intValue());
+        else if (flags.is("--drift-gate-pct"))
+            a.drift_gate_pct = flags.numberValue();
+        else if (flags.is("--quiet"))
+            setLogLevel(LogLevel::kWarn);
+        else if (flags.is("--help") || flags.is("-h")) {
+            usage();
+            return 0;
+        } else
+            fatal("unknown option: ", flags.arg());
+    }
+    if (a.command.empty()) {
+        usage();
+        fatal("missing command");
+    }
+    if (a.repo.empty())
+        fatal("--repo is required");
+
+    deploy::EngineRepository repo(a.repo);
+    gpusim::DeviceSpec device = serve::parseDevice(a.device);
+    deploy::ModelKey key{a.model, device.name,
+                         nn::Precision::kFp16};
+    deploy::DriftGateConfig gate_cfg;
+    if (a.drift_gate_pct >= 0.0)
+        gate_cfg.max_disagreement_pct = a.drift_gate_pct;
+
+    if (a.command == "list") {
+        for (const auto &k : repo.list()) {
+            auto m = repo.manifest(k);
+            if (m.ok())
+                printManifest(*m);
+        }
+        return 0;
+    }
+    if (a.model.empty())
+        fatal("--model is required for '", a.command, "'");
+
+    if (a.command == "build") {
+        nn::Network net = nn::buildZooModel(a.model, 1);
+        core::BuilderConfig bc;
+        bc.build_id = a.seed;
+        bc.jobs = a.jobs;
+        core::Builder builder(device, bc);
+        core::BuildReport report;
+        core::Engine engine = builder.build(net, &report);
+        auto version = repo.put(
+            engine, deploy::BuildMeta::from(report, "edgertdeploy"));
+        if (!version.ok())
+            fatal(version.status().message());
+        auto manifest = repo.manifest(key);
+        if (manifest.ok() && manifest->live_version < 0)
+            must(repo.promote(key, *version));
+        std::printf("stored %s v%d (build %llu, fingerprint "
+                    "%016llx)%s\n",
+                    key.displayName().c_str(), *version,
+                    static_cast<unsigned long long>(a.seed),
+                    static_cast<unsigned long long>(
+                        engine.fingerprint()),
+                    manifest.ok() && manifest->live_version < 0
+                        ? ", promoted (bootstrap)"
+                        : "");
+        return 0;
+    }
+    if (a.command == "gate") {
+        auto manifest = repo.manifest(key);
+        if (!manifest.ok())
+            fatal(manifest.status().message());
+        int candidate = a.version;
+        if (candidate < 0) {
+            for (const auto &e : manifest->entries)
+                if (e.state == deploy::VersionState::kCandidate)
+                    candidate = e.version;
+        }
+        if (candidate < 0)
+            fatal("no candidate version of ", key.displayName(),
+                  " to gate");
+        auto incumbent = repo.loadLive(key);
+        if (!incumbent.ok())
+            fatal(incumbent.status().message());
+        auto engine = repo.loadVersion(key, candidate);
+        if (!engine.ok())
+            fatal(engine.status().message());
+        deploy::DriftGate gate(gate_cfg);
+        deploy::DriftVerdict v = gate.evaluate(*incumbent, *engine);
+        std::printf("%s\n", v.toJson().c_str());
+        if (v.accepted)
+            must(repo.promote(key, candidate));
+        else
+            must(repo.quarantine(key, candidate, v.reason,
+                                 v.disagreement_pct));
+        std::printf("%s v%d %s\n", key.displayName().c_str(),
+                    candidate,
+                    v.accepted ? "promoted" : "quarantined");
+        return v.accepted ? 0 : 2;
+    }
+    if (a.command == "promote") {
+        if (a.version < 0)
+            fatal("--version is required for 'promote'");
+        must(repo.promote(key, a.version));
+        std::printf("%s v%d promoted\n", key.displayName().c_str(),
+                    a.version);
+        return 0;
+    }
+    if (a.command == "rollback") {
+        must(repo.rollback(key));
+        auto m = repo.manifest(key);
+        std::printf("%s rolled back to v%d\n",
+                    key.displayName().c_str(),
+                    m.ok() ? m->live_version : -1);
+        return 0;
+    }
+    if (a.command == "inspect") {
+        auto m = repo.manifest(key);
+        if (!m.ok())
+            fatal(m.status().message());
+        printManifest(*m);
+        return 0;
+    }
+    usage();
+    fatal("unknown command '", a.command, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // fatal() has already printed the diagnostic through the log
+    // sink; bad arguments must exit non-zero, not abort.
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 1;
+    }
+}

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "common/cliflags.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "core/builder.hh"
@@ -135,98 +136,64 @@ std::optional<Args>
 parse(int argc, char **argv)
 {
     Args a;
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        // Split --opt=value into --opt plus an inline value.
-        std::optional<std::string> inline_value;
-        if (arg.rfind("--", 0) == 0) {
-            std::size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg = arg.substr(0, eq);
-            }
-        }
-        auto next = [&]() -> std::string {
-            if (inline_value)
-                return *inline_value;
-            if (i + 1 >= argc)
-                fatal("missing value for ", arg);
-            return argv[++i];
-        };
-        // Reject malformed numeric values with a diagnostic naming
-        // the flag instead of an uncaught std::sto* exception.
-        auto intValue = [&]() {
-            std::string v = next();
-            auto r = parseInt64(v);
-            if (!r.ok())
-                fatal("invalid value '", v, "' for ", arg, ": ",
-                      r.status().message());
-            return static_cast<int>(*r);
-        };
-        auto unsignedValue = [&]() {
-            std::string v = next();
-            auto r = parseUint64(v);
-            if (!r.ok())
-                fatal("invalid value '", v, "' for ", arg, ": ",
-                      r.status().message());
-            return *r;
-        };
-        if (arg == "--model")
-            a.model = next();
-        else if (arg == "--load-network")
-            a.load_network = next();
-        else if (arg == "--load-engine")
-            a.load_engine = next();
-        else if (arg == "--save-engine")
-            a.save_engine = next();
-        else if (arg == "--device")
-            a.device = next();
-        else if (arg == "--fp32")
+    FlagParser flags(argc, argv);
+    while (flags.next()) {
+        if (flags.is("--model"))
+            a.model = flags.value();
+        else if (flags.is("--load-network"))
+            a.load_network = flags.value();
+        else if (flags.is("--load-engine"))
+            a.load_engine = flags.value();
+        else if (flags.is("--save-engine"))
+            a.save_engine = flags.value();
+        else if (flags.is("--device"))
+            a.device = flags.value();
+        else if (flags.is("--fp32"))
             a.precision = nn::Precision::kFp32;
-        else if (arg == "--fp16")
+        else if (flags.is("--fp16"))
             a.precision = nn::Precision::kFp16;
-        else if (arg == "--int8")
+        else if (flags.is("--int8"))
             a.precision = nn::Precision::kInt8;
-        else if (arg == "--build-id")
-            a.build_id = unsignedValue();
-        else if (arg == "--jobs")
-            a.jobs = intValue();
-        else if (arg == "--timing-cache")
-            a.timing_cache = next();
-        else if (arg == "--runs")
-            a.runs = intValue();
-        else if (arg == "--threads")
-            a.threads = intValue();
-        else if (arg == "--max-clock")
+        else if (flags.is("--build-id"))
+            a.build_id = flags.unsignedValue();
+        else if (flags.is("--jobs"))
+            a.jobs = static_cast<int>(flags.intValue());
+        else if (flags.is("--timing-cache"))
+            a.timing_cache = flags.value();
+        else if (flags.is("--runs"))
+            a.runs = static_cast<int>(flags.intValue());
+        else if (flags.is("--threads"))
+            a.threads = static_cast<int>(flags.intValue());
+        else if (flags.is("--max-clock"))
             a.max_clock = true;
-        else if (arg == "--no-profiler")
+        else if (flags.is("--no-profiler"))
             a.no_nvprof_overhead = true;
-        else if (arg == "--profile")
+        else if (flags.is("--profile"))
             a.profile = true;
-        else if (arg == "--verbose-build")
+        else if (flags.is("--verbose-build"))
             a.verbose_build = true;
-        else if (arg == "--quiet")
+        else if (flags.is("--quiet"))
             a.quiet = true;
-        else if (arg == "--verbose")
+        else if (flags.is("--verbose"))
             a.verbose = true;
-        else if (arg == "--trace-build")
+        else if (flags.is("--trace-build"))
             a.trace_build = true;
-        else if (arg == "--metrics-out")
-            a.metrics_out = next();
-        else if (arg == "--dump-dot")
-            a.dump_dot = next();
-        else if (arg == "--dump-trace")
-            a.dump_trace = next();
-        else if (arg == "--list") {
+        else if (flags.is("--metrics-out"))
+            a.metrics_out = flags.value();
+        else if (flags.is("--dump-dot"))
+            a.dump_dot = flags.value();
+        else if (flags.is("--dump-trace"))
+            a.dump_trace = flags.value();
+        else if (flags.is("--list")) {
             for (const auto &m : nn::zooModelNames())
                 std::printf("%s\n", m.c_str());
             return std::nullopt;
-        } else if (arg == "--help" || arg == "-h") {
+        } else if (flags.is("--help") || flags.is("-h")) {
             usage();
             return std::nullopt;
         } else {
             std::fprintf(stderr, "unknown option: %s\n",
-                         arg.c_str());
+                         flags.arg().c_str());
             usage();
             return std::nullopt;
         }

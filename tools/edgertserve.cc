@@ -20,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "common/cliflags.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "deploy/hotswap.hh"
 #include "nn/model_zoo.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -110,25 +112,26 @@ parseModelSpec(const std::string &spec)
     return mc;
 }
 
-/** Parse one --fail-load spec: <model>[:count] (default count 1). */
+/** Parse a <model>[:count] fault spec (default count 1). */
 void
-parseFailLoad(const std::string &spec, serve::FaultInjection &out)
+parseFailSpec(const char *flag, const std::string &spec,
+              std::map<std::string, int> &out)
 {
     auto parts = split(spec, ':');
     if (parts.empty() || parts[0].empty())
-        fatal("empty --fail-load spec");
+        fatal("empty ", flag, " spec");
     int count = 1;
     if (parts.size() > 1) {
         auto r = parseInt64(parts[1]);
         if (!r.ok() || *r < 1)
-            fatal("bad --fail-load count '", parts[1],
+            fatal("bad ", flag, " count '", parts[1],
                   "' (expected a positive integer)");
         count = static_cast<int>(*r);
     }
     if (parts.size() > 2)
-        fatal("bad --fail-load spec '", spec,
+        fatal("bad ", flag, " spec '", spec,
               "' (expected model[:count])");
-    out.engine_load_failures[parts[0]] += count;
+    out[parts[0]] += count;
 }
 
 struct Args
@@ -137,6 +140,12 @@ struct Args
     std::string metrics_out;
     std::string report_out;
     bool quiet = false;
+
+    // Engine-lifecycle (EdgeDeploy) options.
+    std::string repo;             //!< repository root ("" = off)
+    double rebuild_at_s = -1.0;   //!< swap trigger (<0: mid-run)
+    std::uint64_t rebuild_seed = 0; //!< 0: cfg.build_id + 1
+    double drift_gate_pct = -1.0; //!< <0: gate default
 };
 
 void
@@ -163,8 +172,22 @@ usage()
         "(default 0.5)\n"
         "  --fail-load <m[:n]>   inject n engine-load failures for\n"
         "                        model m (default 1); repeatable\n"
+        "  --fail-swap-load <m[:n]>\n"
+        "                        inject n *swap-time* candidate "
+        "load\n"
+        "                        failures for model m; repeatable\n"
         "  --load-attempts <n>   load tries per (model, device)\n"
         "                        before degrading (default 2)\n"
+        "  --repo <dir>          engine repository root; enables "
+        "the\n"
+        "                        drift-gated mid-run hot-swap\n"
+        "  --rebuild-at <t>      swap trigger time in seconds\n"
+        "                        (default: half the duration)\n"
+        "  --rebuild-seed <n>    candidate builder seed (default:\n"
+        "                        incumbent seed + 1)\n"
+        "  --drift-gate-pct <x>  max tolerated canary top-1\n"
+        "                        disagreement, percent "
+        "(default 0.4)\n"
         "  --report-out <f>      write the serve report JSON\n"
         "  --metrics-out <f>     write the metric-registry "
         "snapshot\n"
@@ -182,82 +205,61 @@ parse(int argc, char **argv)
 {
     Args a;
     std::string devices = "nx";
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        std::optional<std::string> inline_value;
-        if (arg.rfind("--", 0) == 0) {
-            std::size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg = arg.substr(0, eq);
-            }
-        }
-        auto next = [&]() -> std::string {
-            if (inline_value)
-                return *inline_value;
-            if (i + 1 >= argc)
-                fatal("missing value for ", arg);
-            return argv[++i];
-        };
-        // Reject malformed numeric values with a diagnostic naming
-        // the flag instead of an uncaught std::sto* exception.
-        auto number = [&]() {
-            std::string v = next();
-            auto r = parseDouble(v);
-            if (!r.ok())
-                fatal("invalid value '", v, "' for ", arg, ": ",
-                      r.status().message());
-            return *r;
-        };
-        auto unsignedNumber = [&]() {
-            std::string v = next();
-            auto r = parseUint64(v);
-            if (!r.ok())
-                fatal("invalid value '", v, "' for ", arg, ": ",
-                      r.status().message());
-            return *r;
-        };
-        if (arg == "--model")
-            a.cfg.models.push_back(parseModelSpec(next()));
-        else if (arg == "--devices")
-            devices = next();
-        else if (arg == "--duration-s")
-            a.cfg.duration_s = number();
-        else if (arg == "--seed")
-            a.cfg.seed = unsignedNumber();
-        else if (arg == "--no-admission")
+    FlagParser flags(argc, argv);
+    while (flags.next()) {
+        if (flags.is("--model"))
+            a.cfg.models.push_back(parseModelSpec(flags.value()));
+        else if (flags.is("--devices"))
+            devices = flags.value();
+        else if (flags.is("--duration-s"))
+            a.cfg.duration_s = flags.numberValue();
+        else if (flags.is("--seed"))
+            a.cfg.seed = flags.unsignedValue();
+        else if (flags.is("--no-admission"))
             a.cfg.admission_control = false;
-        else if (arg == "--no-batching")
+        else if (flags.is("--no-batching"))
             a.cfg.dynamic_batching = false;
-        else if (arg == "--ram-fraction")
-            a.cfg.ram_fraction = number();
-        else if (arg == "--fail-load")
-            parseFailLoad(next(), a.cfg.faults);
-        else if (arg == "--load-attempts") {
-            auto n = unsignedNumber();
+        else if (flags.is("--ram-fraction"))
+            a.cfg.ram_fraction = flags.numberValue();
+        else if (flags.is("--fail-load"))
+            parseFailSpec("--fail-load", flags.value(),
+                          a.cfg.faults.engine_load_failures);
+        else if (flags.is("--fail-swap-load"))
+            parseFailSpec("--fail-swap-load", flags.value(),
+                          a.cfg.faults.swap_load_failures);
+        else if (flags.is("--load-attempts")) {
+            auto n = flags.unsignedValue();
             if (n < 1)
-                fatal("invalid value '", n, "' for ", arg,
-                      ": must be at least 1");
+                fatal("invalid value '", n,
+                      "' for --load-attempts: must be at least 1");
             a.cfg.faults.max_load_attempts = static_cast<int>(n);
-        } else if (arg == "--report-out")
-            a.report_out = next();
-        else if (arg == "--metrics-out")
-            a.metrics_out = next();
-        else if (arg == "--dump-trace") {
-            a.cfg.trace_out = next();
+        } else if (flags.is("--repo"))
+            a.repo = flags.value();
+        else if (flags.is("--rebuild-at"))
+            a.rebuild_at_s = flags.numberValue();
+        else if (flags.is("--rebuild-seed"))
+            a.rebuild_seed = flags.unsignedValue();
+        else if (flags.is("--drift-gate-pct"))
+            a.drift_gate_pct = flags.numberValue();
+        else if (flags.is("--report-out"))
+            a.report_out = flags.value();
+        else if (flags.is("--metrics-out"))
+            a.metrics_out = flags.value();
+        else if (flags.is("--dump-trace")) {
+            a.cfg.trace_out = flags.value();
             obs::Tracer::global().setEnabled(true);
-        } else if (arg == "--quiet")
+        } else if (flags.is("--quiet"))
             a.quiet = true;
-        else if (arg == "--list") {
+        else if (flags.is("--list")) {
             for (const auto &m : nn::zooModelNames())
                 std::printf("%s\n", m.c_str());
             return std::nullopt;
-        } else if (arg == "--help" || arg == "-h") {
+        } else if (flags.is("--help") || flags.is("-h")) {
             usage();
             return std::nullopt;
         } else {
             std::fprintf(stderr, "unknown option: %s\n",
-                         arg.c_str());
+                         flags.arg().c_str());
             usage();
             return std::nullopt;
         }
@@ -289,7 +291,41 @@ run(int argc, char **argv)
         args.cfg.admission_control ? "on" : "off",
         args.cfg.dynamic_batching ? "on" : "off");
 
-    serve::ServeReport report = serve::runServer(args.cfg);
+    serve::ServeReport report;
+    if (args.repo.empty()) {
+        report = serve::runServer(args.cfg);
+    } else {
+        deploy::EngineRepository repo(args.repo);
+        deploy::DriftGateConfig gate_cfg;
+        if (args.drift_gate_pct >= 0.0)
+            gate_cfg.max_disagreement_pct = args.drift_gate_pct;
+        deploy::HotSwapper swapper(repo, gate_cfg);
+        double t_s = args.rebuild_at_s >= 0.0
+                         ? args.rebuild_at_s
+                         : args.cfg.duration_s / 2.0;
+        std::uint64_t seed = args.rebuild_seed
+                                 ? args.rebuild_seed
+                                 : args.cfg.build_id + 1;
+        deploy::HotSwapPlan plan =
+            swapper.planSwaps(args.cfg, t_s, seed);
+        for (const auto &o : plan.outcomes) {
+            if (!o.status.ok())
+                say("[edgertserve] %-18s rebuild failed: %s\n",
+                    o.job.model.c_str(),
+                    o.status.message().c_str());
+            else if (o.promoted)
+                say("[edgertserve] %-18s candidate v%d promoted "
+                    "(drift %.3f%%), swap at %.2f s\n",
+                    o.job.model.c_str(), o.version,
+                    o.verdict.disagreement_pct, t_s);
+            else
+                say("[edgertserve] %-18s candidate v%d "
+                    "quarantined: %s\n",
+                    o.job.model.c_str(), o.version,
+                    o.verdict.detail.c_str());
+        }
+        report = swapper.runWithSwaps(args.cfg, plan);
+    }
 
     for (const auto &m : report.models) {
         say("[edgertserve] %-18s offered %.1f qps | goodput %.1f "
@@ -305,6 +341,17 @@ run(int argc, char **argv)
                 m.model.c_str(),
                 static_cast<long long>(m.load_failures),
                 static_cast<long long>(m.rebuilds));
+        if (m.swaps > 0)
+            say("[edgertserve] %-18s swaps %lld (rolled back "
+                "%lld%s%s) | active build %llu | pause %.2f ms | "
+                "p99 in-swap %.2f ms vs steady %.2f ms\n",
+                m.model.c_str(), static_cast<long long>(m.swaps),
+                static_cast<long long>(m.swaps_rolled_back),
+                m.swap_rollback_reason.empty() ? "" : ": ",
+                m.swap_rollback_reason.c_str(),
+                static_cast<unsigned long long>(m.active_build_id),
+                m.swap_downtime_ms, m.p99_swap_ms,
+                m.p99_steady_ms);
     }
     for (const auto &d : report.devices)
         say("[edgertserve] device %-12s %d instance(s) | GPU util "
