@@ -1,0 +1,252 @@
+#ifndef EDGERT_COMMON_ARENA_HH
+#define EDGERT_COMMON_ARENA_HH
+
+/**
+ * @file
+ * Allocation primitives for simulation hot paths.
+ *
+ * The discrete-event core used to pay a handful of heap allocations
+ * per simulated event (deque nodes, per-step scratch vectors,
+ * records); at fleet scale that is the dominant cost. This header
+ * provides three small, header-only building blocks that gpusim and
+ * serve share:
+ *
+ *  - Arena:      a chunked bump allocator. reset() rewinds to empty
+ *                while *retaining* the chunks, so a steady-state
+ *                consumer stops allocating entirely. Addresses are
+ *                stable (chunks never move or grow in place).
+ *  - IndexPool:  a typed slot pool with a free list, addressed by
+ *                dense int32 indices. Slots are constructed once in
+ *                Arena chunks and recycled thereafter, so members
+ *                with capacity (std::string, vectors) keep their
+ *                buffers across acquire/release cycles.
+ *  - RingBuffer: a power-of-two ring FIFO that grows by copy but
+ *                never shrinks — a deque without per-node churn.
+ *
+ * None of these are thread-safe; each simulator owns its own.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace edgert {
+
+/**
+ * Chunked bump allocator with stable addresses. allocate() carves
+ * from the current chunk and starts a new one when full; reset()
+ * rewinds every chunk for reuse without returning memory to the
+ * heap. Objects with non-trivial destructors must be destroyed by
+ * the caller before reset() — the arena only manages bytes.
+ */
+class Arena
+{
+  public:
+    explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+        : chunk_bytes_(chunk_bytes < 256 ? 256 : chunk_bytes)
+    {}
+
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        if (bytes == 0)
+            bytes = 1;
+        if (align == 0)
+            align = 1;
+        for (;;) {
+            if (chunk_ < chunks_.size()) {
+                Chunk &c = chunks_[chunk_];
+                std::size_t at = (c.used + align - 1) &
+                                 ~(align - 1);
+                if (at + bytes <= c.size) {
+                    c.used = at + bytes;
+                    allocated_ += bytes;
+                    return c.data.get() + at;
+                }
+                chunk_++;
+                continue;
+            }
+            std::size_t size =
+                bytes + align > chunk_bytes_ ? bytes + align
+                                             : chunk_bytes_;
+            Chunk c;
+            c.data = std::make_unique<std::byte[]>(size);
+            c.size = size;
+            c.used = 0;
+            reserved_ += size;
+            chunks_.push_back(std::move(c));
+        }
+    }
+
+    /** Rewind to empty; chunks are retained for reuse. */
+    void
+    reset()
+    {
+        for (Chunk &c : chunks_)
+            c.used = 0;
+        chunk_ = 0;
+        allocated_ = 0;
+    }
+
+    /** Bytes held from the system heap (high-water footprint). */
+    std::size_t bytesReserved() const { return reserved_; }
+
+    /** Bytes handed out since construction or the last reset(). */
+    std::size_t bytesAllocated() const { return allocated_; }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    std::vector<Chunk> chunks_;
+    std::size_t chunk_ = 0; //!< current chunk index
+    std::size_t chunk_bytes_;
+    std::size_t reserved_ = 0;
+    std::size_t allocated_ = 0;
+};
+
+/**
+ * Typed slot pool over an Arena, addressed by int32 index. acquire()
+ * pops the free list (LIFO) or constructs a fresh slot; release()
+ * returns the slot without destroying it, so string/vector members
+ * keep their capacity for the next tenant. Slot addresses are stable
+ * for the pool's lifetime, but callers should hold indices — they
+ * stay valid across any number of acquire() calls.
+ */
+template <typename T>
+class IndexPool
+{
+  public:
+    IndexPool() : arena_(64 * 1024) {}
+
+    ~IndexPool()
+    {
+        for (T *s : slots_)
+            s->~T();
+    }
+
+    IndexPool(const IndexPool &) = delete;
+    IndexPool &operator=(const IndexPool &) = delete;
+
+    /** Get a slot index; the slot holds whatever the previous
+     *  tenant left (callers overwrite the fields they use). */
+    std::int32_t
+    acquire()
+    {
+        live_++;
+        if (!free_.empty()) {
+            std::int32_t idx = free_.back();
+            free_.pop_back();
+            return idx;
+        }
+        void *mem = arena_.allocate(sizeof(T), alignof(T));
+        slots_.push_back(new (mem) T());
+        return static_cast<std::int32_t>(slots_.size()) - 1;
+    }
+
+    /** Return a slot to the free list (contents retained). */
+    void
+    release(std::int32_t idx)
+    {
+        live_--;
+        free_.push_back(idx);
+    }
+
+    T &operator[](std::int32_t idx)
+    {
+        return *slots_[static_cast<std::size_t>(idx)];
+    }
+    const T &operator[](std::int32_t idx) const
+    {
+        return *slots_[static_cast<std::size_t>(idx)];
+    }
+
+    /** Slots currently acquired. */
+    std::size_t live() const { return live_; }
+
+    /** Slots ever constructed (pool high-water mark). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Heap footprint: arena chunks plus index bookkeeping. */
+    std::size_t
+    bytesReserved() const
+    {
+        return arena_.bytesReserved() +
+               slots_.capacity() * sizeof(T *) +
+               free_.capacity() * sizeof(std::int32_t);
+    }
+
+  private:
+    Arena arena_;
+    std::vector<T *> slots_;
+    std::vector<std::int32_t> free_;
+    std::size_t live_ = 0;
+};
+
+/**
+ * Growable power-of-two ring FIFO. push/pop are O(1) with no
+ * steady-state allocation; growth copies the live range once and
+ * the capacity is kept forever.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    bool empty() const { return head_ == tail_; }
+
+    std::size_t size() const { return head_ - tail_; }
+
+    void
+    push(T v)
+    {
+        if (head_ - tail_ == buf_.size())
+            grow();
+        buf_[head_ & (buf_.size() - 1)] = std::move(v);
+        head_++;
+    }
+
+    T &front() { return buf_[tail_ & (buf_.size() - 1)]; }
+    const T &
+    front() const
+    {
+        return buf_[tail_ & (buf_.size() - 1)];
+    }
+
+    void pop() { tail_++; }
+
+    std::size_t
+    bytesReserved() const
+    {
+        return buf_.capacity() * sizeof(T);
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+        std::vector<T> next(cap);
+        std::size_t n = head_ - tail_;
+        for (std::size_t i = 0; i < n; i++)
+            next[i] = std::move(buf_[(tail_ + i) &
+                                     (buf_.size() - 1)]);
+        buf_ = std::move(next);
+        tail_ = 0;
+        head_ = n;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0; //!< next write position (monotonic)
+    std::size_t tail_ = 0; //!< next read position (monotonic)
+};
+
+} // namespace edgert
+
+#endif // EDGERT_COMMON_ARENA_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace edgert {
@@ -33,6 +34,7 @@ ThreadPool::ThreadPool(int threads)
         threads = defaultThreads();
     workers_.reserve(static_cast<std::size_t>(threads));
     per_worker_tasks_.assign(static_cast<std::size_t>(threads), 0);
+    per_worker_wait_ns_.assign(static_cast<std::size_t>(threads), 0);
     for (int i = 0; i < threads; i++)
         workers_.emplace_back(
             [this, i] { workerLoop(static_cast<std::size_t>(i)); });
@@ -101,7 +103,9 @@ ThreadPool::stats() const
     PoolStats s;
     s.tasks_run = tasks_run_;
     s.max_queue_depth = max_queue_depth_;
+    s.wait_ns = wait_ns_;
     s.per_worker_tasks = per_worker_tasks_;
+    s.per_worker_wait_ns = per_worker_wait_ns_;
     return s;
 }
 
@@ -111,11 +115,22 @@ ThreadPool::workerLoop(std::size_t worker)
     for (;;) {
         std::function<void()> task;
         {
+            auto wait_start = std::chrono::steady_clock::now();
             std::unique_lock<std::mutex> lock(mu_);
             work_cv_.wait(
                 lock, [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty())
                 return; // stop_ set and nothing left to run
+            // Count idle time only when the wakeup yields work, so
+            // the shutdown wakeup doesn't inflate the numbers.
+            auto waited = std::chrono::steady_clock::now() -
+                          wait_start;
+            std::uint64_t ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(waited)
+                    .count());
+            wait_ns_ += ns;
+            per_worker_wait_ns_[worker] += ns;
             task = std::move(queue_.front());
             queue_.pop_front();
         }

@@ -38,7 +38,10 @@ struct PoolStats
 {
     std::uint64_t tasks_run = 0;      //!< tasks completed so far
     std::size_t max_queue_depth = 0;  //!< high-water queued tasks
+    std::uint64_t wait_ns = 0;        //!< total time workers sat
+                                      //!< idle before grabbing work
     std::vector<std::uint64_t> per_worker_tasks; //!< by worker index
+    std::vector<std::uint64_t> per_worker_wait_ns;
 
     /**
      * Fraction of work done off the busiest worker's share, in
@@ -104,7 +107,9 @@ class ThreadPool
     std::size_t in_flight_ = 0;       //!< queued + running tasks
     std::size_t max_queue_depth_ = 0;
     std::uint64_t tasks_run_ = 0;
+    std::uint64_t wait_ns_ = 0;
     std::vector<std::uint64_t> per_worker_tasks_;
+    std::vector<std::uint64_t> per_worker_wait_ns_;
     std::exception_ptr first_error_;
     bool stop_ = false;
 };

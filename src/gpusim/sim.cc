@@ -15,60 +15,6 @@ namespace {
 constexpr double kTimeEps = 1e-12;  // seconds
 constexpr double kFracEps = 1e-9;   // progress fraction
 
-/**
- * Weighted max-min fair allocation of `capacity` among consumers
- * with per-consumer caps and priority weights. Returns grants
- * summing to at most capacity, never exceeding caps; uncapped
- * consumers receive capacity in proportion to their weights.
- */
-std::vector<double>
-waterFill(const std::vector<double> &caps, double capacity,
-          const std::vector<double> &weights)
-{
-    std::vector<double> grant(caps.size(), 0.0);
-    std::vector<std::size_t> open;
-    for (std::size_t i = 0; i < caps.size(); i++)
-        if (caps[i] > 0.0)
-            open.push_back(i);
-
-    double remaining = capacity;
-    while (!open.empty() && remaining > 1e-15) {
-        double weight_sum = 0.0;
-        for (std::size_t i : open)
-            weight_sum += weights[i];
-        bool any_capped = false;
-        std::vector<std::size_t> next;
-        for (std::size_t i : open) {
-            double share = remaining * weights[i] / weight_sum;
-            if (caps[i] - grant[i] <= share) {
-                any_capped = true;
-            } else {
-                next.push_back(i);
-            }
-        }
-        if (!any_capped) {
-            for (std::size_t i : next) {
-                grant[i] += remaining * weights[i] / weight_sum;
-            }
-            remaining = 0.0;
-            break;
-        }
-        // Saturate capped consumers, then redistribute.
-        std::vector<std::size_t> still_open;
-        for (std::size_t i : open) {
-            double share = remaining * weights[i] / weight_sum;
-            if (caps[i] - grant[i] <= share) {
-                remaining -= caps[i] - grant[i];
-                grant[i] = caps[i];
-            } else {
-                still_open.push_back(i);
-            }
-        }
-        open = std::move(still_open);
-    }
-    return grant;
-}
-
 } // namespace
 
 double
@@ -90,6 +36,8 @@ GpuSim::GpuSim(const DeviceSpec &spec) : spec_(spec)
 {
     if (spec_.sm_count <= 0)
         fatal("GpuSim: device '", spec_.name, "' has no SMs");
+    sm_count_d_ = static_cast<double>(spec_.sm_count);
+    eff_dram_bps_ = spec_.effDramBps();
     streams_.emplace_back(); // default stream 0
 
     obs::MetricRegistry &reg = obs::MetricRegistry::global();
@@ -123,14 +71,63 @@ GpuSim::createStream(double priority_weight)
     return static_cast<int>(streams_.size()) - 1;
 }
 
-void
-GpuSim::launchKernel(int stream, KernelDesc kernel)
+std::int32_t
+GpuSim::acquireOp(OpKind kind)
 {
-    Op op;
-    op.kind = OpKind::kKernel;
-    op.kernel = std::move(kernel);
-    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
-        std::move(op));
+    std::int32_t idx = ops_.acquire();
+    Op &op = ops_[idx];
+    // Recycled slots keep string capacity (kernel name / tag); every
+    // scalar field is reset here so tenants never see stale state.
+    op.kind = kind;
+    op.bytes = 0;
+    op.transfers = 0;
+    op.pinned = false;
+    op.event = -1;
+    op.delay_s = 0.0;
+    op.delay_until = false;
+    op.next = -1;
+    ops_enqueued_++;
+    return idx;
+}
+
+void
+GpuSim::pushOp(int stream, std::int32_t op_idx)
+{
+    Stream &st = streams_.at(static_cast<std::size_t>(stream));
+    if (st.tail == -1)
+        st.head = op_idx;
+    else
+        ops_[st.tail].next = op_idx;
+    st.tail = op_idx;
+    if (!st.busy)
+        markReady(stream);
+}
+
+void
+GpuSim::markReady(std::int32_t stream)
+{
+    Stream &st = streams_[static_cast<std::size_t>(stream)];
+    if (!st.in_ready) {
+        st.in_ready = true;
+        ready_.push_back(stream);
+    }
+}
+
+void
+GpuSim::launchKernel(int stream, const KernelDesc &kernel)
+{
+    std::int32_t idx = acquireOp(OpKind::kKernel);
+    ops_[idx].kernel = kernel;
+    pushOp(stream, idx);
+    m_kernel_launches_.add();
+}
+
+void
+GpuSim::launchKernel(int stream, KernelDesc &&kernel)
+{
+    std::int32_t idx = acquireOp(OpKind::kKernel);
+    ops_[idx].kernel = std::move(kernel);
+    pushOp(stream, idx);
     m_kernel_launches_.add();
 }
 
@@ -138,51 +135,47 @@ void
 GpuSim::memcpyH2D(int stream, std::uint64_t bytes, int transfers,
                   std::string tag, bool pinned)
 {
-    Op op;
-    op.kind = OpKind::kMemcpyH2D;
+    std::int32_t idx = acquireOp(OpKind::kMemcpyH2D);
+    Op &op = ops_[idx];
     op.bytes = bytes;
     op.transfers = transfers;
     op.pinned = pinned;
     op.tag = std::move(tag);
-    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
-        std::move(op));
+    pushOp(stream, idx);
 }
 
 void
 GpuSim::memcpyD2H(int stream, std::uint64_t bytes, int transfers,
                   std::string tag, bool pinned)
 {
-    Op op;
-    op.kind = OpKind::kMemcpyD2H;
+    std::int32_t idx = acquireOp(OpKind::kMemcpyD2H);
+    Op &op = ops_[idx];
     op.bytes = bytes;
     op.transfers = transfers;
     op.pinned = pinned;
     op.tag = std::move(tag);
-    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
-        std::move(op));
+    pushOp(stream, idx);
 }
 
 void
 GpuSim::hostDelay(int stream, double seconds)
 {
-    Op op;
-    op.kind = OpKind::kDelay;
+    std::int32_t idx = acquireOp(OpKind::kDelay);
+    Op &op = ops_[idx];
     op.delay_s = seconds;
     op.tag = "host_delay";
-    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
-        std::move(op));
+    pushOp(stream, idx);
 }
 
 void
 GpuSim::delayUntil(int stream, double seconds)
 {
-    Op op;
-    op.kind = OpKind::kDelay;
+    std::int32_t idx = acquireOp(OpKind::kDelay);
+    Op &op = ops_[idx];
     op.delay_s = seconds;
     op.delay_until = true;
     op.tag = "release_at";
-    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
-        std::move(op));
+    pushOp(stream, idx);
 }
 
 EventId
@@ -190,11 +183,9 @@ GpuSim::recordEvent(int stream)
 {
     EventId id = static_cast<EventId>(event_times_.size());
     event_times_.push_back(-1.0);
-    Op op;
-    op.kind = OpKind::kMarker;
-    op.event = id;
-    streams_.at(static_cast<std::size_t>(stream)).queue.push_back(
-        std::move(op));
+    std::int32_t idx = acquireOp(OpKind::kMarker);
+    ops_[idx].event = id;
+    pushOp(stream, idx);
     return id;
 }
 
@@ -229,6 +220,62 @@ GpuSim::stats() const
     return s;
 }
 
+SimStats
+GpuSim::simStats() const
+{
+    SimStats s;
+    s.events = events_;
+    s.ops_enqueued = ops_enqueued_;
+    s.ops_completed = ops_completed_;
+    s.trace_records = trace_records_;
+    s.arena_bytes =
+        ops_.bytesReserved() +
+        trace_.capacity() * sizeof(OpRecord) +
+        delay_heap_.capacity() * sizeof(DelayEntry) +
+        copy_ring_.bytesReserved() +
+        active_.capacity() * sizeof(ActiveKernel);
+    return s;
+}
+
+void
+publishSimMetrics(const GpuSim &sim, const obs::Labels &labels,
+                  double wall_seconds)
+{
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    SimStats st = sim.simStats();
+    reg.gauge("sim.events", labels)
+        .set(static_cast<double>(st.events));
+    reg.gauge("sim.arena.bytes", labels)
+        .set(static_cast<double>(st.arena_bytes));
+    reg.gauge("sim.simulated_seconds", labels)
+        .set(sim.nowSeconds());
+    reg.gauge("sim.wall_seconds", labels).set(wall_seconds);
+}
+
+void
+GpuSim::setTraceMode(TraceMode mode, int sample_every)
+{
+    trace_mode_ = mode;
+    trace_sample_ = sample_every < 1 ? 1 : sample_every;
+}
+
+void
+GpuSim::reserveTrace(std::size_t records)
+{
+    trace_.reserve(records);
+}
+
+void
+GpuSim::commitMetrics()
+{
+    for (double v : deferred_stall_us_)
+        m_kernel_stall_us_.record(v);
+    for (double v : deferred_waste_pct_)
+        m_wave_waste_pct_.record(v);
+    deferred_stall_us_.clear();
+    deferred_waste_pct_.clear();
+}
+
 void
 GpuSim::setTimingJitter(double rel_std, std::uint64_t seed)
 {
@@ -248,23 +295,23 @@ GpuSim::jitterFactor()
 void
 GpuSim::startCopyIfIdle()
 {
-    if (copy_.valid || copy_queue_.empty())
+    if (copy_.valid || copy_ring_.empty())
         return;
-    auto [op, stream] = copy_queue_.front();
-    copy_queue_.pop_front();
-    copy_.op = std::move(op);
-    copy_.stream = stream;
+    CopyEntry ce = copy_ring_.front();
+    copy_ring_.pop();
+    const Op &op = ops_[ce.op_idx];
+    copy_.op_idx = ce.op_idx;
+    copy_.stream = ce.stream;
     copy_.start_s = now_;
-    double dur = memcpySeconds(spec_, copy_.op.bytes,
-                               copy_.op.transfers);
-    if (copy_.op.pinned) {
+    double dur = memcpySeconds(spec_, op.bytes, op.transfers);
+    if (op.pinned) {
         // Pre-pinned ring buffers skip the pageable staging path.
         double full_overhead = spec_.h2d_transfer_overhead_us * 1e-6 *
-                               std::max(1, copy_.op.transfers);
+                               std::max(1, op.transfers);
         dur -= full_overhead * 0.9;
     }
     dur += profiling_us_ * 1e-6 *
-           static_cast<double>(std::max(1, copy_.op.transfers));
+           static_cast<double>(std::max(1, op.transfers));
     copy_.end_s = now_ + dur * jitterFactor();
     copy_.valid = true;
 }
@@ -272,114 +319,220 @@ GpuSim::startCopyIfIdle()
 void
 GpuSim::admitReady()
 {
-    for (std::size_t si = 0; si < streams_.size(); si++) {
-        Stream &st = streams_[si];
-        while (!st.busy && !st.queue.empty()) {
-            Op &head = st.queue.front();
-            if (head.kind == OpKind::kMarker) {
-                event_times_.at(
-                    static_cast<std::size_t>(head.event)) = now_;
-                st.queue.pop_front();
-                continue;
+    if (!ready_.empty()) {
+        // Ascending stream order reproduces the historical full scan
+        // exactly (admission order fixes the jitter draw sequence and
+        // the active-list order, both observable in timing).
+        std::sort(ready_.begin(), ready_.end());
+        for (std::int32_t si : ready_) {
+            Stream &st = streams_[static_cast<std::size_t>(si)];
+            st.in_ready = false;
+            while (!st.busy && st.head != -1) {
+                std::int32_t idx = st.head;
+                Op &head = ops_[idx];
+                if (head.kind == OpKind::kMarker) {
+                    event_times_.at(static_cast<std::size_t>(
+                        head.event)) = now_;
+                    st.head = head.next;
+                    if (st.head == -1)
+                        st.tail = -1;
+                    ops_.release(idx);
+                    continue;
+                }
+                st.head = head.next;
+                if (st.head == -1)
+                    st.tail = -1;
+                if (head.kind == OpKind::kKernel) {
+                    const KernelDesc &k = head.kernel;
+                    ActiveKernel ak;
+                    ak.op_idx = idx;
+                    ak.stream = si;
+                    ak.start_s = now_;
+                    ak.launch_remaining_s =
+                        (spec_.kernel_launch_us + profiling_us_) *
+                        1e-6;
+                    ak.jitter = jitterFactor();
+                    // Cache every alloc-independent timing input
+                    // now; each cached double is the exact value the
+                    // per-step recomputation used to produce.
+                    ak.has_flops = k.flops > 0;
+                    ak.grid_blocks = k.grid_blocks;
+                    ak.grid_d =
+                        static_cast<double>(k.grid_blocks);
+                    ak.maxb_d =
+                        static_cast<double>(k.max_blocks_per_sm);
+                    ak.flops_d = static_cast<double>(k.flops);
+                    ak.per_sm_flops =
+                        spec_.smFlopsPerCycle(k.tensor_core) *
+                        spec_.gpu_clock_ghz * 1e9 *
+                        std::max(1e-3, k.efficiency);
+                    ak.sm_cap = std::min(sm_count_d_, ak.grid_d);
+                    ak.has_dram = k.dram_bytes > 0;
+                    ak.dram_d =
+                        static_cast<double>(k.dram_bytes);
+                    ak.mem_s = kernelMemSeconds(spec_, k);
+                    active_.push_back(ak);
+                } else if (head.kind == OpKind::kDelay) {
+                    DelayEntry de;
+                    de.op_idx = idx;
+                    de.stream = si;
+                    de.start_s = now_;
+                    de.end_s = head.delay_until
+                                   ? std::max(now_, head.delay_s)
+                                   : now_ + head.delay_s;
+                    de.seq = delay_seq_++;
+                    delay_heap_.push_back(de);
+                    std::push_heap(delay_heap_.begin(),
+                                   delay_heap_.end(), DelayAfter{});
+                } else {
+                    copy_ring_.push(CopyEntry{idx, si});
+                }
+                st.busy = true;
             }
-            if (head.kind == OpKind::kKernel) {
-                ActiveKernel ak;
-                ak.op = std::move(head);
-                ak.stream = static_cast<int>(si);
-                ak.start_s = now_;
-                ak.launch_remaining_s =
-                    (spec_.kernel_launch_us + profiling_us_) * 1e-6;
-                ak.jitter = jitterFactor();
-                active_.push_back(std::move(ak));
-            } else if (head.kind == OpKind::kDelay) {
-                ActiveDelay ad;
-                ad.op = std::move(head);
-                ad.stream = static_cast<int>(si);
-                ad.start_s = now_;
-                ad.end_s = ad.op.delay_until
-                               ? std::max(now_, ad.op.delay_s)
-                               : now_ + ad.op.delay_s;
-                delays_.push_back(std::move(ad));
-            } else {
-                copy_queue_.emplace_back(std::move(head),
-                                         static_cast<int>(si));
-            }
-            st.queue.pop_front();
-            st.busy = true;
         }
+        ready_.clear();
     }
     startCopyIfIdle();
 }
 
 void
+GpuSim::waterFillInto(const std::vector<double> &caps,
+                      double capacity,
+                      const std::vector<double> &weights,
+                      std::vector<double> &grant)
+{
+    // Weighted max-min fair allocation of `capacity` among consumers
+    // with per-consumer caps and priority weights; grants sum to at
+    // most capacity and never exceed caps. Same algorithm — and the
+    // same FP operation order — as the original free function; the
+    // index vectors are members so steady state allocates nothing.
+    if (caps.size() == 1) {
+        // Scalar unroll of the first (and only) fill round; the
+        // w/w non-cancellation is kept so the grant is the exact
+        // double the loop below would produce.
+        grant.assign(1, 0.0);
+        if (caps[0] > 0.0 && capacity > 1e-15) {
+            double share = capacity * weights[0] / weights[0];
+            grant[0] = caps[0] <= share ? caps[0] : share;
+        }
+        return;
+    }
+    grant.assign(caps.size(), 0.0);
+    wf_open_.clear();
+    for (std::size_t i = 0; i < caps.size(); i++)
+        if (caps[i] > 0.0)
+            wf_open_.push_back(i);
+
+    double remaining = capacity;
+    while (!wf_open_.empty() && remaining > 1e-15) {
+        double weight_sum = 0.0;
+        for (std::size_t i : wf_open_)
+            weight_sum += weights[i];
+        bool any_capped = false;
+        wf_next_.clear();
+        for (std::size_t i : wf_open_) {
+            double share = remaining * weights[i] / weight_sum;
+            if (caps[i] - grant[i] <= share) {
+                any_capped = true;
+            } else {
+                wf_next_.push_back(i);
+            }
+        }
+        if (!any_capped) {
+            for (std::size_t i : wf_next_) {
+                grant[i] += remaining * weights[i] / weight_sum;
+            }
+            remaining = 0.0;
+            break;
+        }
+        // Saturate capped consumers, then redistribute.
+        wf_still_.clear();
+        for (std::size_t i : wf_open_) {
+            double share = remaining * weights[i] / weight_sum;
+            if (caps[i] - grant[i] <= share) {
+                remaining -= caps[i] - grant[i];
+                grant[i] = caps[i];
+            } else {
+                wf_still_.push_back(i);
+            }
+        }
+        wf_open_.swap(wf_still_);
+    }
+}
+
+void
 GpuSim::recomputeShares()
 {
-    std::vector<std::size_t> exec;
+    scratch_exec_.clear();
     for (std::size_t i = 0; i < active_.size(); i++)
         if (active_[i].in_exec)
-            exec.push_back(i);
-    if (exec.empty())
+            scratch_exec_.push_back(i);
+    if (scratch_exec_.empty())
         return;
 
     // SM allocation: weighted max-min fair, capped by each kernel's
     // block count (a 3-block grid cannot occupy 6 SMs). Weights come
     // from the owning stream's priority.
-    std::vector<double> sm_caps, prio;
-    sm_caps.reserve(exec.size());
-    prio.reserve(exec.size());
-    for (std::size_t i : exec) {
-        sm_caps.push_back(std::min(
-            static_cast<double>(spec_.sm_count),
-            static_cast<double>(active_[i].op.kernel.grid_blocks)));
-        prio.push_back(
+    scratch_caps_.clear();
+    scratch_prio_.clear();
+    for (std::size_t i : scratch_exec_) {
+        scratch_caps_.push_back(active_[i].sm_cap);
+        scratch_prio_.push_back(
             streams_[static_cast<std::size_t>(active_[i].stream)]
                 .weight);
     }
-    auto sm_grant = waterFill(
-        sm_caps, static_cast<double>(spec_.sm_count), prio);
+    waterFillInto(scratch_caps_, sm_count_d_, scratch_prio_,
+                  scratch_sm_grant_);
 
     // Bandwidth allocation: demands derive from the pace each kernel
     // would sustain at its SM grant.
-    std::vector<double> t_comp(exec.size());
-    std::vector<double> bw_caps(exec.size(), 0.0);
-    for (std::size_t j = 0; j < exec.size(); j++) {
-        const ActiveKernel &ak = active_[exec[j]];
-        double alloc = std::max(sm_grant[j], 1e-6);
-        t_comp[j] = kernelComputeSeconds(spec_, ak.op.kernel, alloc);
-        if (ak.op.kernel.dram_bytes > 0) {
-            double unconstrained = std::max(
-                t_comp[j], kernelMemSeconds(spec_, ak.op.kernel));
-            bw_caps[j] = static_cast<double>(ak.op.kernel.dram_bytes) /
-                         std::max(unconstrained, 1e-12);
+    scratch_tcomp_.assign(scratch_exec_.size(), 0.0);
+    scratch_bwcaps_.assign(scratch_exec_.size(), 0.0);
+    scratch_wave_.assign(scratch_exec_.size(), 1.0);
+    for (std::size_t j = 0; j < scratch_exec_.size(); j++) {
+        const ActiveKernel &ak = active_[scratch_exec_[j]];
+        double alloc = std::max(scratch_sm_grant_[j], 1e-6);
+        // kernelComputeSeconds inlined on the cached invariants
+        // (identical FP expression order). The wave factor is also
+        // what the wave_util pass below needs — min(alloc, grid)
+        // equals min(max(grant, 1e-6), grid) — so compute it once.
+        double usable = std::min(alloc, ak.grid_d);
+        double conc = usable * ak.maxb_d;
+        double wave = waveFactor(ak.grid_blocks, conc);
+        scratch_wave_[j] = wave;
+        double t_comp = 0.0;
+        if (ak.has_flops)
+            t_comp = ak.flops_d / (usable * ak.per_sm_flops) * wave;
+        scratch_tcomp_[j] = t_comp;
+        if (ak.has_dram) {
+            double unconstrained = std::max(t_comp, ak.mem_s);
+            scratch_bwcaps_[j] =
+                ak.dram_d / std::max(unconstrained, 1e-12);
         }
     }
-    auto bw_grant = waterFill(bw_caps, spec_.effDramBps(), prio);
+    waterFillInto(scratch_bwcaps_, eff_dram_bps_, scratch_prio_,
+                  scratch_bw_grant_);
 
-    for (std::size_t j = 0; j < exec.size(); j++) {
-        ActiveKernel &ak = active_[exec[j]];
+    for (std::size_t j = 0; j < scratch_exec_.size(); j++) {
+        ActiveKernel &ak = active_[scratch_exec_[j]];
         double t_mem = 0.0;
-        if (ak.op.kernel.dram_bytes > 0)
-            t_mem = static_cast<double>(ak.op.kernel.dram_bytes) /
-                    std::max(bw_grant[j], 1e-3);
-        double dur = std::max(t_comp[j], t_mem) * ak.jitter;
+        if (ak.has_dram)
+            t_mem = ak.dram_d /
+                    std::max(scratch_bw_grant_[j], 1e-3);
+        double dur = std::max(scratch_tcomp_[j], t_mem) * ak.jitter;
         ak.exec_duration_s = std::max(dur, kTimeEps);
-        ak.alloc_sms = sm_grant[j];
+        ak.alloc_sms = scratch_sm_grant_[j];
         // Tail waves leave some of the allocated SMs idle on
         // average; this is what caps tegrastats-style utilization
         // in the paper's Figures 3/4 at ~82-86%.
-        double usable = std::min(
-            std::max(sm_grant[j], 1e-6),
-            static_cast<double>(ak.op.kernel.grid_blocks));
-        double conc = usable *
-                      static_cast<double>(
-                          ak.op.kernel.max_blocks_per_sm);
-        ak.wave_util =
-            1.0 / waveFactor(ak.op.kernel.grid_blocks, conc);
+        ak.wave_util = 1.0 / scratch_wave_[j];
         // GR3D counts issue-active cycles: memory-stall time while
         // resident discounts the reported load.
-        double raw_dur = std::max(t_comp[j], t_mem);
+        double raw_dur = std::max(scratch_tcomp_[j], t_mem);
         ak.issue_act =
-            raw_dur > 0.0 ? std::min(1.0, t_comp[j] / raw_dur) : 1.0;
+            raw_dur > 0.0
+                ? std::min(1.0, scratch_tcomp_[j] / raw_dur)
+                : 1.0;
     }
 }
 
@@ -397,8 +550,10 @@ GpuSim::nextEventDt() const
     }
     if (copy_.valid)
         dt = std::min(dt, copy_.end_s - now_);
-    for (const auto &ad : delays_)
-        dt = std::min(dt, ad.end_s - now_);
+    // The calendar's min end time is exactly the min the old full
+    // scan found: subtracting the same now_ preserves order.
+    if (!delay_heap_.empty())
+        dt = std::min(dt, delay_heap_.front().end_s - now_);
     return std::max(dt, 0.0);
 }
 
@@ -414,9 +569,7 @@ GpuSim::advance(double dt)
             ak.frac_done += dfrac;
             sm_alloc += ak.alloc_sms * ak.wave_util *
                         (0.25 + 0.75 * ak.issue_act);
-            dram_bytes_win_ +=
-                dfrac *
-                static_cast<double>(ak.op.kernel.dram_bytes);
+            dram_bytes_win_ += dfrac * ak.dram_d;
             any_exec = true;
         } else {
             ak.launch_remaining_s =
@@ -429,22 +582,36 @@ GpuSim::advance(double dt)
     if (copy_.valid)
         copy_busy_s_ += dt;
     now_ += dt;
+    events_++;
 }
 
 void
-GpuSim::finishOp(const Op &op, int stream, double start_s)
+GpuSim::finishOp(std::int32_t op_idx, std::int32_t stream,
+                 double start_s)
 {
-    OpRecord rec;
-    rec.kind = op.kind;
-    rec.stream = stream;
-    rec.start_s = start_s;
-    rec.end_s = now_;
-    rec.bytes = op.bytes;
-    if (op.kind == OpKind::kKernel) {
-        rec.name = op.kernel.name;
-        rec.kernel = op.kernel;
-    } else {
-        rec.name = op.tag;
+    const Op &op = ops_[op_idx];
+    bool record = trace_mode_ == TraceMode::kFull ||
+                  (trace_mode_ == TraceMode::kSampled &&
+                   ops_completed_ %
+                           static_cast<std::uint64_t>(
+                               trace_sample_) ==
+                       0);
+    ops_completed_++;
+    if (record) {
+        trace_.emplace_back();
+        OpRecord &rec = trace_.back();
+        rec.kind = op.kind;
+        rec.stream = stream;
+        rec.start_s = start_s;
+        rec.end_s = now_;
+        rec.bytes = op.bytes;
+        if (op.kind == OpKind::kKernel) {
+            rec.name = op.kernel.name;
+            rec.kernel = op.kernel;
+        } else {
+            rec.name = op.tag;
+        }
+        trace_records_++;
     }
     if (op.kind == OpKind::kMemcpyH2D) {
         m_memcpy_bytes_h2d_.add(
@@ -455,8 +622,11 @@ GpuSim::finishOp(const Op &op, int stream, double start_s)
             static_cast<std::int64_t>(op.bytes));
         m_memcpy_chunks_d2h_.add(op.transfers);
     }
-    trace_.push_back(std::move(rec));
-    streams_.at(static_cast<std::size_t>(stream)).busy = false;
+    Stream &st = streams_[static_cast<std::size_t>(stream)];
+    st.busy = false;
+    if (st.head != -1)
+        markReady(stream);
+    ops_.release(op_idx);
 }
 
 void
@@ -464,8 +634,10 @@ GpuSim::completeFinished()
 {
     // Phase transitions: launch done -> execution begins.
     for (auto &ak : active_) {
-        if (!ak.in_exec && ak.launch_remaining_s <= kTimeEps)
+        if (!ak.in_exec && ak.launch_remaining_s <= kTimeEps) {
             ak.in_exec = true;
+            shares_dirty_ = true;
+        }
     }
     // Kernel completions.
     for (std::size_t i = 0; i < active_.size();) {
@@ -474,32 +646,49 @@ GpuSim::completeFinished()
             // Stall time = exec time spent memory-blocked rather
             // than issuing; waste = idle fraction of allocated SMs
             // in the tail wave.
-            m_kernel_stall_us_.record((1.0 - ak.issue_act) *
-                                      ak.exec_duration_s * 1e6);
-            m_wave_waste_pct_.record((1.0 - ak.wave_util) * 100.0);
-            finishOp(ak.op, ak.stream, ak.start_s);
+            double stall_us =
+                (1.0 - ak.issue_act) * ak.exec_duration_s * 1e6;
+            double waste_pct = (1.0 - ak.wave_util) * 100.0;
+            if (defer_metrics_) {
+                deferred_stall_us_.push_back(stall_us);
+                deferred_waste_pct_.push_back(waste_pct);
+            } else {
+                m_kernel_stall_us_.record(stall_us);
+                m_wave_waste_pct_.record(waste_pct);
+            }
+            finishOp(ak.op_idx, ak.stream, ak.start_s);
             active_.erase(active_.begin() +
                           static_cast<std::ptrdiff_t>(i));
+            shares_dirty_ = true;
         } else {
             i++;
         }
     }
     // Copy completion.
     if (copy_.valid && copy_.end_s <= now_ + kTimeEps) {
-        finishOp(copy_.op, copy_.stream, copy_.start_s);
+        finishOp(copy_.op_idx, copy_.stream, copy_.start_s);
         copy_.valid = false;
         startCopyIfIdle();
     }
-    // Delay completions.
-    for (std::size_t i = 0; i < delays_.size();) {
-        if (delays_[i].end_s <= now_ + kTimeEps) {
-            finishOp(delays_[i].op, delays_[i].stream,
-                     delays_[i].start_s);
-            delays_.erase(delays_.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-        } else {
-            i++;
+    // Delay completions: pop every expired calendar entry, then
+    // retire them oldest-insertion-first — exactly the order the
+    // old insertion-ordered list walk produced.
+    if (!delay_heap_.empty() &&
+        delay_heap_.front().end_s <= now_ + kTimeEps) {
+        scratch_expired_.clear();
+        while (!delay_heap_.empty() &&
+               delay_heap_.front().end_s <= now_ + kTimeEps) {
+            scratch_expired_.push_back(delay_heap_.front());
+            std::pop_heap(delay_heap_.begin(), delay_heap_.end(),
+                          DelayAfter{});
+            delay_heap_.pop_back();
         }
+        std::sort(scratch_expired_.begin(), scratch_expired_.end(),
+                  [](const DelayEntry &a, const DelayEntry &b) {
+                      return a.seq < b.seq;
+                  });
+        for (const DelayEntry &de : scratch_expired_)
+            finishOp(de.op_idx, de.stream, de.start_s);
     }
 }
 
@@ -507,13 +696,19 @@ bool
 GpuSim::step()
 {
     admitReady();
-    recomputeShares();
-    bool idle = active_.empty() && delays_.empty() && !copy_.valid &&
-                copy_queue_.empty();
+    // The water-fill is a pure function of the executing set, so it
+    // only needs to rerun when that set changed; skipped steps keep
+    // bit-identical durations/allocations.
+    if (shares_dirty_) {
+        recomputeShares();
+        shares_dirty_ = false;
+    }
+    bool idle = active_.empty() && delay_heap_.empty() &&
+                !copy_.valid && copy_ring_.empty();
     if (idle) {
         bool pending = false;
         for (const auto &st : streams_)
-            if (!st.queue.empty() || st.busy)
+            if (st.head != -1 || st.busy)
                 pending = true;
         if (!pending)
             return false;
@@ -533,6 +728,16 @@ GpuSim::step()
 void
 GpuSim::run()
 {
+    // Pre-size the trace for the enqueued backlog so long replays
+    // stop paying repeated O(n) vector growth mid-run.
+    std::size_t backlog = ops_.live();
+    if (trace_mode_ == TraceMode::kFull)
+        trace_.reserve(trace_.size() + backlog);
+    else if (trace_mode_ == TraceMode::kSampled)
+        trace_.reserve(trace_.size() +
+                       backlog / static_cast<std::size_t>(
+                                     trace_sample_) +
+                       1);
     while (step()) {
     }
 }

@@ -18,13 +18,23 @@
  *    (without) differ).
  *
  * The simulator is deterministic and never reads wall-clock time.
+ *
+ * Hot-path layout (the SimCore overhaul): ops live in a recycled
+ * IndexPool and stream FIFOs are intrusive index lists through it;
+ * pending host delays sit in a binary-heap event calendar keyed on
+ * (completion time, insertion seq); the copy backlog is a ring; and
+ * share recomputation is skipped while the executing-kernel set is
+ * unchanged (the water-fill is a pure function of that set, so the
+ * skip is bit-exact). All of this changes per-event cost only —
+ * the event sequence, every timestamp and every metric value are
+ * bit-identical to the pre-overhaul simulator.
  */
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "gpusim/device.hh"
 #include "gpusim/kernel.hh"
 #include "obs/metrics.hh"
@@ -36,6 +46,14 @@ using EventId = std::int64_t;
 
 /** Categories of simulated operations. */
 enum class OpKind { kKernel, kMemcpyH2D, kMemcpyD2H, kMarker, kDelay };
+
+/**
+ * Completed-op trace retention policy. Long serving runs complete
+ * hundreds of thousands of ops; kFull keeps every record (profiler
+ * fidelity), kSampled keeps 1 in N (bounded memory, still enough
+ * for timeline spot checks), kOff keeps none.
+ */
+enum class TraceMode { kFull, kSampled, kOff };
 
 /** Completed-operation trace entry (the profiler's raw material). */
 struct OpRecord
@@ -67,6 +85,16 @@ struct UtilStats
     double busyPct() const;
 };
 
+/** Self-measurement counters of the simulator itself. */
+struct SimStats
+{
+    std::uint64_t events = 0;        //!< simulation steps executed
+    std::uint64_t ops_enqueued = 0;  //!< ops accepted (incl. markers)
+    std::uint64_t ops_completed = 0; //!< non-marker ops finished
+    std::uint64_t trace_records = 0; //!< records actually retained
+    std::size_t arena_bytes = 0;     //!< pool/calendar/trace footprint
+};
+
 /**
  * The GPU discrete-event simulator.
  */
@@ -74,6 +102,9 @@ class GpuSim
 {
   public:
     explicit GpuSim(const DeviceSpec &spec);
+
+    GpuSim(const GpuSim &) = delete;
+    GpuSim &operator=(const GpuSim &) = delete;
 
     const DeviceSpec &spec() const { return spec_; }
 
@@ -86,7 +117,8 @@ class GpuSim
     int createStream(double priority_weight = 1.0);
 
     /** Enqueue a kernel launch on a stream. */
-    void launchKernel(int stream, KernelDesc kernel);
+    void launchKernel(int stream, const KernelDesc &kernel);
+    void launchKernel(int stream, KernelDesc &&kernel);
 
     /**
      * Enqueue a host-to-device copy.
@@ -153,11 +185,47 @@ class GpuSim
     const std::vector<OpRecord> &trace() const { return trace_; }
     void clearTrace() { trace_.clear(); }
 
+    /**
+     * Trace retention policy (default kFull, the historical
+     * behavior). In kSampled mode every Nth completed op is kept;
+     * timing of the simulation itself is unaffected — only what the
+     * profiler layer can see afterwards changes.
+     */
+    void setTraceMode(TraceMode mode, int sample_every = 16);
+    TraceMode traceMode() const { return trace_mode_; }
+    int traceSampleEvery() const { return trace_sample_; }
+
+    /** Pre-size the trace for an expected number of records. run()
+     *  also reserves automatically from the enqueued-op backlog. */
+    void reserveTrace(std::size_t records);
+
+    /** Completed non-marker ops, including ones the trace mode
+     *  dropped (the profiler footer's "of T ops" denominator). */
+    std::uint64_t opsCompleted() const { return ops_completed_; }
+
+    /**
+     * Defer histogram metric records (kernel stall / wave-waste)
+     * into an internal buffer instead of the global registry; a
+     * later commitMetrics() replays them in completion order.
+     * Counters stay immediate — they are atomic and their final
+     * value is order-independent. This is what lets independent
+     * devices simulate on worker threads while the registry
+     * snapshot stays bit-identical to a serial run: each device
+     * buffers during run() and the caller commits in device order.
+     */
+    void setDeferMetrics(bool on) { defer_metrics_ = on; }
+
+    /** Replay deferred histogram records into the registry. */
+    void commitMetrics();
+
     /** Reset the utilization window to start at the current time. */
     void resetStats();
 
     /** Utilization statistics for the current window. */
     UtilStats stats() const;
+
+    /** Simulator self-measurement (cumulative). */
+    SimStats simStats() const;
 
   private:
     struct Op
@@ -171,19 +239,22 @@ class GpuSim
         EventId event = -1;
         double delay_s = 0.0;
         bool delay_until = false; //!< delay_s is an absolute time
+        std::int32_t next = -1;   //!< intrusive stream-FIFO link
     };
 
     struct Stream
     {
-        std::deque<Op> queue;
-        bool busy = false; //!< head op dispatched and in flight
+        std::int32_t head = -1; //!< op-pool index FIFO
+        std::int32_t tail = -1;
+        bool busy = false;  //!< head op dispatched and in flight
+        bool in_ready = false; //!< queued in ready_
         double weight = 1.0; //!< arbitration priority weight
     };
 
     struct ActiveKernel
     {
-        Op op;
-        int stream = 0;
+        std::int32_t op_idx = -1;
+        std::int32_t stream = 0;
         double start_s = 0.0;
         double launch_remaining_s = 0.0; //!< serial pre-exec phase
         double frac_done = 0.0;          //!< progress of exec phase
@@ -195,49 +266,123 @@ class GpuSim
                                          //!< (memory stalls excluded)
         double jitter = 1.0;             //!< system-noise multiplier
         bool in_exec = false;
+
+        // Timing invariants cached at admission; every value is the
+        // exact double the old per-step recomputation produced.
+        bool has_flops = false;
+        bool has_dram = false;
+        std::int64_t grid_blocks = 0;
+        double grid_d = 0.0;        //!< (double)grid_blocks
+        double maxb_d = 0.0;        //!< (double)max_blocks_per_sm
+        double flops_d = 0.0;
+        double per_sm_flops = 0.0;  //!< effective per-SM FLOP rate
+        double sm_cap = 0.0;        //!< min(sm_count, grid_blocks)
+        double dram_d = 0.0;
+        double mem_s = 0.0;         //!< kernelMemSeconds, solo
     };
 
     struct ActiveCopy
     {
-        Op op;
-        int stream = 0;
+        std::int32_t op_idx = -1;
+        std::int32_t stream = 0;
         double start_s = 0.0;
         double end_s = 0.0;
         bool valid = false;
     };
 
-    struct ActiveDelay
+    struct CopyEntry
     {
-        Op op;
-        int stream = 0;
-        double start_s = 0.0;
+        std::int32_t op_idx = -1;
+        std::int32_t stream = 0;
+    };
+
+    /** Event-calendar entry of one pending host delay. */
+    struct DelayEntry
+    {
         double end_s = 0.0;
+        std::uint64_t seq = 0; //!< insertion order (FIFO tie-break)
+        std::int32_t op_idx = -1;
+        std::int32_t stream = 0;
+        double start_s = 0.0;
+    };
+
+    /** Min-heap order on (end_s, seq). */
+    struct DelayAfter
+    {
+        bool operator()(const DelayEntry &a,
+                        const DelayEntry &b) const
+        {
+            if (a.end_s != b.end_s)
+                return a.end_s > b.end_s;
+            return a.seq > b.seq;
+        }
     };
 
     /** One simulation step; returns false when fully idle. */
     bool step();
 
+    std::int32_t acquireOp(OpKind kind);
+    void pushOp(int stream, std::int32_t op_idx);
+    void markReady(std::int32_t stream);
     void admitReady();
     void recomputeShares();
+    void waterFillInto(const std::vector<double> &caps,
+                       double capacity,
+                       const std::vector<double> &weights,
+                       std::vector<double> &grant);
     double jitterFactor();
     double nextEventDt() const;
     void advance(double dt);
     void completeFinished();
-    void finishOp(const Op &op, int stream, double start_s);
+    void finishOp(std::int32_t op_idx, std::int32_t stream,
+                  double start_s);
     void startCopyIfIdle();
 
     DeviceSpec spec_;
+    double sm_count_d_ = 0.0;   //!< (double)spec_.sm_count
+    double eff_dram_bps_ = 0.0; //!< spec_.effDramBps()
     double now_ = 0.0;
     std::vector<Stream> streams_;
+    IndexPool<Op> ops_;
+    std::vector<std::int32_t> ready_; //!< streams with admittable ops
     std::vector<ActiveKernel> active_;
-    std::vector<ActiveDelay> delays_;
+    std::vector<DelayEntry> delay_heap_; //!< calendar (see DelayAfter)
+    std::uint64_t delay_seq_ = 0;
     ActiveCopy copy_;
-    std::deque<std::pair<Op, int>> copy_queue_; //!< (op, stream)
+    RingBuffer<CopyEntry> copy_ring_;
     std::vector<OpRecord> trace_;
     std::vector<double> event_times_;
     double profiling_us_ = 0.0;
     double jitter_std_ = 0.0;
     std::uint64_t jitter_state_ = 0;
+    bool shares_dirty_ = false; //!< exec set changed since last fill
+
+    TraceMode trace_mode_ = TraceMode::kFull;
+    int trace_sample_ = 16;
+
+    bool defer_metrics_ = false;
+    std::vector<double> deferred_stall_us_;
+    std::vector<double> deferred_waste_pct_;
+
+    // Self-measurement.
+    std::uint64_t events_ = 0;
+    std::uint64_t ops_enqueued_ = 0;
+    std::uint64_t ops_completed_ = 0;
+    std::uint64_t trace_records_ = 0;
+
+    // Recompute/water-fill scratch (steady-state: zero allocation).
+    std::vector<std::size_t> scratch_exec_;
+    std::vector<double> scratch_caps_;
+    std::vector<double> scratch_prio_;
+    std::vector<double> scratch_tcomp_;
+    std::vector<double> scratch_wave_;
+    std::vector<double> scratch_bwcaps_;
+    std::vector<double> scratch_sm_grant_;
+    std::vector<double> scratch_bw_grant_;
+    std::vector<std::size_t> wf_open_;
+    std::vector<std::size_t> wf_next_;
+    std::vector<std::size_t> wf_still_;
+    std::vector<DelayEntry> scratch_expired_;
 
     // Utilization window accumulators.
     double win_start_ = 0.0;
@@ -257,6 +402,16 @@ class GpuSim
     obs::Histogram m_kernel_stall_us_;    //!< DRAM-contention stalls
     obs::Histogram m_wave_waste_pct_;     //!< wave-quantization waste
 };
+
+/**
+ * Publish one simulator's self-measurement as gauges under
+ * @p labels: `sim.events`, `sim.arena.bytes`, `sim.simulated_seconds`
+ * and `sim.wall_seconds` (the host time @p wall_seconds the caller
+ * measured around run()). Callers gate this — the gauges carry
+ * wall-clock and so are excluded from byte-reproducible reports.
+ */
+void publishSimMetrics(const GpuSim &sim, const obs::Labels &labels,
+                       double wall_seconds);
 
 } // namespace edgert::gpusim
 

@@ -109,6 +109,23 @@ printGpuTrace(std::ostream &os,
     return truncated;
 }
 
+std::size_t
+printGpuTrace(std::ostream &os, const gpusim::GpuSim &sim,
+              std::size_t max_rows)
+{
+    std::size_t truncated =
+        printGpuTrace(os, sim.trace(), max_rows);
+    gpusim::SimStats st = sim.simStats();
+    if (sim.traceMode() == gpusim::TraceMode::kSampled)
+        os << "==PROF== trace sampled 1/" << sim.traceSampleEvery()
+           << " (" << st.trace_records << " of " << st.ops_completed
+           << " ops recorded)\n";
+    else if (sim.traceMode() == gpusim::TraceMode::kOff)
+        os << "==PROF== trace off (0 of " << st.ops_completed
+           << " ops recorded)\n";
+    return truncated;
+}
+
 std::vector<double>
 invocationTimesMs(const std::vector<gpusim::OpRecord> &trace,
                   const std::string &kernel_name)

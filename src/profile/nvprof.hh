@@ -55,6 +55,18 @@ std::size_t printGpuTrace(std::ostream &os,
                           const std::vector<gpusim::OpRecord> &trace,
                           std::size_t max_rows = 64);
 
+/**
+ * GPU-trace mode straight from a simulator. Identical to the
+ * vector overload on a full trace; when the simulator's trace mode
+ * thinned the record stream (kSampled/kOff) the listing ends with a
+ * "sampled 1/N" footer stating how many of the completed ops were
+ * recorded, so a thinned trace is never mistaken for the full
+ * launch list.
+ */
+std::size_t printGpuTrace(std::ostream &os,
+                          const gpusim::GpuSim &sim,
+                          std::size_t max_rows = 64);
+
 /** Per-invocation durations (ms) of one kernel name, in order. */
 std::vector<double>
 invocationTimesMs(const std::vector<gpusim::OpRecord> &trace,

@@ -187,9 +187,12 @@ writeMergedChromeTrace(std::ostream &os,
     emitProcessName(os, "host");
     for (std::size_t d = 0; d < devices.size(); d++) {
         int pid = 2 + static_cast<int>(d);
-        emitProcessName(os, devices[d].name, pid,
-                        /*first=*/false);
-        emitStreamNames(os, *devices[d].trace, devices[d].name,
+        std::string label = devices[d].name;
+        if (devices[d].sample_every > 1)
+            label += " (sampled 1/" +
+                     std::to_string(devices[d].sample_every) + ")";
+        emitProcessName(os, label, pid, /*first=*/false);
+        emitStreamNames(os, *devices[d].trace, label,
                         kDeviceTidBase, pid);
     }
     emitHostSpans(os, spans, /*pid=*/1);

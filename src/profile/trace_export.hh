@@ -69,6 +69,14 @@ struct NamedTrace
 {
     std::string name; //!< process label, e.g. "xavier-nx[0]"
     const std::vector<gpusim::OpRecord> *trace = nullptr;
+
+    /**
+     * 1 = every op recorded (full trace). N > 1 means the simulator
+     * ran in TraceMode::kSampled keeping one op in N: the process
+     * label gains a "sampled 1/N" suffix so a thinned timeline is
+     * never read as the device's complete schedule.
+     */
+    int sample_every = 1;
 };
 
 /**

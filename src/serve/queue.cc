@@ -89,7 +89,7 @@ RequestQueue::observeArrival(double now_s)
 void
 RequestQueue::push(std::int64_t id, double arrival_s)
 {
-    pending_.push_back({id, arrival_s});
+    pending_.push({id, arrival_s});
 }
 
 std::vector<std::int64_t>
@@ -102,7 +102,7 @@ RequestQueue::cut(int n)
     out.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; i++) {
         out.push_back(pending_.front().id);
-        pending_.pop_front();
+        pending_.pop();
     }
     return out;
 }

@@ -16,8 +16,9 @@
  */
 
 #include <cstdint>
-#include <deque>
 #include <vector>
+
+#include "common/arena.hh"
 
 namespace edgert::serve {
 
@@ -101,7 +102,7 @@ class RequestQueue
         double arrival_s;
     };
 
-    std::deque<Pending> pending_;
+    RingBuffer<Pending> pending_;
     double rate_tau_s_;
     double rate_hz_ = 0.0;
     double last_arrival_s_ = -1.0;

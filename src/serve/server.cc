@@ -11,10 +11,12 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
+#include "common/threadpool.hh"
 #include "core/builder.hh"
 #include "core/timing_cache.hh"
 #include "gpusim/sim.hh"
 #include "nn/model_zoo.hh"
+#include "obs/clock.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "profile/trace_export.hh"
@@ -819,7 +821,13 @@ runServer(const ServeConfig &cfg)
     // Phase 2 — execution replay: every dispatch released at its
     // planned time via delayUntil(), one run() per device. Measured
     // completions, not predictions, feed all reported statistics.
+    // Devices share nothing once their plans are enqueued, so with
+    // sim_threads > 1 the runs execute on a worker pool; histogram
+    // records defer into each simulator and commit in device index
+    // order, keeping every observable byte-identical to serial.
     // ------------------------------------------------------------
+    std::vector<double> replay_wall_s(
+        static_cast<std::size_t>(n_devices), 0.0);
     {
         // Context cache: [instance][(version, engine_idx)]. An
         // instance keeps its old version's contexts alive through
@@ -853,14 +861,65 @@ runServer(const ServeConfig &cfg)
                 pd.end = h.end;
             }
         }
-        for (int d = 0; d < n_devices; d++) {
-            EDGERT_SPAN(
-                "serve_replay",
-                {{"device",
-                  cfg.devices[static_cast<std::size_t>(d)].name},
-                 {"index", std::to_string(d)}});
-            sims[static_cast<std::size_t>(d)]->run();
+        for (auto &sim : sims)
+            sim->setTraceMode(cfg.trace_mode,
+                              cfg.trace_sample_every);
+        auto runDevice = [&](std::size_t d) {
+            std::uint64_t t0 = obs::clock().nowNanos();
+            sims[d]->run();
+            replay_wall_s[d] =
+                static_cast<double>(obs::clock().nowNanos() - t0) *
+                1e-9;
+        };
+        const int threads =
+            std::min(std::max(1, cfg.sim_threads), n_devices);
+        if (threads <= 1) {
+            for (int d = 0; d < n_devices; d++) {
+                EDGERT_SPAN(
+                    "serve_replay",
+                    {{"device",
+                      cfg.devices[static_cast<std::size_t>(d)]
+                          .name},
+                     {"index", std::to_string(d)}});
+                runDevice(static_cast<std::size_t>(d));
+            }
+        } else {
+            EDGERT_SPAN("serve_replay",
+                        {{"devices", std::to_string(n_devices)},
+                         {"threads", std::to_string(threads)}});
+            for (auto &sim : sims)
+                sim->setDeferMetrics(true);
+            ThreadPool tp(threads);
+            tp.parallelFor(static_cast<std::size_t>(n_devices),
+                           runDevice);
+            for (auto &sim : sims) {
+                sim->commitMetrics();
+                sim->setDeferMetrics(false);
+            }
+            if (cfg.sim_metrics) {
+                PoolStats ps = tp.stats();
+                const obs::Labels pl = {{"scope", "serve_replay"}};
+                reg.gauge("serve.pool.workers", pl)
+                    .set(static_cast<double>(tp.size()));
+                reg.gauge("serve.pool.tasks_run", pl)
+                    .set(static_cast<double>(ps.tasks_run));
+                reg.gauge("serve.pool.max_queue_depth", pl)
+                    .set(static_cast<double>(ps.max_queue_depth));
+                reg.gauge("serve.pool.wait_seconds", pl)
+                    .set(static_cast<double>(ps.wait_ns) * 1e-9);
+                reg.gauge("serve.pool.utilization_pct", pl)
+                    .set(ps.utilizationPct());
+            }
         }
+        if (cfg.sim_metrics)
+            for (int d = 0; d < n_devices; d++) {
+                auto di = static_cast<std::size_t>(d);
+                gpusim::publishSimMetrics(
+                    *sims[di],
+                    {{"device", cfg.devices[di].name},
+                     {"index", std::to_string(d)}},
+                    replay_wall_s[di]);
+            }
     }
 
     // Fold measured completions back into the request table and the
@@ -1087,11 +1146,17 @@ runServer(const ServeConfig &cfg)
 
     if (!cfg.trace_out.empty()) {
         std::vector<profile::NamedTrace> device_traces;
-        for (int d = 0; d < n_devices; d++)
-            device_traces.push_back(
-                {cfg.devices[static_cast<std::size_t>(d)].name +
-                     "[" + std::to_string(d) + "]",
-                 &sims[static_cast<std::size_t>(d)]->trace()});
+        for (int d = 0; d < n_devices; d++) {
+            const auto &sim = *sims[static_cast<std::size_t>(d)];
+            profile::NamedTrace nt;
+            nt.name =
+                cfg.devices[static_cast<std::size_t>(d)].name +
+                "[" + std::to_string(d) + "]";
+            nt.trace = &sim.trace();
+            if (sim.traceMode() == gpusim::TraceMode::kSampled)
+                nt.sample_every = sim.traceSampleEvery();
+            device_traces.push_back(std::move(nt));
+        }
         profile::saveMergedChromeTrace(
             cfg.trace_out, obs::Tracer::global().spans(),
             device_traces);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "gpusim/device.hh"
+#include "gpusim/sim.hh"
 #include "serve/queue.hh"
 #include "serve/request.hh"
 #include "serve/workload.hh"
@@ -124,6 +125,31 @@ struct ServeConfig
      * replay.
      */
     std::string trace_out;
+
+    /**
+     * Worker threads for the phase-2 replay. 1 (the default)
+     * replays devices serially in index order; >1 simulates
+     * independent devices concurrently on a common::ThreadPool.
+     * Reports, metric snapshots and device traces are byte-identical
+     * across thread counts: each simulator buffers its histogram
+     * records during run() and the server commits them in device
+     * index order afterwards.
+     */
+    int sim_threads = 1;
+
+    /**
+     * Publish simulator self-measurement (`sim.*`) and — when the
+     * replay is parallel — `serve.pool.*` gauges. Off by default:
+     * they carry wall-clock readings, and canonical benchmark
+     * reports embed the whole registry.
+     */
+    bool sim_metrics = false;
+
+    /** Per-device kernel-trace policy for the replay. kFull keeps
+     *  every record (byte-compatible default); kSampled keeps one
+     *  in trace_sample_every; kOff records nothing. */
+    gpusim::TraceMode trace_mode = gpusim::TraceMode::kFull;
+    int trace_sample_every = 16;
 
     /** Injected engine-load faults (empty = none). */
     FaultInjection faults;

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * SimCore hot-path tests: the flat event calendar (delay min-heap
+ * ordering with FIFO tie-break), the arena containers the simulator
+ * allocates from, trace-mode thinning, the sampled-trace profiler
+ * footer, and the serial-vs-parallel byte-identity contract of the
+ * EdgeServe replay (sim_threads must never change an observable
+ * byte of the report, metric snapshot or device traces).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/arena.hh"
+#include "gpusim/device.hh"
+#include "gpusim/sim.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "profile/nvprof.hh"
+#include "serve/server.hh"
+
+namespace edgert {
+namespace {
+
+using gpusim::GpuSim;
+using gpusim::KernelDesc;
+using gpusim::OpKind;
+using gpusim::TraceMode;
+
+KernelDesc
+kernel(std::int64_t grid, std::int64_t flops)
+{
+    KernelDesc k;
+    k.name = "k";
+    k.grid_blocks = grid;
+    k.flops = flops;
+    k.dram_bytes = 1 << 20;
+    return k;
+}
+
+// ---------------------------------------------------------------
+// Delay calendar ordering
+// ---------------------------------------------------------------
+
+TEST(EventCalendar, DelaysCompleteInTimeOrder)
+{
+    // Release times enqueued in descending order must still fire
+    // ascending: the min-heap, not insertion order, decides.
+    GpuSim sim(gpusim::DeviceSpec::xavierNX());
+    int s1 = sim.createStream();
+    int s2 = sim.createStream();
+    sim.delayUntil(0, 0.003);
+    sim.delayUntil(s1, 0.002);
+    sim.delayUntil(s2, 0.001);
+    sim.run();
+
+    std::vector<int> order;
+    for (const auto &rec : sim.trace())
+        if (rec.kind == OpKind::kDelay)
+            order.push_back(rec.stream);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], s2);
+    EXPECT_EQ(order[1], s1);
+    EXPECT_EQ(order[2], 0);
+}
+
+TEST(EventCalendar, EqualTimestampsBreakTiesFifo)
+{
+    // Three delays expiring at the same instant complete in
+    // admission order (stream 0 first) — the seq tie-break that
+    // keeps the heap's pop order equal to the old linear scan's.
+    GpuSim sim(gpusim::DeviceSpec::xavierNX());
+    int s1 = sim.createStream();
+    int s2 = sim.createStream();
+    sim.delayUntil(0, 0.005);
+    sim.delayUntil(s1, 0.005);
+    sim.delayUntil(s2, 0.005);
+    sim.launchKernel(0, kernel(6, 50'000'000));
+    sim.launchKernel(s1, kernel(6, 50'000'000));
+    sim.launchKernel(s2, kernel(6, 50'000'000));
+    sim.run();
+
+    std::vector<int> delay_order;
+    for (const auto &rec : sim.trace())
+        if (rec.kind == OpKind::kDelay)
+            delay_order.push_back(rec.stream);
+    ASSERT_EQ(delay_order.size(), 3u);
+    EXPECT_EQ(delay_order[0], 0);
+    EXPECT_EQ(delay_order[1], s1);
+    EXPECT_EQ(delay_order[2], s2);
+}
+
+// ---------------------------------------------------------------
+// Arena containers
+// ---------------------------------------------------------------
+
+TEST(Arena, ResetRetainsChunks)
+{
+    Arena a;
+    void *p = a.allocate(1024, 16);
+    ASSERT_NE(p, nullptr);
+    std::size_t reserved = a.bytesReserved();
+    EXPECT_GT(reserved, 0u);
+    a.reset();
+    EXPECT_EQ(a.bytesReserved(), reserved); // memory kept
+    EXPECT_EQ(a.bytesAllocated(), 0u);      // but reusable
+    EXPECT_EQ(a.allocate(1024, 16), p);     // same chunk again
+}
+
+TEST(IndexPool, RecyclesSlotsLifo)
+{
+    IndexPool<std::string> pool;
+    std::int32_t a = pool.acquire();
+    std::int32_t b = pool.acquire();
+    pool[a] = "first";
+    pool[b] = "second";
+    EXPECT_EQ(pool.live(), 2u);
+    pool.release(a);
+    EXPECT_EQ(pool.live(), 1u);
+    // LIFO free list: the released index comes back first, and the
+    // slot's contents survived (callers must re-init; the pool
+    // keeps capacity like string buffers warm).
+    std::int32_t c = pool.acquire();
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(pool[c], "first");
+    EXPECT_EQ(pool.live(), 2u);
+    EXPECT_EQ(pool.capacity(), 2u); // no third slot was built
+}
+
+TEST(RingBuffer, FifoAcrossGrowth)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 100; i++)
+        rb.push(i);
+    for (int i = 0; i < 50; i++) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop();
+    }
+    for (int i = 100; i < 300; i++) // forces several growths
+        rb.push(i);
+    for (int i = 50; i < 300; i++) {
+        ASSERT_FALSE(rb.empty());
+        EXPECT_EQ(rb.front(), i);
+        rb.pop();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+// ---------------------------------------------------------------
+// Trace modes
+// ---------------------------------------------------------------
+
+/** One saturated stream: N kernels back to back. */
+void
+enqueueBurst(GpuSim &sim, int n)
+{
+    for (int i = 0; i < n; i++)
+        sim.launchKernel(0, kernel(12, 80'000'000));
+}
+
+TEST(TraceMode, SampledAndOffThinTheTraceOnly)
+{
+    const int n = 64;
+    GpuSim full(gpusim::DeviceSpec::xavierNX());
+    GpuSim sampled(gpusim::DeviceSpec::xavierNX());
+    sampled.setTraceMode(TraceMode::kSampled, 4);
+    GpuSim off(gpusim::DeviceSpec::xavierNX());
+    off.setTraceMode(TraceMode::kOff);
+    enqueueBurst(full, n);
+    enqueueBurst(sampled, n);
+    enqueueBurst(off, n);
+    full.run();
+    sampled.run();
+    off.run();
+
+    // The trace mode must not perturb the simulation itself.
+    EXPECT_EQ(full.nowSeconds(), sampled.nowSeconds());
+    EXPECT_EQ(full.nowSeconds(), off.nowSeconds());
+    EXPECT_EQ(full.opsCompleted(), sampled.opsCompleted());
+    EXPECT_EQ(full.opsCompleted(), off.opsCompleted());
+
+    EXPECT_EQ(full.trace().size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(sampled.trace().size(),
+              static_cast<std::size_t>((n + 3) / 4));
+    EXPECT_TRUE(off.trace().empty());
+
+    EXPECT_EQ(full.simStats().trace_records, full.trace().size());
+    EXPECT_EQ(sampled.simStats().trace_records,
+              sampled.trace().size());
+    EXPECT_EQ(off.simStats().trace_records, 0u);
+
+    // Sampled records are a strided subset of the full trace.
+    for (std::size_t i = 0; i < sampled.trace().size(); i++) {
+        EXPECT_EQ(sampled.trace()[i].start_s,
+                  full.trace()[i * 4].start_s);
+        EXPECT_EQ(sampled.trace()[i].end_s,
+                  full.trace()[i * 4].end_s);
+    }
+}
+
+TEST(TraceMode, GpuTraceFooterStatesSampling)
+{
+    GpuSim sim(gpusim::DeviceSpec::xavierNX());
+    sim.setTraceMode(TraceMode::kSampled, 4);
+    enqueueBurst(sim, 16);
+    sim.run();
+    std::ostringstream os;
+    profile::printGpuTrace(os, sim, 64);
+    EXPECT_NE(os.str().find("sampled 1/4"), std::string::npos);
+    EXPECT_NE(os.str().find("4 of 16 ops recorded"),
+              std::string::npos);
+
+    GpuSim bare(gpusim::DeviceSpec::xavierNX());
+    enqueueBurst(bare, 16);
+    bare.run();
+    std::ostringstream os2;
+    profile::printGpuTrace(os2, bare, 64);
+    EXPECT_EQ(os2.str().find("sampled"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Serial vs parallel replay byte-identity
+// ---------------------------------------------------------------
+
+struct ServeArtifacts
+{
+    std::string report;
+    std::string metrics;
+    std::string trace;
+};
+
+ServeArtifacts
+runFleet(int sim_threads, const std::string &trace_path)
+{
+    obs::MetricRegistry::global().reset();
+    obs::FakeClock fake(1'000'000, 500);
+    obs::ScopedClock scoped(&fake);
+
+    serve::ServeConfig cfg;
+    serve::ModelConfig mc;
+    mc.model = "alexnet";
+    mc.slo_ms = 40.0;
+    mc.arrivals.qps = 80.0;
+    cfg.models.push_back(mc);
+    serve::ModelConfig mc2;
+    mc2.model = "mobilenetv1";
+    mc2.slo_ms = 20.0;
+    mc2.arrivals.qps = 120.0;
+    cfg.models.push_back(mc2);
+    cfg.devices.push_back(gpusim::DeviceSpec::xavierNX());
+    cfg.devices.push_back(gpusim::DeviceSpec::xavierAGX());
+    cfg.duration_s = 2.0;
+    cfg.seed = 7;
+    cfg.sim_threads = sim_threads;
+    cfg.trace_out = trace_path;
+
+    serve::ServeReport rep = serve::runServer(cfg);
+
+    ServeArtifacts out;
+    out.report = rep.toJson();
+    out.metrics = obs::MetricRegistry::global().toJson();
+    std::ifstream f(trace_path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    out.trace = ss.str();
+    std::remove(trace_path.c_str());
+    return out;
+}
+
+TEST(ParallelReplay, ByteIdenticalToSerial)
+{
+    ServeArtifacts serial = runFleet(1, "eventqueue_serial.json");
+    ServeArtifacts parallel =
+        runFleet(4, "eventqueue_parallel.json");
+    EXPECT_EQ(serial.report, parallel.report);
+    EXPECT_EQ(serial.metrics, parallel.metrics);
+    ASSERT_FALSE(serial.trace.empty());
+    EXPECT_EQ(serial.trace, parallel.trace);
+}
+
+} // namespace
+} // namespace edgert

@@ -188,6 +188,15 @@ usage()
         "  --drift-gate-pct <x>  max tolerated canary top-1\n"
         "                        disagreement, percent "
         "(default 0.4)\n"
+        "  --sim-threads <n>     replay worker threads (default 1;\n"
+        "                        reports are byte-identical for "
+        "any n)\n"
+        "  --sim-metrics         publish sim.* / serve.pool.* "
+        "gauges\n"
+        "  --trace-mode <m>      kernel trace: full|sampled|off\n"
+        "                        (default sampled)\n"
+        "  --trace-sample <n>    keep 1 in n trace records when\n"
+        "                        sampled (default 16)\n"
         "  --report-out <f>      write the serve report JSON\n"
         "  --metrics-out <f>     write the metric-registry "
         "snapshot\n"
@@ -204,6 +213,10 @@ std::optional<Args>
 parse(int argc, char **argv)
 {
     Args a;
+    // The CLI is interactive tooling, not a byte-reproducibility
+    // fixture: default to the thinned trace (the library default
+    // stays full so canonical reports keep their bytes).
+    a.cfg.trace_mode = gpusim::TraceMode::kSampled;
     std::string devices = "nx";
     FlagParser flags(argc, argv);
     while (flags.next()) {
@@ -241,7 +254,32 @@ parse(int argc, char **argv)
             a.rebuild_seed = flags.unsignedValue();
         else if (flags.is("--drift-gate-pct"))
             a.drift_gate_pct = flags.numberValue();
-        else if (flags.is("--report-out"))
+        else if (flags.is("--sim-threads")) {
+            auto n = flags.unsignedValue();
+            if (n < 1)
+                fatal("invalid value '", n,
+                      "' for --sim-threads: must be at least 1");
+            a.cfg.sim_threads = static_cast<int>(n);
+        } else if (flags.is("--sim-metrics"))
+            a.cfg.sim_metrics = true;
+        else if (flags.is("--trace-mode")) {
+            std::string m = flags.value();
+            if (m == "full")
+                a.cfg.trace_mode = gpusim::TraceMode::kFull;
+            else if (m == "sampled")
+                a.cfg.trace_mode = gpusim::TraceMode::kSampled;
+            else if (m == "off")
+                a.cfg.trace_mode = gpusim::TraceMode::kOff;
+            else
+                fatal("invalid value '", m, "' for --trace-mode: "
+                      "expected full|sampled|off");
+        } else if (flags.is("--trace-sample")) {
+            auto n = flags.unsignedValue();
+            if (n < 1)
+                fatal("invalid value '", n,
+                      "' for --trace-sample: must be at least 1");
+            a.cfg.trace_sample_every = static_cast<int>(n);
+        } else if (flags.is("--report-out"))
             a.report_out = flags.value();
         else if (flags.is("--metrics-out"))
             a.metrics_out = flags.value();
