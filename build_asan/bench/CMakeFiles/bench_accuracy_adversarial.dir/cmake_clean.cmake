@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_adversarial.dir/bench_accuracy_adversarial.cc.o"
+  "CMakeFiles/bench_accuracy_adversarial.dir/bench_accuracy_adversarial.cc.o.d"
+  "bench_accuracy_adversarial"
+  "bench_accuracy_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_benign.dir/bench_accuracy_benign.cc.o"
+  "CMakeFiles/bench_accuracy_benign.dir/bench_accuracy_benign.cc.o.d"
+  "bench_accuracy_benign"
+  "bench_accuracy_benign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_benign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

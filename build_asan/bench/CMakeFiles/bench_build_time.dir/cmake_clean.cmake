@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_build_time.dir/bench_build_time.cc.o"
+  "CMakeFiles/bench_build_time.dir/bench_build_time.cc.o.d"
+  "bench_build_time"
+  "bench_build_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

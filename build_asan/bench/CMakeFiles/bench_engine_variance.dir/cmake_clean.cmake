@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_variance.dir/bench_engine_variance.cc.o"
+  "CMakeFiles/bench_engine_variance.dir/bench_engine_variance.cc.o.d"
+  "bench_engine_variance"
+  "bench_engine_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_findings.cc" "bench/CMakeFiles/bench_findings.dir/bench_findings.cc.o" "gcc" "bench/CMakeFiles/bench_findings.dir/bench_findings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_asan/src/runtime/CMakeFiles/edgert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/core/CMakeFiles/edgert_core.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/profile/CMakeFiles/edgert_profile.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/perfmodel/CMakeFiles/edgert_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/data/CMakeFiles/edgert_data.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/nn/CMakeFiles/edgert_nn.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/gpusim/CMakeFiles/edgert_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/obs/CMakeFiles/edgert_obs.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_findings.dir/bench_findings.cc.o"
+  "CMakeFiles/bench_findings.dir/bench_findings.cc.o.d"
+  "bench_findings"
+  "bench_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_comparison.dir/bench_kernel_comparison.cc.o"
+  "CMakeFiles/bench_kernel_comparison.dir/bench_kernel_comparison.cc.o.d"
+  "bench_kernel_comparison"
+  "bench_kernel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_invocations.dir/bench_kernel_invocations.cc.o"
+  "CMakeFiles/bench_kernel_invocations.dir/bench_kernel_invocations.cc.o.d"
+  "bench_kernel_invocations"
+  "bench_kernel_invocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_matrix.dir/bench_latency_matrix.cc.o"
+  "CMakeFiles/bench_latency_matrix.dir/bench_latency_matrix.cc.o.d"
+  "bench_latency_matrix"
+  "bench_latency_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_sizes.dir/bench_model_sizes.cc.o"
+  "CMakeFiles/bench_model_sizes.dir/bench_model_sizes.cc.o.d"
+  "bench_model_sizes"
+  "bench_model_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

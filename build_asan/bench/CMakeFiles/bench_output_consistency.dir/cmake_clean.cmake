@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_output_consistency.dir/bench_output_consistency.cc.o"
+  "CMakeFiles/bench_output_consistency.dir/bench_output_consistency.cc.o.d"
+  "bench_output_consistency"
+  "bench_output_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_output_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_model.dir/bench_perf_model.cc.o"
+  "CMakeFiles/bench_perf_model.dir/bench_perf_model.cc.o.d"
+  "bench_perf_model"
+  "bench_perf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adas_pipeline.dir/adas_pipeline.cpp.o"
+  "CMakeFiles/adas_pipeline.dir/adas_pipeline.cpp.o.d"
+  "adas_pipeline"
+  "adas_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adas_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

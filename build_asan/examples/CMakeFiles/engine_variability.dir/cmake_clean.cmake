@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_variability.dir/engine_variability.cpp.o"
+  "CMakeFiles/engine_variability.dir/engine_variability.cpp.o.d"
+  "engine_variability"
+  "engine_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_model_pipeline.dir/multi_model_pipeline.cpp.o"
+  "CMakeFiles/multi_model_pipeline.dir/multi_model_pipeline.cpp.o.d"
+  "multi_model_pipeline"
+  "multi_model_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_model_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

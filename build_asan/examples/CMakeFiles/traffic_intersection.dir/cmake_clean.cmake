@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_intersection.dir/traffic_intersection.cpp.o"
+  "CMakeFiles/traffic_intersection.dir/traffic_intersection.cpp.o.d"
+  "traffic_intersection"
+  "traffic_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

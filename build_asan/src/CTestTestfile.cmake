@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build_asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("nn")
+subdirs("gpusim")
+subdirs("core")
+subdirs("runtime")
+subdirs("profile")
+subdirs("data")
+subdirs("perfmodel")
+subdirs("serve")
+subdirs("deploy")

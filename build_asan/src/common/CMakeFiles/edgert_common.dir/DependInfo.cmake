@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cliflags.cc" "src/common/CMakeFiles/edgert_common.dir/cliflags.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/cliflags.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/edgert_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/framing.cc" "src/common/CMakeFiles/edgert_common.dir/framing.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/framing.cc.o.d"
+  "/root/repo/src/common/half.cc" "src/common/CMakeFiles/edgert_common.dir/half.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/half.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/common/CMakeFiles/edgert_common.dir/json.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/edgert_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/edgert_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/edgert_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/strutil.cc" "src/common/CMakeFiles/edgert_common.dir/strutil.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/strutil.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/edgert_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/table.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/common/CMakeFiles/edgert_common.dir/threadpool.cc.o" "gcc" "src/common/CMakeFiles/edgert_common.dir/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_common.dir/cliflags.cc.o"
+  "CMakeFiles/edgert_common.dir/cliflags.cc.o.d"
+  "CMakeFiles/edgert_common.dir/crc32.cc.o"
+  "CMakeFiles/edgert_common.dir/crc32.cc.o.d"
+  "CMakeFiles/edgert_common.dir/framing.cc.o"
+  "CMakeFiles/edgert_common.dir/framing.cc.o.d"
+  "CMakeFiles/edgert_common.dir/half.cc.o"
+  "CMakeFiles/edgert_common.dir/half.cc.o.d"
+  "CMakeFiles/edgert_common.dir/json.cc.o"
+  "CMakeFiles/edgert_common.dir/json.cc.o.d"
+  "CMakeFiles/edgert_common.dir/logging.cc.o"
+  "CMakeFiles/edgert_common.dir/logging.cc.o.d"
+  "CMakeFiles/edgert_common.dir/rng.cc.o"
+  "CMakeFiles/edgert_common.dir/rng.cc.o.d"
+  "CMakeFiles/edgert_common.dir/stats.cc.o"
+  "CMakeFiles/edgert_common.dir/stats.cc.o.d"
+  "CMakeFiles/edgert_common.dir/strutil.cc.o"
+  "CMakeFiles/edgert_common.dir/strutil.cc.o.d"
+  "CMakeFiles/edgert_common.dir/table.cc.o"
+  "CMakeFiles/edgert_common.dir/table.cc.o.d"
+  "CMakeFiles/edgert_common.dir/threadpool.cc.o"
+  "CMakeFiles/edgert_common.dir/threadpool.cc.o.d"
+  "libedgert_common.a"
+  "libedgert_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

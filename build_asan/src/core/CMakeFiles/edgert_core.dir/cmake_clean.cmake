@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_core.dir/builder.cc.o"
+  "CMakeFiles/edgert_core.dir/builder.cc.o.d"
+  "CMakeFiles/edgert_core.dir/calibrator.cc.o"
+  "CMakeFiles/edgert_core.dir/calibrator.cc.o.d"
+  "CMakeFiles/edgert_core.dir/engine.cc.o"
+  "CMakeFiles/edgert_core.dir/engine.cc.o.d"
+  "CMakeFiles/edgert_core.dir/folding.cc.o"
+  "CMakeFiles/edgert_core.dir/folding.cc.o.d"
+  "CMakeFiles/edgert_core.dir/optimizer.cc.o"
+  "CMakeFiles/edgert_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/edgert_core.dir/tactics.cc.o"
+  "CMakeFiles/edgert_core.dir/tactics.cc.o.d"
+  "CMakeFiles/edgert_core.dir/timing_cache.cc.o"
+  "CMakeFiles/edgert_core.dir/timing_cache.cc.o.d"
+  "libedgert_core.a"
+  "libedgert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

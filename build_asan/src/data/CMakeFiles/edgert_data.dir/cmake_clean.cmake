@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_data.dir/datasets.cc.o"
+  "CMakeFiles/edgert_data.dir/datasets.cc.o.d"
+  "CMakeFiles/edgert_data.dir/detection.cc.o"
+  "CMakeFiles/edgert_data.dir/detection.cc.o.d"
+  "CMakeFiles/edgert_data.dir/surrogate.cc.o"
+  "CMakeFiles/edgert_data.dir/surrogate.cc.o.d"
+  "libedgert_data.a"
+  "libedgert_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_deploy.dir/drift_gate.cc.o"
+  "CMakeFiles/edgert_deploy.dir/drift_gate.cc.o.d"
+  "CMakeFiles/edgert_deploy.dir/hotswap.cc.o"
+  "CMakeFiles/edgert_deploy.dir/hotswap.cc.o.d"
+  "CMakeFiles/edgert_deploy.dir/rebuild_worker.cc.o"
+  "CMakeFiles/edgert_deploy.dir/rebuild_worker.cc.o.d"
+  "CMakeFiles/edgert_deploy.dir/repository.cc.o"
+  "CMakeFiles/edgert_deploy.dir/repository.cc.o.d"
+  "libedgert_deploy.a"
+  "libedgert_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

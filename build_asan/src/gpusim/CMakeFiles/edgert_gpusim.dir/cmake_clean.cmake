@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_gpusim.dir/device.cc.o"
+  "CMakeFiles/edgert_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/edgert_gpusim.dir/sim.cc.o"
+  "CMakeFiles/edgert_gpusim.dir/sim.cc.o.d"
+  "CMakeFiles/edgert_gpusim.dir/timing.cc.o"
+  "CMakeFiles/edgert_gpusim.dir/timing.cc.o.d"
+  "libedgert_gpusim.a"
+  "libedgert_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

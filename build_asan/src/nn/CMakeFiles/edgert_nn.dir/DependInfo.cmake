@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/analysis.cc" "src/nn/CMakeFiles/edgert_nn.dir/analysis.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/analysis.cc.o.d"
+  "/root/repo/src/nn/dot.cc" "src/nn/CMakeFiles/edgert_nn.dir/dot.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/dot.cc.o.d"
+  "/root/repo/src/nn/executor.cc" "src/nn/CMakeFiles/edgert_nn.dir/executor.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/executor.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/edgert_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/nn/CMakeFiles/edgert_nn.dir/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/edgert_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/edgert_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/edgert_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/weights.cc" "src/nn/CMakeFiles/edgert_nn.dir/weights.cc.o" "gcc" "src/nn/CMakeFiles/edgert_nn.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_asan/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_nn.dir/analysis.cc.o"
+  "CMakeFiles/edgert_nn.dir/analysis.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/dot.cc.o"
+  "CMakeFiles/edgert_nn.dir/dot.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/executor.cc.o"
+  "CMakeFiles/edgert_nn.dir/executor.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/layer.cc.o"
+  "CMakeFiles/edgert_nn.dir/layer.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/edgert_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/network.cc.o"
+  "CMakeFiles/edgert_nn.dir/network.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/serialize.cc.o"
+  "CMakeFiles/edgert_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/tensor.cc.o"
+  "CMakeFiles/edgert_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/edgert_nn.dir/weights.cc.o"
+  "CMakeFiles/edgert_nn.dir/weights.cc.o.d"
+  "libedgert_nn.a"
+  "libedgert_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

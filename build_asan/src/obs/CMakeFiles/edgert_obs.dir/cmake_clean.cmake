@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_obs.dir/clock.cc.o"
+  "CMakeFiles/edgert_obs.dir/clock.cc.o.d"
+  "CMakeFiles/edgert_obs.dir/metrics.cc.o"
+  "CMakeFiles/edgert_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/edgert_obs.dir/trace.cc.o"
+  "CMakeFiles/edgert_obs.dir/trace.cc.o.d"
+  "libedgert_obs.a"
+  "libedgert_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

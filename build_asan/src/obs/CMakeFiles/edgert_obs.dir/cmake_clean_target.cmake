@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgert_obs.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_perfmodel.dir/bsp.cc.o"
+  "CMakeFiles/edgert_perfmodel.dir/bsp.cc.o.d"
+  "libedgert_perfmodel.a"
+  "libedgert_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/nvprof.cc" "src/profile/CMakeFiles/edgert_profile.dir/nvprof.cc.o" "gcc" "src/profile/CMakeFiles/edgert_profile.dir/nvprof.cc.o.d"
+  "/root/repo/src/profile/tegrastats.cc" "src/profile/CMakeFiles/edgert_profile.dir/tegrastats.cc.o" "gcc" "src/profile/CMakeFiles/edgert_profile.dir/tegrastats.cc.o.d"
+  "/root/repo/src/profile/trace_export.cc" "src/profile/CMakeFiles/edgert_profile.dir/trace_export.cc.o" "gcc" "src/profile/CMakeFiles/edgert_profile.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_asan/src/gpusim/CMakeFiles/edgert_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/obs/CMakeFiles/edgert_obs.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_profile.dir/nvprof.cc.o"
+  "CMakeFiles/edgert_profile.dir/nvprof.cc.o.d"
+  "CMakeFiles/edgert_profile.dir/tegrastats.cc.o"
+  "CMakeFiles/edgert_profile.dir/tegrastats.cc.o.d"
+  "CMakeFiles/edgert_profile.dir/trace_export.cc.o"
+  "CMakeFiles/edgert_profile.dir/trace_export.cc.o.d"
+  "libedgert_profile.a"
+  "libedgert_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_runtime.dir/context.cc.o"
+  "CMakeFiles/edgert_runtime.dir/context.cc.o.d"
+  "CMakeFiles/edgert_runtime.dir/measure.cc.o"
+  "CMakeFiles/edgert_runtime.dir/measure.cc.o.d"
+  "libedgert_runtime.a"
+  "libedgert_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/batcher.cc" "src/serve/CMakeFiles/edgert_serve.dir/batcher.cc.o" "gcc" "src/serve/CMakeFiles/edgert_serve.dir/batcher.cc.o.d"
+  "/root/repo/src/serve/predictor.cc" "src/serve/CMakeFiles/edgert_serve.dir/predictor.cc.o" "gcc" "src/serve/CMakeFiles/edgert_serve.dir/predictor.cc.o.d"
+  "/root/repo/src/serve/queue.cc" "src/serve/CMakeFiles/edgert_serve.dir/queue.cc.o" "gcc" "src/serve/CMakeFiles/edgert_serve.dir/queue.cc.o.d"
+  "/root/repo/src/serve/scheduler.cc" "src/serve/CMakeFiles/edgert_serve.dir/scheduler.cc.o" "gcc" "src/serve/CMakeFiles/edgert_serve.dir/scheduler.cc.o.d"
+  "/root/repo/src/serve/server.cc" "src/serve/CMakeFiles/edgert_serve.dir/server.cc.o" "gcc" "src/serve/CMakeFiles/edgert_serve.dir/server.cc.o.d"
+  "/root/repo/src/serve/workload.cc" "src/serve/CMakeFiles/edgert_serve.dir/workload.cc.o" "gcc" "src/serve/CMakeFiles/edgert_serve.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_asan/src/runtime/CMakeFiles/edgert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/perfmodel/CMakeFiles/edgert_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/profile/CMakeFiles/edgert_profile.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/core/CMakeFiles/edgert_core.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/nn/CMakeFiles/edgert_nn.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/gpusim/CMakeFiles/edgert_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/obs/CMakeFiles/edgert_obs.dir/DependInfo.cmake"
+  "/root/repo/build_asan/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

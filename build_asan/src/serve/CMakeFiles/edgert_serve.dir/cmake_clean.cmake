@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgert_serve.dir/batcher.cc.o"
+  "CMakeFiles/edgert_serve.dir/batcher.cc.o.d"
+  "CMakeFiles/edgert_serve.dir/predictor.cc.o"
+  "CMakeFiles/edgert_serve.dir/predictor.cc.o.d"
+  "CMakeFiles/edgert_serve.dir/queue.cc.o"
+  "CMakeFiles/edgert_serve.dir/queue.cc.o.d"
+  "CMakeFiles/edgert_serve.dir/scheduler.cc.o"
+  "CMakeFiles/edgert_serve.dir/scheduler.cc.o.d"
+  "CMakeFiles/edgert_serve.dir/server.cc.o"
+  "CMakeFiles/edgert_serve.dir/server.cc.o.d"
+  "CMakeFiles/edgert_serve.dir/workload.cc.o"
+  "CMakeFiles/edgert_serve.dir/workload.cc.o.d"
+  "libedgert_serve.a"
+  "libedgert_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgert_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

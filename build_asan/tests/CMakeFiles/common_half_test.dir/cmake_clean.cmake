@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_half_test.dir/common_half_test.cc.o"
+  "CMakeFiles/common_half_test.dir/common_half_test.cc.o.d"
+  "common_half_test"
+  "common_half_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_half_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_calibrator_test.dir/core_calibrator_test.cc.o"
+  "CMakeFiles/core_calibrator_test.dir/core_calibrator_test.cc.o.d"
+  "core_calibrator_test"
+  "core_calibrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_calibrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

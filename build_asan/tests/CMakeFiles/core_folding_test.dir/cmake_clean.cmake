@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_folding_test.dir/core_folding_test.cc.o"
+  "CMakeFiles/core_folding_test.dir/core_folding_test.cc.o.d"
+  "core_folding_test"
+  "core_folding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_folding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

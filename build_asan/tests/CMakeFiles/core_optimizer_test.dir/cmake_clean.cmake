@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_optimizer_test.dir/core_optimizer_test.cc.o"
+  "CMakeFiles/core_optimizer_test.dir/core_optimizer_test.cc.o.d"
+  "core_optimizer_test"
+  "core_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_timing_cache_test.dir/core_timing_cache_test.cc.o"
+  "CMakeFiles/core_timing_cache_test.dir/core_timing_cache_test.cc.o.d"
+  "core_timing_cache_test"
+  "core_timing_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_timing_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_swap_test.dir/deploy_swap_test.cc.o"
+  "CMakeFiles/deploy_swap_test.dir/deploy_swap_test.cc.o.d"
+  "deploy_swap_test"
+  "deploy_swap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_swap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

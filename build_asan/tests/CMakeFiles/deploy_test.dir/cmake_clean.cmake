@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_test.dir/deploy_test.cc.o"
+  "CMakeFiles/deploy_test.dir/deploy_test.cc.o.d"
+  "deploy_test"
+  "deploy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

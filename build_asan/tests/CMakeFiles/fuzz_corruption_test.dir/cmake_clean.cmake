@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_corruption_test.dir/fuzz_corruption_test.cc.o"
+  "CMakeFiles/fuzz_corruption_test.dir/fuzz_corruption_test.cc.o.d"
+  "fuzz_corruption_test"
+  "fuzz_corruption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_eventqueue_test.dir/gpusim_eventqueue_test.cc.o"
+  "CMakeFiles/gpusim_eventqueue_test.dir/gpusim_eventqueue_test.cc.o.d"
+  "gpusim_eventqueue_test"
+  "gpusim_eventqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_eventqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

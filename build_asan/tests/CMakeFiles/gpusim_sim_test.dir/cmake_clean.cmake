@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_sim_test.dir/gpusim_sim_test.cc.o"
+  "CMakeFiles/gpusim_sim_test.dir/gpusim_sim_test.cc.o.d"
+  "gpusim_sim_test"
+  "gpusim_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

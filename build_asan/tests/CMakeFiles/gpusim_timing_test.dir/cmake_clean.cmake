@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_timing_test.dir/gpusim_timing_test.cc.o"
+  "CMakeFiles/gpusim_timing_test.dir/gpusim_timing_test.cc.o.d"
+  "gpusim_timing_test"
+  "gpusim_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_analysis_test.dir/nn_analysis_test.cc.o"
+  "CMakeFiles/nn_analysis_test.dir/nn_analysis_test.cc.o.d"
+  "nn_analysis_test"
+  "nn_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_model_zoo_test.dir/nn_model_zoo_test.cc.o"
+  "CMakeFiles/nn_model_zoo_test.dir/nn_model_zoo_test.cc.o.d"
+  "nn_model_zoo_test"
+  "nn_model_zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_model_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_e2e_test.dir/obs_e2e_test.cc.o"
+  "CMakeFiles/obs_e2e_test.dir/obs_e2e_test.cc.o.d"
+  "obs_e2e_test"
+  "obs_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

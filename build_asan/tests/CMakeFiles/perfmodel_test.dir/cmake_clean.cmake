@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_test.dir/perfmodel_test.cc.o"
+  "CMakeFiles/perfmodel_test.dir/perfmodel_test.cc.o.d"
+  "perfmodel_test"
+  "perfmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

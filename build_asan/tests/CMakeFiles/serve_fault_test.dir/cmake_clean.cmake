@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_fault_test.dir/serve_fault_test.cc.o"
+  "CMakeFiles/serve_fault_test.dir/serve_fault_test.cc.o.d"
+  "serve_fault_test"
+  "serve_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

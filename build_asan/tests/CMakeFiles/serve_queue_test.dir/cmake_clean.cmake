@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_queue_test.dir/serve_queue_test.cc.o"
+  "CMakeFiles/serve_queue_test.dir/serve_queue_test.cc.o.d"
+  "serve_queue_test"
+  "serve_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

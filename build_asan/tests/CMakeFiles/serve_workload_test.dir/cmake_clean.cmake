@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_workload_test.dir/serve_workload_test.cc.o"
+  "CMakeFiles/serve_workload_test.dir/serve_workload_test.cc.o.d"
+  "serve_workload_test"
+  "serve_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

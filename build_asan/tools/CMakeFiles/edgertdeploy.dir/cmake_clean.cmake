@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgertdeploy.dir/edgertdeploy.cc.o"
+  "CMakeFiles/edgertdeploy.dir/edgertdeploy.cc.o.d"
+  "edgertdeploy"
+  "edgertdeploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgertdeploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

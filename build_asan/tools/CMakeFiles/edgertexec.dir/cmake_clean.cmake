@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgertexec.dir/edgertexec.cc.o"
+  "CMakeFiles/edgertexec.dir/edgertexec.cc.o.d"
+  "edgertexec"
+  "edgertexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgertexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

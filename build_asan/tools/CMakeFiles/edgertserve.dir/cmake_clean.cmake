@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgertserve.dir/edgertserve.cc.o"
+  "CMakeFiles/edgertserve.dir/edgertserve.cc.o.d"
+  "edgertserve"
+  "edgertserve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgertserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

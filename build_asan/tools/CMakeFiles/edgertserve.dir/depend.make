@@ -1,0 +1,2 @@
+# Empty dependencies file for edgertserve.
+# This may be replaced when dependencies are built.

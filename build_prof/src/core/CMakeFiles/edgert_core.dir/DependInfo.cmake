@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cc" "src/core/CMakeFiles/edgert_core.dir/builder.cc.o" "gcc" "src/core/CMakeFiles/edgert_core.dir/builder.cc.o.d"
+  "/root/repo/src/core/calibrator.cc" "src/core/CMakeFiles/edgert_core.dir/calibrator.cc.o" "gcc" "src/core/CMakeFiles/edgert_core.dir/calibrator.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/edgert_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/edgert_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/folding.cc" "src/core/CMakeFiles/edgert_core.dir/folding.cc.o" "gcc" "src/core/CMakeFiles/edgert_core.dir/folding.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/edgert_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/edgert_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/tactics.cc" "src/core/CMakeFiles/edgert_core.dir/tactics.cc.o" "gcc" "src/core/CMakeFiles/edgert_core.dir/tactics.cc.o.d"
+  "/root/repo/src/core/timing_cache.cc" "src/core/CMakeFiles/edgert_core.dir/timing_cache.cc.o" "gcc" "src/core/CMakeFiles/edgert_core.dir/timing_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/nn/CMakeFiles/edgert_nn.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/gpusim/CMakeFiles/edgert_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/obs/CMakeFiles/edgert_obs.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/datasets.cc" "src/data/CMakeFiles/edgert_data.dir/datasets.cc.o" "gcc" "src/data/CMakeFiles/edgert_data.dir/datasets.cc.o.d"
+  "/root/repo/src/data/detection.cc" "src/data/CMakeFiles/edgert_data.dir/detection.cc.o" "gcc" "src/data/CMakeFiles/edgert_data.dir/detection.cc.o.d"
+  "/root/repo/src/data/surrogate.cc" "src/data/CMakeFiles/edgert_data.dir/surrogate.cc.o" "gcc" "src/data/CMakeFiles/edgert_data.dir/surrogate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

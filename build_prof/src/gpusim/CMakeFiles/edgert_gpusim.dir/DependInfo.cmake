@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/edgert_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/edgert_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/sim.cc" "src/gpusim/CMakeFiles/edgert_gpusim.dir/sim.cc.o" "gcc" "src/gpusim/CMakeFiles/edgert_gpusim.dir/sim.cc.o.d"
+  "/root/repo/src/gpusim/timing.cc" "src/gpusim/CMakeFiles/edgert_gpusim.dir/timing.cc.o" "gcc" "src/gpusim/CMakeFiles/edgert_gpusim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/obs/CMakeFiles/edgert_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

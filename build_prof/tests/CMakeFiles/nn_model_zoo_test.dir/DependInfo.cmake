@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn_model_zoo_test.cc" "tests/CMakeFiles/nn_model_zoo_test.dir/nn_model_zoo_test.cc.o" "gcc" "tests/CMakeFiles/nn_model_zoo_test.dir/nn_model_zoo_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/runtime/CMakeFiles/edgert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/core/CMakeFiles/edgert_core.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/profile/CMakeFiles/edgert_profile.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/perfmodel/CMakeFiles/edgert_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/data/CMakeFiles/edgert_data.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/nn/CMakeFiles/edgert_nn.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/gpusim/CMakeFiles/edgert_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/obs/CMakeFiles/edgert_obs.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/common/CMakeFiles/edgert_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
