@@ -45,6 +45,7 @@
 #include "nn/model_zoo.hh"
 #include "obs/metrics.hh"
 #include "serve/server.hh"
+#include "watch/watch.hh"
 
 namespace {
 
@@ -146,6 +147,8 @@ struct SwapStudy
     double rollback_counter = 0.0;
     int lineage_live_after_clean = -1;
     int lineage_live_after_fault = -1;
+    watch::WatchSummary clean_watch;   //!< no incidents expected
+    watch::WatchSummary faulted_watch; //!< rollback => incident
 };
 
 serve::ServeConfig
@@ -169,6 +172,11 @@ swapStudy()
     SwapStudy out;
     auto &reg = obs::MetricRegistry::global();
     serve::ServeConfig cfg = swapServeConfig();
+    // EdgeWatch rides along on both runs: the committed swap must
+    // leave the flight recorder quiet, the faulted one must dump a
+    // swap_rollback incident next to the bench report.
+    cfg.watch.enabled = true;
+    cfg.watch.incident_prefix = "BENCH_deploy_watch.";
     double t_swap = cfg.duration_s / 2.0;
 
     auto liveVersion = [&](deploy::EngineRepository &repo) {
@@ -191,6 +199,7 @@ swapStudy()
         out.clean_promoted = !plan.swaps.empty();
         serve::ServeReport rep = swapper.runWithSwaps(cfg, plan);
         out.clean = rep.models.front();
+        out.clean_watch = rep.watch;
         out.lineage_live_after_clean = liveVersion(repo);
     }
 
@@ -210,6 +219,7 @@ swapStudy()
             swapper.planSwaps(fcfg, t_swap, kIncumbentSeed + 1);
         serve::ServeReport rep = swapper.runWithSwaps(fcfg, plan);
         out.faulted = rep.models.front();
+        out.faulted_watch = rep.watch;
         out.lineage_live_after_fault = liveVersion(repo);
         out.rollback_counter =
             reg.counter("deploy.swap.rolled_back",
@@ -246,6 +256,11 @@ swapStudy()
                 cfg.duration_s);
     line("clean:", out.clean, out.lineage_live_after_clean);
     line("faulted:", out.faulted, out.lineage_live_after_fault);
+    std::printf("watch:    clean %lld incident(s), faulted %lld "
+                "incident(s) (BENCH_deploy_watch.*)\n",
+                static_cast<long long>(out.clean_watch.incidents),
+                static_cast<long long>(
+                    out.faulted_watch.incidents));
     return out;
 }
 
@@ -308,6 +323,11 @@ fillReport(bench::JsonWriter &w, const GateStudy &gate,
     stats("clean", swap.clean, swap.lineage_live_after_clean);
     stats("faulted", swap.faulted, swap.lineage_live_after_fault);
     w.field("rollback_counter", swap.rollback_counter);
+    w.key("watch").beginObject();
+    w.field("clean_incidents", swap.clean_watch.incidents);
+    w.field("faulted_incidents", swap.faulted_watch.incidents);
+    w.field("faulted_page_alerts", swap.faulted_watch.page_alerts);
+    w.endObject();
     w.endObject();
 
     bool zero_dropped =

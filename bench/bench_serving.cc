@@ -21,6 +21,12 @@
  * `--smoke` (stripped before benchmark::Initialize) shrinks the
  * sweep to a CI-sized spot check that still exercises every policy
  * knob and writes the same BENCH_serving.json shape.
+ *
+ * `--watch-out=PREFIX` additionally runs the ablation's overload
+ * scenario with EdgeWatch enabled, writing the watch report to
+ * PREFIXwatch.json and flight-recorder incident dumps under
+ * PREFIX. Everything rides sim time, so a same-seed double run
+ * must produce byte-identical files — CI diffs them.
  */
 
 #include <benchmark/benchmark.h>
@@ -46,6 +52,7 @@ constexpr const char *kModel = "alexnet";
 constexpr double kSloMs = 25.0;
 
 bool g_smoke = false;
+std::string g_watch_out; //!< --watch-out=PREFIX artifact prefix
 
 /** One measured point of a load sweep. */
 struct Point
@@ -245,6 +252,32 @@ admissionAblation()
     return ab;
 }
 
+/**
+ * --watch-out: rerun the ablation's overload scenario with
+ * EdgeWatch enabled and leave the watch report plus incident
+ * dumps at the caller-chosen prefix. Deterministic by design —
+ * the driver diffs two same-seed invocations byte for byte.
+ */
+void
+watchedArtifactRun()
+{
+    serve::ServeConfig cfg = baseConfig({"nx"}, true);
+    serve::ModelConfig mc;
+    mc.model = kModel;
+    mc.slo_ms = kSloMs;
+    mc.arrivals.qps = 900;
+    cfg.models.push_back(mc);
+    cfg.watch.enabled = true;
+    cfg.watch.out_path = g_watch_out + "watch.json";
+    cfg.watch.incident_prefix = g_watch_out;
+    serve::ServeReport rep = serve::runServer(cfg);
+    std::printf("\nwatch artifacts at %s*: %lld page alert(s), "
+                "%lld incident(s)\n",
+                g_watch_out.c_str(),
+                static_cast<long long>(rep.watch.page_alerts),
+                static_cast<long long>(rep.watch.incidents));
+}
+
 /** Same seeded scenario twice; reports must be byte-identical. */
 bool
 determinismCheck()
@@ -342,6 +375,8 @@ runFigures()
     Ablation ab = admissionAblation();
     bool same_seed = determinismCheck();
     writeJsonReport(pols, ab, same_seed);
+    if (!g_watch_out.empty())
+        watchedArtifactRun();
 }
 
 /** Wall time of one small end-to-end serve scenario. */
@@ -371,11 +406,15 @@ BENCHMARK(BM_ServeScenario)
 int
 main(int argc, char **argv)
 {
-    // Strip --smoke before the benchmark library sees argv.
+    // Strip our own flags before the benchmark library sees argv.
     int out = 1;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             g_smoke = true;
+        else if (std::strcmp(argv[i], "--watch-out") == 0)
+            g_watch_out = "BENCH_serving_watch.";
+        else if (std::strncmp(argv[i], "--watch-out=", 12) == 0)
+            g_watch_out = argv[i] + 12;
         else
             argv[out++] = argv[i];
     }

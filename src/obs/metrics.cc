@@ -52,6 +52,12 @@ HistogramCell::record(double v)
     }
     count++;
     sum += v;
+    if (count <= kExactCap) {
+        exact.push_back(v);
+    } else if (!exact.empty()) {
+        exact.clear();
+        exact.shrink_to_fit();
+    }
     const auto &bounds = bucketBounds();
     auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
     buckets[static_cast<std::size_t>(it - bounds.begin())]++;
@@ -66,6 +72,8 @@ HistogramCell::reset()
     min = 0.0;
     max = 0.0;
     buckets.fill(0);
+    exact.clear();
+    exact.shrink_to_fit();
 }
 
 double
@@ -77,6 +85,12 @@ HistogramCell::percentileLocked(double p) const
     auto rank = static_cast<std::uint64_t>(
         std::ceil(p * static_cast<double>(count)));
     rank = std::max<std::uint64_t>(rank, 1);
+    if (exactLocked()) {
+        // Small sample: exact nearest-rank over the raw values.
+        std::vector<double> sorted = exact;
+        std::sort(sorted.begin(), sorted.end());
+        return sorted[static_cast<std::size_t>(rank - 1)];
+    }
     std::uint64_t cum = 0;
     for (int i = 0; i <= kBuckets; i++) {
         cum += buckets[static_cast<std::size_t>(i)];
@@ -286,7 +300,8 @@ MetricRegistry::writeJson(
             continue;
         std::lock_guard<std::mutex> hlock(cell->mu);
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k)
-           << "\": {\"count\": " << cell->count
+           << "\": {\"count\": " << cell->count << ", \"exact\": "
+           << (cell->exactLocked() ? "true" : "false")
            << ", \"sum\": " << jsonNumber(cell->sum)
            << ", \"min\": " << jsonNumber(cell->min)
            << ", \"max\": " << jsonNumber(cell->max)
@@ -317,6 +332,202 @@ MetricRegistry::save(const std::string &path) const
     if (!f)
         fatal("MetricRegistry::save: cannot open '", path, "'");
     writeJson(f);
+}
+
+namespace {
+
+/** A canonical key split back into its name and label parts. */
+struct ParsedKey
+{
+    std::string name;
+    Labels labels;
+};
+
+/**
+ * Invert MetricRegistry::key(). Safe for every label this codebase
+ * emits (model/device/pass names); a label *value* containing ','
+ * or '=' would be mis-split, which key() never protects against
+ * either.
+ */
+ParsedKey
+parseKey(const std::string &key)
+{
+    ParsedKey out;
+    std::size_t brace = key.find('{');
+    if (brace == std::string::npos) {
+        out.name = key;
+        return out;
+    }
+    out.name = key.substr(0, brace);
+    std::string body =
+        key.substr(brace + 1, key.size() - brace - 2);
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        std::string item = body.substr(pos, comma - pos);
+        std::size_t eq = item.find('=');
+        if (eq != std::string::npos)
+            out.labels.emplace_back(item.substr(0, eq),
+                                    item.substr(eq + 1));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') ||
+                  (c >= 'A' && c <= 'Z') || c == '_' || c == ':' ||
+                  (c >= '0' && c <= '9' && !out.empty());
+        out += ok ? c : '_';
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
+/** Label-value escaping per the text exposition spec. */
+std::string
+promEscape(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** `{k="v",...}` rendering; "" when there are no labels. */
+std::string
+promLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); i++) {
+        if (i)
+            out += ",";
+        out += promName(labels[i].first) + "=\"" +
+               promEscape(labels[i].second) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/**
+ * Sample lines grouped per family so each family gets one `# TYPE`
+ * header even though `name` and `name{...}` need not be adjacent
+ * in canonical key order (e.g. `namex` sorts between them).
+ */
+using FamilyLines = std::map<std::string, std::vector<std::string>>;
+
+void
+emitFamilies(std::ostream &os, const FamilyLines &families,
+             const char *type)
+{
+    for (const auto &[fam, lines] : families) {
+        os << "# TYPE " << fam << " " << type << "\n";
+        for (const std::string &line : lines)
+            os << line << "\n";
+    }
+}
+
+} // namespace
+
+void
+MetricRegistry::writePromText(
+    std::ostream &os, const std::vector<std::string> &prefixes) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    FamilyLines counter_fams;
+    for (const auto &[k, cell] : counters_) {
+        if (!keptBy(k, prefixes))
+            continue;
+        ParsedKey pk = parseKey(k);
+        std::string fam = promName(pk.name);
+        counter_fams[fam].push_back(
+            fam + promLabels(pk.labels) + " " +
+            std::to_string(
+                cell->value.load(std::memory_order_relaxed)));
+    }
+    emitFamilies(os, counter_fams, "counter");
+
+    FamilyLines gauge_fams;
+    for (const auto &[k, cell] : gauges_) {
+        if (!keptBy(k, prefixes))
+            continue;
+        ParsedKey pk = parseKey(k);
+        std::string fam = promName(pk.name);
+        gauge_fams[fam].push_back(
+            fam + promLabels(pk.labels) + " " +
+            jsonNumber(
+                cell->value.load(std::memory_order_relaxed)));
+    }
+    emitFamilies(os, gauge_fams, "gauge");
+
+    // Histograms export as summaries: our log-scale buckets do not
+    // match Prometheus's cumulative `le` convention, but quantiles,
+    // _sum and _count translate directly.
+    FamilyLines summary_fams;
+    for (const auto &[k, cell] : histograms_) {
+        if (!keptBy(k, prefixes))
+            continue;
+        ParsedKey pk = parseKey(k);
+        std::string fam = promName(pk.name);
+        auto &lines = summary_fams[fam];
+        std::lock_guard<std::mutex> hlock(cell->mu);
+        static constexpr struct
+        {
+            const char *label;
+            double p;
+        } kQuantiles[] = {
+            {"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto &q : kQuantiles) {
+            Labels with_q = pk.labels;
+            with_q.emplace_back("quantile", q.label);
+            lines.push_back(
+                fam + promLabels(with_q) + " " +
+                jsonNumber(cell->percentileLocked(q.p)));
+        }
+        lines.push_back(fam + "_sum" + promLabels(pk.labels) + " " +
+                        jsonNumber(cell->sum));
+        lines.push_back(fam + "_count" + promLabels(pk.labels) +
+                        " " + std::to_string(cell->count));
+    }
+    emitFamilies(os, summary_fams, "summary");
+}
+
+std::string
+MetricRegistry::toPromText(
+    const std::vector<std::string> &prefixes) const
+{
+    std::ostringstream oss;
+    writePromText(oss, prefixes);
+    return oss.str();
+}
+
+void
+MetricRegistry::savePromText(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("MetricRegistry::savePromText: cannot open '", path,
+              "'");
+    writePromText(f);
 }
 
 MetricRegistry &

@@ -69,18 +69,31 @@ struct HistogramCell
     static constexpr int kBuckets = 96;
     static constexpr double kFirstUpper = 1e-3;
 
+    /** Up to this many samples the raw values are retained and
+     *  percentiles are exact nearest-rank statistics; beyond it the
+     *  reservoir is dropped and estimation falls back to the
+     *  bucketed geometric midpoint. */
+    static constexpr int kExactCap = 64;
+
     mutable std::mutex mu;
     std::uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
     std::array<std::uint64_t, kBuckets + 1> buckets{};
+    std::vector<double> exact; //!< first kExactCap raw samples
 
     static double upperBound(int bucket);
 
     void record(double v);
     void reset();
     double percentileLocked(double p) const; //!< caller holds mu
+
+    /** True while percentiles are exact (count <= kExactCap). */
+    bool exactLocked() const
+    {
+        return count == exact.size();
+    }
 };
 
 } // namespace metrics_detail
@@ -198,7 +211,11 @@ class MetricRegistry
     /**
      * Canonical JSON snapshot:
      * `{"counters":{...},"gauges":{...},"histograms":{...}}` with
-     * sorted keys; histograms render count/sum/min/max/p50/p95/p99.
+     * sorted keys; histograms render
+     * count/exact/sum/min/max/p50/p95/p99, where `exact` reports
+     * whether the percentiles are nearest-rank statistics over the
+     * retained raw samples (count <= HistogramCell::kExactCap)
+     * rather than bucket-midpoint estimates.
      *
      * A non-empty `prefixes` list keeps only metrics whose key
      * starts with one of the prefixes — benches use this to embed
@@ -214,6 +231,26 @@ class MetricRegistry
 
     /** Write toJson() to a file; fatal() on I/O error. */
     void save(const std::string &path) const;
+
+    /**
+     * Prometheus text exposition (format 0.0.4): counters and
+     * gauges as single samples, histograms as summaries (quantile
+     * 0.5/0.95/0.99 plus `_sum`/`_count` series). Metric names are
+     * sanitized (`.` and other invalid characters become `_`),
+     * label values are escaped per the exposition spec, and each
+     * family gets exactly one `# TYPE` line even when label sets
+     * interleave with other families in canonical key order.
+     * `prefixes` filters on the canonical (pre-sanitization) key,
+     * as in writeJson().
+     */
+    void writePromText(std::ostream &os,
+                       const std::vector<std::string> &prefixes =
+                           {}) const;
+    std::string
+    toPromText(const std::vector<std::string> &prefixes = {}) const;
+
+    /** Write toPromText() to a file; fatal() on I/O error. */
+    void savePromText(const std::string &path) const;
 
     /** The process-wide registry the built-in instrumentation
      *  records into. */

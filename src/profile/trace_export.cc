@@ -181,7 +181,9 @@ saveMergedChromeTrace(const std::string &path,
 void
 writeMergedChromeTrace(std::ostream &os,
                        const std::vector<obs::SpanRecord> &spans,
-                       const std::vector<NamedTrace> &devices)
+                       const std::vector<NamedTrace> &devices,
+                       const std::vector<SimSpan> &sim_spans,
+                       const std::string &sim_process)
 {
     os << "[\n";
     emitProcessName(os, "host");
@@ -195,6 +197,9 @@ writeMergedChromeTrace(std::ostream &os,
         emitStreamNames(os, *devices[d].trace, label,
                         kDeviceTidBase, pid);
     }
+    const int sim_pid = 2 + static_cast<int>(devices.size());
+    if (!sim_spans.empty())
+        emitProcessName(os, sim_process, sim_pid, /*first=*/false);
     emitHostSpans(os, spans, /*pid=*/1);
     for (std::size_t d = 0; d < devices.size(); d++) {
         int pid = 2 + static_cast<int>(d);
@@ -204,18 +209,43 @@ writeMergedChromeTrace(std::ostream &os,
             emitDeviceOp(os, rec, kDeviceTidBase, pid);
         }
     }
+    // Sim-clock spans: same microsecond origin as the device ops,
+    // no rebase — they overlay the device timelines directly.
+    for (const SimSpan &s : sim_spans) {
+        os << ",\n  {\"name\":\"" << jsonEscape(s.name)
+           << "\",\"cat\":\"watch\",\"ph\":\"X\",\"pid\":"
+           << sim_pid << ",\"tid\":" << s.track
+           << ",\"ts\":" << jsonNumber(s.start_s * 1e6)
+           << ",\"dur\":"
+           << jsonNumber((s.end_s - s.start_s) * 1e6);
+        if (!s.args.empty()) {
+            os << ",\"args\":{";
+            for (std::size_t i = 0; i < s.args.size(); i++) {
+                if (i)
+                    os << ",";
+                os << "\"" << jsonEscape(s.args[i].first)
+                   << "\":\"" << jsonEscape(s.args[i].second)
+                   << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
     os << "\n]\n";
 }
 
 void
 saveMergedChromeTrace(const std::string &path,
                       const std::vector<obs::SpanRecord> &spans,
-                      const std::vector<NamedTrace> &devices)
+                      const std::vector<NamedTrace> &devices,
+                      const std::vector<SimSpan> &sim_spans,
+                      const std::string &sim_process)
 {
     std::ofstream f(path);
     if (!f)
         fatal("saveMergedChromeTrace: cannot open '", path, "'");
-    writeMergedChromeTrace(f, spans, devices);
+    writeMergedChromeTrace(f, spans, devices, sim_spans,
+                           sim_process);
 }
 
 } // namespace edgert::profile

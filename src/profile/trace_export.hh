@@ -20,6 +20,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/sim.hh"
@@ -80,20 +81,41 @@ struct NamedTrace
 };
 
 /**
+ * A span on the *simulated* clock (seconds), rendered without the
+ * host-span rebase so it lines up with the device tracks. EdgeWatch
+ * uses these to overlay slow-request stage breakdowns on the
+ * timeline.
+ */
+struct SimSpan
+{
+    std::string name;
+    int track = 0; //!< tid within the sim-span process
+    double start_s = 0.0;
+    double end_s = 0.0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
  * Multi-device variant of the merged export (EdgeServe fleets):
  * host spans render as pid 1, each device timeline as its own
  * process with per-stream tracks. All device timelines share the
- * simulated-time origin; host spans are rebased as above.
+ * simulated-time origin; host spans are rebased as above. When
+ * `sim_spans` is non-empty they render as one more process (named
+ * `sim_process`) on the simulated clock, aligned with the devices.
  */
 void writeMergedChromeTrace(
     std::ostream &os, const std::vector<obs::SpanRecord> &spans,
-    const std::vector<NamedTrace> &devices);
+    const std::vector<NamedTrace> &devices,
+    const std::vector<SimSpan> &sim_spans = {},
+    const std::string &sim_process = "watch");
 
 /** Write the multi-device merged trace; fatal on I/O error. */
 void saveMergedChromeTrace(
     const std::string &path,
     const std::vector<obs::SpanRecord> &spans,
-    const std::vector<NamedTrace> &devices);
+    const std::vector<NamedTrace> &devices,
+    const std::vector<SimSpan> &sim_spans = {},
+    const std::string &sim_process = "watch");
 
 } // namespace edgert::profile
 

@@ -39,7 +39,8 @@ ExecutionContext::enqueueWeightUpload()
 }
 
 InferenceHandle
-ExecutionContext::enqueueInference(bool copy_input, bool copy_output)
+ExecutionContext::enqueueInference(bool copy_input, bool copy_output,
+                                   bool staged)
 {
     runtimeCounter("runtime.inference.enqueued", *engine_).add();
     InferenceHandle h;
@@ -50,9 +51,13 @@ ExecutionContext::enqueueInference(bool copy_input, bool copy_output)
                             static_cast<std::uint64_t>(in.bytes), 1,
                             "input_h2d:" + in.name);
     }
+    if (staged)
+        h.upload_done = sim_->recordEvent(stream_);
     for (const auto &step : engine_->steps())
         for (const auto &k : step.kernels)
             sim_->launchKernel(stream_, k);
+    if (staged)
+        h.compute_done = sim_->recordEvent(stream_);
     if (copy_output) {
         for (const auto &out : engine_->outputs())
             sim_->memcpyD2H(stream_,

@@ -14,10 +14,17 @@
 
 namespace edgert::runtime {
 
-/** Event pair delimiting one enqueued inference. */
+/**
+ * Events delimiting one enqueued inference. `begin` and `end`
+ * always bracket the whole enqueue; the stage events in between are
+ * only recorded by staged enqueues (see enqueueInference) and stay
+ * -1 otherwise.
+ */
 struct InferenceHandle
 {
     gpusim::EventId begin = -1;
+    gpusim::EventId upload_done = -1;  //!< input H2D copies done
+    gpusim::EventId compute_done = -1; //!< kernels done
     gpusim::EventId end = -1;
 };
 
@@ -49,9 +56,16 @@ class ExecutionContext
      * Enqueue one complete inference.
      * @param copy_input  Copy network inputs host-to-device first.
      * @param copy_output Copy network outputs back afterwards.
+     * @param staged      Also record the upload_done/compute_done
+     *        stage events so a request-scoped watcher can attribute
+     *        latency to upload vs compute vs download. Off by
+     *        default: the extra markers leave simulated timing
+     *        untouched but shift later event ids, and existing
+     *        byte-reproducibility fixtures pin those.
      */
     InferenceHandle enqueueInference(bool copy_input = true,
-                                     bool copy_output = true);
+                                     bool copy_output = true,
+                                     bool staged = false);
 
     /**
      * Enqueue one pipelined (double-buffered) inference: I/O copies

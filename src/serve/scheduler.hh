@@ -47,8 +47,12 @@ struct PlannedDispatch
     std::vector<std::int64_t> request_ids;
     double predicted_service_s = 0.0;
 
-    // Filled during the execution replay.
+    // Filled during the execution replay. The stage events
+    // (upload_done, compute_done) come from the staged enqueue and
+    // feed EdgeWatch's per-request attribution.
     gpusim::EventId begin = -1;
+    gpusim::EventId upload_done = -1;
+    gpusim::EventId compute_done = -1;
     gpusim::EventId end = -1;
 };
 

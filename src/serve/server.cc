@@ -856,8 +856,16 @@ runServer(const ServeConfig &cfg)
                                 .engines[static_cast<std::size_t>(
                                     pd.engine_idx)],
                         sim, inst.stream);
-                auto h = ctx->enqueueInference(true, true);
+                // Staged: record upload/compute boundary events so
+                // EdgeWatch can attribute per-request latency. The
+                // markers are timing-neutral, and serving always
+                // stages so the replay's event stream (and report
+                // bytes) never depend on whether watch is enabled.
+                auto h = ctx->enqueueInference(true, true,
+                                               /*staged=*/true);
                 pd.begin = h.begin;
+                pd.upload_done = h.upload_done;
+                pd.compute_done = h.compute_done;
                 pd.end = h.end;
             }
         }
@@ -924,12 +932,18 @@ runServer(const ServeConfig &cfg)
 
     // Fold measured completions back into the request table and the
     // predictor-error metric (instance order, then plan order —
-    // deterministic).
+    // deterministic). The per-request stage times (batch start,
+    // upload done, compute done) feed EdgeWatch's attribution.
+    std::vector<double> stage_begin(requests.size(), 0.0);
+    std::vector<double> stage_upload(requests.size(), 0.0);
+    std::vector<double> stage_compute(requests.size(), 0.0);
     for (const Instance &inst : pool.instances()) {
         const auto &sim =
             *sims[static_cast<std::size_t>(inst.device)];
         for (const auto &pd : inst.plan) {
             double start = sim.eventSeconds(pd.begin);
+            double upload = sim.eventSeconds(pd.upload_done);
+            double compute = sim.eventSeconds(pd.compute_done);
             double end = sim.eventSeconds(pd.end);
             double actual_s = std::max(end - start, 1e-12);
             double err_pct =
@@ -942,6 +956,11 @@ runServer(const ServeConfig &cfg)
                     requests[static_cast<std::size_t>(id)];
                 r.outcome = Outcome::kCompleted;
                 r.done_s = end;
+                stage_begin[static_cast<std::size_t>(id)] = start;
+                stage_upload[static_cast<std::size_t>(id)] =
+                    upload;
+                stage_compute[static_cast<std::size_t>(id)] =
+                    compute;
             }
         }
     }
@@ -1144,6 +1163,213 @@ runServer(const ServeConfig &cfg)
         report.devices.push_back(std::move(s));
     }
 
+    // ------------------------------------------------------------
+    // EdgeWatch: replay the run's admissions, sheds, dispatches,
+    // completions (with stage attribution) and swap lifecycle as
+    // one time-ordered feed. The feed is built from the same
+    // deterministic tables as the report, so the watch report and
+    // every incident file are byte-identical across runs — and the
+    // serve report itself never depends on whether watch is on.
+    // ------------------------------------------------------------
+    std::vector<profile::SimSpan> watch_spans;
+    if (cfg.watch.enabled) {
+        EDGERT_SPAN("serve_watch",
+                    {{"models", std::to_string(n_models)}});
+        std::vector<std::string> model_names;
+        std::vector<double> slo_ms;
+        for (const auto &mc : cfg.models) {
+            model_names.push_back(mc.model);
+            slo_ms.push_back(mc.slo_ms);
+        }
+        std::vector<std::string> dev_names;
+        std::vector<double> dev_scores;
+        for (int d = 0; d < n_devices; d++) {
+            const auto &spec =
+                cfg.devices[static_cast<std::size_t>(d)];
+            dev_names.push_back(spec.name + "[" +
+                                std::to_string(d) + "]");
+            dev_scores.push_back(spec.peakFp16Flops());
+        }
+        watch::EdgeWatch ew(cfg.watch, model_names, slo_ms,
+                            dev_names, dev_scores);
+
+        struct FeedItem
+        {
+            enum What {
+                kAdmit,
+                kShed,
+                kSwapBegin,
+                kDispatch,
+                kSwapCommit,
+                kSwapRollback,
+                kComplete,
+            };
+            double t = 0.0;
+            int rank = 0; //!< tie-break at equal t (What order)
+            What what = kAdmit;
+            int model = -1;
+            std::int64_t id = -1;
+            int batch = 0;
+            int device = -1;
+            std::uint64_t build_id = 0;
+            std::string reason;
+            watch::RequestTrace rt;
+        };
+        std::size_t feed_cap = requests.size() * 2;
+        for (const Instance &inst : pool.instances())
+            feed_cap += inst.plan.size();
+        feed_cap += swap_states.size() * 2;
+        std::vector<FeedItem> feed;
+        feed.reserve(feed_cap);
+        for (const Request &r : requests) {
+            FeedItem it;
+            it.t = r.arrival_s;
+            it.what = r.outcome == Outcome::kShed
+                          ? FeedItem::kShed
+                          : FeedItem::kAdmit;
+            it.rank = 0;
+            it.model = r.model;
+            it.id = r.id;
+            feed.push_back(std::move(it));
+            if (r.outcome != Outcome::kCompleted)
+                continue;
+            FeedItem c;
+            c.t = r.done_s;
+            c.rank = 4;
+            c.what = FeedItem::kComplete;
+            c.model = r.model;
+            c.id = r.id;
+            c.rt.id = r.id;
+            c.rt.model = r.model;
+            c.rt.device = r.device;
+            c.rt.instance = r.instance;
+            c.rt.batch = r.batch;
+            c.rt.version = r.version;
+            c.rt.arrival_s = r.arrival_s;
+            c.rt.dispatch_s = r.dispatch_s;
+            c.rt.begin_s =
+                stage_begin[static_cast<std::size_t>(r.id)];
+            c.rt.upload_done_s =
+                stage_upload[static_cast<std::size_t>(r.id)];
+            c.rt.compute_done_s =
+                stage_compute[static_cast<std::size_t>(r.id)];
+            c.rt.done_s = r.done_s;
+            feed.push_back(std::move(c));
+        }
+        for (const Instance &inst : pool.instances()) {
+            for (const auto &pd : inst.plan) {
+                FeedItem it;
+                it.t = pd.t_s;
+                it.rank = 2;
+                it.what = FeedItem::kDispatch;
+                it.model = inst.model;
+                it.batch = pd.batch;
+                it.device = inst.device;
+                it.id = pd.request_ids.empty()
+                            ? -1
+                            : pd.request_ids.front();
+                feed.push_back(std::move(it));
+            }
+        }
+        for (std::size_t s = 0; s < swap_states.size(); s++) {
+            const SwapState &st = swap_states[s];
+            const SwapSpec &sp = cfg.swaps[s];
+            const bool warmed = st.to_version >= 0;
+            FeedItem b;
+            b.t = warmed ? st.begin_s : sp.t_s;
+            b.rank = 1;
+            b.what = FeedItem::kSwapBegin;
+            b.model = st.model;
+            b.build_id = sp.candidate_build_id;
+            feed.push_back(std::move(b));
+            FeedItem e;
+            e.t = warmed ? st.ready_s : sp.t_s;
+            e.rank = 3;
+            e.model = st.model;
+            if (st.rolled_back) {
+                e.what = FeedItem::kSwapRollback;
+                e.reason = st.reason;
+            } else {
+                e.what = FeedItem::kSwapCommit;
+                e.build_id = sp.candidate_build_id;
+            }
+            feed.push_back(std::move(e));
+        }
+        // Sort indices, not the (large) items: stable_sort moves
+        // its elements O(n log n) times and the feed dominates the
+        // watch path's wall time for busy scenarios.
+        std::vector<std::uint32_t> order(feed.size());
+        for (std::uint32_t i = 0; i < order.size(); i++)
+            order[i] = i;
+        std::stable_sort(
+            order.begin(), order.end(),
+            [&feed](std::uint32_t ia, std::uint32_t ib) {
+                const FeedItem &a = feed[ia];
+                const FeedItem &b = feed[ib];
+                if (a.t != b.t)
+                    return a.t < b.t;
+                return a.rank < b.rank;
+            });
+        for (std::uint32_t idx : order) {
+            const FeedItem &it = feed[idx];
+            switch (it.what) {
+              case FeedItem::kAdmit:
+                  ew.onAdmit(it.t, it.model, it.id);
+                  break;
+              case FeedItem::kShed:
+                  ew.onShed(it.t, it.model, it.id);
+                  break;
+              case FeedItem::kDispatch:
+                  ew.onDispatch(it.t, it.model, it.batch,
+                                it.device, it.id);
+                  break;
+              case FeedItem::kSwapBegin:
+                  ew.onSwapBegin(it.t, it.model, it.build_id);
+                  break;
+              case FeedItem::kSwapCommit:
+                  ew.onSwapCommit(it.t, it.model, it.build_id);
+                  break;
+              case FeedItem::kSwapRollback:
+                  ew.onSwapRollback(it.t, it.model, it.reason);
+                  break;
+              case FeedItem::kComplete:
+                  ew.onComplete(it.rt);
+                  break;
+            }
+        }
+        ew.finish(cfg.duration_s);
+        report.watch = ew.summary();
+        ew.writeFiles();
+
+        // Slow requests overlay the device tracks in the merged
+        // trace: one track per retained request, stage spans on
+        // the simulated clock.
+        for (std::size_t i = 0;
+             i < report.watch.slow_requests.size(); i++) {
+            const watch::RequestTrace &r =
+                report.watch.slow_requests[i];
+            auto span = [&](const char *stage, double a,
+                            double b) {
+                profile::SimSpan s;
+                s.name = "r" + std::to_string(r.id) + " " + stage;
+                s.track = static_cast<int>(i);
+                s.start_s = a;
+                s.end_s = b;
+                s.args = {
+                    {"model", model_names[static_cast<std::size_t>(
+                                  r.model)]},
+                    {"batch", std::to_string(r.batch)},
+                    {"device", std::to_string(r.device)}};
+                watch_spans.push_back(std::move(s));
+            };
+            span("queue", r.arrival_s, r.dispatch_s);
+            span("dispatch_wait", r.dispatch_s, r.begin_s);
+            span("upload", r.begin_s, r.upload_done_s);
+            span("compute", r.upload_done_s, r.compute_done_s);
+            span("download", r.compute_done_s, r.done_s);
+        }
+    }
+
     if (!cfg.trace_out.empty()) {
         std::vector<profile::NamedTrace> device_traces;
         for (int d = 0; d < n_devices; d++) {
@@ -1159,7 +1385,7 @@ runServer(const ServeConfig &cfg)
         }
         profile::saveMergedChromeTrace(
             cfg.trace_out, obs::Tracer::global().spans(),
-            device_traces);
+            device_traces, watch_spans, "watch: slow requests");
     }
 
     return report;
@@ -1261,7 +1487,52 @@ ServeReport::toJson() const
         os << "    }" << (i + 1 < devices.size() ? "," : "")
            << "\n";
     }
-    os << "  ]\n";
+    os << "  ]";
+    // Trailing key so watch-off reports keep their pre-watch bytes.
+    if (watch.enabled) {
+        os << ",\n  \"watch\": {\n";
+        os << "    \"admitted\": " << watch.admitted << ",\n";
+        os << "    \"shed\": " << watch.shed << ",\n";
+        os << "    \"completed\": " << watch.completed << ",\n";
+        os << "    \"page_alerts\": " << watch.page_alerts
+           << ",\n";
+        os << "    \"warn_alerts\": " << watch.warn_alerts
+           << ",\n";
+        os << "    \"clear_alerts\": " << watch.clear_alerts
+           << ",\n";
+        os << "    \"anomalies\": " << watch.anomalies << ",\n";
+        os << "    \"incidents\": " << watch.incidents << ",\n";
+        os << "    \"first_page_s\": "
+           << jsonNumber(watch.first_page_s) << ",\n";
+        os << "    \"models\": [\n";
+        for (std::size_t i = 0; i < watch.models.size(); i++) {
+            const watch::ModelWatchStats &m = watch.models[i];
+            os << "      {\"model\": \"" << jsonEscape(m.model)
+               << "\", \"tier\": \""
+               << watch::alertTierName(m.tier)
+               << "\", \"burn_fast\": " << jsonNumber(m.burn.fast)
+               << ", \"burn_mid\": " << jsonNumber(m.burn.mid)
+               << ", \"burn_slow\": " << jsonNumber(m.burn.slow)
+               << ", \"observed\": " << m.observed
+               << ", \"bad\": " << m.bad
+               << ", \"stage_mean_ms\": {\"queue\": "
+               << jsonNumber(m.queue_mean_ms)
+               << ", \"dispatch_wait\": "
+               << jsonNumber(m.dispatch_wait_mean_ms)
+               << ", \"upload\": " << jsonNumber(m.upload_mean_ms)
+               << ", \"compute\": "
+               << jsonNumber(m.compute_mean_ms)
+               << ", \"download\": "
+               << jsonNumber(m.download_mean_ms)
+               << ", \"total\": " << jsonNumber(m.total_mean_ms)
+               << "}}"
+               << (i + 1 < watch.models.size() ? "," : "") << "\n";
+        }
+        os << "    ]\n";
+        os << "  }\n";
+    } else {
+        os << "\n";
+    }
     os << "}\n";
     return os.str();
 }

@@ -36,6 +36,7 @@
 #include "serve/queue.hh"
 #include "serve/request.hh"
 #include "serve/workload.hh"
+#include "watch/watch.hh"
 
 namespace edgert::serve {
 
@@ -156,6 +157,15 @@ struct ServeConfig
 
     /** Mid-run engine hot-swaps to execute (empty = none). */
     std::vector<SwapSpec> swaps;
+
+    /**
+     * EdgeWatch: request-scoped tracing, sliding-window SLO burn
+     * rates with page/warn alerts, flight-recorder incident dumps
+     * and F4/F5 latency-inversion detection. watch.enabled = false
+     * (the default) leaves the run — report bytes included —
+     * exactly as before.
+     */
+    watch::WatchConfig watch;
 };
 
 /** Per-engine-version serving outcome within one model. */
@@ -246,6 +256,11 @@ struct ServeReport
     bool dynamic_batching = false;
     std::vector<ModelStats> models;
     std::vector<DeviceStats> devices;
+
+    /** EdgeWatch outcome; serialized (as a trailing "watch" key)
+     *  only when watch.enabled, so watch-off reports keep their
+     *  pre-watch bytes. */
+    watch::WatchSummary watch;
 
     /** Canonical JSON (deterministic field order and numbers). */
     std::string toJson() const;

@@ -1,0 +1,68 @@
+#include "watch/recorder.hh"
+
+#include "common/logging.hh"
+
+namespace edgert::watch {
+
+const char *
+flightEventKindName(FlightEvent::Kind kind)
+{
+    switch (kind) {
+      case FlightEvent::kAdmit: return "admit";
+      case FlightEvent::kShed: return "shed";
+      case FlightEvent::kDispatch: return "dispatch";
+      case FlightEvent::kComplete: return "complete";
+      case FlightEvent::kSwapBegin: return "swap_begin";
+      case FlightEvent::kSwapCommit: return "swap_commit";
+      case FlightEvent::kSwapRollback: return "swap_rollback";
+      case FlightEvent::kAlert: return "alert";
+      case FlightEvent::kAnomaly: return "anomaly";
+    }
+    return "unknown";
+}
+
+FlightRecorder::FlightRecorder(int depth) : depth_(depth)
+{
+    if (depth < 1)
+        fatal("FlightRecorder depth must be at least 1 (got ",
+              depth, ")");
+    ring_.reserve(static_cast<std::size_t>(depth));
+}
+
+void
+FlightRecorder::record(const FlightEvent &event)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(ring_.size()) < depth_)
+        ring_.push_back(event);
+    else
+        ring_[static_cast<std::size_t>(total_ % depth_)] = event;
+    total_++;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FlightEvent> out;
+    out.reserve(ring_.size());
+    if (static_cast<int>(ring_.size()) < depth_) {
+        out = ring_;
+    } else {
+        // The slot total_ % depth_ holds the oldest event.
+        std::size_t start =
+            static_cast<std::size_t>(total_ % depth_);
+        for (std::size_t i = 0; i < ring_.size(); i++)
+            out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+std::int64_t
+FlightRecorder::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+} // namespace edgert::watch

@@ -1,0 +1,79 @@
+#ifndef EDGERT_WATCH_RECORDER_HH
+#define EDGERT_WATCH_RECORDER_HH
+
+/**
+ * @file
+ * FlightRecorder: a fixed-size ring of recent structured serving
+ * events (admissions, sheds, dispatches, swaps, alerts). The ring
+ * keeps only the last `depth` events, so an incident dump shows the
+ * run-up to an alert or swap failure without unbounded memory — the
+ * same idea as an aircraft flight recorder.
+ *
+ * Recording is mutex-guarded so event producers on different threads
+ * (e.g. a future multi-threaded admission path) can share one
+ * recorder; the EdgeServe feed itself is single-threaded and
+ * deterministic, so snapshots taken at the same simulated time are
+ * byte-identical across runs.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace edgert::watch {
+
+/** One structured event in the flight-recorder ring. */
+struct FlightEvent
+{
+    enum Kind {
+        kAdmit,
+        kShed,
+        kDispatch,
+        kComplete,
+        kSwapBegin,
+        kSwapCommit,
+        kSwapRollback,
+        kAlert,
+        kAnomaly,
+    };
+
+    double t_s = 0.0;     //!< simulated time of the event
+    Kind kind = kAdmit;
+    std::string model;    //!< model name ("" when not model-scoped)
+    std::int64_t id = -1; //!< request id (-1 when not request-scoped)
+    int batch = 0;        //!< dispatch batch size (0 otherwise)
+    int device = -1;      //!< device index (-1 when fleet-wide)
+    std::string detail;   //!< free-form context ("" when none)
+};
+
+/** Stable wire name of a FlightEvent kind ("admit", "shed", ...). */
+const char *flightEventKindName(FlightEvent::Kind kind);
+
+/** Fixed-depth ring buffer of FlightEvents. */
+class FlightRecorder
+{
+  public:
+    /** @param depth Events retained; older ones are overwritten. */
+    explicit FlightRecorder(int depth);
+
+    void record(const FlightEvent &event);
+
+    /** The retained events, oldest first. */
+    std::vector<FlightEvent> snapshot() const;
+
+    /** Events ever recorded (including overwritten ones). */
+    std::int64_t totalRecorded() const;
+
+    int depth() const { return depth_; }
+
+  private:
+    mutable std::mutex mu_;
+    const int depth_;
+    std::vector<FlightEvent> ring_; //!< ring_[total_ % depth_] next
+    std::int64_t total_ = 0;
+};
+
+} // namespace edgert::watch
+
+#endif // EDGERT_WATCH_RECORDER_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Concurrency tests for the observability layer: metric recording
+ * racing snapshots, and flight-recorder writes racing snapshots.
+ * These are the suites the ThreadSanitizer CI job
+ * (-DEDGERT_SANITIZE=thread) leans on — the assertions here are
+ * deliberately loose (no torn state, conserved totals); the
+ * sanitizer provides the strict part.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "obs/metrics.hh"
+#include "watch/recorder.hh"
+
+using namespace edgert;
+using namespace edgert::obs;
+
+namespace {
+
+TEST(MetricConcurrency, RecordingRacesSnapshotsSafely)
+{
+    MetricRegistry reg;
+    Counter c = reg.counter("x.count");
+    Gauge g = reg.gauge("x.level_pct");
+    Histogram h = reg.histogram("x.duration_us");
+
+    constexpr int kWriters = 4;
+    constexpr int kOps = 5000;
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; t++)
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < kOps; i++) {
+                c.add();
+                g.set(static_cast<double>(i));
+                h.record(static_cast<double>(t * kOps + i + 1));
+            }
+        });
+
+    // Snapshot continuously while the writers hammer the cells:
+    // every snapshot must be well-formed JSON (and prom text must
+    // render) regardless of interleaving.
+    std::thread reader([&] {
+        std::string err;
+        while (!stop.load(std::memory_order_relaxed)) {
+            EXPECT_TRUE(jsonValid(reg.toJson(), &err)) << err;
+            EXPECT_FALSE(reg.toPromText().empty());
+        }
+    });
+
+    for (auto &w : writers)
+        w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(c.value(), kWriters * kOps);
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kWriters * kOps));
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(),
+                     static_cast<double>(kWriters * kOps));
+}
+
+TEST(MetricConcurrency, HandleCreationRacesSafely)
+{
+    MetricRegistry reg;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 200; i++) {
+                reg.counter("x.count",
+                            {{"k", std::to_string(i % 8)}})
+                    .add();
+                reg.histogram("x.duration_us").record(1.0);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    // 8 labeled counters + 1 histogram.
+    EXPECT_EQ(reg.size(), 9u);
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(reg.counter("x.count",
+                              {{"k", std::to_string(i)}})
+                      .value(),
+                  100);
+}
+
+TEST(FlightRecorderConcurrency, WritersRaceSnapshotsSafely)
+{
+    watch::FlightRecorder rec(64);
+    constexpr int kWriters = 4;
+    constexpr int kEvents = 4000;
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; t++)
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < kEvents; i++) {
+                watch::FlightEvent e;
+                e.t_s = i;
+                e.id = t * kEvents + i;
+                e.model = "m";
+                rec.record(e);
+            }
+        });
+
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::vector<watch::FlightEvent> snap = rec.snapshot();
+            EXPECT_LE(snap.size(), 64u);
+            for (const auto &e : snap)
+                EXPECT_EQ(e.model, "m"); // never a torn event
+        }
+    });
+
+    for (auto &w : writers)
+        w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(rec.totalRecorded(), kWriters * kEvents);
+    EXPECT_EQ(rec.snapshot().size(), 64u);
+}
+
+} // namespace

@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/json.hh"
 #include "core/builder.hh"
@@ -24,6 +27,7 @@
 #include "obs/trace.hh"
 #include "profile/trace_export.hh"
 #include "runtime/context.hh"
+#include "serve/server.hh"
 
 namespace edgert {
 namespace {
@@ -225,6 +229,59 @@ TEST(ObsE2E, RuntimeCountsInferencesAndUploadBytes)
                            {"dir", "h2d"}})
                   .value(),
               0);
+}
+
+TEST(ObsE2E, EveryEmittedArtifactIsRfc8259Json)
+{
+    // An overloaded watched serve run emits every artifact kind the
+    // observability stack produces: the serve report, the watch
+    // report, flight-recorder incident files, the merged
+    // chrome-trace timeline and the metric-registry snapshot. Each
+    // one must parse as RFC-8259 JSON — no trailing commas, bare
+    // NaNs or unescaped control characters anywhere.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) / "obs_e2e_watch";
+    fs::create_directories(dir);
+
+    MetricRegistry::global().reset();
+    serve::ServeConfig cfg;
+    serve::ModelConfig mc;
+    mc.model = "alexnet";
+    mc.slo_ms = 10.0;
+    mc.arrivals.qps = 900;
+    mc.batching.max_batch = 4;
+    cfg.models.push_back(mc);
+    cfg.devices.push_back(serve::parseDevice("nx"));
+    cfg.duration_s = 0.5;
+    cfg.trace_out = (dir / "trace.json").string();
+    cfg.watch.enabled = true;
+    cfg.watch.out_path = (dir / "watch.json").string();
+    cfg.watch.incident_prefix = (dir / "watch.").string();
+
+    serve::ServeReport rep = serve::runServer(cfg);
+    {
+        std::ofstream f(dir / "report.json");
+        f << rep.toJson();
+    }
+    MetricRegistry::global().save((dir / "metrics.json").string());
+
+    EXPECT_GE(rep.watch.incidents, 1)
+        << "overload scenario produced no incident file";
+
+    std::vector<fs::path> files;
+    for (const auto &ent : fs::directory_iterator(dir))
+        files.push_back(ent.path());
+    EXPECT_GE(files.size(), 5u); // report, watch, trace, metrics,
+                                 // >=1 incident
+    for (const fs::path &p : files) {
+        std::ifstream f(p);
+        std::ostringstream os;
+        os << f.rdbuf();
+        std::string error;
+        EXPECT_TRUE(jsonValid(os.str(), &error))
+            << p.filename() << ": " << error;
+    }
+    fs::remove_all(dir);
 }
 
 } // namespace

@@ -190,3 +190,132 @@ TEST(MetricRegistry, GlobalIsSingleton)
 {
     EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
 }
+
+TEST(Histogram, SmallSamplePercentilesAreExact)
+{
+    MetricRegistry reg;
+    Histogram h = reg.histogram("x.duration_us");
+    // Well under kExactCap: nearest-rank over the raw values, not
+    // the ~33%-wide geometric-midpoint bucket estimate.
+    for (double v : {7.0, 3.0, 11.0, 5.0, 9.0})
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 11.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 11.0);
+}
+
+TEST(Histogram, ExactnessEndsPastTheCap)
+{
+    MetricRegistry reg;
+    Histogram h = reg.histogram("x.duration_us");
+    int cap = metrics_detail::HistogramCell::kExactCap;
+    for (int i = 1; i <= cap; i++)
+        h.record(static_cast<double>(i));
+    // At the cap the median is still the exact nearest-rank value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50),
+                     static_cast<double>(cap / 2));
+
+    std::string at_cap = reg.toJson();
+    EXPECT_NE(at_cap.find("\"exact\": true"), std::string::npos);
+
+    h.record(static_cast<double>(cap + 1));
+    std::string past_cap = reg.toJson();
+    EXPECT_NE(past_cap.find("\"exact\": false"),
+              std::string::npos);
+    // Estimation degrades gracefully to the bucketed path.
+    EXPECT_NEAR(h.percentile(0.50),
+                static_cast<double>(cap) / 2.0,
+                static_cast<double>(cap) / 2.0 * 0.35);
+}
+
+TEST(Histogram, ResetRestoresExactness)
+{
+    MetricRegistry reg;
+    Histogram h = reg.histogram("x.duration_us");
+    int cap = metrics_detail::HistogramCell::kExactCap;
+    for (int i = 0; i < cap + 10; i++)
+        h.record(1.0);
+    reg.reset();
+    h.record(42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 42.0);
+    EXPECT_NE(reg.toJson().find("\"exact\": true"),
+              std::string::npos);
+}
+
+TEST(PromText, RendersCountersGaugesAndSummaries)
+{
+    MetricRegistry reg;
+    reg.counter("serve.requests.total", {{"model", "alexnet"}})
+        .add(12);
+    reg.gauge("serve.device.util_pct").set(37.5);
+    Histogram h =
+        reg.histogram("serve.latency_ms", {{"model", "alexnet"}});
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        h.record(v);
+
+    std::string text = reg.toPromText();
+    EXPECT_NE(text.find("# TYPE serve_requests_total counter\n"
+                        "serve_requests_total{model=\"alexnet\"} "
+                        "12\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_device_util_pct gauge\n"
+                        "serve_device_util_pct 37.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_latency_ms summary"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("serve_latency_ms{model=\"alexnet\","
+                  "quantile=\"0.5\"} 2\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("serve_latency_ms_sum{model=\"alexnet\"} "
+                        "10\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("serve_latency_ms_count{model=\"alexnet\"} 4\n"),
+        std::string::npos);
+}
+
+TEST(PromText, OneTypeLinePerFamilyAcrossLabelSets)
+{
+    MetricRegistry reg;
+    reg.counter("b.count", {{"device", "NX"}}).add(1);
+    // Canonical key order puts `b.countx` between `b.count{...}`
+    // rows only in JSON; prom output must still group the family.
+    reg.counter("b.countx").add(2);
+    reg.counter("b.count", {{"device", "AGX"}}).add(3);
+
+    std::string text = reg.toPromText();
+    std::size_t first = text.find("# TYPE b_count counter");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find("# TYPE b_count counter", first + 1),
+              std::string::npos);
+    EXPECT_NE(text.find("b_count{device=\"AGX\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("b_count{device=\"NX\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE b_countx counter"),
+              std::string::npos);
+}
+
+TEST(PromText, EscapesLabelValuesAndSanitizesNames)
+{
+    MetricRegistry reg;
+    reg.counter("serve.engine.load_failures",
+                {{"model", "res\"net\\v2\nx"}})
+        .add(1);
+    std::string text = reg.toPromText();
+    EXPECT_NE(text.find("serve_engine_load_failures{model="
+                        "\"res\\\"net\\\\v2\\nx\"} 1"),
+              std::string::npos);
+}
+
+TEST(PromText, PrefixFilterUsesCanonicalKeys)
+{
+    MetricRegistry reg;
+    reg.counter("deploy.repo.puts").add(1);
+    reg.counter("builder.builds").add(1);
+    std::string text = reg.toPromText({"deploy."});
+    EXPECT_NE(text.find("deploy_repo_puts 1"), std::string::npos);
+    EXPECT_EQ(text.find("builder_builds"), std::string::npos);
+}

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * EdgeWatch tests: sliding-window burn-rate math and edge-triggered
+ * alert tiers, flight-recorder ring semantics, latency-inversion
+ * anomaly detection, incident-dump determinism, and the end-to-end
+ * serve integration — a clean scenario must fire no page alert, an
+ * induced overload must page and dump an incident, and same-seed
+ * runs must produce byte-identical watch reports and incidents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "serve/server.hh"
+#include "watch/anomaly.hh"
+#include "watch/recorder.hh"
+#include "watch/slo.hh"
+#include "watch/watch.hh"
+
+namespace edgert::watch {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream f(p);
+    EXPECT_TRUE(f.good()) << "cannot read " << p;
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+TEST(SlidingWindow, ForgetsOutcomesPastItsSpan)
+{
+    SlidingWindow w(1.0);
+    w.add(0.0, true);
+    w.add(0.5, false);
+    EXPECT_EQ(w.total(), 2);
+    EXPECT_EQ(w.bad(), 1);
+    EXPECT_DOUBLE_EQ(w.badFraction(), 0.5);
+
+    w.advanceTo(2.0); // both outcomes now older than the span
+    EXPECT_EQ(w.total(), 0);
+    EXPECT_DOUBLE_EQ(w.badFraction(), 0.0);
+}
+
+TEST(SloTracker, MultiWindowRejectsBlipsThenPagesAndClears)
+{
+    SloTracker::Config cfg; // objective 99% -> budget 0.01
+    SloTracker tr("m", cfg);
+    EXPECT_NEAR(tr.errorBudget(), 0.01, 1e-12);
+
+    // A healthy baseline fills the mid/slow windows with goods.
+    for (int i = 0; i < 50; i++)
+        EXPECT_LT(tr.observe(i * 0.01, false).t_s, 0.0);
+    EXPECT_EQ(tr.tier(), Alert::kNone);
+
+    // A failure burst: the fast window saturates immediately, but
+    // the page needs the *mid* window over threshold too — the
+    // first bad outcomes must not page (blip rejection).
+    int pages = 0;
+    double page_t = -1.0;
+    for (int i = 0; i < 20; i++) {
+        Alert a = tr.observe(2.0 + i * 0.01, true);
+        if (a.t_s >= 0.0 && a.tier == Alert::kPage) {
+            pages++;
+            page_t = a.t_s;
+            EXPECT_GE(a.burn.fast, cfg.page_burn);
+            EXPECT_GE(a.burn.mid, cfg.page_burn);
+            EXPECT_GT(i, 0) << "paged on the first bad outcome";
+        }
+    }
+    EXPECT_EQ(pages, 1) << "page must be edge-triggered";
+    EXPECT_EQ(tr.tier(), Alert::kPage);
+    EXPECT_GE(page_t, 2.0);
+
+    // Recovery: once the bad burst leaves the mid window, the next
+    // good observation clears the tier (one transition alert).
+    Alert clear = tr.observe(15.0, false);
+    EXPECT_GE(clear.t_s, 0.0);
+    EXPECT_EQ(clear.tier, Alert::kNone);
+    EXPECT_EQ(tr.tier(), Alert::kNone);
+}
+
+TEST(SloTracker, SustainedModerateBurnWarnsWithoutPaging)
+{
+    SloTracker::Config cfg;
+    SloTracker tr("m", cfg);
+    int warns = 0, pages = 0;
+    // 1 bad in 11 => fraction ~0.091: burn 9.1 is over the warn
+    // threshold (6) but under the page threshold (14.4).
+    for (int i = 0; i < 440; i++) {
+        Alert a = tr.observe(i * 0.01, i % 11 == 10);
+        if (a.t_s < 0.0)
+            continue;
+        if (a.tier == Alert::kWarn)
+            warns++;
+        if (a.tier == Alert::kPage)
+            pages++;
+    }
+    EXPECT_GE(warns, 1);
+    EXPECT_EQ(pages, 0);
+    EXPECT_EQ(tr.tier(), Alert::kWarn);
+}
+
+TEST(FlightRecorder, RingKeepsTheLastDepthEventsOldestFirst)
+{
+    FlightRecorder rec(4);
+    for (int i = 0; i < 10; i++) {
+        FlightEvent e;
+        e.t_s = i;
+        e.id = i;
+        rec.record(e);
+    }
+    EXPECT_EQ(rec.totalRecorded(), 10);
+    std::vector<FlightEvent> got = rec.snapshot();
+    ASSERT_EQ(got.size(), 4u);
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)].id, 6 + i);
+}
+
+TEST(FlightRecorder, DepthOneKeepsOnlyTheNewestEvent)
+{
+    FlightRecorder rec(1);
+    for (int i = 0; i < 3; i++) {
+        FlightEvent e;
+        e.id = i;
+        rec.record(e);
+    }
+    std::vector<FlightEvent> got = rec.snapshot();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].id, 2);
+}
+
+TEST(AnomalyDetector, FlagsCapabilityOrderInversionOnce)
+{
+    AnomalyDetector::Config cfg;
+    // Device 1 has twice the capability score of device 0 but will
+    // observe twice the latency: the paper's F4/F5 inversion.
+    AnomalyDetector det(cfg, {"weak", "strong"}, {10.0, 20.0});
+    int findings = 0;
+    for (int i = 0; i < 2 * cfg.min_samples; i++) {
+        det.observe(i * 0.01, "m", 0, 5.0);
+        auto f = det.observe(i * 0.01, "m", 1, 10.0);
+        if (f) {
+            findings++;
+            EXPECT_EQ(f->fast_device, 0);
+            EXPECT_EQ(f->slow_device, 1);
+            EXPECT_EQ(f->fast_device_name, "weak");
+            EXPECT_EQ(f->slow_device_name, "strong");
+            EXPECT_DOUBLE_EQ(f->fast_median_ms, 5.0);
+            EXPECT_DOUBLE_EQ(f->slow_median_ms, 10.0);
+            EXPECT_NEAR(f->margin_pct, 100.0, 1e-9);
+        }
+    }
+    EXPECT_EQ(findings, 1) << "one finding per (model, pair)";
+    EXPECT_EQ(det.findings().size(), 1u);
+}
+
+TEST(AnomalyDetector, ExpectedOrderingAndSmallSamplesStaySilent)
+{
+    AnomalyDetector::Config cfg;
+    AnomalyDetector det(cfg, {"weak", "strong"}, {10.0, 20.0});
+    // Strong device faster, as capability predicts: no finding.
+    for (int i = 0; i < 2 * cfg.min_samples; i++) {
+        EXPECT_FALSE(det.observe(i * 0.01, "m", 0, 10.0));
+        EXPECT_FALSE(det.observe(i * 0.01, "m", 1, 5.0));
+    }
+    // Inverted but under min_samples: still no finding.
+    for (int i = 0; i < cfg.min_samples - 1; i++) {
+        det.observe(i * 0.01, "n", 0, 5.0);
+        EXPECT_FALSE(det.observe(i * 0.01, "n", 1, 10.0));
+    }
+}
+
+/** Synthetic overload feed: pages, dumps an incident, and the whole
+ *  artifact set is byte-deterministic. */
+void
+driveWatch(EdgeWatch &ew)
+{
+    std::int64_t id = 0;
+    for (int i = 0; i < 50; i++) {
+        ew.onAdmit(i * 0.01, 0, id);
+        RequestTrace rt;
+        rt.id = id++;
+        rt.model = 0;
+        rt.device = 0;
+        rt.arrival_s = i * 0.01;
+        rt.dispatch_s = rt.arrival_s + 0.001;
+        rt.begin_s = rt.dispatch_s + 0.0005;
+        rt.upload_done_s = rt.begin_s + 0.0005;
+        rt.compute_done_s = rt.upload_done_s + 0.002;
+        rt.done_s = rt.compute_done_s + 0.0005;
+        ew.onComplete(rt);
+    }
+    for (int i = 0; i < 30; i++)
+        ew.onShed(1.0 + i * 0.01, 0, id++);
+    ew.onSwapBegin(2.0, 0, 7);
+    ew.onSwapRollback(2.1, 0, "latency_regression");
+    ew.finish(3.0);
+}
+
+TEST(EdgeWatch, OverloadPagesAndDumpsByteIdenticalIncidents)
+{
+    WatchConfig cfg;
+    cfg.enabled = true;
+    EdgeWatch a(cfg, {"m"}, {10.0}, {"d0"}, {1.0});
+    EdgeWatch b(cfg, {"m"}, {10.0}, {"d0"}, {1.0});
+    driveWatch(a);
+    driveWatch(b);
+
+    EXPECT_GE(a.summary().page_alerts, 1);
+    EXPECT_GE(a.summary().first_page_s, 0.0);
+    // One incident for the page, one for the swap rollback.
+    ASSERT_GE(a.incidents().size(), 2u);
+    EXPECT_EQ(a.incidents()[0].first, "000-page_alert.json");
+
+    EXPECT_EQ(a.reportJson(), b.reportJson());
+    ASSERT_EQ(a.incidents().size(), b.incidents().size());
+    for (std::size_t i = 0; i < a.incidents().size(); i++) {
+        EXPECT_EQ(a.incidents()[i].first, b.incidents()[i].first);
+        EXPECT_EQ(a.incidents()[i].second,
+                  b.incidents()[i].second);
+    }
+
+    std::string err;
+    EXPECT_TRUE(jsonValid(a.reportJson(), &err)) << err;
+    for (const auto &[name, content] : a.incidents())
+        EXPECT_TRUE(jsonValid(content, &err)) << name << ": " << err;
+}
+
+TEST(EdgeWatch, IncidentCapCountsWithoutDumping)
+{
+    WatchConfig cfg;
+    cfg.enabled = true;
+    cfg.max_incidents = 2;
+    EdgeWatch ew(cfg, {"m"}, {10.0}, {"d0"}, {1.0});
+    for (int i = 0; i < 5; i++)
+        ew.onSwapRollback(i * 0.1, 0, "load_failure");
+    ew.finish(1.0);
+    EXPECT_EQ(ew.incidents().size(), 2u);
+    EXPECT_EQ(ew.summary().incidents, 5);
+}
+
+// ---------------------------------------------------------------
+// Serve-path integration.
+// ---------------------------------------------------------------
+
+serve::ServeConfig
+watchedConfig(double qps, double slo_ms)
+{
+    serve::ServeConfig cfg;
+    serve::ModelConfig mc;
+    mc.model = "alexnet";
+    mc.slo_ms = slo_ms;
+    mc.arrivals.qps = qps;
+    mc.batching.max_batch = 4;
+    cfg.models.push_back(mc);
+    cfg.devices.push_back(serve::parseDevice("nx"));
+    cfg.duration_s = 0.5;
+    cfg.watch.enabled = true;
+    return cfg;
+}
+
+TEST(ServeWatch, CleanScenarioFiresNoPageAlert)
+{
+    serve::ServeReport rep = serve::runServer(watchedConfig(150, 50));
+    ASSERT_TRUE(rep.watch.enabled);
+    EXPECT_EQ(rep.watch.page_alerts, 0);
+    EXPECT_EQ(rep.watch.incidents, 0);
+    EXPECT_LT(rep.watch.first_page_s, 0.0);
+    EXPECT_EQ(rep.watch.admitted + rep.watch.shed,
+              rep.models.front().offered);
+    EXPECT_EQ(rep.watch.completed, rep.models.front().completed);
+
+    // Stage attribution covers the full latency: the stage means
+    // must sum to the end-to-end mean.
+    ASSERT_EQ(rep.watch.models.size(), 1u);
+    const ModelWatchStats &m = rep.watch.models.front();
+    EXPECT_GT(m.compute_mean_ms, 0.0);
+    EXPECT_NEAR(m.queue_mean_ms + m.dispatch_wait_mean_ms +
+                    m.upload_mean_ms + m.compute_mean_ms +
+                    m.download_mean_ms,
+                m.total_mean_ms, 1e-6);
+
+    // The slowest retained request is the report's max latency.
+    ASSERT_FALSE(rep.watch.slow_requests.empty());
+    EXPECT_NEAR(rep.watch.slow_requests.front().totalMs(),
+                rep.models.front().max_ms, 1e-6);
+}
+
+TEST(ServeWatch, InducedOverloadPagesWithFlightRecorderDump)
+{
+    serve::ServeReport rep = serve::runServer(watchedConfig(900, 10));
+    ASSERT_TRUE(rep.watch.enabled);
+    EXPECT_GE(rep.watch.page_alerts, 1);
+    EXPECT_GE(rep.watch.first_page_s, 0.0);
+    EXPECT_LE(rep.watch.first_page_s, 0.5);
+    EXPECT_GE(rep.watch.incidents, 1);
+    EXPECT_GT(rep.watch.shed, 0);
+}
+
+TEST(ServeWatch, WatchTogglePreservesReportBytes)
+{
+    serve::ServeConfig cfg = watchedConfig(300, 20);
+    serve::ServeConfig off_cfg = cfg;
+    off_cfg.watch.enabled = false;
+
+    std::string on = serve::runServer(cfg).toJson();
+    std::string off = serve::runServer(off_cfg).toJson();
+
+    EXPECT_EQ(off.find("\"watch\""), std::string::npos);
+    std::size_t pos = on.find(",\n  \"watch\": {");
+    ASSERT_NE(pos, std::string::npos);
+    // Everything before the trailing watch key must be the exact
+    // watch-off document (minus its closing "\n}\n").
+    ASSERT_GT(off.size(), 3u);
+    EXPECT_EQ(on.substr(0, pos), off.substr(0, off.size() - 3));
+
+    std::string err;
+    EXPECT_TRUE(jsonValid(on, &err)) << err;
+}
+
+TEST(ServeWatch, SameSeedRunsProduceByteIdenticalArtifacts)
+{
+    fs::path dir1 =
+        fs::path(::testing::TempDir()) / "edgewatch_run1";
+    fs::path dir2 =
+        fs::path(::testing::TempDir()) / "edgewatch_run2";
+    fs::create_directories(dir1);
+    fs::create_directories(dir2);
+
+    auto run = [](const fs::path &dir) {
+        serve::ServeConfig cfg = watchedConfig(900, 10);
+        cfg.watch.out_path = (dir / "watch.json").string();
+        cfg.watch.incident_prefix = (dir / "watch.").string();
+        return serve::runServer(cfg);
+    };
+    serve::ServeReport r1 = run(dir1);
+    serve::ServeReport r2 = run(dir2);
+    EXPECT_EQ(r1.toJson(), r2.toJson());
+
+    std::string w1 = slurp(dir1 / "watch.json");
+    std::string w2 = slurp(dir2 / "watch.json");
+    EXPECT_EQ(w1, w2);
+    std::string err;
+    EXPECT_TRUE(jsonValid(w1, &err)) << err;
+
+    std::vector<fs::path> incidents;
+    for (const auto &ent : fs::directory_iterator(dir1))
+        if (ent.path().filename() != "watch.json")
+            incidents.push_back(ent.path());
+    ASSERT_FALSE(incidents.empty());
+    std::sort(incidents.begin(), incidents.end());
+    for (const fs::path &p : incidents) {
+        std::string c1 = slurp(p);
+        std::string c2 = slurp(dir2 / p.filename());
+        EXPECT_EQ(c1, c2) << p.filename();
+        EXPECT_TRUE(jsonValid(c1, &err))
+            << p.filename() << ": " << err;
+    }
+
+    fs::remove_all(dir1);
+    fs::remove_all(dir2);
+}
+
+} // namespace
+} // namespace edgert::watch

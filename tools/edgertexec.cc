@@ -75,7 +75,8 @@ struct Args
     bool quiet = false;        //!< log level kWarn
     bool verbose = false;      //!< log level kDebug
     bool trace_build = false;  //!< span-trace the build phases
-    std::string metrics_out;   //!< metric snapshot JSON path
+    std::string metrics_out;   //!< metric snapshot path
+    std::string metrics_format = "json"; //!< json | prom
     std::string dump_dot;   //!< write the model graph as .dot
     std::string dump_trace; //!< write a chrome://tracing timeline
 };
@@ -124,8 +125,10 @@ usage()
         "                        trace.json); open in\n"
         "                        chrome://tracing\n"
         "  --metrics-out <f>     write the metric-registry snapshot\n"
-        "                        (counters, gauges, histograms) as\n"
-        "                        JSON\n"
+        "                        (counters, gauges, histograms)\n"
+        "  --metrics-format <f>  snapshot format: json (default) "
+        "or\n"
+        "                        prom (Prometheus text exposition)\n"
         "  --dump-dot <f>        write the model graph (Graphviz)\n"
         "  --dump-trace <f>      write a chrome://tracing timeline\n"
         "  --list                list zoo models\n"
@@ -180,7 +183,13 @@ parse(int argc, char **argv)
             a.trace_build = true;
         else if (flags.is("--metrics-out"))
             a.metrics_out = flags.value();
-        else if (flags.is("--dump-dot"))
+        else if (flags.is("--metrics-format")) {
+            a.metrics_format = flags.value();
+            if (a.metrics_format != "json" &&
+                a.metrics_format != "prom")
+                fatal("invalid value '", a.metrics_format,
+                      "' for --metrics-format: expected json|prom");
+        } else if (flags.is("--dump-dot"))
             a.dump_dot = flags.value();
         else if (flags.is("--dump-trace"))
             a.dump_trace = flags.value();
@@ -410,9 +419,13 @@ run(int argc, char **argv)
     }
 
     if (!args.metrics_out.empty()) {
-        obs::MetricRegistry::global().save(args.metrics_out);
-        say("[edgertexec] metrics written to %s\n",
-                    args.metrics_out.c_str());
+        if (args.metrics_format == "prom")
+            obs::MetricRegistry::global().savePromText(
+                args.metrics_out);
+        else
+            obs::MetricRegistry::global().save(args.metrics_out);
+        say("[edgertexec] metrics written to %s (%s)\n",
+            args.metrics_out.c_str(), args.metrics_format.c_str());
     }
     return 0;
 }

@@ -138,6 +138,7 @@ struct Args
 {
     serve::ServeConfig cfg;
     std::string metrics_out;
+    std::string metrics_format = "json"; //!< json | prom
     std::string report_out;
     bool quiet = false;
 
@@ -200,6 +201,20 @@ usage()
         "  --report-out <f>      write the serve report JSON\n"
         "  --metrics-out <f>     write the metric-registry "
         "snapshot\n"
+        "  --metrics-format <f>  snapshot format: json (default) "
+        "or\n"
+        "                        prom (Prometheus text "
+        "exposition)\n"
+        "  --watch-out <f>       enable EdgeWatch; write the watch\n"
+        "                        report here (incidents land next "
+        "to\n"
+        "                        it as <f minus .json>.NNN-"
+        "<reason>.json)\n"
+        "  --slo-alert-pct <x>   SLO objective for the burn-rate\n"
+        "                        alerts, percent (default 99)\n"
+        "  --flight-recorder-depth <n>\n"
+        "                        flight-recorder ring size "
+        "(default 256)\n"
         "  --dump-trace <f>      write a merged chrome://tracing\n"
         "                        timeline (host spans + one "
         "process\n"
@@ -283,7 +298,38 @@ parse(int argc, char **argv)
             a.report_out = flags.value();
         else if (flags.is("--metrics-out"))
             a.metrics_out = flags.value();
-        else if (flags.is("--dump-trace")) {
+        else if (flags.is("--metrics-format")) {
+            a.metrics_format = flags.value();
+            if (a.metrics_format != "json" &&
+                a.metrics_format != "prom")
+                fatal("invalid value '", a.metrics_format,
+                      "' for --metrics-format: expected json|prom");
+        } else if (flags.is("--watch-out")) {
+            std::string f = flags.value();
+            a.cfg.watch.enabled = true;
+            a.cfg.watch.out_path = f;
+            std::string stem = f;
+            const std::string ext = ".json";
+            if (stem.size() > ext.size() &&
+                stem.compare(stem.size() - ext.size(), ext.size(),
+                             ext) == 0)
+                stem.resize(stem.size() - ext.size());
+            a.cfg.watch.incident_prefix = stem + ".";
+        } else if (flags.is("--slo-alert-pct")) {
+            double pct = flags.numberValue();
+            if (pct <= 0.0 || pct >= 100.0)
+                fatal("invalid value '", pct,
+                      "' for --slo-alert-pct: must be in (0, 100)");
+            a.cfg.watch.slo_objective_pct = pct;
+        } else if (flags.is("--flight-recorder-depth")) {
+            auto n = flags.unsignedValue();
+            if (n < 1)
+                fatal("invalid value '", n,
+                      "' for --flight-recorder-depth: must be at "
+                      "least 1");
+            a.cfg.watch.flight_recorder_depth =
+                static_cast<int>(n);
+        } else if (flags.is("--dump-trace")) {
             a.cfg.trace_out = flags.value();
             obs::Tracer::global().setEnabled(true);
         } else if (flags.is("--quiet"))
@@ -412,10 +458,27 @@ run(int argc, char **argv)
         say("[edgertserve] report written to %s\n",
             args.report_out.c_str());
     }
+    if (report.watch.enabled) {
+        say("[edgertserve] watch: %lld page / %lld warn alert(s), "
+            "%lld anomaly(ies), %lld incident(s)%s%s\n",
+            static_cast<long long>(report.watch.page_alerts),
+            static_cast<long long>(report.watch.warn_alerts),
+            static_cast<long long>(report.watch.anomalies),
+            static_cast<long long>(report.watch.incidents),
+            args.cfg.watch.out_path.empty() ? "" : ", report at ",
+            args.cfg.watch.out_path.c_str());
+        if (report.watch.first_page_s >= 0.0)
+            say("[edgertserve] watch: first page alert at %.3f s\n",
+                report.watch.first_page_s);
+    }
     if (!args.metrics_out.empty()) {
-        obs::MetricRegistry::global().save(args.metrics_out);
-        say("[edgertserve] metrics written to %s\n",
-            args.metrics_out.c_str());
+        if (args.metrics_format == "prom")
+            obs::MetricRegistry::global().savePromText(
+                args.metrics_out);
+        else
+            obs::MetricRegistry::global().save(args.metrics_out);
+        say("[edgertserve] metrics written to %s (%s)\n",
+            args.metrics_out.c_str(), args.metrics_format.c_str());
     }
     if (!args.cfg.trace_out.empty())
         say("[edgertserve] timeline written to %s (open in "
