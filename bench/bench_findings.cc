@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <iostream>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "core/builder.hh"
@@ -19,6 +21,8 @@
 #include "data/surrogate.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
+#include "report.hh"
 #include "runtime/measure.hh"
 
 namespace {
@@ -35,12 +39,20 @@ build(const std::string &model, const gpusim::DeviceSpec &dev,
     return core::Builder(dev, cfg).build(net);
 }
 
+struct Finding
+{
+    std::string id;
+    std::string title;
+    std::string evidence;
+    bool reproduced = false;
+};
+
 void
 printScorecard()
 {
     gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
     gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
-    TextTable table({"Finding", "Evidence (this run)", "Status"});
+    std::vector<Finding> findings;
 
     // --- F1: accuracy maintained ---
     {
@@ -61,8 +73,8 @@ printScorecard()
         std::snprintf(buf, sizeof(buf),
                       "top-1 err TRT %.1f%% vs unopt %.1f%%",
                       100.0 * we / ds.size(), 100.0 * wr / ds.size());
-        table.addRow({"F1 accuracy maintained", buf,
-                      we <= wr ? "REPRODUCED" : "NOT reproduced"});
+        findings.push_back(
+            {"F1", "accuracy maintained", buf, we <= wr});
     }
 
     // --- F2: non-deterministic outputs ---
@@ -82,8 +94,8 @@ printScorecard()
         std::snprintf(buf, sizeof(buf),
                       "%zu of %zu predictions differ across engines",
                       diff, ds.size());
-        table.addRow({"F2 output nondeterminism", buf,
-                      diff > 0 ? "REPRODUCED" : "NOT reproduced"});
+        findings.push_back(
+            {"F2", "output nondeterminism", buf, diff > 0});
     }
 
     // --- F3: throughput gain & concurrency ---
@@ -103,9 +115,8 @@ printScorecard()
         char buf[96];
         std::snprintf(buf, sizeof(buf), "%.0fx FPS gain over "
                       "un-optimized", f_opt / f_raw);
-        table.addRow({"F3 throughput gain", buf,
-                      f_opt / f_raw > 10.0 ? "REPRODUCED"
-                                           : "NOT reproduced"});
+        findings.push_back(
+            {"F3", "throughput gain", buf, f_opt / f_raw > 10.0});
     }
 
     // --- F4: slower on the bigger platform ---
@@ -118,10 +129,8 @@ printScorecard()
         std::snprintf(buf, sizeof(buf),
                       "resnet-18: NX %.1f ms vs AGX %.1f ms",
                       l_nx.mean_ms, l_agx.mean_ms);
-        table.addRow({"F4 slower on bigger platform", buf,
-                      l_agx.mean_ms > l_nx.mean_ms
-                          ? "REPRODUCED"
-                          : "NOT reproduced"});
+        findings.push_back({"F4", "slower on bigger platform",
+                            buf, l_agx.mean_ms > l_nx.mean_ms});
     }
 
     // --- F6: non-deterministic engine generation ---
@@ -134,13 +143,32 @@ printScorecard()
         std::snprintf(buf, sizeof(buf),
                       "%zu distinct engines from 6 rebuilds",
                       prints.size());
-        table.addRow({"F6 engine nondeterminism", buf,
-                      prints.size() > 1 ? "REPRODUCED"
-                                        : "NOT reproduced"});
+        findings.push_back({"F6", "engine nondeterminism", buf,
+                            prints.size() > 1});
     }
 
+    TextTable table({"Finding", "Evidence (this run)", "Status"});
+    for (const Finding &f : findings)
+        table.addRow({f.id + " " + f.title, f.evidence,
+                      f.reproduced ? "REPRODUCED"
+                                   : "NOT reproduced"});
     std::printf("\n=== Findings scorecard (paper Table XIV) ===\n");
     table.render(std::cout);
+
+    bench::saveBenchReport(
+        "BENCH_findings.json", "bench_findings",
+        [&](bench::JsonWriter &w) {
+            w.key("findings").beginArray();
+            for (const Finding &f : findings) {
+                w.beginObject();
+                w.field("id", f.id);
+                w.field("title", f.title);
+                w.field("evidence", f.evidence);
+                w.field("reproduced", f.reproduced);
+                w.endObject();
+            }
+            w.endArray();
+        });
 }
 
 void

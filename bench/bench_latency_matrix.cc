@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/strutil.hh"
 #include "common/table.hh"
@@ -31,6 +32,7 @@
 #include "core/timing_cache.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
+#include "report.hh"
 #include "runtime/measure.hh"
 
 namespace {
@@ -74,6 +76,17 @@ measureModel(const std::string &model, bool with_profiler)
     return c;
 }
 
+struct MatrixRow
+{
+    std::string model;
+    Cells cells;
+    std::string anomalies;
+};
+
+std::vector<MatrixRow> g_table8;
+std::vector<MatrixRow> g_table9;
+int g_case1 = 0, g_case2 = 0, g_case3 = 0;
+
 std::string
 anomalies(const Cells &c)
 {
@@ -112,7 +125,11 @@ printTable8()
                       meanStdCell(c.cagx_rnx.mean_ms,
                                   c.cagx_rnx.std_ms),
                       a});
+        g_table8.push_back({model, c, a});
     }
+    g_case1 = case1;
+    g_case2 = case2;
+    g_case3 = case3;
     std::printf("\n=== Table VIII: inference latency (ms) with "
                 "nvprof attached; GPU clocks 599 MHz (NX) / 624 MHz "
                 "(AGX) ===\n");
@@ -138,6 +155,7 @@ printTable9()
                                   c.cagx_ragx.std_ms),
                       meanStdCell(c.cagx_rnx.mean_ms,
                                   c.cagx_rnx.std_ms)});
+        g_table9.push_back({model, c, anomalies(c)});
     }
     std::printf("\n=== Table IX: inference latency (ms) without "
                 "nvprof ===\n");
@@ -152,6 +170,52 @@ printTable9()
                     static_cast<long long>(st.hits),
                     static_cast<long long>(st.misses));
     }
+}
+
+void
+writeReport()
+{
+    auto writeCell = [](bench::JsonWriter &w, const char *name,
+                        const runtime::LatencyStats &s) {
+        w.key(name).beginObject();
+        w.field("mean_ms", s.mean_ms);
+        w.field("std_ms", s.std_ms);
+        w.endObject();
+    };
+    auto writeRows = [&](bench::JsonWriter &w,
+                         const std::vector<MatrixRow> &rows) {
+        w.beginArray();
+        for (const MatrixRow &r : rows) {
+            w.beginObject();
+            w.field("model", r.model);
+            writeCell(w, "cnx_rnx", r.cells.cnx_rnx);
+            writeCell(w, "cnx_ragx", r.cells.cnx_ragx);
+            writeCell(w, "cagx_ragx", r.cells.cagx_ragx);
+            writeCell(w, "cagx_rnx", r.cells.cagx_rnx);
+            w.field("anomalies", r.anomalies);
+            w.endObject();
+        }
+        w.endArray();
+    };
+    bench::saveBenchReport(
+        "BENCH_latency_matrix.json", "bench_latency_matrix",
+        [&](bench::JsonWriter &w) {
+            w.key("table8").beginObject();
+            w.field("with_profiler", true);
+            w.key("rows");
+            writeRows(w, g_table8);
+            w.key("anomaly_counts").beginObject();
+            w.field("case1", g_case1);
+            w.field("case2", g_case2);
+            w.field("case3", g_case3);
+            w.endObject();
+            w.endObject();
+            w.key("table9").beginObject();
+            w.field("with_profiler", false);
+            w.key("rows");
+            writeRows(w, g_table9);
+            w.endObject();
+        });
 }
 
 void
@@ -184,6 +248,7 @@ main(int argc, char **argv)
 {
     printTable8();
     printTable9();
+    writeReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -14,6 +14,7 @@
 #include "gpusim/device.hh"
 #include "gpusim/kernel.hh"
 #include "gpusim/timing.hh"
+#include "report.hh"
 
 namespace {
 
@@ -65,6 +66,32 @@ printTable1()
 
     std::printf("\n=== Table I: evaluation platforms ===\n");
     t.render(std::cout);
+
+    auto writePlatform = [](bench::JsonWriter &w,
+                            const gpusim::DeviceSpec &d) {
+        w.beginObject();
+        w.field("name", d.name);
+        w.field("gpu_cores", d.sm_count * d.cuda_cores_per_sm);
+        w.field("sm_count", d.sm_count);
+        w.field("tensor_cores", d.sm_count * d.tensor_cores_per_sm);
+        w.field("l1_kb_per_sm", d.l1_kb_per_sm);
+        w.field("l2_kb", d.l2_kb);
+        w.field("ram_gb", d.ram_gb);
+        w.field("bus_bits", d.bus_bits);
+        w.field("dram_gbps", d.dram_gbps);
+        w.field("max_clock_ghz", d.max_clock_ghz);
+        w.field("pinned_clock_ghz", d.gpu_clock_ghz);
+        w.field("peak_fp16_tflops", d.peakFp16Flops() / 1e12);
+        w.endObject();
+    };
+    bench::saveBenchReport(
+        "BENCH_platforms.json", "bench_platforms",
+        [&](bench::JsonWriter &w) {
+            w.key("platforms").beginArray();
+            writePlatform(w, nx);
+            writePlatform(w, agx);
+            w.endArray();
+        });
 }
 
 void

@@ -13,23 +13,34 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "core/builder.hh"
 #include "gpusim/device.hh"
 #include "nn/model_zoo.hh"
+#include "report.hh"
 #include "runtime/measure.hh"
 
 namespace {
 
 using namespace edgert;
 
+struct FpsRow
+{
+    std::string model;
+    std::string paper_ref;
+    double nx_raw, nx_trt, agx_raw, agx_trt;
+};
+
 void
 printTable7()
 {
     gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
     gpusim::DeviceSpec agx = gpusim::DeviceSpec::xavierAGX();
+    std::vector<FpsRow> results;
 
     TextTable table({"NN Model", "NX-Unopt", "NX-TensorRT",
                      "AGX-Unopt", "AGX-TensorRT", "NX gain",
@@ -78,10 +89,31 @@ printTable7()
                       formatDouble(nx_trt, 1),
                       formatDouble(agx_raw, 2),
                       formatDouble(agx_trt, 1), gain, row.ref});
+        results.push_back({row.m, row.ref, nx_raw, nx_trt, agx_raw,
+                           agx_trt});
     }
     std::printf("\n=== Table VII: FPS, TensorRT-style engines vs "
                 "un-optimized models (max clocks) ===\n");
     table.render(std::cout);
+
+    bench::saveBenchReport(
+        "BENCH_throughput.json", "bench_throughput",
+        [&](bench::JsonWriter &w) {
+            w.key("models").beginArray();
+            for (const FpsRow &r : results) {
+                w.beginObject();
+                w.field("model", r.model);
+                w.field("nx_unopt_fps", r.nx_raw);
+                w.field("nx_tensorrt_fps", r.nx_trt);
+                w.field("agx_unopt_fps", r.agx_raw);
+                w.field("agx_tensorrt_fps", r.agx_trt);
+                w.field("nx_gain",
+                        r.nx_trt / std::max(1e-9, r.nx_raw));
+                w.field("paper_reference", r.paper_ref);
+                w.endObject();
+            }
+            w.endArray();
+        });
 }
 
 void

@@ -1,0 +1,48 @@
+#include "deploy/cohort.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgert::deploy {
+
+CohortPlanner::CohortPlanner(const std::vector<int> &members,
+                             std::uint64_t seed)
+{
+    order_ = members;
+    std::sort(order_.begin(), order_.end());
+    order_.erase(std::unique(order_.begin(), order_.end()),
+                 order_.end());
+    std::stable_sort(
+        order_.begin(), order_.end(), [seed](int a, int b) {
+            std::uint64_t ha = mix64(hashCombine(
+                seed, static_cast<std::uint64_t>(a)));
+            std::uint64_t hb = mix64(hashCombine(
+                seed, static_cast<std::uint64_t>(b)));
+            if (ha != hb)
+                return ha < hb;
+            return a < b;
+        });
+}
+
+std::vector<int>
+CohortPlanner::cohort(double pct) const
+{
+    if (pct <= 0.0 || pct > 100.0)
+        fatal("CohortPlanner: stage pct must be in (0, 100] (got ",
+              pct, ")");
+    if (order_.empty())
+        return {};
+    auto take = static_cast<std::size_t>(std::ceil(
+        pct / 100.0 * static_cast<double>(order_.size())));
+    take = std::clamp<std::size_t>(take, 1, order_.size());
+    std::vector<int> out(order_.begin(),
+                         order_.begin() +
+                             static_cast<std::ptrdiff_t>(take));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace edgert::deploy

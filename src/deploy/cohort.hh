@@ -1,0 +1,54 @@
+#ifndef EDGERT_DEPLOY_COHORT_HH
+#define EDGERT_DEPLOY_COHORT_HH
+
+/**
+ * @file
+ * CohortPlanner — deterministic staged-rollout cohorts.
+ *
+ * A fleet rollout shifts a candidate build onto 1% of nodes, then
+ * 10%, then 100%, watching the canary cohort between stages. The
+ * planner fixes *which* nodes land in each stage: members are
+ * ordered by a seeded hash of their id (so cohorts sample every
+ * device pool instead of the first rack in id order) and a stage's
+ * cohort is a prefix of that order. Prefixes make cohorts nested by
+ * construction — a node canaried at 1% stays in the 10% and 100%
+ * cohorts — and the seed makes the draw reproducible, so a rollout
+ * replay quarantines exactly the nodes the original run did.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace edgert::deploy {
+
+/** Deterministic nested cohort assignment over a member set. */
+class CohortPlanner
+{
+  public:
+    /**
+     * @param members Node ids eligible for the rollout (any order;
+     *        duplicates are dropped).
+     * @param seed    Cohort-draw seed.
+     */
+    CohortPlanner(const std::vector<int> &members,
+                  std::uint64_t seed);
+
+    /**
+     * The cohort at `pct` percent (0 < pct <= 100): the first
+     * ceil(pct% of members) nodes of the seeded order — never empty
+     * for a non-empty member set — returned sorted by node id.
+     */
+    std::vector<int> cohort(double pct) const;
+
+    /** Full seeded order (test / inspection hook). */
+    const std::vector<int> &order() const { return order_; }
+
+    std::size_t memberCount() const { return order_.size(); }
+
+  private:
+    std::vector<int> order_;
+};
+
+} // namespace edgert::deploy
+
+#endif // EDGERT_DEPLOY_COHORT_HH

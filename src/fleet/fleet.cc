@@ -1,0 +1,1360 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/threadpool.hh"
+#include "core/builder.hh"
+#include "core/timing_cache.hh"
+#include "deploy/cohort.hh"
+#include "gpusim/sim.hh"
+#include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "runtime/context.hh"
+#include "serve/batcher.hh"
+#include "serve/predictor.hh"
+#include "serve/request.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+#include "watch/rollup.hh"
+
+namespace edgert::fleet {
+
+namespace {
+
+/** Fleet control-plane discrete event. */
+struct Event
+{
+    enum Kind { kArrival, kTimeout, kPredFree, kFail, kRejoin, kStage };
+
+    double t = 0.0;
+    std::int64_t seq = 0; //!< push order: total, deterministic tie-break
+    Kind kind = kArrival;
+    int target = 0; //!< model, (node, model) slot, instance, node, rollout
+    std::int64_t req = -1; //!< request id or rollout stage index
+};
+
+struct EventAfter
+{
+    bool operator()(const Event &a, const Event &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+/** One engine instance: a stream-bound context slot on one node. */
+struct FleetInstance
+{
+    int node = -1;
+    int model = -1;
+    int stream = 0;
+    double predicted_free_s = 0.0;
+    std::vector<serve::PlannedDispatch> plan;
+};
+
+/** One engine build generation: per-class sets and calibrations. */
+struct FleetVersion
+{
+    std::uint64_t build_id = 0;
+    std::vector<serve::EngineSet> sets;       //!< per class
+    std::vector<std::vector<double>> svc;     //!< per class, per engine
+};
+
+/** Mutable per-rollout progress. */
+struct RolloutState
+{
+    int model = -1;
+    bool prepared = false;
+    bool halted = false;
+    int cand_version = -1;
+    std::vector<bool> class_ok; //!< per class (false when unused)
+    std::vector<bool> switched; //!< per node
+    std::unique_ptr<deploy::CohortPlanner> planner;
+};
+
+} // namespace
+
+FleetReport
+runFleet(const FleetConfig &cfg)
+{
+    // ------------------------------------------------------------
+    // Validation and fleet resolution.
+    // ------------------------------------------------------------
+    if (cfg.models.empty())
+        fatal("fleet config has no models");
+    if (cfg.duration_s <= 0.0)
+        fatal("fleet duration must be positive (got ",
+              cfg.duration_s, ")");
+    if (cfg.vnodes < 1)
+        fatal("fleet vnodes must be >= 1 (got ", cfg.vnodes, ")");
+    if (cfg.sojourn_choices < 1)
+        fatal("fleet sojourn_choices must be >= 1 (got ",
+              cfg.sojourn_choices, ")");
+    if (cfg.remap_probes < 1)
+        fatal("fleet remap_probes must be >= 1 (got ",
+              cfg.remap_probes, ")");
+    for (std::size_t i = 0; i < cfg.models.size(); i++)
+        for (std::size_t j = i + 1; j < cfg.models.size(); j++)
+            if (cfg.models[i].model == cfg.models[j].model)
+                fatal("duplicate fleet model '", cfg.models[i].model,
+                      "'");
+
+    ResolvedFleet fleet = resolveFleet(cfg.groups);
+    const int n_nodes = static_cast<int>(fleet.nodes.size());
+    const int n_models = static_cast<int>(cfg.models.size());
+    const int n_classes = static_cast<int>(fleet.classes.size());
+
+    for (const FailureSpec &f : cfg.failures) {
+        if (f.node < 0 || f.node >= n_nodes)
+            fatal("failure names node ", f.node,
+                  " outside the fleet (", n_nodes, " nodes)");
+        if (f.fail_s < 0.0)
+            fatal("failure time must be non-negative (got ",
+                  f.fail_s, ")");
+        if (f.rejoin_s >= 0.0 && f.rejoin_s <= f.fail_s)
+            fatal("rejoin time must be after the failure (fail ",
+                  f.fail_s, ", rejoin ", f.rejoin_s, ")");
+    }
+
+    auto modelIndex = [&](const std::string &name) {
+        for (int m = 0; m < n_models; m++)
+            if (cfg.models[static_cast<std::size_t>(m)].model ==
+                name)
+                return m;
+        fatal("unknown fleet model '", name, "'");
+    };
+    for (const RolloutSpec &ro : cfg.rollouts) {
+        modelIndex(ro.model);
+        if (ro.stages.empty())
+            fatal("rollout for '", ro.model, "' has no stages");
+        double prev = -1.0;
+        for (const RolloutStage &st : ro.stages) {
+            if (st.t_s < 0.0 || st.t_s <= prev)
+                fatal("rollout stages for '", ro.model,
+                      "' must have ascending non-negative times");
+            if (st.pct <= 0.0 || st.pct > 100.0)
+                fatal("rollout stage pct must be in (0, 100] (got ",
+                      st.pct, ")");
+            prev = st.t_s;
+        }
+    }
+
+    EDGERT_SPAN("fleet_run",
+                {{"nodes", std::to_string(n_nodes)},
+                 {"models", std::to_string(n_models)},
+                 {"classes", std::to_string(n_classes)}});
+
+    // ------------------------------------------------------------
+    // Builds: engines + calibration once per (class, model), shared
+    // read-only by every node of the class. One timing cache per
+    // class so rebuilds within a class stay warm.
+    // ------------------------------------------------------------
+    std::vector<serve::BatchPolicy> policies;
+    std::vector<std::vector<int>> ladders;
+    for (int m = 0; m < n_models; m++) {
+        policies.push_back(
+            cfg.models[static_cast<std::size_t>(m)].batching);
+        ladders.push_back(serve::engineBatchLadder(
+            policies.back().max_batch));
+    }
+
+    std::vector<core::TimingCache> caches(
+        static_cast<std::size_t>(n_classes));
+
+    // Build one generation of model m: engines + calibrated service
+    // predictions for every class in `class_mask` (null = all).
+    auto buildVersion = [&](int m, std::uint64_t build_id,
+                            bool use_cache,
+                            const std::vector<bool> *class_mask)
+        -> FleetVersion {
+        const auto &mc = cfg.models[static_cast<std::size_t>(m)];
+        EDGERT_SPAN("fleet_build",
+                    {{"model", mc.model},
+                     {"build", std::to_string(build_id)}});
+        FleetVersion ver;
+        ver.build_id = build_id;
+        for (int c = 0; c < n_classes; c++) {
+            serve::EngineSet set;
+            std::vector<double> svc_c;
+            bool wanted =
+                !class_mask ||
+                (*class_mask)[static_cast<std::size_t>(c)];
+            if (wanted) {
+                const auto &spec =
+                    fleet.classes[static_cast<std::size_t>(c)].spec;
+                core::BuilderConfig bcfg;
+                bcfg.build_id = build_id;
+                bcfg.jobs = 1;
+                bcfg.timing_cache =
+                    use_cache
+                        ? &caches[static_cast<std::size_t>(c)]
+                        : nullptr;
+                core::Builder builder(spec, bcfg);
+                for (int b : ladders[static_cast<std::size_t>(m)]) {
+                    set.engines.push_back(builder.build(
+                        nn::buildZooModel(mc.model, b)));
+                    set.batches.push_back(b);
+                }
+                serve::LatencyPredictor pred(spec);
+                for (const auto &eng : set.engines) {
+                    pred.calibrate(eng);
+                    svc_c.push_back(
+                        pred.predictServiceSeconds(eng));
+                }
+            }
+            ver.sets.push_back(std::move(set));
+            ver.svc.push_back(std::move(svc_c));
+        }
+        return ver;
+    };
+
+    // versions[m]: generation list; index 0 is the incumbent.
+    std::vector<std::vector<FleetVersion>> versions(
+        static_cast<std::size_t>(n_models));
+    for (int m = 0; m < n_models; m++)
+        versions[static_cast<std::size_t>(m)].push_back(
+            buildVersion(m, cfg.build_id, true, nullptr));
+
+    // ------------------------------------------------------------
+    // Placement: rank classes (capability vs calibrated — F4/F5
+    // make these disagree) and fill nodes in rank order up to each
+    // model's nodes_pct, bounded by per-node context RAM.
+    // ------------------------------------------------------------
+    std::vector<std::vector<std::string>> placement_rank_labels(
+        static_cast<std::size_t>(n_models));
+    std::vector<std::vector<bool>> serves(
+        static_cast<std::size_t>(n_models));
+    for (int m = 0; m < n_models; m++) {
+        std::vector<double> svc1;
+        for (int c = 0; c < n_classes; c++)
+            svc1.push_back(
+                versions[static_cast<std::size_t>(m)][0]
+                    .svc[static_cast<std::size_t>(c)]
+                    .front());
+        auto rank = rankClasses(cfg.placement, fleet.classes, svc1);
+        for (int c : rank)
+            placement_rank_labels[static_cast<std::size_t>(m)]
+                .push_back(
+                    fleet.classes[static_cast<std::size_t>(c)]
+                        .label());
+        serves[static_cast<std::size_t>(m)] = selectNodes(
+            fleet, rank,
+            cfg.models[static_cast<std::size_t>(m)].nodes_pct);
+    }
+
+    // Instances, node-major then model order; per-node RAM budget
+    // bounds how many contexts a node can actually host.
+    std::vector<FleetInstance> instances;
+    std::vector<std::vector<int>> insts_by_nm(
+        static_cast<std::size_t>(n_nodes) *
+        static_cast<std::size_t>(n_models));
+    auto nmSlot = [&](int node, int m) {
+        return static_cast<std::size_t>(node) *
+                   static_cast<std::size_t>(n_models) +
+               static_cast<std::size_t>(m);
+    };
+    for (int node = 0; node < n_nodes; node++) {
+        const FleetNode &fn =
+            fleet.nodes[static_cast<std::size_t>(node)];
+        const auto &spec = fleet.specOf(node);
+        auto budget = static_cast<std::int64_t>(
+            cfg.ram_fraction * spec.ram_gb * 1e9);
+        int streams_made = 0;
+        for (int m = 0; m < n_models; m++) {
+            if (!serves[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(node)])
+                continue;
+            std::int64_t fp =
+                versions[static_cast<std::size_t>(m)][0]
+                    .sets[static_cast<std::size_t>(fn.dev_class)]
+                    .maxFootprintBytes();
+            int want = cfg.models[static_cast<std::size_t>(m)]
+                           .instances_per_node;
+            for (int i = 0; i < want; i++) {
+                if (fp > budget)
+                    break;
+                budget -= fp;
+                FleetInstance inst;
+                inst.node = node;
+                inst.model = m;
+                inst.stream = streams_made++;
+                insts_by_nm[nmSlot(node, m)].push_back(
+                    static_cast<int>(instances.size()));
+                instances.push_back(std::move(inst));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Routing rings: one per model over the nodes actually hosting
+    // an instance of it.
+    // ------------------------------------------------------------
+    std::vector<HashRing> rings;
+    std::vector<int> serving_nodes(static_cast<std::size_t>(n_models),
+                                   0);
+    for (int m = 0; m < n_models; m++) {
+        rings.emplace_back(cfg.seed, cfg.vnodes);
+        std::vector<int> members;
+        for (int node = 0; node < n_nodes; node++)
+            if (!insts_by_nm[nmSlot(node, m)].empty())
+                members.push_back(node);
+        rings.back().reset(members);
+        serving_nodes[static_cast<std::size_t>(m)] =
+            static_cast<int>(members.size());
+        if (members.empty())
+            warn("EdgeFleet: model '",
+                 cfg.models[static_cast<std::size_t>(m)].model,
+                 "' placed on no node; its traffic will be shed");
+    }
+
+    // ------------------------------------------------------------
+    // Workload: per-model fleet-wide arrival streams from forked
+    // Rng streams, merged into one id-ordered request table.
+    // ------------------------------------------------------------
+    std::vector<serve::Request> requests;
+    {
+        Rng root(cfg.seed);
+        Rng workload_rng = root.fork("workload");
+        std::vector<std::pair<double, int>> merged;
+        for (int m = 0; m < n_models; m++) {
+            Rng rng = workload_rng.fork(
+                static_cast<std::uint64_t>(m));
+            for (double t : serve::generateArrivals(
+                     cfg.models[static_cast<std::size_t>(m)]
+                         .arrivals,
+                     cfg.duration_s, rng))
+                merged.emplace_back(t, m);
+        }
+        std::sort(merged.begin(), merged.end());
+        requests.reserve(merged.size());
+        for (const auto &[t, m] : merged) {
+            serve::Request r;
+            r.id = static_cast<std::int64_t>(requests.size());
+            r.model = m;
+            r.arrival_s = t;
+            r.slo_ms =
+                cfg.models[static_cast<std::size_t>(m)].slo_ms;
+            requests.push_back(r);
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Phase 1 — fleet control loop. Per-(node, model) queues and
+    // batch timeouts; per-node burn-rate SLO trackers fed by
+    // control-plane-observable outcomes (sheds and predicted
+    // deadline misses) roll up fleet-wide and drive quarantine.
+    // ------------------------------------------------------------
+    std::vector<serve::RequestQueue> queues(
+        static_cast<std::size_t>(n_nodes) *
+        static_cast<std::size_t>(n_models));
+    std::vector<serve::DynamicBatcher> batchers;
+    for (int m = 0; m < n_models; m++)
+        batchers.emplace_back(
+            policies[static_cast<std::size_t>(m)]);
+    std::vector<std::int64_t> timeout_armed(queues.size(), -1);
+
+    // Active build generation per (node, model); rollouts splice
+    // cohorts forward while in-flight incumbent batches drain on
+    // their own contexts.
+    std::vector<int> active_ver(queues.size(), 0);
+
+    std::vector<bool> failed(static_cast<std::size_t>(n_nodes),
+                             false);
+    std::vector<bool> quarantined(static_cast<std::size_t>(n_nodes),
+                                  false);
+
+    std::vector<watch::SloTracker> trackers;
+    for (int node = 0; node < n_nodes; node++)
+        trackers.emplace_back(
+            fleet.nodes[static_cast<std::size_t>(node)].name,
+            cfg.slo);
+    watch::AlertRollup rollup;
+
+    std::priority_queue<Event, std::vector<Event>, EventAfter> evq;
+    std::int64_t seq = 0;
+    for (const auto &r : requests) {
+        Event e;
+        e.t = r.arrival_s;
+        e.seq = seq++;
+        e.kind = Event::kArrival;
+        e.target = r.model;
+        e.req = r.id;
+        evq.push(e);
+    }
+    for (std::size_t f = 0; f < cfg.failures.size(); f++) {
+        const FailureSpec &fs = cfg.failures[f];
+        Event e;
+        e.t = fs.fail_s;
+        e.seq = seq++;
+        e.kind = Event::kFail;
+        e.target = fs.node;
+        evq.push(e);
+        if (fs.rejoin_s >= 0.0) {
+            Event r;
+            r.t = fs.rejoin_s;
+            r.seq = seq++;
+            r.kind = Event::kRejoin;
+            r.target = fs.node;
+            evq.push(r);
+        }
+    }
+    std::vector<RolloutState> ro_states(cfg.rollouts.size());
+    std::vector<RolloutStats> ro_stats(cfg.rollouts.size());
+    for (std::size_t ro = 0; ro < cfg.rollouts.size(); ro++) {
+        const RolloutSpec &spec = cfg.rollouts[ro];
+        ro_states[ro].model = modelIndex(spec.model);
+        ro_stats[ro].model = spec.model;
+        ro_stats[ro].candidate_build_id = spec.candidate_build_id;
+        for (std::size_t s = 0; s < spec.stages.size(); s++) {
+            Event e;
+            e.t = spec.stages[s].t_s;
+            e.seq = seq++;
+            e.kind = Event::kStage;
+            e.target = static_cast<int>(ro);
+            e.req = static_cast<std::int64_t>(s);
+            evq.push(e);
+        }
+    }
+
+    std::vector<FleetEvent> events;
+    std::vector<std::int64_t> model_shed(
+        static_cast<std::size_t>(n_models), 0);
+    std::vector<std::int64_t> model_batches(
+        static_cast<std::size_t>(n_models), 0);
+    std::vector<std::int64_t> model_dispatched(
+        static_cast<std::size_t>(n_models), 0);
+    // Next plan entry whose predicted completion is unobserved.
+    std::vector<std::size_t> next_obs;
+
+    auto ladderOf = [&](int m) -> const std::vector<int> & {
+        return ladders[static_cast<std::size_t>(m)];
+    };
+    auto svcOf = [&](int node, int m) -> const std::vector<double> & {
+        int c = fleet.nodes[static_cast<std::size_t>(node)]
+                    .dev_class;
+        int v = active_ver[nmSlot(node, m)];
+        return versions[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(v)]
+                           .svc[static_cast<std::size_t>(c)];
+    };
+
+    auto viewOf = [&](int node, int m) {
+        serve::BackendView view;
+        view.ladder = ladderOf(m);
+        const auto &svc = svcOf(node, m);
+        for (int idx : insts_by_nm[nmSlot(node, m)]) {
+            const FleetInstance &inst =
+                instances[static_cast<std::size_t>(idx)];
+            serve::BackendView::InstanceView iv;
+            iv.free_s = inst.predicted_free_s;
+            iv.service_s = svc;
+            view.instances.push_back(std::move(iv));
+        }
+        return view;
+    };
+
+    auto tryDispatch = [&](int node, int m, double t) {
+        if (failed[static_cast<std::size_t>(node)] ||
+            quarantined[static_cast<std::size_t>(node)])
+            return;
+        auto slot = nmSlot(node, m);
+        auto &q = queues[slot];
+        const auto &batcher =
+            batchers[static_cast<std::size_t>(m)];
+        const auto &svc = svcOf(node, m);
+        int c = fleet.nodes[static_cast<std::size_t>(node)]
+                    .dev_class;
+        int v = active_ver[slot];
+        const serve::EngineSet &set =
+            versions[static_cast<std::size_t>(m)]
+                    [static_cast<std::size_t>(v)]
+                        .sets[static_cast<std::size_t>(c)];
+        while (!q.empty()) {
+            // Earliest predicted-free instance (ties: lowest idx).
+            int best = -1;
+            for (int idx : insts_by_nm[slot]) {
+                const FleetInstance &inst =
+                    instances[static_cast<std::size_t>(idx)];
+                if (inst.predicted_free_s > t)
+                    continue;
+                if (best < 0 ||
+                    inst.predicted_free_s <
+                        instances[static_cast<std::size_t>(best)]
+                            .predicted_free_s)
+                    best = idx;
+            }
+            if (best < 0)
+                break;
+            int cut = batcher.decide(
+                q.size(), q.oldestArrivalSeconds(), t);
+            if (cut == 0)
+                break;
+            FleetInstance &inst =
+                instances[static_cast<std::size_t>(best)];
+            int eidx = set.indexFor(cut);
+            double svc_s = svc[static_cast<std::size_t>(eidx)];
+            serve::PlannedDispatch pd;
+            pd.t_s = t;
+            pd.engine_idx = eidx;
+            pd.version = v;
+            pd.batch = cut;
+            pd.request_ids = q.cut(cut);
+            pd.predicted_service_s = svc_s;
+            for (std::int64_t id : pd.request_ids) {
+                serve::Request &r =
+                    requests[static_cast<std::size_t>(id)];
+                r.dispatch_s = t;
+                r.batch = cut;
+                r.device = node;
+                r.instance = best;
+                r.version = v;
+            }
+            inst.plan.push_back(std::move(pd));
+            inst.predicted_free_s = t + svc_s;
+            Event e;
+            e.t = inst.predicted_free_s;
+            e.seq = seq++;
+            e.kind = Event::kPredFree;
+            e.target = best;
+            evq.push(e);
+            model_batches[static_cast<std::size_t>(m)]++;
+            model_dispatched[static_cast<std::size_t>(m)] += cut;
+        }
+        if (!q.empty() && q.frontId() != timeout_armed[slot]) {
+            timeout_armed[slot] = q.frontId();
+            Event e;
+            e.t = batcher.deadlineFor(q.oldestArrivalSeconds());
+            e.seq = seq++;
+            e.kind = Event::kTimeout;
+            e.target = static_cast<int>(slot);
+            evq.push(e);
+        }
+    };
+
+    // Quarantine can fire mid-observation, so declare first.
+    std::function<void(int, const char *, double)> quarantineNode;
+
+    auto trackerObserve = [&](int node, double t, bool bad) {
+        watch::Alert a =
+            trackers[static_cast<std::size_t>(node)].observe(t,
+                                                             bad);
+        if (a.t_s < 0.0)
+            return; // no tier transition
+        const FleetNode &fn =
+            fleet.nodes[static_cast<std::size_t>(node)];
+        rollup.observe(
+            t, node,
+            fleet.groups[static_cast<std::size_t>(fn.group)].name,
+            a.tier, a.burn);
+        if (a.tier == watch::Alert::kPage &&
+            cfg.quarantine_on_page &&
+            !quarantined[static_cast<std::size_t>(node)] &&
+            !failed[static_cast<std::size_t>(node)])
+            quarantineNode(node, "slo_page", t);
+    };
+
+    // Route one request; `admit` is false for re-routes (a request
+    // admitted once is never shed by a membership change).
+    std::function<void(int, std::int64_t, double, bool)>
+        routeRequest = [&](int m, std::int64_t id, double t,
+                           bool admit) {
+            serve::Request &r =
+                requests[static_cast<std::size_t>(id)];
+            HashRing &ring = rings[static_cast<std::size_t>(m)];
+            if (ring.empty()) {
+                r.outcome = serve::Outcome::kShed;
+                model_shed[static_cast<std::size_t>(m)]++;
+                return;
+            }
+            std::uint64_t key = ring.keyFor(id);
+            int node = -1;
+            if (cfg.route_policy == RoutePolicy::kHash) {
+                node = ring.route(key);
+            } else {
+                auto cands =
+                    ring.successors(key, cfg.sojourn_choices);
+                double best = 0.0;
+                for (int cand : cands) {
+                    auto &cq = queues[nmSlot(cand, m)];
+                    double est = serve::predictSojournSeconds(
+                        viewOf(cand, m),
+                        policies[static_cast<std::size_t>(m)],
+                        static_cast<int>(cq.size()), t,
+                        cq.rateHz());
+                    if (node < 0 || est < best ||
+                        (est == best && cand < node)) {
+                        node = cand;
+                        best = est;
+                    }
+                }
+            }
+            auto slot = nmSlot(node, m);
+            auto &q = queues[slot];
+            q.observeArrival(t);
+            if (admit && cfg.admission_control) {
+                double est_s = serve::predictSojournSeconds(
+                    viewOf(node, m),
+                    policies[static_cast<std::size_t>(m)],
+                    static_cast<int>(q.size()), t, q.rateHz());
+                if (est_s * 1e3 > r.slo_ms) {
+                    r.outcome = serve::Outcome::kShed;
+                    model_shed[static_cast<std::size_t>(m)]++;
+                    trackerObserve(node, t, true);
+                    return;
+                }
+            }
+            q.push(id, t);
+            tryDispatch(node, m, t);
+        };
+
+    // Remove a node from every ring and re-route its queued
+    // requests (in-flight dispatches stay planned and drain in the
+    // replay — nothing is dropped). Returns (rerouted, remap_pct).
+    auto removeAndReroute =
+        [&](int node, double t) -> std::pair<std::int64_t, double> {
+        std::int64_t moved = 0;
+        double remap_sum = 0.0;
+        int remap_n = 0;
+        for (int m = 0; m < n_models; m++) {
+            HashRing &ring = rings[static_cast<std::size_t>(m)];
+            if (!ring.contains(node))
+                continue;
+            HashRing before = ring;
+            ring.remove(node);
+            remap_sum += remapPct(before, ring, cfg.remap_probes);
+            remap_n++;
+            auto &q = queues[nmSlot(node, m)];
+            timeout_armed[nmSlot(node, m)] = -1;
+            if (q.empty())
+                continue;
+            auto ids = q.cut(static_cast<int>(q.size()));
+            for (std::int64_t id : ids) {
+                moved++;
+                routeRequest(m, id, t, false);
+            }
+        }
+        return {moved,
+                remap_n > 0 ? remap_sum /
+                                  static_cast<double>(remap_n)
+                            : 0.0};
+    };
+
+    quarantineNode = [&](int node, const char *reason, double t) {
+        quarantined[static_cast<std::size_t>(node)] = true;
+        auto [moved, remap] = removeAndReroute(node, t);
+        FleetEvent ev;
+        ev.t_s = t;
+        ev.node = node;
+        ev.node_name =
+            fleet.nodes[static_cast<std::size_t>(node)].name;
+        ev.kind = "quarantine";
+        ev.reason = reason;
+        ev.rerouted = moved;
+        ev.remap_pct = remap;
+        events.push_back(std::move(ev));
+        warn("EdgeFleet: quarantined node ",
+             fleet.nodes[static_cast<std::size_t>(node)].name,
+             " at t=", t, "s (", reason, "), rerouted ", moved,
+             " queued requests");
+    };
+
+    // Prepare a rollout at its first executed stage: build the
+    // candidate per serving class (no timing-cache reuse, so the
+    // rebuild drifts naturally per F2/F6), judge each class with
+    // the DriftGate, and freeze the cohort draw over the nodes
+    // eligible right now.
+    auto prepareRollout = [&](std::size_t ro, double t) {
+        const RolloutSpec &spec = cfg.rollouts[ro];
+        RolloutState &st = ro_states[ro];
+        const int m = st.model;
+        EDGERT_SPAN("fleet_rollout",
+                    {{"model", spec.model},
+                     {"build",
+                      std::to_string(spec.candidate_build_id)}});
+        std::vector<bool> class_mask(
+            static_cast<std::size_t>(n_classes), false);
+        for (int node = 0; node < n_nodes; node++)
+            if (!insts_by_nm[nmSlot(node, m)].empty())
+                class_mask[static_cast<std::size_t>(
+                    fleet.nodes[static_cast<std::size_t>(node)]
+                        .dev_class)] = true;
+        FleetVersion cand = buildVersion(
+            m, spec.candidate_build_id, false, &class_mask);
+        deploy::DriftGate gate(spec.gate);
+        st.class_ok.assign(static_cast<std::size_t>(n_classes),
+                           false);
+        for (int c = 0; c < n_classes; c++) {
+            if (!class_mask[static_cast<std::size_t>(c)])
+                continue;
+            const auto &inc =
+                versions[static_cast<std::size_t>(m)][0]
+                    .sets[static_cast<std::size_t>(c)]
+                    .engines.front();
+            const auto &cnd =
+                cand.sets[static_cast<std::size_t>(c)]
+                    .engines.front();
+            deploy::DriftVerdict v = gate.evaluate(inc, cnd);
+            st.class_ok[static_cast<std::size_t>(c)] = v.accepted;
+            ClassVerdictStats cs;
+            cs.dev_class =
+                fleet.classes[static_cast<std::size_t>(c)].label();
+            cs.accepted = v.accepted;
+            cs.reason = v.reason;
+            cs.disagreement_pct = v.disagreement_pct;
+            cs.kernel_remap_pct = v.kernel_remap_pct;
+            ro_stats[ro].verdicts.push_back(std::move(cs));
+        }
+        versions[static_cast<std::size_t>(m)].push_back(
+            std::move(cand));
+        st.cand_version = static_cast<int>(
+                              versions[static_cast<std::size_t>(m)]
+                                  .size()) -
+                          1;
+        std::vector<int> eligible;
+        for (int node = 0; node < n_nodes; node++)
+            if (!insts_by_nm[nmSlot(node, m)].empty() &&
+                !quarantined[static_cast<std::size_t>(node)] &&
+                !failed[static_cast<std::size_t>(node)])
+                eligible.push_back(node);
+        st.planner = std::make_unique<deploy::CohortPlanner>(
+            eligible,
+            mix64(hashCombine(
+                hashCombine(cfg.seed, hashString("rollout")),
+                static_cast<std::uint64_t>(ro))));
+        st.switched.assign(static_cast<std::size_t>(n_nodes),
+                           false);
+        st.prepared = true;
+        inform("EdgeFleet: rollout of '", spec.model, "' build ",
+             spec.candidate_build_id, " prepared at t=", t, "s (",
+             st.planner->memberCount(), " eligible nodes)");
+    };
+
+    {
+        EDGERT_SPAN("fleet_control",
+                    {{"requests",
+                      std::to_string(requests.size())}});
+        while (!evq.empty()) {
+            Event e = evq.top();
+            evq.pop();
+            switch (e.kind) {
+              case Event::kArrival:
+                  routeRequest(e.target, e.req, e.t, true);
+                  break;
+              case Event::kTimeout: {
+                  auto slot = static_cast<std::size_t>(e.target);
+                  tryDispatch(
+                      static_cast<int>(slot /
+                                       static_cast<std::size_t>(
+                                           n_models)),
+                      static_cast<int>(slot %
+                                       static_cast<std::size_t>(
+                                           n_models)),
+                      e.t);
+                  break;
+              }
+              case Event::kPredFree: {
+                  auto ii = static_cast<std::size_t>(e.target);
+                  if (next_obs.size() <= ii)
+                      next_obs.resize(instances.size(), 0);
+                  FleetInstance &inst = instances[ii];
+                  // Predicted completion of the next unobserved
+                  // dispatch: feed each request's predicted SLO
+                  // verdict to the node's burn-rate tracker (the
+                  // control plane cannot see measured latencies —
+                  // those exist only after the replay).
+                  std::size_t k = next_obs[ii]++;
+                  std::vector<std::int64_t> ids =
+                      inst.plan[k].request_ids;
+                  for (std::int64_t id : ids) {
+                      const serve::Request &r =
+                          requests[static_cast<std::size_t>(id)];
+                      bool bad =
+                          (e.t - r.arrival_s) * 1e3 > r.slo_ms;
+                      trackerObserve(inst.node, e.t, bad);
+                  }
+                  tryDispatch(inst.node, inst.model, e.t);
+                  break;
+              }
+              case Event::kFail: {
+                  int node = e.target;
+                  if (failed[static_cast<std::size_t>(node)])
+                      break;
+                  failed[static_cast<std::size_t>(node)] = true;
+                  auto [moved, remap] =
+                      removeAndReroute(node, e.t);
+                  FleetEvent ev;
+                  ev.t_s = e.t;
+                  ev.node = node;
+                  ev.node_name =
+                      fleet.nodes[static_cast<std::size_t>(node)]
+                          .name;
+                  ev.kind = "fail";
+                  ev.rerouted = moved;
+                  ev.remap_pct = remap;
+                  events.push_back(std::move(ev));
+                  break;
+              }
+              case Event::kRejoin: {
+                  int node = e.target;
+                  if (!failed[static_cast<std::size_t>(node)])
+                      break;
+                  failed[static_cast<std::size_t>(node)] = false;
+                  double remap_sum = 0.0;
+                  int remap_n = 0;
+                  if (!quarantined[static_cast<std::size_t>(
+                          node)]) {
+                      for (int m = 0; m < n_models; m++) {
+                          if (insts_by_nm[nmSlot(node, m)].empty())
+                              continue;
+                          HashRing &ring =
+                              rings[static_cast<std::size_t>(m)];
+                          HashRing before = ring;
+                          ring.add(node);
+                          remap_sum += remapPct(before, ring,
+                                                cfg.remap_probes);
+                          remap_n++;
+                      }
+                  }
+                  FleetEvent ev;
+                  ev.t_s = e.t;
+                  ev.node = node;
+                  ev.node_name =
+                      fleet.nodes[static_cast<std::size_t>(node)]
+                          .name;
+                  ev.kind = "rejoin";
+                  ev.remap_pct =
+                      remap_n > 0
+                          ? remap_sum /
+                                static_cast<double>(remap_n)
+                          : 0.0;
+                  events.push_back(std::move(ev));
+                  break;
+              }
+              case Event::kStage: {
+                  auto ro = static_cast<std::size_t>(e.target);
+                  const RolloutSpec &spec = cfg.rollouts[ro];
+                  RolloutState &st = ro_states[ro];
+                  const RolloutStage &stage =
+                      spec.stages[static_cast<std::size_t>(e.req)];
+                  RolloutStageStats ss;
+                  ss.t_s = stage.t_s;
+                  ss.pct = stage.pct;
+                  if (st.halted) {
+                      // An earlier stage quarantined nodes: the
+                      // canary absorbed the bad build; leave the
+                      // rest of the fleet on the incumbent.
+                      ro_stats[ro].stages.push_back(ss);
+                      break;
+                  }
+                  if (!st.prepared)
+                      prepareRollout(ro, e.t);
+                  ss.executed = true;
+                  auto cohort = st.planner->cohort(stage.pct);
+                  ss.cohort = static_cast<int>(cohort.size());
+                  for (int node : cohort) {
+                      if (st.switched[static_cast<std::size_t>(
+                              node)] ||
+                          quarantined[static_cast<std::size_t>(
+                              node)] ||
+                          failed[static_cast<std::size_t>(node)])
+                          continue;
+                      int c = fleet
+                                  .nodes[static_cast<std::size_t>(
+                                      node)]
+                                  .dev_class;
+                      if (st.class_ok[static_cast<std::size_t>(
+                              c)]) {
+                          active_ver[nmSlot(node, st.model)] =
+                              st.cand_version;
+                          st.switched[static_cast<std::size_t>(
+                              node)] = true;
+                          ss.switched++;
+                          tryDispatch(node, st.model, e.t);
+                      } else {
+                          quarantineNode(node, "drift_gate_reject",
+                                         e.t);
+                          ss.quarantined++;
+                      }
+                  }
+                  if (ss.quarantined > 0) {
+                      st.halted = true;
+                      ro_stats[ro].halted = true;
+                  }
+                  ro_stats[ro].stages.push_back(ss);
+                  break;
+              }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Phase 2 — execution replay: one GpuSim per node, each with a
+    // private MetricRegistry, so node replays parallelize with no
+    // shared metric state; registries merge into the global one in
+    // node id order afterwards (byte-identical at any thread
+    // count). Kernel traces stay off: a 500-node replay would
+    // otherwise retain every simulated launch record.
+    // ------------------------------------------------------------
+    std::vector<std::unique_ptr<obs::MetricRegistry>> node_regs;
+    std::vector<std::unique_ptr<gpusim::GpuSim>> sims;
+    {
+        std::vector<int> streams_needed(
+            static_cast<std::size_t>(n_nodes), 1);
+        for (const FleetInstance &inst : instances)
+            streams_needed[static_cast<std::size_t>(inst.node)] =
+                std::max(
+                    streams_needed[static_cast<std::size_t>(
+                        inst.node)],
+                    inst.stream + 1);
+        for (int node = 0; node < n_nodes; node++) {
+            node_regs.push_back(
+                std::make_unique<obs::MetricRegistry>());
+            sims.push_back(std::make_unique<gpusim::GpuSim>(
+                fleet.specOf(node), node_regs.back().get()));
+            for (int s = 1;
+                 s < streams_needed[static_cast<std::size_t>(node)];
+                 s++)
+                sims.back()->createStream();
+            sims.back()->setTraceMode(gpusim::TraceMode::kOff);
+        }
+
+        std::vector<std::map<
+            std::pair<int, int>,
+            std::unique_ptr<runtime::ExecutionContext>>>
+            ctxs(instances.size());
+        for (std::size_t i = 0; i < instances.size(); i++) {
+            FleetInstance &inst = instances[i];
+            auto &sim =
+                *sims[static_cast<std::size_t>(inst.node)];
+            int c = fleet.nodes[static_cast<std::size_t>(inst.node)]
+                        .dev_class;
+            for (auto &pd : inst.plan) {
+                sim.delayUntil(inst.stream, pd.t_s);
+                auto &ctx = ctxs[i][{pd.version, pd.engine_idx}];
+                if (!ctx)
+                    ctx = std::make_unique<
+                        runtime::ExecutionContext>(
+                        versions[static_cast<std::size_t>(
+                                     inst.model)]
+                                [static_cast<std::size_t>(
+                                    pd.version)]
+                                    .sets[static_cast<std::size_t>(
+                                        c)]
+                                    .engines
+                                        [static_cast<std::size_t>(
+                                            pd.engine_idx)],
+                        sim, inst.stream);
+                auto h = ctx->enqueueInference(true, true,
+                                               /*staged=*/true);
+                pd.begin = h.begin;
+                pd.upload_done = h.upload_done;
+                pd.compute_done = h.compute_done;
+                pd.end = h.end;
+            }
+        }
+
+        auto runNode = [&](std::size_t node) {
+            sims[node]->run();
+        };
+        const int threads =
+            std::min(std::max(1, cfg.sim_threads), n_nodes);
+        if (threads <= 1) {
+            EDGERT_SPAN("fleet_replay",
+                        {{"nodes", std::to_string(n_nodes)},
+                         {"threads", "1"}});
+            for (int node = 0; node < n_nodes; node++)
+                runNode(static_cast<std::size_t>(node));
+        } else {
+            EDGERT_SPAN("fleet_replay",
+                        {{"nodes", std::to_string(n_nodes)},
+                         {"threads", std::to_string(threads)}});
+            ThreadPool tp(threads);
+            tp.parallelFor(static_cast<std::size_t>(n_nodes),
+                           runNode);
+        }
+    }
+
+    // Fold measured completions back (node-major instance order,
+    // then plan order — deterministic).
+    for (const FleetInstance &inst : instances) {
+        const auto &sim =
+            *sims[static_cast<std::size_t>(inst.node)];
+        for (const auto &pd : inst.plan) {
+            double end = sim.eventSeconds(pd.end);
+            for (std::int64_t id : pd.request_ids) {
+                serve::Request &r =
+                    requests[static_cast<std::size_t>(id)];
+                r.outcome = serve::Outcome::kCompleted;
+                r.done_s = end;
+            }
+        }
+    }
+
+    // Per-node registries fold into the global one under a
+    // per-group prefix: nodes of a pool merge additively into one
+    // "fleet.<group>.gpusim.*" rollup, in node id order.
+    {
+        obs::MetricRegistry &global =
+            obs::MetricRegistry::global();
+        for (int node = 0; node < n_nodes; node++) {
+            const FleetNode &fn =
+                fleet.nodes[static_cast<std::size_t>(node)];
+            global.mergeFrom(
+                *node_regs[static_cast<std::size_t>(node)],
+                "fleet." +
+                    fleet.groups[static_cast<std::size_t>(
+                                     fn.group)]
+                        .name +
+                    ".");
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Report assembly (request-id order).
+    // ------------------------------------------------------------
+    FleetReport report;
+    report.seed = cfg.seed;
+    report.duration_s = cfg.duration_s;
+    report.route_policy = routePolicyName(cfg.route_policy);
+    report.placement = placementPolicyName(cfg.placement);
+    report.vnodes = cfg.vnodes;
+    report.nodes = n_nodes;
+
+    std::vector<std::vector<double>> model_lat(
+        static_cast<std::size_t>(n_models));
+    std::vector<std::vector<double>> group_lat(fleet.groups.size());
+    std::vector<std::int64_t> within_slo(
+        static_cast<std::size_t>(n_models), 0);
+    std::vector<double> all_lat;
+    for (const serve::Request &r : requests) {
+        report.offered++;
+        if (r.outcome == serve::Outcome::kShed) {
+            report.shed++;
+            continue;
+        }
+        if (r.outcome != serve::Outcome::kCompleted) {
+            report.unaccounted++;
+            continue;
+        }
+        report.completed++;
+        double ms = r.latencyMs();
+        all_lat.push_back(ms);
+        model_lat[static_cast<std::size_t>(r.model)].push_back(ms);
+        if (r.sloMet())
+            within_slo[static_cast<std::size_t>(r.model)]++;
+        int g = fleet.nodes[static_cast<std::size_t>(r.device)]
+                    .group;
+        group_lat[static_cast<std::size_t>(g)].push_back(ms);
+    }
+    report.aggregate_offered_qps =
+        static_cast<double>(report.offered) / cfg.duration_s;
+    if (!all_lat.empty()) {
+        report.mean_ms = mean(all_lat);
+        report.p50_ms = percentile(all_lat, 50.0);
+        report.p95_ms = percentile(all_lat, 95.0);
+        report.p99_ms = percentile(all_lat, 99.0);
+        report.max_ms =
+            *std::max_element(all_lat.begin(), all_lat.end());
+    }
+
+    for (int c = 0; c < n_classes; c++) {
+        FleetClassStats cs;
+        cs.label =
+            fleet.classes[static_cast<std::size_t>(c)].label();
+        for (const FleetNode &fn : fleet.nodes)
+            if (fn.dev_class == c)
+                cs.nodes++;
+        for (int m = 0; m < n_models; m++)
+            cs.svc1_ms.push_back(
+                versions[static_cast<std::size_t>(m)][0]
+                    .svc[static_cast<std::size_t>(c)]
+                    .front() *
+                1e3);
+        report.classes.push_back(std::move(cs));
+    }
+
+    for (int m = 0; m < n_models; m++) {
+        auto mi = static_cast<std::size_t>(m);
+        const auto &mc = cfg.models[mi];
+        FleetModelStats s;
+        s.model = mc.model;
+        s.slo_ms = mc.slo_ms;
+        s.serving_nodes = serving_nodes[mi];
+        s.placement_rank = placement_rank_labels[mi];
+        for (const serve::Request &r : requests)
+            if (r.model == m)
+                s.offered++;
+        s.shed = model_shed[mi];
+        s.completed =
+            static_cast<std::int64_t>(model_lat[mi].size());
+        s.slo_violations = s.completed - within_slo[mi];
+        s.batches = model_batches[mi];
+        s.offered_qps =
+            static_cast<double>(s.offered) / cfg.duration_s;
+        s.goodput_qps = static_cast<double>(within_slo[mi]) /
+                        cfg.duration_s;
+        s.attainment_pct =
+            s.offered > 0
+                ? 100.0 * static_cast<double>(within_slo[mi]) /
+                      static_cast<double>(s.offered)
+                : 0.0;
+        s.mean_batch =
+            s.batches > 0
+                ? static_cast<double>(model_dispatched[mi]) /
+                      static_cast<double>(s.batches)
+                : 0.0;
+        if (!model_lat[mi].empty()) {
+            s.mean_ms = mean(model_lat[mi]);
+            s.p50_ms = percentile(model_lat[mi], 50.0);
+            s.p95_ms = percentile(model_lat[mi], 95.0);
+            s.p99_ms = percentile(model_lat[mi], 99.0);
+            s.max_ms = *std::max_element(model_lat[mi].begin(),
+                                         model_lat[mi].end());
+        }
+        report.models.push_back(std::move(s));
+    }
+
+    for (std::size_t g = 0; g < fleet.groups.size(); g++) {
+        FleetGroupStats gs;
+        gs.group = fleet.groups[g].name;
+        for (const FleetNode &fn : fleet.nodes) {
+            if (static_cast<std::size_t>(fn.group) != g)
+                continue;
+            if (gs.nodes == 0)
+                gs.dev_class =
+                    fleet.classes[static_cast<std::size_t>(
+                                      fn.dev_class)]
+                        .label();
+            gs.nodes++;
+            if (quarantined[static_cast<std::size_t>(fn.id)])
+                gs.quarantined++;
+            if (failed[static_cast<std::size_t>(fn.id)])
+                gs.failed++;
+        }
+        gs.completed =
+            static_cast<std::int64_t>(group_lat[g].size());
+        if (!group_lat[g].empty()) {
+            gs.mean_ms = mean(group_lat[g]);
+            gs.p99_ms = percentile(group_lat[g], 99.0);
+        }
+        report.groups.push_back(std::move(gs));
+    }
+
+    report.events = std::move(events);
+    report.rollouts = std::move(ro_stats);
+
+    report.alerts.pages = rollup.pages();
+    report.alerts.warns = rollup.warns();
+    report.alerts.clears = rollup.clears();
+    report.alerts.first_page_s = rollup.firstPageSeconds();
+    for (const watch::GroupAlertCounts &gc : rollup.byGroup()) {
+        FleetAlertStats::Group g;
+        g.group = gc.group;
+        g.pages = gc.pages;
+        g.warns = gc.warns;
+        g.clears = gc.clears;
+        report.alerts.by_group.push_back(std::move(g));
+    }
+
+    // A handful of fleet-level gauges for the CLI's metric dumps.
+    {
+        obs::MetricRegistry &reg = obs::MetricRegistry::global();
+        reg.gauge("fleet.nodes", {}).set(
+            static_cast<double>(n_nodes));
+        int nq = 0;
+        for (int node = 0; node < n_nodes; node++)
+            if (quarantined[static_cast<std::size_t>(node)])
+                nq++;
+        reg.gauge("fleet.nodes.quarantined", {})
+            .set(static_cast<double>(nq));
+        for (const FleetModelStats &s : report.models) {
+            const obs::Labels ml = {{"model", s.model}};
+            reg.gauge("fleet.model.completed", ml)
+                .set(static_cast<double>(s.completed));
+            reg.gauge("fleet.model.shed", ml)
+                .set(static_cast<double>(s.shed));
+            reg.gauge("fleet.model.p99_ms", ml).set(s.p99_ms);
+        }
+    }
+
+    return report;
+}
+
+std::string
+FleetReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"duration_s\": " << jsonNumber(duration_s) << ",\n";
+    os << "  \"route_policy\": \"" << jsonEscape(route_policy)
+       << "\",\n";
+    os << "  \"placement\": \"" << jsonEscape(placement) << "\",\n";
+    os << "  \"vnodes\": " << vnodes << ",\n";
+    os << "  \"nodes\": " << nodes << ",\n";
+    os << "  \"offered\": " << offered << ",\n";
+    os << "  \"completed\": " << completed << ",\n";
+    os << "  \"shed\": " << shed << ",\n";
+    os << "  \"unaccounted\": " << unaccounted << ",\n";
+    os << "  \"aggregate_offered_qps\": "
+       << jsonNumber(aggregate_offered_qps) << ",\n";
+    os << "  \"latency_ms\": {\n";
+    os << "    \"mean\": " << jsonNumber(mean_ms) << ",\n";
+    os << "    \"p50\": " << jsonNumber(p50_ms) << ",\n";
+    os << "    \"p95\": " << jsonNumber(p95_ms) << ",\n";
+    os << "    \"p99\": " << jsonNumber(p99_ms) << ",\n";
+    os << "    \"max\": " << jsonNumber(max_ms) << "\n";
+    os << "  },\n";
+    os << "  \"classes\": [\n";
+    for (std::size_t i = 0; i < classes.size(); i++) {
+        const FleetClassStats &c = classes[i];
+        os << "    {\"label\": \"" << jsonEscape(c.label)
+           << "\", \"nodes\": " << c.nodes << ", \"svc1_ms\": [";
+        for (std::size_t m = 0; m < c.svc1_ms.size(); m++)
+            os << (m ? ", " : "") << jsonNumber(c.svc1_ms[m]);
+        os << "]}" << (i + 1 < classes.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"models\": [\n";
+    for (std::size_t i = 0; i < models.size(); i++) {
+        const FleetModelStats &s = models[i];
+        os << "    {\n";
+        os << "      \"model\": \"" << jsonEscape(s.model)
+           << "\",\n";
+        os << "      \"slo_ms\": " << jsonNumber(s.slo_ms)
+           << ",\n";
+        os << "      \"serving_nodes\": " << s.serving_nodes
+           << ",\n";
+        os << "      \"placement_rank\": [";
+        for (std::size_t r = 0; r < s.placement_rank.size(); r++)
+            os << (r ? ", " : "") << "\""
+               << jsonEscape(s.placement_rank[r]) << "\"";
+        os << "],\n";
+        os << "      \"offered\": " << s.offered << ",\n";
+        os << "      \"offered_qps\": "
+           << jsonNumber(s.offered_qps) << ",\n";
+        os << "      \"shed\": " << s.shed << ",\n";
+        os << "      \"completed\": " << s.completed << ",\n";
+        os << "      \"slo_violations\": " << s.slo_violations
+           << ",\n";
+        os << "      \"attainment_pct\": "
+           << jsonNumber(s.attainment_pct) << ",\n";
+        os << "      \"batches\": " << s.batches << ",\n";
+        os << "      \"mean_batch\": " << jsonNumber(s.mean_batch)
+           << ",\n";
+        os << "      \"goodput_qps\": "
+           << jsonNumber(s.goodput_qps) << ",\n";
+        os << "      \"latency_ms\": {\n";
+        os << "        \"mean\": " << jsonNumber(s.mean_ms)
+           << ",\n";
+        os << "        \"p50\": " << jsonNumber(s.p50_ms) << ",\n";
+        os << "        \"p95\": " << jsonNumber(s.p95_ms) << ",\n";
+        os << "        \"p99\": " << jsonNumber(s.p99_ms) << ",\n";
+        os << "        \"max\": " << jsonNumber(s.max_ms) << "\n";
+        os << "      }\n";
+        os << "    }" << (i + 1 < models.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"groups\": [\n";
+    for (std::size_t i = 0; i < groups.size(); i++) {
+        const FleetGroupStats &g = groups[i];
+        os << "    {\"group\": \"" << jsonEscape(g.group)
+           << "\", \"class\": \"" << jsonEscape(g.dev_class)
+           << "\", \"nodes\": " << g.nodes
+           << ", \"quarantined\": " << g.quarantined
+           << ", \"failed\": " << g.failed
+           << ", \"completed\": " << g.completed
+           << ", \"mean_ms\": " << jsonNumber(g.mean_ms)
+           << ", \"p99_ms\": " << jsonNumber(g.p99_ms) << "}"
+           << (i + 1 < groups.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"events\": [\n";
+    for (std::size_t i = 0; i < events.size(); i++) {
+        const FleetEvent &e = events[i];
+        os << "    {\"t_s\": " << jsonNumber(e.t_s)
+           << ", \"node\": " << e.node << ", \"name\": \""
+           << jsonEscape(e.node_name) << "\", \"kind\": \""
+           << jsonEscape(e.kind) << "\", \"reason\": \""
+           << jsonEscape(e.reason)
+           << "\", \"rerouted\": " << e.rerouted
+           << ", \"remap_pct\": " << jsonNumber(e.remap_pct)
+           << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"rollouts\": [\n";
+    for (std::size_t i = 0; i < rollouts.size(); i++) {
+        const RolloutStats &ro = rollouts[i];
+        os << "    {\n";
+        os << "      \"model\": \"" << jsonEscape(ro.model)
+           << "\",\n";
+        os << "      \"candidate_build_id\": "
+           << ro.candidate_build_id << ",\n";
+        os << "      \"halted\": "
+           << (ro.halted ? "true" : "false") << ",\n";
+        os << "      \"verdicts\": [\n";
+        for (std::size_t v = 0; v < ro.verdicts.size(); v++) {
+            const ClassVerdictStats &cs = ro.verdicts[v];
+            os << "        {\"class\": \""
+               << jsonEscape(cs.dev_class) << "\", \"accepted\": "
+               << (cs.accepted ? "true" : "false")
+               << ", \"reason\": \"" << jsonEscape(cs.reason)
+               << "\", \"disagreement_pct\": "
+               << jsonNumber(cs.disagreement_pct)
+               << ", \"kernel_remap_pct\": "
+               << jsonNumber(cs.kernel_remap_pct) << "}"
+               << (v + 1 < ro.verdicts.size() ? "," : "") << "\n";
+        }
+        os << "      ],\n";
+        os << "      \"stages\": [\n";
+        for (std::size_t s = 0; s < ro.stages.size(); s++) {
+            const RolloutStageStats &ss = ro.stages[s];
+            os << "        {\"t_s\": " << jsonNumber(ss.t_s)
+               << ", \"pct\": " << jsonNumber(ss.pct)
+               << ", \"executed\": "
+               << (ss.executed ? "true" : "false")
+               << ", \"cohort\": " << ss.cohort
+               << ", \"switched\": " << ss.switched
+               << ", \"quarantined\": " << ss.quarantined << "}"
+               << (s + 1 < ro.stages.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n";
+        os << "    }" << (i + 1 < rollouts.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"alerts\": {\n";
+    os << "    \"pages\": " << alerts.pages << ",\n";
+    os << "    \"warns\": " << alerts.warns << ",\n";
+    os << "    \"clears\": " << alerts.clears << ",\n";
+    os << "    \"first_page_s\": " << jsonNumber(alerts.first_page_s)
+       << ",\n";
+    os << "    \"by_group\": [\n";
+    for (std::size_t i = 0; i < alerts.by_group.size(); i++) {
+        const FleetAlertStats::Group &g = alerts.by_group[i];
+        os << "      {\"group\": \"" << jsonEscape(g.group)
+           << "\", \"pages\": " << g.pages
+           << ", \"warns\": " << g.warns
+           << ", \"clears\": " << g.clears << "}"
+           << (i + 1 < alerts.by_group.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n";
+    os << "  }\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace edgert::fleet

@@ -1,0 +1,98 @@
+#include "fleet/placement.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace edgert::fleet {
+
+PlacementPolicy
+parsePlacementPolicy(const std::string &s)
+{
+    if (s == "capability")
+        return PlacementPolicy::kCapabilityOrder;
+    if (s == "calibrated")
+        return PlacementPolicy::kCalibrated;
+    fatal("unknown placement policy '", s,
+          "' (expected capability|calibrated)");
+}
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::kCapabilityOrder: return "capability";
+      case PlacementPolicy::kCalibrated: return "calibrated";
+    }
+    return "?";
+}
+
+std::vector<int>
+rankClasses(PlacementPolicy policy,
+            const std::vector<DeviceClass> &classes,
+            const std::vector<double> &svc1_s)
+{
+    if (policy == PlacementPolicy::kCalibrated &&
+        svc1_s.size() != classes.size())
+        fatal("rankClasses: calibrated placement needs one service "
+              "time per class (got ",
+              svc1_s.size(), " for ", classes.size(), " classes)");
+    std::vector<int> rank(classes.size());
+    for (std::size_t i = 0; i < rank.size(); i++)
+        rank[i] = static_cast<int>(i);
+    std::stable_sort(
+        rank.begin(), rank.end(), [&](int a, int b) {
+            if (policy == PlacementPolicy::kCapabilityOrder) {
+                // Spec-sheet order: nominal peak at the platform's
+                // max clock, blind to throttled stragglers — the
+                // naive policy the F4/F5 findings warn against.
+                double fa = classes[static_cast<std::size_t>(a)]
+                                .spec.atMaxClock()
+                                .peakFp16Flops();
+                double fb = classes[static_cast<std::size_t>(b)]
+                                .spec.atMaxClock()
+                                .peakFp16Flops();
+                if (fa != fb)
+                    return fa > fb;
+            } else {
+                double sa = svc1_s[static_cast<std::size_t>(a)];
+                double sb = svc1_s[static_cast<std::size_t>(b)];
+                if (sa != sb)
+                    return sa < sb;
+            }
+            return a < b;
+        });
+    return rank;
+}
+
+std::vector<bool>
+selectNodes(const ResolvedFleet &fleet, const std::vector<int> &rank,
+            double nodes_pct)
+{
+    if (nodes_pct <= 0.0 || nodes_pct > 100.0)
+        fatal("selectNodes: nodes_pct must be in (0, 100] (got ",
+              nodes_pct, ")");
+    auto want = static_cast<std::size_t>(std::max(
+        1.0,
+        std::ceil(nodes_pct / 100.0 *
+                  static_cast<double>(fleet.nodes.size()))));
+    want = std::min(want, fleet.nodes.size());
+    std::vector<bool> serves(fleet.nodes.size(), false);
+    std::size_t taken = 0;
+    for (int c : rank) {
+        for (const FleetNode &n : fleet.nodes) {
+            if (taken >= want)
+                break;
+            if (n.dev_class != c)
+                continue;
+            serves[static_cast<std::size_t>(n.id)] = true;
+            taken++;
+        }
+        if (taken >= want)
+            break;
+    }
+    return serves;
+}
+
+} // namespace edgert::fleet

@@ -1,0 +1,64 @@
+#ifndef EDGERT_FLEET_PLACEMENT_HH
+#define EDGERT_FLEET_PLACEMENT_HH
+
+/**
+ * @file
+ * Heterogeneity-aware engine placement.
+ *
+ * When a model is replicated onto only part of the fleet, *which*
+ * part matters. The obvious policy — fill the nominally biggest
+ * devices first (peak FP16 FLOPs, i.e. AGX before NX before any
+ * throttled pool) — walks straight into the paper's Findings 4/5:
+ * some engines genuinely run faster on the Xavier NX than on the
+ * AGX (per-transfer H2D overhead and 8-SM cache thrash outweigh the
+ * extra SMs). The calibrated policy instead ranks device classes by
+ * each model's *measured* batch-1 service time from the per-class
+ * serve::LatencyPredictor calibration — placing the engine where it
+ * is actually fastest, not where the spec sheet says it should be.
+ */
+
+#include <string>
+#include <vector>
+
+#include "fleet/spec.hh"
+
+namespace edgert::fleet {
+
+/** Placement policy selector. */
+enum class PlacementPolicy { kCapabilityOrder, kCalibrated };
+
+/** Parse "capability" | "calibrated" (fatal on anything else). */
+PlacementPolicy parsePlacementPolicy(const std::string &s);
+
+/** Stable wire name ("capability" / "calibrated"). */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/**
+ * Device-class preference order for one model.
+ *
+ * @param svc1_s Calibrated batch-1 service seconds per class,
+ *        parallel to `classes` (used by kCalibrated; may be empty
+ *        for kCapabilityOrder).
+ * @return Class indices, most preferred first. Capability order
+ *         sorts by descending peakFp16Flops, calibrated by
+ *         ascending predicted service time; both break ties by
+ *         class index.
+ */
+std::vector<int> rankClasses(PlacementPolicy policy,
+                             const std::vector<DeviceClass> &classes,
+                             const std::vector<double> &svc1_s);
+
+/**
+ * Pick the nodes that serve one model: walk classes in `rank`
+ * order, taking that class's nodes in id order, until
+ * ceil(nodes_pct% of the fleet) nodes are selected (at least one).
+ *
+ * @return Per-node serve flag, index = node id.
+ */
+std::vector<bool> selectNodes(const ResolvedFleet &fleet,
+                              const std::vector<int> &rank,
+                              double nodes_pct);
+
+} // namespace edgert::fleet
+
+#endif // EDGERT_FLEET_PLACEMENT_HH

@@ -1,0 +1,170 @@
+#include "fleet/router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgert::fleet {
+
+RoutePolicy
+parseRoutePolicy(const std::string &s)
+{
+    if (s == "hash")
+        return RoutePolicy::kHash;
+    if (s == "sojourn")
+        return RoutePolicy::kLeastSojourn;
+    fatal("unknown route policy '", s, "' (expected hash|sojourn)");
+}
+
+const char *
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::kHash: return "hash";
+      case RoutePolicy::kLeastSojourn: return "sojourn";
+    }
+    return "?";
+}
+
+HashRing::HashRing(std::uint64_t seed, int vnodes)
+    : seed_(seed), vnodes_(vnodes)
+{
+    if (vnodes_ < 1)
+        fatal("HashRing needs at least one virtual node (got ",
+              vnodes_, ")");
+}
+
+std::uint64_t
+HashRing::pointHash(int node, int vnode) const
+{
+    // Pack (node, vnode) into one word before mixing: feeding the
+    // two small ints through hashCombine first aliases badly
+    // (vnode + (node << 6) collides across members), leaving half
+    // the ring points duplicated and the lowest node id owning
+    // every shadowed arc.  The packed form is injective, so every
+    // ring point is distinct by construction.
+    return hashCombine(
+        seed_, (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(node))
+                << 32) |
+                   static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(vnode)));
+}
+
+void
+HashRing::reset(const std::vector<int> &nodes)
+{
+    members_.clear();
+    ring_.clear();
+    for (int node : nodes)
+        members_.push_back(node);
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()),
+                   members_.end());
+    ring_.reserve(members_.size() *
+                  static_cast<std::size_t>(vnodes_));
+    for (int node : members_)
+        for (int v = 0; v < vnodes_; v++)
+            ring_.emplace_back(pointHash(node, v), node);
+    std::sort(ring_.begin(), ring_.end());
+}
+
+void
+HashRing::add(int node)
+{
+    auto it = std::lower_bound(members_.begin(), members_.end(),
+                               node);
+    if (it != members_.end() && *it == node)
+        return;
+    members_.insert(it, node);
+    for (int v = 0; v < vnodes_; v++) {
+        std::pair<std::uint64_t, int> p{pointHash(node, v), node};
+        ring_.insert(
+            std::lower_bound(ring_.begin(), ring_.end(), p), p);
+    }
+}
+
+void
+HashRing::remove(int node)
+{
+    auto it = std::lower_bound(members_.begin(), members_.end(),
+                               node);
+    if (it == members_.end() || *it != node)
+        return;
+    members_.erase(it);
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [node](const auto &p) {
+                                   return p.second == node;
+                               }),
+                ring_.end());
+}
+
+bool
+HashRing::contains(int node) const
+{
+    return std::binary_search(members_.begin(), members_.end(),
+                              node);
+}
+
+int
+HashRing::route(std::uint64_t key) const
+{
+    if (ring_.empty())
+        return -1;
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const auto &p, std::uint64_t k) { return p.first < k; });
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap
+    return it->second;
+}
+
+std::vector<int>
+HashRing::successors(std::uint64_t key, int n) const
+{
+    std::vector<int> out;
+    if (ring_.empty() || n <= 0)
+        return out;
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const auto &p, std::uint64_t k) { return p.first < k; });
+    for (std::size_t walked = 0;
+         walked < ring_.size() &&
+         out.size() < static_cast<std::size_t>(n);
+         walked++) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        if (std::find(out.begin(), out.end(), it->second) ==
+            out.end())
+            out.push_back(it->second);
+        ++it;
+    }
+    return out;
+}
+
+std::uint64_t
+HashRing::keyFor(std::int64_t request_id) const
+{
+    return mix64(hashCombine(
+        seed_, static_cast<std::uint64_t>(request_id)));
+}
+
+double
+remapPct(const HashRing &a, const HashRing &b, int probes)
+{
+    if (probes <= 0)
+        return 0.0;
+    int moved = 0;
+    for (int i = 0; i < probes; i++) {
+        std::uint64_t key =
+            mix64(hashCombine(0x9e3779b97f4a7c15ull,
+                              static_cast<std::uint64_t>(i)));
+        if (a.route(key) != b.route(key))
+            moved++;
+    }
+    return 100.0 * static_cast<double>(moved) /
+           static_cast<double>(probes);
+}
+
+} // namespace edgert::fleet

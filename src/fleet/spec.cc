@@ -1,0 +1,123 @@
+#include "fleet/spec.hh"
+
+#include <set>
+
+#include "common/cliflags.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "serve/server.hh"
+
+namespace edgert::fleet {
+
+std::string
+DeviceClass::label() const
+{
+    if (clock_ghz <= 0.0)
+        return device;
+    return device + "@" + jsonNumber(clock_ghz);
+}
+
+const gpusim::DeviceSpec &
+ResolvedFleet::specOf(int node) const
+{
+    return classes
+        .at(static_cast<std::size_t>(
+            nodes.at(static_cast<std::size_t>(node)).dev_class))
+        .spec;
+}
+
+ResolvedFleet
+resolveFleet(std::vector<NodeGroup> groups)
+{
+    if (groups.empty())
+        fatal("fleet needs at least one node group");
+    ResolvedFleet out;
+    std::set<std::string> names;
+    for (std::size_t g = 0; g < groups.size(); g++) {
+        NodeGroup &grp = groups[g];
+        if (grp.count <= 0)
+            fatal("fleet group '", grp.name.empty() ? grp.device
+                                                    : grp.name,
+                  "' needs a positive node count (got ", grp.count,
+                  ")");
+        if (grp.name.empty())
+            grp.name = grp.device + std::to_string(g);
+        if (!names.insert(grp.name).second)
+            fatal("duplicate fleet group name '", grp.name, "'");
+
+        gpusim::DeviceSpec spec = serve::parseDevice(grp.device);
+        if (grp.clock_ghz != 0.0) {
+            if (grp.clock_ghz < 0.0)
+                fatal("fleet group '", grp.name,
+                      "': clock must be positive (got ",
+                      grp.clock_ghz, ")");
+            spec = spec.withClock(grp.clock_ghz);
+        }
+
+        int dev_class = -1;
+        for (std::size_t c = 0; c < out.classes.size(); c++)
+            if (out.classes[c].device == grp.device &&
+                out.classes[c].clock_ghz == grp.clock_ghz)
+                dev_class = static_cast<int>(c);
+        if (dev_class < 0) {
+            DeviceClass dc;
+            dc.device = grp.device;
+            dc.clock_ghz = grp.clock_ghz;
+            dc.spec = spec;
+            dev_class = static_cast<int>(out.classes.size());
+            out.classes.push_back(std::move(dc));
+        }
+
+        for (int i = 0; i < grp.count; i++) {
+            FleetNode n;
+            n.id = static_cast<int>(out.nodes.size());
+            n.group = static_cast<int>(g);
+            n.dev_class = dev_class;
+            n.name = grp.name + "/" + std::to_string(i);
+            out.nodes.push_back(std::move(n));
+        }
+    }
+    out.groups = std::move(groups);
+    return out;
+}
+
+NodeGroup
+parseNodeGroup(const std::string &spec)
+{
+    auto parts = split(spec, ':');
+    if (parts.size() < 2 || parts[0].empty())
+        fatal("bad fleet group spec '", spec,
+              "' (expected <device>:<count>[:clock=..][:name=..])");
+    NodeGroup grp;
+    grp.device = parts[0];
+    {
+        auto r = parseInt64(parts[1]);
+        if (!r.ok())
+            fatal("bad fleet group count '", parts[1],
+                  "': ", r.status().message());
+        grp.count = static_cast<int>(*r);
+    }
+    for (std::size_t i = 2; i < parts.size(); i++) {
+        auto eq = parts[i].find('=');
+        if (eq == std::string::npos)
+            fatal("bad fleet group option '", parts[i],
+                  "' (expected key=value)");
+        std::string k = parts[i].substr(0, eq);
+        std::string v = parts[i].substr(eq + 1);
+        if (k == "clock") {
+            auto r = parseDouble(v);
+            if (!r.ok())
+                fatal("bad fleet group clock '", v,
+                      "': ", r.status().message());
+            grp.clock_ghz = *r;
+        } else if (k == "name") {
+            grp.name = v;
+        } else {
+            fatal("unknown fleet group option '", k, "'");
+        }
+    }
+    return grp;
+}
+
+} // namespace edgert::fleet

@@ -1,0 +1,87 @@
+#ifndef EDGERT_FLEET_SPEC_HH
+#define EDGERT_FLEET_SPEC_HH
+
+/**
+ * @file
+ * FleetSpec — the shape of a simulated edge-device fleet.
+ *
+ * A fleet is declared as groups of identical nodes: a device kind
+ * from Table I (Xavier NX / AGX Xavier), a count, and optionally a
+ * throttled clock (DeviceSpec::withClock) for straggler pools — the
+ * paper pins clocks per §III, but production fleets always carry a
+ * thermally-limited tail. Resolution flattens the groups into an
+ * id-ordered node list and deduplicates the distinct
+ * (device, clock) combinations into *device classes*: engines are
+ * built and calibrated once per class and shared read-only by every
+ * node of that class, which is what makes a ~500-node fleet cheap
+ * to simulate (per-node state is just streams, queues and plans).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hh"
+
+namespace edgert::fleet {
+
+/** One pool of identical nodes. */
+struct NodeGroup
+{
+    std::string name;   //!< unique; defaults to "<device><index>"
+    std::string device; //!< "nx" | "agx"
+    int count = 0;
+    double clock_ghz = 0.0; //!< 0 = the device's pinned default
+};
+
+/**
+ * A distinct (device, clock) combination. Nodes of one class share
+ * built engines and calibrated service predictions.
+ */
+struct DeviceClass
+{
+    std::string device;     //!< "nx" | "agx"
+    double clock_ghz = 0.0; //!< 0 = default
+    gpusim::DeviceSpec spec;
+
+    /** Stable wire name, e.g. "nx" or "agx@0.6". */
+    std::string label() const;
+};
+
+/** One resolved node. */
+struct FleetNode
+{
+    int id = -1;        //!< fleet-wide index, group declaration order
+    int group = -1;     //!< into the group list
+    int dev_class = -1; //!< into the class list
+    std::string name;   //!< "<group>/<ordinal>", e.g. "nx0/17"
+};
+
+/** Flattened fleet: nodes in id order plus their device classes. */
+struct ResolvedFleet
+{
+    std::vector<NodeGroup> groups;
+    std::vector<DeviceClass> classes;
+    std::vector<FleetNode> nodes;
+
+    const gpusim::DeviceSpec &specOf(int node) const;
+};
+
+/**
+ * Flatten groups into nodes and device classes. Groups without a
+ * name get "<device><group-index>"; duplicate group names, unknown
+ * devices, non-positive counts and non-positive explicit clocks are
+ * fatal().
+ */
+ResolvedFleet resolveFleet(std::vector<NodeGroup> groups);
+
+/**
+ * Parse one CLI group spec:
+ *   <device>:<count>[:clock=<ghz>][:name=<str>]
+ * e.g. "nx:96", "agx:24", "nx:8:clock=0.6:name=straggler".
+ */
+NodeGroup parseNodeGroup(const std::string &spec);
+
+} // namespace edgert::fleet
+
+#endif // EDGERT_FLEET_SPEC_HH

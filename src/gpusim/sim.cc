@@ -32,7 +32,9 @@ UtilStats::busyPct() const
     return window_s > 0.0 ? 100.0 * gpu_busy_s / window_s : 0.0;
 }
 
-GpuSim::GpuSim(const DeviceSpec &spec) : spec_(spec)
+GpuSim::GpuSim(const DeviceSpec &spec,
+               obs::MetricRegistry *registry)
+    : spec_(spec)
 {
     if (spec_.sm_count <= 0)
         fatal("GpuSim: device '", spec_.name, "' has no SMs");
@@ -40,7 +42,8 @@ GpuSim::GpuSim(const DeviceSpec &spec) : spec_(spec)
     eff_dram_bps_ = spec_.effDramBps();
     streams_.emplace_back(); // default stream 0
 
-    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    obs::MetricRegistry &reg =
+        registry ? *registry : obs::MetricRegistry::global();
     const obs::Labels dev = {{"device", spec_.name}};
     m_kernel_launches_ = reg.counter("gpusim.kernel.launches", dev);
     m_memcpy_bytes_h2d_ = reg.counter(

@@ -101,7 +101,18 @@ struct SimStats
 class GpuSim
 {
   public:
-    explicit GpuSim(const DeviceSpec &spec);
+    /**
+     * @param spec     Device to simulate.
+     * @param registry Registry the per-device instrumentation
+     *        (gpusim.* counters/histograms) records into; defaults
+     *        to the process-wide registry. A fleet simulating many
+     *        same-named devices gives each node a private registry
+     *        so their series do not pile up under one label set,
+     *        then folds them into one snapshot with
+     *        obs::MetricRegistry::mergeFrom.
+     */
+    explicit GpuSim(const DeviceSpec &spec,
+                    obs::MetricRegistry *registry = nullptr);
 
     GpuSim(const GpuSim &) = delete;
     GpuSim &operator=(const GpuSim &) = delete;

@@ -249,6 +249,128 @@ MetricRegistry::size() const
 
 namespace {
 
+/** Value-type copy of a HistogramCell's state for lock staging. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t,
+               metrics_detail::HistogramCell::kBuckets + 1>
+        buckets{};
+    std::vector<double> exact;
+};
+
+} // namespace
+
+void
+MetricRegistry::mergeFrom(const MetricRegistry &src,
+                          const std::string &prefix)
+{
+    // Stage the source under its own lock only, so self-merges and
+    // concurrent cross-merges cannot deadlock.
+    std::vector<std::pair<std::string, std::int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> hists;
+    {
+        std::lock_guard<std::mutex> lock(src.mu_);
+        counters.reserve(src.counters_.size());
+        for (const auto &[k, cell] : src.counters_)
+            counters.emplace_back(
+                k, cell->value.load(std::memory_order_relaxed));
+        gauges.reserve(src.gauges_.size());
+        for (const auto &[k, cell] : src.gauges_)
+            gauges.emplace_back(
+                k, cell->value.load(std::memory_order_relaxed));
+        hists.reserve(src.histograms_.size());
+        for (const auto &[k, cell] : src.histograms_) {
+            std::lock_guard<std::mutex> hlock(cell->mu);
+            HistogramSnapshot snap;
+            snap.count = cell->count;
+            snap.sum = cell->sum;
+            snap.min = cell->min;
+            snap.max = cell->max;
+            snap.buckets = cell->buckets;
+            snap.exact = cell->exact;
+            hists.emplace_back(k, std::move(snap));
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[k, v] : counters) {
+        std::string key = prefix + k;
+        if (gauges_.count(key) || histograms_.count(key))
+            fatal("mergeFrom: metric '", key,
+                  "' already registered as another kind");
+        auto it = counters_.find(key);
+        if (it == counters_.end())
+            it = counters_
+                     .emplace(std::move(key),
+                              std::make_unique<
+                                  metrics_detail::CounterCell>())
+                     .first;
+        it->second->value.fetch_add(v, std::memory_order_relaxed);
+    }
+    for (const auto &[k, v] : gauges) {
+        std::string key = prefix + k;
+        if (counters_.count(key) || histograms_.count(key))
+            fatal("mergeFrom: metric '", key,
+                  "' already registered as another kind");
+        auto it = gauges_.find(key);
+        if (it == gauges_.end())
+            it = gauges_
+                     .emplace(std::move(key),
+                              std::make_unique<
+                                  metrics_detail::GaugeCell>())
+                     .first;
+        it->second->value.store(v, std::memory_order_relaxed);
+    }
+    for (const auto &[k, snap] : hists) {
+        std::string key = prefix + k;
+        if (counters_.count(key) || gauges_.count(key))
+            fatal("mergeFrom: metric '", key,
+                  "' already registered as another kind");
+        auto it = histograms_.find(key);
+        if (it == histograms_.end())
+            it = histograms_
+                     .emplace(std::move(key),
+                              std::make_unique<
+                                  metrics_detail::HistogramCell>())
+                     .first;
+        metrics_detail::HistogramCell &cell = *it->second;
+        std::lock_guard<std::mutex> hlock(cell.mu);
+        bool dst_exact = cell.count == cell.exact.size();
+        bool src_exact = snap.count == snap.exact.size();
+        std::uint64_t combined = cell.count + snap.count;
+        if (snap.count > 0) {
+            if (cell.count == 0) {
+                cell.min = snap.min;
+                cell.max = snap.max;
+            } else {
+                cell.min = std::min(cell.min, snap.min);
+                cell.max = std::max(cell.max, snap.max);
+            }
+        }
+        cell.count = combined;
+        cell.sum += snap.sum;
+        for (std::size_t i = 0; i < cell.buckets.size(); i++)
+            cell.buckets[i] += snap.buckets[i];
+        if (dst_exact && src_exact &&
+            combined <=
+                metrics_detail::HistogramCell::kExactCap) {
+            cell.exact.insert(cell.exact.end(),
+                              snap.exact.begin(),
+                              snap.exact.end());
+        } else if (!cell.exact.empty()) {
+            cell.exact.clear();
+            cell.exact.shrink_to_fit();
+        }
+    }
+}
+
+namespace {
+
 bool
 keptBy(const std::string &key,
        const std::vector<std::string> &prefixes)

@@ -205,6 +205,25 @@ class MetricRegistry
     /** Zero every metric; handles stay valid, keys stay listed. */
     void reset();
 
+    /**
+     * Merge another registry's current state into this one, key by
+     * key, optionally prepending `prefix` to every metric *name*
+     * (the sorted `{k=v,...}` label block is untouched, so merged
+     * keys stay canonical and label ordering stays deterministic).
+     * Counters add, gauges take the source value (last merge wins),
+     * histograms combine count/sum/min/max and bucket counts; the
+     * exact-percentile reservoir survives only while both sides are
+     * exact and the combined count fits kExactCap, matching what a
+     * replay of all record() calls would have retained. Missing
+     * destination cells are created; reusing a merged key as a
+     * different metric kind is fatal(), as in counter()/gauge()/
+     * histogram(). The source is snapshotted before this registry
+     * is locked, so merging a registry into itself under a prefix
+     * is safe.
+     */
+    void mergeFrom(const MetricRegistry &src,
+                   const std::string &prefix = "");
+
     /** Number of registered metric keys across all kinds. */
     std::size_t size() const;
 

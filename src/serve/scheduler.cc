@@ -7,6 +7,19 @@
 
 namespace edgert::serve {
 
+std::vector<int>
+engineBatchLadder(int max_batch)
+{
+    std::vector<int> out;
+    int b = 1;
+    while (b < max_batch) {
+        out.push_back(b);
+        b *= 2;
+    }
+    out.push_back(b); // smallest power of two >= max_batch
+    return out;
+}
+
 int
 EngineSet::indexFor(int batch) const
 {

@@ -24,6 +24,13 @@
 
 namespace edgert::serve {
 
+/**
+ * Power-of-two engine-batch ladder covering [1, max_batch]: 1, 2,
+ * 4, ... up to the smallest power of two >= max_batch. Every server
+ * (node-local or fleet) prebuilds one engine per rung.
+ */
+std::vector<int> engineBatchLadder(int max_batch);
+
 /** One model's prebuilt engines on one device, batch ascending. */
 struct EngineSet
 {

@@ -40,20 +40,6 @@ parseDevice(const std::string &name)
 
 namespace {
 
-/** Power-of-two engine-batch ladder covering [1, max_batch]. */
-std::vector<int>
-batchLadder(int max_batch)
-{
-    std::vector<int> out;
-    int b = 1;
-    while (b < max_batch) {
-        out.push_back(b);
-        b *= 2;
-    }
-    out.push_back(b); // smallest power of two >= max_batch
-    return out;
-}
-
 /** Control-plane discrete event. */
 struct Event
 {
@@ -228,7 +214,7 @@ runServer(const ServeConfig &cfg)
                      {"build", std::to_string(build_id)}});
         ModelVersion ver;
         ver.build_id = build_id;
-        auto ladder = batchLadder(
+        auto ladder = engineBatchLadder(
             policies[static_cast<std::size_t>(m)].max_batch);
         for (int d = 0; d < n_devices; d++) {
             EngineSet set;

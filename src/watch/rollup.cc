@@ -1,0 +1,48 @@
+#include "watch/rollup.hh"
+
+namespace edgert::watch {
+
+void
+AlertRollup::observe(double t_s, int node, const std::string &group,
+                     Alert::Tier tier, const BurnRates &burn)
+{
+    NodeAlert a;
+    a.t_s = t_s;
+    a.node = node;
+    a.group = group;
+    a.tier = tier;
+    a.burn = burn;
+    alerts_.push_back(std::move(a));
+
+    GroupAlertCounts &g = groups_[group];
+    if (g.group.empty())
+        g.group = group;
+    switch (tier) {
+      case Alert::kPage:
+          pages_++;
+          g.pages++;
+          if (first_page_s_ < 0.0)
+              first_page_s_ = t_s;
+          break;
+      case Alert::kWarn:
+          warns_++;
+          g.warns++;
+          break;
+      case Alert::kNone:
+          clears_++;
+          g.clears++;
+          break;
+    }
+}
+
+std::vector<GroupAlertCounts>
+AlertRollup::byGroup() const
+{
+    std::vector<GroupAlertCounts> out;
+    out.reserve(groups_.size());
+    for (const auto &[name, counts] : groups_)
+        out.push_back(counts);
+    return out;
+}
+
+} // namespace edgert::watch

@@ -1,0 +1,78 @@
+#ifndef EDGERT_WATCH_ROLLUP_HH
+#define EDGERT_WATCH_ROLLUP_HH
+
+/**
+ * @file
+ * AlertRollup — per-node burn-rate alerts folded into one
+ * fleet-wide view.
+ *
+ * A fleet runs one SloTracker per node; paging a human per node
+ * does not scale to hundreds of nodes, so the rollup aggregates the
+ * edge-triggered tier transitions into fleet totals and per-group
+ * breakdowns (which device pool is burning?) while keeping the raw
+ * transition log for the report. Observation order must be
+ * time-ordered (the fleet control loop already is), making every
+ * derived figure deterministic.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "watch/slo.hh"
+
+namespace edgert::watch {
+
+/** One per-node tier transition in the fleet-wide log. */
+struct NodeAlert
+{
+    double t_s = 0.0;
+    int node = -1;
+    std::string group;             //!< device pool name
+    Alert::Tier tier = Alert::kNone; //!< kNone = cleared
+    BurnRates burn;
+};
+
+/** Per-group alert totals. */
+struct GroupAlertCounts
+{
+    std::string group;
+    std::int64_t pages = 0;
+    std::int64_t warns = 0;
+    std::int64_t clears = 0;
+};
+
+/** Fleet-wide aggregation of per-node SLO alerts. */
+class AlertRollup
+{
+  public:
+    /** Record one tier transition (t_s non-decreasing). */
+    void observe(double t_s, int node, const std::string &group,
+                 Alert::Tier tier, const BurnRates &burn);
+
+    std::int64_t pages() const { return pages_; }
+    std::int64_t warns() const { return warns_; }
+    std::int64_t clears() const { return clears_; }
+
+    /** Time of the first page transition; -1 when none paged. */
+    double firstPageSeconds() const { return first_page_s_; }
+
+    /** Raw transition log, observation order. */
+    const std::vector<NodeAlert> &alerts() const { return alerts_; }
+
+    /** Per-group totals, sorted by group name. */
+    std::vector<GroupAlertCounts> byGroup() const;
+
+  private:
+    std::vector<NodeAlert> alerts_;
+    std::map<std::string, GroupAlertCounts> groups_;
+    std::int64_t pages_ = 0;
+    std::int64_t warns_ = 0;
+    std::int64_t clears_ = 0;
+    double first_page_s_ = -1.0;
+};
+
+} // namespace edgert::watch
+
+#endif // EDGERT_WATCH_ROLLUP_HH

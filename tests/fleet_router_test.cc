@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Routing invariants for the EdgeFleet consistent-hash ring and the
+ * least-predicted-sojourn policy built on top of it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fleet/fleet.hh"
+#include "fleet/router.hh"
+
+namespace {
+
+using namespace edgert;
+using fleet::HashRing;
+
+std::vector<int>
+iota(int n)
+{
+    std::vector<int> v(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; i++)
+        v[static_cast<std::size_t>(i)] = i;
+    return v;
+}
+
+// At >= 100 vnodes the arc-length spread per member is ~1/sqrt(v)
+// relative, so over 50 members every node's share of 100k probe
+// keys must stay within [0.5x, 1.5x] of the fair share.
+TEST(HashRing, BalanceWithinBoundAt128Vnodes)
+{
+    const int kNodes = 50, kProbes = 100'000;
+    HashRing ring(42, 128);
+    ring.reset(iota(kNodes));
+
+    std::map<int, int> load;
+    for (int i = 0; i < kProbes; i++)
+        load[ring.route(ring.keyFor(i))]++;
+
+    ASSERT_EQ(load.size(), static_cast<std::size_t>(kNodes));
+    double fair = static_cast<double>(kProbes) / kNodes;
+    for (const auto &[node, hits] : load) {
+        EXPECT_GT(hits, 0.5 * fair) << "node " << node;
+        EXPECT_LT(hits, 1.5 * fair) << "node " << node;
+    }
+}
+
+// Removing one member must move ONLY the keys that member owned —
+// every key owned by a survivor keeps its owner.
+TEST(HashRing, MinimalRemapOnRemoval)
+{
+    const int kNodes = 20, kProbes = 50'000, kVictim = 7;
+    HashRing before(7, 128);
+    before.reset(iota(kNodes));
+    HashRing after = before;
+    after.remove(kVictim);
+
+    int moved = 0;
+    for (int i = 0; i < kProbes; i++) {
+        std::uint64_t key = before.keyFor(i);
+        int was = before.route(key), now = after.route(key);
+        ASSERT_NE(now, kVictim);
+        if (was != kVictim)
+            EXPECT_EQ(now, was) << "survivor-owned key moved";
+        else
+            moved++;
+    }
+    // The victim's share ~ 1/20 of the key space.
+    EXPECT_GT(moved, kProbes / 100);
+    EXPECT_LT(moved, kProbes / 5);
+
+    double pct = fleet::remapPct(before, after, kProbes);
+    EXPECT_GT(pct, 1.0);
+    EXPECT_LT(pct, 20.0);
+}
+
+TEST(HashRing, RejoinRestoresOwnership)
+{
+    HashRing ring(3, 100);
+    ring.reset(iota(12));
+    HashRing original = ring;
+    ring.remove(5);
+    ring.add(5);
+    for (int i = 0; i < 10'000; i++) {
+        std::uint64_t key = ring.keyFor(i);
+        EXPECT_EQ(ring.route(key), original.route(key));
+    }
+}
+
+TEST(HashRing, SameSeedSameRing)
+{
+    HashRing a(99, 128), b(99, 128);
+    a.reset(iota(30));
+    b.reset(iota(30));
+    for (int i = 0; i < 10'000; i++)
+        EXPECT_EQ(a.route(a.keyFor(i)), b.route(b.keyFor(i)));
+}
+
+TEST(HashRing, SuccessorsAreDistinctAndStartAtOwner)
+{
+    HashRing ring(5, 128);
+    ring.reset(iota(10));
+    for (int i = 0; i < 1000; i++) {
+        std::uint64_t key = ring.keyFor(i);
+        auto succ = ring.successors(key, 4);
+        ASSERT_EQ(succ.size(), 4u);
+        EXPECT_EQ(succ.front(), ring.route(key));
+        std::set<int> uniq(succ.begin(), succ.end());
+        EXPECT_EQ(uniq.size(), succ.size());
+    }
+    // Asking for more successors than members returns each member
+    // exactly once.
+    auto all = ring.successors(ring.keyFor(0), 64);
+    EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(HashRing, EmptyRingRoutesNowhere)
+{
+    HashRing ring(1, 128);
+    EXPECT_EQ(ring.route(12345), -1);
+    EXPECT_TRUE(ring.successors(12345, 4).empty());
+}
+
+// Least-sojourn tie-break: on a fleet of identical idle nodes every
+// candidate scores the same predicted sojourn, so the lowest node
+// id among the ring candidates must win — deterministically. With
+// sojourn_choices covering the whole fleet, that is node 0 for
+// every widely-spaced request.
+TEST(SojournPolicy, TieBreaksToLowestNodeId)
+{
+    fleet::FleetConfig cfg;
+    // Four identical single-node pools so the report's per-group
+    // stats expose which node served.
+    cfg.groups.push_back(fleet::parseNodeGroup("nx:1:name=a"));
+    cfg.groups.push_back(fleet::parseNodeGroup("nx:1:name=b"));
+    cfg.groups.push_back(fleet::parseNodeGroup("nx:1:name=c"));
+    cfg.groups.push_back(fleet::parseNodeGroup("nx:1:name=d"));
+    fleet::FleetModelConfig mc;
+    mc.model = "alexnet";
+    mc.slo_ms = 100.0;
+    // Sparse arrivals: at 4 qps the expected gap (250 ms) dwarfs
+    // the alexnet service time, so every node is idle at every
+    // arrival and the predicted sojourns tie exactly.  (A clustered
+    // Poisson pair would make the busy node lose on merit — that is
+    // least-sojourn working, not a tie.)
+    mc.arrivals.qps = 4.0;
+    mc.batching.max_batch = 1; // no fill-wait term: exact ties
+    cfg.models.push_back(mc);
+    cfg.duration_s = 2.0;
+    cfg.route_policy = fleet::RoutePolicy::kLeastSojourn;
+    cfg.sojourn_choices = 4; // candidate set = the whole fleet
+
+    fleet::FleetReport rep = fleet::runFleet(cfg);
+    ASSERT_EQ(rep.groups.size(), 4u);
+    EXPECT_GT(rep.offered, 0);
+    EXPECT_EQ(rep.groups[0].completed, rep.completed)
+        << "ties must resolve to node 0";
+    for (std::size_t g = 1; g < rep.groups.size(); g++)
+        EXPECT_EQ(rep.groups[g].completed, 0)
+            << "group " << rep.groups[g].group;
+}
+
+TEST(RoutePolicy, ParseAndName)
+{
+    EXPECT_EQ(fleet::parseRoutePolicy("hash"),
+              fleet::RoutePolicy::kHash);
+    EXPECT_EQ(fleet::parseRoutePolicy("sojourn"),
+              fleet::RoutePolicy::kLeastSojourn);
+    EXPECT_STREQ(fleet::routePolicyName(fleet::RoutePolicy::kHash),
+                 "hash");
+    EXPECT_STREQ(
+        fleet::routePolicyName(fleet::RoutePolicy::kLeastSojourn),
+        "sojourn");
+    EXPECT_THROW(fleet::parseRoutePolicy("random"),
+                 edgert::FatalError);
+}
+
+} // namespace

@@ -319,3 +319,100 @@ TEST(PromText, PrefixFilterUsesCanonicalKeys)
     EXPECT_NE(text.find("deploy_repo_puts 1"), std::string::npos);
     EXPECT_EQ(text.find("builder_builds"), std::string::npos);
 }
+
+// ---------------------------------------------------------------
+// mergeFrom: fleet-wide snapshot assembly from per-node registries.
+// ---------------------------------------------------------------
+
+TEST(MergeFrom, CountersAdd)
+{
+    MetricRegistry dst, src;
+    dst.counter("serve.completed").add(10);
+    src.counter("serve.completed").add(5);
+    src.counter("serve.shed").add(2);
+    dst.mergeFrom(src);
+    EXPECT_EQ(dst.counter("serve.completed").value(), 15);
+    EXPECT_EQ(dst.counter("serve.shed").value(), 2);
+}
+
+TEST(MergeFrom, GaugesLastMergeWins)
+{
+    MetricRegistry dst, a, b;
+    dst.gauge("fleet.depth").set(1.0);
+    a.gauge("fleet.depth").set(7.0);
+    b.gauge("fleet.depth").set(3.0);
+    dst.mergeFrom(a);
+    dst.mergeFrom(b);
+    EXPECT_DOUBLE_EQ(dst.gauge("fleet.depth").value(), 3.0);
+}
+
+TEST(MergeFrom, HistogramsCombine)
+{
+    MetricRegistry dst, src;
+    Histogram hd = dst.histogram("lat.ms");
+    Histogram hs = src.histogram("lat.ms");
+    hd.record(1.0);
+    hd.record(2.0);
+    hs.record(0.5);
+    hs.record(8.0);
+    dst.mergeFrom(src);
+    EXPECT_EQ(hd.count(), 4u);
+    EXPECT_DOUBLE_EQ(hd.sum(), 11.5);
+    EXPECT_DOUBLE_EQ(hd.min(), 0.5);
+    EXPECT_DOUBLE_EQ(hd.max(), 8.0);
+    // Both sides under the exact cap: percentiles stay nearest-rank.
+    EXPECT_DOUBLE_EQ(hd.percentile(100.0), 8.0);
+}
+
+TEST(MergeFrom, PrefixNamespacesEveryKind)
+{
+    MetricRegistry dst, src;
+    src.counter("done", {{"model", "alexnet"}}).add(3);
+    src.gauge("depth").set(2.0);
+    src.histogram("lat").record(1.0);
+    dst.mergeFrom(src, "fleet.nx0.");
+    EXPECT_EQ(
+        dst.counter("fleet.nx0.done", {{"model", "alexnet"}}).value(),
+        3);
+    EXPECT_DOUBLE_EQ(dst.gauge("fleet.nx0.depth").value(), 2.0);
+    EXPECT_EQ(dst.histogram("fleet.nx0.lat").count(), 1u);
+    // Source untouched, unprefixed keys absent from the target.
+    EXPECT_EQ(src.counter("done", {{"model", "alexnet"}}).value(), 3);
+    EXPECT_EQ(dst.counter("done", {{"model", "alexnet"}}).value(), 0);
+}
+
+TEST(MergeFrom, DeterministicLabelOrdering)
+{
+    // Labels registered in different orders must land on the same
+    // canonical key, so merged snapshots are byte-stable.
+    MetricRegistry a, b, src1, src2;
+    src1.counter("c", {{"x", "1"}, {"y", "2"}}).add(1);
+    src2.counter("c", {{"y", "2"}, {"x", "1"}}).add(1);
+    a.mergeFrom(src1, "p.");
+    b.mergeFrom(src2, "p.");
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+TEST(MergeFrom, MergeIsDeterministicJson)
+{
+    auto build = []() {
+        MetricRegistry dst;
+        MetricRegistry n0, n1;
+        n0.counter("serve.completed").add(4);
+        n0.histogram("lat.ms").record(1.5);
+        n1.counter("serve.completed").add(6);
+        n1.histogram("lat.ms").record(2.5);
+        dst.mergeFrom(n0, "fleet.a.");
+        dst.mergeFrom(n1, "fleet.b.");
+        return dst.toJson();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(MergeFrom, CrossKindCollisionIsFatal)
+{
+    MetricRegistry dst, src;
+    dst.counter("thing").add(1);
+    src.gauge("thing").set(1.0);
+    EXPECT_THROW(dst.mergeFrom(src), FatalError);
+}

@@ -26,6 +26,7 @@
 #include "deploy/rebuild_worker.hh"
 #include "deploy/repository.hh"
 #include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
 #include "serve/server.hh"
 
 using namespace edgert;
@@ -58,6 +59,11 @@ usage()
         "  --drift-gate-pct <x>  max canary top-1 disagreement, "
         "percent\n"
         "                        (default 0.4)\n"
+        "  --metrics-out <f>     write the metric-registry "
+        "snapshot\n"
+        "  --metrics-format <f>  snapshot format: json (default) "
+        "or\n"
+        "                        prom (Prometheus text exposition)\n"
         "  --quiet               warnings and errors only\n"
         "Options also accept --opt=value syntax.\n");
 }
@@ -72,6 +78,8 @@ struct Args
     int jobs = 1;
     int version = -1;
     double drift_gate_pct = -1.0;
+    std::string metrics_out;
+    std::string metrics_format = "json"; //!< json | prom
 };
 
 /** The manifest of `key`, as a printed lineage table. */
@@ -113,45 +121,8 @@ must(const Status &st)
 }
 
 int
-run(int argc, char **argv)
+dispatch(const Args &a)
 {
-    Args a;
-    FlagParser flags(argc, argv);
-    while (flags.next()) {
-        if (!flags.isOption()) {
-            if (!a.command.empty())
-                fatal("unexpected argument '", flags.arg(),
-                      "' after command '", a.command, "'");
-            a.command = flags.arg();
-        } else if (flags.is("--repo"))
-            a.repo = flags.value();
-        else if (flags.is("--model"))
-            a.model = flags.value();
-        else if (flags.is("--device"))
-            a.device = flags.value();
-        else if (flags.is("--seed"))
-            a.seed = flags.unsignedValue();
-        else if (flags.is("--jobs"))
-            a.jobs = static_cast<int>(flags.intValue());
-        else if (flags.is("--version"))
-            a.version = static_cast<int>(flags.intValue());
-        else if (flags.is("--drift-gate-pct"))
-            a.drift_gate_pct = flags.numberValue();
-        else if (flags.is("--quiet"))
-            setLogLevel(LogLevel::kWarn);
-        else if (flags.is("--help") || flags.is("-h")) {
-            usage();
-            return 0;
-        } else
-            fatal("unknown option: ", flags.arg());
-    }
-    if (a.command.empty()) {
-        usage();
-        fatal("missing command");
-    }
-    if (a.repo.empty())
-        fatal("--repo is required");
-
     deploy::EngineRepository repo(a.repo);
     gpusim::DeviceSpec device = serve::parseDevice(a.device);
     deploy::ModelKey key{a.model, device.name,
@@ -159,7 +130,6 @@ run(int argc, char **argv)
     deploy::DriftGateConfig gate_cfg;
     if (a.drift_gate_pct >= 0.0)
         gate_cfg.max_disagreement_pct = a.drift_gate_pct;
-
     if (a.command == "list") {
         for (const auto &k : repo.list()) {
             auto m = repo.manifest(k);
@@ -254,6 +224,65 @@ run(int argc, char **argv)
     }
     usage();
     fatal("unknown command '", a.command, "'");
+}
+
+int
+run(int argc, char **argv)
+{
+    Args a;
+    FlagParser flags(argc, argv);
+    while (flags.next()) {
+        if (!flags.isOption()) {
+            if (!a.command.empty())
+                fatal("unexpected argument '", flags.arg(),
+                      "' after command '", a.command, "'");
+            a.command = flags.arg();
+        } else if (flags.is("--repo"))
+            a.repo = flags.value();
+        else if (flags.is("--model"))
+            a.model = flags.value();
+        else if (flags.is("--device"))
+            a.device = flags.value();
+        else if (flags.is("--seed"))
+            a.seed = flags.unsignedValue();
+        else if (flags.is("--jobs"))
+            a.jobs = static_cast<int>(flags.intValue());
+        else if (flags.is("--version"))
+            a.version = static_cast<int>(flags.intValue());
+        else if (flags.is("--drift-gate-pct"))
+            a.drift_gate_pct = flags.numberValue();
+        else if (flags.is("--metrics-out"))
+            a.metrics_out = flags.value();
+        else if (flags.is("--metrics-format")) {
+            a.metrics_format = flags.value();
+            if (a.metrics_format != "json" &&
+                a.metrics_format != "prom")
+                fatal("invalid value '", a.metrics_format,
+                      "' for --metrics-format: expected json|prom");
+        } else if (flags.is("--quiet"))
+            setLogLevel(LogLevel::kWarn);
+        else if (flags.is("--help") || flags.is("-h")) {
+            usage();
+            return 0;
+        } else
+            fatal("unknown option: ", flags.arg());
+    }
+    if (a.command.empty()) {
+        usage();
+        fatal("missing command");
+    }
+    if (a.repo.empty())
+        fatal("--repo is required");
+
+    int rc = dispatch(a);
+    if (!a.metrics_out.empty()) {
+        if (a.metrics_format == "prom")
+            obs::MetricRegistry::global().savePromText(
+                a.metrics_out);
+        else
+            obs::MetricRegistry::global().save(a.metrics_out);
+    }
+    return rc;
 }
 
 } // namespace
