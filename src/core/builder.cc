@@ -151,16 +151,28 @@ Builder::build(const nn::Network &net, BuildReport *report) const
                 {{"model", net.name()}, {"device", device_.name}});
 
     net.validate();
+    // A mixed build starts from the fully quantized assignment and
+    // lets the precision selector walk individual nodes back to FP16.
+    nn::Precision node_target =
+        config_.precision == nn::Precision::kMixed
+            ? nn::Precision::kInt8
+            : config_.precision;
     OptimizedGraph graph =
-        optimize(net, config_.precision, config_.optimizer);
+        optimize(net, node_target, config_.optimizer);
     report->optimizer = graph.stats();
 
-    // INT8 builds calibrate activation ranges first; the resulting
-    // table is part of the engine's identity.
+    // INT8 and mixed builds calibrate activation ranges first; the
+    // resulting table is part of the engine's identity.
     std::uint64_t calib_fp = 0;
-    if (config_.precision == nn::Precision::kInt8) {
+    if (config_.precision == nn::Precision::kInt8 ||
+        config_.precision == nn::Precision::kMixed) {
         Int8Calibrator calibrator(net, config_.calibration_seed);
         calib_fp = calibrator.tableFingerprint();
+        if (config_.precision == nn::Precision::kMixed) {
+            report->precision_plan = selectPrecisions(
+                graph, calibrator, config_.precision_plan);
+            applyPrecisionPlan(graph, report->precision_plan);
+        }
     }
 
     const auto &nodes = graph.nodes();

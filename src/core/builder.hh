@@ -39,6 +39,7 @@
 
 #include "core/engine.hh"
 #include "core/optimizer.hh"
+#include "core/precision.hh"
 #include "core/tactics.hh"
 #include "gpusim/device.hh"
 #include "nn/network.hh"
@@ -79,11 +80,17 @@ struct BuilderConfig
     OptimizerOptions optimizer;
 
     /**
-     * Calibration-batch identity for INT8 builds (ignored
+     * Calibration-batch identity for INT8 and mixed builds (ignored
      * otherwise). Different calibration data yields different
      * activation ranges and hence different engines.
      */
     std::uint64_t calibration_seed = 0;
+
+    /**
+     * Margin-loss budgets of the per-layer precision selector,
+     * consulted only when precision == kMixed (see core/precision.hh).
+     */
+    PrecisionPlanConfig precision_plan;
 
     /**
      * Worker threads for the tactic autotuning sweep. 1 = serial,
@@ -173,6 +180,10 @@ struct BuildReport
     std::vector<TuningRecord> tuning;
     TimingWorkload workload;
     BuildProvenance provenance;
+
+    /** Per-layer precision decisions (kMixed builds only; empty
+     *  `decisions` otherwise). */
+    PrecisionPlan precision_plan;
 };
 
 /**

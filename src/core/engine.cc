@@ -82,6 +82,22 @@ Engine::weightTransfers() const
     return n;
 }
 
+double
+Engine::int8ComputeFraction() const
+{
+    double total = 0.0;
+    double int8 = 0.0;
+    for (const auto &s : steps_) {
+        double flops = 0.0;
+        for (const auto &k : s.kernels)
+            flops += static_cast<double>(k.flops);
+        total += flops;
+        if (s.precision == nn::Precision::kInt8)
+            int8 += flops;
+    }
+    return total > 0.0 ? int8 / total : 0.0;
+}
+
 std::int64_t
 Engine::planSizeBytes() const
 {
@@ -187,8 +203,10 @@ Engine::deserialize(const std::vector<std::uint8_t> &bytes)
     std::uint8_t precision_raw = r.u8();
     std::uint64_t build_id = r.u64();
     std::uint64_t calib = r.u64();
+    // Engine-level precision admits kMixed (a plan-level label);
+    // per-step precisions below stay concrete (<= kInt8).
     if (precision_raw >
-        static_cast<std::uint8_t>(nn::Precision::kInt8))
+        static_cast<std::uint8_t>(nn::Precision::kMixed))
         return errorStatus(ErrorCode::kDataLoss,
                            "Engine::deserialize: invalid precision ",
                            static_cast<int>(precision_raw));

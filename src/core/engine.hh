@@ -99,6 +99,14 @@ class Engine
     int weightTransfers() const;
 
     /**
+     * Fraction of the engine's compute (kernel FLOPs) executed by
+     * INT8 steps, in [0, 1]. 0 for pure FP16/FP32 engines, 1 for
+     * fully quantized ones; mixed engines land in between according
+     * to how much work the precision selector kept at INT8.
+     */
+    double int8ComputeFraction() const;
+
+    /**
      * Serialized plan size in bytes: header + one embedded cubin per
      * unique kernel + per-step metadata + weight payload. Matches
      * the "TensorRT engine size" columns of the paper's Table II.

@@ -100,6 +100,11 @@ class OptimizedGraph
 
     const nn::Network &network() const { return *net_; }
     const std::vector<OptNode> &nodes() const { return nodes_; }
+
+    /** Mutable node access for post-pass precision rewrites (see
+     *  core/precision.hh: the mixed-precision selector flips
+     *  individual nodes back to FP16 before tactic selection). */
+    std::vector<OptNode> &mutableNodes() { return nodes_; }
     const OptimizerStats &stats() const { return stats_; }
 
     /** Total trainable parameters reachable from the outputs. */

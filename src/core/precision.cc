@@ -1,0 +1,147 @@
+#include "core/precision.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace edgert::core {
+
+namespace {
+
+// Margin units per relative activation error. One full-INT8 build
+// of a ~20-conv network lands near 0.3–0.6 total margin loss, which
+// the surrogate maps to the sub-percent top-1 drops the
+// quantization literature reports for well-calibrated INT8.
+constexpr double kMarginLossPerRelErr = 8.0;
+
+// Mean quantization step error: step/sqrt(12) per element, and the
+// He-balanced reduction keeps sqrt(2) of it after accumulation.
+constexpr double kStepNoise = 0.40824829046386302; // sqrt(1/6)
+
+} // namespace
+
+double
+quantMarginLoss(const OptNode &node, const Int8Calibrator &calib)
+{
+    const auto &ranges = calib.ranges();
+    double ratio = 1.0;
+    if (!node.inputs.empty() && !node.outputs.empty()) {
+        auto in = ranges.find(node.inputs[0]);
+        auto out = ranges.find(node.outputs[0]);
+        if (in != ranges.end() && out != ranges.end() &&
+            in->second.abs_max > 0.0f && out->second.abs_max > 0.0f)
+            ratio = static_cast<double>(in->second.abs_max) /
+                    static_cast<double>(out->second.abs_max);
+    }
+    double rel_err = (1.0 / 127.0) * kStepNoise * ratio;
+    return kMarginLossPerRelErr * rel_err;
+}
+
+std::uint64_t
+PrecisionPlan::fingerprint() const
+{
+    std::uint64_t h = hashString("precision-plan");
+    for (const auto &d : decisions) {
+        h = hashCombine(h, hashString(d.node));
+        h = hashCombine(h, static_cast<std::uint64_t>(d.int8));
+    }
+    return h;
+}
+
+PrecisionPlan
+selectPrecisions(const OptimizedGraph &graph,
+                 const Int8Calibrator &calib,
+                 const PrecisionPlanConfig &cfg)
+{
+    PrecisionPlan plan;
+
+    // Pass 1: per-layer budget.
+    for (const auto &node : graph.nodes()) {
+        if (node.precision != nn::Precision::kInt8)
+            continue;
+        PrecisionDecision d;
+        d.node = node.name;
+        d.margin_loss = quantMarginLoss(node, calib);
+        d.int8 = d.margin_loss <= cfg.layer_margin_budget;
+        plan.decisions.push_back(std::move(d));
+    }
+
+    // Pass 2: total budget — fall back the worst surviving nodes
+    // (loss-descending, decision-order tie-break) until the sum
+    // fits. Sorting an index list keeps `decisions` in node order.
+    double total = 0.0;
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < plan.decisions.size(); i++)
+        if (plan.decisions[i].int8) {
+            total += plan.decisions[i].margin_loss;
+            kept.push_back(i);
+        }
+    std::stable_sort(kept.begin(), kept.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return plan.decisions[a].margin_loss >
+                                plan.decisions[b].margin_loss;
+                     });
+    for (std::size_t i : kept) {
+        if (total <= cfg.total_margin_budget)
+            break;
+        plan.decisions[i].int8 = false;
+        total -= plan.decisions[i].margin_loss;
+    }
+
+    for (const auto &d : plan.decisions) {
+        if (d.int8) {
+            plan.int8_nodes++;
+            plan.quantized_loss += d.margin_loss;
+        } else {
+            plan.fp16_fallbacks++;
+            plan.fallback_loss += d.margin_loss;
+        }
+    }
+    return plan;
+}
+
+void
+applyPrecisionPlan(OptimizedGraph &graph, const PrecisionPlan &plan)
+{
+    std::size_t di = 0;
+    for (auto &node : graph.mutableNodes()) {
+        if (node.precision != nn::Precision::kInt8)
+            continue;
+        if (di >= plan.decisions.size() ||
+            plan.decisions[di].node != node.name)
+            fatal("applyPrecisionPlan: plan does not match graph at "
+                  "node '",
+                  node.name, "'");
+        if (!plan.decisions[di].int8)
+            node.precision = nn::Precision::kFp16;
+        di++;
+    }
+    if (di != plan.decisions.size())
+        fatal("applyPrecisionPlan: plan has ", plan.decisions.size(),
+              " decisions but the graph has ", di,
+              " quantizable nodes");
+}
+
+double
+precisionThroughputFactor(const gpusim::DeviceSpec &device,
+                          nn::Precision precision)
+{
+    switch (precision) {
+      case nn::Precision::kFp32:
+        // CUDA-core FP32 vs tensor-core FP16 peak.
+        return device.peakFp16Flops() > 0.0
+                   ? device.peakFp32Flops() / device.peakFp16Flops()
+                   : 1.0;
+      case nn::Precision::kFp16:
+        return 1.0;
+      case nn::Precision::kInt8:
+        return device.int8_speedup;
+      case nn::Precision::kMixed:
+        return 0.5 * (1.0 + device.int8_speedup);
+    }
+    return 1.0;
+}
+
+} // namespace edgert::core

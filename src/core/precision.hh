@@ -1,0 +1,134 @@
+#ifndef EDGERT_CORE_PRECISION_HH
+#define EDGERT_CORE_PRECISION_HH
+
+/**
+ * @file
+ * Per-layer precision selection for mixed-precision engines.
+ *
+ * Quantizing every conv/gemm to INT8 is not free: layers whose
+ * calibrated input range is wide relative to their output range
+ * amplify the 1/127 quantization step into the activations the
+ * classifier margins depend on. TensorRT (and NNCF-style
+ * quantization-aware flows) handle this by *falling back* the worst
+ * layers to FP16 while keeping the rest in INT8.
+ *
+ * EdgeRT models the same decision analytically. For each quantizable
+ * node the selector estimates a surrogate *margin loss* — how much
+ * the node's INT8 rounding erodes the classifier's decision margin:
+ *
+ *   rel_err(node)  = (1/127) * sqrt(1/6) * r_in / r_out
+ *   margin_loss    = kMarginLossPerRelErr * rel_err
+ *
+ * where r_in / r_out are the calibrator's per-tensor dynamic ranges.
+ * The He-propagated ranges are variance-preserving on average, so
+ * the ratio hovers near 1; the seeded entropy-clipping factor
+ * perturbs it per tensor — which both differentiates layers (some
+ * genuinely quantize worse) and ties the plan to the calibration
+ * seed (refreshed calibration data can flip a borderline layer,
+ * the F2-style nondeterminism source the cross-precision DriftGate
+ * must tolerate).
+ *
+ * Selection is two budgeted passes, both deterministic:
+ *  1. any node whose margin loss exceeds `layer_margin_budget`
+ *     falls back to FP16;
+ *  2. if the surviving total still exceeds `total_margin_budget`,
+ *     the worst remaining nodes fall back (loss-descending,
+ *     node-order tie-break) until the total fits.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibrator.hh"
+#include "core/optimizer.hh"
+#include "gpusim/device.hh"
+
+namespace edgert::core {
+
+/** Budgets of the per-layer precision selector. */
+struct PrecisionPlanConfig
+{
+    /** Max surrogate margin loss one INT8 layer may contribute;
+     *  anything above falls back to FP16. */
+    double layer_margin_budget = 0.030;
+
+    /** Max summed margin loss of all layers kept in INT8; the
+     *  worst layers fall back until the plan fits. */
+    double total_margin_budget = 0.50;
+};
+
+/** The selector's verdict for one quantizable node. */
+struct PrecisionDecision
+{
+    std::string node;         //!< fused-node name
+    bool int8 = false;        //!< kept in INT8 (else FP16 fallback)
+    double margin_loss = 0.0; //!< estimated surrogate margin loss
+};
+
+/**
+ * A resolved per-layer precision assignment for one engine build.
+ * Only quantizable nodes (conv / fully-connected, i.e. those the
+ * optimizer assigned kInt8) appear in `decisions`; every other node
+ * keeps its optimizer-assigned precision.
+ */
+struct PrecisionPlan
+{
+    std::vector<PrecisionDecision> decisions;
+
+    int int8_nodes = 0;      //!< nodes kept in INT8
+    int fp16_fallbacks = 0;  //!< nodes pushed back to FP16
+
+    /** Summed margin loss of the nodes kept in INT8 — the accuracy
+     *  cost the engine actually pays. */
+    double quantized_loss = 0.0;
+
+    /** Margin loss avoided by the FP16 fallbacks. */
+    double fallback_loss = 0.0;
+
+    /** Order-sensitive hash of the decisions (provenance). */
+    std::uint64_t fingerprint() const;
+};
+
+/**
+ * Estimated surrogate margin loss of quantizing one node to INT8,
+ * from the calibrator's range table (see file comment). Nodes whose
+ * tensors the calibrator does not know contribute the base loss
+ * (range ratio 1).
+ */
+double quantMarginLoss(const OptNode &node,
+                       const Int8Calibrator &calib);
+
+/**
+ * Decide, per quantizable node of `graph`, whether INT8 stays
+ * within the margin-loss budgets. The graph is the result of
+ * optimize(net, kInt8, ...): nodes currently at kInt8 are the
+ * candidates; everything else is left alone.
+ */
+PrecisionPlan selectPrecisions(const OptimizedGraph &graph,
+                               const Int8Calibrator &calib,
+                               const PrecisionPlanConfig &cfg = {});
+
+/**
+ * Flip the plan's FP16 fallbacks in `graph` (node precisions only;
+ * tactic selection happens afterwards and sees the final
+ * assignment).
+ */
+void applyPrecisionPlan(OptimizedGraph &graph,
+                        const PrecisionPlan &plan);
+
+/**
+ * Nominal throughput multiplier of serving `precision` on `device`,
+ * relative to the FP16 HMMA peak the spec sheets quote. INT8 runs
+ * the IMMA/DP4A paths at device.int8_speedup; a mixed engine is
+ * credited the midpoint (the spec-sheet estimate — the calibrated
+ * placement path measures the real ratio). Used by the serve and
+ * fleet layers to rank devices by *precision-effective* throughput
+ * instead of raw FP16 FLOPs.
+ */
+double precisionThroughputFactor(const gpusim::DeviceSpec &device,
+                                 nn::Precision precision);
+
+} // namespace edgert::core
+
+#endif // EDGERT_CORE_PRECISION_HH

@@ -173,9 +173,10 @@ convTactics(const OptimizedGraph &graph, const OptNode &node,
     // Runtime weight bytes per parameter.
     double wpp = int8 ? 1.0 : fp16 ? 2.0 : 4.0;
     double layout = int8 ? 0.3125 : fp16 ? 0.5 : 1.0;
-    // Xavier's Volta iGPU runs INT8 through DP4A/IMMA paths at
-    // roughly 1.6x the effective FP16 HMMA rate.
-    double prec_eff = int8 ? 1.6 : 1.0;
+    // The Volta iGPUs run INT8 through DP4A/IMMA paths at roughly
+    // 1.4-1.6x the effective FP16 HMMA rate, depending on how hard
+    // the SM count presses the shared L2 (DeviceSpec::int8_speedup).
+    double prec_eff = int8 ? device.int8_speedup : 1.0;
 
     std::vector<Tactic> out;
 
@@ -287,7 +288,8 @@ convTactics(const OptimizedGraph &graph, const OptNode &node,
 }
 
 std::vector<Tactic>
-gemmTactics(const OptimizedGraph &graph, const OptNode &node)
+gemmTactics(const OptimizedGraph &graph, const OptNode &node,
+            const gpusim::DeviceSpec &device)
 {
     const nn::Network &net = graph.network();
     NodeCost c = analyzeNode(graph, node);
@@ -298,7 +300,7 @@ gemmTactics(const OptimizedGraph &graph, const OptNode &node)
     std::int64_t n = c.out_dims.n;
     double wpp = int8 ? 1.0 : fp16 ? 2.0 : 4.0;
     double layout = int8 ? 0.3125 : fp16 ? 0.5 : 1.0;
-    double prec_eff = int8 ? 1.6 : 1.0;
+    double prec_eff = int8 ? device.int8_speedup : 1.0;
 
     std::vector<Tactic> out;
     for (const TileDef &td : kGemmTiles) {
@@ -365,7 +367,7 @@ tacticCandidates(const OptimizedGraph &graph, const OptNode &node,
       case FusedOpKind::kConv:
         return convTactics(graph, node, device);
       case FusedOpKind::kFullyConnected:
-        return gemmTactics(graph, node);
+        return gemmTactics(graph, node, device);
       case FusedOpKind::kDeconv: {
         std::vector<Tactic> out;
         out.push_back(pointwiseTactic(

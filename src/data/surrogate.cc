@@ -32,7 +32,8 @@ accuracyProfile(const std::string &model)
 SurrogateClassifier::SurrogateClassifier(std::string model,
                                          bool optimized,
                                          std::uint64_t fingerprint,
-                                         int num_classes)
+                                         int num_classes,
+                                         const QuantSpec &quant)
     : model_(std::move(model)), optimized_(optimized),
       fingerprint_(fingerprint), num_classes_(num_classes)
 {
@@ -48,6 +49,17 @@ SurrogateClassifier::SurrogateClassifier(std::string model,
         // outputs are deterministic, so no engine noise.
         noise_sigma_ = 0.0;
     }
+    if (optimized_ && quant.int8_fraction > 0.0) {
+        // Rounding every INT8 layer's activations erodes the mean
+        // decision margin in proportion to the share of quantized
+        // compute; the calibration table shifts the erosion a
+        // little (keyed by the table hash, shared between engines
+        // calibrated on the same data).
+        Rng qrng(hashCombine(quant.calibration_fingerprint,
+                             hashString("quant-margin")));
+        quant_penalty_ = quant.int8_fraction *
+                         (0.020 + qrng.gaussian(0.0, 0.0015));
+    }
 }
 
 SurrogateClassifier
@@ -56,6 +68,16 @@ SurrogateClassifier::forEngine(const std::string &model,
                                int num_classes)
 {
     return SurrogateClassifier(model, true, fingerprint, num_classes);
+}
+
+SurrogateClassifier
+SurrogateClassifier::forEngine(const std::string &model,
+                               std::uint64_t fingerprint,
+                               const QuantSpec &quant,
+                               int num_classes)
+{
+    return SurrogateClassifier(model, true, fingerprint, num_classes,
+                               quant);
 }
 
 SurrogateClassifier
@@ -106,7 +128,8 @@ SurrogateClassifier::predict(const ImageRef &img) const
     double err =
         (optimized_ ? p.benign_err_opt : p.benign_err_unopt) / 100.0;
     double theta = normalQuantile(1.0 - err);
-    double margin = theta - difficulty(img) + engineNoise(img.seed());
+    double margin = theta - difficulty(img) +
+                    engineNoise(img.seed()) - quant_penalty_;
     return decide(margin, img);
 }
 
@@ -142,7 +165,8 @@ SurrogateClassifier::predict(const CorruptImageRef &img) const
         img.base.seed(),
         hashCombine(static_cast<std::uint64_t>(img.noise) * 31,
                     static_cast<std::uint64_t>(img.severity)));
-    double margin = theta - d + engineNoise(corrupt_seed);
+    double margin =
+        theta - d + engineNoise(corrupt_seed) - quant_penalty_;
     return decide(margin, img.base);
 }
 

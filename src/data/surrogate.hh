@@ -48,6 +48,28 @@ struct AccuracyProfile
 const AccuracyProfile &accuracyProfile(const std::string &model);
 
 /**
+ * Quantization posture of an engine, for the margin model. INT8
+ * rounding erodes every decision margin a little — unlike the
+ * zero-mean FP16 kernel noise it is a *bias*, so quantized engines
+ * trade accuracy for throughput. The erosion scales with the share
+ * of compute actually executed at INT8 (a mixed engine pays only
+ * for the layers it kept quantized) and shifts slightly with the
+ * calibration table (refreshed calibration data yields different
+ * scales — the Finding-2-style variance the cross-precision drift
+ * gate must tolerate).
+ */
+struct QuantSpec
+{
+    /** Flops-weighted share of INT8 compute
+     *  (Engine::int8ComputeFraction()); 0 disables the penalty. */
+    double int8_fraction = 0.0;
+
+    /** Calibration-table hash (Engine::calibrationFingerprint());
+     *  seeds the calibration-dependent penalty component. */
+    std::uint64_t calibration_fingerprint = 0;
+};
+
+/**
  * Deterministic surrogate classifier for one built engine (or the
  * un-optimized model).
  */
@@ -57,6 +79,13 @@ class SurrogateClassifier
     /** Classifier behaviour of a specific built engine. */
     static SurrogateClassifier forEngine(const std::string &model,
                                          std::uint64_t fingerprint,
+                                         int num_classes = 1000);
+
+    /** Classifier behaviour of a (possibly) quantized engine; with
+     *  a default QuantSpec this is exactly the overload above. */
+    static SurrogateClassifier forEngine(const std::string &model,
+                                         std::uint64_t fingerprint,
+                                         const QuantSpec &quant,
                                          int num_classes = 1000);
 
     /** Classifier behaviour of the un-optimized FP32 model. */
@@ -74,7 +103,8 @@ class SurrogateClassifier
 
   private:
     SurrogateClassifier(std::string model, bool optimized,
-                        std::uint64_t fingerprint, int num_classes);
+                        std::uint64_t fingerprint, int num_classes,
+                        const QuantSpec &quant = {});
 
     double difficulty(const ImageRef &img) const;
     double engineNoise(std::uint64_t image_seed) const;
@@ -85,6 +115,7 @@ class SurrogateClassifier
     std::uint64_t fingerprint_;
     int num_classes_;
     double noise_sigma_; //!< per-engine FP16 rounding noise scale
+    double quant_penalty_ = 0.0; //!< INT8 margin erosion (a bias)
 };
 
 } // namespace edgert::data

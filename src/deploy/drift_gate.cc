@@ -63,7 +63,10 @@ DriftVerdict::toJson() const
         os << ", \"incumbent_calls\": " << d.incumbent_calls
            << ", \"candidate_calls\": " << d.candidate_calls << "}";
     }
-    os << "]}";
+    os << "], \"cross_precision\": "
+       << (cross_precision ? "true" : "false")
+       << ", \"applied_disagreement_pct\": "
+       << formatDouble(applied_disagreement_pct, 4) << "}";
     return os.str();
 }
 
@@ -91,18 +94,23 @@ DriftGate::evaluate(const core::Engine &incumbent,
             .add();
         return v;
     }
-    if (incumbent.precision() != candidate.precision()) {
-        v.reason = "precision_mismatch";
-        v.detail = std::string("incumbent is ") +
-                   nn::precisionName(incumbent.precision()) +
-                   ", candidate is " +
-                   nn::precisionName(candidate.precision());
-        reg.counter("deploy.gate.rejected",
-                    {{"model", incumbent.modelName()},
-                     {"reason", v.reason}})
-            .add();
-        return v;
-    }
+    // A candidate at a different precision (an INT8 rebuild of the
+    // FP16 incumbent, say) is a supported promotion path, not an
+    // identity error: the canary still runs, judged against the
+    // wider cross-precision band instead of the rebuild-drift band.
+    v.cross_precision =
+        incumbent.precision() != candidate.precision();
+    v.applied_disagreement_pct =
+        v.cross_precision ? cfg_.cross_precision_disagreement_pct
+                          : cfg_.max_disagreement_pct;
+    // Both quantized but calibrated on different data: the scale
+    // tables differ, which flips extra borderline predictions —
+    // calibration variance, not model drift.
+    if (incumbent.calibrationFingerprint() != 0 &&
+        candidate.calibrationFingerprint() != 0 &&
+        incumbent.calibrationFingerprint() !=
+            candidate.calibrationFingerprint())
+        v.applied_disagreement_pct += cfg_.calibration_variance_pct;
 
     // Kernel mapping delta (Finding 6): which kernels the plans
     // invoke, and how often, regardless of prediction agreement.
@@ -139,9 +147,13 @@ DriftGate::evaluate(const core::Engine &incumbent,
                                     cfg_.canary_per_class,
                                     cfg_.canary_severities);
     auto inc_clf = data::SurrogateClassifier::forEngine(
-        incumbent.modelName(), incumbent.fingerprint());
+        incumbent.modelName(), incumbent.fingerprint(),
+        data::QuantSpec{incumbent.int8ComputeFraction(),
+                        incumbent.calibrationFingerprint()});
     auto cand_clf = data::SurrogateClassifier::forEngine(
-        candidate.modelName(), candidate.fingerprint());
+        candidate.modelName(), candidate.fingerprint(),
+        data::QuantSpec{candidate.int8ComputeFraction(),
+                        candidate.calibrationFingerprint()});
     v.canary_ran = true;
     v.canary_size = static_cast<std::int64_t>(canary.size());
     for (std::size_t i = 0; i < canary.size(); i++) {
@@ -156,15 +168,16 @@ DriftGate::evaluate(const core::Engine &incumbent,
     reg.histogram("deploy.gate.disagreement_pct", labels)
         .record(v.disagreement_pct);
 
-    if (v.disagreement_pct > cfg_.max_disagreement_pct) {
+    if (v.disagreement_pct > v.applied_disagreement_pct) {
         v.reason = "drift_exceeds_threshold";
         v.detail = "canary disagreement " +
                    formatDouble(v.disagreement_pct, 3) +
                    "% exceeds the " +
-                   formatDouble(cfg_.max_disagreement_pct, 3) +
-                   "% gate (" + std::to_string(v.disagreements) +
-                   " of " + std::to_string(v.canary_size) +
-                   " images)";
+                   formatDouble(v.applied_disagreement_pct, 3) +
+                   (v.cross_precision ? "% cross-precision gate ("
+                                      : "% gate (") +
+                   std::to_string(v.disagreements) + " of " +
+                   std::to_string(v.canary_size) + " images)";
     } else if (v.kernel_remap_pct > cfg_.max_kernel_remap_pct) {
         v.reason = "kernel_remap_exceeds_threshold";
         v.detail = "kernel remap " +

@@ -38,6 +38,25 @@ struct DriftGateConfig
      *  upper half of naturally occurring rebuild drift. */
     double max_disagreement_pct = 0.4;
 
+    /**
+     * Disagreement tolerance when the candidate runs at a
+     * *different* precision than the incumbent (%). Quantization
+     * legitimately flips far more borderline predictions than a
+     * same-precision rebuild — an INT8 candidate judged against
+     * the FP16 band would always be quarantined — so cross-
+     * precision promotions get their own, wider band.
+     */
+    double cross_precision_disagreement_pct = 2.0;
+
+    /**
+     * Extra tolerance (%) added when both engines are quantized
+     * but calibrated on different data: refreshed calibration
+     * batches shift the scale tables and flip borderline
+     * predictions — an F2-style nondeterminism source, not a
+     * regression.
+     */
+    double calibration_variance_pct = 0.5;
+
     /** Canary batch shape: classes x per_class x |severities|
      *  corrupted images (corrupted inputs sit closer to decision
      *  boundaries, so drift surfaces with fewer images). */
@@ -67,8 +86,7 @@ struct DriftVerdict
 
     /** Machine-readable rejection reason; empty when accepted.
      *  One of: "drift_exceeds_threshold",
-     *  "kernel_remap_exceeds_threshold", "model_mismatch",
-     *  "precision_mismatch". */
+     *  "kernel_remap_exceeds_threshold", "model_mismatch". */
     std::string reason;
 
     /** Human-readable elaboration of `reason`. */
@@ -84,6 +102,14 @@ struct DriftVerdict
     /** Share of kernel names with changed invocation counts (%). */
     double kernel_remap_pct = 0.0;
     std::vector<KernelDelta> kernel_deltas;
+
+    /** The engines run at different precisions, so the canary was
+     *  judged against the cross-precision band. */
+    bool cross_precision = false;
+
+    /** Disagreement threshold the verdict was judged against (%),
+     *  after cross-precision and calibration-variance widening. */
+    double applied_disagreement_pct = 0.0;
 
     /** Canonical JSON rendering (stable field order). */
     std::string toJson() const;

@@ -10,13 +10,16 @@ namespace edgert::deploy {
 namespace {
 
 ModelKey
-keyFor(const serve::ServeConfig &cfg, const std::string &model)
+keyFor(const serve::ServeConfig &cfg,
+       const serve::ModelConfig &mc,
+       std::optional<nn::Precision> precision = {})
 {
     // The repository tracks the lineage of the batch-1 plan on the
     // first serving device; the server rebuilds its batch ladder
-    // from the same build_id, so the fingerprints line up.
-    return ModelKey{model, cfg.devices.front().name,
-                    nn::Precision::kFp16};
+    // from the same build_id, so the fingerprints line up. Each
+    // serving precision is its own lineage.
+    return ModelKey{mc.model, cfg.devices.front().name,
+                    precision.value_or(mc.precision)};
 }
 
 } // namespace
@@ -27,8 +30,11 @@ HotSwapper::HotSwapper(EngineRepository &repo,
 {}
 
 HotSwapPlan
-HotSwapper::planSwaps(const serve::ServeConfig &cfg, double t_s,
-                      std::uint64_t rebuild_build_id, int workers)
+HotSwapper::planSwaps(
+    const serve::ServeConfig &cfg, double t_s,
+    std::uint64_t rebuild_build_id, int workers,
+    std::optional<nn::Precision> candidate_precision,
+    std::uint64_t candidate_calibration_seed)
 {
     if (cfg.devices.empty())
         fatal("HotSwapper: the serve config has no devices");
@@ -39,11 +45,19 @@ HotSwapper::planSwaps(const serve::ServeConfig &cfg, double t_s,
     plan.outcomes.resize(cfg.models.size());
 
     for (std::size_t m = 0; m < cfg.models.size(); m++) {
-        const std::string &model = cfg.models[m].model;
-        ModelKey key = keyFor(cfg, model);
-        RebuildJob job{model, cfg.devices.front(),
-                       nn::Precision::kFp16, rebuild_build_id,
-                       cfg.build_jobs};
+        const serve::ModelConfig &mc = cfg.models[m];
+        const std::string &model = mc.model;
+        ModelKey key = keyFor(cfg, mc);
+        RebuildJob job;
+        job.model = model;
+        job.device = cfg.devices.front();
+        job.precision = candidate_precision.value_or(mc.precision);
+        job.build_id = rebuild_build_id;
+        job.build_jobs = cfg.build_jobs;
+        job.gate_against = mc.precision;
+        job.calibration_seed = candidate_precision
+                                   ? candidate_calibration_seed
+                                   : mc.calibration_seed;
         plan.outcomes[m].job = job;
 
         auto manifest = repo_.manifest(key);
@@ -67,6 +81,8 @@ HotSwapper::planSwaps(const serve::ServeConfig &cfg, double t_s,
             // is about to serve (same build_id → same binary).
             nn::Network net = nn::buildZooModel(model, 1);
             core::BuilderConfig bc;
+            bc.precision = mc.precision;
+            bc.calibration_seed = mc.calibration_seed;
             bc.build_id = cfg.build_id;
             bc.jobs = cfg.build_jobs;
             core::Builder builder(cfg.devices.front(), bc);
@@ -101,6 +117,12 @@ HotSwapper::planSwaps(const serve::ServeConfig &cfg, double t_s,
             spec.model = cfg.models[m].model;
             spec.t_s = t_s;
             spec.candidate_build_id = rebuild_build_id;
+            if (plan.outcomes[m].job.precision !=
+                cfg.models[m].precision) {
+                spec.precision = plan.outcomes[m].job.precision;
+                spec.calibration_seed =
+                    plan.outcomes[m].job.calibration_seed;
+            }
             plan.swaps.push_back(std::move(spec));
         }
     }
@@ -122,12 +144,22 @@ HotSwapper::runWithSwaps(const serve::ServeConfig &cfg,
     for (const auto &ms : report.models) {
         if (ms.swaps_rolled_back <= 0)
             continue;
-        bool planned = false;
+        const serve::SwapSpec *planned = nullptr;
         for (const auto &s : plan.swaps)
-            planned = planned || s.model == ms.model;
+            if (s.model == ms.model)
+                planned = &s;
         if (!planned)
             continue;
-        ModelKey key = keyFor(cfg, ms.model);
+        const serve::ModelConfig *mc = nullptr;
+        for (const auto &c : cfg.models)
+            if (c.model == ms.model)
+                mc = &c;
+        if (!mc)
+            continue;
+        // The candidate was promoted under its own precision key
+        // (which differs from the serving key on a cross-precision
+        // swap), so the rollback targets that lineage.
+        ModelKey key = keyFor(cfg, *mc, planned->precision);
         Status st = repo_.rollback(key);
         if (!st.ok())
             warn("HotSwapper: cannot roll back lineage of '",

@@ -61,10 +61,21 @@ class HotSwapper
      *
      * @param workers Rebuild pool size; keep 1 for byte-identical
      *        metric streams.
+     * @param candidate_precision When set, build every candidate at
+     *        this precision instead of the model's serving
+     *        precision — a *cross-precision* promotion: the
+     *        candidate is gated against the incumbent's lineage
+     *        (the gate's cross-precision band applies) and the
+     *        emitted SwapSpec carries the precision so the server
+     *        swaps the whole ladder.
+     * @param candidate_calibration_seed Calibration-batch identity
+     *        of cross-precision INT8/mixed candidates.
      */
-    HotSwapPlan planSwaps(const serve::ServeConfig &cfg, double t_s,
-                          std::uint64_t rebuild_build_id,
-                          int workers = 1);
+    HotSwapPlan
+    planSwaps(const serve::ServeConfig &cfg, double t_s,
+              std::uint64_t rebuild_build_id, int workers = 1,
+              std::optional<nn::Precision> candidate_precision = {},
+              std::uint64_t candidate_calibration_seed = 0);
 
     /**
      * Run the server with the plan's swaps spliced in, then roll

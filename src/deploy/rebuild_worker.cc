@@ -31,6 +31,7 @@ buildOne(const RebuildJob &job)
     cfg.precision = job.precision;
     cfg.build_id = job.build_id;
     cfg.jobs = job.build_jobs;
+    cfg.calibration_seed = job.calibration_seed;
     core::Builder builder(job.device, cfg);
     BuiltCandidate out;
     out.engine = builder.build(net, &out.report);
@@ -77,7 +78,14 @@ RebuildWorker::run(const std::vector<RebuildJob> &jobs)
                     {{"model", key.model}})
             .add();
 
-        auto incumbent = repo_.loadLive(key);
+        // Cross-precision jobs judge the candidate against the
+        // incumbent of another precision lineage (e.g. an INT8
+        // build against the live FP16 engine); same-precision jobs
+        // gate within their own lineage.
+        ModelKey gate_key{key.model, key.device,
+                          jobs[i].gate_against.value_or(
+                              key.precision)};
+        auto incumbent = repo_.loadLive(gate_key);
         auto version = repo_.put(
             candidate,
             BuildMeta::from(built[i].report, "rebuild-worker"));

@@ -19,6 +19,7 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,19 @@ struct RebuildJob
     nn::Precision precision = nn::Precision::kFp16;
     std::uint64_t build_id = 0; //!< builder seed of this rebuild
     int build_jobs = 1;         //!< autotuner sweep workers
+
+    /**
+     * Precision lineage the candidate is gated against. Unset
+     * (the default) gates against the candidate's own precision
+     * key; set it to the *incumbent's* precision for a cross-
+     * precision promotion (an INT8 candidate judged against the
+     * live FP16 engine). The candidate is still stored and
+     * promoted under its own precision key.
+     */
+    std::optional<nn::Precision> gate_against;
+
+    /** Calibration-batch identity for INT8/mixed builds. */
+    std::uint64_t calibration_seed = 0;
 };
 
 /** What happened to one job. */

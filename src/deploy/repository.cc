@@ -174,7 +174,7 @@ Manifest::deserialize(const std::vector<std::uint8_t> &bytes)
     m.key.device = r.str();
     std::uint8_t prec = r.u8();
     if (r.ok() && prec > static_cast<std::uint8_t>(
-                             nn::Precision::kInt8))
+                             nn::Precision::kMixed))
         return errorStatus(ErrorCode::kDataLoss,
                            "engine manifest: precision ",
                            static_cast<int>(prec),

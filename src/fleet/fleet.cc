@@ -195,6 +195,8 @@ runFleet(const FleetConfig &cfg)
                 const auto &spec =
                     fleet.classes[static_cast<std::size_t>(c)].spec;
                 core::BuilderConfig bcfg;
+                bcfg.precision = mc.precision;
+                bcfg.calibration_seed = mc.calibration_seed;
                 bcfg.build_id = build_id;
                 bcfg.jobs = 1;
                 bcfg.timing_cache =
@@ -243,7 +245,9 @@ runFleet(const FleetConfig &cfg)
                 versions[static_cast<std::size_t>(m)][0]
                     .svc[static_cast<std::size_t>(c)]
                     .front());
-        auto rank = rankClasses(cfg.placement, fleet.classes, svc1);
+        auto rank = rankClasses(
+            cfg.placement, fleet.classes, svc1,
+            cfg.models[static_cast<std::size_t>(m)].precision);
         for (int c : rank)
             placement_rank_labels[static_cast<std::size_t>(m)]
                 .push_back(

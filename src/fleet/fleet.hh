@@ -51,6 +51,14 @@ struct FleetModelConfig
     serve::BatchPolicy batching;
     int instances_per_node = 1;
 
+    /** Serving precision of this model's fleet-wide engine builds;
+     *  also steers capability placement (INT8 models rank classes
+     *  by their precision-effective peak). */
+    nn::Precision precision = nn::Precision::kFp16;
+
+    /** Calibration-batch identity for @int8 / @mixed builds. */
+    std::uint64_t calibration_seed = 0;
+
     /**
      * Share of the fleet placed to serve this model, filled in
      * placement-rank order (see PlacementPolicy). 100 = everywhere.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "core/precision.hh"
 
 namespace edgert::fleet {
 
@@ -31,7 +32,8 @@ placementPolicyName(PlacementPolicy policy)
 std::vector<int>
 rankClasses(PlacementPolicy policy,
             const std::vector<DeviceClass> &classes,
-            const std::vector<double> &svc1_s)
+            const std::vector<double> &svc1_s,
+            nn::Precision precision)
 {
     if (policy == PlacementPolicy::kCalibrated &&
         svc1_s.size() != classes.size())
@@ -47,12 +49,24 @@ rankClasses(PlacementPolicy policy,
                 // Spec-sheet order: nominal peak at the platform's
                 // max clock, blind to throttled stragglers — the
                 // naive policy the F4/F5 findings warn against.
-                double fa = classes[static_cast<std::size_t>(a)]
-                                .spec.atMaxClock()
-                                .peakFp16Flops();
-                double fb = classes[static_cast<std::size_t>(b)]
-                                .spec.atMaxClock()
-                                .peakFp16Flops();
+                // The peak is weighted by the serving precision's
+                // throughput factor: an INT8 model prefers the
+                // class with the better IMMA rate, not the bigger
+                // FP16 number.
+                const gpusim::DeviceSpec sa_spec =
+                    classes[static_cast<std::size_t>(a)]
+                        .spec.atMaxClock();
+                const gpusim::DeviceSpec sb_spec =
+                    classes[static_cast<std::size_t>(b)]
+                        .spec.atMaxClock();
+                double fa =
+                    sa_spec.peakFp16Flops() *
+                    core::precisionThroughputFactor(sa_spec,
+                                                    precision);
+                double fb =
+                    sb_spec.peakFp16Flops() *
+                    core::precisionThroughputFactor(sb_spec,
+                                                    precision);
                 if (fa != fb)
                     return fa > fb;
             } else {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fleet/spec.hh"
+#include "nn/executor.hh"
 
 namespace edgert::fleet {
 
@@ -39,14 +40,22 @@ const char *placementPolicyName(PlacementPolicy policy);
  * @param svc1_s Calibrated batch-1 service seconds per class,
  *        parallel to `classes` (used by kCalibrated; may be empty
  *        for kCapabilityOrder).
+ * @param precision Serving precision of the model being placed.
+ *        Capability order weights each class's nominal peak by the
+ *        precision's throughput factor — an INT8 fleet can rank
+ *        differently from an FP16 one when classes differ in
+ *        int8_speedup (scoring raw peakFp16Flops regardless of
+ *        precision was the old blind spot).
  * @return Class indices, most preferred first. Capability order
- *         sorts by descending peakFp16Flops, calibrated by
- *         ascending predicted service time; both break ties by
+ *         sorts by descending precision-effective peak, calibrated
+ *         by ascending predicted service time; both break ties by
  *         class index.
  */
-std::vector<int> rankClasses(PlacementPolicy policy,
-                             const std::vector<DeviceClass> &classes,
-                             const std::vector<double> &svc1_s);
+std::vector<int> rankClasses(
+    PlacementPolicy policy,
+    const std::vector<DeviceClass> &classes,
+    const std::vector<double> &svc1_s,
+    nn::Precision precision = nn::Precision::kFp16);
 
 /**
  * Pick the nodes that serve one model: walk classes in `rank`

@@ -81,6 +81,7 @@ DeviceSpec::xavierNX()
     s.h2d_gbps = 2.9;
     s.h2d_transfer_overhead_us = 25.0;
     s.kernel_launch_us = 6.0;
+    s.int8_speedup = 1.6;
     s.gpu_idle_mw = 310.0;
     s.gpu_peak_mw = 7600.0; // 15 W module, GPU rail share
     return s;
@@ -107,6 +108,7 @@ DeviceSpec::xavierAGX()
     s.h2d_gbps = 5.3;
     s.h2d_transfer_overhead_us = 175.0;
     s.kernel_launch_us = 7.0;
+    s.int8_speedup = 1.45; // 8-SM L2 thrash taxes INT8 tiles harder
     s.gpu_idle_mw = 480.0;
     s.gpu_peak_mw = 15300.0; // 30 W module, GPU rail share
     return s;

@@ -74,6 +74,17 @@ struct DeviceSpec
     // --- Launch path ---
     double kernel_launch_us = 6.0; //!< CPU->GPU launch latency
 
+    /**
+     * Effective INT8 (IMMA/DP4A) throughput multiplier over the
+     * FP16 HMMA peak. The Volta iGPUs run INT8 tensor ops at
+     * nominally 2x FP16, but layout conversions and the partial
+     * IMMA coverage of cuDNN's edge tactics land the *effective*
+     * rate lower — and lower still on the 8-SM AGX, whose extra
+     * concurrent tiles thrash the shared 512 KB L2 harder under
+     * the denser INT8 working sets.
+     */
+    double int8_speedup = 1.6;
+
     // --- GPU rail power model (tegrastats VDD_GPU analogue) ---
     double gpu_idle_mw = 0.0;
     double gpu_peak_mw = 0.0; //!< fully loaded at max clock

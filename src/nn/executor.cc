@@ -16,8 +16,24 @@ precisionName(Precision p)
       case Precision::kFp32: return "fp32";
       case Precision::kFp16: return "fp16";
       case Precision::kInt8: return "int8";
+      case Precision::kMixed: return "mixed";
     }
     panic("unknown Precision");
+}
+
+Precision
+parsePrecisionName(const std::string &s)
+{
+    if (s == "fp32")
+        return Precision::kFp32;
+    if (s == "fp16")
+        return Precision::kFp16;
+    if (s == "int8")
+        return Precision::kInt8;
+    if (s == "mixed")
+        return Precision::kMixed;
+    fatal("unknown precision '", s,
+          "' (expected fp32|fp16|int8|mixed)");
 }
 
 namespace {
@@ -105,6 +121,9 @@ Executor::Executor(const Network &net, const WeightsStore &weights,
                    const ExecOptions &opts)
     : net_(&net), weights_(&weights), opts_(opts)
 {
+    if (opts_.precision == Precision::kMixed)
+        fatal("Executor: kMixed is an engine-level label; run each "
+              "step at its concrete precision instead");
     net.validate();
 }
 

@@ -29,11 +29,21 @@
 
 namespace edgert::nn {
 
-/** Numeric precision of the reference executor. */
-enum class Precision { kFp32, kFp16, kInt8 };
+/**
+ * Numeric precision of the reference executor.
+ *
+ * kMixed is an *engine-level* label only: a mixed engine carries a
+ * per-step precision plan in which every step is one of the three
+ * concrete precisions (the per-layer selector in core/precision.hh
+ * decides which). The executor itself never runs in kMixed.
+ */
+enum class Precision { kFp32, kFp16, kInt8, kMixed };
 
 /** Printable precision name. */
 const char *precisionName(Precision p);
+
+/** Parse "fp32" | "fp16" | "int8" | "mixed" (fatal otherwise). */
+Precision parsePrecisionName(const std::string &s);
 
 /** Execution options. */
 struct ExecOptions

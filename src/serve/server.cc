@@ -204,6 +204,8 @@ runServer(const ServeConfig &cfg)
     // admission control is reasoning about a timeline minutes
     // adrift of the replay).
     auto buildVersion = [&](int m, std::uint64_t build_id,
+                            nn::Precision precision,
+                            std::uint64_t calibration_seed,
                             std::map<std::string, int> &budget,
                             bool use_cache,
                             const std::vector<bool> *device_mask)
@@ -226,6 +228,8 @@ runServer(const ServeConfig &cfg)
                 const auto &spec =
                     cfg.devices[static_cast<std::size_t>(d)];
                 core::BuilderConfig bcfg;
+                bcfg.precision = precision;
+                bcfg.calibration_seed = calibration_seed;
                 bcfg.build_id = build_id;
                 bcfg.jobs = cfg.build_jobs;
                 bcfg.timing_cache =
@@ -292,10 +296,13 @@ runServer(const ServeConfig &cfg)
         EDGERT_SPAN("serve_build",
                     {{"models", std::to_string(n_models)},
                      {"devices", std::to_string(n_devices)}});
-        for (int m = 0; m < n_models; m++)
+        for (int m = 0; m < n_models; m++) {
+            const auto &mc = cfg.models[static_cast<std::size_t>(m)];
             versions[static_cast<std::size_t>(m)].push_back(
-                buildVersion(m, cfg.build_id, fault_budget, true,
+                buildVersion(m, cfg.build_id, mc.precision,
+                             mc.calibration_seed, fault_budget, true,
                              nullptr));
+        }
     }
 
     // A model with engines on no device is degraded: all of its
@@ -689,9 +696,16 @@ runServer(const ServeConfig &cfg)
                   for (int d = 0; d < n_devices; d++)
                       mask[static_cast<std::size_t>(d)] =
                           activeVersion(m).availableOn(d);
+                  // A cross-precision swap (SwapSpec::precision set)
+                  // builds the candidate ladder at its own precision
+                  // — the drift gate upstream already judged it
+                  // against the incumbent's lineage.
                   ModelVersion cand = buildVersion(
-                      m, sp.candidate_build_id, swap_fault_budget,
-                      false, &mask);
+                      m, sp.candidate_build_id,
+                      sp.precision.value_or(
+                          cfg.models[mi].precision),
+                      sp.calibration_seed, swap_fault_budget, false,
+                      &mask);
                   bool usable = cand.available();
                   for (int d = 0; d < n_devices; d++)
                       if (mask[static_cast<std::size_t>(d)] &&
@@ -1174,7 +1188,17 @@ runServer(const ServeConfig &cfg)
                 cfg.devices[static_cast<std::size_t>(d)];
             dev_names.push_back(spec.name + "[" +
                                 std::to_string(d) + "]");
-            dev_scores.push_back(spec.peakFp16Flops());
+            // Precision-effective capability: raw FP16 FLOPs scored
+            // a device identically whether it serves FP16 or INT8
+            // ladders, mis-ranking fleets where INT8 runs ~1.6x the
+            // HMMA rate. Weight the peak by the mean throughput
+            // factor of the precisions actually served here.
+            double factor = 0.0;
+            for (const auto &mc : cfg.models)
+                factor += core::precisionThroughputFactor(
+                    spec, mc.precision);
+            factor /= static_cast<double>(cfg.models.size());
+            dev_scores.push_back(spec.peakFp16Flops() * factor);
         }
         watch::EdgeWatch ew(cfg.watch, model_names, slo_ms,
                             dev_names, dev_scores);

@@ -28,11 +28,13 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gpusim/device.hh"
 #include "gpusim/sim.hh"
+#include "nn/executor.hh"
 #include "serve/queue.hh"
 #include "serve/request.hh"
 #include "serve/workload.hh"
@@ -48,6 +50,16 @@ struct ModelConfig
     ArrivalConfig arrivals;  //!< offered-load process
     BatchPolicy batching;    //!< dynamic-batcher knobs
     int instances_per_device = 1;
+
+    /** Serving precision of this model's engine ladder. The pool
+     *  and the latency predictor calibrate per (device, engine,
+     *  precision) — an INT8 ladder is a different set of engines
+     *  with different fingerprints, latencies and RAM footprints
+     *  than the FP16 one. */
+    nn::Precision precision = nn::Precision::kFp16;
+
+    /** Calibration-batch identity for @int8 / @mixed ladders. */
+    std::uint64_t calibration_seed = 0;
 };
 
 /**
@@ -99,6 +111,17 @@ struct SwapSpec
     /** Roll back when the candidate's canary latency exceeds the
      *  incumbent's by more than this percentage. */
     double rollback_regression_pct = 10.0;
+
+    /**
+     * Precision of the candidate ladder. Unset (the default) keeps
+     * the model's serving precision; set it for a cross-precision
+     * swap — e.g. promoting a drift-gated INT8 candidate over the
+     * FP16 incumbent.
+     */
+    std::optional<nn::Precision> precision;
+
+    /** Calibration seed of the candidate (INT8/mixed swaps). */
+    std::uint64_t calibration_seed = 0;
 };
 
 /** Whole-server configuration. */

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the per-layer precision selector and the mixed-precision
+ * engine path: budget extremes, genuinely mixed builds, plan
+ * serialization round-trips, the per-step precision byte under
+ * corruption, calibration-seed determinism, and the
+ * precision-effective throughput factor the serve/fleet layers rank
+ * devices by.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/framing.hh"
+#include "common/logging.hh"
+#include "core/builder.hh"
+#include "core/calibrator.hh"
+#include "core/engine.hh"
+#include "core/precision.hh"
+#include "gpusim/device.hh"
+#include "nn/model_zoo.hh"
+
+namespace edgert::core {
+namespace {
+
+// Plan file framing (mirrors engine.cc): "ERTE" magic, framed v2.
+constexpr std::uint32_t kPlanMagic = 0x45545245;
+constexpr std::uint32_t kPlanVersion = 2;
+
+/** Swallow log output while exercising rejection paths. */
+class QuietLogs
+{
+  public:
+    QuietLogs() { setLogSink([](LogLevel, const std::string &) {}); }
+    ~QuietLogs() { setLogSink({}); }
+};
+
+Engine
+buildMixed(std::uint64_t calibration_seed = 0,
+           const std::string &model = "resnet-18",
+           BuildReport *report = nullptr)
+{
+    nn::Network net = nn::buildZooModel(model);
+    BuilderConfig cfg;
+    cfg.build_id = 1;
+    cfg.precision = nn::Precision::kMixed;
+    cfg.calibration_seed = calibration_seed;
+    return Builder(gpusim::DeviceSpec::xavierNX(), cfg)
+        .build(net, report);
+}
+
+TEST(PrecisionSelector, HugeBudgetsKeepEverythingInt8)
+{
+    nn::Network net = nn::buildZooModel("resnet-18");
+    auto graph = optimize(net, nn::Precision::kInt8);
+    Int8Calibrator calib(net, 1);
+    PrecisionPlanConfig cfg;
+    cfg.layer_margin_budget = 1e9;
+    cfg.total_margin_budget = 1e9;
+    PrecisionPlan plan = selectPrecisions(graph, calib, cfg);
+    ASSERT_FALSE(plan.decisions.empty());
+    EXPECT_EQ(plan.fp16_fallbacks, 0);
+    EXPECT_EQ(plan.int8_nodes,
+              static_cast<int>(plan.decisions.size()));
+    EXPECT_DOUBLE_EQ(plan.fallback_loss, 0.0);
+    EXPECT_GT(plan.quantized_loss, 0.0);
+}
+
+TEST(PrecisionSelector, ZeroBudgetsFallEverythingBack)
+{
+    nn::Network net = nn::buildZooModel("resnet-18");
+    auto graph = optimize(net, nn::Precision::kInt8);
+    Int8Calibrator calib(net, 1);
+    PrecisionPlanConfig cfg;
+    cfg.layer_margin_budget = 0.0;
+    cfg.total_margin_budget = 0.0;
+    PrecisionPlan plan = selectPrecisions(graph, calib, cfg);
+    ASSERT_FALSE(plan.decisions.empty());
+    EXPECT_EQ(plan.int8_nodes, 0);
+    EXPECT_EQ(plan.fp16_fallbacks,
+              static_cast<int>(plan.decisions.size()));
+}
+
+TEST(PrecisionSelector, TotalBudgetIsRespected)
+{
+    nn::Network net = nn::buildZooModel("resnet-18");
+    auto graph = optimize(net, nn::Precision::kInt8);
+    Int8Calibrator calib(net, 1);
+    PrecisionPlanConfig cfg; // defaults
+    PrecisionPlan plan = selectPrecisions(graph, calib, cfg);
+    EXPECT_LE(plan.quantized_loss, cfg.total_margin_budget);
+    // Fingerprint is a pure function of the decisions.
+    EXPECT_EQ(plan.fingerprint(),
+              selectPrecisions(graph, calib, cfg).fingerprint());
+    PrecisionPlanConfig zero;
+    zero.layer_margin_budget = 0.0;
+    zero.total_margin_budget = 0.0;
+    EXPECT_NE(plan.fingerprint(),
+              selectPrecisions(graph, calib, zero).fingerprint());
+}
+
+TEST(MixedBuild, ProducesGenuinelyMixedEngine)
+{
+    BuildReport report;
+    Engine e = buildMixed(0, "resnet-18", &report);
+    EXPECT_EQ(e.precision(), nn::Precision::kMixed);
+    EXPECT_NE(e.calibrationFingerprint(), 0u);
+
+    // The default budgets keep most of resnet-18 in INT8 but force
+    // at least one FP16 fallback — both step precisions coexist.
+    ASSERT_FALSE(report.precision_plan.decisions.empty());
+    EXPECT_GT(report.precision_plan.int8_nodes, 0);
+    EXPECT_GT(report.precision_plan.fp16_fallbacks, 0);
+    int int8_steps = 0, fp16_steps = 0;
+    for (const auto &s : e.steps()) {
+        if (s.precision == nn::Precision::kInt8)
+            int8_steps++;
+        if (s.precision == nn::Precision::kFp16)
+            fp16_steps++;
+        // Step-level precisions stay concrete.
+        EXPECT_NE(s.precision, nn::Precision::kMixed);
+    }
+    EXPECT_GT(int8_steps, 0);
+    EXPECT_GT(fp16_steps, 0);
+
+    // The INT8 compute share is a genuine mix, strictly between the
+    // all-FP16 and all-INT8 poles.
+    EXPECT_GT(e.int8ComputeFraction(), 0.0);
+    EXPECT_LT(e.int8ComputeFraction(), 1.0);
+}
+
+TEST(MixedBuild, Int8FractionPoles)
+{
+    nn::Network net = nn::buildZooModel("alexnet");
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    BuilderConfig f16, i8;
+    f16.build_id = i8.build_id = 1;
+    i8.precision = nn::Precision::kInt8;
+    EXPECT_DOUBLE_EQ(
+        Builder(nx, f16).build(net).int8ComputeFraction(), 0.0);
+    EXPECT_GT(Builder(nx, i8).build(net).int8ComputeFraction(), 0.9);
+}
+
+TEST(MixedBuild, SerializeRoundTripPreservesPlan)
+{
+    Engine e = buildMixed();
+    auto r = Engine::deserialize(e.serialize());
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->precision(), nn::Precision::kMixed);
+    EXPECT_EQ(r->fingerprint(), e.fingerprint());
+    EXPECT_EQ(r->calibrationFingerprint(),
+              e.calibrationFingerprint());
+    ASSERT_EQ(r->steps().size(), e.steps().size());
+    for (std::size_t i = 0; i < e.steps().size(); i++)
+        EXPECT_EQ(r->steps()[i].precision, e.steps()[i].precision)
+            << e.steps()[i].node_name;
+    EXPECT_DOUBLE_EQ(r->int8ComputeFraction(),
+                     e.int8ComputeFraction());
+}
+
+TEST(MixedBuild, SameSeedByteIdenticalDifferentSeedDiffers)
+{
+    // The calibrator — and therefore the plan and the engine — is a
+    // pure function of (model, calibration seed).
+    EXPECT_EQ(buildMixed(7).serialize(), buildMixed(7).serialize());
+    EXPECT_NE(buildMixed(7).calibrationFingerprint(),
+              buildMixed(8).calibrationFingerprint());
+}
+
+/** Little-endian u32 at `at`. */
+std::uint32_t
+readU32(const std::vector<std::uint8_t> &b, std::size_t at)
+{
+    return static_cast<std::uint32_t>(b[at]) |
+           static_cast<std::uint32_t>(b[at + 1]) << 8 |
+           static_cast<std::uint32_t>(b[at + 2]) << 16 |
+           static_cast<std::uint32_t>(b[at + 3]) << 24;
+}
+
+/**
+ * Payload offsets of the two precision bytes a plan carries: the
+ * engine-level one in the header and the per-step one of step 0.
+ * Walks the serialized layout (strings are u32-length-prefixed).
+ */
+void
+precisionByteOffsets(const std::vector<std::uint8_t> &payload,
+                     std::size_t *engine_at, std::size_t *step0_at)
+{
+    std::size_t at = 0;
+    auto skipStr = [&] { at += 4 + readU32(payload, at); };
+    skipStr();        // model name
+    skipStr();        // device name
+    *engine_at = at;  // engine-level precision
+    at += 1 + 8 + 8;  // precision, build id, calibration fingerprint
+    for (int io = 0; io < 2; io++) {
+        std::uint32_t n = readU32(payload, at);
+        at += 4;
+        for (std::uint32_t i = 0; i < n; i++) {
+            skipStr();
+            at += 5 * 8; // dims + bytes
+        }
+    }
+    at += 4;   // step count
+    skipStr(); // node name
+    at += 1;   // fused-op kind
+    skipStr(); // tactic name
+    *step0_at = at;
+}
+
+TEST(MixedBuild, CorruptPrecisionBytesAreRejected)
+{
+    QuietLogs quiet;
+    Engine e = buildMixed();
+    auto framed = frameUnwrap(kPlanMagic, kPlanVersion, kPlanVersion,
+                              e.serialize(), "engine plan");
+    ASSERT_TRUE(framed.ok());
+    std::size_t engine_at = 0, step0_at = 0;
+    precisionByteOffsets(framed->payload, &engine_at, &step0_at);
+    ASSERT_EQ(framed->payload[engine_at],
+              static_cast<std::uint8_t>(nn::Precision::kMixed));
+
+    // Re-frame each patched payload with a valid CRC so the byte
+    // reaches the semantic validator instead of the checksum.
+    auto patched = [&](std::size_t at, std::uint8_t v) {
+        auto payload = framed->payload;
+        payload[at] = v;
+        return frameWrap(kPlanMagic, kPlanVersion, payload);
+    };
+    // Out-of-range values are rejected at either level.
+    EXPECT_FALSE(Engine::deserialize(patched(engine_at, 7)).ok());
+    EXPECT_FALSE(Engine::deserialize(patched(step0_at, 0xff)).ok());
+    // kMixed is an engine-level label only: a *step* claiming it is
+    // corrupt even though the same byte is legal in the header.
+    EXPECT_FALSE(
+        Engine::deserialize(
+            patched(step0_at,
+                    static_cast<std::uint8_t>(nn::Precision::kMixed)))
+            .ok());
+    // Sanity: an untouched re-frame still loads.
+    EXPECT_TRUE(
+        Engine::deserialize(
+            frameWrap(kPlanMagic, kPlanVersion, framed->payload))
+            .ok());
+}
+
+TEST(PrecisionThroughput, FactorOrdersPrecisions)
+{
+    gpusim::DeviceSpec nx = gpusim::DeviceSpec::xavierNX();
+    double fp32 = precisionThroughputFactor(nx, nn::Precision::kFp32);
+    double fp16 = precisionThroughputFactor(nx, nn::Precision::kFp16);
+    double mixed =
+        precisionThroughputFactor(nx, nn::Precision::kMixed);
+    double int8 = precisionThroughputFactor(nx, nn::Precision::kInt8);
+    EXPECT_LT(fp32, fp16);
+    EXPECT_DOUBLE_EQ(fp16, 1.0);
+    EXPECT_GT(mixed, fp16);
+    EXPECT_GT(int8, mixed);
+    EXPECT_DOUBLE_EQ(int8, nx.int8_speedup);
+    EXPECT_DOUBLE_EQ(mixed, 0.5 * (1.0 + nx.int8_speedup));
+}
+
+} // namespace
+} // namespace edgert::core

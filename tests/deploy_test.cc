@@ -105,6 +105,28 @@ TEST_F(DeployRepoTest, ManifestRoundTrips)
               deploy::VersionState::kPromoted);
 }
 
+TEST_F(DeployRepoTest, ManifestRoundTripsEveryPrecision)
+{
+    // Every lineage key the precision ladder can produce — fp16,
+    // int8 and mixed — must survive the manifest wire format.
+    for (nn::Precision p :
+         {nn::Precision::kFp32, nn::Precision::kFp16,
+          nn::Precision::kInt8, nn::Precision::kMixed}) {
+        deploy::Manifest m;
+        m.key = {"resnet-18", "xavier-nx", p};
+        m.live_version = 1;
+        deploy::ManifestEntry e;
+        e.version = 1;
+        e.state = deploy::VersionState::kPromoted;
+        e.build_id = 3;
+        m.entries = {e};
+        auto r = deploy::Manifest::deserialize(m.serialize());
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r->key, m.key);
+        EXPECT_EQ(r->key.precision, p);
+    }
+}
+
 TEST_F(DeployRepoTest, PutAssignsVersionsAndSharesBlobs)
 {
     deploy::EngineRepository repo(root_.string());

@@ -167,6 +167,34 @@ TEST(FleetPlacement, CapabilityVsCalibrated)
         FatalError);
 }
 
+// Regression for the capability-placement blind spot: ranking by
+// raw peakFp16Flops regardless of serving precision placed an INT8
+// model exactly like an FP16 one. With precision-effective peaks, a
+// class with a modest FP16 peak but a strong IMMA/DP4A path outranks
+// a nominally bigger class once the model serves @int8.
+TEST(FleetPlacement, PrecisionFlipsCapabilityOrder)
+{
+    fleet::DeviceClass big; // high FP16 peak, weak INT8 path
+    big.device = "agx";
+    big.spec = gpusim::DeviceSpec::xavierAGX();
+    big.spec.int8_speedup = 1.0;
+    fleet::DeviceClass small_; // lower peak, strong INT8 path
+    small_.device = "nx";
+    small_.spec = gpusim::DeviceSpec::xavierNX();
+    small_.spec.int8_speedup = 2.0;
+    std::vector<fleet::DeviceClass> classes = {big, small_};
+
+    auto fp16 = fleet::rankClasses(
+        fleet::PlacementPolicy::kCapabilityOrder, classes, {},
+        nn::Precision::kFp16);
+    EXPECT_EQ(fp16[0], 0) << "fp16 fleet prefers the big class";
+
+    auto int8 = fleet::rankClasses(
+        fleet::PlacementPolicy::kCapabilityOrder, classes, {},
+        nn::Precision::kInt8);
+    EXPECT_EQ(int8[0], 1) << "int8 fleet prefers the INT8-fast class";
+}
+
 TEST(FleetPlacement, SelectNodesTakesRankOrder)
 {
     std::vector<fleet::NodeGroup> groups = {

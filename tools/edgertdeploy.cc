@@ -51,6 +51,18 @@ usage()
         "  --repo <dir>          repository root (required)\n"
         "  --model <name>        zoo model name\n"
         "  --device <nx|agx>     build target (default nx)\n"
+        "  --precision <p>       engine precision: fp32|fp16|int8|"
+        "mixed\n"
+        "                        (default fp16; selects the "
+        "lineage key)\n"
+        "  --calibration-seed <n> calibration batch for int8/mixed\n"
+        "                        builds (default 0)\n"
+        "  --gate-against <p>    gate the candidate against the "
+        "live\n"
+        "                        version of this precision lineage\n"
+        "                        (default: same as --precision; a\n"
+        "                        cross-precision gate applies the\n"
+        "                        wider disagreement band)\n"
         "  --seed <n>            builder seed for `build` "
         "(default 1)\n"
         "  --jobs <n>            autotuner sweep workers "
@@ -74,6 +86,9 @@ struct Args
     std::string repo;
     std::string model;
     std::string device = "nx";
+    std::string precision = "fp16";
+    std::string gate_against; //!< empty = same as precision
+    std::uint64_t calibration_seed = 0;
     std::uint64_t seed = 1;
     int jobs = 1;
     int version = -1;
@@ -125,8 +140,8 @@ dispatch(const Args &a)
 {
     deploy::EngineRepository repo(a.repo);
     gpusim::DeviceSpec device = serve::parseDevice(a.device);
-    deploy::ModelKey key{a.model, device.name,
-                         nn::Precision::kFp16};
+    nn::Precision precision = nn::parsePrecisionName(a.precision);
+    deploy::ModelKey key{a.model, device.name, precision};
     deploy::DriftGateConfig gate_cfg;
     if (a.drift_gate_pct >= 0.0)
         gate_cfg.max_disagreement_pct = a.drift_gate_pct;
@@ -144,6 +159,8 @@ dispatch(const Args &a)
     if (a.command == "build") {
         nn::Network net = nn::buildZooModel(a.model, 1);
         core::BuilderConfig bc;
+        bc.precision = precision;
+        bc.calibration_seed = a.calibration_seed;
         bc.build_id = a.seed;
         bc.jobs = a.jobs;
         core::Builder builder(device, bc);
@@ -180,7 +197,14 @@ dispatch(const Args &a)
         if (candidate < 0)
             fatal("no candidate version of ", key.displayName(),
                   " to gate");
-        auto incumbent = repo.loadLive(key);
+        // --gate-against judges the candidate against another
+        // precision lineage's live engine (cross-precision
+        // promotion); it is still promoted under its own key.
+        deploy::ModelKey gate_key = key;
+        if (!a.gate_against.empty())
+            gate_key.precision =
+                nn::parsePrecisionName(a.gate_against);
+        auto incumbent = repo.loadLive(gate_key);
         if (!incumbent.ok())
             fatal(incumbent.status().message());
         auto engine = repo.loadVersion(key, candidate);
@@ -243,6 +267,12 @@ run(int argc, char **argv)
             a.model = flags.value();
         else if (flags.is("--device"))
             a.device = flags.value();
+        else if (flags.is("--precision"))
+            a.precision = flags.value();
+        else if (flags.is("--gate-against"))
+            a.gate_against = flags.value();
+        else if (flags.is("--calibration-seed"))
+            a.calibration_seed = flags.unsignedValue();
         else if (flags.is("--seed"))
             a.seed = flags.unsignedValue();
         else if (flags.is("--jobs"))

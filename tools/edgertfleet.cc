@@ -67,10 +67,11 @@ optInt(const std::string &k, const std::string &v)
 
 /**
  * Parse one --model spec:
- *   <zoo-name>[:qps=..][:slo_ms=..][:arrival=poisson|bursty|replay]
+ *   <zoo-name>[@fp16|@int8|@mixed][:qps=..][:slo_ms=..]
+ *            [:arrival=poisson|bursty|replay]
  *            [:max_batch=..][:timeout_us=..][:instances=..]
  *            [:nodes_pct=..][:burst_factor=..][:period_s=..]
- *            [:duty=..]
+ *            [:duty=..][:calib_seed=..]
  * qps is the *aggregate* fleet-wide offered rate.
  */
 fleet::FleetModelConfig
@@ -81,6 +82,14 @@ parseModelSpec(const std::string &spec)
         fatal("empty --model spec");
     fleet::FleetModelConfig mc;
     mc.model = parts[0];
+    auto at = mc.model.find('@');
+    if (at != std::string::npos) {
+        mc.precision =
+            nn::parsePrecisionName(mc.model.substr(at + 1));
+        mc.model.resize(at);
+        if (mc.model.empty())
+            fatal("empty model name in --model spec '", spec, "'");
+    }
     for (std::size_t i = 1; i < parts.size(); i++) {
         auto eq = parts[i].find('=');
         if (eq == std::string::npos)
@@ -108,6 +117,9 @@ parseModelSpec(const std::string &spec)
             mc.arrivals.period_s = optNumber(k, v);
         else if (k == "duty")
             mc.arrivals.duty = optNumber(k, v);
+        else if (k == "calib_seed")
+            mc.calibration_seed =
+                static_cast<std::uint64_t>(optInt(k, v));
         else
             fatal("unknown --model option '", k, "'");
     }
@@ -201,12 +213,14 @@ usage()
         "nx:8:clock=0.6:name=straggler\n"
         "  --model <spec>        serve a model fleet-wide; "
         "repeatable.\n"
-        "                        name[:qps=N][:slo_ms=N]"
-        "[:nodes_pct=N]\n"
+        "                        name[@fp16|@int8|@mixed]"
+        "[:qps=N]\n"
+        "                        [:slo_ms=N][:nodes_pct=N]\n"
         "                        [:arrival=poisson|bursty|replay]\n"
         "                        [:max_batch=N][:timeout_us=N]\n"
-        "                        [:instances=N] — qps is the\n"
-        "                        aggregate fleet-wide rate\n"
+        "                        [:instances=N][:calib_seed=N] — "
+        "qps is\n"
+        "                        the aggregate fleet-wide rate\n"
         "  --route <p>           routing policy: hash (default) | "
         "sojourn\n"
         "  --placement <p>       engine placement: calibrated "

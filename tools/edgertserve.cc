@@ -69,9 +69,11 @@ modelInt(const std::string &k, const std::string &v)
 
 /**
  * Parse one --model spec:
- *   <zoo-name>[:qps=..][:slo_ms=..][:arrival=poisson|bursty|replay]
+ *   <zoo-name>[@fp16|@int8|@mixed]
+ *            [:qps=..][:slo_ms=..][:arrival=poisson|bursty|replay]
  *            [:max_batch=..][:timeout_us=..][:instances=..]
  *            [:burst_factor=..][:period_s=..][:duty=..]
+ *            [:calib_seed=..]
  */
 serve::ModelConfig
 parseModelSpec(const std::string &spec)
@@ -81,6 +83,14 @@ parseModelSpec(const std::string &spec)
         fatal("empty --model spec");
     serve::ModelConfig mc;
     mc.model = parts[0];
+    auto at = mc.model.find('@');
+    if (at != std::string::npos) {
+        mc.precision =
+            nn::parsePrecisionName(mc.model.substr(at + 1));
+        mc.model.resize(at);
+        if (mc.model.empty())
+            fatal("empty model name in --model spec '", spec, "'");
+    }
     for (std::size_t i = 1; i < parts.size(); i++) {
         auto eq = parts[i].find('=');
         if (eq == std::string::npos)
@@ -106,6 +116,9 @@ parseModelSpec(const std::string &spec)
             mc.arrivals.period_s = modelNumber(k, v);
         else if (k == "duty")
             mc.arrivals.duty = modelNumber(k, v);
+        else if (k == "calib_seed")
+            mc.calibration_seed =
+                static_cast<std::uint64_t>(modelInt(k, v));
         else
             fatal("unknown --model option '", k, "'");
     }
@@ -147,6 +160,11 @@ struct Args
     double rebuild_at_s = -1.0;   //!< swap trigger (<0: mid-run)
     std::uint64_t rebuild_seed = 0; //!< 0: cfg.build_id + 1
     double drift_gate_pct = -1.0; //!< <0: gate default
+
+    /** Candidate precision for a cross-precision hot-swap ("" =
+     *  keep each model's serving precision). */
+    std::string rebuild_precision;
+    std::uint64_t rebuild_calib_seed = 0;
 };
 
 void
@@ -155,11 +173,13 @@ usage()
     std::printf(
         "usage: edgertserve [options]\n"
         "  --model <spec>        serve a model; repeatable. Spec:\n"
-        "                        name[:qps=N][:slo_ms=N]\n"
+        "                        name[@fp16|@int8|@mixed]\n"
+        "                        [:qps=N][:slo_ms=N]\n"
         "                        [:arrival=poisson|bursty|replay]\n"
         "                        [:max_batch=N][:timeout_us=N]\n"
         "                        [:instances=N][:burst_factor=N]\n"
-        "                        [:period_s=N][:duty=N]\n"
+        "                        [:period_s=N][:duty=N]"
+        "[:calib_seed=N]\n"
         "  --devices nx,agx      simulated fleet (default nx)\n"
         "  --duration-s <n>      simulated serving window "
         "(default 10)\n"
@@ -186,6 +206,14 @@ usage()
         "                        (default: half the duration)\n"
         "  --rebuild-seed <n>    candidate builder seed (default:\n"
         "                        incumbent seed + 1)\n"
+        "  --rebuild-precision <p>\n"
+        "                        build swap candidates at this\n"
+        "                        precision (fp16|int8|mixed) —\n"
+        "                        a cross-precision promotion gated\n"
+        "                        against the serving lineage\n"
+        "  --rebuild-calib-seed <n>\n"
+        "                        calibration batch of int8/mixed\n"
+        "                        swap candidates (default 0)\n"
         "  --drift-gate-pct <x>  max tolerated canary top-1\n"
         "                        disagreement, percent "
         "(default 0.4)\n"
@@ -267,6 +295,10 @@ parse(int argc, char **argv)
             a.rebuild_at_s = flags.numberValue();
         else if (flags.is("--rebuild-seed"))
             a.rebuild_seed = flags.unsignedValue();
+        else if (flags.is("--rebuild-precision"))
+            a.rebuild_precision = flags.value();
+        else if (flags.is("--rebuild-calib-seed"))
+            a.rebuild_calib_seed = flags.unsignedValue();
         else if (flags.is("--drift-gate-pct"))
             a.drift_gate_pct = flags.numberValue();
         else if (flags.is("--sim-threads")) {
@@ -390,8 +422,14 @@ run(int argc, char **argv)
         std::uint64_t seed = args.rebuild_seed
                                  ? args.rebuild_seed
                                  : args.cfg.build_id + 1;
+        std::optional<nn::Precision> cand_precision;
+        if (!args.rebuild_precision.empty())
+            cand_precision =
+                nn::parsePrecisionName(args.rebuild_precision);
         deploy::HotSwapPlan plan =
-            swapper.planSwaps(args.cfg, t_s, seed);
+            swapper.planSwaps(args.cfg, t_s, seed, 1,
+                              cand_precision,
+                              args.rebuild_calib_seed);
         for (const auto &o : plan.outcomes) {
             if (!o.status.ok())
                 say("[edgertserve] %-18s rebuild failed: %s\n",
