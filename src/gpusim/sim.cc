@@ -181,6 +181,19 @@ GpuSim::delayUntil(int stream, double seconds)
     pushOp(stream, idx);
 }
 
+void
+GpuSim::waitEvent(int stream, EventId event)
+{
+    if (event < 0 ||
+        static_cast<std::size_t>(event) >= event_times_.size())
+        fatal("waitEvent: unknown event ", event);
+    std::int32_t idx = acquireOp(OpKind::kWaitEvent);
+    Op &op = ops_[idx];
+    op.event = event;
+    op.tag = "wait_event";
+    pushOp(stream, idx);
+}
+
 EventId
 GpuSim::recordEvent(int stream)
 {
@@ -320,31 +333,76 @@ GpuSim::startCopyIfIdle()
 }
 
 void
+GpuSim::wakeWaiters(EventId id)
+{
+    // Resume every stream parked on this event, oldest wait first
+    // (wait_list_ is insertion-ordered). finishOp re-marks streams
+    // with queued work ready; admitReady's batch loop picks them up
+    // in the same pass.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < wait_list_.size(); i++) {
+        if (wait_list_[i].event == id) {
+            const EventWaiter w = wait_list_[i];
+            finishOp(w.op_idx, w.stream, w.start_s);
+        } else {
+            wait_list_[out++] = wait_list_[i];
+        }
+    }
+    wait_list_.resize(out);
+}
+
+void
 GpuSim::admitReady()
 {
-    if (!ready_.empty()) {
-        // Ascending stream order reproduces the historical full scan
-        // exactly (admission order fixes the jitter draw sequence and
-        // the active-list order, both observable in timing).
+    // Waking an event waiter mid-pass re-marks its stream ready, so
+    // each pass iterates a swapped-out batch and loops until no new
+    // streams appear. Without waits this is one pass over the same
+    // ascending stream order as the historical full scan (admission
+    // order fixes the jitter draw sequence and the active-list
+    // order, both observable in timing).
+    while (!ready_.empty()) {
         std::sort(ready_.begin(), ready_.end());
-        for (std::int32_t si : ready_) {
+        scratch_ready_.clear();
+        scratch_ready_.swap(ready_);
+        for (std::int32_t si : scratch_ready_) {
             Stream &st = streams_[static_cast<std::size_t>(si)];
             st.in_ready = false;
             while (!st.busy && st.head != -1) {
                 std::int32_t idx = st.head;
                 Op &head = ops_[idx];
                 if (head.kind == OpKind::kMarker) {
-                    event_times_.at(static_cast<std::size_t>(
-                        head.event)) = now_;
+                    EventId ev = head.event;
+                    event_times_.at(static_cast<std::size_t>(ev)) =
+                        now_;
                     st.head = head.next;
                     if (st.head == -1)
                         st.tail = -1;
                     ops_.release(idx);
+                    if (!wait_list_.empty())
+                        wakeWaiters(ev);
                     continue;
                 }
                 st.head = head.next;
                 if (st.head == -1)
                     st.tail = -1;
+                if (head.kind == OpKind::kWaitEvent) {
+                    double t = event_times_.at(
+                        static_cast<std::size_t>(head.event));
+                    if (t >= 0.0) {
+                        // Dependency already satisfied: retire for
+                        // free and keep draining the stream.
+                        finishOp(idx, si, now_);
+                        continue;
+                    }
+                    EventWaiter w;
+                    w.event = head.event;
+                    w.op_idx = idx;
+                    w.stream = si;
+                    w.start_s = now_;
+                    wait_list_.push_back(w);
+                    st.busy = true;
+                    continue;
+                }
                 if (head.kind == OpKind::kKernel) {
                     const KernelDesc &k = head.kernel;
                     ActiveKernel ak;
@@ -393,7 +451,6 @@ GpuSim::admitReady()
                 st.busy = true;
             }
         }
-        ready_.clear();
     }
     startCopyIfIdle();
 }

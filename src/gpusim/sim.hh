@@ -45,7 +45,14 @@ namespace edgert::gpusim {
 using EventId = std::int64_t;
 
 /** Categories of simulated operations. */
-enum class OpKind { kKernel, kMemcpyH2D, kMemcpyD2H, kMarker, kDelay };
+enum class OpKind {
+    kKernel,
+    kMemcpyH2D,
+    kMemcpyD2H,
+    kMarker,
+    kDelay,
+    kWaitEvent,
+};
 
 /**
  * Completed-op trace retention policy. Long serving runs complete
@@ -147,6 +154,19 @@ class GpuSim
 
     /** Record an event that completes when the stream drains to it. */
     EventId recordEvent(int stream);
+
+    /**
+     * Hold a stream until a recorded event completes
+     * (cudaStreamWaitEvent analogue). If the event has already
+     * completed when the stream drains to the wait, it costs
+     * nothing; otherwise the stream parks until the owning stream's
+     * marker retires, then resumes at that instant. This is the
+     * cross-stream dependency primitive that lets an upload stream,
+     * a compute stream and a download stream pipeline stages of
+     * consecutive frames. Waiting on an event that is never
+     * recorded ahead of run() is a deadlock (fatal).
+     */
+    void waitEvent(int stream, EventId event);
 
     /**
      * Insert a host-side think-time gap into a stream (models the
@@ -307,6 +327,15 @@ class GpuSim
         std::int32_t stream = 0;
     };
 
+    /** A stream parked on a not-yet-completed event. */
+    struct EventWaiter
+    {
+        EventId event = -1;
+        std::int32_t op_idx = -1;
+        std::int32_t stream = 0;
+        double start_s = 0.0;
+    };
+
     /** Event-calendar entry of one pending host delay. */
     struct DelayEntry
     {
@@ -336,6 +365,7 @@ class GpuSim
     void pushOp(int stream, std::int32_t op_idx);
     void markReady(std::int32_t stream);
     void admitReady();
+    void wakeWaiters(EventId id);
     void recomputeShares();
     void waterFillInto(const std::vector<double> &caps,
                        double capacity,
@@ -363,6 +393,7 @@ class GpuSim
     RingBuffer<CopyEntry> copy_ring_;
     std::vector<OpRecord> trace_;
     std::vector<double> event_times_;
+    std::vector<EventWaiter> wait_list_; //!< parked cross-stream waits
     double profiling_us_ = 0.0;
     double jitter_std_ = 0.0;
     std::uint64_t jitter_state_ = 0;
@@ -394,6 +425,7 @@ class GpuSim
     std::vector<std::size_t> wf_next_;
     std::vector<std::size_t> wf_still_;
     std::vector<DelayEntry> scratch_expired_;
+    std::vector<std::int32_t> scratch_ready_;
 
     // Utilization window accumulators.
     double win_start_ = 0.0;

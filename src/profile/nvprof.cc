@@ -21,7 +21,8 @@ summarize(const std::vector<gpusim::OpRecord> &trace)
     double grand_total = 0.0;
     for (const auto &rec : trace) {
         if (rec.kind == gpusim::OpKind::kMarker ||
-            rec.kind == gpusim::OpKind::kDelay)
+            rec.kind == gpusim::OpKind::kDelay ||
+            rec.kind == gpusim::OpKind::kWaitEvent)
             continue;
         std::string key = rec.kind == gpusim::OpKind::kKernel
                               ? rec.name
@@ -91,7 +92,8 @@ printGpuTrace(std::ostream &os,
     std::size_t truncated = 0;
     for (const auto &rec : trace) {
         if (rec.kind == gpusim::OpKind::kMarker ||
-            rec.kind == gpusim::OpKind::kDelay)
+            rec.kind == gpusim::OpKind::kDelay ||
+            rec.kind == gpusim::OpKind::kWaitEvent)
             continue;
         if (shown >= max_rows) {
             truncated++;

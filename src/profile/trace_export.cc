@@ -24,6 +24,7 @@ category(gpusim::OpKind k)
       case gpusim::OpKind::kMemcpyD2H: return "memcpy_d2h";
       case gpusim::OpKind::kDelay: return "host";
       case gpusim::OpKind::kMarker: return "marker";
+      case gpusim::OpKind::kWaitEvent: return "wait";
     }
     return "other";
 }

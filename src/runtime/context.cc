@@ -95,6 +95,34 @@ ExecutionContext::enqueuePipelinedInference()
     return h;
 }
 
+InferenceHandle
+ExecutionContext::enqueueStagedPipelined(int upload_stream,
+                                         int download_stream)
+{
+    runtimeCounter("runtime.inference.enqueued", *engine_).add();
+    InferenceHandle h;
+    h.begin = sim_->recordEvent(upload_stream);
+    for (const auto &in : engine_->inputs())
+        sim_->memcpyH2D(upload_stream,
+                        static_cast<std::uint64_t>(in.bytes), 1,
+                        "input_h2d:" + in.name, /*pinned=*/true);
+    h.upload_done = sim_->recordEvent(upload_stream);
+
+    sim_->waitEvent(stream_, h.upload_done);
+    for (const auto &step : engine_->steps())
+        for (const auto &k : step.kernels)
+            sim_->launchKernel(stream_, k);
+    h.compute_done = sim_->recordEvent(stream_);
+
+    sim_->waitEvent(download_stream, h.compute_done);
+    for (const auto &out : engine_->outputs())
+        sim_->memcpyD2H(download_stream,
+                        static_cast<std::uint64_t>(out.bytes), 1,
+                        "output_d2h:" + out.name, /*pinned=*/true);
+    h.end = sim_->recordEvent(download_stream);
+    return h;
+}
+
 void
 ExecutionContext::enqueueHostGap(double seconds)
 {

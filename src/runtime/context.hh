@@ -75,6 +75,22 @@ class ExecutionContext
      */
     InferenceHandle enqueuePipelinedInference();
 
+    /**
+     * Enqueue one fully staged, cross-stream-pipelined inference:
+     * pinned input uploads on `upload_stream`, kernels on the
+     * context's compute stream, pinned output downloads on
+     * `download_stream`, chained upload → compute → download with
+     * GpuSim::waitEvent so consecutive frames overlap stage-wise
+     * (frame i+1 uploads while frame i computes, which downloads
+     * while frame i+2 uploads). All four handle events are
+     * recorded: begin/upload_done on the upload stream,
+     * compute_done on the compute stream, end on the download
+     * stream. The caller sequences frame admission by delaying the
+     * *upload* stream.
+     */
+    InferenceHandle enqueueStagedPipelined(int upload_stream,
+                                           int download_stream);
+
     /** Enqueue host think-time before the next frame. */
     void enqueueHostGap(double seconds);
 

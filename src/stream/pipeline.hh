@@ -1,0 +1,123 @@
+#ifndef EDGERT_STREAM_PIPELINE_HH
+#define EDGERT_STREAM_PIPELINE_HH
+
+/**
+ * @file
+ * Staged stream pipeline pieces: the host-side stage model, the
+ * per-stream backpressure policies and the frame queue that applies
+ * them.
+ *
+ * A frame flows decode → preprocess → infer → postprocess. Decode
+ * and preprocess are modeled host stages chained per camera stream
+ * (one decoder per camera: stage k of frame i+1 starts no earlier
+ * than stage k of frame i ends); infer goes through the serve
+ * layer's InstancePool / DynamicBatcher ladder so batching works
+ * across streams; postprocess chains per stream again after the
+ * device completes.
+ *
+ * Backpressure decides what happens when frames become ready faster
+ * than inference drains them:
+ *
+ *  - drop_oldest:     keep at most `frame_budget` queued frames per
+ *                     stream; admitting one more evicts that
+ *                     stream's oldest queued frame (a bounded
+ *                     mailbox).
+ *  - skip_to_latest:  a fresh frame replaces every queued frame of
+ *                     its stream (budget-1 mailbox — the consumer
+ *                     only ever wants the newest detection input).
+ *  - block:           nothing is dropped; the queue grows without
+ *                     bound and frames age in it (the camera keeps
+ *                     capturing; completions go stale instead).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace edgert::stream {
+
+/** First-class per-stream backpressure policies. */
+enum class BackpressurePolicy { kDropOldest, kSkipToLatest, kBlock };
+
+/** Parse "drop_oldest" / "skip_to_latest" / "block". */
+BackpressurePolicy parseBackpressurePolicy(const std::string &s);
+
+/** Stable wire name of a backpressure policy. */
+std::string backpressurePolicyName(BackpressurePolicy policy);
+
+/**
+ * Modeled host-side stage costs of one model's streams. Each frame
+ * draws its own per-stage duration at generation time:
+ * `base_ms * max(0.1, 1 + N(0, jitter_pct/100))`.
+ */
+struct StageModel
+{
+    double decode_ms = 2.0;
+    double preprocess_ms = 1.0;
+    double postprocess_ms = 0.5;
+    double jitter_pct = 10.0;
+};
+
+/**
+ * Ready-frame queue of one model: frames from all of its camera
+ * streams in ready order, with per-stream backpressure applied at
+ * admission. Entries live in an append-only arena; drops and cuts
+ * are lazy deletions, so push/cut stay amortized O(1) regardless of
+ * how deep a blocked queue grows.
+ */
+class StreamQueue
+{
+  public:
+    explicit StreamQueue(int n_streams);
+
+    /**
+     * Admit a ready frame, applying `policy` with `frame_budget` to
+     * its stream's queued frames. Returns the ids the admission
+     * evicted (oldest first); empty for block or when under budget.
+     */
+    std::vector<std::int64_t> push(std::int64_t id, int stream,
+                                   double ready_s,
+                                   BackpressurePolicy policy,
+                                   int frame_budget);
+
+    /** Dequeue the oldest `n` live frames (n <= size()). */
+    std::vector<std::int64_t> cut(int n);
+
+    bool empty() const { return live_total_ == 0; }
+    std::size_t size() const { return live_total_; }
+
+    /** Ready time of the oldest live frame (queue non-empty). */
+    double oldestReadySeconds() const;
+
+    /** Id of the oldest live frame (queue non-empty). */
+    std::int64_t frontId() const;
+
+    /** Live queued frames of one stream. */
+    int queuedOf(int stream) const;
+
+    /** Ids of every live frame, oldest first (end-of-run sweep). */
+    std::vector<std::int64_t> drain();
+
+  private:
+    struct Entry
+    {
+        std::int64_t id = -1;
+        int stream = 0;
+        double ready_s = 0.0;
+        bool gone = false; //!< dropped or cut
+    };
+
+    /** Skip dropped/cut entries at the FIFO head. */
+    void compactFront();
+
+    std::vector<Entry> entries_;
+    std::deque<std::int32_t> fifo_; //!< arena indices, ready order
+    std::vector<std::deque<std::int32_t>> per_stream_;
+    std::vector<int> live_;
+    std::size_t live_total_ = 0;
+};
+
+} // namespace edgert::stream
+
+#endif // EDGERT_STREAM_PIPELINE_HH

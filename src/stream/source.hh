@@ -1,0 +1,64 @@
+#ifndef EDGERT_STREAM_SOURCE_HH
+#define EDGERT_STREAM_SOURCE_HH
+
+/**
+ * @file
+ * Seeded frame sources for EdgeStream.
+ *
+ * A camera produces frames whether or not the server keeps up —
+ * unlike serve's request processes there is no admission decision at
+ * the source, only a capture clock. Two arrival models cover the
+ * paper's traffic-intersection sketch:
+ *
+ *  - fixed_fps:        a rock-steady sensor clock (frame i at
+ *                      phase + i/fps);
+ *  - jittered_camera:  the same mean rate with per-gap Gaussian
+ *                      jitter (auto-exposure, encoder hiccups) —
+ *                      gaps are floored at 20% of the nominal gap so
+ *                      the capture clock stays strictly increasing.
+ *
+ * Each stream draws from its own forked Rng lineage (root →
+ * "frames" → model → stream, mirroring serve's load generator), so
+ * adding a stream or reordering models never perturbs another
+ * stream's capture times.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace edgert::stream {
+
+/** Supported camera arrival models. */
+enum class FrameArrival { kFixedFps, kJitteredCamera };
+
+/** Parse "fixed" / "jitter" (fatal on anything else). */
+FrameArrival parseFrameArrival(const std::string &s);
+
+/** Stable wire name of an arrival model ("fixed", "jitter"). */
+std::string frameArrivalName(FrameArrival kind);
+
+/** Capture-clock configuration of one camera stream. */
+struct FrameSourceConfig
+{
+    FrameArrival kind = FrameArrival::kFixedFps;
+    double fps = 30.0;        //!< nominal frame rate
+    double jitter_pct = 10.0; //!< gap stddev, percent (jittered)
+};
+
+/**
+ * Generate one stream's capture times (simulated seconds, strictly
+ * increasing, all < duration_s). Both models draw a uniform phase in
+ * [0, 1/fps) first so streams at the same fps don't beat in
+ * lockstep.
+ *
+ * @param rng Forked per (model, stream) by the caller; consumed
+ *            sequentially so this stream is independent of others.
+ */
+std::vector<double> generateFrameTimes(const FrameSourceConfig &cfg,
+                                       double duration_s, Rng &rng);
+
+} // namespace edgert::stream
+
+#endif // EDGERT_STREAM_SOURCE_HH

@@ -1,0 +1,997 @@
+#include "stream/stream.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/threadpool.hh"
+#include "core/builder.hh"
+#include "core/timing_cache.hh"
+#include "nn/model_zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "profile/trace_export.hh"
+#include "runtime/context.hh"
+#include "runtime/measure.hh"
+#include "serve/batcher.hh"
+#include "serve/scheduler.hh"
+#include "serve/predictor.hh"
+
+namespace edgert::stream {
+
+namespace {
+
+/** Control-plane discrete event. */
+struct Event
+{
+    enum Kind { kFrameReady, kTimeout, kPredFree };
+
+    double t = 0.0;
+    std::int64_t seq = 0; //!< push order: deterministic tie-break
+    Kind kind = kFrameReady;
+    int target = 0;       //!< model (ready/timeout) or instance
+    std::int64_t req = -1;
+};
+
+struct EventAfter
+{
+    bool operator()(const Event &a, const Event &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+/** One frame's whole lifecycle (the stream analogue of Request). */
+struct FrameRec
+{
+    enum Outcome { kInFlight, kDropped, kCompleted };
+
+    std::int64_t id = -1;
+    int model = 0;
+    int stream = 0;
+    std::int64_t seq = 0; //!< per-stream capture index
+    double capture_s = 0.0;
+
+    // Per-frame stage durations, drawn at generation time so the
+    // draw order never depends on scheduling.
+    double decode_dur_s = 0.0;
+    double preprocess_dur_s = 0.0;
+    double postprocess_dur_s = 0.0;
+
+    double decode_done_s = 0.0;
+    double ready_s = 0.0; //!< preprocess done; queue admission time
+
+    Outcome outcome = kInFlight;
+    double drop_s = 0.0;
+
+    int device = -1;
+    int instance = -1;
+    int batch = 0;
+    double dispatch_s = 0.0;
+    double begin_s = 0.0;
+    double upload_done_s = 0.0;
+    double compute_done_s = 0.0;
+    double done_s = 0.0;      //!< device output download finished
+    double post_done_s = 0.0; //!< host postprocess finished
+
+    double ageMs() const
+    {
+        return (post_done_s - capture_s) * 1e3;
+    }
+};
+
+/** Per-model obs:: handles (created once, recorded in sim order). */
+struct ModelMetrics
+{
+    obs::Counter produced;
+    obs::Counter dropped;
+    obs::Counter completed;
+    obs::Counter stale;
+    obs::Counter batches;
+    obs::Histogram batch_size;
+    obs::Histogram age_ms;
+
+    explicit ModelMetrics(const std::string &model)
+        : produced(obs::MetricRegistry::global().counter(
+              "stream.frame.produced", {{"model", model}})),
+          dropped(obs::MetricRegistry::global().counter(
+              "stream.frame.dropped", {{"model", model}})),
+          completed(obs::MetricRegistry::global().counter(
+              "stream.frame.completed", {{"model", model}})),
+          stale(obs::MetricRegistry::global().counter(
+              "stream.frame.stale", {{"model", model}})),
+          batches(obs::MetricRegistry::global().counter(
+              "stream.batch.dispatched", {{"model", model}})),
+          batch_size(obs::MetricRegistry::global().histogram(
+              "stream.batch.size", {{"model", model}})),
+          age_ms(obs::MetricRegistry::global().histogram(
+              "stream.frame.age_ms", {{"model", model}}))
+    {}
+};
+
+/** Freshness-alert key of one camera stream. */
+std::string
+laneKey(const std::string &model, int stream)
+{
+    return model + "/cam" + std::to_string(stream);
+}
+
+/** Stage-duration jitter: base * max(0.1, 1 + N(0, pct/100)). */
+double
+jitteredSeconds(double base_ms, double jitter_pct, Rng &rng)
+{
+    double scale =
+        std::max(0.1, 1.0 + rng.gaussian(0.0, jitter_pct / 100.0));
+    return base_ms * 1e-3 * scale;
+}
+
+/** Canonical freshness watch report (cfg.watch.out_path). */
+void
+writeFreshnessFile(const std::string &path,
+                   const watch::SloTrackerSet &slo)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("EdgeStream: cannot write '", path, "'");
+    f << "{\n  \"lanes\": [\n";
+    auto keys = slo.keys();
+    for (std::size_t i = 0; i < keys.size(); i++) {
+        const watch::SloTracker *t = slo.find(keys[i]);
+        watch::BurnRates b = t->burnRates();
+        f << "    {\"key\": \"" << jsonEscape(keys[i])
+          << "\", \"tier\": \"" << watch::alertTierName(t->tier())
+          << "\", \"burn_fast\": " << jsonNumber(b.fast)
+          << ", \"burn_mid\": " << jsonNumber(b.mid)
+          << ", \"burn_slow\": " << jsonNumber(b.slow)
+          << ", \"observed\": " << t->total()
+          << ", \"bad\": " << t->bad() << "}"
+          << (i + 1 < keys.size() ? "," : "") << "\n";
+    }
+    const auto &r = slo.rollup();
+    f << "  ],\n  \"rollup\": {\"pages\": " << r.pages
+      << ", \"warns\": " << r.warns << ", \"clears\": " << r.clears
+      << ", \"first_page_s\": " << jsonNumber(r.first_page_s)
+      << "}\n}\n";
+}
+
+} // namespace
+
+StreamReport
+runStreams(const StreamConfig &cfg)
+{
+    if (cfg.models.empty())
+        fatal("EdgeStream needs at least one --model");
+    if (cfg.devices.empty())
+        fatal("EdgeStream needs at least one device");
+    if (cfg.duration_s <= 0.0)
+        fatal("EdgeStream duration must be positive");
+    {
+        std::set<std::string> names;
+        for (const auto &m : cfg.models) {
+            if (m.streams < 1)
+                fatal("model '", m.model,
+                      "' needs at least one stream");
+            if (!names.insert(m.model).second)
+                fatal("duplicate model '", m.model,
+                      "' (metric labels would collide)");
+        }
+    }
+
+    const int n_models = static_cast<int>(cfg.models.size());
+    const int n_devices = static_cast<int>(cfg.devices.size());
+
+    std::vector<ModelMetrics> mm;
+    for (const auto &mc : cfg.models)
+        mm.emplace_back(mc.model);
+
+    // ------------------------------------------------------------
+    // Build: one power-of-two engine ladder per (model, device)
+    // with a shared timing cache, plus the calibrated per-engine
+    // service predictions the control plane dispatches with. No
+    // fault injection here — stream serving reuses serve's engine
+    // machinery, not its resilience experiments.
+    // ------------------------------------------------------------
+    core::TimingCache timing_cache;
+    std::vector<std::vector<serve::EngineSet>> sets(
+        static_cast<std::size_t>(n_models)); //!< [model][device]
+    std::vector<std::vector<std::vector<double>>> svc(
+        static_cast<std::size_t>(n_models)); //!< [m][d][engine]
+    {
+        EDGERT_SPAN("stream_build",
+                    {{"models", std::to_string(n_models)},
+                     {"devices", std::to_string(n_devices)}});
+        for (int m = 0; m < n_models; m++) {
+            const auto &mc = cfg.models[static_cast<std::size_t>(m)];
+            auto ladder =
+                serve::engineBatchLadder(mc.batching.max_batch);
+            for (int d = 0; d < n_devices; d++) {
+                const auto &spec =
+                    cfg.devices[static_cast<std::size_t>(d)];
+                core::BuilderConfig bcfg;
+                bcfg.precision = mc.precision;
+                bcfg.calibration_seed = mc.calibration_seed;
+                bcfg.build_id = cfg.build_id;
+                bcfg.jobs = cfg.build_jobs;
+                bcfg.timing_cache = &timing_cache;
+                core::Builder builder(spec, bcfg);
+                serve::EngineSet set;
+                std::vector<double> svc_d;
+                for (int b : ladder) {
+                    set.engines.push_back(builder.build(
+                        nn::buildZooModel(mc.model, b)));
+                    set.batches.push_back(b);
+                }
+                for (const auto &eng : set.engines) {
+                    serve::LatencyPredictor pred(spec);
+                    pred.calibrate(eng);
+                    svc_d.push_back(
+                        pred.predictServiceSeconds(eng));
+                }
+                sets[static_cast<std::size_t>(m)].push_back(
+                    std::move(set));
+                svc[static_cast<std::size_t>(m)].push_back(
+                    std::move(svc_d));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Placement: RAM-bounded instances per device, capped by the
+    // paper's Eq. 1 concurrency bound.
+    // ------------------------------------------------------------
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    serve::InstancePool pool(cfg.devices, cfg.ram_fraction);
+    for (int m = 0; m < n_models; m++) {
+        const auto &mc = cfg.models[static_cast<std::size_t>(m)];
+        int placed_total = 0;
+        for (int d = 0; d < n_devices; d++) {
+            const auto &spec =
+                cfg.devices[static_cast<std::size_t>(d)];
+            const auto &set = sets[static_cast<std::size_t>(m)]
+                                  [static_cast<std::size_t>(d)];
+            int eq1 = runtime::estimateMaxThreads(
+                set.engines.front(), spec,
+                runtime::ThroughputOptions::probe());
+            int want = std::min(mc.instances_per_device,
+                                std::max(1, eq1));
+            placed_total += pool.place(
+                m, d, set.maxFootprintBytes(), want);
+        }
+        if (placed_total == 0)
+            warn("EdgeStream: model '", mc.model,
+                 "' has no usable instances (no RAM budget fits); "
+                 "its frames will only age out");
+    }
+
+    // Per-device simulators; every instance owns an upload, a
+    // compute and a download stream so enqueueStagedPipelined can
+    // overlap stage k of frame i with stage k-1 of frame i+1.
+    std::vector<std::unique_ptr<gpusim::GpuSim>> sims;
+    for (int d = 0; d < n_devices; d++)
+        sims.push_back(std::make_unique<gpusim::GpuSim>(
+            cfg.devices[static_cast<std::size_t>(d)]));
+    std::vector<int> up_stream(pool.instances().size(), 0);
+    std::vector<int> comp_stream(pool.instances().size(), 0);
+    std::vector<int> down_stream(pool.instances().size(), 0);
+    {
+        std::vector<int> streams_made(
+            static_cast<std::size_t>(n_devices), 0);
+        for (std::size_t i = 0; i < pool.instances().size(); i++) {
+            serve::Instance &inst = pool.instances()[i];
+            auto &sim =
+                *sims[static_cast<std::size_t>(inst.device)];
+            auto &made =
+                streams_made[static_cast<std::size_t>(inst.device)];
+            up_stream[i] = made == 0 ? 0 : sim.createStream();
+            made++;
+            comp_stream[i] = sim.createStream();
+            down_stream[i] = sim.createStream();
+            inst.stream = up_stream[i]; //!< release-pinning stream
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Frame generation: capture times and per-frame stage durations
+    // from forked Rng lineages (root → frames/stages → model →
+    // stream), then the host decode/preprocess chains — one decoder
+    // per camera stream, so stage k of frame i+1 waits for stage k
+    // of frame i. Host stages never see device feedback, so the
+    // chains fold eagerly. The merged table is capture-ordered.
+    // ------------------------------------------------------------
+    std::vector<FrameRec> frames;
+    {
+        Rng root(cfg.seed);
+        Rng frames_rng = root.fork("frames");
+        Rng stages_rng = root.fork("stages");
+        struct Key
+        {
+            double capture_s;
+            int model;
+            int stream;
+            std::int64_t seq;
+            std::size_t idx;
+        };
+        std::vector<Key> order;
+        std::vector<FrameRec> raw;
+        for (int m = 0; m < n_models; m++) {
+            const auto &mc =
+                cfg.models[static_cast<std::size_t>(m)];
+            Rng model_frames =
+                frames_rng.fork(static_cast<std::uint64_t>(m));
+            Rng model_stages =
+                stages_rng.fork(static_cast<std::uint64_t>(m));
+            FrameSourceConfig sc;
+            sc.kind = mc.arrival;
+            sc.fps = mc.fps;
+            sc.jitter_pct = mc.arrival_jitter_pct;
+            for (int s = 0; s < mc.streams; s++) {
+                Rng cam = model_frames.fork(
+                    static_cast<std::uint64_t>(s));
+                Rng stage_rng = model_stages.fork(
+                    static_cast<std::uint64_t>(s));
+                auto times =
+                    generateFrameTimes(sc, cfg.duration_s, cam);
+                double decode_free = 0.0;
+                double pre_free = 0.0;
+                for (std::size_t i = 0; i < times.size(); i++) {
+                    FrameRec fr;
+                    fr.model = m;
+                    fr.stream = s;
+                    fr.seq = static_cast<std::int64_t>(i);
+                    fr.capture_s = times[i];
+                    fr.decode_dur_s = jitteredSeconds(
+                        mc.stages.decode_ms,
+                        mc.stages.jitter_pct, stage_rng);
+                    fr.preprocess_dur_s = jitteredSeconds(
+                        mc.stages.preprocess_ms,
+                        mc.stages.jitter_pct, stage_rng);
+                    fr.postprocess_dur_s = jitteredSeconds(
+                        mc.stages.postprocess_ms,
+                        mc.stages.jitter_pct, stage_rng);
+                    double dstart =
+                        std::max(fr.capture_s, decode_free);
+                    fr.decode_done_s = dstart + fr.decode_dur_s;
+                    decode_free = fr.decode_done_s;
+                    double pstart =
+                        std::max(fr.decode_done_s, pre_free);
+                    fr.ready_s = pstart + fr.preprocess_dur_s;
+                    pre_free = fr.ready_s;
+                    order.push_back(Key{fr.capture_s, m, s,
+                                        fr.seq, raw.size()});
+                    raw.push_back(fr);
+                }
+            }
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const Key &a, const Key &b) {
+                      if (a.capture_s != b.capture_s)
+                          return a.capture_s < b.capture_s;
+                      if (a.model != b.model)
+                          return a.model < b.model;
+                      if (a.stream != b.stream)
+                          return a.stream < b.stream;
+                      return a.seq < b.seq;
+                  });
+        frames.reserve(raw.size());
+        for (const Key &k : order) {
+            FrameRec fr = raw[k.idx];
+            fr.id = static_cast<std::int64_t>(frames.size());
+            frames.push_back(fr);
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Phase 1 — control loop over (frame-ready, batch-timeout,
+    // predicted-free) events. Ready frames enter the per-model
+    // StreamQueue under the backpressure policy; the batcher cuts
+    // across streams onto predicted-free instances. Work stops at
+    // duration_s: later-ready frames and queue leftovers are
+    // in_flight.
+    // ------------------------------------------------------------
+    std::vector<StreamQueue> queues;
+    std::vector<serve::DynamicBatcher> batchers;
+    for (int m = 0; m < n_models; m++) {
+        const auto &mc = cfg.models[static_cast<std::size_t>(m)];
+        queues.emplace_back(mc.streams);
+        batchers.emplace_back(mc.batching);
+    }
+    std::vector<std::int64_t> timeout_armed(
+        static_cast<std::size_t>(n_models), -1);
+
+    std::priority_queue<Event, std::vector<Event>, EventAfter> evq;
+    std::int64_t seq = 0;
+    for (const FrameRec &fr : frames) {
+        if (fr.ready_s > cfg.duration_s)
+            continue; // still decoding when the run ends
+        Event e;
+        e.t = fr.ready_s;
+        e.seq = seq++;
+        e.kind = Event::kFrameReady;
+        e.target = fr.model;
+        e.req = fr.id;
+        evq.push(e);
+    }
+
+    auto tryDispatch = [&](int m, double t) {
+        auto &q = queues[static_cast<std::size_t>(m)];
+        const auto &batcher =
+            batchers[static_cast<std::size_t>(m)];
+        while (!q.empty()) {
+            int inst_idx = pool.freeInstance(m, t);
+            if (inst_idx < 0)
+                break;
+            int cut = batcher.decide(
+                q.size(), q.oldestReadySeconds(), t);
+            if (cut == 0)
+                break;
+            serve::Instance &inst =
+                pool.instances()[static_cast<std::size_t>(
+                    inst_idx)];
+            const auto &set =
+                sets[static_cast<std::size_t>(m)]
+                    [static_cast<std::size_t>(inst.device)];
+            int eidx = set.indexFor(cut);
+            double svc_s =
+                svc[static_cast<std::size_t>(m)]
+                   [static_cast<std::size_t>(inst.device)]
+                   [static_cast<std::size_t>(eidx)];
+            serve::PlannedDispatch pd;
+            pd.t_s = t;
+            pd.engine_idx = eidx;
+            pd.batch = cut;
+            pd.request_ids = q.cut(cut);
+            pd.predicted_service_s = svc_s;
+            for (std::int64_t id : pd.request_ids) {
+                FrameRec &fr =
+                    frames[static_cast<std::size_t>(id)];
+                fr.dispatch_s = t;
+                fr.batch = cut;
+                fr.device = inst.device;
+                fr.instance = inst_idx;
+            }
+            inst.plan.push_back(std::move(pd));
+            inst.predicted_free_s = t + svc_s;
+            Event e;
+            e.t = inst.predicted_free_s;
+            e.seq = seq++;
+            e.kind = Event::kPredFree;
+            e.target = inst_idx;
+            evq.push(e);
+            mm[static_cast<std::size_t>(m)].batches.add();
+            mm[static_cast<std::size_t>(m)].batch_size.record(cut);
+        }
+        // Arm (or re-arm after a front change) the batch timeout.
+        if (!q.empty() &&
+            q.frontId() !=
+                timeout_armed[static_cast<std::size_t>(m)]) {
+            timeout_armed[static_cast<std::size_t>(m)] =
+                q.frontId();
+            Event e;
+            e.t = batcher.deadlineFor(q.oldestReadySeconds());
+            e.seq = seq++;
+            e.kind = Event::kTimeout;
+            e.target = m;
+            evq.push(e);
+        }
+    };
+
+    {
+        EDGERT_SPAN("stream_control",
+                    {{"frames", std::to_string(frames.size())}});
+        while (!evq.empty()) {
+            Event e = evq.top();
+            evq.pop();
+            if (e.t > cfg.duration_s)
+                continue; // the camera window is over
+            switch (e.kind) {
+              case Event::kFrameReady: {
+                  FrameRec &fr =
+                      frames[static_cast<std::size_t>(e.req)];
+                  const int m = fr.model;
+                  const auto &mc =
+                      cfg.models[static_cast<std::size_t>(m)];
+                  auto evicted =
+                      queues[static_cast<std::size_t>(m)].push(
+                          fr.id, fr.stream, e.t, mc.policy,
+                          mc.frame_budget);
+                  for (std::int64_t id : evicted) {
+                      FrameRec &old =
+                          frames[static_cast<std::size_t>(id)];
+                      old.outcome = FrameRec::kDropped;
+                      old.drop_s = e.t;
+                  }
+                  tryDispatch(m, e.t);
+                  break;
+              }
+              case Event::kTimeout:
+                  tryDispatch(e.target, e.t);
+                  break;
+              case Event::kPredFree:
+                  tryDispatch(
+                      pool.instances()[static_cast<std::size_t>(
+                                           e.target)]
+                          .model,
+                      e.t);
+                  break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Phase 2 — execution replay: each dispatch releases on its
+    // instance's *upload* stream at the planned time; waitEvent
+    // chains upload → compute → download so consecutive frames
+    // overlap stage-wise. One run() per device; histogram records
+    // defer and commit in device index order under sim_threads > 1
+    // so every observable stays byte-identical to serial.
+    // ------------------------------------------------------------
+    {
+        std::vector<
+            std::map<int, std::unique_ptr<
+                              runtime::ExecutionContext>>>
+            ctxs(pool.instances().size());
+        for (std::size_t i = 0; i < pool.instances().size(); i++) {
+            serve::Instance &inst = pool.instances()[i];
+            auto &sim =
+                *sims[static_cast<std::size_t>(inst.device)];
+            for (auto &pd : inst.plan) {
+                sim.delayUntil(up_stream[i], pd.t_s);
+                auto &ctx = ctxs[i][pd.engine_idx];
+                if (!ctx)
+                    ctx = std::make_unique<
+                        runtime::ExecutionContext>(
+                        sets[static_cast<std::size_t>(inst.model)]
+                            [static_cast<std::size_t>(inst.device)]
+                                .engines[static_cast<std::size_t>(
+                                    pd.engine_idx)],
+                        sim, comp_stream[i]);
+                auto h = ctx->enqueueStagedPipelined(
+                    up_stream[i], down_stream[i]);
+                pd.begin = h.begin;
+                pd.upload_done = h.upload_done;
+                pd.compute_done = h.compute_done;
+                pd.end = h.end;
+            }
+        }
+        for (auto &sim : sims)
+            sim->setTraceMode(cfg.trace_mode,
+                              cfg.trace_sample_every);
+        auto runDevice = [&](std::size_t d) { sims[d]->run(); };
+        const int threads =
+            std::min(std::max(1, cfg.sim_threads), n_devices);
+        if (threads <= 1) {
+            for (int d = 0; d < n_devices; d++) {
+                EDGERT_SPAN(
+                    "stream_replay",
+                    {{"device",
+                      cfg.devices[static_cast<std::size_t>(d)]
+                          .name},
+                     {"index", std::to_string(d)}});
+                runDevice(static_cast<std::size_t>(d));
+            }
+        } else {
+            EDGERT_SPAN("stream_replay",
+                        {{"devices", std::to_string(n_devices)},
+                         {"threads", std::to_string(threads)}});
+            for (auto &sim : sims)
+                sim->setDeferMetrics(true);
+            ThreadPool tp(threads);
+            tp.parallelFor(static_cast<std::size_t>(n_devices),
+                           runDevice);
+            for (auto &sim : sims) {
+                sim->commitMetrics();
+                sim->setDeferMetrics(false);
+            }
+        }
+    }
+
+    // Fold measured completions back into the frame table
+    // (instance order, then plan order — deterministic), then run
+    // the host postprocess chains per camera stream over the
+    // completions in (done, seq) order.
+    for (const serve::Instance &inst : pool.instances()) {
+        const auto &sim =
+            *sims[static_cast<std::size_t>(inst.device)];
+        for (const auto &pd : inst.plan) {
+            double begin = sim.eventSeconds(pd.begin);
+            double upload = sim.eventSeconds(pd.upload_done);
+            double compute = sim.eventSeconds(pd.compute_done);
+            double end = sim.eventSeconds(pd.end);
+            for (std::int64_t id : pd.request_ids) {
+                FrameRec &fr =
+                    frames[static_cast<std::size_t>(id)];
+                fr.outcome = FrameRec::kCompleted;
+                fr.begin_s = begin;
+                fr.upload_done_s = upload;
+                fr.compute_done_s = compute;
+                fr.done_s = end;
+            }
+        }
+    }
+    {
+        // Index completed frames per (model, stream).
+        std::vector<std::vector<std::vector<std::int64_t>>> done(
+            static_cast<std::size_t>(n_models));
+        for (int m = 0; m < n_models; m++)
+            done[static_cast<std::size_t>(m)].resize(
+                static_cast<std::size_t>(
+                    cfg.models[static_cast<std::size_t>(m)]
+                        .streams));
+        for (const FrameRec &fr : frames)
+            if (fr.outcome == FrameRec::kCompleted)
+                done[static_cast<std::size_t>(fr.model)]
+                    [static_cast<std::size_t>(fr.stream)]
+                        .push_back(fr.id);
+        for (auto &per_model : done)
+            for (auto &ids : per_model) {
+                std::sort(
+                    ids.begin(), ids.end(),
+                    [&frames](std::int64_t a, std::int64_t b) {
+                        const FrameRec &fa =
+                            frames[static_cast<std::size_t>(a)];
+                        const FrameRec &fb =
+                            frames[static_cast<std::size_t>(b)];
+                        if (fa.done_s != fb.done_s)
+                            return fa.done_s < fb.done_s;
+                        return fa.seq < fb.seq;
+                    });
+                double post_free = 0.0;
+                for (std::int64_t id : ids) {
+                    FrameRec &fr =
+                        frames[static_cast<std::size_t>(id)];
+                    double start =
+                        std::max(fr.done_s, post_free);
+                    fr.post_done_s =
+                        start + fr.postprocess_dur_s;
+                    post_free = fr.post_done_s;
+                }
+            }
+    }
+
+    // ------------------------------------------------------------
+    // Freshness: terminal outcomes feed the per-model trackers (and
+    // the metric registry) in frame-id order, and the per-(model,
+    // stream) SloTrackerSet in time order so its sliding windows
+    // see a monotone clock. A dropped frame is bad at its drop
+    // time; a completed frame is bad at postprocess-done when its
+    // age exceeds the stale budget.
+    // ------------------------------------------------------------
+    std::vector<FreshnessTracker> fresh;
+    for (const auto &mc : cfg.models)
+        fresh.emplace_back(mc.streams, mc.stale_ms);
+    for (const FrameRec &fr : frames) {
+        auto m = static_cast<std::size_t>(fr.model);
+        fresh[m].onProduced(fr.stream);
+        mm[m].produced.add();
+        switch (fr.outcome) {
+          case FrameRec::kDropped:
+              fresh[m].onDropped(fr.stream);
+              mm[m].dropped.add();
+              break;
+          case FrameRec::kCompleted: {
+              double age = fr.ageMs();
+              fresh[m].onCompleted(fr.stream, age);
+              mm[m].completed.add();
+              mm[m].age_ms.record(age);
+              if (age > cfg.models[m].stale_ms)
+                  mm[m].stale.add();
+              break;
+          }
+          case FrameRec::kInFlight:
+              fresh[m].onLeftInFlight(fr.stream);
+              break;
+        }
+    }
+
+    watch::SloTracker::Config scfg;
+    scfg.objective_pct = cfg.watch.slo_objective_pct;
+    scfg.page_burn = cfg.watch.page_burn;
+    scfg.warn_burn = cfg.watch.warn_burn;
+    scfg.fast_window_s = cfg.watch.fast_window_s;
+    scfg.mid_window_s = cfg.watch.mid_window_s;
+    scfg.slow_window_s = cfg.watch.slow_window_s;
+    watch::SloTrackerSet slo(scfg);
+    {
+        struct Item
+        {
+            double t;
+            int rank; //!< 0 = drop, 1 = completion
+            std::int64_t id;
+            bool bad;
+        };
+        std::vector<Item> feed;
+        for (const FrameRec &fr : frames) {
+            if (fr.outcome == FrameRec::kDropped)
+                feed.push_back(Item{fr.drop_s, 0, fr.id, true});
+            else if (fr.outcome == FrameRec::kCompleted)
+                feed.push_back(Item{
+                    fr.post_done_s, 1, fr.id,
+                    fr.ageMs() >
+                        cfg.models[static_cast<std::size_t>(
+                                       fr.model)]
+                            .stale_ms});
+        }
+        std::sort(feed.begin(), feed.end(),
+                  [](const Item &a, const Item &b) {
+                      if (a.t != b.t)
+                          return a.t < b.t;
+                      if (a.rank != b.rank)
+                          return a.rank < b.rank;
+                      return a.id < b.id;
+                  });
+        for (const Item &it : feed) {
+            const FrameRec &fr =
+                frames[static_cast<std::size_t>(it.id)];
+            slo.observe(
+                laneKey(cfg.models[static_cast<std::size_t>(
+                                       fr.model)]
+                            .model,
+                        fr.stream),
+                it.t, it.bad);
+        }
+    }
+    if (cfg.watch.enabled && !cfg.watch.out_path.empty())
+        writeFreshnessFile(cfg.watch.out_path, slo);
+
+    // ------------------------------------------------------------
+    // Report assembly (model order, then stream order).
+    // ------------------------------------------------------------
+    StreamReport report;
+    report.seed = cfg.seed;
+    report.duration_s = cfg.duration_s;
+    report.freshness_pages = slo.rollup().pages;
+    report.freshness_warns = slo.rollup().warns;
+    report.freshness_clears = slo.rollup().clears;
+    report.first_page_s = slo.rollup().first_page_s;
+
+    for (int m = 0; m < n_models; m++) {
+        auto mi = static_cast<std::size_t>(m);
+        const auto &mc = cfg.models[mi];
+        StreamModelStats s;
+        s.model = mc.model;
+        s.precision = nn::precisionName(mc.precision);
+        s.policy = backpressurePolicyName(mc.policy);
+        s.arrival = frameArrivalName(mc.arrival);
+        s.streams = mc.streams;
+        s.fps = mc.fps;
+        s.stale_ms = mc.stale_ms;
+        s.instances = static_cast<int>(pool.instancesOf(m).size());
+        s.freshness = fresh[mi].totalStats();
+        s.conserved = fresh[mi].conserved();
+        std::int64_t dispatched = 0;
+        for (int idx : pool.instancesOf(m))
+            for (const auto &pd :
+                 pool.instances()[static_cast<std::size_t>(idx)]
+                     .plan) {
+                dispatched += pd.batch;
+                s.batches++;
+            }
+        s.mean_batch =
+            s.batches > 0
+                ? static_cast<double>(dispatched) /
+                      static_cast<double>(s.batches)
+                : 0.0;
+        // Stage attribution over completed frames, reusing the
+        // RequestTrace breakdown for the infer stages.
+        std::int64_t n = 0;
+        double dec = 0.0, pre = 0.0, que = 0.0, dw = 0.0,
+               up = 0.0, comp = 0.0, down = 0.0, post = 0.0;
+        for (const FrameRec &fr : frames) {
+            if (fr.model != m ||
+                fr.outcome != FrameRec::kCompleted)
+                continue;
+            watch::RequestTrace rt;
+            rt.arrival_s = fr.ready_s;
+            rt.dispatch_s = fr.dispatch_s;
+            rt.begin_s = fr.begin_s;
+            rt.upload_done_s = fr.upload_done_s;
+            rt.compute_done_s = fr.compute_done_s;
+            rt.done_s = fr.done_s;
+            dec += (fr.decode_done_s - fr.capture_s) * 1e3;
+            pre += (fr.ready_s - fr.decode_done_s) * 1e3;
+            que += rt.queueMs();
+            dw += rt.dispatchWaitMs();
+            up += rt.uploadMs();
+            comp += rt.computeMs();
+            down += rt.downloadMs();
+            post += (fr.post_done_s - fr.done_s) * 1e3;
+            n++;
+        }
+        if (n > 0) {
+            auto dn = static_cast<double>(n);
+            s.decode_mean_ms = dec / dn;
+            s.preprocess_mean_ms = pre / dn;
+            s.queue_mean_ms = que / dn;
+            s.dispatch_wait_mean_ms = dw / dn;
+            s.upload_mean_ms = up / dn;
+            s.compute_mean_ms = comp / dn;
+            s.download_mean_ms = down / dn;
+            s.postprocess_mean_ms = post / dn;
+        }
+        for (int c = 0; c < mc.streams; c++) {
+            StreamLaneStats lane;
+            lane.stream = c;
+            lane.freshness = fresh[mi].streamStats(c);
+            if (const watch::SloTracker *t =
+                    slo.find(laneKey(mc.model, c)))
+                lane.tier = t->tier();
+            s.lanes.push_back(std::move(lane));
+        }
+        report.models.push_back(std::move(s));
+    }
+
+    for (int d = 0; d < n_devices; d++) {
+        auto di = static_cast<std::size_t>(d);
+        const auto &spec = cfg.devices[di];
+        StreamDeviceStats s;
+        s.device = spec.name;
+        for (const auto &inst : pool.instances())
+            if (inst.device == d)
+                s.instances++;
+        auto st = sims[di]->stats();
+        s.sm_util_pct = st.smUtilizationPct(spec.sm_count);
+        s.copy_busy_pct =
+            st.window_s > 0.0
+                ? 100.0 * st.copy_busy_s / st.window_s
+                : 0.0;
+        s.makespan_s = sims[di]->nowSeconds();
+        s.ram_used_bytes = pool.ramUsedBytes(d);
+        s.ram_budget_bytes = pool.ramBudgetBytes(d);
+
+        const obs::Labels labels = {{"device", spec.name},
+                                    {"index", std::to_string(d)}};
+        reg.gauge("stream.device.sm_util_pct", labels)
+            .set(s.sm_util_pct);
+        reg.gauge("stream.device.copy_busy_pct", labels)
+            .set(s.copy_busy_pct);
+        reg.gauge("stream.device.instances", labels)
+            .set(static_cast<double>(s.instances));
+        report.devices.push_back(std::move(s));
+    }
+
+    if (!cfg.trace_out.empty()) {
+        std::vector<profile::NamedTrace> device_traces;
+        for (int d = 0; d < n_devices; d++) {
+            const auto &sim = *sims[static_cast<std::size_t>(d)];
+            profile::NamedTrace nt;
+            nt.name =
+                cfg.devices[static_cast<std::size_t>(d)].name +
+                "[" + std::to_string(d) + "]";
+            nt.trace = &sim.trace();
+            if (sim.traceMode() == gpusim::TraceMode::kSampled)
+                nt.sample_every = sim.traceSampleEvery();
+            device_traces.push_back(std::move(nt));
+        }
+        profile::saveMergedChromeTrace(
+            cfg.trace_out, obs::Tracer::global().spans(),
+            device_traces, {}, "stream");
+    }
+
+    return report;
+}
+
+std::string
+StreamReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"duration_s\": " << jsonNumber(duration_s) << ",\n";
+    os << "  \"models\": [\n";
+    for (std::size_t i = 0; i < models.size(); i++) {
+        const StreamModelStats &s = models[i];
+        os << "    {\n";
+        os << "      \"model\": \"" << jsonEscape(s.model)
+           << "\",\n";
+        os << "      \"precision\": \"" << jsonEscape(s.precision)
+           << "\",\n";
+        os << "      \"policy\": \"" << jsonEscape(s.policy)
+           << "\",\n";
+        os << "      \"arrival\": \"" << jsonEscape(s.arrival)
+           << "\",\n";
+        os << "      \"streams\": " << s.streams << ",\n";
+        os << "      \"fps\": " << jsonNumber(s.fps) << ",\n";
+        os << "      \"stale_ms\": " << jsonNumber(s.stale_ms)
+           << ",\n";
+        os << "      \"instances\": " << s.instances << ",\n";
+        os << "      \"produced\": " << s.freshness.produced
+           << ",\n";
+        os << "      \"completed\": " << s.freshness.completed
+           << ",\n";
+        os << "      \"dropped\": " << s.freshness.dropped
+           << ",\n";
+        os << "      \"in_flight\": " << s.freshness.in_flight
+           << ",\n";
+        os << "      \"stale_completed\": "
+           << s.freshness.stale_completed << ",\n";
+        os << "      \"stale_rate_pct\": "
+           << jsonNumber(s.freshness.stale_rate_pct) << ",\n";
+        os << "      \"conserved\": "
+           << (s.conserved ? "true" : "false") << ",\n";
+        os << "      \"batches\": " << s.batches << ",\n";
+        os << "      \"mean_batch\": " << jsonNumber(s.mean_batch)
+           << ",\n";
+        os << "      \"age_ms\": {\n";
+        os << "        \"mean\": "
+           << jsonNumber(s.freshness.age_mean_ms) << ",\n";
+        os << "        \"p50\": "
+           << jsonNumber(s.freshness.age_p50_ms) << ",\n";
+        os << "        \"p95\": "
+           << jsonNumber(s.freshness.age_p95_ms) << ",\n";
+        os << "        \"p99\": "
+           << jsonNumber(s.freshness.age_p99_ms) << ",\n";
+        os << "        \"max\": "
+           << jsonNumber(s.freshness.age_max_ms) << "\n";
+        os << "      },\n";
+        os << "      \"stage_mean_ms\": {\"decode\": "
+           << jsonNumber(s.decode_mean_ms) << ", \"preprocess\": "
+           << jsonNumber(s.preprocess_mean_ms) << ", \"queue\": "
+           << jsonNumber(s.queue_mean_ms)
+           << ", \"dispatch_wait\": "
+           << jsonNumber(s.dispatch_wait_mean_ms)
+           << ", \"upload\": " << jsonNumber(s.upload_mean_ms)
+           << ", \"compute\": " << jsonNumber(s.compute_mean_ms)
+           << ", \"download\": " << jsonNumber(s.download_mean_ms)
+           << ", \"postprocess\": "
+           << jsonNumber(s.postprocess_mean_ms) << "},\n";
+        os << "      \"lanes\": [\n";
+        for (std::size_t l = 0; l < s.lanes.size(); l++) {
+            const StreamLaneStats &lane = s.lanes[l];
+            os << "        {\"stream\": " << lane.stream
+               << ", \"produced\": " << lane.freshness.produced
+               << ", \"completed\": " << lane.freshness.completed
+               << ", \"dropped\": " << lane.freshness.dropped
+               << ", \"in_flight\": " << lane.freshness.in_flight
+               << ", \"stale_rate_pct\": "
+               << jsonNumber(lane.freshness.stale_rate_pct)
+               << ", \"age_p99_ms\": "
+               << jsonNumber(lane.freshness.age_p99_ms)
+               << ", \"tier\": \""
+               << watch::alertTierName(lane.tier) << "\"}"
+               << (l + 1 < s.lanes.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n";
+        os << "    }" << (i + 1 < models.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"devices\": [\n";
+    for (std::size_t i = 0; i < devices.size(); i++) {
+        const StreamDeviceStats &s = devices[i];
+        os << "    {\n";
+        os << "      \"device\": \"" << jsonEscape(s.device)
+           << "\",\n";
+        os << "      \"instances\": " << s.instances << ",\n";
+        os << "      \"sm_util_pct\": "
+           << jsonNumber(s.sm_util_pct) << ",\n";
+        os << "      \"copy_busy_pct\": "
+           << jsonNumber(s.copy_busy_pct) << ",\n";
+        os << "      \"makespan_s\": " << jsonNumber(s.makespan_s)
+           << ",\n";
+        os << "      \"ram_used_bytes\": " << s.ram_used_bytes
+           << ",\n";
+        os << "      \"ram_budget_bytes\": " << s.ram_budget_bytes
+           << "\n";
+        os << "    }" << (i + 1 < devices.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"freshness\": {\"pages\": " << freshness_pages
+       << ", \"warns\": " << freshness_warns
+       << ", \"clears\": " << freshness_clears
+       << ", \"first_page_s\": " << jsonNumber(first_page_s)
+       << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace edgert::stream

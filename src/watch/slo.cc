@@ -165,4 +165,55 @@ SloTracker::observe(double t_s, bool bad)
     return a;
 }
 
+Alert
+SloTrackerSet::observe(const std::string &key, double t_s,
+                       bool bad)
+{
+    auto it = trackers_.find(key);
+    if (it == trackers_.end())
+        it = trackers_.emplace(key, SloTracker(key, cfg_)).first;
+    Alert a = it->second.observe(t_s, bad);
+    if (a.t_s >= 0.0) {
+        switch (a.tier) {
+          case Alert::kPage:
+            rollup_.pages++;
+            if (rollup_.first_page_s < 0.0)
+                rollup_.first_page_s = a.t_s;
+            break;
+          case Alert::kWarn: rollup_.warns++; break;
+          case Alert::kNone: rollup_.clears++; break;
+        }
+    }
+    return a;
+}
+
+const SloTracker *
+SloTrackerSet::find(const std::string &key) const
+{
+    auto it = trackers_.find(key);
+    if (it == trackers_.end())
+        return nullptr;
+    return &it->second;
+}
+
+std::vector<std::string>
+SloTrackerSet::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(trackers_.size());
+    for (const auto &kv : trackers_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::vector<std::string>
+SloTrackerSet::keysAtTier(Alert::Tier tier) const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : trackers_)
+        if (kv.second.tier() == tier)
+            out.push_back(kv.first);
+    return out;
+}
+
 } // namespace edgert::watch

@@ -28,6 +28,7 @@
  */
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -145,6 +146,57 @@ class SloTracker
     Alert::Tier tier_ = Alert::kNone;
     std::int64_t total_ = 0;
     std::int64_t bad_ = 0;
+};
+
+/**
+ * A keyed family of SloTrackers sharing one Config — the per-key
+ * rollup the streaming layer uses for per-stream freshness alerts
+ * (and any future per-tenant / per-node split). Trackers are
+ * created lazily on first observe() of a key; the rollup
+ * accumulates every key's tier transitions so a caller gets fleet
+ * totals (pages, warns, clears, first page time) without walking
+ * the keys itself. Keys iterate in sorted order, so any report
+ * built from the set is deterministic.
+ */
+class SloTrackerSet
+{
+  public:
+    explicit SloTrackerSet(const SloTracker::Config &cfg)
+        : cfg_(cfg)
+    {}
+
+    /** Tier-transition totals across every key in the set. */
+    struct Rollup
+    {
+        std::int64_t pages = 0;
+        std::int64_t warns = 0;
+        std::int64_t clears = 0;
+        double first_page_s = -1.0; //!< -1 = no page fired
+    };
+
+    /**
+     * Record one terminal outcome under `key` (created on first
+     * use). Returns the key's tracker alert — t_s < 0 means no
+     * tier transition, exactly as SloTracker::observe.
+     */
+    Alert observe(const std::string &key, double t_s, bool bad);
+
+    /** The key's tracker, or nullptr if never observed. */
+    const SloTracker *find(const std::string &key) const;
+
+    /** Every observed key, sorted. */
+    std::vector<std::string> keys() const;
+
+    const Rollup &rollup() const { return rollup_; }
+    std::size_t size() const { return trackers_.size(); }
+
+    /** Keys currently at the given tier, sorted. */
+    std::vector<std::string> keysAtTier(Alert::Tier tier) const;
+
+  private:
+    SloTracker::Config cfg_;
+    std::map<std::string, SloTracker> trackers_;
+    Rollup rollup_;
 };
 
 } // namespace edgert::watch

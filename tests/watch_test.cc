@@ -112,6 +112,67 @@ TEST(SloTracker, SustainedModerateBurnWarnsWithoutPaging)
     EXPECT_EQ(tr.tier(), Alert::kWarn);
 }
 
+TEST(SloTrackerSet, KeysTrackIndependentlyAndRollupAccumulates)
+{
+    SloTracker::Config cfg;
+    SloTrackerSet set(cfg);
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_EQ(set.find("cam0"), nullptr);
+    EXPECT_EQ(set.rollup().pages, 0);
+    EXPECT_DOUBLE_EQ(set.rollup().first_page_s, -1.0);
+
+    // cam1 burns hard (every outcome bad) while cam0 stays clean:
+    // only cam1's tracker must transition, and the rollup must show
+    // exactly its page.
+    for (int i = 0; i < 200; i++) {
+        set.observe("cam0", i * 0.01, false);
+        set.observe("cam1", i * 0.01, true);
+    }
+    ASSERT_EQ(set.size(), 2u);
+    ASSERT_NE(set.find("cam0"), nullptr);
+    ASSERT_NE(set.find("cam1"), nullptr);
+    EXPECT_EQ(set.find("cam0")->tier(), Alert::kNone);
+    EXPECT_EQ(set.find("cam1")->tier(), Alert::kPage);
+    EXPECT_EQ(set.find("cam0")->bad(), 0);
+    EXPECT_EQ(set.find("cam1")->bad(), 200);
+    EXPECT_EQ(set.rollup().pages, 1);
+    EXPECT_EQ(set.rollup().clears, 0);
+    EXPECT_GE(set.rollup().first_page_s, 0.0);
+
+    // Keys are sorted; tier filtering picks out the burning camera.
+    EXPECT_EQ(set.keys(),
+              (std::vector<std::string>{"cam0", "cam1"}));
+    EXPECT_EQ(set.keysAtTier(Alert::kPage),
+              std::vector<std::string>{"cam1"});
+    EXPECT_EQ(set.keysAtTier(Alert::kNone),
+              std::vector<std::string>{"cam0"});
+
+    // cam1 recovers: the clear lands in the rollup, pages stay 1.
+    for (int i = 200; i < 20000; i++)
+        set.observe("cam1", i * 0.01, false);
+    EXPECT_EQ(set.find("cam1")->tier(), Alert::kNone);
+    EXPECT_EQ(set.rollup().pages, 1);
+    EXPECT_EQ(set.rollup().clears, 1);
+}
+
+TEST(SloTrackerSet, SharedConfigAppliesToEveryKey)
+{
+    // A permissive objective (50%) halves no one: 30% bad never
+    // burns past 1 on any key, so no tracker leaves kNone.
+    SloTracker::Config cfg;
+    cfg.objective_pct = 50.0;
+    SloTrackerSet set(cfg);
+    for (int i = 0; i < 300; i++) {
+        set.observe("a", i * 0.01, i % 10 < 3);
+        set.observe("b", i * 0.01, i % 10 < 3);
+    }
+    EXPECT_EQ(set.find("a")->tier(), Alert::kNone);
+    EXPECT_EQ(set.find("b")->tier(), Alert::kNone);
+    EXPECT_EQ(set.rollup().pages, 0);
+    EXPECT_EQ(set.rollup().warns, 0);
+    EXPECT_TRUE(set.keysAtTier(Alert::kPage).empty());
+}
+
 TEST(FlightRecorder, RingKeepsTheLastDepthEventsOldestFirst)
 {
     FlightRecorder rec(4);
